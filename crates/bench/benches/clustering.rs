@@ -1,0 +1,59 @@
+//! Ablation of the §4.2 cost optimizations: elliptical k-means with and
+//! without the lookup table and the Activity field. DESIGN.md calls this
+//! out as the design-choice ablation for the clustering engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdr_bench::workloads;
+use mmdr_cluster::{kmeans, EllipticalConfig, EllipticalKMeans, KMeansConfig};
+use std::hint::black_box;
+
+fn bench_elliptical_ablation(c: &mut Criterion) {
+    let ds = workloads::synthetic(4_000, 16, 6, 30.0, 7);
+    let mut group = c.benchmark_group("elliptical_kmeans_4k_16d");
+    group.sample_size(10);
+    let variants: [(&str, Option<usize>, Option<u32>); 4] = [
+        ("baseline", None, None),
+        ("lookup", Some(3), None),
+        ("activity", None, Some(10)),
+        ("lookup+activity", Some(3), Some(10)),
+    ];
+    for (name, lookup_k, activity_threshold) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            let engine = EllipticalKMeans::new(EllipticalConfig {
+                k: 10,
+                seed: 3,
+                lookup_k,
+                activity_threshold,
+                ..Default::default()
+            })
+            .unwrap();
+            b.iter(|| black_box(engine.fit(&ds.data).unwrap().distance_computations));
+        });
+    }
+    group.finish();
+}
+
+fn bench_euclidean_vs_elliptical(c: &mut Criterion) {
+    let ds = workloads::synthetic(4_000, 16, 6, 30.0, 7);
+    let mut group = c.benchmark_group("kmeans_flavours_4k_16d");
+    group.sample_size(10);
+    group.bench_function("euclidean", |b| {
+        b.iter(|| {
+            black_box(
+                kmeans(&ds.data, &KMeansConfig { k: 10, seed: 3, ..Default::default() })
+                    .unwrap()
+                    .iterations,
+            )
+        });
+    });
+    group.bench_function("elliptical", |b| {
+        let engine =
+            EllipticalKMeans::new(EllipticalConfig { k: 10, seed: 3, ..Default::default() })
+                .unwrap();
+        b.iter(|| black_box(engine.fit(&ds.data).unwrap().outer_iterations));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_elliptical_ablation, bench_euclidean_vs_elliptical);
+criterion_main!(benches);

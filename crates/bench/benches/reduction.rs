@@ -1,0 +1,60 @@
+//! Fit-time comparison of the reduction algorithms (the Figure 11 TRT
+//! story as a microbenchmark) plus the streaming variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdr_bench::workloads;
+use mmdr_core::{Gdr, Ldr, LdrParams, Mmdr, MmdrParams, ScalableMmdr};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let ds = workloads::synthetic(5_000, 64, 8, 30.0, 13);
+    let mut group = c.benchmark_group("reduction_fit_5k_64d");
+    group.sample_size(10);
+    group.bench_function("MMDR", |b| {
+        b.iter(|| {
+            black_box(
+                Mmdr::new(MmdrParams::default())
+                    .fit(&ds.data)
+                    .unwrap()
+                    .clusters
+                    .len(),
+            )
+        });
+    });
+    group.bench_function("scalable-MMDR", |b| {
+        b.iter(|| {
+            black_box(
+                ScalableMmdr::new(MmdrParams::default())
+                    .fit(&ds.data)
+                    .unwrap()
+                    .clusters
+                    .len(),
+            )
+        });
+    });
+    group.bench_function("LDR", |b| {
+        b.iter(|| black_box(Ldr::new(LdrParams::default()).fit(&ds.data).unwrap().clusters.len()));
+    });
+    group.bench_function("GDR", |b| {
+        b.iter(|| black_box(Gdr::new(20).fit(&ds.data).unwrap().clusters.len()));
+    });
+    group.finish();
+}
+
+fn bench_mmdr_dim_scaling(c: &mut Criterion) {
+    // The Figure 11b shape in miniature: fit time vs dimensionality.
+    let mut group = c.benchmark_group("mmdr_fit_vs_dim_3k");
+    group.sample_size(10);
+    for &dim in &[16usize, 32, 64] {
+        let ds = workloads::synthetic(3_000, dim, 6, 30.0, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| {
+                black_box(Mmdr::new(MmdrParams::default()).fit(&ds.data).unwrap().clusters.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_mmdr_dim_scaling);
+criterion_main!(benches);

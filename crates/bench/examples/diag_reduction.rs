@@ -1,0 +1,13 @@
+use mmdr_bench::{eval, workloads, Method};
+fn main() {
+    for ratio in [2.0, 10.0, 40.0] {
+        let ds = workloads::synthetic(2000, 64, 10, ratio, 0);
+        for m in Method::all() {
+            let model = eval::reduce(m, &ds.data, None, 10, 0);
+            println!(
+                "ratio {ratio} {}: clusters={} outlier_frac={:.3} mean_dr={:.2}",
+                m.name(), model.clusters.len(), model.outlier_fraction(), model.mean_retained_dim()
+            );
+        }
+    }
+}

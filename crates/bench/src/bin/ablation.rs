@@ -1,0 +1,68 @@
+//! Ablation of MMDR's design choices (DESIGN.md §4): the Generate-Ellipsoid
+//! entry probe and the fragment merge pass, on top of the paper's §4.2
+//! clustering optimizations.
+//!
+//! Reports, for each variant: discovered clusters, outlier fraction, mean
+//! retained dimensionality, fit time and 10-NN precision — showing that
+//! both mechanisms are load-bearing for recovering the intrinsic cluster
+//! structure (the paper's §6.1 claim).
+
+use mmdr_bench::{eval, workloads, Args, Report};
+use mmdr_core::{Mmdr, MmdrParams};
+use mmdr_datagen::sample_queries;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 100_000));
+    let queries = args.queries.unwrap_or_else(|| args.pick(10, 50, 100));
+    let k = args.k.unwrap_or(10);
+    let ds = workloads::synthetic(n, 64, 10, 30.0, args.seed);
+    let qs = sample_queries(&ds.data, queries, args.seed ^ 0xAB).expect("queries");
+
+    let mut report = Report::new(
+        "ablation",
+        "MMDR design ablation: clusters / outlier% / mean d_r / fit s / precision",
+        "variant",
+        &["clusters", "outlier_pct", "mean_dr", "fit_seconds", "precision"],
+        format!("n={n} dim=64 clusters=10 ratio=30 queries={queries} k={k} seed={}", args.seed),
+    );
+
+    let variants: [(&str, bool, bool); 4] = [
+        ("full", true, true),
+        ("no-merge", true, false),
+        ("no-probe", false, true),
+        ("neither", false, false),
+    ];
+    for (i, (name, probe, merge)) in variants.into_iter().enumerate() {
+        let params = MmdrParams {
+            use_entry_probe: probe,
+            merge_fragments: merge,
+            seed: args.seed,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let model = Mmdr::new(params).fit(&ds.data).expect("fit");
+        let fit_s = start.elapsed().as_secs_f64();
+        let precision = eval::mean_precision(&ds.data, &model, &qs, k);
+        eprintln!(
+            "{name}: {} clusters, {:.1}% outliers, mean d_r {:.1}, {:.2}s, precision {:.3}",
+            model.clusters.len(),
+            100.0 * model.outlier_fraction(),
+            model.mean_retained_dim(),
+            fit_s,
+            precision
+        );
+        report.push(
+            i as f64,
+            vec![
+                model.clusters.len() as f64,
+                100.0 * model.outlier_fraction(),
+                model.mean_retained_dim(),
+                fit_s,
+                precision,
+            ],
+        );
+    }
+    report.emit();
+}

@@ -1,0 +1,96 @@
+//! Figure 10 — CPU cost per query vs. subspace dimensionality, for iMMDR,
+//! iLDR and gLDR.
+//!
+//! `--dataset synthetic` → Figure 10a, `--dataset histogram` → Figure 10b.
+//! Paper shape: gLDR an order of magnitude above the extended-iDistance
+//! schemes by 30 dims (multi-d node comparisons vs. 1-d key comparisons);
+//! iMMDR slightly below iLDR.
+
+use mmdr_bench::{eval, workloads, Args, Method, Report};
+use mmdr_datagen::sample_queries;
+use mmdr_idistance::{GlobalLdrIndex, IDistanceConfig, IDistanceIndex};
+use mmdr_linalg::Matrix;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let dataset = args.dataset.clone().unwrap_or_else(|| "synthetic".to_string());
+    let queries = args.queries.unwrap_or_else(|| args.pick(10, 50, 100));
+    let k = args.k.unwrap_or(10);
+
+    let (data, n, fig) = load(&args, &dataset);
+    let qs = sample_queries(&data, queries, args.seed ^ 0xA0).expect("queries");
+    // Large buffer: Figure 10 isolates CPU, so everything stays resident.
+    let buffer_pages = 1 << 17;
+
+    let mut report = Report::new(
+        fig,
+        &format!("CPU cost (ms/query) vs dimensionality ({dataset})"),
+        "retained_dims",
+        &["iMMDR", "iLDR", "gLDR"],
+        format!("n={n} queries={queries} k={k} seed={}", args.seed),
+    );
+
+    for &d_r in &[10usize, 15, 20, 25, 30] {
+        let mmdr_model = eval::reduce(Method::Mmdr, &data, Some(d_r), 10, args.seed);
+        let ldr_model = eval::reduce(Method::Ldr, &data, Some(d_r), 10, args.seed);
+
+        let mut immdr = IDistanceIndex::build(
+            &data,
+            &mmdr_model,
+            IDistanceConfig { buffer_pages, ..Default::default() },
+        )
+        .expect("iMMDR build");
+        let t_immdr = time_queries(&qs, k, |q, kk| {
+            immdr.knn(q, kk).expect("knn");
+        });
+
+        let mut ildr = IDistanceIndex::build(
+            &data,
+            &ldr_model,
+            IDistanceConfig { buffer_pages, ..Default::default() },
+        )
+        .expect("iLDR build");
+        let t_ildr = time_queries(&qs, k, |q, kk| {
+            ildr.knn(q, kk).expect("knn");
+        });
+
+        let mut gldr = GlobalLdrIndex::build(&data, &ldr_model, buffer_pages).expect("gLDR");
+        let t_gldr = time_queries(&qs, k, |q, kk| {
+            gldr.knn(q, kk).expect("knn");
+        });
+
+        report.push(d_r as f64, vec![t_immdr, t_ildr, t_gldr]);
+        eprintln!("d_r {d_r} done");
+    }
+    report.emit();
+}
+
+fn load(args: &Args, dataset: &str) -> (Matrix, usize, &'static str) {
+    match dataset {
+        "synthetic" => {
+            let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 100_000));
+            (workloads::synthetic(n, 64, 10, 30.0, args.seed).data, n, "fig10a")
+        }
+        "histogram" => {
+            let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 70_000));
+            (workloads::histogram(n, args.seed), n, "fig10b")
+        }
+        other => {
+            eprintln!("unknown --dataset {other}; use synthetic or histogram");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Mean wall-clock milliseconds per query (one warm-up pass first).
+fn time_queries(queries: &Matrix, k: usize, mut run: impl FnMut(&[f64], usize)) -> f64 {
+    for q in queries.iter_rows().take(3) {
+        run(q, k);
+    }
+    let start = Instant::now();
+    for q in queries.iter_rows() {
+        run(q, k);
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / queries.rows() as f64
+}

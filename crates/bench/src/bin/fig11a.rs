@@ -1,0 +1,49 @@
+//! Figure 11a — MMDR total response time vs. data size (d = 100).
+//!
+//! Compares plain in-memory MMDR with the §4.3 scalable (streaming)
+//! variant. Paper shape: linear growth in N, with no jump for scalable
+//! MMDR past the buffer limit (the streaming variant reads each point a
+//! bounded number of times regardless of N).
+
+use mmdr_bench::{workloads, Args, Report};
+use mmdr_core::{Mmdr, MmdrParams, ScalableMmdr};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let dim = 100;
+    let sizes: Vec<usize> = match args.scale {
+        0 => vec![1_000, 2_000, 4_000],
+        1 => vec![5_000, 10_000, 20_000, 40_000, 80_000],
+        _ => vec![50_000, 100_000, 250_000, 500_000, 1_000_000],
+    };
+
+    let mut report = Report::new(
+        "fig11a",
+        "MMDR total response time (s) vs data size (d = 100)",
+        "n",
+        &["MMDR", "scalable MMDR"],
+        format!("dim={dim} epsilon=0.005 seed={}", args.seed),
+    );
+
+    for &n in &sizes {
+        let ds = workloads::synthetic(n, dim, 10, 30.0, args.seed);
+        let params = MmdrParams { max_ec: 10, seed: args.seed, ..Default::default() };
+
+        let start = Instant::now();
+        let plain = Mmdr::new(params.clone()).fit(&ds.data).expect("mmdr fit");
+        let t_plain = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let scalable = ScalableMmdr::new(params).fit(&ds.data).expect("scalable fit");
+        let t_scalable = start.elapsed().as_secs_f64();
+
+        report.push(n as f64, vec![t_plain, t_scalable]);
+        eprintln!(
+            "n={n}: plain {t_plain:.2}s ({} clusters), scalable {t_scalable:.2}s ({} streams)",
+            plain.clusters.len(),
+            scalable.stats.streams
+        );
+    }
+    report.emit();
+}

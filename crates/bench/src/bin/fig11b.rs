@@ -1,0 +1,33 @@
+//! Figure 11b — MMDR total response time vs. dimensionality (N fixed).
+//!
+//! Paper shape: TRT is nearly quadratic in d (covariance estimation and
+//! PCA dominate), with no buffer effect for the scalable variant.
+
+use mmdr_bench::{workloads, Args, Report};
+use mmdr_core::{MmdrParams, ScalableMmdr};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 1_000_000));
+    let dims: Vec<usize> = vec![50, 100, 150, 200];
+
+    let mut report = Report::new(
+        "fig11b",
+        "Scalable MMDR total response time (s) vs dimensionality",
+        "dim",
+        &["scalable MMDR"],
+        format!("n={n} epsilon=0.005 seed={}", args.seed),
+    );
+
+    for &dim in &dims {
+        let ds = workloads::synthetic(n, dim, 10, 30.0, args.seed);
+        let params = MmdrParams { max_ec: 10, seed: args.seed, ..Default::default() };
+        let start = Instant::now();
+        let model = ScalableMmdr::new(params).fit(&ds.data).expect("scalable fit");
+        let t = start.elapsed().as_secs_f64();
+        report.push(dim as f64, vec![t]);
+        eprintln!("dim={dim}: {t:.2}s ({} clusters)", model.clusters.len());
+    }
+    report.emit();
+}

@@ -1,0 +1,39 @@
+//! Figure 7a — query precision vs. ellipticity.
+//!
+//! Sweeps the synthetic clusters' ellipticity (variance ratio between
+//! retained and eliminated dimensions) and reports 10-NN precision for
+//! MMDR, LDR and GDR. Paper shape: MMDR ≥ LDR ≫ GDR (≤ ~15 %), with LDR
+//! decaying faster as ellipticity drops.
+
+use mmdr_bench::{eval, workloads, Args, Method, Report};
+use mmdr_datagen::sample_queries;
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 100_000));
+    let queries = args.queries.unwrap_or_else(|| args.pick(10, 50, 100));
+    let k = args.k.unwrap_or(10);
+    let dim = 64;
+    let n_clusters = 10;
+
+    let mut report = Report::new(
+        "fig7a",
+        "Precision vs ellipticity (synthetic, 64-d)",
+        "ellipticity_ratio",
+        &["MMDR", "LDR", "GDR"],
+        format!("n={n} dim={dim} clusters={n_clusters} queries={queries} k={k} seed={}", args.seed),
+    );
+
+    for &ratio in &[2.0, 5.0, 10.0, 20.0, 40.0, 80.0] {
+        let ds = workloads::synthetic(n, dim, n_clusters, ratio, args.seed);
+        let qs = sample_queries(&ds.data, queries, args.seed ^ 0x51).expect("queries");
+        let mut row = Vec::new();
+        for method in Method::all() {
+            let model = eval::reduce(method, &ds.data, None, n_clusters, args.seed);
+            row.push(eval::mean_precision(&ds.data, &model, &qs, k));
+        }
+        report.push(ratio, row);
+        eprintln!("ratio {ratio} done");
+    }
+    report.emit();
+}

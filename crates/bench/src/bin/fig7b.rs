@@ -1,0 +1,39 @@
+//! Figure 7b — query precision vs. number of correlated clusters.
+//!
+//! Paper shape: all three methods match at one cluster; as clusters
+//! multiply, MMDR stays flat while LDR and GDR fall off.
+
+use mmdr_bench::{eval, workloads, Args, Method, Report};
+use mmdr_datagen::sample_queries;
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 100_000));
+    let queries = args.queries.unwrap_or_else(|| args.pick(10, 50, 100));
+    let k = args.k.unwrap_or(10);
+    let dim = 64;
+    let ratio = 30.0;
+
+    let mut report = Report::new(
+        "fig7b",
+        "Precision vs number of correlated clusters (synthetic, 64-d)",
+        "clusters",
+        &["MMDR", "LDR", "GDR"],
+        format!("n={n} dim={dim} ratio={ratio} queries={queries} k={k} seed={}", args.seed),
+    );
+
+    for &n_clusters in &[1usize, 2, 5, 10, 15, 20] {
+        let ds = workloads::synthetic(n, dim, n_clusters, ratio, args.seed);
+        let qs = sample_queries(&ds.data, queries, args.seed ^ 0x52).expect("queries");
+        let mut row = Vec::new();
+        for method in Method::all() {
+            // MMDR/LDR get a cluster budget of max(10, actual); GDR ignores.
+            let budget = n_clusters.max(10);
+            let model = eval::reduce(method, &ds.data, None, budget, args.seed);
+            row.push(eval::mean_precision(&ds.data, &model, &qs, k));
+        }
+        report.push(n_clusters as f64, row);
+        eprintln!("clusters {n_clusters} done");
+    }
+    report.emit();
+}

@@ -1,0 +1,51 @@
+//! Figure 8 — query precision vs. retained dimensionality.
+//!
+//! `--dataset synthetic` reproduces Figure 8a (100 k × 64-d synthetic);
+//! `--dataset histogram` reproduces Figure 8b (70 k × 64-d Corel-like
+//! histograms). Paper shape: precision rises with retained dims; MMDR on
+//! top throughout; everything lower on the histogram data.
+
+use mmdr_bench::{eval, workloads, Args, Method, Report};
+use mmdr_datagen::sample_queries;
+
+fn main() {
+    let args = Args::from_env();
+    let dataset = args.dataset.clone().unwrap_or_else(|| "synthetic".to_string());
+    let queries = args.queries.unwrap_or_else(|| args.pick(10, 50, 100));
+    let k = args.k.unwrap_or(10);
+
+    let (data, default_n, fig) = match dataset.as_str() {
+        "synthetic" => {
+            let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 100_000));
+            (workloads::synthetic(n, 64, 10, 30.0, args.seed).data, n, "fig8a")
+        }
+        "histogram" => {
+            let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 70_000));
+            (workloads::histogram(n, args.seed), n, "fig8b")
+        }
+        other => {
+            eprintln!("unknown --dataset {other}; use synthetic or histogram");
+            std::process::exit(2);
+        }
+    };
+
+    let mut report = Report::new(
+        fig,
+        &format!("Precision vs retained dimensionality ({dataset}, 64-d)"),
+        "retained_dims",
+        &["MMDR", "LDR", "GDR"],
+        format!("n={default_n} queries={queries} k={k} seed={}", args.seed),
+    );
+
+    let qs = sample_queries(&data, queries, args.seed ^ 0x80).expect("queries");
+    for &d_r in &[2usize, 5, 10, 15, 20] {
+        let mut row = Vec::new();
+        for method in Method::all() {
+            let model = eval::reduce(method, &data, Some(d_r), 10, args.seed);
+            row.push(eval::mean_precision(&data, &model, &qs, k));
+        }
+        report.push(d_r as f64, row);
+        eprintln!("d_r {d_r} done");
+    }
+    report.emit();
+}

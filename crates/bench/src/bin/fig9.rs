@@ -1,0 +1,109 @@
+//! Figure 9 — I/O cost (page accesses per query) vs. subspace
+//! dimensionality, for iMMDR, iLDR, gLDR and sequential scan.
+//!
+//! `--dataset synthetic` → Figure 9a, `--dataset histogram` → Figure 9b.
+//! Paper shape: iMMDR < iLDR < gLDR, with gLDR crossing above the
+//! sequential scan around 20 dimensions.
+
+use mmdr_bench::{eval, workloads, Args, Method, Report};
+use mmdr_datagen::sample_queries;
+use mmdr_idistance::{GlobalLdrIndex, IDistanceConfig, IDistanceIndex, SeqScan};
+use mmdr_linalg::Matrix;
+
+fn main() {
+    let args = Args::from_env();
+    let dataset = args.dataset.clone().unwrap_or_else(|| "synthetic".to_string());
+    let queries = args.queries.unwrap_or_else(|| args.pick(10, 50, 100));
+    let k = args.k.unwrap_or(10);
+
+    let (data, n, fig) = load(&args, &dataset);
+    let qs = sample_queries(&data, queries, args.seed ^ 0x90).expect("queries");
+    // A buffer big enough for the hot path (internal nodes) but far smaller
+    // than the data, as on the paper's 256 MB machine.
+    let buffer_pages = 64;
+
+    let mut report = Report::new(
+        fig,
+        &format!("I/O cost vs dimensionality ({dataset})"),
+        "retained_dims",
+        &["iMMDR", "iLDR", "gLDR", "seq-scan"],
+        format!("n={n} queries={queries} k={k} buffer_pages={buffer_pages} seed={}", args.seed),
+    );
+
+    for &d_r in &[10usize, 15, 20, 25, 30] {
+        let mmdr_model = eval::reduce(Method::Mmdr, &data, Some(d_r), 10, args.seed);
+        let ldr_model = eval::reduce(Method::Ldr, &data, Some(d_r), 10, args.seed);
+
+        // iMMDR: extended iDistance over the MMDR reduction.
+        let mut immdr = IDistanceIndex::build(
+            &data,
+            &mmdr_model,
+            IDistanceConfig { buffer_pages, ..Default::default() },
+        )
+        .expect("iMMDR build");
+        let io_immdr = mean_io(&qs, k, |q, kk| {
+            immdr.io_stats().reset();
+            immdr.knn(q, kk).expect("knn");
+            immdr.io_stats().reads()
+        });
+
+        // iLDR: the same index over the LDR reduction.
+        let mut ildr = IDistanceIndex::build(
+            &data,
+            &ldr_model,
+            IDistanceConfig { buffer_pages, ..Default::default() },
+        )
+        .expect("iLDR build");
+        let io_ildr = mean_io(&qs, k, |q, kk| {
+            ildr.io_stats().reset();
+            ildr.knn(q, kk).expect("knn");
+            ildr.io_stats().reads()
+        });
+
+        // gLDR: one hybrid tree per LDR cluster.
+        let mut gldr = GlobalLdrIndex::build(&data, &ldr_model, buffer_pages).expect("gLDR build");
+        let io_gldr = mean_io(&qs, k, |q, kk| {
+            gldr.io_stats().reset();
+            gldr.knn(q, kk).expect("knn");
+            gldr.io_stats().reads()
+        });
+
+        // Sequential scan of the reduced pages (MMDR layout).
+        let mut scan = SeqScan::build(&data, &mmdr_model, buffer_pages).expect("scan build");
+        let io_scan = mean_io(&qs, k, |q, kk| {
+            scan.io_stats().reset();
+            scan.knn(q, kk).expect("knn");
+            scan.io_stats().reads()
+        });
+
+        report.push(d_r as f64, vec![io_immdr, io_ildr, io_gldr, io_scan]);
+        eprintln!("d_r {d_r} done");
+    }
+    report.emit();
+}
+
+fn load(args: &Args, dataset: &str) -> (Matrix, usize, &'static str) {
+    match dataset {
+        "synthetic" => {
+            let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 100_000));
+            (workloads::synthetic(n, 64, 10, 30.0, args.seed).data, n, "fig9a")
+        }
+        "histogram" => {
+            let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 70_000));
+            (workloads::histogram(n, args.seed), n, "fig9b")
+        }
+        other => {
+            eprintln!("unknown --dataset {other}; use synthetic or histogram");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Mean page reads per query.
+fn mean_io(queries: &Matrix, k: usize, mut run: impl FnMut(&[f64], usize) -> u64) -> f64 {
+    let mut total = 0u64;
+    for q in queries.iter_rows() {
+        total += run(q, k);
+    }
+    total as f64 / queries.rows() as f64
+}

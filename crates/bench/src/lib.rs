@@ -1,0 +1,17 @@
+//! Shared harness utilities for the per-figure benchmark binaries.
+//!
+//! Each figure of the paper's §6 has a binary in `src/bin/` that prints the
+//! same rows/series the paper plots (TSV to stdout) and writes a JSON copy
+//! under `results/`. Binaries accept `--paper` to run at the paper's full
+//! workload sizes and `--quick` for a fast smoke run; the default sits in
+//! between so a full sweep finishes in minutes on one core (EXPERIMENTS.md
+//! records which scale produced the reported numbers).
+
+pub mod cli;
+pub mod eval;
+pub mod report;
+pub mod workloads;
+
+pub use cli::Args;
+pub use eval::{mean_precision, reduce, Method};
+pub use report::Report;

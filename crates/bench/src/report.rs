@@ -1,0 +1,118 @@
+//! TSV/JSON reporting for the figure binaries.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// A figure's result table: one row per x-value, one column per series.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Figure identifier, e.g. `"fig7a"`.
+    pub figure: String,
+    /// Human description (what the paper plots).
+    pub title: String,
+    /// Name of the x column.
+    pub x_label: String,
+    /// Series names, in column order.
+    pub series: Vec<String>,
+    /// Rows: `(x, values…)` with `values.len() == series.len()`.
+    pub rows: Vec<(f64, Vec<f64>)>,
+    /// Workload scale note (so EXPERIMENTS.md records provenance).
+    pub note: String,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(
+        figure: &str,
+        title: &str,
+        x_label: &str,
+        series: &[&str],
+        note: String,
+    ) -> Self {
+        Self {
+            figure: figure.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            series: series.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            note,
+        }
+    }
+
+    /// Appends one row, checking arity.
+    pub fn push(&mut self, x: f64, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len(), "row arity mismatch");
+        self.rows.push((x, values));
+    }
+
+    /// Renders the TSV table the binaries print.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {}\n", self.figure, self.title));
+        out.push_str(&format!("# {}\n", self.note));
+        out.push_str(&self.x_label.to_string());
+        for s in &self.series {
+            out.push('\t');
+            out.push_str(s);
+        }
+        out.push('\n');
+        for (x, values) in &self.rows {
+            out.push_str(&format!("{x}"));
+            for v in values {
+                out.push_str(&format!("\t{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the TSV to stdout and writes `results/<figure>.json`.
+    pub fn emit(&self) {
+        let mut stdout = std::io::stdout().lock();
+        let _ = stdout.write_all(self.to_tsv().as_bytes());
+        let dir = Path::new("results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{}.json", self.figure));
+            match serde_json::to_vec_pretty(self) {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(&path, json) {
+                        eprintln!("warning: could not write {}: {e}", path.display());
+                    }
+                }
+                Err(e) => eprintln!("warning: could not serialize report: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_rendering() {
+        let mut r = Report::new("figX", "demo", "dim", &["A", "B"], "scale=default".into());
+        r.push(10.0, vec![0.5, 0.25]);
+        r.push(20.0, vec![0.75, 0.5]);
+        let tsv = r.to_tsv();
+        assert!(tsv.contains("# figX — demo"));
+        assert!(tsv.contains("dim\tA\tB"));
+        assert!(tsv.contains("10\t0.5000\t0.2500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut r = Report::new("f", "t", "x", &["A"], String::new());
+        r.push(0.0, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let mut r = Report::new("f", "t", "x", &["A"], String::new());
+        r.push(1.0, vec![2.0]);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"figure\":\"f\""));
+    }
+}

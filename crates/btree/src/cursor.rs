@@ -1,0 +1,47 @@
+//! Cursor handle for leaf-chain iteration.
+
+use mmdr_storage::PageId;
+
+/// A position in the leaf chain: "the gap before slot `slot` of leaf
+/// `leaf`".
+///
+/// Cursors hold no page references — the tree owns the buffer pool — so a
+/// cursor is advanced by [`crate::BPlusTree::cursor_next`] /
+/// [`crate::BPlusTree::cursor_prev`], which take the tree mutably. A cursor
+/// is invalidated by inserts (the slot may shift); iDistance's search phase
+/// never interleaves inserts with scans, matching this contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    leaf: PageId,
+    slot: usize,
+}
+
+impl Cursor {
+    pub(crate) fn new(leaf: PageId, slot: usize) -> Self {
+        Self { leaf, slot }
+    }
+
+    pub(crate) fn position(&self) -> (PageId, usize) {
+        (self.leaf, self.slot)
+    }
+
+    pub(crate) fn set(&mut self, leaf: PageId, slot: usize) {
+        self.leaf = leaf;
+        self.slot = slot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_is_a_value_type() {
+        let a = Cursor::new(3, 7);
+        let mut b = a;
+        b.set(4, 0);
+        assert_eq!(a.position(), (3, 7));
+        assert_eq!(b.position(), (4, 0));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for B⁺-tree operations.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the B⁺-tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The storage layer failed.
+    Storage(mmdr_storage::Error),
+    /// Keys must be finite (`NaN`/`±∞` have no total order position).
+    InvalidKey,
+    /// Bulk load requires input sorted by key.
+    UnsortedInput {
+        /// Index of the first out-of-order element.
+        position: usize,
+    },
+    /// Internal invariant violation — indicates a bug, surfaced instead of
+    /// silently corrupting the tree.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Storage(e) => write!(f, "storage failure: {e}"),
+            Error::InvalidKey => write!(f, "keys must be finite f64 values"),
+            Error::UnsortedInput { position } => {
+                write!(f, "bulk-load input is unsorted at position {position}")
+            }
+            Error::Corrupt(msg) => write!(f, "tree invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mmdr_storage::Error> for Error {
+    fn from(e: mmdr_storage::Error) -> Self {
+        Error::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(Error::InvalidKey.to_string().contains("finite"));
+        assert!(Error::UnsortedInput { position: 3 }.to_string().contains('3'));
+        assert!(Error::Corrupt("bad fanout").to_string().contains("bad fanout"));
+        let e = Error::from(mmdr_storage::Error::ZeroCapacity);
+        assert!(e.to_string().contains("storage"));
+    }
+}

@@ -1,0 +1,433 @@
+//! The B⁺-tree proper: descent, insertion with splits, and seeks.
+
+use crate::cursor::Cursor;
+use crate::error::{Error, Result};
+use crate::node::{is_leaf, Internal, Leaf, INTERNAL_CAPACITY, LEAF_CAPACITY, NIL_PAGE};
+use mmdr_storage::{BufferPool, IoStats, PageId};
+use std::sync::Arc;
+
+/// A B⁺-tree over finite `f64` keys with `u64` record ids.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct BPlusTree {
+    pub(crate) pool: BufferPool,
+    root: PageId,
+    height: usize,
+    len: usize,
+}
+
+impl BPlusTree {
+    /// Creates an empty tree (a single empty leaf as root) in the pool.
+    pub fn new(mut pool: BufferPool) -> Result<Self> {
+        let root = pool.allocate()?;
+        pool.with_page_mut(root, Leaf::init)?;
+        Ok(Self { pool, root, height: 1, len: 0 })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height in levels (1 = the root is a leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Handle to the underlying I/O counters.
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        self.pool.stats()
+    }
+
+    /// Mutable access to the buffer pool (for flushes in benchmarks).
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    /// Pages allocated on the underlying disk.
+    pub fn num_pages(&self) -> usize {
+        self.pool.num_pages()
+    }
+
+    pub(crate) fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    pub(crate) fn dec_len(&mut self) {
+        self.len -= 1;
+    }
+
+    /// Replaces the root with one of its children (root shrink on delete).
+    pub(crate) fn hoist_root(&mut self, child: PageId) {
+        self.root = child;
+        self.height -= 1;
+    }
+
+    pub(crate) fn set_root(&mut self, root: PageId, height: usize, len: usize) {
+        self.root = root;
+        self.height = height;
+        self.len = len;
+    }
+
+    /// Inserts an entry. Duplicate keys are allowed; the entry lands before
+    /// existing equal keys.
+    pub fn insert(&mut self, key: f64, rid: u64) -> Result<()> {
+        if !key.is_finite() {
+            return Err(Error::InvalidKey);
+        }
+        if let Some((sep, right)) = self.insert_rec(self.root, key, rid)? {
+            // Root split: grow a level.
+            let new_root = self.pool.allocate()?;
+            let old_root = self.root;
+            self.pool.with_page_mut(new_root, |p| {
+                Internal::init(p, old_root);
+                Internal::push(p, sep, right)
+            })??;
+            self.root = new_root;
+            self.height += 1;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Recursive insert; returns `Some((separator, new_right_page))` when
+    /// the child split and the parent must absorb a new key.
+    fn insert_rec(&mut self, node: PageId, key: f64, rid: u64) -> Result<Option<(f64, PageId)>> {
+        let leaf = self.pool.with_page(node, is_leaf)?;
+        if leaf {
+            let n = self.pool.with_page(node, Leaf::count)?;
+            if n < LEAF_CAPACITY {
+                self.pool.with_page_mut(node, |p| {
+                    let slot = Leaf::lower_bound(p, key);
+                    Leaf::insert_at(p, slot, key, rid)
+                })??;
+                return Ok(None);
+            }
+            // Split the leaf, then insert into the proper half.
+            let right = self.pool.allocate()?;
+            let mut moved = self.pool.with_page(node, |p| p.clone())?;
+            let mut right_page = self.pool.with_page(right, |p| p.clone())?;
+            Leaf::init(&mut right_page);
+            let sep = Leaf::split_into(&mut moved, &mut right_page);
+            // Fix the chain: node <-> right <-> old next.
+            let old_next = Leaf::next(&moved);
+            Leaf::set_next(&mut moved, right);
+            Leaf::set_prev(&mut right_page, node);
+            Leaf::set_next(&mut right_page, old_next);
+            if key < sep {
+                let slot = Leaf::lower_bound(&moved, key);
+                Leaf::insert_at(&mut moved, slot, key, rid)?;
+            } else {
+                let slot = Leaf::lower_bound(&right_page, key);
+                Leaf::insert_at(&mut right_page, slot, key, rid)?;
+            }
+            self.pool.with_page_mut(node, |p| *p = moved)?;
+            self.pool.with_page_mut(right, |p| *p = right_page)?;
+            if old_next != NIL_PAGE {
+                self.pool.with_page_mut(old_next, |p| Leaf::set_prev(p, right))?;
+            }
+            return Ok(Some((sep, right)));
+        }
+
+        let idx = self.pool.with_page(node, |p| Internal::child_index(p, key))?;
+        let child = self.pool.with_page(node, |p| Internal::child(p, idx))?;
+        let Some((sep, new_right)) = self.insert_rec(child, key, rid)? else {
+            return Ok(None);
+        };
+        let n = self.pool.with_page(node, Internal::count)?;
+        if n < INTERNAL_CAPACITY {
+            self.pool
+                .with_page_mut(node, |p| Internal::insert_at(p, idx, sep, new_right))??;
+            return Ok(None);
+        }
+        // Split this internal node, then place (sep, new_right).
+        let right = self.pool.allocate()?;
+        let mut left_page = self.pool.with_page(node, |p| p.clone())?;
+        let mut right_page = self.pool.with_page(right, |p| p.clone())?;
+        let up = Internal::split_into(&mut left_page, &mut right_page);
+        if sep < up {
+            let slot = Internal::child_index(&left_page, sep);
+            Internal::insert_at(&mut left_page, slot, sep, new_right)?;
+        } else {
+            let slot = Internal::child_index(&right_page, sep);
+            Internal::insert_at(&mut right_page, slot, sep, new_right)?;
+        }
+        self.pool.with_page_mut(node, |p| *p = left_page)?;
+        self.pool.with_page_mut(right, |p| *p = right_page)?;
+        Ok(Some((up, right)))
+    }
+
+    /// Positions a cursor at the first entry with key `>= key`.
+    ///
+    /// The cursor may be exhausted immediately (every key is smaller); both
+    /// [`cursor_next`](Self::cursor_next) and
+    /// [`cursor_prev`](Self::cursor_prev) work from the returned position.
+    pub fn seek(&mut self, key: f64) -> Result<Cursor> {
+        if !key.is_finite() {
+            return Err(Error::InvalidKey);
+        }
+        let mut node = self.root;
+        for _ in 0..self.height.saturating_sub(1) {
+            node = self.pool.with_page(node, |p| {
+                let idx = Internal::child_index(p, key);
+                Internal::child(p, idx)
+            })?;
+        }
+        if !self.pool.with_page(node, is_leaf)? {
+            return Err(Error::Corrupt("descent did not end at a leaf"));
+        }
+        let slot = self.pool.with_page(node, |p| Leaf::lower_bound(p, key))?;
+        Ok(Cursor::new(node, slot))
+    }
+
+    /// Returns the entry at the cursor and advances it forward (ascending
+    /// keys). `None` when past the last entry.
+    pub fn cursor_next(&mut self, cursor: &mut Cursor) -> Result<Option<(f64, u64)>> {
+        loop {
+            let (leaf, slot) = cursor.position();
+            if leaf == NIL_PAGE {
+                return Ok(None);
+            }
+            let (n, next) = self.pool.with_page(leaf, |p| (Leaf::count(p), Leaf::next(p)))?;
+            if slot < n {
+                let entry = self.pool.with_page(leaf, |p| (Leaf::key(p, slot), Leaf::rid(p, slot)))?;
+                cursor.set(leaf, slot + 1);
+                return Ok(Some(entry));
+            }
+            cursor.set(next, 0);
+        }
+    }
+
+    /// Returns the entry *before* the cursor and moves it backward
+    /// (descending keys). `None` when before the first entry.
+    ///
+    /// `cursor_next` and `cursor_prev` are symmetric around the cursor gap:
+    /// after a `seek(k)`, `cursor_prev` yields entries `< k` and
+    /// `cursor_next` yields entries `>= k`.
+    pub fn cursor_prev(&mut self, cursor: &mut Cursor) -> Result<Option<(f64, u64)>> {
+        loop {
+            let (leaf, slot) = cursor.position();
+            if leaf == NIL_PAGE {
+                return Ok(None);
+            }
+            if slot > 0 {
+                let entry = self
+                    .pool
+                    .with_page(leaf, |p| (Leaf::key(p, slot - 1), Leaf::rid(p, slot - 1)))?;
+                cursor.set(leaf, slot - 1);
+                return Ok(Some(entry));
+            }
+            let prev = self.pool.with_page(leaf, Leaf::prev)?;
+            if prev == NIL_PAGE {
+                cursor.set(NIL_PAGE, 0);
+                return Ok(None);
+            }
+            let prev_n = self.pool.with_page(prev, Leaf::count)?;
+            cursor.set(prev, prev_n);
+        }
+    }
+
+    /// Collects all `(key, rid)` entries with `lo <= key <= hi`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> Result<Vec<(f64, u64)>> {
+        let mut cursor = self.seek(lo)?;
+        let mut out = Vec::new();
+        while let Some((k, r)) = self.cursor_next(&mut cursor)? {
+            if k > hi {
+                break;
+            }
+            out.push((k, r));
+        }
+        Ok(out)
+    }
+
+    /// Walks the whole tree checking structural invariants (key order
+    /// within nodes, separator consistency, chain integrity, length).
+    /// Test/diagnostic helper — `O(n)`.
+    pub fn check_invariants(&mut self) -> Result<()> {
+        // Full in-order scan must be sorted and have `len` entries.
+        let mut cursor = self.seek(f64::MIN)?;
+        let mut prev: Option<f64> = None;
+        let mut seen = 0usize;
+        while let Some((k, _)) = self.cursor_next(&mut cursor)? {
+            if let Some(p) = prev {
+                if k < p {
+                    return Err(Error::Corrupt("keys out of order in leaf chain"));
+                }
+            }
+            prev = Some(k);
+            seen += 1;
+        }
+        if seen != self.len {
+            return Err(Error::Corrupt("leaf chain length disagrees with len"));
+        }
+        // Backward scan must see the same count.
+        let mut cursor = self.seek(f64::MAX)?;
+        // Consume possible trailing entries ≥ MAX (none), then walk back.
+        let mut back = 0usize;
+        while self.cursor_prev(&mut cursor)?.is_some() {
+            back += 1;
+        }
+        if back != self.len {
+            return Err(Error::Corrupt("backward chain length disagrees with len"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdr_storage::DiskManager;
+
+    fn tree(pool_pages: usize) -> BPlusTree {
+        BPlusTree::new(BufferPool::new(DiskManager::new(), pool_pages).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let mut t = tree(16);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        let mut c = t.seek(0.0).unwrap();
+        assert_eq!(t.cursor_next(&mut c).unwrap(), None);
+        let mut c = t.seek(0.0).unwrap();
+        assert_eq!(t.cursor_prev(&mut c).unwrap(), None);
+    }
+
+    #[test]
+    fn insert_and_point_seek() {
+        let mut t = tree(64);
+        for i in 0..100u64 {
+            t.insert(i as f64, i).unwrap();
+        }
+        assert_eq!(t.len(), 100);
+        let mut c = t.seek(42.0).unwrap();
+        assert_eq!(t.cursor_next(&mut c).unwrap(), Some((42.0, 42)));
+        assert_eq!(t.cursor_next(&mut c).unwrap(), Some((43.0, 43)));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn splits_grow_height_and_preserve_order() {
+        let mut t = tree(256);
+        // Enough entries to force several leaf splits and an internal level.
+        let n = 3000u64;
+        for i in 0..n {
+            // Insert in a scrambled order.
+            let k = ((i * 7919) % n) as f64;
+            t.insert(k, i).unwrap();
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.height() >= 2, "height {}", t.height());
+        t.check_invariants().unwrap();
+        // Every key is findable.
+        for probe in [0.0, 1.0, 1499.0, 2998.0] {
+            let mut c = t.seek(probe).unwrap();
+            let (k, _) = t.cursor_next(&mut c).unwrap().unwrap();
+            assert_eq!(k, probe);
+        }
+    }
+
+    #[test]
+    fn duplicates_seek_to_first() {
+        let mut t = tree(64);
+        for rid in 0..10u64 {
+            t.insert(5.0, rid).unwrap();
+        }
+        t.insert(1.0, 100).unwrap();
+        t.insert(9.0, 200).unwrap();
+        let mut c = t.seek(5.0).unwrap();
+        let mut rids = Vec::new();
+        while let Some((k, r)) = t.cursor_next(&mut c).unwrap() {
+            if k != 5.0 {
+                break;
+            }
+            rids.push(r);
+        }
+        assert_eq!(rids.len(), 10, "all duplicates reachable from seek");
+    }
+
+    #[test]
+    fn duplicates_across_splits() {
+        let mut t = tree(256);
+        // A run of duplicates longer than a leaf forces cross-leaf runs.
+        for rid in 0..600u64 {
+            t.insert(7.0, rid).unwrap();
+        }
+        for rid in 0..100u64 {
+            t.insert(3.0, 1000 + rid).unwrap();
+            t.insert(11.0, 2000 + rid).unwrap();
+        }
+        let hits = t.range(7.0, 7.0).unwrap();
+        assert_eq!(hits.len(), 600);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn backward_scan_symmetry() {
+        let mut t = tree(64);
+        for i in 0..500u64 {
+            t.insert(i as f64, i).unwrap();
+        }
+        let mut c = t.seek(250.0).unwrap();
+        assert_eq!(t.cursor_prev(&mut c).unwrap(), Some((249.0, 249)));
+        assert_eq!(t.cursor_prev(&mut c).unwrap(), Some((248.0, 248)));
+        // Cursor gap restored by seek; forward resumes at >= key.
+        let mut c = t.seek(250.0).unwrap();
+        assert_eq!(t.cursor_next(&mut c).unwrap(), Some((250.0, 250)));
+    }
+
+    #[test]
+    fn range_query() {
+        let mut t = tree(64);
+        for i in 0..100u64 {
+            t.insert(i as f64 * 0.1, i).unwrap();
+        }
+        let r = t.range(2.0, 3.0).unwrap();
+        assert_eq!(r.len(), 11); // 2.0, 2.1, ..., 3.0 (within fp tolerance)
+        assert!(r.iter().all(|&(k, _)| (2.0..=3.0).contains(&k)));
+        assert!(t.range(99.0, 100.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_non_finite_keys() {
+        let mut t = tree(16);
+        assert_eq!(t.insert(f64::NAN, 0).err(), Some(Error::InvalidKey));
+        assert_eq!(t.insert(f64::INFINITY, 0).err(), Some(Error::InvalidKey));
+        assert_eq!(t.seek(f64::NAN).err(), Some(Error::InvalidKey));
+    }
+
+    #[test]
+    fn io_is_counted_through_small_pool() {
+        // A pool smaller than the tree forces real I/O on traversals.
+        let mut t = tree(4);
+        for i in 0..5000u64 {
+            t.insert(i as f64, i).unwrap();
+        }
+        let stats = t.io_stats();
+        stats.reset();
+        let mut c = t.seek(2500.0).unwrap();
+        let _ = t.cursor_next(&mut c).unwrap();
+        assert!(stats.reads() > 0, "cold traversal must cost reads");
+    }
+
+    #[test]
+    fn negative_and_fractional_keys() {
+        let mut t = tree(64);
+        let keys = [-5.5, -0.1, 0.0, 0.1, 3.25, -100.0];
+        for (rid, &k) in keys.iter().enumerate() {
+            t.insert(k, rid as u64).unwrap();
+        }
+        let all = t.range(f64::MIN, f64::MAX).unwrap();
+        let got: Vec<f64> = all.iter().map(|&(k, _)| k).collect();
+        let mut want = keys.to_vec();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got, want);
+    }
+}

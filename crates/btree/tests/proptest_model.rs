@@ -1,0 +1,145 @@
+//! Property tests: the paged B⁺-tree must behave exactly like a sorted
+//! reference model under arbitrary insert/bulk-load workloads, including
+//! duplicate keys and tiny buffer pools (forced eviction).
+
+use mmdr_btree::BPlusTree;
+use mmdr_storage::{BufferPool, DiskManager};
+use proptest::prelude::*;
+
+fn pool(pages: usize) -> BufferPool {
+    BufferPool::new(DiskManager::new(), pages).unwrap()
+}
+
+/// Reference: sorted multiset of (key, rid).
+fn model_range(model: &[(f64, u64)], lo: f64, hi: f64) -> Vec<f64> {
+    let mut keys: Vec<f64> = model
+        .iter()
+        .filter(|&&(k, _)| k >= lo && k <= hi)
+        .map(|&(k, _)| k)
+        .collect();
+    keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn inserts_match_reference_model(
+        // Keys from a small domain to force plenty of duplicates.
+        keys in proptest::collection::vec(0u32..64, 1..400),
+        pool_pages in 2usize..32,
+        probe in 0u32..64,
+    ) {
+        let mut tree = BPlusTree::new(pool(pool_pages)).unwrap();
+        let mut model: Vec<(f64, u64)> = Vec::new();
+        for (rid, &k) in keys.iter().enumerate() {
+            tree.insert(k as f64, rid as u64).unwrap();
+            model.push((k as f64, rid as u64));
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        tree.check_invariants().unwrap();
+
+        // Full scan matches the sorted model.
+        let got: Vec<f64> = tree
+            .range(f64::MIN, f64::MAX)
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        prop_assert_eq!(got, model_range(&model, f64::MIN, f64::MAX));
+
+        // Point range at the probe key returns every duplicate.
+        let hits = tree.range(probe as f64, probe as f64).unwrap();
+        let expected = model.iter().filter(|&&(k, _)| k == probe as f64).count();
+        prop_assert_eq!(hits.len(), expected);
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts(
+        mut keys in proptest::collection::vec(0.0f64..1000.0, 1..300),
+        lo in 0.0f64..500.0,
+        width in 0.0f64..500.0,
+    ) {
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let entries: Vec<(f64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let mut bulk = BPlusTree::bulk_load(pool(64), &entries).unwrap();
+        let mut incremental = BPlusTree::new(pool(64)).unwrap();
+        for &(k, v) in &entries {
+            incremental.insert(k, v).unwrap();
+        }
+        bulk.check_invariants().unwrap();
+        let hi = lo + width;
+        let a: Vec<f64> = bulk.range(lo, hi).unwrap().into_iter().map(|(k, _)| k).collect();
+        let b: Vec<f64> =
+            incremental.range(lo, hi).unwrap().into_iter().map(|(k, _)| k).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seek_is_lower_bound(
+        mut keys in proptest::collection::vec(0.0f64..100.0, 1..200),
+        probe in 0.0f64..100.0,
+    ) {
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let entries: Vec<(f64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let mut tree = BPlusTree::bulk_load(pool(32), &entries).unwrap();
+        let mut cur = tree.seek(probe).unwrap();
+        let next = tree.cursor_next(&mut cur).unwrap();
+        let expected = keys.iter().copied().find(|&k| k >= probe);
+        prop_assert_eq!(next.map(|(k, _)| k), expected);
+        // And the entry before the cursor is the last key < probe.
+        let mut cur = tree.seek(probe).unwrap();
+        let prev = tree.cursor_prev(&mut cur).unwrap();
+        let expected_prev = keys.iter().copied().rfind(|&k| k < probe);
+        prop_assert_eq!(prev.map(|(k, _)| k), expected_prev);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Interleaved inserts and deletes stay in lockstep with the reference
+    /// multiset.
+    #[test]
+    fn insert_delete_mix_matches_model(
+        ops in proptest::collection::vec((0u32..32, proptest::bool::ANY), 1..300),
+        pool_pages in 2usize..24,
+    ) {
+        let mut tree = BPlusTree::new(pool(pool_pages)).unwrap();
+        let mut model: Vec<(f64, u64)> = Vec::new();
+        let mut rid = 0u64;
+        for (key, is_insert) in ops {
+            let key = key as f64;
+            if is_insert || model.is_empty() {
+                tree.insert(key, rid).unwrap();
+                model.push((key, rid));
+                rid += 1;
+            } else {
+                // Delete the model entry whose key is nearest to `key` so
+                // deletes usually hit.
+                let pos = model
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        ((a.1).0 - key).abs().partial_cmp(&((b.1).0 - key).abs()).unwrap()
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let (k, r) = model.swap_remove(pos);
+                prop_assert!(tree.delete(k, r).unwrap());
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        tree.check_invariants().unwrap();
+        let got: Vec<f64> = tree
+            .range(f64::MIN, f64::MAX)
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        prop_assert_eq!(got, model_range(&model, f64::MIN, f64::MAX));
+    }
+}

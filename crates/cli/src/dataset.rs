@@ -1,0 +1,134 @@
+//! On-disk dataset format shared by the CLI subcommands.
+
+use mmdr_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A dataset file: dimensionality plus row-major points. JSON keeps the
+/// tooling dependency-free and diffable; at CLI scales (≤ a few hundred
+/// thousand points) file sizes stay manageable.
+#[derive(Serialize, Deserialize)]
+pub struct DatasetFile {
+    /// Dimensionality of every row.
+    pub dim: usize,
+    /// Points, one row each.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl DatasetFile {
+    /// Wraps a matrix.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        Self { dim: m.cols(), rows: m.iter_rows().map(|r| r.to_vec()).collect() }
+    }
+
+    /// Converts to a matrix, validating row widths.
+    pub fn into_matrix(self) -> Result<Matrix, String> {
+        if self.rows.is_empty() {
+            return Err("dataset has no rows".into());
+        }
+        if self.rows.iter().any(|r| r.len() != self.dim) {
+            return Err("dataset row width disagrees with dim".into());
+        }
+        Matrix::from_rows(&self.rows).map_err(|e| e.to_string())
+    }
+
+    /// Reads a dataset file.
+    pub fn load(path: &str) -> Result<Matrix, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let file: DatasetFile =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        file.into_matrix()
+    }
+
+    /// Writes a dataset file.
+    pub fn save(path: &str, m: &Matrix) -> Result<(), String> {
+        let json = serde_json::to_string(&Self::from_matrix(m)).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Parses CSV text (comma-separated floats, one point per line; blank
+    /// lines skipped; a non-numeric first line is treated as a header).
+    pub fn parse_csv(text: &str) -> Result<Matrix, String> {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let parsed: Result<Vec<f64>, _> =
+                line.split(',').map(|c| c.trim().parse::<f64>()).collect();
+            match parsed {
+                Ok(row) => rows.push(row),
+                Err(e) => {
+                    if lineno == 0 {
+                        continue; // header line
+                    }
+                    return Err(format!("line {}: {e}", lineno + 1));
+                }
+            }
+        }
+        if rows.is_empty() {
+            return Err("CSV contains no data rows".into());
+        }
+        let dim = rows[0].len();
+        if rows.iter().any(|r| r.len() != dim) {
+            return Err("CSV rows have inconsistent widths".into());
+        }
+        Matrix::from_rows(&rows).map_err(|e| e.to_string())
+    }
+
+    /// Renders a matrix as CSV (no header).
+    pub fn to_csv(m: &Matrix) -> String {
+        let mut out = String::new();
+        for row in m.iter_rows() {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let file = DatasetFile::from_matrix(&m);
+        let back = file.into_matrix().unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn validates() {
+        let bad = DatasetFile { dim: 3, rows: vec![vec![1.0, 2.0]] };
+        assert!(bad.into_matrix().is_err());
+        let empty = DatasetFile { dim: 2, rows: vec![] };
+        assert!(empty.into_matrix().is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.5, -2.0], vec![0.25, 3.0]]).unwrap();
+        let csv = DatasetFile::to_csv(&m);
+        let back = DatasetFile::parse_csv(&csv).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn csv_header_and_blank_lines() {
+        let text = "x,y\n1.0, 2.0\n\n3.0,4.0\n";
+        let m = DatasetFile::parse_csv(text).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn csv_errors() {
+        assert!(DatasetFile::parse_csv("").is_err());
+        assert!(DatasetFile::parse_csv("header only\n").is_err());
+        assert!(DatasetFile::parse_csv("1.0,2.0\n3.0\n").is_err());
+        assert!(DatasetFile::parse_csv("1.0,2.0\n3.0,oops\n").is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! `mmdr` — command-line interface to the MMDR pipeline.
+//!
+//! ```text
+//! mmdr generate --out data.json --n 5000 --dim 32 --clusters 5 [--histogram]
+//! mmdr reduce   --data data.json --out model.json [--method mmdr|ldr|gdr] [--dim D]
+//! mmdr info     --model model.json
+//! mmdr query    --data data.json --model model.json --row 17 [--k 10] [--radius R]
+//! ```
+//!
+//! Datasets and models are JSON files (`DatasetFile` /
+//! `ReductionResult::to_json`), so the pipeline's stages can be scripted,
+//! inspected and diffed.
+
+mod dataset;
+
+use dataset::DatasetFile;
+use mmdr_core::{Gdr, Ldr, LdrParams, Mmdr, MmdrParams, ReductionResult};
+use mmdr_datagen::{generate_correlated, generate_histograms, CorrelatedConfig, HistogramConfig};
+use mmdr_idistance::{IDistanceConfig, IDistanceIndex};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+
+/// `println!` that exits quietly when stdout closes (`mmdr … | head`),
+/// instead of panicking on the broken pipe.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(rest),
+        "convert" => cmd_convert(rest),
+        "reduce" => cmd_reduce(rest),
+        "info" => cmd_info(rest),
+        "query" => cmd_query(rest),
+        "help" | "--help" | "-h" => {
+            outln!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "mmdr — MMDR dimensionality reduction + extended iDistance indexing
+
+USAGE:
+  mmdr generate --out FILE [--n N] [--dim D] [--clusters K] [--ratio R] [--seed S] [--histogram true]
+  mmdr convert  (--csv FILE --out FILE | --data FILE --out-csv FILE)
+  mmdr reduce   --data FILE --out FILE [--method mmdr|ldr|gdr] [--dim D] [--clusters K] [--beta B] [--seed S]
+  mmdr info     --model FILE
+  mmdr query    --data FILE --model FILE (--row I | --point \"x,y,…\") [--k K] [--radius R]";
+
+/// Parses `--flag value` pairs into a map, rejecting unknown flags.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
+        if !allowed.contains(&name) {
+            return Err(format!("unknown flag --{name} (allowed: {})", allowed.join(", ")));
+        }
+        let value = it.next().ok_or_else(|| format!("--{name} requires a value"))?;
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn get_parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn require<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags.get(name).map(|s| s.as_str()).ok_or_else(|| format!("--{name} is required"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &["out", "n", "dim", "clusters", "ratio", "seed", "histogram", "s-dim"],
+    )?;
+    let out = require(&flags, "out")?;
+    let n = get_parse(&flags, "n", 5_000usize)?;
+    let seed = get_parse(&flags, "seed", 0u64)?;
+    let histogram = match flags.get("histogram").map(String::as_str) {
+        None => false,
+        Some("true" | "1" | "yes") => true,
+        Some("false" | "0" | "no") => false,
+        Some(other) => return Err(format!("--histogram: expected true/false, got `{other}`")),
+    };
+    let data = if histogram {
+        generate_histograms(&HistogramConfig { n, seed, ..Default::default() })
+            .ok_or("invalid histogram configuration")?
+    } else {
+        let dim = get_parse(&flags, "dim", 32usize)?;
+        let clusters = get_parse(&flags, "clusters", 5usize)?;
+        let ratio = get_parse(&flags, "ratio", 30.0f64)?;
+        let s_dim = get_parse(&flags, "s-dim", 6usize)?;
+        generate_correlated(&CorrelatedConfig::paper_style(n, dim, clusters, s_dim, ratio, seed))
+            .data
+    };
+    DatasetFile::save(out, &data)?;
+    outln!("wrote {} points × {} dims to {out}", data.rows(), data.cols());
+    Ok(())
+}
+
+/// Converts between CSV and the JSON dataset format.
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["csv", "out", "data", "out-csv"])?;
+    match (flags.get("csv"), flags.get("data")) {
+        (Some(csv), None) => {
+            let out = require(&flags, "out")?;
+            let text = std::fs::read_to_string(csv).map_err(|e| format!("{csv}: {e}"))?;
+            let m = DatasetFile::parse_csv(&text)?;
+            DatasetFile::save(out, &m)?;
+            outln!("wrote {} points × {} dims to {out}", m.rows(), m.cols());
+            Ok(())
+        }
+        (None, Some(data)) => {
+            let out = require(&flags, "out-csv")?;
+            let m = DatasetFile::load(data)?;
+            std::fs::write(out, DatasetFile::to_csv(&m)).map_err(|e| format!("{out}: {e}"))?;
+            outln!("wrote {} points × {} dims to {out}", m.rows(), m.cols());
+            Ok(())
+        }
+        _ => Err("convert needs either --csv FILE --out FILE or --data FILE --out-csv FILE".into()),
+    }
+}
+
+fn cmd_reduce(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["data", "out", "method", "dim", "clusters", "beta", "seed"])?;
+    let data = DatasetFile::load(require(&flags, "data")?)?;
+    let out = require(&flags, "out")?;
+    let method = flags.get("method").map(String::as_str).unwrap_or("mmdr");
+    let fixed_dim: Option<usize> = match flags.get("dim") {
+        Some(v) => Some(v.parse().map_err(|_| "--dim: not a number")?),
+        None => None,
+    };
+    let clusters = get_parse(&flags, "clusters", 10usize)?;
+    let beta = get_parse(&flags, "beta", 0.1f64)?;
+    let seed = get_parse(&flags, "seed", 0u64)?;
+
+    let start = std::time::Instant::now();
+    let model = match method {
+        "mmdr" => Mmdr::new(MmdrParams {
+            max_ec: clusters,
+            fixed_dim,
+            beta,
+            seed,
+            ..Default::default()
+        })
+        .fit(&data)
+        .map_err(|e| e.to_string())?,
+        "ldr" => Ldr::new(LdrParams {
+            k: clusters,
+            fixed_dim,
+            recon_threshold: beta,
+            seed,
+            ..Default::default()
+        })
+        .fit(&data)
+        .map_err(|e| e.to_string())?,
+        "gdr" => Gdr::new(fixed_dim.unwrap_or(20)).fit(&data).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown method `{other}` (mmdr|ldr|gdr)")),
+    };
+    std::fs::write(out, model.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    outln!(
+        "{method}: {} clusters, {:.1}% outliers, mean retained dim {:.1} (of {}), {:.2}s → {out}",
+        model.clusters.len(),
+        100.0 * model.outlier_fraction(),
+        model.mean_retained_dim(),
+        model.dim,
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn load_model(path: &str) -> Result<ReductionResult, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    ReductionResult::from_json(&text).map_err(|e| e.to_string())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["model"])?;
+    let model = load_model(require(&flags, "model")?)?;
+    outln!(
+        "model: {} points × {} dims → {} clusters + {} outliers ({:.1}%)",
+        model.num_points,
+        model.dim,
+        model.clusters.len(),
+        model.outliers.len(),
+        100.0 * model.outlier_fraction()
+    );
+    outln!("mean retained dimensionality: {:.2}", model.mean_retained_dim());
+    for (i, c) in model.clusters.iter().enumerate() {
+        outln!(
+            "  cluster {i:>3}: {:>7} points  d_r={:>3}  MPE={:.4}  radii[{:.3}, {:.3}]  e={:.1}",
+            c.len(),
+            c.reduced_dim(),
+            c.mpe,
+            c.nearest_radius,
+            c.radius_retained,
+            c.ellipticity
+        );
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["data", "model", "row", "point", "k", "radius"])?;
+    let data = DatasetFile::load(require(&flags, "data")?)?;
+    let model = load_model(require(&flags, "model")?)?;
+    let query: Vec<f64> = if let Some(row) = flags.get("row") {
+        let idx: usize = row.parse().map_err(|_| "--row: not a number")?;
+        if idx >= data.rows() {
+            return Err(format!("--row {idx} out of range (dataset has {})", data.rows()));
+        }
+        data.row(idx).to_vec()
+    } else if let Some(point) = flags.get("point") {
+        point
+            .split(',')
+            .map(|s| s.trim().parse::<f64>().map_err(|_| format!("bad coordinate `{s}`")))
+            .collect::<Result<_, _>>()?
+    } else {
+        return Err("either --row or --point is required".into());
+    };
+
+    let mut index = IDistanceIndex::build(&data, &model, IDistanceConfig::default())
+        .map_err(|e| e.to_string())?;
+    if let Some(radius) = flags.get("radius") {
+        let radius: f64 = radius.parse().map_err(|_| "--radius: not a number")?;
+        let hits = index.range_search(&query, radius).map_err(|e| e.to_string())?;
+        outln!("{} points within radius {radius}:", hits.len());
+        for (dist, id) in hits.iter().take(50) {
+            outln!("  #{id:<8} dist {dist:.6}");
+        }
+        if hits.len() > 50 {
+            outln!("  … and {} more", hits.len() - 50);
+        }
+    } else {
+        let k = get_parse(&flags, "k", 10usize)?;
+        let hits = index.knn(&query, k).map_err(|e| e.to_string())?;
+        outln!("{k}-NN:");
+        for (dist, id) in &hits {
+            outln!("  #{id:<8} dist {dist:.6}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Error type for clustering operations.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the clustering engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A linear-algebra primitive failed.
+    Linalg(mmdr_linalg::Error),
+    /// The dataset has no points.
+    EmptyDataset,
+    /// Asked for more clusters than there are points, or zero clusters.
+    InvalidClusterCount {
+        /// Requested number of clusters.
+        requested: usize,
+        /// Number of points available.
+        points: usize,
+    },
+    /// A weights slice does not match the dataset length.
+    WeightMismatch {
+        /// Number of points in the dataset.
+        points: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
+    /// A configuration field is out of range (message explains which).
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            Error::EmptyDataset => write!(f, "dataset is empty"),
+            Error::InvalidClusterCount { requested, points } => {
+                write!(f, "cannot form {requested} clusters from {points} points")
+            }
+            Error::WeightMismatch { points, weights } => {
+                write!(f, "{weights} weights supplied for {points} points")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mmdr_linalg::Error> for Error {
+    fn from(e: mmdr_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(Error::EmptyDataset.to_string().contains("empty"));
+        assert!(Error::InvalidClusterCount { requested: 5, points: 2 }
+            .to_string()
+            .contains("5"));
+        assert!(Error::WeightMismatch { points: 3, weights: 2 }.to_string().contains("2"));
+        assert!(Error::InvalidConfig("k_lookup must be > 0").to_string().contains("k_lookup"));
+        assert!(Error::from(mmdr_linalg::Error::Singular).to_string().contains("singular"));
+    }
+}

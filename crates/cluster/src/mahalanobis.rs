@@ -1,0 +1,154 @@
+//! The (normalized) Mahalanobis distance of Definition 3.2.
+
+use crate::error::Result;
+use mmdr_linalg::{Cholesky, Matrix};
+
+/// Ridge added (scaled by matrix magnitude) before factorizing cluster
+/// covariances. Degenerate clusters — fewer members than dimensions, or
+/// exactly coplanar members — are routine during the early iterations of
+/// elliptical k-means, so regularization is unconditional.
+pub(crate) const COVARIANCE_RIDGE: f64 = 1e-6;
+
+/// A cluster shape model against which Mahalanobis distances are evaluated.
+///
+/// Holds the centroid `O`, the Cholesky factor of the (regularized)
+/// covariance `C`, and the cached `ln|C|` term of the normalized distance.
+#[derive(Debug, Clone)]
+pub struct MahalanobisModel {
+    centroid: Vec<f64>,
+    chol: Cholesky,
+    log_det: f64,
+    /// `d · ln(2π)` cached; `d` is the space the model lives in.
+    d_ln_2pi: f64,
+}
+
+impl MahalanobisModel {
+    /// Builds a model from a centroid and covariance matrix. The covariance
+    /// is regularized with a relative ridge so the construction never fails
+    /// for finite symmetric input.
+    pub fn new(centroid: Vec<f64>, covariance: &Matrix) -> Result<Self> {
+        let chol = Cholesky::new_regularized(covariance, COVARIANCE_RIDGE)?;
+        let log_det = chol.log_determinant();
+        let d = centroid.len();
+        Ok(Self {
+            centroid,
+            chol,
+            log_det,
+            d_ln_2pi: d as f64 * (2.0 * std::f64::consts::PI).ln(),
+        })
+    }
+
+    /// The centroid `O`.
+    pub fn centroid(&self) -> &[f64] {
+        &self.centroid
+    }
+
+    /// Dimensionality of the model.
+    pub fn dim(&self) -> usize {
+        self.centroid.len()
+    }
+
+    /// `ln |C|` of the regularized covariance.
+    pub fn log_det(&self) -> f64 {
+        self.log_det
+    }
+
+    /// Standard Mahalanobis distance
+    /// `MahaDist(P, O) = (P − O)ᵀ C⁻¹ (P − O)` (Definition 3.2; note the
+    /// paper's quantity is the *squared* form — no square root is taken).
+    pub fn maha_dist(&self, point: &[f64]) -> Result<f64> {
+        let diff = mmdr_linalg::sub(point, &self.centroid);
+        Ok(self.chol.quadratic_form(&diff)?)
+    }
+
+    /// Normalized Mahalanobis distance
+    /// `½ (d·ln(2π) + ln|C| + (P − O)ᵀ C⁻¹ (P − O))`.
+    ///
+    /// This is the negative Gaussian log-likelihood; the `ln|C|` penalty
+    /// stops large, diffuse clusters from swallowing small ones
+    /// (Definition 3.2 / Sung & Poggio).
+    pub fn norm_maha_dist(&self, point: &[f64]) -> Result<f64> {
+        Ok(0.5 * (self.d_ln_2pi + self.log_det + self.maha_dist(point)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(centroid: Vec<f64>, diag: &[f64]) -> MahalanobisModel {
+        let d = diag.len();
+        let mut c = Matrix::zeros(d, d);
+        for (i, &v) in diag.iter().enumerate() {
+            c[(i, i)] = v;
+        }
+        MahalanobisModel::new(centroid, &c).unwrap()
+    }
+
+    #[test]
+    fn identity_covariance_reduces_to_squared_euclidean() {
+        let m = model(vec![0.0, 0.0], &[1.0, 1.0]);
+        let d = m.maha_dist(&[3.0, 4.0]).unwrap();
+        assert!((d - 25.0).abs() < 1e-4); // ridge shifts it slightly
+    }
+
+    #[test]
+    fn elongation_weights_directions_differently() {
+        // Paper Figure 1: point B along the major axis is *closer* in
+        // Mahalanobis terms than point A off-axis, even though B is farther
+        // in Euclidean terms.
+        let m = model(vec![0.0, 0.0], &[25.0, 0.25]); // major axis = x
+        let b = [4.0, 0.0]; // far along the elongation
+        let a = [0.0, 1.5]; // near, but across the short axis
+        assert!(mmdr_linalg::l2_dist(&b, m.centroid()) > mmdr_linalg::l2_dist(&a, m.centroid()));
+        assert!(m.maha_dist(&b).unwrap() < m.maha_dist(&a).unwrap());
+    }
+
+    #[test]
+    fn normalized_distance_penalizes_large_clusters() {
+        // Same displacement; bigger covariance ⇒ smaller raw distance but
+        // the ln|C| term must keep the normalized distance honest.
+        let small = model(vec![0.0], &[0.01]);
+        let large = model(vec![0.0], &[100.0]);
+        let p = [0.05];
+        assert!(large.maha_dist(&p).unwrap() < small.maha_dist(&p).unwrap());
+        // At the centroid-scale displacement, the point truly belongs to the
+        // small cluster; normalized distance must agree.
+        assert!(small.norm_maha_dist(&p).unwrap() < large.norm_maha_dist(&p).unwrap());
+    }
+
+    #[test]
+    fn norm_dist_formula_matches_definition() {
+        let m = model(vec![0.0, 0.0], &[2.0, 3.0]);
+        let p = [1.0, 1.0];
+        let maha = m.maha_dist(&p).unwrap();
+        let expected = 0.5 * (2.0 * (2.0 * std::f64::consts::PI).ln() + m.log_det() + maha);
+        assert!((m.norm_maha_dist(&p).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_at_centroid_is_zero() {
+        let m = model(vec![5.0, -2.0], &[1.0, 4.0]);
+        assert!(m.maha_dist(&[5.0, -2.0]).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_covariance_is_regularized() {
+        let cov = Matrix::zeros(2, 2);
+        let m = MahalanobisModel::new(vec![0.0, 0.0], &cov).unwrap();
+        assert!(m.maha_dist(&[1.0, 0.0]).unwrap().is_finite());
+        assert!(m.norm_maha_dist(&[1.0, 0.0]).unwrap().is_finite());
+        assert_eq!(m.dim(), 2);
+    }
+
+    #[test]
+    fn constant_maha_dist_surface_is_an_ellipse() {
+        // Points on the ellipse x²/4 + y² = 1 all have MahaDist 1 under
+        // C = diag(4, 1).
+        let m = model(vec![0.0, 0.0], &[4.0, 1.0]);
+        for &(x, y) in &[(2.0, 0.0), (0.0, 1.0), (2.0f64.sqrt(), (0.5f64).sqrt())] {
+            let d = m.maha_dist(&[x, y]).unwrap();
+            assert!((d - 1.0).abs() < 1e-4, "({x},{y}) gave {d}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! MMDR parameters — Table 1 of the paper, with its default values.
+
+/// Tunable parameters of the MMDR algorithm.
+///
+/// Field names follow Table 1; defaults are the paper's experimental
+/// defaults. Two knobs the paper uses but does not tabulate get explicit
+/// fields here: the dimensionality-optimization stopping threshold
+/// ("change of MPE < threshold", Figure 4 line 15) and the initial subspace
+/// dimensionality `s_dim` that `Generate Ellipsoid` is first invoked with
+/// ("a small subspace dimensionality", §4.1 — we default to 1, matching the
+/// Figure 5 walkthrough that starts at 1-d).
+#[derive(Debug, Clone)]
+pub struct MmdrParams {
+    /// `β` — `ProjDist_r` threshold for the outlier test (Table 1: 0.1).
+    /// Points whose distance to their cluster's reduced subspace exceeds β
+    /// go to the outlier set.
+    pub beta: f64,
+    /// `MaxMPE` — maximum mean projection error for a semi-ellipsoid to be
+    /// accepted at the current subspace level (Table 1: 0.05).
+    pub max_mpe: f64,
+    /// `MaxEC` — maximum elliptical clusters per `Generate Ellipsoid` call
+    /// (Table 1: 10).
+    pub max_ec: usize,
+    /// `MaxDim` — maximum retained dimensionality after optimization
+    /// (Table 1: 20).
+    pub max_dim: usize,
+    /// Initial `s_dim` for the first `Generate Ellipsoid` level (default 1).
+    pub initial_s_dim: usize,
+    /// `k` — number of centroid IDs in the §4.2 lookup table (Table 1: 3).
+    pub lookup_k: usize,
+    /// Iterations without membership change before a point turns *inactive*
+    /// (§6.3 uses 10). `0` disables the Activity optimization.
+    pub activity_threshold: u32,
+    /// Stopping threshold for dimensionality optimization: keep dropping a
+    /// dimension while the *absolute* MPE increase stays below this value
+    /// (default 0.01 in data units — datasets are normalized to `[0, 1]`;
+    /// this is Figure 4 line 15's unnamed `threshold`).
+    pub mpe_change_threshold: f64,
+    /// When set, pins every cluster's retained dimensionality to
+    /// `min(fixed, d)` instead of optimizing — used by the Figure 8 sweep
+    /// over retained dims.
+    pub fixed_dim: Option<usize>,
+    /// Clusters smaller than this are dissolved into the outlier set
+    /// (`Generate Ellipsoid` needs enough points for a meaningful local
+    /// covariance; default 16).
+    pub min_cluster_size: usize,
+    /// Hard cap on `Generate Ellipsoid` recursion depth (safety net against
+    /// adversarial data; `s_dim` doubling bounds depth at `log2(d)` anyway).
+    pub max_recursion_depth: usize,
+    /// RNG seed for the clustering passes.
+    pub seed: u64,
+    /// Entry acceptance probe in `Generate Ellipsoid` (see the module docs
+    /// there): accept a recursed subset intact when some doubled subspace
+    /// level already represents it. Disable only for ablation studies —
+    /// without it a coherent ellipsoid fragments across recursion rounds.
+    pub use_entry_probe: bool,
+    /// Post-optimization merge pass coalescing fragments of the same flat
+    /// (see `merge`). Disable only for ablation studies.
+    pub merge_fragments: bool,
+}
+
+impl Default for MmdrParams {
+    fn default() -> Self {
+        Self {
+            beta: 0.1,
+            max_mpe: 0.05,
+            max_ec: 10,
+            max_dim: 20,
+            initial_s_dim: 1,
+            lookup_k: 3,
+            activity_threshold: 10,
+            mpe_change_threshold: 0.01,
+            fixed_dim: None,
+            min_cluster_size: 16,
+            max_recursion_depth: 16,
+            seed: 0,
+            use_entry_probe: true,
+            merge_fragments: true,
+        }
+    }
+}
+
+impl MmdrParams {
+    /// Validates the parameter set, returning a message naming the first
+    /// offending field.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !(self.beta > 0.0 && self.beta.is_finite()) {
+            return Err("beta must be positive and finite");
+        }
+        if !(self.max_mpe > 0.0 && self.max_mpe.is_finite()) {
+            return Err("max_mpe must be positive and finite");
+        }
+        if self.max_ec == 0 {
+            return Err("max_ec must be > 0");
+        }
+        if self.max_dim == 0 {
+            return Err("max_dim must be > 0");
+        }
+        if self.initial_s_dim == 0 {
+            return Err("initial_s_dim must be > 0");
+        }
+        if self.lookup_k == 0 {
+            return Err("lookup_k must be > 0");
+        }
+        if !(self.mpe_change_threshold >= 0.0 && self.mpe_change_threshold.is_finite()) {
+            return Err("mpe_change_threshold must be non-negative and finite");
+        }
+        if self.fixed_dim == Some(0) {
+            return Err("fixed_dim must be > 0 when set");
+        }
+        if self.max_recursion_depth == 0 {
+            return Err("max_recursion_depth must be > 0");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let p = MmdrParams::default();
+        assert_eq!(p.beta, 0.1);
+        assert_eq!(p.max_mpe, 0.05);
+        assert_eq!(p.max_ec, 10);
+        assert_eq!(p.max_dim, 20);
+        assert_eq!(p.lookup_k, 3);
+        assert_eq!(p.activity_threshold, 10);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_each_field() {
+        let base = MmdrParams::default();
+        let cases: Vec<(MmdrParams, &str)> = vec![
+            (MmdrParams { beta: 0.0, ..base.clone() }, "beta"),
+            (MmdrParams { beta: f64::NAN, ..base.clone() }, "beta"),
+            (MmdrParams { max_mpe: -1.0, ..base.clone() }, "max_mpe"),
+            (MmdrParams { max_ec: 0, ..base.clone() }, "max_ec"),
+            (MmdrParams { max_dim: 0, ..base.clone() }, "max_dim"),
+            (MmdrParams { initial_s_dim: 0, ..base.clone() }, "initial_s_dim"),
+            (MmdrParams { lookup_k: 0, ..base.clone() }, "lookup_k"),
+            (MmdrParams { mpe_change_threshold: -0.1, ..base.clone() }, "mpe_change"),
+            (MmdrParams { fixed_dim: Some(0), ..base.clone() }, "fixed_dim"),
+            (MmdrParams { max_recursion_depth: 0, ..base.clone() }, "max_recursion"),
+        ];
+        for (p, field) in cases {
+            let err = p.validate().expect_err(field);
+            assert!(err.contains(field), "{err} should mention {field}");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Model persistence: serialize a [`ReductionResult`] to JSON and back.
+//!
+//! A reduction is expensive (minutes on large datasets); a production
+//! deployment fits once and reloads the model at startup, rebuilding the
+//! index from it with `IDistanceIndex::build`. The on-disk format is a
+//! plain-Vec DTO layer so the linear-algebra types stay dependency-free.
+
+use crate::error::{Error, Result};
+use crate::model::{EllipsoidCluster, ReductionResult, ReductionStats};
+use mmdr_linalg::Matrix;
+use mmdr_pca::ReducedSubspace;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct MatrixDto {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl MatrixDto {
+    fn from(m: &Matrix) -> Self {
+        Self { rows: m.rows(), cols: m.cols(), data: m.as_slice().to_vec() }
+    }
+
+    fn into_matrix(self) -> Result<Matrix> {
+        Matrix::from_vec(self.rows, self.cols, self.data).map_err(Error::Linalg)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct ClusterDto {
+    centroid: Vec<f64>,
+    basis: MatrixDto,
+    covariance: MatrixDto,
+    members: Vec<usize>,
+    mpe: f64,
+    radius_eliminated: f64,
+    radius_retained: f64,
+    nearest_radius: f64,
+    ellipticity: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct StatsDto {
+    distance_computations: u64,
+    ge_invocations: u64,
+    max_s_dim_reached: usize,
+    streams: u64,
+}
+
+/// Top-level on-disk document. `version` guards format evolution.
+#[derive(Serialize, Deserialize)]
+struct ModelDto {
+    version: u32,
+    dim: usize,
+    num_points: usize,
+    clusters: Vec<ClusterDto>,
+    outliers: Vec<usize>,
+    stats: StatsDto,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+impl ReductionResult {
+    /// Serializes the model to a JSON string.
+    pub fn to_json(&self) -> String {
+        let dto = ModelDto {
+            version: FORMAT_VERSION,
+            dim: self.dim,
+            num_points: self.num_points,
+            clusters: self
+                .clusters
+                .iter()
+                .map(|c| ClusterDto {
+                    centroid: c.subspace.centroid().to_vec(),
+                    basis: MatrixDto::from(c.subspace.basis()),
+                    covariance: MatrixDto::from(&c.covariance),
+                    members: c.members.clone(),
+                    mpe: c.mpe,
+                    radius_eliminated: c.radius_eliminated,
+                    radius_retained: c.radius_retained,
+                    nearest_radius: c.nearest_radius,
+                    ellipticity: c.ellipticity,
+                })
+                .collect(),
+            outliers: self.outliers.clone(),
+            stats: StatsDto {
+                distance_computations: self.stats.distance_computations,
+                ge_invocations: self.stats.ge_invocations,
+                max_s_dim_reached: self.stats.max_s_dim_reached,
+                streams: self.stats.streams,
+            },
+        };
+        serde_json::to_string(&dto).expect("model serialization cannot fail")
+    }
+
+    /// Restores a model from [`to_json`](Self::to_json) output, revalidating
+    /// every invariant (orthonormal bases, partition coverage).
+    pub fn from_json(json: &str) -> Result<Self> {
+        let dto: ModelDto =
+            serde_json::from_str(json).map_err(|_| Error::InvalidParams("malformed model JSON"))?;
+        if dto.version != FORMAT_VERSION {
+            return Err(Error::InvalidParams("unsupported model format version"));
+        }
+        let mut clusters = Vec::with_capacity(dto.clusters.len());
+        for c in dto.clusters {
+            let basis = c.basis.into_matrix()?;
+            let covariance = c.covariance.into_matrix()?;
+            let subspace = ReducedSubspace::new(c.centroid, basis).map_err(Error::Pca)?;
+            clusters.push(EllipsoidCluster {
+                subspace,
+                covariance,
+                members: c.members,
+                mpe: c.mpe,
+                radius_eliminated: c.radius_eliminated,
+                radius_retained: c.radius_retained,
+                nearest_radius: c.nearest_radius,
+                ellipticity: c.ellipticity,
+            });
+        }
+        let result = ReductionResult {
+            dim: dto.dim,
+            num_points: dto.num_points,
+            clusters,
+            outliers: dto.outliers,
+            stats: ReductionStats {
+                distance_computations: dto.stats.distance_computations,
+                ge_invocations: dto.stats.ge_invocations,
+                max_s_dim_reached: dto.stats.max_s_dim_reached,
+                streams: dto.stats.streams,
+            },
+        };
+        if !result.is_partition() {
+            return Err(Error::InvalidParams("model JSON does not partition its points"));
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Mmdr;
+    use crate::params::MmdrParams;
+
+    fn model() -> ReductionResult {
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                let t = i as f64 / 119.0;
+                let j = ((i as f64 * 0.754_877_666).fract() - 0.5) * 0.02;
+                vec![t, 0.3 * t + j, j, -j]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        Mmdr::new(MmdrParams::default()).fit(&data).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let m = model();
+        let json = m.to_json();
+        let back = ReductionResult::from_json(&json).unwrap();
+        assert_eq!(back.dim, m.dim);
+        assert_eq!(back.num_points, m.num_points);
+        assert_eq!(back.outliers, m.outliers);
+        assert_eq!(back.clusters.len(), m.clusters.len());
+        for (a, b) in back.clusters.iter().zip(&m.clusters) {
+            assert_eq!(a.members, b.members);
+            assert_eq!(a.subspace.centroid(), b.subspace.centroid());
+            assert_eq!(a.subspace.basis(), b.subspace.basis());
+            assert_eq!(a.covariance, b.covariance);
+            assert_eq!(a.mpe, b.mpe);
+        }
+        assert_eq!(back.stats, m.stats);
+    }
+
+    #[test]
+    fn rejects_garbage_and_wrong_versions() {
+        assert!(ReductionResult::from_json("not json").is_err());
+        assert!(ReductionResult::from_json("{}").is_err());
+        let mut m = model().to_json();
+        m = m.replacen("\"version\":1", "\"version\":99", 1);
+        assert!(ReductionResult::from_json(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_tampered_partitions() {
+        let m = model();
+        let json = m.to_json();
+        // Drop the outliers array's contents and duplicate a member by
+        // tampering: simplest tamper — change num_points so coverage fails.
+        let bad = json.replacen(
+            &format!("\"num_points\":{}", m.num_points),
+            &format!("\"num_points\":{}", m.num_points + 5),
+            1,
+        );
+        assert!(ReductionResult::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn restored_model_serves_queries() {
+        let m = model();
+        let back = ReductionResult::from_json(&m.to_json()).unwrap();
+        let p = vec![0.5, 0.15, 0.0, 0.0];
+        let a = m.assign_point(&p, 0.1).unwrap();
+        let b = back.assign_point(&p, 0.1).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,112 @@
+//! Exact KNN ground truth and the paper's precision metric.
+
+use mmdr_linalg::Matrix;
+
+/// Exact K nearest neighbours of `query` in `data` by L2 distance (linear
+/// scan). Returns `(distance, row_index)` pairs sorted ascending; ties
+/// broken by index for determinism.
+pub fn exact_knn(data: &Matrix, query: &[f64], k: usize) -> Vec<(f64, usize)> {
+    let k = k.min(data.rows());
+    if k == 0 {
+        return Vec::new();
+    }
+    // Local total-order wrapper for f64 distances.
+    #[derive(PartialEq)]
+    struct Ordered(f64);
+    impl Eq for Ordered {}
+    impl PartialOrd for Ordered {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ordered {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        }
+    }
+
+    // Max-heap of the current k best by (dist, idx).
+    let mut heap: std::collections::BinaryHeap<(Ordered, usize)> =
+        std::collections::BinaryHeap::new();
+
+    for (i, row) in data.iter_rows().enumerate() {
+        let d = mmdr_linalg::l2_dist_sq(query, row);
+        if heap.len() < k {
+            heap.push((Ordered(d), i));
+        } else if let Some(top) = heap.peek() {
+            if d < top.0 .0 || (d == top.0 .0 && i < top.1) {
+                heap.pop();
+                heap.push((Ordered(d), i));
+            }
+        }
+    }
+    let mut out: Vec<(f64, usize)> = heap.into_iter().map(|(d, i)| (d.0.sqrt(), i)).collect();
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// The paper's precision metric (§6): `|R_dr ∩ R_d| / |R_d|`, where `R_d`
+/// is the exact answer set (row indices) and `R_dr` the answer set from the
+/// reduced representation.
+pub fn precision(exact: &[usize], approx: &[usize]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let exact_set: std::collections::HashSet<usize> = exact.iter().copied().collect();
+    let approx_set: std::collections::HashSet<usize> = approx.iter().copied().collect();
+    let hits = approx_set.intersection(&exact_set).count();
+    hits as f64 / exact_set.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> Matrix {
+        Matrix::from_fn(10, 1, |i, _| i as f64)
+    }
+
+    #[test]
+    fn knn_on_a_line() {
+        let d = line_data();
+        let r = exact_knn(&d, &[3.2], 3);
+        let idx: Vec<usize> = r.iter().map(|&(_, i)| i).collect();
+        assert_eq!(idx, vec![3, 4, 2]);
+        assert!((r[0].0 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_n_clamps() {
+        let d = line_data();
+        assert_eq!(exact_knn(&d, &[0.0], 100).len(), 10);
+        assert!(exact_knn(&d, &[0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn ties_broken_by_index() {
+        let d = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]).unwrap();
+        let r = exact_knn(&d, &[0.0], 2);
+        let idx: Vec<usize> = r.iter().map(|&(_, i)| i).collect();
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn precision_metric() {
+        assert_eq!(precision(&[1, 2, 3, 4], &[1, 2, 9, 10]), 0.5);
+        assert_eq!(precision(&[1, 2], &[2, 1]), 1.0);
+        assert_eq!(precision(&[1, 2], &[]), 0.0);
+        assert_eq!(precision(&[], &[1]), 1.0);
+        // Order does not matter, duplicates in approx are not double counted
+        // against distinct exact entries (each approx id either hits or not).
+        assert_eq!(precision(&[1, 2, 3, 4], &[1, 1, 1, 1]), 0.25);
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let d = Matrix::from_fn(100, 2, |i, j| ((i * 31 + j * 17) % 23) as f64);
+        let r = exact_knn(&d, &[5.0, 5.0], 10);
+        for w in r.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generation for the MMDR evaluation (paper §6 + Appendix A).
+//!
+//! - [`generate_correlated`] — the Appendix A *Generate Correlated Dataset*
+//!   algorithm: per-cluster correlated subspaces with controllable size,
+//!   position, retained-dimension block, variance ratio (ellipticity) and a
+//!   Haar-random orthonormal rotation.
+//! - [`generate_histograms`] — a synthetic stand-in for the Corel 64-d
+//!   color-histogram dataset (70 000 images) used by the paper and by LDR:
+//!   Zipf-skewed color popularity, a handful of dominant colors per image,
+//!   many exact zeros, rows L1-normalized, weak thematic correlation.
+//!   See DESIGN.md for the substitution rationale.
+//! - [`sample_queries`] / [`exact_knn`] / [`precision`] — query workloads,
+//!   linear-scan ground truth, and the paper's precision metric
+//!   `|R_dr ∩ R_d| / |R_d|`.
+//! - [`Gaussian`] and [`Zipf`] samplers built on `rand` (Box–Muller and
+//!   inverse-CDF respectively — `rand` itself only supplies uniforms).
+
+mod correlated;
+mod gaussian;
+mod ground_truth;
+mod histogram;
+mod queries;
+mod zipf;
+
+pub use correlated::{generate_correlated, ClusterSpec, CorrelatedConfig, GeneratedDataset};
+pub use gaussian::Gaussian;
+pub use ground_truth::{exact_knn, precision};
+pub use histogram::{generate_histograms, HistogramConfig};
+pub use queries::sample_queries;
+pub use zipf::Zipf;

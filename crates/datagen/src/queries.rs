@@ -1,0 +1,80 @@
+//! Query workload sampling.
+
+use mmdr_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples `n` query points from the dataset (the paper's 100 queries are
+/// drawn from the data itself, the standard protocol for KNN precision).
+///
+/// Sampling is without replacement when `n <= data.rows()`, with
+/// replacement otherwise. Returns `None` for an empty dataset or `n == 0`.
+pub fn sample_queries(data: &Matrix, n: usize, seed: u64) -> Option<Matrix> {
+    if data.rows() == 0 || n == 0 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let indices: Vec<usize> = if n <= data.rows() {
+        // Partial Fisher–Yates for the first n positions.
+        let mut pool: Vec<usize> = (0..data.rows()).collect();
+        for i in 0..n {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(n);
+        pool
+    } else {
+        (0..n).map(|_| rng.gen_range(0..data.rows())).collect()
+    };
+    Some(data.select_rows(&indices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Matrix {
+        Matrix::from_fn(50, 3, |i, j| (i * 3 + j) as f64)
+    }
+
+    #[test]
+    fn queries_are_rows_of_the_dataset() {
+        let d = data();
+        let q = sample_queries(&d, 10, 1).unwrap();
+        assert_eq!(q.shape(), (10, 3));
+        for row in q.iter_rows() {
+            assert!(d.iter_rows().any(|r| r == row));
+        }
+    }
+
+    #[test]
+    fn without_replacement_when_possible() {
+        let d = data();
+        let q = sample_queries(&d, 50, 2).unwrap();
+        let mut firsts: Vec<f64> = q.iter_rows().map(|r| r[0]).collect();
+        firsts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        firsts.dedup();
+        assert_eq!(firsts.len(), 50, "all 50 distinct rows used");
+    }
+
+    #[test]
+    fn with_replacement_when_oversampled() {
+        let d = data();
+        let q = sample_queries(&d, 200, 3).unwrap();
+        assert_eq!(q.rows(), 200);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(sample_queries(&Matrix::zeros(0, 3), 5, 0).is_none());
+        assert!(sample_queries(&data(), 0, 0).is_none());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let d = data();
+        let a = sample_queries(&d, 10, 9).unwrap();
+        let b = sample_queries(&d, 10, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

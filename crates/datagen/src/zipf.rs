@@ -1,0 +1,120 @@
+//! Zipf-distributed sampler over ranks `0..n`.
+
+use rand::Rng;
+
+/// Zipf sampler: rank `r` (0-based) is drawn with probability proportional
+/// to `1 / (r + 1)^s`.
+///
+/// Appendix A notes `gen_float()` "can also return a value based on other
+/// distribution functions, such as Zipfian"; the histogram generator uses
+/// this to skew color popularity the way real image collections are skewed.
+/// Implemented by inverse-CDF lookup over a precomputed table (`O(log n)`
+/// per sample).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution over ranks; last element is 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n ≥ 1` ranks with exponent `s ≥ 0`.
+    ///
+    /// `s = 0` degenerates to uniform; larger `s` concentrates mass on the
+    /// first ranks.
+    pub fn new(n: usize, s: f64) -> Option<Self> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return None;
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Some(Self { cdf })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there are no ranks (never — construction requires n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First rank whose cumulative probability reaches u.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Zipf::new(0, 1.0).is_none());
+        assert!(Zipf::new(5, -1.0).is_none());
+        assert!(Zipf::new(5, f64::NAN).is_none());
+        assert!(Zipf::new(5, 0.0).is_some());
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Rank 0 should hold a large share under s = 1.2.
+        assert!(counts[0] as f64 / 50_000.0 > 0.1);
+    }
+
+    #[test]
+    fn s_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let freq = c as f64 / 50_000.0;
+            assert!((freq - 0.1).abs() < 0.02, "freq {freq}");
+        }
+    }
+
+    #[test]
+    fn samples_are_in_range() {
+        let z = Zipf::new(7, 2.0).unwrap();
+        assert_eq!(z.len(), 7);
+        assert!(!z.is_empty());
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!((0..10_000).all(|_| z.sample(&mut rng) < 7));
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!((0..100).all(|_| z.sample(&mut rng) == 0));
+    }
+}

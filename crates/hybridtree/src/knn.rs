@@ -1,0 +1,280 @@
+//! Best-first KNN search over the hybrid tree.
+
+use crate::error::{Error, Result};
+use crate::node::{count, is_leaf, Internal, Leaf};
+use crate::tree::HybridTree;
+use mmdr_storage::PageId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry for the best-first frontier, ordered by ascending `MINDIST`.
+struct Frontier {
+    mindist_sq: f64,
+    page: PageId,
+    /// kd region bounds accumulated on the way down (lo, hi per dim).
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.mindist_sq == other.mindist_sq
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the smallest MINDIST.
+        other
+            .mindist_sq
+            .partial_cmp(&self.mindist_sq)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Max-heap entry for the current k best candidates.
+struct Candidate {
+    dist_sq: f64,
+    rid: u64,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist_sq == other.dist_sq
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist_sq.partial_cmp(&other.dist_sq).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl HybridTree {
+    /// Finds the `k` nearest neighbours of `query` by L2 distance.
+    ///
+    /// Returns `(distance, rid)` pairs sorted by ascending distance. The
+    /// classic best-first algorithm: a frontier ordered by region `MINDIST`,
+    /// pruned against the current k-th best distance. Every page popped from
+    /// the frontier costs one (buffered) page access.
+    pub fn knn(&mut self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+        if query.len() != self.dim {
+            return Err(Error::InputMismatch { points: self.dim, rids: query.len() });
+        }
+        if query.iter().any(|c| !c.is_finite()) {
+            return Err(Error::InvalidQuery);
+        }
+        if k == 0 || self.is_empty() {
+            return Ok(Vec::new());
+        }
+        let dim = self.dim;
+        let mut frontier = BinaryHeap::new();
+        frontier.push(Frontier {
+            mindist_sq: 0.0,
+            page: self.root(),
+            lo: vec![f64::NEG_INFINITY; dim],
+            hi: vec![f64::INFINITY; dim],
+        });
+        let mut best: BinaryHeap<Candidate> = BinaryHeap::new();
+        let mut coords = vec![0.0; dim];
+
+        while let Some(node) = frontier.pop() {
+            if best.len() == k {
+                let kth = best.peek().expect("len == k").dist_sq;
+                if node.mindist_sq > kth {
+                    break; // no remaining region can beat the k-th best
+                }
+            }
+            let leaf = self.pool.with_page(node.page, is_leaf)?;
+            if leaf {
+                let n = self.pool.with_page(node.page, count)?;
+                for i in 0..n {
+                    let rid = self.pool.with_page(node.page, |p| {
+                        Leaf::coords_into(p, dim, i, &mut coords);
+                        Leaf::rid(p, dim, i)
+                    })?;
+                    let d = mmdr_linalg::l2_dist_sq(query, &coords);
+                    if best.len() < k {
+                        best.push(Candidate { dist_sq: d, rid });
+                    } else if d < best.peek().expect("non-empty").dist_sq {
+                        best.pop();
+                        best.push(Candidate { dist_sq: d, rid });
+                    }
+                }
+                continue;
+            }
+            // Internal: push each child with its refined region.
+            let (split_dim, n_children) =
+                self.pool.with_page(node.page, |p| (Internal::split_dim(p), count(p)))?;
+            for i in 0..n_children {
+                let (child, b_lo, b_hi) = self.pool.with_page(node.page, |p| {
+                    let lo = if i == 0 { f64::NEG_INFINITY } else { Internal::boundary(p, i - 1) };
+                    let hi = if i + 1 == n_children {
+                        f64::INFINITY
+                    } else {
+                        Internal::boundary(p, i)
+                    };
+                    (Internal::child(p, i), lo, hi)
+                })?;
+                let mut lo = node.lo.clone();
+                let mut hi = node.hi.clone();
+                lo[split_dim] = lo[split_dim].max(b_lo);
+                hi[split_dim] = hi[split_dim].min(b_hi);
+                let mindist_sq = mindist_sq(query, &lo, &hi);
+                if best.len() == k && mindist_sq > best.peek().expect("len == k").dist_sq {
+                    continue;
+                }
+                frontier.push(Frontier { mindist_sq, page: child, lo, hi });
+            }
+        }
+
+        let mut out: Vec<(f64, u64)> = best
+            .into_sorted_vec()
+            .into_iter()
+            .map(|c| (c.dist_sq.sqrt(), c.rid))
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        Ok(out)
+    }
+}
+
+/// Squared `MINDIST` from a point to an axis-aligned box.
+fn mindist_sq(q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for ((&x, &l), &h) in q.iter().zip(lo).zip(hi) {
+        let d = if x < l {
+            l - x
+        } else if x > h {
+            x - h
+        } else {
+            0.0
+        };
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdr_linalg::Matrix;
+    use mmdr_storage::{BufferPool, DiskManager};
+
+    fn pool(pages: usize) -> BufferPool {
+        BufferPool::new(DiskManager::new(), pages).unwrap()
+    }
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Matrix {
+        let mut state = seed.max(1);
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        Matrix::from_fn(n, dim, |_, _| rand())
+    }
+
+    /// Brute-force reference KNN.
+    fn exact_knn(points: &Matrix, query: &[f64], k: usize) -> Vec<(f64, u64)> {
+        let mut all: Vec<(f64, u64)> = points
+            .iter_rows()
+            .enumerate()
+            .map(|(i, p)| (mmdr_linalg::l2_dist(query, p), i as u64))
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let points = random_points(2000, 6, 42);
+        let rids: Vec<u64> = (0..2000).collect();
+        let mut tree = HybridTree::bulk_load(pool(1024), &points, &rids).unwrap();
+        for qseed in [7u64, 99, 1234] {
+            let q = random_points(1, 6, qseed);
+            let query = q.row(0);
+            let got = tree.knn(query, 10).unwrap();
+            let want = exact_knn(&points, query, 10);
+            let got_set: std::collections::HashSet<u64> = got.iter().map(|&(_, r)| r).collect();
+            let want_set: std::collections::HashSet<u64> = want.iter().map(|&(_, r)| r).collect();
+            assert_eq!(got_set, want_set, "KNN mismatch for seed {qseed}");
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.0 - w.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_respects_k() {
+        let points = random_points(100, 3, 5);
+        let rids: Vec<u64> = (0..100).collect();
+        let mut tree = HybridTree::bulk_load(pool(128), &points, &rids).unwrap();
+        assert_eq!(tree.knn(points.row(0), 1).unwrap().len(), 1);
+        assert_eq!(tree.knn(points.row(0), 100).unwrap().len(), 100);
+        assert_eq!(tree.knn(points.row(0), 500).unwrap().len(), 100);
+        assert!(tree.knn(points.row(0), 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn exact_match_is_nearest() {
+        let points = random_points(500, 4, 11);
+        let rids: Vec<u64> = (0..500).collect();
+        let mut tree = HybridTree::bulk_load(pool(256), &points, &rids).unwrap();
+        let r = tree.knn(points.row(123), 1).unwrap();
+        assert_eq!(r[0].1, 123);
+        assert!(r[0].0 < 1e-12);
+    }
+
+    #[test]
+    fn pruning_saves_io_versus_full_scan() {
+        let points = random_points(5000, 4, 3);
+        let rids: Vec<u64> = (0..5000).collect();
+        let mut tree = HybridTree::bulk_load(pool(4), &points, &rids).unwrap();
+        let total_pages = tree.pool_mut().num_pages() as u64;
+        let stats = tree.io_stats();
+        stats.reset();
+        let _ = tree.knn(points.row(0), 5).unwrap();
+        assert!(
+            stats.reads() < total_pages / 2,
+            "KNN read {} of {total_pages} pages",
+            stats.reads()
+        );
+    }
+
+    #[test]
+    fn validates_queries() {
+        let points = random_points(50, 3, 9);
+        let rids: Vec<u64> = (0..50).collect();
+        let mut tree = HybridTree::bulk_load(pool(64), &points, &rids).unwrap();
+        assert!(tree.knn(&[0.0, 0.0], 1).is_err());
+        assert!(tree.knn(&[f64::NAN, 0.0, 0.0], 1).is_err());
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let points = Matrix::zeros(0, 3);
+        let mut tree = HybridTree::bulk_load(pool(4), &points, &[]).unwrap();
+        assert!(tree.knn(&[0.0, 0.0, 0.0], 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mindist_sq_cases() {
+        let lo = [0.0, 0.0];
+        let hi = [1.0, 1.0];
+        assert_eq!(mindist_sq(&[0.5, 0.5], &lo, &hi), 0.0); // inside
+        assert_eq!(mindist_sq(&[2.0, 0.5], &lo, &hi), 1.0); // right of box
+        assert_eq!(mindist_sq(&[-1.0, -1.0], &lo, &hi), 2.0); // corner
+    }
+}

@@ -1,0 +1,250 @@
+//! Bulk construction of the hybrid tree.
+
+use crate::error::{Error, Result};
+use crate::node::{internal_capacity, leaf_capacity, Internal, Leaf};
+use mmdr_linalg::Matrix;
+use mmdr_storage::{BufferPool, IoStats, PageId};
+use std::sync::Arc;
+
+/// Default internal fanout. The original Hybrid tree packs binary kd splits
+/// into pages; a modest multiway fanout per page is the equivalent packed
+/// form.
+pub const DEFAULT_FANOUT: usize = 16;
+
+/// A bulk-loaded, paged kd-style multidimensional index.
+#[derive(Debug)]
+pub struct HybridTree {
+    pub(crate) pool: BufferPool,
+    pub(crate) root: PageId,
+    pub(crate) dim: usize,
+    len: usize,
+    height: usize,
+}
+
+impl HybridTree {
+    /// Builds a tree over `points` (rows) tagged with `rids`, using the
+    /// default fanout.
+    pub fn bulk_load(pool: BufferPool, points: &Matrix, rids: &[u64]) -> Result<Self> {
+        Self::bulk_load_with_fanout(pool, points, rids, DEFAULT_FANOUT)
+    }
+
+    /// Builds a tree with an explicit internal fanout (≥ 2).
+    pub fn bulk_load_with_fanout(
+        mut pool: BufferPool,
+        points: &Matrix,
+        rids: &[u64],
+        fanout: usize,
+    ) -> Result<Self> {
+        let dim = points.cols();
+        if points.rows() != rids.len() {
+            return Err(Error::InputMismatch { points: points.rows(), rids: rids.len() });
+        }
+        if dim == 0 || leaf_capacity(dim) == 0 {
+            return Err(Error::UnsupportedDimensionality { dim });
+        }
+        let fanout = fanout.clamp(2, internal_capacity());
+        let mut order: Vec<usize> = (0..points.rows()).collect();
+        let mut height = 0;
+        let root = if order.is_empty() {
+            // Empty tree: a single empty leaf.
+            let id = pool.allocate()?;
+            pool.with_page_mut(id, Leaf::init)?;
+            height = 1;
+            id
+        } else {
+            build(&mut pool, points, rids, &mut order[..], fanout, dim, 1, &mut height)?
+        };
+        Ok(Self { pool, root, dim, len: rids.len(), height })
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Height in levels (1 = root is a leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Handle to the I/O counters.
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        self.pool.stats()
+    }
+
+    /// Mutable access to the buffer pool.
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    pub(crate) fn root(&self) -> PageId {
+        self.root
+    }
+}
+
+/// Recursively builds the subtree over `order` (indices into `points`),
+/// returning its root page.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    pool: &mut BufferPool,
+    points: &Matrix,
+    rids: &[u64],
+    order: &mut [usize],
+    fanout: usize,
+    dim: usize,
+    level: usize,
+    height: &mut usize,
+) -> Result<PageId> {
+    *height = (*height).max(level);
+    let cap = leaf_capacity(dim);
+    if order.len() <= cap {
+        let id = pool.allocate()?;
+        pool.with_page_mut(id, |p| -> Result<()> {
+            Leaf::init(p);
+            for &i in order.iter() {
+                Leaf::push(p, dim, rids[i], points.row(i))?;
+            }
+            Ok(())
+        })??;
+        return Ok(id);
+    }
+
+    // Split along the dimension with the largest spread (kd heuristic the
+    // Hybrid tree also favours: it minimizes overlap probability).
+    let split_dim = max_spread_dim(points, order, dim);
+    order.sort_unstable_by(|&a, &b| {
+        points.row(a)[split_dim]
+            .partial_cmp(&points.row(b)[split_dim])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Number of children: enough that each child can eventually fit, capped
+    // by fanout.
+    let n_children = fanout.min(order.len().div_ceil(cap)).max(2);
+    let chunk = order.len().div_ceil(n_children);
+    let mut boundaries = Vec::with_capacity(n_children - 1);
+    let mut children = Vec::with_capacity(n_children);
+    let mut start = 0;
+    while start < order.len() {
+        let end = (start + chunk).min(order.len());
+        if start > 0 {
+            boundaries.push(points.row(order[start])[split_dim]);
+        }
+        // Recurse on the chunk; split_unstable borrows disjoint ranges.
+        let child = {
+            let sub = &mut order[start..end];
+            build(pool, points, rids, sub, fanout, dim, level + 1, height)?
+        };
+        children.push(child);
+        start = end;
+    }
+    let id = pool.allocate()?;
+    pool.with_page_mut(id, |p| Internal::init(p, split_dim, &boundaries, &children))??;
+    Ok(id)
+}
+
+/// The dimension with maximum (max − min) spread over the subset.
+fn max_spread_dim(points: &Matrix, order: &[usize], dim: usize) -> usize {
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for &i in order {
+        for (j, &x) in points.row(i).iter().enumerate() {
+            lo[j] = lo[j].min(x);
+            hi[j] = hi[j].max(x);
+        }
+    }
+    let mut best = 0;
+    let mut best_spread = f64::NEG_INFINITY;
+    for j in 0..dim {
+        let spread = hi[j] - lo[j];
+        if spread > best_spread {
+            best_spread = spread;
+            best = j;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdr_storage::DiskManager;
+
+    fn pool(pages: usize) -> BufferPool {
+        BufferPool::new(DiskManager::new(), pages).unwrap()
+    }
+
+    fn grid_points(n: usize, dim: usize) -> (Matrix, Vec<u64>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..dim).map(|j| ((i * (j + 3)) % 97) as f64 / 97.0).collect())
+            .collect();
+        let rids: Vec<u64> = (0..n as u64).collect();
+        (Matrix::from_rows(&rows).unwrap(), rids)
+    }
+
+    #[test]
+    fn builds_and_reports_shape() {
+        let (points, rids) = grid_points(2000, 8);
+        let t = HybridTree::bulk_load(pool(512), &points, &rids).unwrap();
+        assert_eq!(t.len(), 2000);
+        assert_eq!(t.dim(), 8);
+        assert!(t.height() >= 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_input_builds_empty_tree() {
+        let points = Matrix::zeros(0, 4);
+        let t = HybridTree::bulk_load(pool(4), &points, &[]).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (points, _) = grid_points(10, 4);
+        assert!(matches!(
+            HybridTree::bulk_load(pool(8), &points, &[1, 2]),
+            Err(Error::InputMismatch { .. })
+        ));
+        let wide = Matrix::zeros(1, 600);
+        assert!(matches!(
+            HybridTree::bulk_load(pool(8), &wide, &[0]),
+            Err(Error::UnsupportedDimensionality { .. })
+        ));
+    }
+
+    #[test]
+    fn higher_dim_means_more_pages() {
+        // The core property the gLDR comparison rests on: page count grows
+        // with dimensionality for the same number of points.
+        let (p8, r8) = grid_points(3000, 8);
+        let (p32, r32) = grid_points(3000, 32);
+        let t8 = HybridTree::bulk_load(pool(4096), &p8, &r8).unwrap();
+        let t32 = HybridTree::bulk_load(pool(4096), &p32, &r32).unwrap();
+        assert!(
+            t32.pool.num_pages() > 2 * t8.pool.num_pages(),
+            "{} vs {}",
+            t32.pool.num_pages(),
+            t8.pool.num_pages()
+        );
+    }
+
+    #[test]
+    fn duplicate_points_build_fine() {
+        let rows = vec![vec![0.5; 4]; 500];
+        let points = Matrix::from_rows(&rows).unwrap();
+        let rids: Vec<u64> = (0..500).collect();
+        let t = HybridTree::bulk_load(pool(256), &points, &rids).unwrap();
+        assert_eq!(t.len(), 500);
+    }
+}

@@ -1,0 +1,225 @@
+//! The gLDR comparison scheme: the "Global indexing method [5] on LDR
+//! data" — one multidimensional Hybrid tree per cluster plus a cluster
+//! array (paper §6.2).
+
+use crate::error::{Error, Result};
+use mmdr_core::ReductionResult;
+use mmdr_hybridtree::HybridTree;
+use mmdr_linalg::Matrix;
+use mmdr_pca::ReducedSubspace;
+use mmdr_storage::{BufferPool, DiskManager, IoStats};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// One cluster's index: the subspace plus a hybrid tree over the members'
+/// local coordinates.
+#[derive(Debug)]
+struct ClusterIndex {
+    subspace: ReducedSubspace,
+    tree: HybridTree,
+    max_radius: f64,
+}
+
+/// The gLDR scheme: per-cluster hybrid trees searched with lower-bound
+/// ordering, outliers scanned separately.
+#[derive(Debug)]
+pub struct GlobalLdrIndex {
+    clusters: Vec<ClusterIndex>,
+    /// Outliers at original dimensionality in their own hybrid tree.
+    outlier_tree: Option<HybridTree>,
+    dim: usize,
+    len: usize,
+    stats: Arc<IoStats>,
+}
+
+impl GlobalLdrIndex {
+    /// Builds one hybrid tree per cluster from the reduction result. All
+    /// trees share I/O counters; `buffer_pages` is split evenly.
+    pub fn build(data: &Matrix, model: &ReductionResult, buffer_pages: usize) -> Result<Self> {
+        if data.cols() != model.dim {
+            return Err(Error::DimensionMismatch { expected: model.dim, actual: data.cols() });
+        }
+        let stats = IoStats::new();
+        let n_structures = model.clusters.len() + 1;
+        let pages_each = (buffer_pages / n_structures).max(1);
+        let mut clusters = Vec::with_capacity(model.clusters.len());
+        for cluster in &model.clusters {
+            let mut locals = Matrix::zeros(0, 0);
+            let mut rids = Vec::with_capacity(cluster.members.len());
+            let mut max_radius: f64 = 0.0;
+            for &pid in &cluster.members {
+                let local = cluster.subspace.project(data.row(pid))?;
+                max_radius = max_radius.max(mmdr_linalg::l2_norm(&local));
+                locals.push_row(&local)?;
+                rids.push(pid as u64);
+            }
+            let pool = BufferPool::new(DiskManager::with_stats(Arc::clone(&stats)), pages_each)?;
+            let tree = HybridTree::bulk_load(pool, &locals, &rids)?;
+            clusters.push(ClusterIndex {
+                subspace: cluster.subspace.clone(),
+                tree,
+                max_radius,
+            });
+        }
+        let outlier_tree = if model.outliers.is_empty() {
+            None
+        } else {
+            let rows = data.select_rows(&model.outliers);
+            let rids: Vec<u64> = model.outliers.iter().map(|&i| i as u64).collect();
+            let pool = BufferPool::new(DiskManager::with_stats(Arc::clone(&stats)), pages_each)?;
+            Some(HybridTree::bulk_load(pool, &rows, &rids)?)
+        };
+        Ok(Self {
+            clusters,
+            outlier_tree,
+            dim: model.dim,
+            len: model.num_points,
+            stats,
+        })
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Combined logical I/O across every per-cluster tree.
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Total pages across all structures.
+    pub fn total_pages(&mut self) -> usize {
+        let mut total: usize = self
+            .clusters
+            .iter_mut()
+            .map(|c| c.tree.pool_mut().num_pages())
+            .sum();
+        if let Some(t) = &mut self.outlier_tree {
+            total += t.pool_mut().num_pages();
+        }
+        total
+    }
+
+    /// KNN with the same reduced-representation distance semantics as the
+    /// other schemes. Clusters are visited in ascending lower-bound order
+    /// and skipped once they cannot improve the k-th candidate.
+    pub fn knn(&mut self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
+        }
+        if query.iter().any(|x| !x.is_finite()) {
+            return Err(Error::InvalidQuery);
+        }
+        if k == 0 || self.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Lower bound per cluster: distance to the subspace plus the radial
+        // gap to the populated sphere.
+        let mut order: Vec<(f64, usize, Vec<f64>, f64)> = Vec::with_capacity(self.clusters.len());
+        for (i, c) in self.clusters.iter().enumerate() {
+            let local = c.subspace.project(query)?;
+            let pd = c.subspace.proj_dist(query)?;
+            let gap = (mmdr_linalg::l2_norm(&local) - c.max_radius).max(0.0);
+            let lb = (pd * pd + gap * gap).sqrt();
+            order.push((lb, i, local, pd * pd));
+        }
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+
+        let mut best: Vec<(f64, u64)> = Vec::new();
+        for (lb, i, local, proj_sq) in order {
+            if best.len() == k && lb >= best[k - 1].0 {
+                continue; // cannot improve
+            }
+            let hits = self.clusters[i].tree.knn(&local, k)?;
+            for (local_dist, pid) in hits {
+                let dist = (proj_sq + local_dist * local_dist).sqrt();
+                insert_candidate(&mut best, k, dist, pid);
+            }
+        }
+        if let Some(t) = &mut self.outlier_tree {
+            if !(best.len() == k && best[k - 1].0 <= 0.0) {
+                for (dist, pid) in t.knn(query, k)? {
+                    insert_candidate(&mut best, k, dist, pid);
+                }
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Inserts into a sorted top-k vector.
+fn insert_candidate(best: &mut Vec<(f64, u64)>, k: usize, dist: f64, pid: u64) {
+    if best.len() < k {
+        best.push((dist, pid));
+    } else if dist < best[k - 1].0 {
+        best[k - 1] = (dist, pid);
+    } else {
+        return;
+    }
+    best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdr_core::{Ldr, LdrParams};
+
+    fn two_cluster_data() -> Matrix {
+        let mut rows = Vec::new();
+        let jit = |i: usize, s: f64| ((i as f64 * 0.618_033_988 + s).fract() - 0.5) * 0.02;
+        for i in 0..150 {
+            let t = i as f64 / 149.0;
+            rows.push(vec![t, jit(i, 0.3), jit(i, 0.5), jit(i, 0.7)]);
+            rows.push(vec![5.0 + jit(i, 0.1), 5.0 + jit(i, 0.9), 5.0 + t, 5.0 + jit(i, 0.2)]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn knn_returns_close_points() {
+        let data = two_cluster_data();
+        let model = Ldr::new(LdrParams { k: 2, ..Default::default() }).fit(&data).unwrap();
+        let mut index = GlobalLdrIndex::build(&data, &model, 128).unwrap();
+        let r = index.knn(data.row(10), 5).unwrap();
+        assert_eq!(r.len(), 5);
+        assert!(r[0].0 < 0.1, "nearest reduced rep should be close");
+        for w in r.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn validates_queries() {
+        let data = two_cluster_data();
+        let model = Ldr::new(LdrParams { k: 2, ..Default::default() }).fit(&data).unwrap();
+        let mut index = GlobalLdrIndex::build(&data, &model, 64).unwrap();
+        assert!(index.knn(&[0.0], 1).is_err());
+        assert!(index.knn(&[f64::NAN; 4], 1).is_err());
+        assert!(index.knn(data.row(0), 0).unwrap().is_empty());
+        assert_eq!(index.len(), 300);
+        assert!(!index.is_empty());
+        assert!(index.total_pages() > 0);
+    }
+
+    #[test]
+    fn io_is_shared_across_trees() {
+        let data = two_cluster_data();
+        // Pin d_r = 3 so leaves hold multi-d points (several leaves per
+        // tree) and give each tree a 1-page pool: traversals must miss.
+        let model = Ldr::new(LdrParams { k: 2, fixed_dim: Some(3), ..Default::default() })
+            .fit(&data)
+            .unwrap();
+        let mut index = GlobalLdrIndex::build(&data, &model, 3).unwrap();
+        assert!(index.total_pages() > 2, "need a multi-page index for this test");
+        let stats = index.io_stats();
+        stats.reset();
+        let _ = index.knn(data.row(0), 10).unwrap();
+        assert!(stats.reads() > 0);
+    }
+}

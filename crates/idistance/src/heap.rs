@@ -1,0 +1,304 @@
+//! Paged heap file for reduced-dimensionality point payloads.
+//!
+//! Each page holds records of one partition (cluster or outlier set), so a
+//! page-level header can carry the partition id and per-record width:
+//!
+//! ```text
+//! offset 0: partition id (u32)
+//! offset 4: dim          (u16)  — coordinates per record
+//! offset 6: count        (u16)
+//! offset 8: record[0] = (point_id: u64, coords: dim × f64), record[1], …
+//! ```
+//!
+//! Record ids encode the location directly (`rid = page_id << 16 | slot`),
+//! so no in-memory directory is needed and every fetch is exactly one
+//! (buffered) page access — the unit the I/O experiments count.
+
+use crate::error::{Error, Result};
+use mmdr_storage::{BufferPool, IoStats, PageId, PAGE_SIZE};
+use std::sync::Arc;
+
+const HEADER: usize = 8;
+
+/// Sentinel point id marking a deleted record (see
+/// [`VectorHeap::tombstone`]).
+pub const TOMBSTONE: u64 = u64::MAX;
+
+/// Paged storage of `(point_id, coords)` records grouped by partition.
+#[derive(Debug)]
+pub struct VectorHeap {
+    pool: BufferPool,
+    /// Page currently being filled, with its partition id and dim.
+    open: Option<(PageId, u32, usize)>,
+    len: u64,
+}
+
+impl VectorHeap {
+    /// Creates an empty heap in the pool.
+    pub fn new(pool: BufferPool) -> Self {
+        Self { pool, open: None, len: 0 }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of heap pages allocated.
+    pub fn num_pages(&self) -> usize {
+        self.pool.num_pages()
+    }
+
+    /// Handle to the I/O counters.
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        self.pool.stats()
+    }
+
+    /// Records that fit a page at the given width.
+    pub fn page_capacity(dim: usize) -> usize {
+        (PAGE_SIZE - HEADER) / (8 + 8 * dim)
+    }
+
+    /// Appends a record for `partition`, returning its rid. Starts a new
+    /// page when the partition/width changes or the page fills.
+    pub fn append(&mut self, partition: u32, point_id: u64, coords: &[f64]) -> Result<u64> {
+        let dim = coords.len();
+        if dim == 0 || Self::page_capacity(dim) == 0 {
+            return Err(Error::InvalidConfig("record width must fit a page"));
+        }
+        let need_new = match self.open {
+            Some((page, part, pdim)) => {
+                part != partition
+                    || pdim != dim
+                    || self.pool.with_page(page, |p| p.get_u16(6).expect("header"))? as usize
+                        >= Self::page_capacity(dim)
+            }
+            None => true,
+        };
+        if need_new {
+            let page = self.pool.allocate()?;
+            self.pool.with_page_mut(page, |p| {
+                p.put_u32(0, partition).expect("header");
+                p.put_u16(4, dim as u16).expect("header");
+                p.put_u16(6, 0).expect("header");
+            })?;
+            self.open = Some((page, partition, dim));
+        }
+        let (page, _, _) = self.open.expect("just ensured");
+        let slot = self.pool.with_page_mut(page, |p| -> Result<u16> {
+            let slot = p.get_u16(6).expect("header");
+            let base = HEADER + slot as usize * (8 + 8 * dim);
+            p.put_u64(base, point_id)?;
+            for (j, &c) in coords.iter().enumerate() {
+                p.put_f64(base + 8 + 8 * j, c)?;
+            }
+            p.put_u16(6, slot + 1).expect("header");
+            Ok(slot)
+        })??;
+        self.len += 1;
+        Ok((page << 16) | slot as u64)
+    }
+
+    /// Fetches a record into a reusable buffer, avoiding the per-call
+    /// allocation of [`get`](Self::get): `(partition, point_id)` returned,
+    /// coordinates written into `coords` (resized as needed). This is the
+    /// KNN hot path — thousands of candidate fetches per query.
+    pub fn get_into(&mut self, rid: u64, coords: &mut Vec<f64>) -> Result<(u32, u64)> {
+        let page = rid >> 16;
+        let slot = (rid & 0xFFFF) as usize;
+        if page >= self.pool.num_pages() as u64 {
+            return Err(Error::BadRecordId(rid));
+        }
+        self.pool
+            .with_page(page, |p| {
+                let partition = p.get_u32(0).expect("header");
+                let dim = p.get_u16(4).expect("header") as usize;
+                let count = p.get_u16(6).expect("header") as usize;
+                if slot >= count {
+                    return Err(Error::BadRecordId(rid));
+                }
+                let base = HEADER + slot * (8 + 8 * dim);
+                let point_id = p.get_u64(base).expect("record in page");
+                coords.resize(dim, 0.0);
+                for (j, c) in coords.iter_mut().enumerate() {
+                    *c = p.get_f64(base + 8 + 8 * j).expect("record in page");
+                }
+                Ok((partition, point_id))
+            })?
+    }
+
+    /// Marks a record dead. Tombstoned records keep their slot (rids are
+    /// positional) but report the sentinel point id [`TOMBSTONE`]; scans
+    /// and fetch paths skip them. Returns the record's former point id, or
+    /// an error if the rid does not resolve.
+    pub fn tombstone(&mut self, rid: u64) -> Result<u64> {
+        let page = rid >> 16;
+        let slot = (rid & 0xFFFF) as usize;
+        if page >= self.pool.num_pages() as u64 {
+            return Err(Error::BadRecordId(rid));
+        }
+        self.pool
+            .with_page_mut(page, |p| {
+                let dim = p.get_u16(4).expect("header") as usize;
+                let count = p.get_u16(6).expect("header") as usize;
+                if slot >= count {
+                    return Err(Error::BadRecordId(rid));
+                }
+                let base = HEADER + slot * (8 + 8 * dim);
+                let old = p.get_u64(base).expect("record in page");
+                p.put_u64(base, TOMBSTONE).map_err(Error::Storage)?;
+                Ok(old)
+            })?
+    }
+
+    /// Fetches a record: `(partition, point_id, coords)`.
+    pub fn get(&mut self, rid: u64) -> Result<(u32, u64, Vec<f64>)> {
+        let page = rid >> 16;
+        let slot = (rid & 0xFFFF) as usize;
+        if page >= self.pool.num_pages() as u64 {
+            return Err(Error::BadRecordId(rid));
+        }
+        self.pool
+            .with_page(page, |p| {
+                let partition = p.get_u32(0).expect("header");
+                let dim = p.get_u16(4).expect("header") as usize;
+                let count = p.get_u16(6).expect("header") as usize;
+                if slot >= count {
+                    return Err(Error::BadRecordId(rid));
+                }
+                let base = HEADER + slot * (8 + 8 * dim);
+                let point_id = p.get_u64(base).expect("record in page");
+                let coords = (0..dim)
+                    .map(|j| p.get_f64(base + 8 + 8 * j).expect("record in page"))
+                    .collect();
+                Ok((partition, point_id, coords))
+            })?
+    }
+
+    /// Iterates every record, invoking `f(partition, point_id, coords)`.
+    /// Reads every heap page exactly once — the sequential-scan primitive.
+    pub fn scan(&mut self, mut f: impl FnMut(u32, u64, &[f64])) -> Result<()> {
+        let pages = self.pool.num_pages() as u64;
+        let mut coords = Vec::new();
+        for page in 0..pages {
+            self.pool.with_page(page, |p| {
+                let partition = p.get_u32(0).expect("header");
+                let dim = p.get_u16(4).expect("header") as usize;
+                let count = p.get_u16(6).expect("header") as usize;
+                coords.resize(dim, 0.0);
+                for slot in 0..count {
+                    let base = HEADER + slot * (8 + 8 * dim);
+                    let point_id = p.get_u64(base).expect("record in page");
+                    if point_id == TOMBSTONE {
+                        continue; // deleted record
+                    }
+                    for (j, c) in coords.iter_mut().enumerate() {
+                        *c = p.get_f64(base + 8 + 8 * j).expect("record in page");
+                    }
+                    f(partition, point_id, &coords);
+                }
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdr_storage::DiskManager;
+
+    fn heap(pages: usize) -> VectorHeap {
+        VectorHeap::new(BufferPool::new(DiskManager::new(), pages).unwrap())
+    }
+
+    #[test]
+    fn append_get_roundtrip() {
+        let mut h = heap(16);
+        let r1 = h.append(0, 100, &[1.0, 2.0]).unwrap();
+        let r2 = h.append(0, 101, &[3.0, 4.0]).unwrap();
+        assert_eq!(h.get(r1).unwrap(), (0, 100, vec![1.0, 2.0]));
+        assert_eq!(h.get(r2).unwrap(), (0, 101, vec![3.0, 4.0]));
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn partition_change_starts_new_page() {
+        let mut h = heap(16);
+        h.append(0, 1, &[0.0]).unwrap();
+        let before = h.num_pages();
+        h.append(1, 2, &[0.0]).unwrap();
+        assert_eq!(h.num_pages(), before + 1);
+        // Same partition, different width also breaks the page.
+        h.append(1, 3, &[0.0, 0.0]).unwrap();
+        assert_eq!(h.num_pages(), before + 2);
+    }
+
+    #[test]
+    fn page_overflow_allocates() {
+        let mut h = heap(64);
+        let cap = VectorHeap::page_capacity(4);
+        for i in 0..(cap + 1) as u64 {
+            h.append(0, i, &[0.0; 4]).unwrap();
+        }
+        assert_eq!(h.num_pages(), 2);
+    }
+
+    #[test]
+    fn capacity_shrinks_with_dim() {
+        assert!(VectorHeap::page_capacity(2) > VectorHeap::page_capacity(64));
+        assert_eq!(VectorHeap::page_capacity(1000), 0);
+    }
+
+    #[test]
+    fn invalid_records_rejected() {
+        let mut h = heap(8);
+        assert!(h.append(0, 1, &[]).is_err());
+        assert!(h.append(0, 1, &[0.0; 1000]).is_err());
+        assert!(matches!(h.get(1 << 16), Err(Error::BadRecordId(_))));
+        let rid = h.append(0, 1, &[0.0]).unwrap();
+        assert!(matches!(h.get(rid + 1), Err(Error::BadRecordId(_))));
+    }
+
+    #[test]
+    fn scan_visits_everything_once() {
+        let mut h = heap(32);
+        for i in 0..100u64 {
+            h.append((i % 3) as u32, i, &[i as f64, -(i as f64)]).unwrap();
+        }
+        let mut seen = Vec::new();
+        h.scan(|part, pid, coords| {
+            assert_eq!(part as u64, pid % 3);
+            assert_eq!(coords[0], pid as f64);
+            seen.push(pid);
+        })
+        .unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn scan_costs_each_page_once_when_pool_is_cold() {
+        let mut h = heap(1); // pathological pool: every page access is a miss
+        for i in 0..500u64 {
+            h.append(0, i, &[0.0; 8]).unwrap();
+        }
+        let pages = h.num_pages() as u64;
+        let stats = h.io_stats();
+        stats.reset();
+        h.scan(|_, _, _| {}).unwrap();
+        // Every page read exactly once, except the still-resident open page
+        // may be a buffer hit.
+        assert!(
+            stats.reads() >= pages - 1 && stats.reads() <= pages,
+            "reads {} for {pages} pages",
+            stats.reads()
+        );
+    }
+}

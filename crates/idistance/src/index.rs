@@ -1,0 +1,495 @@
+//! Building the extended iDistance index from a reduction result.
+
+use crate::error::{Error, Result};
+use crate::heap::VectorHeap;
+use mmdr_btree::BPlusTree;
+use mmdr_core::ReductionResult;
+use mmdr_linalg::Matrix;
+use mmdr_pca::ReducedSubspace;
+use mmdr_storage::{BufferPool, DiskManager, IoStats};
+use std::sync::Arc;
+
+/// Configuration of the index.
+#[derive(Debug, Clone)]
+pub struct IDistanceConfig {
+    /// Buffer-pool pages, split between the B⁺-tree and the heap file.
+    pub buffer_pages: usize,
+    /// First search radius as a fraction of the widest partition radius
+    /// (the paper starts with "a relatively small radius").
+    pub initial_radius_fraction: f64,
+    /// Radius increment per enlargement, as a fraction of the widest
+    /// partition radius.
+    pub radius_step_fraction: f64,
+    /// Override for the range-partitioning constant `c`; by default
+    /// `2 · max_radius + 1` over all partitions, which guarantees key
+    /// ranges never overlap.
+    pub c: Option<f64>,
+    /// β used when dynamically inserting new points (cluster-vs-outlier
+    /// test); defaults to Table 1's 0.1.
+    pub beta: f64,
+}
+
+impl Default for IDistanceConfig {
+    fn default() -> Self {
+        Self {
+            buffer_pages: 256,
+            initial_radius_fraction: 0.05,
+            radius_step_fraction: 0.05,
+            c: None,
+            beta: 0.1,
+        }
+    }
+}
+
+/// Per-partition search metadata (the paper's auxiliary arrays: centroids,
+/// principal components, nearest/farthest radius, covariance for dynamic
+/// insertion).
+#[derive(Debug)]
+pub struct PartitionInfo {
+    /// The reduced subspace; `None` for the outlier partition, which stays
+    /// at original dimensionality with `centroid` as reference point.
+    pub subspace: Option<ReducedSubspace>,
+    /// Reference point (cluster centroid, or outlier reference).
+    pub centroid: Vec<f64>,
+    /// Covariance of the members in the original space (dynamic-insertion
+    /// array; unused by search).
+    pub covariance: Option<Matrix>,
+    /// Smallest `dist(Pᵢ, Oᵢ)` over members.
+    pub min_radius: f64,
+    /// Largest `dist(Pᵢ, Oᵢ)` over members — the sphere the three search
+    /// cases test against.
+    pub max_radius: f64,
+    /// Member count.
+    pub count: usize,
+}
+
+/// The extended iDistance index.
+#[derive(Debug)]
+pub struct IDistanceIndex {
+    pub(crate) tree: BPlusTree,
+    pub(crate) heap: VectorHeap,
+    pub(crate) partitions: Vec<PartitionInfo>,
+    pub(crate) c: f64,
+    pub(crate) dim: usize,
+    config: IDistanceConfig,
+    stats: Arc<IoStats>,
+    len: usize,
+}
+
+impl IDistanceIndex {
+    /// Builds the index over `data` as reduced by `model`.
+    ///
+    /// Every cluster's members are projected into their subspace and stored
+    /// in heap pages at reduced width; outliers form one extra partition at
+    /// original dimensionality. A single B⁺-tree indexes the mapped keys
+    /// `y = i·c + dist(Pᵢ, Oᵢ)`.
+    pub fn build(
+        data: &Matrix,
+        model: &ReductionResult,
+        config: IDistanceConfig,
+    ) -> Result<Self> {
+        if config.buffer_pages < 2 {
+            return Err(Error::InvalidConfig("buffer_pages must be >= 2"));
+        }
+        if !(config.initial_radius_fraction > 0.0 && config.radius_step_fraction > 0.0) {
+            return Err(Error::InvalidConfig("radius fractions must be > 0"));
+        }
+        let dim = model.dim;
+        if data.cols() != dim {
+            return Err(Error::DimensionMismatch { expected: dim, actual: data.cols() });
+        }
+        let stats = IoStats::new();
+        let tree_pool = BufferPool::new(
+            DiskManager::with_stats(Arc::clone(&stats)),
+            (config.buffer_pages / 2).max(1),
+        )?;
+        let heap_pool = BufferPool::new(
+            DiskManager::with_stats(Arc::clone(&stats)),
+            (config.buffer_pages / 2).max(1),
+        )?;
+        let mut heap = VectorHeap::new(heap_pool);
+
+        let mut partitions: Vec<PartitionInfo> = Vec::with_capacity(model.clusters.len() + 1);
+        // (partition, local distance, rid) triples; keyed after c is known.
+        let mut staged: Vec<(usize, f64, u64)> = Vec::with_capacity(model.num_points);
+
+        for (i, cluster) in model.clusters.iter().enumerate() {
+            let mut min_radius = f64::INFINITY;
+            let mut max_radius: f64 = 0.0;
+            // Compute local coordinates first and append in ascending key
+            // order: the heap then becomes a *clustered* file — the KNN
+            // annulus scan touches heap pages in the same order as tree
+            // leaves, so each page is read once instead of ping-ponging.
+            let mut locals: Vec<(f64, u64, Vec<f64>)> = cluster
+                .members
+                .iter()
+                .map(|&pid| {
+                    let local = cluster.subspace.project(data.row(pid))?;
+                    let dist = mmdr_linalg::l2_norm(&local);
+                    Ok((dist, pid as u64, local))
+                })
+                .collect::<Result<_>>()?;
+            locals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            for (dist, pid, local) in locals {
+                min_radius = min_radius.min(dist);
+                max_radius = max_radius.max(dist);
+                let rid = heap.append(i as u32, pid, &local)?;
+                staged.push((i, dist, rid));
+            }
+            partitions.push(PartitionInfo {
+                centroid: cluster.subspace.centroid().to_vec(),
+                subspace: Some(cluster.subspace.clone()),
+                covariance: Some(cluster.covariance.clone()),
+                min_radius: if min_radius.is_finite() { min_radius } else { 0.0 },
+                max_radius,
+                count: cluster.members.len(),
+            });
+        }
+
+        // Outlier partition (always present so inserts have a home):
+        // reference point = mean of outliers, falling back to the data mean.
+        let outlier_part = partitions.len();
+        let reference = if model.outliers.is_empty() {
+            mmdr_linalg::mean_vector(data)?
+        } else {
+            let rows = data.select_rows(&model.outliers);
+            mmdr_linalg::mean_vector(&rows)?
+        };
+        let mut min_radius = f64::INFINITY;
+        let mut max_radius: f64 = 0.0;
+        let mut outlier_order: Vec<(f64, usize)> = model
+            .outliers
+            .iter()
+            .map(|&pid| (mmdr_linalg::l2_dist(data.row(pid), &reference), pid))
+            .collect();
+        outlier_order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (dist, pid) in outlier_order {
+            min_radius = min_radius.min(dist);
+            max_radius = max_radius.max(dist);
+            let rid = heap.append(outlier_part as u32, pid as u64, data.row(pid))?;
+            staged.push((outlier_part, dist, rid));
+        }
+        partitions.push(PartitionInfo {
+            subspace: None,
+            centroid: reference,
+            covariance: None,
+            min_radius: if min_radius.is_finite() { min_radius } else { 0.0 },
+            max_radius,
+            count: model.outliers.len(),
+        });
+
+        // Range-partitioning constant: strictly larger than any in-partition
+        // distance so ranges [i·c, (i+1)·c) never overlap; the margin leaves
+        // headroom for dynamic inserts that stretch a cluster.
+        let widest = partitions.iter().map(|p| p.max_radius).fold(0.0, f64::max);
+        let c = config.c.unwrap_or(2.0 * widest + 1.0);
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // !(a > b) also rejects NaN
+        if !(c > widest) {
+            return Err(Error::InvalidConfig("c must exceed every partition radius"));
+        }
+
+        let mut entries: Vec<(f64, u64)> = staged
+            .into_iter()
+            .map(|(part, dist, rid)| (part as f64 * c + dist, rid))
+            .collect();
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let tree = BPlusTree::bulk_load(tree_pool, &entries)?;
+
+        Ok(Self {
+            tree,
+            heap,
+            partitions,
+            c,
+            dim,
+            config,
+            stats,
+            len: model.num_points,
+        })
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Original dimensionality of queries.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The range-partitioning constant `c`.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Per-partition metadata (last entry is the outlier partition).
+    pub fn partitions(&self) -> &[PartitionInfo] {
+        &self.partitions
+    }
+
+    /// Combined logical I/O counters of the tree and the heap.
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &IDistanceConfig {
+        &self.config
+    }
+
+    /// Total pages allocated (tree + heap) — the footprint the seq-scan
+    /// comparison is normalized against.
+    pub fn total_pages(&self) -> usize {
+        self.tree.num_pages() + self.heap.num_pages()
+    }
+
+    /// Removes a previously indexed point, given its coordinates and id.
+    /// Returns `true` when the point was found and removed.
+    ///
+    /// The point's key is recomputed per partition (projection arithmetic is
+    /// deterministic, so the stored key is reproduced bit-for-bit); the
+    /// matching `(key, rid)` entry is deleted from the B⁺-tree and the heap
+    /// record is tombstoned. Partition radii are left as conservative
+    /// bounds — they only ever over-approximate, which keeps searches
+    /// correct.
+    pub fn remove(&mut self, point: &[f64], point_id: u64) -> Result<bool> {
+        if point.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, actual: point.len() });
+        }
+        if point.iter().any(|x| !x.is_finite()) {
+            return Err(Error::InvalidQuery);
+        }
+        let n_parts = self.partitions.len();
+        let mut scratch: Vec<f64> = Vec::new();
+        for part in 0..n_parts {
+            if self.partitions[part].count == 0 {
+                continue;
+            }
+            let dist = match &self.partitions[part].subspace {
+                Some(subspace) => mmdr_linalg::l2_norm(&subspace.project(point)?),
+                None => mmdr_linalg::l2_dist(point, &self.partitions[part].centroid),
+            };
+            let key = part as f64 * self.c + dist;
+            // Scan the exact-key duplicate run for the matching record.
+            let mut cursor = self.tree.seek(key)?;
+            let mut victim = None;
+            while let Some((k, rid)) = self.tree.cursor_next(&mut cursor)? {
+                if k > key {
+                    break;
+                }
+                let (_, pid) = self.heap.get_into(rid, &mut scratch)?;
+                if pid == point_id {
+                    victim = Some(rid);
+                    break;
+                }
+            }
+            if let Some(rid) = victim {
+                self.tree.delete(key, rid)?;
+                self.heap.tombstone(rid)?;
+                self.partitions[part].count -= 1;
+                self.len -= 1;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Dynamically inserts a new point (paper §5's third auxiliary array
+    /// exists for this path).
+    ///
+    /// The point joins the nearest subspace if its projection distance is
+    /// within `β`, else the outlier partition. A cluster point whose key
+    /// would escape the cluster's `[i·c, (i+1)·c)` slot (possible if a
+    /// far-out point stretches the radius past the build-time margin) is
+    /// routed to the outlier partition instead, preserving the mapping
+    /// invariant.
+    pub fn insert(&mut self, point: &[f64], point_id: u64) -> Result<()> {
+        if point.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, actual: point.len() });
+        }
+        if point.iter().any(|x| !x.is_finite()) {
+            return Err(Error::InvalidQuery);
+        }
+        // Assignment: nearest subspace within β, else outlier.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, part) in self.partitions.iter().enumerate() {
+            let Some(subspace) = &part.subspace else { continue };
+            let pd = subspace.proj_dist(point)?;
+            if pd <= self.config.beta && best.is_none_or(|(_, d)| pd < d) {
+                best = Some((i, pd));
+            }
+        }
+        let outlier_part = self.partitions.len() - 1;
+        let (part_idx, local, dist) = match best {
+            Some((i, _)) => {
+                let subspace = self.partitions[i].subspace.as_ref().expect("cluster");
+                let local = subspace.project(point)?;
+                let dist = mmdr_linalg::l2_norm(&local);
+                if dist < self.c {
+                    (i, local, dist)
+                } else {
+                    let reference = &self.partitions[outlier_part].centroid;
+                    let dist = mmdr_linalg::l2_dist(point, reference);
+                    (outlier_part, point.to_vec(), dist)
+                }
+            }
+            None => {
+                let reference = &self.partitions[outlier_part].centroid;
+                let dist = mmdr_linalg::l2_dist(point, reference);
+                (outlier_part, point.to_vec(), dist)
+            }
+        };
+        let rid = self.heap.append(part_idx as u32, point_id, &local)?;
+        let key = part_idx as f64 * self.c + dist;
+        self.tree.insert(key, rid)?;
+        let part = &mut self.partitions[part_idx];
+        part.min_radius = part.min_radius.min(dist);
+        part.max_radius = part.max_radius.max(dist);
+        part.count += 1;
+        self.len += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdr_core::{Mmdr, MmdrParams};
+
+    fn dataset() -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let t = i as f64 / 199.0;
+                let j = ((i as f64 * 0.754_877_666).fract() - 0.5) * 0.02;
+                vec![t, 0.5 * t + j, j, -j]
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    fn build() -> (Matrix, IDistanceIndex) {
+        let data = dataset();
+        let model = Mmdr::new(MmdrParams::default()).fit(&data).unwrap();
+        let index = IDistanceIndex::build(&data, &model, IDistanceConfig::default()).unwrap();
+        (data, index)
+    }
+
+    #[test]
+    fn build_produces_disjoint_key_ranges() {
+        let (_, index) = build();
+        let widest = index
+            .partitions()
+            .iter()
+            .map(|p| p.max_radius)
+            .fold(0.0, f64::max);
+        assert!(index.c() > widest, "c must exceed every radius");
+        assert_eq!(index.len(), 200);
+        assert!(!index.is_empty());
+        assert_eq!(index.dim(), 4);
+        assert!(index.total_pages() > 0);
+        // Last partition is the outlier home (possibly empty).
+        assert!(index.partitions().last().unwrap().subspace.is_none());
+    }
+
+    #[test]
+    fn config_validation() {
+        let data = dataset();
+        let model = Mmdr::new(MmdrParams::default()).fit(&data).unwrap();
+        assert!(IDistanceIndex::build(
+            &data,
+            &model,
+            IDistanceConfig { buffer_pages: 1, ..Default::default() }
+        )
+        .is_err());
+        assert!(IDistanceIndex::build(
+            &data,
+            &model,
+            IDistanceConfig { initial_radius_fraction: 0.0, ..Default::default() }
+        )
+        .is_err());
+        assert!(IDistanceIndex::build(
+            &data,
+            &model,
+            IDistanceConfig { c: Some(0.0), ..Default::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn dynamic_insert_is_searchable() {
+        let (data, mut index) = build();
+        // A point on the cluster's line joins the cluster…
+        let on_line = vec![0.41, 0.205, 0.0, 0.0];
+        index.insert(&on_line, 9001).unwrap();
+        // …and a point far off every subspace becomes an outlier.
+        let off = vec![3.0, -3.0, 3.0, -3.0];
+        index.insert(&off, 9002).unwrap();
+        assert_eq!(index.len(), 202);
+        // The inserted point's reduced representation is its projection, so
+        // the self-distance is its (small) ProjDist, not exactly zero.
+        let r = index.knn(&on_line, 1).unwrap();
+        assert_eq!(r[0].1, 9001);
+        assert!(r[0].0 < 0.02, "self distance {}", r[0].0);
+        // Outliers are stored exactly; the self-distance is zero.
+        let r = index.knn(&off, 1).unwrap();
+        assert_eq!(r[0].1, 9002);
+        assert!(r[0].0 < 1e-9);
+        let _ = data;
+    }
+
+    #[test]
+    fn insert_validation() {
+        let (_, mut index) = build();
+        assert!(index.insert(&[0.0], 1).is_err());
+        assert!(index.insert(&[f64::INFINITY; 4], 1).is_err());
+    }
+
+    #[test]
+    fn remove_makes_points_invisible() {
+        let (data, mut index) = build();
+        let victim = 50usize;
+        assert!(index.remove(data.row(victim), victim as u64).unwrap());
+        assert!(!index.remove(data.row(victim), victim as u64).unwrap(), "already gone");
+        assert_eq!(index.len(), 199);
+        // KNN over everything never returns the removed id.
+        let hits = index.knn(data.row(victim), 199).unwrap();
+        assert_eq!(hits.len(), 199);
+        assert!(hits.iter().all(|&(_, id)| id != victim as u64));
+        // Range search agrees.
+        let hits = index.range_search(data.row(victim), 1e6).unwrap();
+        assert!(hits.iter().all(|&(_, id)| id != victim as u64));
+    }
+
+    #[test]
+    fn remove_then_insert_roundtrip() {
+        let (data, mut index) = build();
+        let p = data.row(10).to_vec();
+        assert!(index.remove(&p, 10).unwrap());
+        index.insert(&p, 10).unwrap();
+        assert_eq!(index.len(), 200);
+        let hits = index.knn(&p, 3).unwrap();
+        assert!(hits.iter().any(|&(_, id)| id == 10));
+    }
+
+    #[test]
+    fn remove_validates_input() {
+        let (_, mut index) = build();
+        assert!(index.remove(&[0.0], 1).is_err());
+        assert!(index.remove(&[f64::NAN; 4], 1).is_err());
+        assert!(!index.remove(&[9.9; 4], 12345).unwrap(), "unknown point");
+    }
+
+    #[test]
+    fn insert_updates_partition_stats() {
+        let (_, mut index) = build();
+        let before: usize = index.partitions().iter().map(|p| p.count).sum();
+        index.insert(&[0.5, 0.25, 0.0, 0.0], 500).unwrap();
+        let after: usize = index.partitions().iter().map(|p| p.count).sum();
+        assert_eq!(after, before + 1);
+    }
+}

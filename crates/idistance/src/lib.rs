@@ -1,0 +1,48 @@
+//! Extended iDistance — indexing reduced subspaces with a single B⁺-tree
+//! (paper §5) — plus the evaluation's comparison schemes.
+//!
+//! After MMDR (or LDR/GDR) reduces the data, each cluster lives in its own
+//! axis system. The extended iDistance maps every point to a single
+//! dimension with
+//!
+//! ```text
+//! y = i · c + dist(Pᵢ, Oᵢ)
+//! ```
+//!
+//! where `i` is the cluster id, `Oᵢ` its centroid, `dist(Pᵢ, Oᵢ)` the
+//! distance of the point's projection to the centroid *within the reduced
+//! subspace*, and `c` a range-partitioning constant. One B⁺-tree indexes all
+//! clusters (outliers form one extra partition at original dimensionality);
+//! reduced point payloads live in paged heap files behind the same I/O
+//! counters.
+//!
+//! KNN search ([`IDistanceIndex::knn`]) follows the paper's iterative
+//! enlargement: start from a small radius, search each qualifying
+//! partition's key annulus `[i·c + dist(qᵢ,Oᵢ) − R, i·c + dist(qᵢ,Oᵢ) + R]`
+//! (the three cases — contains / intersects / disjoint — fall out of the
+//! annulus ∩ `[min_radius, max_radius]` intersection), and stop when the
+//! k-th candidate's distance is below the current radius. The triangle
+//! inequality `‖Q−P‖ ≥ ‖Qⱼ−Oⱼ‖ − Rⱼ` prunes unreachable partitions.
+//!
+//! Comparison schemes for the Figure 9/10 experiments:
+//! - [`SeqScan`] — sequential scan of the reduced heap pages.
+//! - [`GlobalLdrIndex`] — the paper's *gLDR*: one multidimensional
+//!   [`mmdr_hybridtree`] per cluster plus an outlier scan.
+//!
+//! Distances returned by every scheme are distances to the points'
+//! *reduced representations* (`‖q − restore(Pᵢ)‖`), which is what the
+//! paper's precision metric compares against the exact full-space answers.
+
+mod error;
+mod gldr;
+mod heap;
+mod index;
+mod knn;
+mod range;
+mod seqscan;
+
+pub use error::{Error, Result};
+pub use gldr::GlobalLdrIndex;
+pub use heap::{VectorHeap, TOMBSTONE};
+pub use index::{IDistanceConfig, IDistanceIndex, PartitionInfo};
+pub use seqscan::SeqScan;

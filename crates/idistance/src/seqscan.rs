@@ -1,0 +1,157 @@
+//! Sequential scan over the reduced representations — the baseline the
+//! paper plots alongside the indexes in Figure 9 ("direct sequential scan"
+//! in reduced subspaces).
+
+use crate::error::{Error, Result};
+use crate::heap::VectorHeap;
+use mmdr_core::ReductionResult;
+use mmdr_linalg::Matrix;
+use mmdr_pca::ReducedSubspace;
+use mmdr_storage::{BufferPool, DiskManager, IoStats};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Sequential-scan KNN over heap pages of reduced points.
+#[derive(Debug)]
+pub struct SeqScan {
+    heap: VectorHeap,
+    /// Per-partition subspaces; `None` = outlier partition (original dim).
+    subspaces: Vec<Option<ReducedSubspace>>,
+    dim: usize,
+    len: usize,
+}
+
+impl SeqScan {
+    /// Lays the reduced dataset out in heap pages.
+    pub fn build(data: &Matrix, model: &ReductionResult, buffer_pages: usize) -> Result<Self> {
+        if data.cols() != model.dim {
+            return Err(Error::DimensionMismatch { expected: model.dim, actual: data.cols() });
+        }
+        let pool = BufferPool::new(DiskManager::new(), buffer_pages.max(1))?;
+        let mut heap = VectorHeap::new(pool);
+        let mut subspaces = Vec::with_capacity(model.clusters.len() + 1);
+        for (i, cluster) in model.clusters.iter().enumerate() {
+            for &pid in &cluster.members {
+                let local = cluster.subspace.project(data.row(pid))?;
+                heap.append(i as u32, pid as u64, &local)?;
+            }
+            subspaces.push(Some(cluster.subspace.clone()));
+        }
+        let outlier_part = subspaces.len();
+        for &pid in &model.outliers {
+            heap.append(outlier_part as u32, pid as u64, data.row(pid))?;
+        }
+        subspaces.push(None);
+        Ok(Self { heap, subspaces, dim: model.dim, len: model.num_points })
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap pages the scan touches.
+    pub fn num_pages(&self) -> usize {
+        self.heap.num_pages()
+    }
+
+    /// Handle to the I/O counters.
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        self.heap.io_stats()
+    }
+
+    /// KNN by scanning every page; distances are to the reduced
+    /// representations, identical semantics to
+    /// [`crate::IDistanceIndex::knn`].
+    pub fn knn(&mut self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
+        }
+        if query.iter().any(|x| !x.is_finite()) {
+            return Err(Error::InvalidQuery);
+        }
+        if k == 0 || self.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Precompute the query's local coordinates per partition.
+        let mut q_locals: Vec<(Vec<f64>, f64)> = Vec::with_capacity(self.subspaces.len());
+        for subspace in &self.subspaces {
+            match subspace {
+                Some(s) => {
+                    let local = s.project(query)?;
+                    let pd = s.proj_dist(query)?;
+                    q_locals.push((local, pd * pd));
+                }
+                None => q_locals.push((query.to_vec(), 0.0)),
+            }
+        }
+        let mut best: Vec<(f64, u64)> = Vec::with_capacity(k + 1);
+        self.heap.scan(|part, pid, coords| {
+            let (q_local, proj_sq) = &q_locals[part as usize];
+            let dist = (proj_sq + mmdr_linalg::l2_dist_sq(q_local, coords)).sqrt();
+            if best.len() < k {
+                best.push((dist, pid));
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+            } else if dist < best[k - 1].0 {
+                best[k - 1] = (dist, pid);
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+            }
+        })?;
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdr_core::{Mmdr, MmdrParams};
+
+    fn flat_data() -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let t = i as f64 / 199.0;
+                vec![t, 0.5 * t, 0.0, 0.0]
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn scan_knn_finds_the_query_itself() {
+        let data = flat_data();
+        let model = Mmdr::new(MmdrParams::default()).fit(&data).unwrap();
+        let mut scan = SeqScan::build(&data, &model, 64).unwrap();
+        let r = scan.knn(data.row(100), 1).unwrap();
+        assert_eq!(r[0].1, 100);
+        assert!(r[0].0 < 1e-6);
+    }
+
+    #[test]
+    fn scan_io_equals_page_count() {
+        let data = flat_data();
+        let model = Mmdr::new(MmdrParams::default()).fit(&data).unwrap();
+        let mut scan = SeqScan::build(&data, &model, 1).unwrap();
+        let pages = scan.num_pages() as u64;
+        let stats = scan.io_stats();
+        stats.reset();
+        let _ = scan.knn(data.row(0), 10).unwrap();
+        assert!(stats.reads() >= pages - 1, "reads {} pages {pages}", stats.reads());
+    }
+
+    #[test]
+    fn validates_queries() {
+        let data = flat_data();
+        let model = Mmdr::new(MmdrParams::default()).fit(&data).unwrap();
+        let mut scan = SeqScan::build(&data, &model, 16).unwrap();
+        assert!(scan.knn(&[0.0], 1).is_err());
+        assert!(scan.knn(&[f64::NAN, 0.0, 0.0, 0.0], 1).is_err());
+        assert!(scan.knn(data.row(0), 0).unwrap().is_empty());
+        assert_eq!(scan.len(), 200);
+        assert!(!scan.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Sample mean and covariance estimation.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+
+/// Mean vector of a dataset whose rows are points.
+///
+/// Returns [`Error::Empty`] for a matrix with zero rows.
+pub fn mean_vector(data: &Matrix) -> Result<Vec<f64>> {
+    if data.rows() == 0 {
+        return Err(Error::Empty);
+    }
+    let mut mean = vec![0.0; data.cols()];
+    for row in data.iter_rows() {
+        crate::vector::add_assign(&mut mean, row);
+    }
+    let inv_n = 1.0 / data.rows() as f64;
+    crate::vector::scale_assign(&mut mean, inv_n);
+    Ok(mean)
+}
+
+/// Sample covariance matrix of a dataset whose rows are points, centred on
+/// the sample mean.
+///
+/// Uses the maximum-likelihood normalization `1/N` (not `1/(N-1)`): the
+/// normalized Mahalanobis distance of Definition 3.2 treats the cluster as a
+/// Gaussian density, for which the ML estimate is the natural plug-in. A
+/// single point yields the zero matrix.
+pub fn covariance(data: &Matrix) -> Result<Matrix> {
+    let mean = mean_vector(data)?;
+    covariance_about(data, &mean)
+}
+
+/// Covariance of `data` about an explicit centre `o` (normalization `1/N`).
+///
+/// The elliptical k-means outer loop re-estimates each cluster's covariance
+/// about the cluster centroid, which is exactly this computation.
+pub fn covariance_about(data: &Matrix, o: &[f64]) -> Result<Matrix> {
+    if data.rows() == 0 {
+        return Err(Error::Empty);
+    }
+    let d = data.cols();
+    if o.len() != d {
+        return Err(Error::DimensionMismatch {
+            op: "covariance_about",
+            lhs: data.shape(),
+            rhs: (o.len(), 1),
+        });
+    }
+    let mut cov = Matrix::zeros(d, d);
+    let mut centred = vec![0.0; d];
+    for row in data.iter_rows() {
+        for (c, (x, m)) in centred.iter_mut().zip(row.iter().zip(o)) {
+            *c = x - m;
+        }
+        // Accumulate the upper triangle of the outer product only.
+        for i in 0..d {
+            let ci = centred[i];
+            if ci == 0.0 {
+                continue;
+            }
+            let row_i = cov.row_mut(i);
+            for j in i..d {
+                row_i[j] += ci * centred[j];
+            }
+        }
+    }
+    let inv_n = 1.0 / data.rows() as f64;
+    for i in 0..d {
+        for j in i..d {
+            let v = cov[(i, j)] * inv_n;
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    Ok(cov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_simple_points() {
+        let data = Matrix::from_rows(&[vec![1.0, 0.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(mean_vector(&data).unwrap(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let data = Matrix::zeros(0, 3);
+        assert_eq!(mean_vector(&data), Err(Error::Empty));
+        assert_eq!(covariance(&data), Err(Error::Empty));
+    }
+
+    #[test]
+    fn covariance_of_single_point_is_zero() {
+        let data = Matrix::from_rows(&[vec![5.0, -1.0]]).unwrap();
+        assert_eq!(covariance(&data).unwrap(), Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn covariance_hand_computed() {
+        // Points (0,0), (2,2): mean (1,1); each centred point (±1, ±1).
+        // Cov = 1/2 * ((1,1)(1,1)^T + (1,1)(1,1)^T) = [[1,1],[1,1]].
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![2.0, 2.0]]).unwrap();
+        let c = covariance(&data).unwrap();
+        for &(i, j) in &[(0, 0), (0, 1), (1, 0), (1, 1)] {
+            assert!((c[(i, j)] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diagonal_nonneg() {
+        let data = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![-1.0, 0.3, 2.2],
+            vec![0.7, -0.1, 1.0],
+            vec![2.0, 2.0, 2.0],
+        ])
+        .unwrap();
+        let c = covariance(&data).unwrap();
+        assert!(c.is_symmetric(1e-12));
+        for i in 0..3 {
+            assert!(c[(i, i)] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn covariance_about_shifted_centre() {
+        let data = Matrix::from_rows(&[vec![1.0], vec![3.0]]).unwrap();
+        // About the mean (2): var = 1. About 0: E[x^2] = (1+9)/2 = 5.
+        assert!((covariance(&data).unwrap()[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((covariance_about(&data, &[0.0]).unwrap()[(0, 0)] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_about_validates_dims() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(covariance_about(&data, &[0.0]).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared by all factorizations and matrix operations.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Operand shapes are incompatible (e.g. multiplying a `3×2` by a `4×4`).
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Actual shape encountered.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) and cannot be factorized
+    /// or inverted.
+    Singular,
+    /// Cholesky factorization failed because the matrix is not positive
+    /// definite (even after any caller-supplied regularization).
+    NotPositiveDefinite {
+        /// Index of the pivot that failed.
+        pivot: usize,
+    },
+    /// An iterative algorithm (Jacobi sweep) failed to converge.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input collection is empty where at least one element is required.
+    Empty,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::NotSquare { shape } => {
+                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            Error::Singular => write!(f, "matrix is singular"),
+            Error::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            Error::NoConvergence { iterations } => {
+                write!(f, "iteration failed to converge after {iterations} iterations")
+            }
+            Error::Empty => write!(f, "input is empty"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::DimensionMismatch { op: "matmul", lhs: (3, 2), rhs: (4, 4) };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("3x2"));
+        assert_eq!(Error::Singular.to_string(), "matrix is singular");
+        assert!(Error::NotPositiveDefinite { pivot: 7 }.to_string().contains('7'));
+        assert!(Error::NoConvergence { iterations: 9 }.to_string().contains('9'));
+        assert!(Error::NotSquare { shape: (2, 3) }.to_string().contains("2x3"));
+        assert!(!Error::Empty.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Dense linear algebra substrate for the MMDR reproduction.
+//!
+//! Everything in this crate is implemented from scratch: a row-major
+//! [`Matrix`] type, covariance estimation, Cholesky and LU factorizations,
+//! a cyclic-Jacobi symmetric eigendecomposition, Householder QR, and
+//! Haar-distributed random rotations.
+//!
+//! Matrices are small (the paper works with covariance matrices of up to
+//! 200×200), so the implementations favour clarity and numerical robustness
+//! over blocking or SIMD; all are `O(d^3)` with small constants, which is
+//! far below the `O(N d^2)` cost of the clustering passes they support.
+//!
+//! # Example
+//!
+//! ```
+//! use mmdr_linalg::{Matrix, covariance, SymmetricEigen};
+//!
+//! // Three 2-d points.
+//! let data = Matrix::from_rows(&[
+//!     vec![1.0, 2.0],
+//!     vec![2.0, 4.1],
+//!     vec![3.0, 5.9],
+//! ]).unwrap();
+//! let cov = covariance(&data).unwrap();
+//! let eig = SymmetricEigen::new(&cov).unwrap();
+//! // Strongly correlated data: first eigenvalue dominates.
+//! assert!(eig.eigenvalues[0] > 10.0 * eig.eigenvalues[1]);
+//! ```
+
+mod cholesky;
+mod covariance;
+mod eigen;
+mod error;
+mod lu;
+mod matrix;
+mod qr;
+mod rotation;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use covariance::{covariance, covariance_about, mean_vector};
+pub use eigen::SymmetricEigen;
+pub use error::{Error, Result};
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use rotation::random_rotation;
+pub use vector::{
+    add, add_assign, axpy, dot, l1_norm, l2_dist, l2_dist_sq, l2_norm, linf_dist, lp_dist, scale,
+    scale_assign, sub,
+};

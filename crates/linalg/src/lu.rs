@@ -1,0 +1,207 @@
+//! LU factorization with partial pivoting.
+//!
+//! General-purpose solver/determinant for matrices that are not guaranteed
+//! SPD (the Cholesky path covers covariance matrices). Used by tests and by
+//! the hybrid-tree baseline's bounding computations.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+
+/// Compact LU factorization `P A = L U` with partial (row) pivoting.
+///
+/// `L` (unit diagonal) and `U` are stored packed in a single matrix.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original index of pivot row `i`.
+    perm: Vec<usize>,
+    /// +1.0 or -1.0, the sign of the permutation.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix. Returns [`Error::Singular`] when a pivot
+    /// column is exactly zero below the diagonal.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(Error::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Find the largest pivot in column k.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max == 0.0 || !max.is_finite() {
+                return Err(Error::Singular);
+            }
+            if p != k {
+                lu.swap_rows(p, k);
+                perm.swap(p, k);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant: `sign · Π U[i][i]`.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                op: "Lu::solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward-substitute with unit-lower L.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let mut s = x[i];
+            for k in 0..i {
+                s -= row[k] * x[k];
+            }
+            x[i] = s;
+        }
+        // Back-substitute with U.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= row[k] * x[k];
+            }
+            x[i] = s / row[i];
+        }
+        Ok(x)
+    }
+
+    /// Explicit inverse, column by column.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a3() -> Matrix {
+        Matrix::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![4.0, -6.0, 0.0],
+            vec![-2.0, 7.0, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn determinant_hand_checked() {
+        // det = 2(-12-0) - 1(8-0) + 1(28-12) = -24 - 8 + 16 = -16.
+        assert!((Lu::new(&a3()).unwrap().determinant() + 16.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_of_identity_is_one() {
+        assert!((Lu::new(&Matrix::identity(5)).unwrap().determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_flips_with_row_swap() {
+        let mut m = Matrix::identity(3);
+        m.swap_rows(0, 1);
+        assert!((Lu::new(&m).unwrap().determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = a3();
+        let x_true = vec![1.0, 2.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(Lu::new(&a).err(), Some(Error::Singular));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(Lu::new(&Matrix::zeros(2, 3)), Err(Error::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_validates_length() {
+        let lu = Lu::new(&a3()).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = a3();
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn agrees_with_cholesky_on_spd() {
+        let a = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 6.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ])
+        .unwrap();
+        let det_lu = Lu::new(&a).unwrap().determinant();
+        let logdet_ch = crate::Cholesky::new(&a).unwrap().log_determinant();
+        assert!((det_lu.ln() - logdet_ch).abs() < 1e-10);
+    }
+}

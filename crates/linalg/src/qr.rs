@@ -1,0 +1,193 @@
+//! Householder QR decomposition.
+//!
+//! Needed for Haar-distributed random rotations (Appendix A rotates each
+//! synthetic cluster by `Q` from the QR factorization of a Gaussian matrix)
+//! and as an orthonormalization utility in tests.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+
+/// QR factorization `A = Q R` with `Q` orthogonal and `R` upper triangular.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl Qr {
+    /// Factorizes an `m × n` matrix with `m >= n` via Householder
+    /// reflections, producing the thin factorization (`Q` is `m × n`,
+    /// `R` is `n × n`).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(Error::DimensionMismatch {
+                op: "Qr::new (requires rows >= cols)",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        if m == 0 {
+            return Err(Error::Empty);
+        }
+        let mut r = a.clone();
+        // Accumulate Q as a full m×m product of reflectors, thin it at the end.
+        let mut q_full = Matrix::identity(m);
+        let mut v = vec![0.0; m];
+        for k in 0..n.min(m - 1) {
+            // Householder vector for column k, rows k..m.
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                norm_sq += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                continue; // column already zero below the diagonal
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let mut v_norm_sq = 0.0;
+            for i in k..m {
+                let vi = if i == k { r[(i, k)] - alpha } else { r[(i, k)] };
+                v[i] = vi;
+                v_norm_sq += vi * vi;
+            }
+            if v_norm_sq == 0.0 {
+                continue;
+            }
+            let beta = 2.0 / v_norm_sq;
+            // R <- (I - beta v vᵀ) R
+            for j in k..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += v[i] * r[(i, j)];
+                }
+                let s = s * beta;
+                for i in k..m {
+                    r[(i, j)] -= s * v[i];
+                }
+            }
+            // Q <- Q (I - beta v vᵀ)
+            for i in 0..m {
+                let mut s = 0.0;
+                for l in k..m {
+                    s += q_full[(i, l)] * v[l];
+                }
+                let s = s * beta;
+                for l in k..m {
+                    q_full[(i, l)] -= s * v[l];
+                }
+            }
+        }
+        // Zero the strictly-lower part of R (numerical dust) and thin both.
+        let mut r_thin = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r_thin[(i, j)] = r[(i, j)];
+            }
+        }
+        let q = q_full.columns(0, n)?;
+        Ok(Self { q, r: r_thin })
+    }
+
+    /// The orthogonal factor (`m × n`, orthonormal columns).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor (`n × n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Consumes the factorization, returning `(Q, R)`.
+    pub fn into_parts(self) -> (Matrix, Matrix) {
+        (self.q, self.r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_qr(a: &Matrix) {
+        let qr = Qr::new(a).unwrap();
+        let (m, n) = a.shape();
+        // Q R reconstructs A.
+        let rec = qr.q().matmul(qr.r()).unwrap();
+        assert!(rec.sub(a).unwrap().max_abs() < 1e-10 * a.max_abs().max(1.0));
+        // Columns of Q orthonormal.
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        assert!(qtq.sub(&Matrix::identity(n)).unwrap().max_abs() < 1e-10);
+        // R upper triangular.
+        for i in 0..n {
+            for j in 0..i {
+                assert_eq!(qr.r()[(i, j)], 0.0);
+            }
+        }
+        assert_eq!(qr.q().shape(), (m, n));
+    }
+
+    #[test]
+    fn square_example() {
+        let a = Matrix::from_rows(&[
+            vec![12.0, -51.0, 4.0],
+            vec![6.0, 167.0, -68.0],
+            vec![-4.0, 24.0, -41.0],
+        ])
+        .unwrap();
+        check_qr(&a);
+    }
+
+    #[test]
+    fn tall_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 8.5],
+        ])
+        .unwrap();
+        check_qr(&a);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(Qr::new(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn identity_factorizes_consistently() {
+        // Householder may flip signs (Q = -I, R = -I); the product and
+        // orthonormality are what matter.
+        check_qr(&Matrix::identity(4));
+    }
+
+    #[test]
+    fn rank_deficient_still_orthonormal_q_r_product() {
+        // Second column is 2x the first: QR still reconstructs.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let rec = qr.q().matmul(qr.r()).unwrap();
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn into_parts_returns_both() {
+        let a = Matrix::identity(2);
+        let (q, r) = Qr::new(&a).unwrap().into_parts();
+        assert_eq!(q.shape(), (2, 2));
+        assert_eq!(r.shape(), (2, 2));
+    }
+
+    #[test]
+    fn deterministic_random_tall() {
+        let mut state = 42u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a = Matrix::from_fn(10, 6, |_, _| rand());
+        check_qr(&a);
+    }
+}

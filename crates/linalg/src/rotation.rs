@@ -1,0 +1,115 @@
+//! Haar-distributed random orthonormal rotations.
+//!
+//! Appendix A of the paper rotates each synthetic cluster by a "random
+//! orthonormal rotation matrix (generated using MATLAB)". The standard
+//! construction — QR-factorize a matrix of i.i.d. standard normals and fix
+//! the signs so the diagonal of `R` is positive — yields exactly the Haar
+//! (uniform) distribution over the orthogonal group, matching MATLAB's
+//! common `[Q,R] = qr(randn(n))` idiom.
+//!
+//! This crate stays dependency-free, so the caller supplies the Gaussian
+//! source as a closure (`mmdr-datagen` wires in a seeded Box–Muller
+//! generator).
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+
+/// Generates an `n × n` random orthonormal matrix from a stream of i.i.d.
+/// standard normal samples.
+///
+/// The result `Q` satisfies `QᵀQ = I` to machine precision and is Haar
+/// distributed when `gauss` produces genuine standard normals.
+pub fn random_rotation(n: usize, gauss: &mut dyn FnMut() -> f64) -> Result<Matrix> {
+    if n == 0 {
+        return Err(Error::Empty);
+    }
+    // Draw until the matrix is numerically full-rank (a zero column from a
+    // pathological generator would leave Q with a defective column).
+    for _ in 0..4 {
+        let a = Matrix::from_fn(n, n, |_, _| gauss());
+        let qr = Qr::new(&a)?;
+        let (mut q, r) = qr.into_parts();
+        let mut ok = true;
+        for j in 0..n {
+            let rjj = r[(j, j)];
+            if rjj.abs() < 1e-12 {
+                ok = false;
+                break;
+            }
+            // Sign fix: multiply column j of Q by sign(R[j][j]) so the map
+            // A -> Q is unique and Haar-distributed.
+            if rjj < 0.0 {
+                for i in 0..n {
+                    q[(i, j)] = -q[(i, j)];
+                }
+            }
+        }
+        if ok {
+            return Ok(q);
+        }
+    }
+    Err(Error::Singular)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_gauss() -> impl FnMut() -> f64 {
+        // Deterministic Box–Muller over an LCG: good enough for tests.
+        let mut state = 0x853C49E6748FEA9Bu64;
+        let mut spare: Option<f64> = None;
+        move || {
+            if let Some(s) = spare.take() {
+                return s;
+            }
+            let mut next_uniform = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+            };
+            let u1: f64 = next_uniform();
+            let u2: f64 = next_uniform();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            spare = Some(r * theta.sin());
+            r * theta.cos()
+        }
+    }
+
+    #[test]
+    fn rotation_is_orthonormal() {
+        let mut g = lcg_gauss();
+        for n in [1, 2, 5, 16] {
+            let q = random_rotation(n, &mut g).unwrap();
+            let qtq = q.transpose().matmul(&q).unwrap();
+            assert!(
+                qtq.sub(&Matrix::identity(n)).unwrap().max_abs() < 1e-10,
+                "Q^T Q != I for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_lengths() {
+        let mut g = lcg_gauss();
+        let q = random_rotation(8, &mut g).unwrap();
+        let x: Vec<f64> = (0..8).map(|i| i as f64 - 3.5).collect();
+        let qx = q.matvec(&x).unwrap();
+        assert!((crate::vector::l2_norm(&x) - crate::vector::l2_norm(&qx)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let mut g = lcg_gauss();
+        assert!(random_rotation(0, &mut g).is_err());
+    }
+
+    #[test]
+    fn different_draws_differ() {
+        let mut g = lcg_gauss();
+        let a = random_rotation(4, &mut g).unwrap();
+        let b = random_rotation(4, &mut g).unwrap();
+        assert!(a.sub(&b).unwrap().max_abs() > 1e-6);
+    }
+}

@@ -1,0 +1,169 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! Points in the MMDR pipeline are stored contiguously inside row-major
+//! matrices, so the natural vector type is a slice, not an owned newtype.
+//! Dimension agreement is enforced with `assert_eq!` rather than `Result`:
+//! mismatched point dimensionalities inside these hot loops are programmer
+//! errors, and the callers (PCA, clustering) validate shapes once at the API
+//! boundary.
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance. Preferred in inner loops since it avoids the
+/// `sqrt` and preserves ordering.
+#[inline]
+pub fn l2_dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l2_dist_sq: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean (`L2`) distance.
+#[inline]
+pub fn l2_dist(a: &[f64], b: &[f64]) -> f64 {
+    l2_dist_sq(a, b).sqrt()
+}
+
+/// Euclidean norm of a single vector.
+#[inline]
+pub fn l2_norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Manhattan (`L1`) norm.
+#[inline]
+pub fn l1_norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Chebyshev (`L∞`) distance.
+#[inline]
+pub fn linf_dist(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "linf_dist: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// General Minkowski `Lp` distance for `p >= 1`.
+///
+/// Used by the evaluation harness to reproduce the L-norm discussion of
+/// Aggarwal et al. (reference [1] of the paper).
+#[inline]
+pub fn lp_dist(a: &[f64], b: &[f64], p: f64) -> f64 {
+    assert_eq!(a.len(), b.len(), "lp_dist: length mismatch");
+    assert!(p >= 1.0, "lp_dist: p must be >= 1");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs().powf(p))
+        .sum::<f64>()
+        .powf(1.0 / p)
+}
+
+/// Element-wise sum, producing a new vector.
+#[inline]
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference, producing a new vector.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// In-place element-wise sum: `a += b`.
+#[inline]
+pub fn add_assign(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "add_assign: length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// Scaled copy: `s * a`.
+#[inline]
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// In-place scaling: `a *= s`.
+#[inline]
+pub fn scale_assign(a: &mut [f64], s: f64) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// `y += alpha * x`, the classic BLAS-1 primitive.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn distances_agree_on_simple_cases() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(l2_dist_sq(&a, &b), 25.0);
+        assert_eq!(l2_dist(&a, &b), 5.0);
+        assert_eq!(linf_dist(&a, &b), 4.0);
+        assert!((lp_dist(&a, &b, 2.0) - 5.0).abs() < 1e-12);
+        assert!((lp_dist(&a, &b, 1.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_dist_decreases_with_p() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 1.0, 1.0];
+        let d1 = lp_dist(&a, &b, 1.0);
+        let d2 = lp_dist(&a, &b, 2.0);
+        let d5 = lp_dist(&a, &b, 5.0);
+        assert!(d1 > d2 && d2 > d5);
+        assert!(d5 > linf_dist(&a, &b) - 1e-12);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(l1_norm(&[-3.0, 4.0]), 7.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+        assert_eq!(scale(&[1.0, 2.0], 2.5), vec![2.5, 5.0]);
+        let mut a = vec![1.0, 2.0];
+        add_assign(&mut a, &[1.0, 1.0]);
+        assert_eq!(a, vec![2.0, 3.0]);
+        scale_assign(&mut a, 0.5);
+        assert_eq!(a, vec![1.0, 1.5]);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

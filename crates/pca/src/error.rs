@@ -1,0 +1,81 @@
+//! Error type for PCA operations.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while fitting or applying a PCA model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A linear-algebra primitive failed (singular covariance, shape bug).
+    Linalg(mmdr_linalg::Error),
+    /// The dataset has no points.
+    EmptyDataset,
+    /// A requested reduced dimensionality is outside `1..=d`.
+    InvalidReducedDim {
+        /// The requested `d_r`.
+        requested: usize,
+        /// The original dimensionality `d`.
+        original: usize,
+    },
+    /// A point's dimensionality does not match the fitted model.
+    DimensionMismatch {
+        /// Dimensionality the model was fitted on.
+        expected: usize,
+        /// Dimensionality of the offending input.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            Error::EmptyDataset => write!(f, "dataset is empty"),
+            Error::InvalidReducedDim { requested, original } => write!(
+                f,
+                "reduced dimensionality {requested} not in 1..={original}"
+            ),
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "point has dimension {actual}, model expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mmdr_linalg::Error> for Error {
+    fn from(e: mmdr_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(Error::EmptyDataset.to_string().contains("empty"));
+        assert!(Error::InvalidReducedDim { requested: 9, original: 4 }
+            .to_string()
+            .contains("9"));
+        assert!(Error::DimensionMismatch { expected: 3, actual: 2 }
+            .to_string()
+            .contains("expects 3"));
+        let wrapped = Error::from(mmdr_linalg::Error::Singular);
+        assert!(wrapped.to_string().contains("singular"));
+        use std::error::Error as _;
+        assert!(wrapped.source().is_some());
+        assert!(Error::EmptyDataset.source().is_none());
+    }
+}

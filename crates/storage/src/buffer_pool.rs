@@ -1,0 +1,308 @@
+//! LRU buffer pool over the simulated disk.
+
+use crate::disk::DiskManager;
+use crate::error::{Error, Result};
+use crate::page::{Page, PageId};
+use crate::stats::IoStats;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const NIL: usize = usize::MAX;
+
+/// One resident page plus its LRU links.
+#[derive(Debug)]
+struct Frame {
+    page_id: PageId,
+    page: Page,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU cache in front of a [`DiskManager`].
+///
+/// Page access goes through closures ([`with_page`](BufferPool::with_page) /
+/// [`with_page_mut`](BufferPool::with_page_mut)) so the pool retains control
+/// of residency without handing out long-lived references. Hits cost no
+/// logical I/O; misses cost one read, and evicting a dirty frame costs one
+/// write — exactly the accounting the paper's I/O plots assume.
+#[derive(Debug)]
+pub struct BufferPool {
+    disk: DiskManager,
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    /// Most-recently-used frame index.
+    head: usize,
+    /// Least-recently-used frame index.
+    tail: usize,
+    free: Vec<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// Wraps a disk with an LRU cache of `capacity` pages.
+    pub fn new(disk: DiskManager, capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(Error::ZeroCapacity);
+        }
+        Ok(Self {
+            disk,
+            capacity,
+            frames: Vec::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Handle to the underlying I/O counters.
+    pub fn stats(&self) -> Arc<IoStats> {
+        self.disk.stats()
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Buffer hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Buffer misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of pages on the underlying disk.
+    pub fn num_pages(&self) -> usize {
+        self.disk.num_pages()
+    }
+
+    /// Allocates a fresh page. The page enters the pool dirty (it will be
+    /// written on eviction/flush) without costing a read.
+    pub fn allocate(&mut self) -> Result<PageId> {
+        let page_id = self.disk.allocate();
+        let idx = self.install(page_id, Page::new())?;
+        self.frames[idx].dirty = true;
+        Ok(page_id)
+    }
+
+    /// Runs `f` with shared access to the page.
+    pub fn with_page<R>(&mut self, page_id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        let idx = self.fetch(page_id)?;
+        Ok(f(&self.frames[idx].page))
+    }
+
+    /// Runs `f` with mutable access to the page, marking it dirty.
+    pub fn with_page_mut<R>(
+        &mut self,
+        page_id: PageId,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R> {
+        let idx = self.fetch(page_id)?;
+        self.frames[idx].dirty = true;
+        Ok(f(&mut self.frames[idx].page))
+    }
+
+    /// Writes every dirty resident page back to disk.
+    pub fn flush_all(&mut self) -> Result<()> {
+        let indices: Vec<usize> = self.map.values().copied().collect();
+        for idx in indices {
+            if self.frames[idx].dirty {
+                self.disk.write_page(self.frames[idx].page_id, &self.frames[idx].page)?;
+                self.frames[idx].dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ensures the page is resident and MRU; returns its frame index.
+    fn fetch(&mut self, page_id: PageId) -> Result<usize> {
+        if let Some(&idx) = self.map.get(&page_id) {
+            self.hits += 1;
+            self.touch(idx);
+            return Ok(idx);
+        }
+        self.misses += 1;
+        let page = self.disk.read_page(page_id)?;
+        self.install(page_id, page)
+    }
+
+    /// Inserts a page as MRU, evicting the LRU frame if full.
+    fn install(&mut self, page_id: PageId, page: Page) -> Result<usize> {
+        debug_assert!(!self.map.contains_key(&page_id));
+        let idx = if let Some(idx) = self.free.pop() {
+            idx
+        } else if self.frames.len() < self.capacity {
+            self.frames.push(Frame { page_id: 0, page: Page::new(), dirty: false, prev: NIL, next: NIL });
+            self.frames.len() - 1
+        } else {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "capacity > 0 guarantees a victim");
+            self.unlink(victim);
+            let old = &self.frames[victim];
+            if old.dirty {
+                self.disk.write_page(old.page_id, &old.page)?;
+            }
+            self.map.remove(&self.frames[victim].page_id);
+            victim
+        };
+        self.frames[idx].page_id = page_id;
+        self.frames[idx].page = page;
+        self.frames[idx].dirty = false;
+        self.link_front(idx);
+        self.map.insert(page_id, idx);
+        Ok(idx)
+    }
+
+    /// Moves a resident frame to the MRU position.
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.link_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.frames[idx].prev, self.frames[idx].next);
+        if prev != NIL {
+            self.frames[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.frames[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = NIL;
+    }
+
+    fn link_front(&mut self, idx: usize) {
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = self.head;
+        if self.head != NIL {
+            self.frames[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(capacity: usize) -> BufferPool {
+        BufferPool::new(DiskManager::new(), capacity).unwrap()
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert_eq!(
+            BufferPool::new(DiskManager::new(), 0).err(),
+            Some(Error::ZeroCapacity)
+        );
+    }
+
+    #[test]
+    fn hits_are_free_misses_cost_reads() {
+        let mut p = pool(2);
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |pg| pg.put_u64(0, 7).unwrap()).unwrap();
+        let stats = p.stats();
+        stats.reset();
+        // Page resident: repeated access costs nothing.
+        for _ in 0..5 {
+            let v = p.with_page(a, |pg| pg.get_u64(0).unwrap()).unwrap();
+            assert_eq!(v, 7);
+        }
+        assert_eq!(stats.reads(), 0);
+        // 1 hit from the with_page_mut above + 5 from the loop.
+        assert_eq!(p.hits(), 6);
+        assert_eq!(p.misses(), 0);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_and_rereads() {
+        let mut p = pool(2);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let c = p.allocate().unwrap(); // evicts a (LRU, dirty from allocate)
+        p.with_page_mut(a, |pg| pg.put_u64(0, 1).unwrap()).unwrap(); // re-fetch: 1 read
+        let stats = p.stats();
+        assert!(stats.writes() >= 1, "dirty eviction must write");
+        assert!(stats.reads() >= 1, "re-fetch must read");
+        let _ = (b, c);
+    }
+
+    #[test]
+    fn data_survives_eviction() {
+        let mut p = pool(2);
+        let ids: Vec<PageId> = (0..10).map(|_| p.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.with_page_mut(id, |pg| pg.put_u64(0, i as u64).unwrap()).unwrap();
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            let v = p.with_page(id, |pg| pg.get_u64(0).unwrap()).unwrap();
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn lru_order_is_respected() {
+        let mut p = pool(2);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.flush_all().unwrap();
+        let stats = p.stats();
+        stats.reset();
+        // Touch a so b becomes LRU; allocating c must evict b (clean ⇒ no
+        // write), keeping a resident.
+        p.with_page(a, |_| ()).unwrap();
+        let _c = p.allocate().unwrap();
+        p.with_page(a, |_| ()).unwrap(); // still resident → no read
+        assert_eq!(stats.reads(), 0);
+        p.with_page(b, |_| ()).unwrap(); // evicted → one read
+        assert_eq!(stats.reads(), 1);
+    }
+
+    #[test]
+    fn flush_all_clears_dirty() {
+        let mut p = pool(4);
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |pg| pg.put_u8(0, 1).unwrap()).unwrap();
+        p.flush_all().unwrap();
+        let w = p.stats().writes();
+        p.flush_all().unwrap(); // nothing dirty: no extra writes
+        assert_eq!(p.stats().writes(), w);
+    }
+
+    #[test]
+    fn missing_page_errors() {
+        let mut p = pool(2);
+        assert!(p.with_page(99, |_| ()).is_err());
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut p = pool(1);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.with_page_mut(a, |pg| pg.put_u8(0, 1).unwrap()).unwrap();
+        p.with_page_mut(b, |pg| pg.put_u8(0, 2).unwrap()).unwrap();
+        assert_eq!(p.with_page(a, |pg| pg.get_u8(0).unwrap()).unwrap(), 1);
+        assert_eq!(p.with_page(b, |pg| pg.get_u8(0).unwrap()).unwrap(), 2);
+    }
+}

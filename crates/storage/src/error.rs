@@ -1,0 +1,51 @@
+//! Error type for storage operations.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Access to a page id that was never allocated.
+    PageNotFound {
+        /// The offending page id.
+        page_id: u64,
+    },
+    /// A typed accessor would read or write past the end of the page.
+    OutOfBounds {
+        /// Byte offset of the access.
+        offset: usize,
+        /// Width of the access in bytes.
+        len: usize,
+    },
+    /// The buffer pool was configured with zero capacity.
+    ZeroCapacity,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PageNotFound { page_id } => write!(f, "page {page_id} does not exist"),
+            Error::OutOfBounds { offset, len } => {
+                write!(f, "access of {len} bytes at offset {offset} exceeds the page")
+            }
+            Error::ZeroCapacity => write!(f, "buffer pool capacity must be > 0"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(Error::PageNotFound { page_id: 42 }.to_string().contains("42"));
+        assert!(Error::OutOfBounds { offset: 4090, len: 8 }.to_string().contains("4090"));
+        assert!(!Error::ZeroCapacity.to_string().is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! Paged storage substrate with logical I/O accounting.
+//!
+//! The paper's Figure 9 reports index performance in *I/O cost* (page
+//! accesses) on a machine with a bounded buffer. This crate provides the
+//! pieces needed to reproduce that measurement without a physical disk:
+//!
+//! - [`Page`] — a fixed 4 KiB byte page with typed little-endian accessors.
+//! - [`DiskManager`] — an in-memory "disk" of pages; every read and write
+//!   through it increments shared [`IoStats`] counters.
+//! - [`BufferPool`] — an LRU cache in front of the disk; buffer hits are
+//!   free, misses cost a logical read, dirty evictions cost a write. The
+//!   pool capacity models the paper's 500 K-point buffer limit (§6.3).
+//!
+//! I/O numbers produced this way are *logical* page accesses — the same
+//! unit the paper plots — and are deterministic across runs.
+
+mod buffer_pool;
+mod disk;
+mod error;
+mod page;
+mod stats;
+
+pub use buffer_pool::BufferPool;
+pub use disk::DiskManager;
+pub use error::{Error, Result};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use stats::IoStats;

@@ -1,0 +1,80 @@
+//! Shared logical-I/O counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Logical I/O counters, shared between a disk/buffer pool and the harness
+/// that reports them.
+///
+/// Counters are atomics so a harness can hold a clone of the `Arc` while
+/// the index owns the pool; ordering is relaxed — these are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates a zeroed, shareable counter set.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records one logical page read.
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one logical page write.
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Logical page reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Logical page writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Reads + writes.
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Resets both counters (benchmarks call this between phases).
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let s = IoStats::new();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.total(), 3);
+        s.reset();
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn shareable_across_clones() {
+        let s = IoStats::new();
+        let s2 = Arc::clone(&s);
+        s2.record_read();
+        assert_eq!(s.reads(), 1);
+    }
+}

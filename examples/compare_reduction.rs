@@ -1,0 +1,60 @@
+//! Side-by-side comparison of MMDR vs. the LDR and GDR baselines on a
+//! locally-correlated workload — the paper's §6.1 experiment in miniature.
+//!
+//! ```sh
+//! cargo run --release --example compare_reduction
+//! ```
+
+use mmdr::core::{Gdr, Ldr, LdrParams, Mmdr, MmdrParams, ReductionResult};
+use mmdr::datagen::{exact_knn, generate_correlated, precision, sample_queries, CorrelatedConfig};
+use mmdr::idistance::SeqScan;
+use mmdr::linalg::Matrix;
+
+fn evaluate(name: &str, data: &Matrix, model: &ReductionResult, queries: &Matrix, k: usize) {
+    let mut scan = SeqScan::build(data, model, 1024).expect("scan");
+    let mut total = 0.0;
+    for q in queries.iter_rows() {
+        let exact: Vec<usize> = exact_knn(data, q, k).into_iter().map(|(_, i)| i).collect();
+        let approx: Vec<usize> = scan
+            .knn(q, k)
+            .expect("knn")
+            .into_iter()
+            .map(|(_, id)| id as usize)
+            .collect();
+        total += precision(&exact, &approx);
+    }
+    println!(
+        "{name:>5}: {:>2} clusters | mean d_r {:>5.1} | outliers {:>5.1}% | {k}-NN precision {:.3}",
+        model.clusters.len(),
+        model.mean_retained_dim(),
+        100.0 * model.outlier_fraction(),
+        total / queries.rows() as f64
+    );
+}
+
+fn main() {
+    let config = CorrelatedConfig::paper_style(8_000, 64, 10, 12, 30.0, 5);
+    let dataset = generate_correlated(&config);
+    let queries = sample_queries(&dataset.data, 30, 9).expect("queries");
+    println!(
+        "dataset: {} × {} (10 rotated clusters, each intrinsically 12-d)\n",
+        dataset.data.rows(),
+        dataset.data.cols()
+    );
+
+    let mmdr = Mmdr::new(MmdrParams::default()).fit(&dataset.data).expect("mmdr");
+    evaluate("MMDR", &dataset.data, &mmdr, &queries, 10);
+
+    let ldr = Ldr::new(LdrParams::default()).fit(&dataset.data).expect("ldr");
+    evaluate("LDR", &dataset.data, &ldr, &queries, 10);
+
+    let gdr = Gdr::new(20).fit(&dataset.data).expect("gdr");
+    evaluate("GDR", &dataset.data, &gdr, &queries, 10);
+
+    println!(
+        "\nMMDR discovers each cluster's own elliptical subspace (Mahalanobis\n\
+         clustering in multi-level PCA projections); LDR's spherical clusters\n\
+         miss crossed/stretched structure; GDR's single global basis cannot\n\
+         serve clusters correlated along different directions."
+    );
+}

@@ -1,0 +1,104 @@
+//! End-to-end pipeline: synthetic generation → MMDR → extended iDistance →
+//! KNN, validated against exact linear-scan ground truth.
+
+use mmdr::core::{Mmdr, MmdrParams};
+use mmdr::datagen::{exact_knn, generate_correlated, precision, sample_queries, CorrelatedConfig};
+use mmdr::idistance::{IDistanceConfig, IDistanceIndex, SeqScan};
+
+fn workload() -> mmdr::datagen::GeneratedDataset {
+    generate_correlated(&CorrelatedConfig::paper_style(4_000, 32, 6, 6, 30.0, 17))
+}
+
+#[test]
+fn pipeline_reaches_high_precision() {
+    let ds = workload();
+    let model = Mmdr::new(MmdrParams::default()).fit(&ds.data).unwrap();
+    assert!(model.is_partition(), "reduction must partition the dataset");
+    assert!(model.outlier_fraction() < 0.2, "outliers {:.3}", model.outlier_fraction());
+    assert!(
+        model.mean_retained_dim() < 16.0,
+        "mean d_r {:.1} should be well under the original 32",
+        model.mean_retained_dim()
+    );
+
+    let mut index = IDistanceIndex::build(&ds.data, &model, IDistanceConfig::default()).unwrap();
+    let queries = sample_queries(&ds.data, 25, 3).unwrap();
+    let mut total = 0.0;
+    for q in queries.iter_rows() {
+        let exact: Vec<usize> = exact_knn(&ds.data, q, 10).into_iter().map(|(_, i)| i).collect();
+        let approx: Vec<usize> = index
+            .knn(q, 10)
+            .unwrap()
+            .into_iter()
+            .map(|(_, id)| id as usize)
+            .collect();
+        total += precision(&exact, &approx);
+    }
+    let mean = total / queries.rows() as f64;
+    assert!(mean > 0.8, "mean precision {mean}");
+}
+
+#[test]
+fn idistance_and_seqscan_agree_exactly() {
+    // The two search schemes share distance semantics; the index is only a
+    // faster route to the same answer set.
+    let ds = workload();
+    let model = Mmdr::new(MmdrParams::default()).fit(&ds.data).unwrap();
+    let mut index = IDistanceIndex::build(&ds.data, &model, IDistanceConfig::default()).unwrap();
+    let mut scan = SeqScan::build(&ds.data, &model, 512).unwrap();
+    let queries = sample_queries(&ds.data, 15, 8).unwrap();
+    for (qi, q) in queries.iter_rows().enumerate() {
+        let a = index.knn(q, 10).unwrap();
+        let b = scan.knn(q, 10).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.0 - y.0).abs() < 1e-9, "query {qi}: {:?} vs {:?}", a, b);
+        }
+    }
+}
+
+#[test]
+fn index_beats_scan_on_io() {
+    let ds = workload();
+    let model = Mmdr::new(MmdrParams::default()).fit(&ds.data).unwrap();
+    let mut index = IDistanceIndex::build(
+        &ds.data,
+        &model,
+        IDistanceConfig { buffer_pages: 8, ..Default::default() },
+    )
+    .unwrap();
+    let mut scan = SeqScan::build(&ds.data, &model, 4).unwrap();
+    let queries = sample_queries(&ds.data, 10, 5).unwrap();
+    let mut index_reads = 0;
+    let mut scan_reads = 0;
+    for q in queries.iter_rows() {
+        index.io_stats().reset();
+        scan.io_stats().reset();
+        index.knn(q, 10).unwrap();
+        scan.knn(q, 10).unwrap();
+        index_reads += index.io_stats().reads();
+        scan_reads += scan.io_stats().reads();
+    }
+    assert!(
+        index_reads < scan_reads,
+        "index {index_reads} reads vs scan {scan_reads}"
+    );
+}
+
+#[test]
+fn dynamic_inserts_are_immediately_visible() {
+    let ds = workload();
+    let model = Mmdr::new(MmdrParams::default()).fit(&ds.data).unwrap();
+    let mut index = IDistanceIndex::build(&ds.data, &model, IDistanceConfig::default()).unwrap();
+    let base = ds.data.rows() as u64;
+    // Insert points near an existing cluster member.
+    for i in 0..20u64 {
+        let mut p = ds.data.row(i as usize * 7).to_vec();
+        p[0] += 1e-4;
+        index.insert(&p, base + i).unwrap();
+    }
+    assert_eq!(index.len(), ds.data.rows() + 20);
+    // The clone of row 0 must surface among its neighbours.
+    let hits = index.knn(ds.data.row(0), 3).unwrap();
+    assert!(hits.iter().any(|&(_, id)| id == base || id == 0), "{hits:?}");
+}

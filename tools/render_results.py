@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Renders results/<figure>.json into the EXPERIMENTS.md results section.
+
+Usage: python3 tools/render_results.py   (run from the repo root)
+
+Replaces the `<!-- RESULTS -->` marker in EXPERIMENTS.md with one markdown
+table per figure, in paper order.
+"""
+
+import json
+import pathlib
+
+ORDER = [
+    "fig7a", "fig7b", "fig8a", "fig8b", "fig9a", "fig9b",
+    "fig10a", "fig10b", "fig11a", "fig11b", "ablation", "ext_insert",
+]
+
+ABLATION_VARIANTS = ["full", "no-merge", "no-probe", "neither"]
+
+
+def render(doc: dict) -> str:
+    lines = [f"### {doc['figure']} — {doc['title']}", ""]
+    lines.append(f"*{doc['note']}*")
+    lines.append("")
+    header = [doc["x_label"], *doc["series"]]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for x, values in doc["rows"]:
+        if doc["figure"] == "ablation":
+            x_repr = ABLATION_VARIANTS[int(x)]
+        else:
+            x_repr = f"{x:g}"
+        cells = [x_repr] + ["—" if v is None else f"{v:.4g}" for v in values]
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    results = root / "results"
+    chunks = ["## Measured series", ""]
+    for name in ORDER:
+        path = results / f"{name}.json"
+        if not path.exists():
+            chunks.append(f"### {name} — (not yet run)\n")
+            continue
+        chunks.append(render(json.loads(path.read_text())))
+    rendered = "\n".join(chunks)
+
+    experiments = root / "EXPERIMENTS.md"
+    text = experiments.read_text()
+    marker = "<!-- RESULTS -->"
+    if marker not in text:
+        raise SystemExit("EXPERIMENTS.md lacks the results marker")
+    # Idempotent: drop any previously rendered block (everything between the
+    # marker and the summary heading).
+    summary = "## Summary of shape fidelity"
+    head, _, tail = text.partition(marker)
+    _, _, tail = tail.partition(summary)
+    text = head + marker + "\n\n" + rendered + "\n" + summary + tail
+    experiments.write_text(text)
+    print(f"rendered {len(ORDER)} figures into EXPERIMENTS.md")
+
+
+if __name__ == "__main__":
+    main()
