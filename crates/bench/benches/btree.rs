@@ -46,7 +46,7 @@ fn bench_bulk_load(c: &mut Criterion) {
 
 fn bench_seek(c: &mut Criterion) {
     let entries: Vec<(f64, u64)> = (0..100_000u64).map(|i| (i as f64, i)).collect();
-    let mut tree = BPlusTree::bulk_load(pool(4096), &entries).unwrap();
+    let tree = BPlusTree::bulk_load(pool(4096), &entries).unwrap();
     let mut i = 0u64;
     c.bench_function("btree_seek_100k", |b| {
         b.iter(|| {
@@ -59,7 +59,7 @@ fn bench_seek(c: &mut Criterion) {
 
 fn bench_range_scan(c: &mut Criterion) {
     let entries: Vec<(f64, u64)> = (0..100_000u64).map(|i| (i as f64, i)).collect();
-    let mut tree = BPlusTree::bulk_load(pool(4096), &entries).unwrap();
+    let tree = BPlusTree::bulk_load(pool(4096), &entries).unwrap();
     c.bench_function("btree_range_1000_of_100k", |b| {
         b.iter(|| black_box(tree.range(40_000.0, 41_000.0).unwrap().len()));
     });

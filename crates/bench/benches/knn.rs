@@ -14,7 +14,7 @@ fn bench_knn_schemes(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("knn_10_of_8k_64d");
     group.sample_size(20);
-    let mut immdr = IDistanceIndex::build(
+    let immdr = IDistanceIndex::build(
         &ds.data,
         &mmdr_model,
         IDistanceConfig { buffer_pages: 1 << 14, ..Default::default() },
@@ -22,7 +22,7 @@ fn bench_knn_schemes(c: &mut Criterion) {
     .unwrap();
     group.bench_function("iMMDR", |b| b.iter(|| black_box(immdr.knn(&q, 10).unwrap())));
 
-    let mut ildr = IDistanceIndex::build(
+    let ildr = IDistanceIndex::build(
         &ds.data,
         &ldr_model,
         IDistanceConfig { buffer_pages: 1 << 14, ..Default::default() },
@@ -33,7 +33,7 @@ fn bench_knn_schemes(c: &mut Criterion) {
     let mut gldr = GlobalLdrIndex::build(&ds.data, &ldr_model, 1 << 14).unwrap();
     group.bench_function("gLDR", |b| b.iter(|| black_box(gldr.knn(&q, 10).unwrap())));
 
-    let mut scan = SeqScan::build(&ds.data, &mmdr_model, 1 << 14).unwrap();
+    let scan = SeqScan::build(&ds.data, &mmdr_model, 1 << 14).unwrap();
     group.bench_function("seq-scan", |b| b.iter(|| black_box(scan.knn(&q, 10).unwrap())));
     group.finish();
 }

@@ -5,8 +5,8 @@ fn main() {
     let ds = generate_correlated(&CorrelatedConfig::paper_style(4_000, 32, 6, 6, 30.0, 17));
     let model = Mmdr::new(MmdrParams::default()).fit(&ds.data).unwrap();
     println!("clusters={} outliers={:.3} mean_dr={:.1}", model.clusters.len(), model.outlier_fraction(), model.mean_retained_dim());
-    let mut index = IDistanceIndex::build(&ds.data, &model, IDistanceConfig { buffer_pages: 8, ..Default::default() }).unwrap();
-    let mut scan = SeqScan::build(&ds.data, &model, 4).unwrap();
+    let index = IDistanceIndex::build(&ds.data, &model, IDistanceConfig { buffer_pages: 8, ..Default::default() }).unwrap();
+    let scan = SeqScan::build(&ds.data, &model, 4).unwrap();
     println!("index pages={} scan pages={}", index.total_pages(), scan.num_pages());
     let queries = sample_queries(&ds.data, 10, 5).unwrap();
     let (mut ir, mut sr) = (0u64, 0u64);

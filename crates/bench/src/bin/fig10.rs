@@ -35,7 +35,7 @@ fn main() {
         let mmdr_model = eval::reduce(Method::Mmdr, &data, Some(d_r), 10, args.seed);
         let ldr_model = eval::reduce(Method::Ldr, &data, Some(d_r), 10, args.seed);
 
-        let mut immdr = IDistanceIndex::build(
+        let immdr = IDistanceIndex::build(
             &data,
             &mmdr_model,
             IDistanceConfig { buffer_pages, ..Default::default() },
@@ -45,7 +45,7 @@ fn main() {
             immdr.knn(q, kk).expect("knn");
         });
 
-        let mut ildr = IDistanceIndex::build(
+        let ildr = IDistanceIndex::build(
             &data,
             &ldr_model,
             IDistanceConfig { buffer_pages, ..Default::default() },

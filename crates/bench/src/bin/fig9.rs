@@ -35,7 +35,7 @@ fn main() {
         let ldr_model = eval::reduce(Method::Ldr, &data, Some(d_r), 10, args.seed);
 
         // iMMDR: extended iDistance over the MMDR reduction.
-        let mut immdr = IDistanceIndex::build(
+        let immdr = IDistanceIndex::build(
             &data,
             &mmdr_model,
             IDistanceConfig { buffer_pages, ..Default::default() },
@@ -48,7 +48,7 @@ fn main() {
         });
 
         // iLDR: the same index over the LDR reduction.
-        let mut ildr = IDistanceIndex::build(
+        let ildr = IDistanceIndex::build(
             &data,
             &ldr_model,
             IDistanceConfig { buffer_pages, ..Default::default() },
@@ -69,7 +69,7 @@ fn main() {
         });
 
         // Sequential scan of the reduced pages (MMDR layout).
-        let mut scan = SeqScan::build(&data, &mmdr_model, buffer_pages).expect("scan build");
+        let scan = SeqScan::build(&data, &mmdr_model, buffer_pages).expect("scan build");
         let io_scan = mean_io(&qs, k, |q, kk| {
             scan.io_stats().reset();
             scan.knn(q, kk).expect("knn");

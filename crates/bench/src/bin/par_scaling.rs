@@ -1,0 +1,87 @@
+//! Parallel-scaling benchmark: speedup vs. thread count for the two
+//! parallel layers — MMDR model fitting (chunked clustering + PCA) and
+//! concurrent batch KNN over the extended iDistance index.
+//!
+//! Every thread count must produce bit-identical output (fixed-size chunks
+//! merged in a fixed order); this binary asserts that while it measures, so
+//! a scaling run doubles as a determinism check at benchmark scale.
+
+use mmdr_bench::{workloads, Args, Report};
+use mmdr_core::{Mmdr, MmdrParams, ParConfig};
+use mmdr_datagen::sample_queries;
+use mmdr_idistance::{IDistanceConfig, IDistanceIndex};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.n.unwrap_or_else(|| args.pick(5_000, 20_000, 100_000));
+    let queries = args.queries.unwrap_or_else(|| args.pick(100, 300, 1_000));
+    let k = args.k.unwrap_or(10);
+    let dim = 64;
+
+    let data = workloads::synthetic(n, dim, 10, 30.0, args.seed).data;
+    let qs = sample_queries(&data, queries, args.seed ^ 0x5ca1e).expect("queries");
+    let query_rows: Vec<Vec<f64>> = qs.iter_rows().map(|r| r.to_vec()).collect();
+
+    let mut report = Report::new(
+        "par_scaling",
+        "speedup vs threads (model fit and batch 10-NN)",
+        "threads",
+        &["fit_seconds", "fit_speedup", "batch_knn_seconds", "batch_knn_speedup"],
+        format!("n={n} dim={dim} queries={queries} k={k} seed={}", args.seed),
+    );
+
+    let mut fit_base = 0.0f64;
+    let mut knn_base = 0.0f64;
+    let mut serial_model = None;
+    let mut serial_answers: Option<Vec<Vec<(f64, u64)>>> = None;
+
+    for &threads in &[1usize, 2, 4, 8] {
+        let par = ParConfig::threads(threads);
+
+        let t0 = Instant::now();
+        let model = Mmdr::new(MmdrParams { par, ..Default::default() })
+            .fit(&data)
+            .expect("fit");
+        let fit_secs = t0.elapsed().as_secs_f64();
+
+        let index = IDistanceIndex::build(&data, &model, IDistanceConfig::default())
+            .expect("index build");
+        let t1 = Instant::now();
+        let answers = index.batch_knn(&query_rows, k, &par).expect("batch knn");
+        let knn_secs = t1.elapsed().as_secs_f64();
+
+        // Determinism gate: every thread count must reproduce the serial
+        // model and the serial (distance, id) lists bit for bit.
+        match (&serial_model, &serial_answers) {
+            (None, None) => {
+                fit_base = fit_secs;
+                knn_base = knn_secs;
+                serial_model = Some(model);
+                serial_answers = Some(answers);
+            }
+            (Some(base_model), Some(base_answers)) => {
+                assert_eq!(
+                    model.outliers, base_model.outliers,
+                    "threads={threads}: outlier set diverged from serial"
+                );
+                assert_eq!(
+                    answers, *base_answers,
+                    "threads={threads}: batch KNN answers diverged from serial"
+                );
+            }
+            _ => unreachable!("baselines are set together"),
+        }
+
+        report.push(
+            threads as f64,
+            vec![fit_secs, fit_base / fit_secs, knn_secs, knn_base / knn_secs],
+        );
+        eprintln!(
+            "threads {threads}: fit {fit_secs:.3}s ({:.2}x), batch knn {knn_secs:.3}s ({:.2}x)",
+            fit_base / fit_secs,
+            knn_base / knn_secs
+        );
+    }
+    report.emit();
+}

@@ -89,7 +89,7 @@ pub fn mean_precision(
     queries: &Matrix,
     k: usize,
 ) -> f64 {
-    let mut scan = SeqScan::build(data, model, 4096).expect("seq scan build");
+    let scan = SeqScan::build(data, model, 4096).expect("seq scan build");
     let mut total = 0.0;
     for q in queries.iter_rows() {
         let exact: Vec<usize> = exact_knn(data, q, k).into_iter().map(|(_, i)| i).collect();

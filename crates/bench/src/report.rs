@@ -1,11 +1,11 @@
 //! TSV/JSON reporting for the figure binaries.
 
-use serde::Serialize;
+use mmdr_json::Value;
 use std::io::Write;
 use std::path::Path;
 
 /// A figure's result table: one row per x-value, one column per series.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Report {
     /// Figure identifier, e.g. `"fig7a"`.
     pub figure: String,
@@ -67,6 +67,30 @@ impl Report {
         out
     }
 
+    /// Renders the JSON document written next to the TSV (same shape the
+    /// previous serde-based writer produced: rows as `[x, [values…]]`).
+    pub fn to_json(&self) -> String {
+        Value::object(vec![
+            ("figure", self.figure.as_str().into()),
+            ("title", self.title.as_str().into()),
+            ("x_label", self.x_label.as_str().into()),
+            ("series", self.series.clone().into()),
+            (
+                "rows",
+                Value::Array(
+                    self.rows
+                        .iter()
+                        .map(|(x, values)| {
+                            Value::Array(vec![(*x).into(), values.clone().into()])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("note", self.note.as_str().into()),
+        ])
+        .to_json_pretty()
+    }
+
     /// Prints the TSV to stdout and writes `results/<figure>.json`.
     pub fn emit(&self) {
         let mut stdout = std::io::stdout().lock();
@@ -74,13 +98,8 @@ impl Report {
         let dir = Path::new("results");
         if std::fs::create_dir_all(dir).is_ok() {
             let path = dir.join(format!("{}.json", self.figure));
-            match serde_json::to_vec_pretty(self) {
-                Ok(json) => {
-                    if let Err(e) = std::fs::write(&path, json) {
-                        eprintln!("warning: could not write {}: {e}", path.display());
-                    }
-                }
-                Err(e) => eprintln!("warning: could not serialize report: {e}"),
+            if let Err(e) = std::fs::write(&path, self.to_json()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
             }
         }
     }
@@ -112,7 +131,11 @@ mod tests {
     fn serializes_to_json() {
         let mut r = Report::new("f", "t", "x", &["A"], String::new());
         r.push(1.0, vec![2.0]);
-        let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("\"figure\":\"f\""));
+        let json = r.to_json();
+        let doc = mmdr_json::parse(&json).unwrap();
+        assert_eq!(doc.get("figure").unwrap().as_str(), Some("f"));
+        let rows = doc.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].as_array().unwrap()[0].as_f64(), Some(1.0));
+        assert_eq!(rows[0].as_array().unwrap()[1].as_f64_vec(), Some(vec![2.0]));
     }
 }

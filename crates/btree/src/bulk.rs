@@ -16,7 +16,7 @@ impl BPlusTree {
     /// Builds a tree from entries sorted by key (ascending; duplicates
     /// allowed). Returns [`Error::UnsortedInput`] on order violations and
     /// [`Error::InvalidKey`] on non-finite keys.
-    pub fn bulk_load(mut pool: BufferPool, entries: &[(f64, u64)]) -> Result<Self> {
+    pub fn bulk_load(pool: BufferPool, entries: &[(f64, u64)]) -> Result<Self> {
         // Validate input once, up front.
         for (i, &(k, _)) in entries.iter().enumerate() {
             if !k.is_finite() {
@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn bulk_load_small() {
         let entries: Vec<(f64, u64)> = (0..10).map(|i| (i as f64, i)).collect();
-        let mut t = BPlusTree::bulk_load(pool(16), &entries).unwrap();
+        let t = BPlusTree::bulk_load(pool(16), &entries).unwrap();
         assert_eq!(t.len(), 10);
         t.check_invariants().unwrap();
         let all = t.range(f64::MIN, f64::MAX).unwrap();
@@ -101,7 +101,7 @@ mod tests {
     fn bulk_load_multi_level() {
         let n = 100_000u64;
         let entries: Vec<(f64, u64)> = (0..n).map(|i| (i as f64 * 0.25, i)).collect();
-        let mut t = BPlusTree::bulk_load(pool(1024), &entries).unwrap();
+        let t = BPlusTree::bulk_load(pool(1024), &entries).unwrap();
         assert_eq!(t.len(), n as usize);
         assert!(t.height() >= 3, "height {}", t.height());
         // Spot checks.
@@ -118,14 +118,14 @@ mod tests {
         let mut entries = vec![(1.0, 1u64)];
         entries.extend((0..500).map(|i| (2.0, 100 + i)));
         entries.push((3.0, 9));
-        let mut t = BPlusTree::bulk_load(pool(64), &entries).unwrap();
+        let t = BPlusTree::bulk_load(pool(64), &entries).unwrap();
         assert_eq!(t.range(2.0, 2.0).unwrap().len(), 500);
         t.check_invariants().unwrap();
     }
 
     #[test]
     fn bulk_load_empty() {
-        let mut t = BPlusTree::bulk_load(pool(4), &[]).unwrap();
+        let t = BPlusTree::bulk_load(pool(4), &[]).unwrap();
         assert!(t.is_empty());
         assert!(t.range(0.0, 1.0).unwrap().is_empty());
     }

@@ -19,7 +19,7 @@ pub struct BPlusTree {
 
 impl BPlusTree {
     /// Creates an empty tree (a single empty leaf as root) in the pool.
-    pub fn new(mut pool: BufferPool) -> Result<Self> {
+    pub fn new(pool: BufferPool) -> Result<Self> {
         let root = pool.allocate()?;
         pool.with_page_mut(root, Leaf::init)?;
         Ok(Self { pool, root, height: 1, len: 0 })
@@ -45,7 +45,13 @@ impl BPlusTree {
         self.pool.stats()
     }
 
-    /// Mutable access to the buffer pool (for flushes in benchmarks).
+    /// Access to the buffer pool (for flushes in benchmarks).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Mutable access to the buffer pool (kept for older callers; the pool
+    /// itself is interior-mutable, so [`Self::pool`] usually suffices).
     pub fn pool_mut(&mut self) -> &mut BufferPool {
         &mut self.pool
     }
@@ -168,7 +174,7 @@ impl BPlusTree {
     /// The cursor may be exhausted immediately (every key is smaller); both
     /// [`cursor_next`](Self::cursor_next) and
     /// [`cursor_prev`](Self::cursor_prev) work from the returned position.
-    pub fn seek(&mut self, key: f64) -> Result<Cursor> {
+    pub fn seek(&self, key: f64) -> Result<Cursor> {
         if !key.is_finite() {
             return Err(Error::InvalidKey);
         }
@@ -188,7 +194,7 @@ impl BPlusTree {
 
     /// Returns the entry at the cursor and advances it forward (ascending
     /// keys). `None` when past the last entry.
-    pub fn cursor_next(&mut self, cursor: &mut Cursor) -> Result<Option<(f64, u64)>> {
+    pub fn cursor_next(&self, cursor: &mut Cursor) -> Result<Option<(f64, u64)>> {
         loop {
             let (leaf, slot) = cursor.position();
             if leaf == NIL_PAGE {
@@ -210,7 +216,7 @@ impl BPlusTree {
     /// `cursor_next` and `cursor_prev` are symmetric around the cursor gap:
     /// after a `seek(k)`, `cursor_prev` yields entries `< k` and
     /// `cursor_next` yields entries `>= k`.
-    pub fn cursor_prev(&mut self, cursor: &mut Cursor) -> Result<Option<(f64, u64)>> {
+    pub fn cursor_prev(&self, cursor: &mut Cursor) -> Result<Option<(f64, u64)>> {
         loop {
             let (leaf, slot) = cursor.position();
             if leaf == NIL_PAGE {
@@ -234,7 +240,7 @@ impl BPlusTree {
     }
 
     /// Collects all `(key, rid)` entries with `lo <= key <= hi`.
-    pub fn range(&mut self, lo: f64, hi: f64) -> Result<Vec<(f64, u64)>> {
+    pub fn range(&self, lo: f64, hi: f64) -> Result<Vec<(f64, u64)>> {
         let mut cursor = self.seek(lo)?;
         let mut out = Vec::new();
         while let Some((k, r)) = self.cursor_next(&mut cursor)? {
@@ -249,7 +255,7 @@ impl BPlusTree {
     /// Walks the whole tree checking structural invariants (key order
     /// within nodes, separator consistency, chain integrity, length).
     /// Test/diagnostic helper — `O(n)`.
-    pub fn check_invariants(&mut self) -> Result<()> {
+    pub fn check_invariants(&self) -> Result<()> {
         // Full in-order scan must be sorted and have `len` entries.
         let mut cursor = self.seek(f64::MIN)?;
         let mut prev: Option<f64> = None;
@@ -291,7 +297,7 @@ mod tests {
 
     #[test]
     fn empty_tree_behaviour() {
-        let mut t = tree(16);
+        let t = tree(16);
         assert!(t.is_empty());
         assert_eq!(t.height(), 1);
         let mut c = t.seek(0.0).unwrap();

@@ -64,7 +64,7 @@ proptest! {
         keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let entries: Vec<(f64, u64)> =
             keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
-        let mut bulk = BPlusTree::bulk_load(pool(64), &entries).unwrap();
+        let bulk = BPlusTree::bulk_load(pool(64), &entries).unwrap();
         let mut incremental = BPlusTree::new(pool(64)).unwrap();
         for &(k, v) in &entries {
             incremental.insert(k, v).unwrap();
@@ -85,7 +85,7 @@ proptest! {
         keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let entries: Vec<(f64, u64)> =
             keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
-        let mut tree = BPlusTree::bulk_load(pool(32), &entries).unwrap();
+        let tree = BPlusTree::bulk_load(pool(32), &entries).unwrap();
         let mut cur = tree.seek(probe).unwrap();
         let next = tree.cursor_next(&mut cur).unwrap();
         let expected = keys.iter().copied().find(|&k| k >= probe);

@@ -1,12 +1,11 @@
 //! On-disk dataset format shared by the CLI subcommands.
 
+use mmdr_json::Value;
 use mmdr_linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// A dataset file: dimensionality plus row-major points. JSON keeps the
 /// tooling dependency-free and diffable; at CLI scales (≤ a few hundred
 /// thousand points) file sizes stay manageable.
-#[derive(Serialize, Deserialize)]
 pub struct DatasetFile {
     /// Dimensionality of every row.
     pub dim: usize,
@@ -34,14 +33,33 @@ impl DatasetFile {
     /// Reads a dataset file.
     pub fn load(path: &str) -> Result<Matrix, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let file: DatasetFile =
-            serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
-        file.into_matrix()
+        let doc = mmdr_json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let dim = doc
+            .get("dim")
+            .and_then(Value::as_usize)
+            .ok_or_else(|| format!("{path}: missing or invalid `dim`"))?;
+        let rows = doc
+            .get("rows")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{path}: missing or invalid `rows`"))?
+            .iter()
+            .map(Value::as_f64_vec)
+            .collect::<Option<Vec<Vec<f64>>>>()
+            .ok_or_else(|| format!("{path}: non-numeric row entry"))?;
+        DatasetFile { dim, rows }.into_matrix()
     }
 
     /// Writes a dataset file.
     pub fn save(path: &str, m: &Matrix) -> Result<(), String> {
-        let json = serde_json::to_string(&Self::from_matrix(m)).map_err(|e| e.to_string())?;
+        let file = Self::from_matrix(m);
+        let json = Value::object(vec![
+            ("dim", file.dim.into()),
+            (
+                "rows",
+                Value::Array(file.rows.into_iter().map(Value::from).collect()),
+            ),
+        ])
+        .to_json();
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))
     }
 

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! mmdr generate --out data.json --n 5000 --dim 32 --clusters 5 [--histogram]
-//! mmdr reduce   --data data.json --out model.json [--method mmdr|ldr|gdr] [--dim D]
+//! mmdr reduce   --data data.json --out model.json [--method mmdr|ldr|gdr] [--dim D] [--threads N]
 //! mmdr info     --model model.json
-//! mmdr query    --data data.json --model model.json --row 17 [--k 10] [--radius R]
+//! mmdr query    --data data.json --model model.json --row 17,42 [--k 10] [--radius R] [--threads N]
 //! ```
 //!
 //! Datasets and models are JSON files (`DatasetFile` /
@@ -14,7 +14,7 @@
 mod dataset;
 
 use dataset::DatasetFile;
-use mmdr_core::{Gdr, Ldr, LdrParams, Mmdr, MmdrParams, ReductionResult};
+use mmdr_core::{Gdr, Ldr, LdrParams, Mmdr, MmdrParams, ParConfig, ReductionResult};
 use mmdr_datagen::{generate_correlated, generate_histograms, CorrelatedConfig, HistogramConfig};
 use mmdr_idistance::{IDistanceConfig, IDistanceIndex};
 use std::collections::HashMap;
@@ -64,9 +64,13 @@ const USAGE: &str = "mmdr — MMDR dimensionality reduction + extended iDistance
 USAGE:
   mmdr generate --out FILE [--n N] [--dim D] [--clusters K] [--ratio R] [--seed S] [--histogram true]
   mmdr convert  (--csv FILE --out FILE | --data FILE --out-csv FILE)
-  mmdr reduce   --data FILE --out FILE [--method mmdr|ldr|gdr] [--dim D] [--clusters K] [--beta B] [--seed S]
+  mmdr reduce   --data FILE --out FILE [--method mmdr|ldr|gdr] [--dim D] [--clusters K] [--beta B] [--seed S] [--threads N]
   mmdr info     --model FILE
-  mmdr query    --data FILE --model FILE (--row I | --point \"x,y,…\") [--k K] [--radius R]";
+  mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N]
+
+Results are independent of --threads: clustering, PCA and batch queries use
+fixed-size work chunks merged in a fixed order, so any thread count produces
+bit-identical output.";
 
 /// Parses `--flag value` pairs into a map, rejecting unknown flags.
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
@@ -154,7 +158,10 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_reduce(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["data", "out", "method", "dim", "clusters", "beta", "seed"])?;
+    let flags = parse_flags(
+        args,
+        &["data", "out", "method", "dim", "clusters", "beta", "seed", "threads"],
+    )?;
     let data = DatasetFile::load(require(&flags, "data")?)?;
     let out = require(&flags, "out")?;
     let method = flags.get("method").map(String::as_str).unwrap_or("mmdr");
@@ -165,6 +172,7 @@ fn cmd_reduce(args: &[String]) -> Result<(), String> {
     let clusters = get_parse(&flags, "clusters", 10usize)?;
     let beta = get_parse(&flags, "beta", 0.1f64)?;
     let seed = get_parse(&flags, "seed", 0u64)?;
+    let par = ParConfig::threads(get_parse(&flags, "threads", 1usize)?);
 
     let start = std::time::Instant::now();
     let model = match method {
@@ -173,6 +181,7 @@ fn cmd_reduce(args: &[String]) -> Result<(), String> {
             fixed_dim,
             beta,
             seed,
+            par,
             ..Default::default()
         })
         .fit(&data)
@@ -182,6 +191,7 @@ fn cmd_reduce(args: &[String]) -> Result<(), String> {
             fixed_dim,
             recon_threshold: beta,
             seed,
+            par,
             ..Default::default()
         })
         .fit(&data)
@@ -233,29 +243,39 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["data", "model", "row", "point", "k", "radius"])?;
+    let flags = parse_flags(args, &["data", "model", "row", "point", "k", "radius", "threads"])?;
     let data = DatasetFile::load(require(&flags, "data")?)?;
     let model = load_model(require(&flags, "model")?)?;
-    let query: Vec<f64> = if let Some(row) = flags.get("row") {
-        let idx: usize = row.parse().map_err(|_| "--row: not a number")?;
-        if idx >= data.rows() {
-            return Err(format!("--row {idx} out of range (dataset has {})", data.rows()));
-        }
-        data.row(idx).to_vec()
+    // --row accepts a comma-separated list; multiple rows form a batch that
+    // --threads fans across workers (answers are identical at any count).
+    let queries: Vec<Vec<f64>> = if let Some(rows) = flags.get("row") {
+        rows.split(',')
+            .map(|s| {
+                let idx: usize = s.trim().parse().map_err(|_| "--row: not a number")?;
+                if idx >= data.rows() {
+                    return Err(format!("--row {idx} out of range (dataset has {})", data.rows()));
+                }
+                Ok(data.row(idx).to_vec())
+            })
+            .collect::<Result<_, _>>()?
     } else if let Some(point) = flags.get("point") {
-        point
+        vec![point
             .split(',')
             .map(|s| s.trim().parse::<f64>().map_err(|_| format!("bad coordinate `{s}`")))
-            .collect::<Result<_, _>>()?
+            .collect::<Result<_, _>>()?]
     } else {
         return Err("either --row or --point is required".into());
     };
+    let par = ParConfig::threads(get_parse(&flags, "threads", 1usize)?);
 
-    let mut index = IDistanceIndex::build(&data, &model, IDistanceConfig::default())
+    let index = IDistanceIndex::build(&data, &model, IDistanceConfig::default())
         .map_err(|e| e.to_string())?;
     if let Some(radius) = flags.get("radius") {
+        if queries.len() != 1 {
+            return Err("--radius works with a single query".into());
+        }
         let radius: f64 = radius.parse().map_err(|_| "--radius: not a number")?;
-        let hits = index.range_search(&query, radius).map_err(|e| e.to_string())?;
+        let hits = index.range_search(&queries[0], radius).map_err(|e| e.to_string())?;
         outln!("{} points within radius {radius}:", hits.len());
         for (dist, id) in hits.iter().take(50) {
             outln!("  #{id:<8} dist {dist:.6}");
@@ -265,10 +285,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
     } else {
         let k = get_parse(&flags, "k", 10usize)?;
-        let hits = index.knn(&query, k).map_err(|e| e.to_string())?;
-        outln!("{k}-NN:");
-        for (dist, id) in &hits {
-            outln!("  #{id:<8} dist {dist:.6}");
+        let results = index.batch_knn(&queries, k, &par).map_err(|e| e.to_string())?;
+        for (qi, hits) in results.iter().enumerate() {
+            if results.len() > 1 {
+                outln!("query {qi}: {k}-NN:");
+            } else {
+                outln!("{k}-NN:");
+            }
+            for (dist, id) in hits {
+                outln!("  #{id:<8} dist {dist:.6}");
+            }
         }
     }
     Ok(())

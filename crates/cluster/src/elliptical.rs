@@ -26,7 +26,7 @@
 use crate::assignment::{Cluster, Clustering};
 use crate::error::{Error, Result};
 use crate::mahalanobis::COVARIANCE_RIDGE;
-use mmdr_linalg::{Cholesky, Matrix};
+use mmdr_linalg::{map_ranges, Cholesky, Matrix, ParConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,6 +47,10 @@ pub struct EllipticalConfig {
     /// `Some(t)` freezes a point after `t` iterations without a membership
     /// change (§6.3 uses 10). `None` disables the Activity optimization.
     pub activity_threshold: Option<u32>,
+    /// Thread count for the assignment and sufficient-statistics passes.
+    /// Results are bit-identical for every value (chunk-and-merge; see
+    /// `mmdr_linalg::par`).
+    pub par: ParConfig,
 }
 
 impl Default for EllipticalConfig {
@@ -58,6 +62,7 @@ impl Default for EllipticalConfig {
             seed: 0,
             lookup_k: Some(3),
             activity_threshold: Some(10),
+            par: ParConfig::serial(),
         }
     }
 }
@@ -175,68 +180,46 @@ impl EllipticalKMeans {
             for inner in 0..self.config.max_inner {
                 inner_iterations += 1;
                 let full_pass = inner == 0 && outer == 0;
-                let mut inner_changed = false;
 
-                for (i, point) in data.iter_rows().enumerate() {
-                    if let Some(t) = self.config.activity_threshold {
-                        if activity[i] >= t {
-                            continue; // inactive point: frozen (§4.2)
-                        }
-                    }
-                    let use_lookup = self.config.lookup_k.is_some()
-                        && !full_pass
-                        && !lookup[i].is_empty();
-                    let best = if use_lookup {
-                        let (b, _) = best_among(
+                // Reassignment pass. Each point's decision depends only on
+                // the pre-pass arrays and the fixed cluster states, so the
+                // pass parallelizes by chunking points: workers read the
+                // shared arrays and emit per-point outcomes, which the main
+                // thread writes back in chunk order.
+                let chunk_outcomes = map_ranges(n, &self.config.par, |range| {
+                    let mut updates = Vec::with_capacity(range.len());
+                    let mut dists = 0u64;
+                    let mut changed = false;
+                    for i in range {
+                        let outcome = assign_point(
                             &states,
-                            point,
-                            d_ln_2pi,
-                            lookup[i].iter().copied(),
-                            &mut dist_computations,
-                        );
-                        b
-                    } else {
-                        let (b, order) = best_with_order(
-                            &states,
-                            point,
+                            data.row(i),
                             d_ln_2pi,
                             self.config.lookup_k,
-                            &mut dist_computations,
+                            self.config.activity_threshold,
+                            full_pass,
+                            assignments[i],
+                            activity[i],
+                            &lookup[i],
+                            &mut dists,
                         );
-                        if let Some(o) = order {
-                            lookup[i] = o;
+                        changed |= outcome.changed;
+                        updates.push(outcome);
+                    }
+                    (updates, dists, changed)
+                });
+                let mut inner_changed = false;
+                let mut i = 0;
+                for (updates, dists, changed) in chunk_outcomes {
+                    dist_computations += dists;
+                    inner_changed |= changed;
+                    for u in updates {
+                        assignments[i] = u.assign;
+                        activity[i] = u.activity;
+                        if let Some(order) = u.lookup {
+                            lookup[i] = order;
                         }
-                        b
-                    };
-                    if assignments[i] != best {
-                        // Membership change: refresh the lookup entry with a
-                        // full evaluation (paper: entries update only on
-                        // membership change) and reset the Activity counter.
-                        if use_lookup {
-                            let (b_full, order) = best_with_order(
-                                &states,
-                                point,
-                                d_ln_2pi,
-                                self.config.lookup_k,
-                                &mut dist_computations,
-                            );
-                            if let Some(o) = order {
-                                lookup[i] = o;
-                            }
-                            if assignments[i] != b_full {
-                                assignments[i] = b_full;
-                                activity[i] = 0;
-                                inner_changed = true;
-                            } else {
-                                activity[i] = activity[i].saturating_add(1);
-                            }
-                        } else {
-                            assignments[i] = best;
-                            activity[i] = 0;
-                            inner_changed = true;
-                        }
-                    } else {
-                        activity[i] = activity[i].saturating_add(1);
+                        i += 1;
                     }
                 }
 
@@ -246,15 +229,29 @@ impl EllipticalKMeans {
                     break; // inner loop converged
                 }
                 // Update centroids with covariances still fixed.
-                update_centroids(data, weights, &assignments, &mut centroids, &mut rng);
+                update_centroids(
+                    data,
+                    weights,
+                    &assignments,
+                    &mut centroids,
+                    &mut rng,
+                    &self.config.par,
+                );
                 for (s, c) in states.iter_mut().zip(&centroids) {
                     s.centroid.clone_from(c);
                 }
             }
 
             // Outer step: re-estimate covariances from current membership.
-            update_centroids(data, weights, &assignments, &mut centroids, &mut rng);
-            update_covariances(data, weights, &assignments, &centroids, &mut covariances)?;
+            update_centroids(data, weights, &assignments, &mut centroids, &mut rng, &self.config.par);
+            update_covariances(
+                data,
+                weights,
+                &assignments,
+                &centroids,
+                &mut covariances,
+                &self.config.par,
+            )?;
 
             if !outer_changed {
                 converged = true;
@@ -270,6 +267,83 @@ impl EllipticalKMeans {
             distance_computations: dist_computations,
             converged,
         })
+    }
+}
+
+/// One point's reassignment outcome (`lookup` is `Some` only when the pass
+/// performed a full evaluation that refreshes the lookup entry).
+struct PointOutcome {
+    assign: usize,
+    activity: u32,
+    lookup: Option<Vec<usize>>,
+    changed: bool,
+}
+
+/// The per-point body of the reassignment pass. Pure in the pre-pass state
+/// (`cur_*`), which is what makes the pass safe to chunk across threads.
+#[allow(clippy::too_many_arguments)]
+fn assign_point(
+    states: &[ClusterState],
+    point: &[f64],
+    d_ln_2pi: f64,
+    lookup_k: Option<usize>,
+    activity_threshold: Option<u32>,
+    full_pass: bool,
+    cur_assign: usize,
+    cur_activity: u32,
+    cur_lookup: &[usize],
+    dist_computations: &mut u64,
+) -> PointOutcome {
+    if let Some(t) = activity_threshold {
+        if cur_activity >= t {
+            // Inactive point: frozen (§4.2).
+            return PointOutcome {
+                assign: cur_assign,
+                activity: cur_activity,
+                lookup: None,
+                changed: false,
+            };
+        }
+    }
+    let use_lookup = lookup_k.is_some() && !full_pass && !cur_lookup.is_empty();
+    let mut new_lookup = None;
+    let best = if use_lookup {
+        let (b, _) =
+            best_among(states, point, d_ln_2pi, cur_lookup.iter().copied(), dist_computations);
+        b
+    } else {
+        let (b, order) = best_with_order(states, point, d_ln_2pi, lookup_k, dist_computations);
+        new_lookup = order;
+        b
+    };
+    if cur_assign != best {
+        // Membership change: refresh the lookup entry with a full evaluation
+        // (paper: entries update only on membership change) and reset the
+        // Activity counter.
+        if use_lookup {
+            let (b_full, order) =
+                best_with_order(states, point, d_ln_2pi, lookup_k, dist_computations);
+            new_lookup = order;
+            if cur_assign != b_full {
+                PointOutcome { assign: b_full, activity: 0, lookup: new_lookup, changed: true }
+            } else {
+                PointOutcome {
+                    assign: cur_assign,
+                    activity: cur_activity.saturating_add(1),
+                    lookup: new_lookup,
+                    changed: false,
+                }
+            }
+        } else {
+            PointOutcome { assign: best, activity: 0, lookup: new_lookup, changed: true }
+        }
+    } else {
+        PointOutcome {
+            assign: cur_assign,
+            activity: cur_activity.saturating_add(1),
+            lookup: new_lookup,
+            changed: false,
+        }
     }
 }
 
@@ -352,26 +426,47 @@ fn seed_centroids(data: &Matrix, k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
 }
 
 /// Weighted centroid update; empty clusters are reseeded at a random point.
+///
+/// Per-cluster sums accumulate per fixed-size chunk and merge in chunk
+/// order, so the result is bit-identical for every thread count; the
+/// rng-consuming empty-cluster reseed runs on the calling thread in cluster
+/// order.
 fn update_centroids(
     data: &Matrix,
     weights: Option<&[f64]>,
     assignments: &[usize],
     centroids: &mut [Vec<f64>],
     rng: &mut StdRng,
+    par: &ParConfig,
 ) {
     let k = centroids.len();
     let d = data.cols();
-    let mut sums = vec![vec![0.0; d]; k];
-    let mut totals = vec![0.0f64; k];
-    for (i, point) in data.iter_rows().enumerate() {
-        let a = assignments[i];
-        if a == usize::MAX {
-            continue;
+    let partials = map_ranges(data.rows(), par, |range| {
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut totals = vec![0.0f64; k];
+        for i in range {
+            let a = assignments[i];
+            if a == usize::MAX {
+                continue;
+            }
+            let w = weights.map_or(1.0, |ws| ws[i]);
+            mmdr_linalg::axpy(w, data.row(i), &mut sums[a]);
+            totals[a] += w;
         }
-        let w = weights.map_or(1.0, |ws| ws[i]);
-        mmdr_linalg::axpy(w, point, &mut sums[a]);
-        totals[a] += w;
-    }
+        (sums, totals)
+    });
+    let (sums, totals) = partials
+        .into_iter()
+        .reduce(|(mut sums, mut totals), (s, t)| {
+            for (acc, part) in sums.iter_mut().zip(&s) {
+                mmdr_linalg::add_assign(acc, part);
+            }
+            for (acc, part) in totals.iter_mut().zip(&t) {
+                *acc += part;
+            }
+            (sums, totals)
+        })
+        .expect("non-empty data yields at least one chunk");
     for c in 0..k {
         if totals[c] > 0.0 {
             let inv = 1.0 / totals[c];
@@ -382,40 +477,62 @@ fn update_centroids(
     }
 }
 
-/// Weighted covariance re-estimation (the outer-loop step).
+/// Weighted covariance re-estimation (the outer-loop step), chunk-and-merge
+/// parallel like [`update_centroids`].
 fn update_covariances(
     data: &Matrix,
     weights: Option<&[f64]>,
     assignments: &[usize],
     centroids: &[Vec<f64>],
     covariances: &mut [Matrix],
+    par: &ParConfig,
 ) -> Result<()> {
     let k = centroids.len();
     let d = data.cols();
-    let mut accum = vec![Matrix::zeros(d, d); k];
-    let mut totals = vec![0.0f64; k];
-    let mut centred = vec![0.0; d];
-    for (i, point) in data.iter_rows().enumerate() {
-        let a = assignments[i];
-        if a == usize::MAX {
-            continue;
-        }
-        let w = weights.map_or(1.0, |ws| ws[i]);
-        for (c, (x, m)) in centred.iter_mut().zip(point.iter().zip(&centroids[a])) {
-            *c = x - m;
-        }
-        let acc = &mut accum[a];
-        for r in 0..d {
-            let cr = centred[r] * w;
-            if cr == 0.0 {
+    let partials = map_ranges(data.rows(), par, |range| {
+        let mut accum = vec![Matrix::zeros(d, d); k];
+        let mut totals = vec![0.0f64; k];
+        let mut centred = vec![0.0; d];
+        for i in range {
+            let a = assignments[i];
+            if a == usize::MAX {
                 continue;
             }
-            for col in r..d {
-                acc[(r, col)] += cr * centred[col];
+            let point = data.row(i);
+            let w = weights.map_or(1.0, |ws| ws[i]);
+            for (c, (x, m)) in centred.iter_mut().zip(point.iter().zip(&centroids[a])) {
+                *c = x - m;
             }
+            let acc = &mut accum[a];
+            for r in 0..d {
+                let cr = centred[r] * w;
+                if cr == 0.0 {
+                    continue;
+                }
+                for col in r..d {
+                    acc[(r, col)] += cr * centred[col];
+                }
+            }
+            totals[a] += w;
         }
-        totals[a] += w;
-    }
+        (accum, totals)
+    });
+    let (mut accum, totals) = partials
+        .into_iter()
+        .reduce(|(mut accum, mut totals), (m, t)| {
+            for (acc, part) in accum.iter_mut().zip(&m) {
+                for r in 0..d {
+                    for col in r..d {
+                        acc[(r, col)] += part[(r, col)];
+                    }
+                }
+            }
+            for (acc, part) in totals.iter_mut().zip(&t) {
+                *acc += part;
+            }
+            (accum, totals)
+        })
+        .expect("non-empty data yields at least one chunk");
     for c in 0..k {
         if totals[c] > 0.0 {
             let inv = 1.0 / totals[c];
@@ -659,6 +776,31 @@ mod tests {
         let b = EllipticalKMeans::new(cfg).unwrap().fit(&data).unwrap();
         assert_eq!(a.clustering.assignments, b.clustering.assignments);
         assert_eq!(a.distance_computations, b.distance_computations);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let (data, _) = crossed_ellipses(100);
+        let run = |threads| {
+            let cfg = EllipticalConfig {
+                k: 3,
+                seed: 11,
+                par: ParConfig::threads(threads),
+                ..Default::default()
+            };
+            EllipticalKMeans::new(cfg).unwrap().fit(&data).unwrap()
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            let r = run(threads);
+            assert_eq!(r.clustering.assignments, base.clustering.assignments);
+            assert_eq!(r.distance_computations, base.distance_computations);
+            assert_eq!(r.inner_iterations, base.inner_iterations);
+            for (a, b) in r.clustering.clusters.iter().zip(&base.clustering.clusters) {
+                assert_eq!(a.centroid, b.centroid);
+                assert_eq!(a.covariance, b.covariance);
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::assignment::{Cluster, Clustering};
 use crate::error::{Error, Result};
-use mmdr_linalg::{covariance_about, l2_dist_sq, Matrix};
+use mmdr_linalg::{covariance_about, l2_dist_sq, map_ranges, Matrix, ParConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -23,11 +23,15 @@ pub struct KMeansConfig {
     /// When true, estimate each final cluster's covariance matrix (needed by
     /// LDR's per-cluster PCA); otherwise covariances are left as zeros.
     pub estimate_covariance: bool,
+    /// Thread count for the assignment and update steps. Results are
+    /// bit-identical for every value (chunk-and-merge; see
+    /// `mmdr_linalg::par`).
+    pub par: ParConfig,
 }
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        Self { k: 8, max_iters: 100, seed: 0, estimate_covariance: false }
+        Self { k: 8, max_iters: 100, seed: 0, estimate_covariance: false, par: ParConfig::serial() }
     }
 }
 
@@ -61,35 +65,65 @@ pub fn kmeans(data: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
 
     while iterations < config.max_iters {
         iterations += 1;
-        // Assignment step.
-        let mut changed = false;
-        for (i, point) in data.iter_rows().enumerate() {
-            let mut best = 0;
-            let mut best_d = f64::INFINITY;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let d = l2_dist_sq(point, centroid);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
+        // Assignment step: each point's nearest centroid depends only on the
+        // fixed centroids, so the pass chunks across threads; outcomes are
+        // written back in chunk order.
+        let chunk_outcomes = map_ranges(n, &config.par, |range| {
+            let mut best_ids = Vec::with_capacity(range.len());
+            let mut changed = false;
+            for i in range {
+                let point = data.row(i);
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let d = l2_dist_sq(point, centroid);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
                 }
+                changed |= assignments[i] != best;
+                best_ids.push(best);
             }
-            if assignments[i] != best {
+            (best_ids, changed)
+        });
+        let mut changed = false;
+        let mut i = 0;
+        for (best_ids, chunk_changed) in chunk_outcomes {
+            changed |= chunk_changed;
+            for best in best_ids {
                 assignments[i] = best;
-                changed = true;
+                i += 1;
             }
         }
         if !changed {
             converged = true;
             break;
         }
-        // Update step.
-        let mut sums = vec![vec![0.0; data.cols()]; k];
-        let mut counts = vec![0usize; k];
-        for (i, point) in data.iter_rows().enumerate() {
-            let a = assignments[i];
-            mmdr_linalg::add_assign(&mut sums[a], point);
-            counts[a] += 1;
-        }
+        // Update step: per-cluster partial sums per chunk, merged in chunk
+        // order (bit-identical for every thread count).
+        let partials = map_ranges(n, &config.par, |range| {
+            let mut sums = vec![vec![0.0; data.cols()]; k];
+            let mut counts = vec![0usize; k];
+            for i in range {
+                let a = assignments[i];
+                mmdr_linalg::add_assign(&mut sums[a], data.row(i));
+                counts[a] += 1;
+            }
+            (sums, counts)
+        });
+        let (sums, counts) = partials
+            .into_iter()
+            .reduce(|(mut sums, mut counts), (s, c)| {
+                for (acc, part) in sums.iter_mut().zip(&s) {
+                    mmdr_linalg::add_assign(acc, part);
+                }
+                for (acc, part) in counts.iter_mut().zip(&c) {
+                    *acc += part;
+                }
+                (sums, counts)
+            })
+            .expect("non-empty data yields at least one chunk");
         for c in 0..k {
             if counts[c] == 0 {
                 // Empty cluster: reseed at the point farthest from its
@@ -243,6 +277,24 @@ mod tests {
         let a = kmeans(&data, &cfg).unwrap();
         let b = kmeans(&data, &cfg).unwrap();
         assert_eq!(a.clustering.assignments, b.clustering.assignments);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let data = two_blobs();
+        let run = |threads| {
+            let cfg = KMeansConfig { k: 2, seed: 7, par: ParConfig::threads(threads), ..Default::default() };
+            kmeans(&data, &cfg).unwrap()
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            let r = run(threads);
+            assert_eq!(r.clustering.assignments, base.clustering.assignments);
+            assert_eq!(r.iterations, base.iterations);
+            for (a, b) in r.clustering.clusters.iter().zip(&base.clustering.clusters) {
+                assert_eq!(a.centroid, b.centroid);
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub fn optimize_dimensionality(
 ) -> Result<DimOptOutcome> {
     let d = data.cols();
     let member_rows = data.select_rows(&semi.members);
-    let pca = Pca::fit(&member_rows)?;
+    let pca = Pca::fit_par(&member_rows, &params.par)?;
 
     // Line 13: starting dimensionality.
     let d_r = match params.fixed_dim {

@@ -76,7 +76,7 @@ fn recurse(
 
     // Line 1: project the subset onto its own s_dim-dimensional subspace.
     let subset = data.select_rows(&indices);
-    let pca = Pca::fit(&subset)?;
+    let pca = Pca::fit_par(&subset, &params.par)?;
 
     // Entry acceptance for semi-ellipsoids (depth ≥ 1 — the top level
     // always clusters first, exactly as the paper's lines 1–2 do): if some
@@ -93,7 +93,7 @@ fn recurse(
         let level_cap = params.max_dim.min(d.saturating_sub(1)).max(1);
         let mut probe = s_dim.min(level_cap);
         loop {
-            let mpe = pca.mpe(&subset, probe)?;
+            let mpe = pca.mpe_par(&subset, probe, &params.par)?;
             if mpe <= params.max_mpe {
                 out.push(SemiEllipsoid { members: indices, s_dim: probe, mpe });
                 return Ok(());
@@ -105,7 +105,7 @@ fn recurse(
         }
     }
 
-    let projections = pca.project_dataset(&subset, s_dim)?;
+    let projections = pca.project_dataset_par(&subset, s_dim, &params.par)?;
 
     // Line 2: elliptical k-means in the subspace.
     let engine = EllipticalKMeans::new(EllipticalConfig {
@@ -117,6 +117,7 @@ fn recurse(
         } else {
             Some(params.activity_threshold)
         },
+        par: params.par,
         ..Default::default()
     })?;
     let clustering = engine.fit(&projections)?;
@@ -132,9 +133,9 @@ fn recurse(
         }
         let member_rows = data.select_rows(&member_indices);
         // Local projection + MPE at this level (lines 6–7).
-        let local_pca = Pca::fit(&member_rows)?;
+        let local_pca = Pca::fit_par(&member_rows, &params.par)?;
         let local_s_dim = s_dim.min(member_rows.rows()).min(d);
-        let mpe = local_pca.mpe(&member_rows, local_s_dim)?;
+        let mpe = local_pca.mpe_par(&member_rows, local_s_dim, &params.par)?;
 
         let can_grow = 2 * s_dim <= d && depth + 1 < params.max_recursion_depth;
         let made_progress = member_indices.len() < indices.len() || can_grow;

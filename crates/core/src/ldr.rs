@@ -15,7 +15,7 @@
 use crate::error::{Error, Result};
 use crate::model::{EllipsoidCluster, ReductionResult, ReductionStats};
 use mmdr_cluster::{kmeans, KMeansConfig};
-use mmdr_linalg::{covariance_about, Matrix};
+use mmdr_linalg::{covariance_about, Matrix, ParConfig};
 use mmdr_pca::{Pca, ReducedSubspace};
 
 /// Parameters of the LDR baseline.
@@ -38,6 +38,9 @@ pub struct LdrParams {
     pub min_cluster_size: usize,
     /// RNG seed for k-means.
     pub seed: u64,
+    /// Worker threads for the clustering and PCA passes (bit-identical
+    /// results for every count; see `mmdr_linalg::par`).
+    pub par: ParConfig,
 }
 
 impl Default for LdrParams {
@@ -50,6 +53,7 @@ impl Default for LdrParams {
             fixed_dim: None,
             min_cluster_size: 16,
             seed: 0,
+            par: ParConfig::serial(),
         }
     }
 }
@@ -98,6 +102,7 @@ impl Ldr {
             &KMeansConfig {
                 k: p.k.min(data.rows()),
                 seed: p.seed,
+                par: p.par,
                 ..Default::default()
             },
         )?;
@@ -110,7 +115,7 @@ impl Ldr {
                 continue;
             }
             let member_rows = data.select_rows(&cluster.members);
-            let pca = Pca::fit(&member_rows)?;
+            let pca = Pca::fit_par(&member_rows, &p.par)?;
 
             // Phase 2: smallest d_r with ≤ frac_violations reconstruction
             // failures (or the pinned dimensionality).

@@ -56,6 +56,7 @@ pub use error::{Error, Result};
 pub use gdr::Gdr;
 pub use generate_ellipsoid::{generate_ellipsoid, SemiEllipsoid};
 pub use ldr::{Ldr, LdrParams};
+pub use mmdr_linalg::ParConfig;
 pub use model::{EllipsoidCluster, PointAssignment, ReductionResult, ReductionStats};
 pub use params::MmdrParams;
 pub use scalable::ScalableMmdr;

@@ -1,5 +1,7 @@
 //! MMDR parameters — Table 1 of the paper, with its default values.
 
+use mmdr_linalg::ParConfig;
+
 /// Tunable parameters of the MMDR algorithm.
 ///
 /// Field names follow Table 1; defaults are the paper's experimental
@@ -57,6 +59,11 @@ pub struct MmdrParams {
     /// Post-optimization merge pass coalescing fragments of the same flat
     /// (see `merge`). Disable only for ablation studies.
     pub merge_fragments: bool,
+    /// Worker threads for the clustering and PCA passes. Results are
+    /// bit-identical for every thread count (fixed-size chunks merged in a
+    /// fixed order; see `mmdr_linalg::par`), so this knob trades only
+    /// wall-clock time, never answers. Default: serial.
+    pub par: ParConfig,
 }
 
 impl Default for MmdrParams {
@@ -76,6 +83,7 @@ impl Default for MmdrParams {
             seed: 0,
             use_entry_probe: true,
             merge_fragments: true,
+            par: ParConfig::serial(),
         }
     }
 }

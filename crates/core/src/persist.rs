@@ -7,128 +7,119 @@
 
 use crate::error::{Error, Result};
 use crate::model::{EllipsoidCluster, ReductionResult, ReductionStats};
+use mmdr_json::Value;
 use mmdr_linalg::Matrix;
 use mmdr_pca::ReducedSubspace;
-use serde::{Deserialize, Serialize};
 
-#[derive(Serialize, Deserialize)]
-struct MatrixDto {
-    rows: usize,
-    cols: usize,
-    data: Vec<f64>,
+const FORMAT_VERSION: u64 = 1;
+
+fn matrix_to_value(m: &Matrix) -> Value {
+    Value::object(vec![
+        ("rows", m.rows().into()),
+        ("cols", m.cols().into()),
+        ("data", m.as_slice().to_vec().into()),
+    ])
 }
 
-impl MatrixDto {
-    fn from(m: &Matrix) -> Self {
-        Self { rows: m.rows(), cols: m.cols(), data: m.as_slice().to_vec() }
-    }
-
-    fn into_matrix(self) -> Result<Matrix> {
-        Matrix::from_vec(self.rows, self.cols, self.data).map_err(Error::Linalg)
-    }
+fn matrix_from_value(v: &Value) -> Result<Matrix> {
+    let malformed = || Error::InvalidParams("malformed model JSON");
+    let rows = v.get("rows").and_then(Value::as_usize).ok_or_else(malformed)?;
+    let cols = v.get("cols").and_then(Value::as_usize).ok_or_else(malformed)?;
+    let data = v.get("data").and_then(Value::as_f64_vec).ok_or_else(malformed)?;
+    Matrix::from_vec(rows, cols, data).map_err(Error::Linalg)
 }
-
-#[derive(Serialize, Deserialize)]
-struct ClusterDto {
-    centroid: Vec<f64>,
-    basis: MatrixDto,
-    covariance: MatrixDto,
-    members: Vec<usize>,
-    mpe: f64,
-    radius_eliminated: f64,
-    radius_retained: f64,
-    nearest_radius: f64,
-    ellipticity: f64,
-}
-
-#[derive(Serialize, Deserialize)]
-struct StatsDto {
-    distance_computations: u64,
-    ge_invocations: u64,
-    max_s_dim_reached: usize,
-    streams: u64,
-}
-
-/// Top-level on-disk document. `version` guards format evolution.
-#[derive(Serialize, Deserialize)]
-struct ModelDto {
-    version: u32,
-    dim: usize,
-    num_points: usize,
-    clusters: Vec<ClusterDto>,
-    outliers: Vec<usize>,
-    stats: StatsDto,
-}
-
-const FORMAT_VERSION: u32 = 1;
 
 impl ReductionResult {
     /// Serializes the model to a JSON string.
     pub fn to_json(&self) -> String {
-        let dto = ModelDto {
-            version: FORMAT_VERSION,
-            dim: self.dim,
-            num_points: self.num_points,
-            clusters: self
-                .clusters
-                .iter()
-                .map(|c| ClusterDto {
-                    centroid: c.subspace.centroid().to_vec(),
-                    basis: MatrixDto::from(c.subspace.basis()),
-                    covariance: MatrixDto::from(&c.covariance),
-                    members: c.members.clone(),
-                    mpe: c.mpe,
-                    radius_eliminated: c.radius_eliminated,
-                    radius_retained: c.radius_retained,
-                    nearest_radius: c.nearest_radius,
-                    ellipticity: c.ellipticity,
-                })
-                .collect(),
-            outliers: self.outliers.clone(),
-            stats: StatsDto {
-                distance_computations: self.stats.distance_computations,
-                ge_invocations: self.stats.ge_invocations,
-                max_s_dim_reached: self.stats.max_s_dim_reached,
-                streams: self.stats.streams,
-            },
-        };
-        serde_json::to_string(&dto).expect("model serialization cannot fail")
+        let clusters: Vec<Value> = self
+            .clusters
+            .iter()
+            .map(|c| {
+                Value::object(vec![
+                    ("centroid", c.subspace.centroid().to_vec().into()),
+                    ("basis", matrix_to_value(c.subspace.basis())),
+                    ("covariance", matrix_to_value(&c.covariance)),
+                    ("members", c.members.clone().into()),
+                    ("mpe", c.mpe.into()),
+                    ("radius_eliminated", c.radius_eliminated.into()),
+                    ("radius_retained", c.radius_retained.into()),
+                    ("nearest_radius", c.nearest_radius.into()),
+                    ("ellipticity", c.ellipticity.into()),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("version", FORMAT_VERSION.into()),
+            ("dim", self.dim.into()),
+            ("num_points", self.num_points.into()),
+            ("clusters", Value::Array(clusters)),
+            ("outliers", self.outliers.clone().into()),
+            (
+                "stats",
+                Value::object(vec![
+                    ("distance_computations", self.stats.distance_computations.into()),
+                    ("ge_invocations", self.stats.ge_invocations.into()),
+                    ("max_s_dim_reached", self.stats.max_s_dim_reached.into()),
+                    ("streams", self.stats.streams.into()),
+                ]),
+            ),
+        ])
+        .to_json()
     }
 
     /// Restores a model from [`to_json`](Self::to_json) output, revalidating
     /// every invariant (orthonormal bases, partition coverage).
     pub fn from_json(json: &str) -> Result<Self> {
-        let dto: ModelDto =
-            serde_json::from_str(json).map_err(|_| Error::InvalidParams("malformed model JSON"))?;
-        if dto.version != FORMAT_VERSION {
+        let malformed = || Error::InvalidParams("malformed model JSON");
+        let doc = mmdr_json::parse(json).map_err(|_| malformed())?;
+        let version = doc.get("version").and_then(Value::as_u64).ok_or_else(malformed)?;
+        if version != FORMAT_VERSION {
             return Err(Error::InvalidParams("unsupported model format version"));
         }
-        let mut clusters = Vec::with_capacity(dto.clusters.len());
-        for c in dto.clusters {
-            let basis = c.basis.into_matrix()?;
-            let covariance = c.covariance.into_matrix()?;
-            let subspace = ReducedSubspace::new(c.centroid, basis).map_err(Error::Pca)?;
+        let dim = doc.get("dim").and_then(Value::as_usize).ok_or_else(malformed)?;
+        let num_points =
+            doc.get("num_points").and_then(Value::as_usize).ok_or_else(malformed)?;
+        let cluster_values =
+            doc.get("clusters").and_then(Value::as_array).ok_or_else(malformed)?;
+        let mut clusters = Vec::with_capacity(cluster_values.len());
+        for c in cluster_values {
+            let centroid =
+                c.get("centroid").and_then(Value::as_f64_vec).ok_or_else(malformed)?;
+            let basis = matrix_from_value(c.get("basis").ok_or_else(malformed)?)?;
+            let covariance = matrix_from_value(c.get("covariance").ok_or_else(malformed)?)?;
+            let members =
+                c.get("members").and_then(Value::as_usize_vec).ok_or_else(malformed)?;
+            let field = |name: &str| c.get(name).and_then(Value::as_f64).ok_or_else(malformed);
+            let subspace = ReducedSubspace::new(centroid, basis).map_err(Error::Pca)?;
             clusters.push(EllipsoidCluster {
                 subspace,
                 covariance,
-                members: c.members,
-                mpe: c.mpe,
-                radius_eliminated: c.radius_eliminated,
-                radius_retained: c.radius_retained,
-                nearest_radius: c.nearest_radius,
-                ellipticity: c.ellipticity,
+                members,
+                mpe: field("mpe")?,
+                radius_eliminated: field("radius_eliminated")?,
+                radius_retained: field("radius_retained")?,
+                nearest_radius: field("nearest_radius")?,
+                ellipticity: field("ellipticity")?,
             });
         }
+        let outliers =
+            doc.get("outliers").and_then(Value::as_usize_vec).ok_or_else(malformed)?;
+        let stats = doc.get("stats").ok_or_else(malformed)?;
+        let stat = |name: &str| stats.get(name).and_then(Value::as_u64).ok_or_else(malformed);
         let result = ReductionResult {
-            dim: dto.dim,
-            num_points: dto.num_points,
+            dim,
+            num_points,
             clusters,
-            outliers: dto.outliers,
+            outliers,
             stats: ReductionStats {
-                distance_computations: dto.stats.distance_computations,
-                ge_invocations: dto.stats.ge_invocations,
-                max_s_dim_reached: dto.stats.max_s_dim_reached,
-                streams: dto.stats.streams,
+                distance_computations: stat("distance_computations")?,
+                ge_invocations: stat("ge_invocations")?,
+                max_s_dim_reached: stats
+                    .get("max_s_dim_reached")
+                    .and_then(Value::as_usize)
+                    .ok_or_else(malformed)?,
+                streams: stat("streams")?,
             },
         };
         if !result.is_partition() {

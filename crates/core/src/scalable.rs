@@ -120,6 +120,7 @@ impl ScalableMmdr {
             } else {
                 Some(self.params.activity_threshold)
             },
+            par: self.params.par,
             ..Default::default()
         })?;
         let merged = engine.fit_weighted(&array_points, &array_weights)?;

@@ -108,7 +108,7 @@ impl VectorHeap {
     /// allocation of [`get`](Self::get): `(partition, point_id)` returned,
     /// coordinates written into `coords` (resized as needed). This is the
     /// KNN hot path — thousands of candidate fetches per query.
-    pub fn get_into(&mut self, rid: u64, coords: &mut Vec<f64>) -> Result<(u32, u64)> {
+    pub fn get_into(&self, rid: u64, coords: &mut Vec<f64>) -> Result<(u32, u64)> {
         let page = rid >> 16;
         let slot = (rid & 0xFFFF) as usize;
         if page >= self.pool.num_pages() as u64 {
@@ -157,7 +157,7 @@ impl VectorHeap {
     }
 
     /// Fetches a record: `(partition, point_id, coords)`.
-    pub fn get(&mut self, rid: u64) -> Result<(u32, u64, Vec<f64>)> {
+    pub fn get(&self, rid: u64) -> Result<(u32, u64, Vec<f64>)> {
         let page = rid >> 16;
         let slot = (rid & 0xFFFF) as usize;
         if page >= self.pool.num_pages() as u64 {
@@ -182,7 +182,7 @@ impl VectorHeap {
 
     /// Iterates every record, invoking `f(partition, point_id, coords)`.
     /// Reads every heap page exactly once — the sequential-scan primitive.
-    pub fn scan(&mut self, mut f: impl FnMut(u32, u64, &[f64])) -> Result<()> {
+    pub fn scan(&self, mut f: impl FnMut(u32, u64, &[f64])) -> Result<()> {
         let pages = self.pool.num_pages() as u64;
         let mut coords = Vec::new();
         for page in 0..pages {

@@ -1,10 +1,16 @@
-//! Iterative-enlargement KNN search (paper §5).
+//! Iterative-enlargement KNN search (paper §5), serial and batched.
 
 use crate::error::{Error, Result};
 use crate::index::IDistanceIndex;
 use mmdr_btree::Cursor;
+use mmdr_linalg::{map_ranges_with, ParConfig};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Queries per work chunk in [`IDistanceIndex::batch_knn`]. Much smaller
+/// than the dataset-side `PAR_CHUNK`: one query is already substantial work,
+/// and small chunks keep the dynamic scheduler's load balanced.
+const QUERY_CHUNK: usize = 8;
 
 /// Max-heap candidate (worst of the current k on top).
 struct Candidate {
@@ -28,6 +34,90 @@ impl Ord for Candidate {
             .partial_cmp(&other.dist)
             .unwrap_or(Ordering::Equal)
             .then(self.point_id.cmp(&other.point_id))
+    }
+}
+
+/// Bounded max-heap of the k best `(distance, point_id)` candidates seen so
+/// far. Ties on distance break toward the smaller point id, so the winner
+/// set is deterministic regardless of insertion order.
+#[derive(Default)]
+pub struct KnnHeap {
+    k: usize,
+    heap: BinaryHeap<Candidate>,
+}
+
+impl KnnHeap {
+    /// An empty heap retaining at most `k` candidates.
+    pub fn new(k: usize) -> Self {
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Candidate bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Candidates currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no candidate has been offered (or k = 0).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True once k candidates are held.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Distance of the worst retained candidate (the current k-th best), or
+    /// `None` while empty.
+    pub fn worst_dist(&self) -> Option<f64> {
+        self.heap.peek().map(|c| c.dist)
+    }
+
+    /// Offers a candidate; it is kept only if the heap is not yet full or it
+    /// beats the current worst (distance, then point id).
+    pub fn push(&mut self, dist: f64, point_id: u64) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() == self.k {
+            let worst = self.heap.peek().expect("len == k > 0");
+            if (dist, point_id) >= (worst.dist, worst.point_id) {
+                return;
+            }
+            self.heap.pop();
+        }
+        self.heap.push(Candidate { dist, point_id });
+    }
+
+    /// Consumes the heap, returning candidates sorted ascending by
+    /// `(distance, point_id)`.
+    pub fn into_sorted_vec(self) -> Vec<(f64, u64)> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|c| (c.dist, c.point_id))
+            .collect()
+    }
+}
+
+/// Reusable per-query buffers. [`IDistanceIndex::knn`] allocates one per
+/// call; batch workers keep one per thread so repeated queries do not churn
+/// the allocator.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Candidate-coordinate fetch buffer (the KNN hot path).
+    coords: Vec<f64>,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers grow to steady state over the first query.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -60,7 +150,19 @@ impl IDistanceIndex {
     /// Distances are `‖q − restore(Pᵢ)‖` — exact for outliers, exact to the
     /// reduced representation for cluster members — so results from
     /// different axis systems are directly comparable.
-    pub fn knn(&mut self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+    pub fn knn(&self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+        self.knn_with_scratch(query, k, &mut QueryScratch::new())
+    }
+
+    /// [`knn`](Self::knn) with caller-provided buffers, for callers issuing
+    /// many queries (each [`batch_knn`](Self::batch_knn) worker holds one
+    /// [`QueryScratch`] across its whole share of the batch).
+    pub fn knn_with_scratch(
+        &self,
+        query: &[f64],
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<(f64, u64)>> {
         if query.len() != self.dim {
             return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
         }
@@ -115,8 +217,7 @@ impl IDistanceIndex {
             .max(f64::MIN_POSITIVE);
         let mut step = widest * self.config().radius_step_fraction;
         let mut radius = widest * self.config().initial_radius_fraction;
-        let mut best: BinaryHeap<Candidate> = BinaryHeap::new();
-        let mut scratch: Vec<f64> = Vec::new();
+        let mut best = KnnHeap::new(k);
 
         loop {
             let mut any_active = false;
@@ -184,15 +285,15 @@ impl IDistanceIndex {
                         // fetch entirely.
                         let ring_gap = key - (base + s.dist_q);
                         let lb = (s.proj_sq + ring_gap * ring_gap).sqrt();
-                        if best.len() == k && lb >= best.peek().expect("len == k").dist {
+                        if best.is_full() && lb >= best.worst_dist().expect("full heap") {
                             s.outward = Some(cur);
                             continue;
                         }
                         let (dist, point_id) = candidate_distance(
-                            self, rid, &s.q_local, s.proj_sq, s.part, &mut scratch,
+                            self, rid, &s.q_local, s.proj_sq, s.part, &mut scratch.coords,
                         )?;
                         if point_id != crate::heap::TOMBSTONE {
-                            push_candidate(&mut best, k, dist, point_id);
+                            best.push(dist, point_id);
                         }
                         s.outward = Some(cur);
                     }
@@ -210,15 +311,15 @@ impl IDistanceIndex {
                         // Same key-gap lower bound as the outward walk.
                         let ring_gap = (base + s.dist_q) - key;
                         let lb = (s.proj_sq + ring_gap * ring_gap).sqrt();
-                        if best.len() == k && lb >= best.peek().expect("len == k").dist {
+                        if best.is_full() && lb >= best.worst_dist().expect("full heap") {
                             s.inward = Some(cur);
                             continue;
                         }
                         let (dist, point_id) = candidate_distance(
-                            self, rid, &s.q_local, s.proj_sq, s.part, &mut scratch,
+                            self, rid, &s.q_local, s.proj_sq, s.part, &mut scratch.coords,
                         )?;
                         if point_id != crate::heap::TOMBSTONE {
-                            push_candidate(&mut best, k, dist, point_id);
+                            best.push(dist, point_id);
                         }
                         s.inward = Some(cur);
                     }
@@ -230,8 +331,8 @@ impl IDistanceIndex {
 
             // Stop when the k-th candidate is certainly final: no unseen
             // point can be closer than the current radius.
-            if best.len() >= k {
-                let kth = best.peek().expect("len >= k").dist;
+            if best.is_full() {
+                let kth = best.worst_dist().expect("full heap");
                 if kth <= radius {
                     break;
                 }
@@ -248,12 +349,31 @@ impl IDistanceIndex {
             step *= 2.0;
         }
 
-        let mut out: Vec<(f64, u64)> = best
-            .into_sorted_vec()
-            .into_iter()
-            .map(|c| (c.dist, c.point_id))
-            .collect();
-        out.truncate(k);
+        Ok(best.into_sorted_vec())
+    }
+
+    /// Answers every query in `queries`, fanning the batch across
+    /// `par.num_threads` scoped worker threads. Results come back in input
+    /// order, and each row is exactly what [`knn`](Self::knn) returns for
+    /// that query — workers share the index immutably (the buffer pool's
+    /// internal lock serializes page I/O), so thread count affects only
+    /// wall-clock time, never answers.
+    pub fn batch_knn(
+        &self,
+        queries: &[Vec<f64>],
+        k: usize,
+        par: &ParConfig,
+    ) -> Result<Vec<Vec<(f64, u64)>>> {
+        let chunk_results = map_ranges_with(queries.len(), QUERY_CHUNK, par, |range| {
+            let mut scratch = QueryScratch::new();
+            range
+                .map(|i| self.knn_with_scratch(&queries[i], k, &mut scratch))
+                .collect::<Result<Vec<_>>>()
+        });
+        let mut out = Vec::with_capacity(queries.len());
+        for chunk in chunk_results {
+            out.extend(chunk?);
+        }
         Ok(out)
     }
 }
@@ -262,7 +382,7 @@ impl IDistanceIndex {
 /// the candidate's original point id. `scratch` avoids a per-candidate
 /// allocation.
 fn candidate_distance(
-    index: &mut IDistanceIndex,
+    index: &IDistanceIndex,
     rid: u64,
     q_local: &[f64],
     proj_sq: f64,
@@ -273,17 +393,6 @@ fn candidate_distance(
     debug_assert_eq!(part as usize, expected_part, "key slot and heap partition agree");
     let local_sq = mmdr_linalg::l2_dist_sq(q_local, scratch);
     Ok(((proj_sq + local_sq).sqrt(), point_id))
-}
-
-/// Inserts into the k-best max-heap, keeping at most k candidates.
-fn push_candidate(best: &mut BinaryHeap<Candidate>, k: usize, dist: f64, point_id: u64) {
-    if best.len() == k {
-        if dist >= best.peek().expect("len == k").dist {
-            return;
-        }
-        best.pop();
-    }
-    best.push(Candidate { dist, point_id });
 }
 
 #[cfg(test)]
@@ -322,7 +431,7 @@ mod tests {
 
     #[test]
     fn knn_matches_sequential_scan() {
-        let (data, mut index, mut scan) = build_pair();
+        let (data, index, scan) = build_pair();
         for probe in [0usize, 1, 7, 100, 299, 303] {
             let q = data.row(probe);
             let a = index.knn(q, 10).unwrap();
@@ -345,7 +454,7 @@ mod tests {
         // residual, so the self-distance is the point's ProjDist (≤ β), not
         // zero — and a neighbour's representation can occasionally edge it
         // out. The point must appear among the top few at ≤ β distance.
-        let (data, mut index, _) = build_pair();
+        let (data, index, _) = build_pair();
         let r = index.knn(data.row(42), 3).unwrap();
         assert!(r.iter().any(|&(_, id)| id == 42), "self missing from top 3: {r:?}");
         assert!(r[0].0 <= 0.1, "nearest rep {} exceeds beta", r[0].0);
@@ -364,13 +473,13 @@ mod tests {
         let model = Mmdr::new(MmdrParams { max_ec: 4, ..Default::default() })
             .fit(&data)
             .unwrap();
-        let mut cold_index = IDistanceIndex::build(
+        let cold_index = IDistanceIndex::build(
             &data,
             &model,
             crate::index::IDistanceConfig { buffer_pages: 2, ..Default::default() },
         )
         .unwrap();
-        let mut cold_scan = SeqScan::build(&data, &model, 1).unwrap();
+        let cold_scan = SeqScan::build(&data, &model, 1).unwrap();
         cold_index.io_stats().reset();
         cold_scan.io_stats().reset();
         let _ = cold_index.knn(data.row(0), 10).unwrap();
@@ -388,7 +497,7 @@ mod tests {
 
     #[test]
     fn query_validation() {
-        let (_, mut index, _) = build_pair();
+        let (_, index, _) = build_pair();
         assert!(index.knn(&[0.0], 1).is_err());
         assert!(index.knn(&[f64::NAN; 4], 1).is_err());
         assert!(index.knn(&[0.0; 4], 0).unwrap().is_empty());
@@ -396,7 +505,7 @@ mod tests {
 
     #[test]
     fn k_exceeding_n_returns_everything_reachable() {
-        let (data, mut index, _) = build_pair();
+        let (data, index, _) = build_pair();
         let r = index.knn(data.row(0), 10_000).unwrap();
         assert_eq!(r.len(), data.rows());
     }

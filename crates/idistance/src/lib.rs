@@ -45,4 +45,5 @@ pub use error::{Error, Result};
 pub use gldr::GlobalLdrIndex;
 pub use heap::{VectorHeap, TOMBSTONE};
 pub use index::{IDistanceConfig, IDistanceIndex, PartitionInfo};
+pub use knn::{KnnHeap, QueryScratch};
 pub use seqscan::SeqScan;

@@ -12,7 +12,7 @@ use crate::seqscan::SeqScan;
 impl IDistanceIndex {
     /// Returns every point whose reduced representation lies within
     /// `radius` of `query`, as `(distance, point_id)` sorted ascending.
-    pub fn range_search(&mut self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
+    pub fn range_search(&self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
         if query.len() != self.dim {
             return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
         }
@@ -82,7 +82,7 @@ impl IDistanceIndex {
 impl SeqScan {
     /// Range search by full scan — the reference the index is tested
     /// against.
-    pub fn range_search(&mut self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
+    pub fn range_search(&self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
         if !(radius >= 0.0 && radius.is_finite()) {
             return Err(Error::InvalidConfig("radius must be non-negative and finite"));
         }
@@ -118,7 +118,7 @@ mod tests {
 
     #[test]
     fn range_matches_scan_reference() {
-        let (data, mut index, mut scan) = build();
+        let (data, index, scan) = build();
         for &probe in &[0usize, 7, 201, 399] {
             for &radius in &[0.05, 0.2, 1.0, 10.0] {
                 let q = data.row(probe);
@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn zero_radius_finds_exact_reps_only() {
-        let (data, mut index, _) = build();
+        let (data, index, _) = build();
         // Outliers (stored exactly) match at radius 0; cluster members sit
         // at their ProjDist, so a radius of 0 on a generic query returns
         // nothing or exact representations only.
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn validates_inputs() {
-        let (_, mut index, _) = build();
+        let (_, index, _) = build();
         assert!(index.range_search(&[0.0], 1.0).is_err());
         assert!(index.range_search(&[0.0; 4], f64::NAN).is_err());
         assert!(index.range_search(&[0.0; 4], -1.0).is_err());
@@ -153,7 +153,7 @@ mod tests {
 
     #[test]
     fn growing_radius_is_monotone() {
-        let (data, mut index, _) = build();
+        let (data, index, _) = build();
         let q = data.row(10);
         let small = index.range_search(q, 0.1).unwrap().len();
         let big = index.range_search(q, 2.0).unwrap().len();

@@ -68,7 +68,7 @@ impl SeqScan {
     /// KNN by scanning every page; distances are to the reduced
     /// representations, identical semantics to
     /// [`crate::IDistanceIndex::knn`].
-    pub fn knn(&mut self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+    pub fn knn(&self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
         if query.len() != self.dim {
             return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
         }
@@ -125,7 +125,7 @@ mod tests {
     fn scan_knn_finds_the_query_itself() {
         let data = flat_data();
         let model = Mmdr::new(MmdrParams::default()).fit(&data).unwrap();
-        let mut scan = SeqScan::build(&data, &model, 64).unwrap();
+        let scan = SeqScan::build(&data, &model, 64).unwrap();
         let r = scan.knn(data.row(100), 1).unwrap();
         assert_eq!(r[0].1, 100);
         assert!(r[0].0 < 1e-6);
@@ -135,7 +135,7 @@ mod tests {
     fn scan_io_equals_page_count() {
         let data = flat_data();
         let model = Mmdr::new(MmdrParams::default()).fit(&data).unwrap();
-        let mut scan = SeqScan::build(&data, &model, 1).unwrap();
+        let scan = SeqScan::build(&data, &model, 1).unwrap();
         let pages = scan.num_pages() as u64;
         let stats = scan.io_stats();
         stats.reset();
@@ -147,7 +147,7 @@ mod tests {
     fn validates_queries() {
         let data = flat_data();
         let model = Mmdr::new(MmdrParams::default()).fit(&data).unwrap();
-        let mut scan = SeqScan::build(&data, &model, 16).unwrap();
+        let scan = SeqScan::build(&data, &model, 16).unwrap();
         assert!(scan.knn(&[0.0], 1).is_err());
         assert!(scan.knn(&[f64::NAN, 0.0, 0.0, 0.0], 1).is_err());
         assert!(scan.knn(data.row(0), 0).unwrap().is_empty());

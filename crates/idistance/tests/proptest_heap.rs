@@ -1,0 +1,104 @@
+//! Property tests for [`KnnHeap`], the k-bounded candidate heap at the core
+//! of every KNN search: pop order, k-bounding, and insertion-order
+//! independence.
+
+use mmdr_idistance::KnnHeap;
+use proptest::prelude::*;
+
+/// Candidate stream: distances in a bounded range (ties likely), small ids.
+fn candidates() -> impl Strategy<Value = Vec<(f64, u64)>> {
+    proptest::collection::vec((0.0f64..10.0, 0u64..64), 0..120)
+}
+
+/// The k smallest candidates under (distance, id) order — the reference a
+/// correct heap must reproduce.
+fn reference_top_k(mut cands: Vec<(f64, u64)>, k: usize) -> Vec<(f64, u64)> {
+    cands.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite distances")
+            .then(a.1.cmp(&b.1))
+    });
+    cands.truncate(k);
+    cands
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// into_sorted_vec returns candidates ascending by (distance, id) and
+    /// never more than k of them.
+    #[test]
+    fn pop_order_is_sorted_and_k_bounded(cands in candidates(), k in 0usize..20) {
+        let mut heap = KnnHeap::new(k);
+        for &(d, id) in &cands {
+            heap.push(d, id);
+            prop_assert!(heap.len() <= k, "heap exceeded k");
+        }
+        let out = heap.into_sorted_vec();
+        prop_assert!(out.len() <= k);
+        prop_assert_eq!(out.len(), cands.len().min(k).min(out.len()));
+        for w in out.windows(2) {
+            prop_assert!(
+                (w[0].0, w[0].1) <= (w[1].0, w[1].1),
+                "not sorted: {:?} then {:?}", w[0], w[1]
+            );
+        }
+    }
+
+    /// The heap retains exactly the k smallest candidates (deterministic
+    /// tie-break on id), regardless of insertion order.
+    #[test]
+    fn retains_exactly_the_k_smallest(cands in candidates(), k in 1usize..20) {
+        // Deduplicate (distance, id) pairs: pushing the same candidate twice
+        // may legitimately retain both copies in a set-agnostic heap, but
+        // real searches never offer the same id at two distances.
+        let mut seen = std::collections::HashSet::new();
+        let cands: Vec<(f64, u64)> = cands
+            .into_iter()
+            .filter(|&(_, id)| seen.insert(id))
+            .collect();
+
+        let mut heap = KnnHeap::new(k);
+        for &(d, id) in &cands {
+            heap.push(d, id);
+        }
+        let expect = reference_top_k(cands.clone(), k);
+        prop_assert_eq!(heap.into_sorted_vec(), expect.clone());
+
+        // Reversed insertion order must give the same winner set.
+        let mut heap = KnnHeap::new(k);
+        for &(d, id) in cands.iter().rev() {
+            heap.push(d, id);
+        }
+        prop_assert_eq!(heap.into_sorted_vec(), expect);
+    }
+
+    /// worst_dist always reports the current k-th best (max of retained).
+    #[test]
+    fn worst_dist_tracks_the_maximum(cands in candidates(), k in 1usize..20) {
+        let mut heap = KnnHeap::new(k);
+        let mut retained: Vec<(f64, u64)> = Vec::new();
+        for &(d, id) in &cands {
+            heap.push(d, id);
+            retained.push((d, id));
+            retained.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1))
+            });
+            retained.truncate(k);
+            let expect = retained.last().map(|&(d, _)| d);
+            prop_assert_eq!(heap.worst_dist(), expect);
+            prop_assert_eq!(heap.is_full(), retained.len() == k);
+        }
+    }
+
+    /// k = 0 accepts nothing.
+    #[test]
+    fn zero_k_stays_empty(cands in candidates()) {
+        let mut heap = KnnHeap::new(0);
+        for &(d, id) in &cands {
+            heap.push(d, id);
+        }
+        prop_assert!(heap.is_empty());
+        prop_assert!(heap.into_sorted_vec().is_empty());
+    }
+}

@@ -1,0 +1,503 @@
+//! Minimal JSON support for the MMDR tooling: a [`Value`] tree, a strict
+//! recursive-descent parser, and compact/pretty writers.
+//!
+//! The build environment has no crates.io access, so the model/dataset/report
+//! files that previously went through `serde_json` are read and written
+//! through this crate instead. The scope is deliberately small: the handful
+//! of flat document shapes the workspace persists (`ReductionResult` models,
+//! CLI datasets, benchmark reports).
+//!
+//! Numbers are stored as `f64`. Writing uses Rust's shortest round-trip
+//! `Display` for floats, so `parse(write(x)) == x` for every finite `f64`;
+//! non-finite floats serialize as `null` (matching `serde_json`).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs (no deduplication).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|x| usize::try_from(x).ok())
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convenience: array of numbers → `Vec<f64>`.
+    pub fn as_f64_vec(&self) -> Option<Vec<f64>> {
+        self.as_array()?.iter().map(Value::as_f64).collect()
+    }
+
+    /// Convenience: array of non-negative integers → `Vec<usize>`.
+    pub fn as_usize_vec(&self) -> Option<Vec<usize>> {
+        self.as_array()?.iter().map(Value::as_usize).collect()
+    }
+
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object(fields: Vec<(&str, Value)>) -> Value {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Compact serialization (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty serialization (two-space indent).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(x) => write_number(out, *x),
+            Value::String(s) => write_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                if !fields.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(x)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Self {
+        Value::Number(x as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(x: u32) -> Self {
+        Value::Number(x as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(x: usize) -> Self {
+        Value::Number(x as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(x: bool) -> Self {
+        Value::Bool(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        // Integral values print without the trailing `.0` Rust's Display
+        // would... actually f64 Display already omits it; keep integers
+        // compact and exact.
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document, rejecting trailing garbage.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Value::String(s) => s,
+                    _ => return Err(format!("object key at byte {pos} is not a string")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Value,
+) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    token
+        .parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| format!("invalid number `{token}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        // Surrogate pairs are not needed by our writers;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8: copy the full character.
+                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = s.chars().next().ok_or("unexpected end of input")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_document() {
+        let v = Value::object(vec![
+            ("version", 1u64.into()),
+            ("name", "elliptical \"k\"-means\n".into()),
+            ("values", vec![1.5f64, -2.25, 1e-17, 0.1].into()),
+            ("flag", true.into()),
+            ("nothing", Value::Null),
+            (
+                "nested",
+                Value::Array(vec![Value::object(vec![("k", 3usize.into())])]),
+            ),
+        ]);
+        let compact = v.to_json();
+        let pretty = v.to_json_pretty();
+        assert_eq!(parse(&compact).unwrap(), v);
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.797_693_134_862_315_7e308,
+            -4.9e-324,
+            123_456_789.123_456_78,
+        ] {
+            let json = Value::Number(x).to_json();
+            let back = parse(&json).unwrap().as_f64().unwrap();
+            assert_eq!(back, x, "{json}");
+        }
+    }
+
+    #[test]
+    fn integers_print_compactly() {
+        assert_eq!(Value::from(42u64).to_json(), "42");
+        assert_eq!(Value::from(0usize).to_json(), "0");
+        assert_eq!(Value::Number(-3.0).to_json(), "-3");
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(Value::Number(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Number(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1.2.3", "\"unterminated",
+            "[1] trailing", "{1: 2}",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v = parse(" { \"a\\u0041\" : [ 1 , 2.5e1 , \"x\\ty\" ] } ").unwrap();
+        assert_eq!(v.get("aA").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("aA").unwrap().as_array().unwrap()[1].as_f64(), Some(25.0));
+        assert_eq!(
+            v.get("aA").unwrap().as_array().unwrap()[2].as_str(),
+            Some("x\ty")
+        );
+    }
+
+    #[test]
+    fn accessor_types_are_strict() {
+        let v = parse("{\"n\": 1.5, \"i\": 7}").unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), None);
+        assert_eq!(v.get("i").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("i").unwrap().as_usize(), Some(7));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.as_f64(), None);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
+        assert_eq!(Value::Array(vec![]).to_json_pretty(), "[]");
+    }
+}

@@ -33,12 +33,17 @@ mod eigen;
 mod error;
 mod lu;
 mod matrix;
+mod par;
 mod qr;
 mod rotation;
 mod vector;
 
 pub use cholesky::Cholesky;
-pub use covariance::{covariance, covariance_about, mean_vector};
+pub use covariance::{
+    covariance, covariance_about, covariance_about_par, covariance_par, mean_vector,
+    mean_vector_par,
+};
+pub use par::{map_ranges, map_ranges_with, ParConfig, PAR_CHUNK};
 pub use eigen::SymmetricEigen;
 pub use error::{Error, Result};
 pub use lu::Lu;

@@ -1,0 +1,76 @@
+//! Property tests for the chunk-and-merge parallel primitives: partial
+//! statistics merged across chunks must equal the whole-dataset statistics,
+//! and every thread count must produce bit-identical results.
+
+use mmdr_linalg::{
+    covariance_about, covariance_about_par, map_ranges_with, mean_vector, mean_vector_par,
+    Matrix, ParConfig,
+};
+use proptest::prelude::*;
+
+/// Random data matrix sized to span several chunks at small chunk sizes.
+fn data_strategy() -> impl Strategy<Value = Matrix> {
+    (2usize..6, 20usize..200).prop_flat_map(|(d, n)| {
+        proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, d), n..n + 1)
+            .prop_map(|rows| Matrix::from_rows(&rows).expect("equal rows"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Merging per-chunk scatter matrices (in chunk order) reproduces the
+    /// whole-dataset scatter within tight tolerance: chunked summation only
+    /// reorders float additions across chunk boundaries.
+    #[test]
+    fn merged_chunk_scatters_match_whole_dataset_scatter(data in data_strategy()) {
+        let d = data.cols();
+        let origin = vec![0.25f64; d];
+        let serial = covariance_about(&data, &origin).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let par = covariance_about_par(&data, &origin, &ParConfig::threads(threads)).unwrap();
+            for i in 0..d {
+                for j in 0..d {
+                    let (a, b) = (par[(i, j)], serial[(i, j)]);
+                    prop_assert!(
+                        (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                        "({i},{j}): chunked {a} vs serial {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The parallel mean is bit-identical across thread counts (same chunks,
+    /// same merge order) and close to the serial mean.
+    #[test]
+    fn parallel_mean_is_thread_invariant(data in data_strategy()) {
+        let serial = mean_vector(&data).unwrap();
+        let base = mean_vector_par(&data, &ParConfig::serial()).unwrap();
+        for threads in [2usize, 4, 8] {
+            let m = mean_vector_par(&data, &ParConfig::threads(threads)).unwrap();
+            prop_assert_eq!(&m, &base, "threads={}", threads);
+        }
+        for (a, b) in base.iter().zip(&serial) {
+            prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+        }
+    }
+
+    /// map_ranges_with covers [0, n) exactly once, in chunk order, for any
+    /// chunk size and thread count.
+    #[test]
+    fn map_ranges_covers_exactly_once(
+        n in 0usize..300,
+        chunk in 1usize..40,
+        threads in 1usize..9,
+    ) {
+        let ranges = map_ranges_with(n, chunk, &ParConfig::threads(threads), |r| r);
+        let mut next = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next, "gap or overlap at {}", next);
+            prop_assert!(r.end > r.start && r.end - r.start <= chunk);
+            next = r.end;
+        }
+        prop_assert_eq!(next, n, "range union must be [0, n)");
+    }
+}

@@ -1,7 +1,10 @@
 //! The fitted PCA model.
 
 use crate::error::{Error, Result};
-use mmdr_linalg::{covariance, mean_vector, Matrix, SymmetricEigen};
+use mmdr_linalg::{
+    covariance, covariance_par, map_ranges, mean_vector, mean_vector_par, Matrix, ParConfig,
+    SymmetricEigen,
+};
 
 /// A PCA model fitted on a dataset: the sample mean plus the full
 /// eigendecomposition of the covariance matrix.
@@ -27,6 +30,24 @@ impl Pca {
         }
         let mean = mean_vector(data)?;
         let cov = covariance(data)?;
+        let eig = SymmetricEigen::new(&cov)?;
+        Ok(Self {
+            mean,
+            eigenvalues: eig.eigenvalues,
+            components: eig.eigenvectors,
+        })
+    }
+
+    /// [`Pca::fit`] with deterministic chunk-and-merge parallelism for the
+    /// mean and covariance accumulation (the `O(N d²)` part of a fit; the
+    /// `O(d³)` eigendecomposition stays serial). Results are bit-identical
+    /// for every `num_threads` (see `mmdr_linalg::par`).
+    pub fn fit_par(data: &Matrix, par: &ParConfig) -> Result<Self> {
+        if data.rows() == 0 {
+            return Err(Error::EmptyDataset);
+        }
+        let mean = mean_vector_par(data, par)?;
+        let cov = covariance_par(data, par)?;
         let eig = SymmetricEigen::new(&cov)?;
         Ok(Self {
             mean,
@@ -104,6 +125,32 @@ impl Pca {
         Ok(out)
     }
 
+    /// [`Pca::project_dataset`] with chunk-parallel rows. Each output row
+    /// depends only on its input row, so the result is identical to the
+    /// serial version for every `num_threads`.
+    pub fn project_dataset_par(&self, data: &Matrix, d_r: usize, par: &ParConfig) -> Result<Matrix> {
+        self.check_dr(d_r)?;
+        if data.cols() != self.dim() {
+            return Err(Error::DimensionMismatch { expected: self.dim(), actual: data.cols() });
+        }
+        let chunks = map_ranges(data.rows(), par, |range| {
+            let mut rows = Vec::with_capacity(range.len());
+            for i in range {
+                rows.push(self.project(data.row(i), d_r).expect("checked"));
+            }
+            rows
+        });
+        let mut out = Matrix::zeros(data.rows(), d_r);
+        let mut i = 0;
+        for chunk in chunks {
+            for proj in chunk {
+                out.row_mut(i).copy_from_slice(&proj);
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
     /// Reconstructs a full-dimensional point from its `d_r` coefficients:
     /// `P' = μ + Σ c_j φ_j` — the projection of the original point onto the
     /// preserved affine subspace.
@@ -158,6 +205,29 @@ impl Pca {
         for row in data.iter_rows() {
             sum += self.proj_dist_r(row, d_r)?;
         }
+        Ok(sum / data.rows() as f64)
+    }
+
+    /// [`Pca::mpe`] with deterministic chunk-and-merge parallelism: per-chunk
+    /// partial sums of `ProjDist_r` merge in chunk order, so the result is
+    /// bit-identical for every `num_threads` (and exactly equal to the
+    /// serial [`Pca::mpe`] whenever the dataset fits one chunk).
+    pub fn mpe_par(&self, data: &Matrix, d_r: usize, par: &ParConfig) -> Result<f64> {
+        if data.rows() == 0 {
+            return Err(Error::EmptyDataset);
+        }
+        self.check_dr(d_r)?;
+        if data.cols() != self.dim() {
+            return Err(Error::DimensionMismatch { expected: self.dim(), actual: data.cols() });
+        }
+        let partials = map_ranges(data.rows(), par, |range| {
+            let mut sum = 0.0;
+            for i in range {
+                sum += self.proj_dist_r(data.row(i), d_r).expect("checked");
+            }
+            sum
+        });
+        let sum = partials.into_iter().reduce(|a, b| a + b).expect("at least one chunk");
         Ok(sum / data.rows() as f64)
     }
 
@@ -331,6 +401,38 @@ mod tests {
         for (i, row) in data.iter_rows().enumerate() {
             let p = pca.project(row, 2).unwrap();
             assert_eq!(proj.row(i), &p[..]);
+        }
+    }
+
+    #[test]
+    fn par_variants_match_serial_and_each_other() {
+        let mut rows = Vec::new();
+        let mut state = 0xD1B5_4A32u64;
+        for _ in 0..2000 {
+            let mut row = Vec::with_capacity(4);
+            for _ in 0..4 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                row.push(((state >> 11) as f64) / (1u64 << 53) as f64);
+            }
+            rows.push(row);
+        }
+        let data = Matrix::from_rows(&rows).unwrap();
+        let base = Pca::fit_par(&data, &ParConfig::serial()).unwrap();
+        let serial = Pca::fit(&data).unwrap();
+        for (a, b) in base.mean().iter().zip(serial.mean()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let mpe1 = base.mpe_par(&data, 2, &ParConfig::serial()).unwrap();
+        let proj1 = base.project_dataset_par(&data, 2, &ParConfig::serial()).unwrap();
+        assert_eq!(proj1, base.project_dataset(&data, 2).unwrap());
+        assert!((mpe1 - base.mpe(&data, 2).unwrap()).abs() < 1e-9);
+        for threads in [2, 4, 8] {
+            let par = ParConfig::threads(threads);
+            let p = Pca::fit_par(&data, &par).unwrap();
+            assert_eq!(p.mean(), base.mean());
+            assert_eq!(p.eigenvalues(), base.eigenvalues());
+            assert_eq!(p.mpe_par(&data, 2, &par).unwrap().to_bits(), mpe1.to_bits());
+            assert_eq!(p.project_dataset_par(&data, 2, &par).unwrap(), proj1);
         }
     }
 

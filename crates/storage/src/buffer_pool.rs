@@ -5,7 +5,7 @@ use crate::error::{Error, Result};
 use crate::page::{Page, PageId};
 use crate::stats::IoStats;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const NIL: usize = usize::MAX;
 
@@ -26,8 +26,23 @@ struct Frame {
 /// of residency without handing out long-lived references. Hits cost no
 /// logical I/O; misses cost one read, and evicting a dirty frame costs one
 /// write — exactly the accounting the paper's I/O plots assume.
+///
+/// Every method takes `&self`: the mutable state (disk, frames, LRU lists,
+/// hit/miss counters) lives behind one internal mutex, so read-only callers
+/// — notably concurrent `batch_knn` workers — can share the pool. Critical
+/// sections are short (a map lookup, an LRU relink, at most one page of
+/// I/O); under concurrency the hit/miss split depends on interleaving, but
+/// page *contents* (and thus query answers) do not.
 #[derive(Debug)]
 pub struct BufferPool {
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+    stats: Arc<IoStats>,
+}
+
+/// The mutable pool state guarded by the mutex.
+#[derive(Debug)]
+struct PoolInner {
     disk: DiskManager,
     capacity: usize,
     frames: Vec<Frame>,
@@ -47,22 +62,31 @@ impl BufferPool {
         if capacity == 0 {
             return Err(Error::ZeroCapacity);
         }
+        let stats = disk.stats();
         Ok(Self {
-            disk,
+            inner: Mutex::new(PoolInner {
+                disk,
+                capacity,
+                frames: Vec::with_capacity(capacity),
+                map: HashMap::with_capacity(capacity),
+                head: NIL,
+                tail: NIL,
+                free: Vec::new(),
+                hits: 0,
+                misses: 0,
+            }),
             capacity,
-            frames: Vec::with_capacity(capacity),
-            map: HashMap::with_capacity(capacity),
-            head: NIL,
-            tail: NIL,
-            free: Vec::new(),
-            hits: 0,
-            misses: 0,
+            stats,
         })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        self.inner.lock().expect("pool closures do not panic mid-update")
     }
 
     /// Handle to the underlying I/O counters.
     pub fn stats(&self) -> Arc<IoStats> {
-        self.disk.stats()
+        Arc::clone(&self.stats)
     }
 
     /// Pool capacity in pages.
@@ -72,57 +96,64 @@ impl BufferPool {
 
     /// Buffer hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.lock().hits
     }
 
     /// Buffer misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.lock().misses
     }
 
     /// Number of pages on the underlying disk.
     pub fn num_pages(&self) -> usize {
-        self.disk.num_pages()
+        self.lock().disk.num_pages()
     }
 
     /// Allocates a fresh page. The page enters the pool dirty (it will be
     /// written on eviction/flush) without costing a read.
-    pub fn allocate(&mut self) -> Result<PageId> {
-        let page_id = self.disk.allocate();
-        let idx = self.install(page_id, Page::new())?;
-        self.frames[idx].dirty = true;
+    pub fn allocate(&self) -> Result<PageId> {
+        let mut inner = self.lock();
+        let page_id = inner.disk.allocate();
+        let idx = inner.install(page_id, Page::new())?;
+        inner.frames[idx].dirty = true;
         Ok(page_id)
     }
 
-    /// Runs `f` with shared access to the page.
-    pub fn with_page<R>(&mut self, page_id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
-        let idx = self.fetch(page_id)?;
-        Ok(f(&self.frames[idx].page))
+    /// Runs `f` with shared access to the page (under the pool lock; keep
+    /// closures short and non-reentrant).
+    pub fn with_page<R>(&self, page_id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        let mut inner = self.lock();
+        let idx = inner.fetch(page_id)?;
+        Ok(f(&inner.frames[idx].page))
     }
 
     /// Runs `f` with mutable access to the page, marking it dirty.
     pub fn with_page_mut<R>(
-        &mut self,
+        &self,
         page_id: PageId,
         f: impl FnOnce(&mut Page) -> R,
     ) -> Result<R> {
-        let idx = self.fetch(page_id)?;
-        self.frames[idx].dirty = true;
-        Ok(f(&mut self.frames[idx].page))
+        let mut inner = self.lock();
+        let idx = inner.fetch(page_id)?;
+        inner.frames[idx].dirty = true;
+        Ok(f(&mut inner.frames[idx].page))
     }
 
     /// Writes every dirty resident page back to disk.
-    pub fn flush_all(&mut self) -> Result<()> {
-        let indices: Vec<usize> = self.map.values().copied().collect();
+    pub fn flush_all(&self) -> Result<()> {
+        let inner = &mut *self.lock();
+        let indices: Vec<usize> = inner.map.values().copied().collect();
         for idx in indices {
-            if self.frames[idx].dirty {
-                self.disk.write_page(self.frames[idx].page_id, &self.frames[idx].page)?;
-                self.frames[idx].dirty = false;
+            if inner.frames[idx].dirty {
+                inner.disk.write_page(inner.frames[idx].page_id, &inner.frames[idx].page)?;
+                inner.frames[idx].dirty = false;
             }
         }
         Ok(())
     }
+}
 
+impl PoolInner {
     /// Ensures the page is resident and MRU; returns its frame index.
     fn fetch(&mut self, page_id: PageId) -> Result<usize> {
         if let Some(&idx) = self.map.get(&page_id) {
@@ -218,7 +249,7 @@ mod tests {
 
     #[test]
     fn hits_are_free_misses_cost_reads() {
-        let mut p = pool(2);
+        let p = pool(2);
         let a = p.allocate().unwrap();
         p.with_page_mut(a, |pg| pg.put_u64(0, 7).unwrap()).unwrap();
         let stats = p.stats();
@@ -236,7 +267,7 @@ mod tests {
 
     #[test]
     fn eviction_writes_dirty_and_rereads() {
-        let mut p = pool(2);
+        let p = pool(2);
         let a = p.allocate().unwrap();
         let b = p.allocate().unwrap();
         let c = p.allocate().unwrap(); // evicts a (LRU, dirty from allocate)
@@ -249,7 +280,7 @@ mod tests {
 
     #[test]
     fn data_survives_eviction() {
-        let mut p = pool(2);
+        let p = pool(2);
         let ids: Vec<PageId> = (0..10).map(|_| p.allocate().unwrap()).collect();
         for (i, &id) in ids.iter().enumerate() {
             p.with_page_mut(id, |pg| pg.put_u64(0, i as u64).unwrap()).unwrap();
@@ -262,7 +293,7 @@ mod tests {
 
     #[test]
     fn lru_order_is_respected() {
-        let mut p = pool(2);
+        let p = pool(2);
         let a = p.allocate().unwrap();
         let b = p.allocate().unwrap();
         p.flush_all().unwrap();
@@ -280,7 +311,7 @@ mod tests {
 
     #[test]
     fn flush_all_clears_dirty() {
-        let mut p = pool(4);
+        let p = pool(4);
         let a = p.allocate().unwrap();
         p.with_page_mut(a, |pg| pg.put_u8(0, 1).unwrap()).unwrap();
         p.flush_all().unwrap();
@@ -291,13 +322,13 @@ mod tests {
 
     #[test]
     fn missing_page_errors() {
-        let mut p = pool(2);
+        let p = pool(2);
         assert!(p.with_page(99, |_| ()).is_err());
     }
 
     #[test]
     fn capacity_one_works() {
-        let mut p = pool(1);
+        let p = pool(1);
         let a = p.allocate().unwrap();
         let b = p.allocate().unwrap();
         p.with_page_mut(a, |pg| pg.put_u8(0, 1).unwrap()).unwrap();

@@ -11,7 +11,7 @@ use mmdr::idistance::SeqScan;
 use mmdr::linalg::Matrix;
 
 fn evaluate(name: &str, data: &Matrix, model: &ReductionResult, queries: &Matrix, k: usize) {
-    let mut scan = SeqScan::build(data, model, 1024).expect("scan");
+    let scan = SeqScan::build(data, model, 1024).expect("scan");
     let mut total = 0.0;
     for q in queries.iter_rows() {
         let exact: Vec<usize> = exact_knn(data, q, k).into_iter().map(|(_, i)| i).collect();

@@ -33,7 +33,7 @@ fn main() {
 
     let mut index = IDistanceIndex::build(&images, &model, IDistanceConfig::default())
         .expect("index");
-    let mut scan = SeqScan::build(&images, &model, 64).expect("scan");
+    let scan = SeqScan::build(&images, &model, 64).expect("scan");
 
     // "Find images similar to #123, #4567, #9000" — the interactive loop.
     for &query_id in &[123usize, 4_567, 9_000] {

@@ -47,7 +47,7 @@ fn main() {
 
     // 3. Index every reduced subspace in one B+-tree. A small buffer pool
     //    makes the logical I/O of the query phase visible.
-    let mut index = IDistanceIndex::build(
+    let index = IDistanceIndex::build(
         &dataset.data,
         &model,
         IDistanceConfig { buffer_pages: 32, ..Default::default() },

@@ -45,7 +45,7 @@ fn main() {
     );
 
     // The streamed model serves queries exactly like the in-memory one.
-    let mut index = IDistanceIndex::build(&dataset.data, &streamed, IDistanceConfig::default())
+    let index = IDistanceIndex::build(&dataset.data, &streamed, IDistanceConfig::default())
         .expect("index");
     let queries = sample_queries(&dataset.data, 5, 3).expect("queries");
     for (qi, q) in queries.iter_rows().enumerate() {

@@ -12,7 +12,7 @@ fn locally_correlated() -> Matrix {
 
 fn mean_precision(data: &Matrix, model: &ReductionResult, k: usize) -> f64 {
     let queries = sample_queries(data, 20, 31).unwrap();
-    let mut scan = SeqScan::build(data, model, 1024).unwrap();
+    let scan = SeqScan::build(data, model, 1024).unwrap();
     let mut total = 0.0;
     for q in queries.iter_rows() {
         let exact: Vec<usize> = exact_knn(data, q, k).into_iter().map(|(_, i)| i).collect();

@@ -21,7 +21,7 @@ fn pipeline_reaches_high_precision() {
         model.mean_retained_dim()
     );
 
-    let mut index = IDistanceIndex::build(&ds.data, &model, IDistanceConfig::default()).unwrap();
+    let index = IDistanceIndex::build(&ds.data, &model, IDistanceConfig::default()).unwrap();
     let queries = sample_queries(&ds.data, 25, 3).unwrap();
     let mut total = 0.0;
     for q in queries.iter_rows() {
@@ -44,8 +44,8 @@ fn idistance_and_seqscan_agree_exactly() {
     // faster route to the same answer set.
     let ds = workload();
     let model = Mmdr::new(MmdrParams::default()).fit(&ds.data).unwrap();
-    let mut index = IDistanceIndex::build(&ds.data, &model, IDistanceConfig::default()).unwrap();
-    let mut scan = SeqScan::build(&ds.data, &model, 512).unwrap();
+    let index = IDistanceIndex::build(&ds.data, &model, IDistanceConfig::default()).unwrap();
+    let scan = SeqScan::build(&ds.data, &model, 512).unwrap();
     let queries = sample_queries(&ds.data, 15, 8).unwrap();
     for (qi, q) in queries.iter_rows().enumerate() {
         let a = index.knn(q, 10).unwrap();
@@ -61,13 +61,13 @@ fn idistance_and_seqscan_agree_exactly() {
 fn index_beats_scan_on_io() {
     let ds = workload();
     let model = Mmdr::new(MmdrParams::default()).fit(&ds.data).unwrap();
-    let mut index = IDistanceIndex::build(
+    let index = IDistanceIndex::build(
         &ds.data,
         &model,
         IDistanceConfig { buffer_pages: 8, ..Default::default() },
     )
     .unwrap();
-    let mut scan = SeqScan::build(&ds.data, &model, 4).unwrap();
+    let scan = SeqScan::build(&ds.data, &model, 4).unwrap();
     let queries = sample_queries(&ds.data, 10, 5).unwrap();
     let mut index_reads = 0;
     let mut scan_reads = 0;

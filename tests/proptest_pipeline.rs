@@ -41,9 +41,9 @@ proptest! {
     fn index_equals_scan(data in dataset_strategy(), probe in 0usize..40, k in 1usize..8) {
         let params = MmdrParams { min_cluster_size: 8, ..Default::default() };
         let model = Mmdr::new(params).fit(&data).unwrap();
-        let mut index =
+        let index =
             IDistanceIndex::build(&data, &model, IDistanceConfig::default()).unwrap();
-        let mut scan = SeqScan::build(&data, &model, 128).unwrap();
+        let scan = SeqScan::build(&data, &model, 128).unwrap();
         let q = data.row(probe % data.rows());
         let a = index.knn(q, k).unwrap();
         let b = scan.knn(q, k).unwrap();
@@ -60,7 +60,7 @@ proptest! {
     fn knn_distances_are_sorted_and_finite(data in dataset_strategy(), probe in 0usize..40) {
         let params = MmdrParams { min_cluster_size: 8, ..Default::default() };
         let model = Mmdr::new(params).fit(&data).unwrap();
-        let mut index =
+        let index =
             IDistanceIndex::build(&data, &model, IDistanceConfig::default()).unwrap();
         let q = data.row(probe % data.rows());
         let hits = index.knn(q, 5).unwrap();

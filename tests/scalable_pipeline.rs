@@ -16,7 +16,7 @@ fn streaming_matches_in_memory_quality() {
 
     let queries = sample_queries(&ds.data, 15, 2).unwrap();
     let eval = |model: &mmdr::core::ReductionResult| {
-        let mut scan = SeqScan::build(&ds.data, model, 512).unwrap();
+        let scan = SeqScan::build(&ds.data, model, 512).unwrap();
         let mut total = 0.0;
         for q in queries.iter_rows() {
             let exact: Vec<usize> =

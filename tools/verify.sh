@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build everything warning-free, run the full
+# workspace test suite, then re-run the parallel-determinism and golden-recall
+# suites explicitly (they are the acceptance gate for the parallel layer).
+#
+# Usage: tools/verify.sh [--release]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROFILE=()
+if [[ "${1:-}" == "--release" ]]; then
+    PROFILE=(--release)
+fi
+
+echo "== build (all targets) =="
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --workspace --all-targets "${PROFILE[@]}"
+
+echo "== test (workspace) =="
+cargo test --workspace "${PROFILE[@]}"
+
+echo "== determinism + recall gates =="
+cargo test "${PROFILE[@]}" --test par_determinism --test golden_recall
+cargo test "${PROFILE[@]}" -p mmdr-linalg --test proptest_par
+cargo test "${PROFILE[@]}" -p mmdr-idistance --test proptest_heap
+
+echo "verify: OK"

@@ -1,0 +1,186 @@
+//! Offline drop-in for the subset of `criterion` this workspace's benches
+//! use: `Criterion`, benchmark groups, `BenchmarkId`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing model: each benchmark runs a short warm-up, then `sample_size`
+//! timed samples; the reported statistic is the median sample with min/max
+//! spread, printed to stdout. There are no HTML reports, outlier analysis,
+//! or regression baselines — this exists so `cargo bench` works without
+//! crates.io access.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that import `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures under the timer.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: one untimed call.
+        std_black_box(routine());
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (criterion's minimum
+    /// of 10 is not enforced here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id, input, f);
+        self
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(BenchmarkId::from_parameter(id), &(), move |b, _| f(b));
+        self
+    }
+
+    fn run<I: ?Sized>(&mut self, id: BenchmarkId, input: &I, mut f: impl FnMut(&mut Bencher, &I)) {
+        let mut bencher = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut bencher, input);
+        let mut sorted = bencher.results.clone();
+        sorted.sort();
+        let (median, lo, hi) = if sorted.is_empty() {
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+        } else {
+            (sorted[sorted.len() / 2], sorted[0], sorted[sorted.len() - 1])
+        };
+        println!(
+            "{}/{:<24} median {:>12.3?}   [{:.3?} .. {:.3?}]  ({} samples)",
+            self.name, id.to_string(), median, lo, hi, self.sample_size
+        );
+    }
+
+    /// Ends the group (accounting no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup { name, sample_size: 20, _criterion: self }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = name.to_string();
+        self.benchmark_group(label).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. --bench); ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        for &n in &[2u64, 4] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>());
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher { samples: 5, results: Vec::new() };
+        b.iter(|| 1 + 1);
+        assert_eq!(b.results.len(), 5);
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline drop-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the APIs its property tests rely on: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`], [`bool::ANY`], the [`proptest!`] macro,
+//! `prop_assert!` / `prop_assert_eq!`, and [`ProptestConfig`].
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case panics
+//! with its case number and the test's deterministic per-case seed, which is
+//! enough to reproduce it (case generation is seeded by test name + case
+//! index, so reruns fail identically).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies (re-exported so generated code can name it).
+pub type TestRng = StdRng;
+
+/// Subset of proptest's run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `f` (rejection sampling, bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f, whence }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row: {}", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Accepted size specifications for [`vec`]: a fixed length, an
+    /// exclusive range, or an inclusive range.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy yielding `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for a fair coin flip.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY` — either boolean with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Runs `body` for `cases` deterministic seeds, reporting the failing case.
+pub fn run_cases(cases: u32, test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+    // Stable per-test seed so failures reproduce across runs (FNV-1a).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    for case in 0..cases {
+        let seed = h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest {test_name}: case {case}/{cases} failed (seed {seed:#x})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) $( $(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(config.cases, stringify!($name), |__proptest_rng| {
+                    $crate::__proptest_bind!{ __proptest_rng $($params)* }
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident) => {};
+    ($rng:ident $p:pat in $s:expr) => {
+        let $p = $crate::Strategy::generate(&($s), $rng);
+    };
+    ($rng:ident $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::Strategy::generate(&($s), $rng);
+        $crate::__proptest_bind!{ $rng $($rest)* }
+    };
+}
+
+/// Drop-in for proptest's `prop_assume!`: a failed assumption skips the rest
+/// of the current case (no replacement case is drawn, unlike upstream).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Drop-in for proptest's `prop_assert!` (panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Drop-in for proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Drop-in for proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples(x in 3usize..10, (a, b) in (0u32..5, -1.0f64..1.0)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(a < 5);
+            prop_assert!((-1.0..1.0).contains(&b));
+        }
+
+        #[test]
+        fn vec_lengths(v in proptest::collection::vec(0u32..7, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 7));
+        }
+
+        #[test]
+        fn flat_map_dependent_sizes(rows in (1usize..4).prop_flat_map(|d| {
+            proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), 3)
+        })) {
+            let d = rows[0].len();
+            prop_assert!(rows.iter().all(|r| r.len() == d));
+        }
+
+        #[test]
+        fn bool_any_and_fixed_size(ops in proptest::collection::vec((0u32..4, proptest::bool::ANY), 5)) {
+            prop_assert_eq!(ops.len(), 5);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        crate::run_cases(5, "det", |rng| {
+            first.push((0u64..1000).generate(rng));
+        });
+        let mut second: Vec<u64> = Vec::new();
+        crate::run_cases(5, "det", |rng| {
+            second.push((0u64..1000).generate(rng));
+        });
+        assert_eq!(first, second);
+        assert!(first.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+}

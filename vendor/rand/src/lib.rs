@@ -1,0 +1,248 @@
+//! Offline drop-in for the subset of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the few external APIs it depends on. This crate reproduces the
+//! `rand` surface used here — `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! and the `Rng` methods `gen`, `gen_range`, `gen_bool` — backed by a
+//! deterministic xoshiro256++ generator seeded through SplitMix64.
+//!
+//! The bit streams differ from upstream `rand`'s ChaCha-based `StdRng`, so
+//! seeded outputs are *not* identical to what upstream would produce; they
+//! are, however, fully deterministic for a given seed, which is the property
+//! every consumer in this workspace relies on.
+
+/// Core trait: a source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types sampleable uniformly from the generator's "standard" distribution
+/// (`[0, 1)` for floats, the full range for integers).
+pub trait Standard: Sized {
+    fn sample_standard(bits: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard(bits: &mut dyn FnMut() -> u64) -> Self {
+        // 53 mantissa bits → uniform in [0, 1).
+        (bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard(bits: &mut dyn FnMut() -> u64) -> Self {
+        (bits() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard(bits: &mut dyn FnMut() -> u64) -> Self {
+        bits()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard(bits: &mut dyn FnMut() -> u64) -> Self {
+        (bits() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard(bits: &mut dyn FnMut() -> u64) -> Self {
+        bits() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(bits: &mut dyn FnMut() -> u64) -> Self {
+        bits() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Modulo reduction: the bias is < span / 2^64, irrelevant for
+                // the test/benchmark workloads this crate serves.
+                self.start.wrapping_add((bits() % span) as $t)
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return bits() as $t;
+                }
+                lo.wrapping_add((bits() % span as u64) as $t)
+            }
+        }
+    )*};
+}
+int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = f64::sample_standard(bits);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// The user-facing generator trait (blanket-implemented over [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Samples from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        let mut this = self;
+        T::sample_standard(&mut move || this.next_u64())
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let mut this = self;
+        range.sample(&mut move || this.next_u64())
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Derives a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let j = rng.gen_range(5u64..=9);
+            assert!((5..=9).contains(&j));
+            let x = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unsized_rng_usable_through_generic_bound() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = draw(&mut rng);
+    }
+
+    #[test]
+    fn covers_value_range_roughly_uniformly() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            buckets[(x * 10.0) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket {b} far from uniform");
+        }
+    }
+}
