@@ -30,7 +30,7 @@ fn bench_knn_schemes(c: &mut Criterion) {
     .unwrap();
     group.bench_function("iLDR", |b| b.iter(|| black_box(ildr.knn(&q, 10).unwrap())));
 
-    let mut gldr = GlobalLdrIndex::build(&ds.data, &ldr_model, 1 << 14).unwrap();
+    let gldr = GlobalLdrIndex::build(&ds.data, &ldr_model, 1 << 14).unwrap();
     group.bench_function("gLDR", |b| b.iter(|| black_box(gldr.knn(&q, 10).unwrap())));
 
     let scan = SeqScan::build(&ds.data, &mmdr_model, 1 << 14).unwrap();

@@ -8,7 +8,7 @@
 
 use mmdr_bench::{eval, workloads, Args, Method, Report};
 use mmdr_datagen::sample_queries;
-use mmdr_idistance::{GlobalLdrIndex, IDistanceConfig, IDistanceIndex};
+use mmdr_idistance::{build_backend, Backend, VectorIndex};
 use mmdr_linalg::Matrix;
 use std::time::Instant;
 
@@ -35,32 +35,17 @@ fn main() {
         let mmdr_model = eval::reduce(Method::Mmdr, &data, Some(d_r), 10, args.seed);
         let ldr_model = eval::reduce(Method::Ldr, &data, Some(d_r), 10, args.seed);
 
-        let immdr = IDistanceIndex::build(
-            &data,
-            &mmdr_model,
-            IDistanceConfig { buffer_pages, ..Default::default() },
-        )
-        .expect("iMMDR build");
-        let t_immdr = time_queries(&qs, k, |q, kk| {
-            immdr.knn(q, kk).expect("knn");
-        });
+        let series: Vec<Box<dyn VectorIndex>> = vec![
+            build_backend(Backend::IDistance, &data, &mmdr_model, buffer_pages)
+                .expect("iMMDR build"),
+            build_backend(Backend::IDistance, &data, &ldr_model, buffer_pages)
+                .expect("iLDR build"),
+            build_backend(Backend::Gldr, &data, &ldr_model, buffer_pages).expect("gLDR build"),
+        ];
+        let times: Vec<f64> =
+            series.iter().map(|b| time_queries(&qs, k, b.as_ref())).collect();
 
-        let ildr = IDistanceIndex::build(
-            &data,
-            &ldr_model,
-            IDistanceConfig { buffer_pages, ..Default::default() },
-        )
-        .expect("iLDR build");
-        let t_ildr = time_queries(&qs, k, |q, kk| {
-            ildr.knn(q, kk).expect("knn");
-        });
-
-        let mut gldr = GlobalLdrIndex::build(&data, &ldr_model, buffer_pages).expect("gLDR");
-        let t_gldr = time_queries(&qs, k, |q, kk| {
-            gldr.knn(q, kk).expect("knn");
-        });
-
-        report.push(d_r as f64, vec![t_immdr, t_ildr, t_gldr]);
+        report.push(d_r as f64, times);
         eprintln!("d_r {d_r} done");
     }
     report.emit();
@@ -84,13 +69,13 @@ fn load(args: &Args, dataset: &str) -> (Matrix, usize, &'static str) {
 }
 
 /// Mean wall-clock milliseconds per query (one warm-up pass first).
-fn time_queries(queries: &Matrix, k: usize, mut run: impl FnMut(&[f64], usize)) -> f64 {
+fn time_queries(queries: &Matrix, k: usize, index: &dyn VectorIndex) -> f64 {
     for q in queries.iter_rows().take(3) {
-        run(q, k);
+        index.knn(q, k).expect("knn");
     }
     let start = Instant::now();
     for q in queries.iter_rows() {
-        run(q, k);
+        index.knn(q, k).expect("knn");
     }
     start.elapsed().as_secs_f64() * 1000.0 / queries.rows() as f64
 }

@@ -7,7 +7,7 @@
 
 use mmdr_bench::{eval, workloads, Args, Method, Report};
 use mmdr_datagen::sample_queries;
-use mmdr_idistance::{GlobalLdrIndex, IDistanceConfig, IDistanceIndex, SeqScan};
+use mmdr_idistance::{build_backend, Backend, VectorIndex};
 use mmdr_linalg::Matrix;
 
 fn main() {
@@ -34,49 +34,21 @@ fn main() {
         let mmdr_model = eval::reduce(Method::Mmdr, &data, Some(d_r), 10, args.seed);
         let ldr_model = eval::reduce(Method::Ldr, &data, Some(d_r), 10, args.seed);
 
-        // iMMDR: extended iDistance over the MMDR reduction.
-        let immdr = IDistanceIndex::build(
-            &data,
-            &mmdr_model,
-            IDistanceConfig { buffer_pages, ..Default::default() },
-        )
-        .expect("iMMDR build");
-        let io_immdr = mean_io(&qs, k, |q, kk| {
-            immdr.io_stats().reset();
-            immdr.knn(q, kk).expect("knn");
-            immdr.io_stats().reads()
-        });
+        // Every series is a VectorIndex; the measurement loop below is
+        // backend-agnostic. iMMDR/iLDR differ only in the reduction; the
+        // scan uses the MMDR layout.
+        let series: Vec<Box<dyn VectorIndex>> = vec![
+            build_backend(Backend::IDistance, &data, &mmdr_model, buffer_pages)
+                .expect("iMMDR build"),
+            build_backend(Backend::IDistance, &data, &ldr_model, buffer_pages)
+                .expect("iLDR build"),
+            build_backend(Backend::Gldr, &data, &ldr_model, buffer_pages).expect("gLDR build"),
+            build_backend(Backend::SeqScan, &data, &mmdr_model, buffer_pages)
+                .expect("scan build"),
+        ];
+        let ios: Vec<f64> = series.iter().map(|b| mean_io(&qs, k, b.as_ref())).collect();
 
-        // iLDR: the same index over the LDR reduction.
-        let ildr = IDistanceIndex::build(
-            &data,
-            &ldr_model,
-            IDistanceConfig { buffer_pages, ..Default::default() },
-        )
-        .expect("iLDR build");
-        let io_ildr = mean_io(&qs, k, |q, kk| {
-            ildr.io_stats().reset();
-            ildr.knn(q, kk).expect("knn");
-            ildr.io_stats().reads()
-        });
-
-        // gLDR: one hybrid tree per LDR cluster.
-        let mut gldr = GlobalLdrIndex::build(&data, &ldr_model, buffer_pages).expect("gLDR build");
-        let io_gldr = mean_io(&qs, k, |q, kk| {
-            gldr.io_stats().reset();
-            gldr.knn(q, kk).expect("knn");
-            gldr.io_stats().reads()
-        });
-
-        // Sequential scan of the reduced pages (MMDR layout).
-        let scan = SeqScan::build(&data, &mmdr_model, buffer_pages).expect("scan build");
-        let io_scan = mean_io(&qs, k, |q, kk| {
-            scan.io_stats().reset();
-            scan.knn(q, kk).expect("knn");
-            scan.io_stats().reads()
-        });
-
-        report.push(d_r as f64, vec![io_immdr, io_ildr, io_gldr, io_scan]);
+        report.push(d_r as f64, ios);
         eprintln!("d_r {d_r} done");
     }
     report.emit();
@@ -99,11 +71,13 @@ fn load(args: &Args, dataset: &str) -> (Matrix, usize, &'static str) {
     }
 }
 
-/// Mean page reads per query.
-fn mean_io(queries: &Matrix, k: usize, mut run: impl FnMut(&[f64], usize) -> u64) -> f64 {
+/// Mean page reads per query for any backend.
+fn mean_io(queries: &Matrix, k: usize, index: &dyn VectorIndex) -> f64 {
     let mut total = 0u64;
     for q in queries.iter_rows() {
-        total += run(q, k);
+        index.io_stats().reset();
+        index.knn(q, k).expect("knn");
+        total += index.io_stats().reads();
     }
     total as f64 / queries.rows() as f64
 }

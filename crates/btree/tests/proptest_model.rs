@@ -22,7 +22,7 @@ fn model_range(model: &[(f64, u64)], lo: f64, hi: f64) -> Vec<f64> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn inserts_match_reference_model(
@@ -99,7 +99,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Interleaved inserts and deletes stay in lockstep with the reference
     /// multiset.

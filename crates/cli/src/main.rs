@@ -4,7 +4,7 @@
 //! mmdr generate --out data.json --n 5000 --dim 32 --clusters 5 [--histogram]
 //! mmdr reduce   --data data.json --out model.json [--method mmdr|ldr|gdr] [--dim D] [--threads N]
 //! mmdr info     --model model.json
-//! mmdr query    --data data.json --model model.json --row 17,42 [--k 10] [--radius R] [--threads N]
+//! mmdr query    --data data.json --model model.json --row 17,42 [--k 10] [--radius R] [--threads N] [--backend B]
 //! ```
 //!
 //! Datasets and models are JSON files (`DatasetFile` /
@@ -16,7 +16,7 @@ mod dataset;
 use dataset::DatasetFile;
 use mmdr_core::{Gdr, Ldr, LdrParams, Mmdr, MmdrParams, ParConfig, ReductionResult};
 use mmdr_datagen::{generate_correlated, generate_histograms, CorrelatedConfig, HistogramConfig};
-use mmdr_idistance::{IDistanceConfig, IDistanceIndex};
+use mmdr_idistance::{build_backend, Backend};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -66,11 +66,12 @@ USAGE:
   mmdr convert  (--csv FILE --out FILE | --data FILE --out-csv FILE)
   mmdr reduce   --data FILE --out FILE [--method mmdr|ldr|gdr] [--dim D] [--clusters K] [--beta B] [--seed S] [--threads N]
   mmdr info     --model FILE
-  mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N]
+  mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--backend seqscan|idistance|hybrid|gldr]
 
 Results are independent of --threads: clustering, PCA and batch queries use
 fixed-size work chunks merged in a fixed order, so any thread count produces
-bit-identical output.";
+bit-identical output. Every --backend answers with the same
+reduced-representation distances; they differ only in I/O and CPU cost.";
 
 /// Parses `--flag value` pairs into a map, rejecting unknown flags.
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
@@ -243,7 +244,8 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["data", "model", "row", "point", "k", "radius", "threads"])?;
+    let flags =
+        parse_flags(args, &["data", "model", "row", "point", "k", "radius", "threads", "backend"])?;
     let data = DatasetFile::load(require(&flags, "data")?)?;
     let model = load_model(require(&flags, "model")?)?;
     // --row accepts a comma-separated list; multiple rows form a batch that
@@ -267,9 +269,13 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         return Err("either --row or --point is required".into());
     };
     let par = ParConfig::threads(get_parse(&flags, "threads", 1usize)?);
+    let backend: Backend = match flags.get("backend") {
+        Some(s) => s.parse()?,
+        None => Backend::IDistance,
+    };
 
-    let index = IDistanceIndex::build(&data, &model, IDistanceConfig::default())
-        .map_err(|e| e.to_string())?;
+    let index = build_backend(backend, &data, &model, 256).map_err(|e| e.to_string())?;
+    index.reset_stats(); // count query work only, not construction I/O
     if let Some(radius) = flags.get("radius") {
         if queries.len() != 1 {
             return Err("--radius works with a single query".into());
@@ -297,5 +303,14 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    let stats = index.query_stats();
+    outln!(
+        "[{}] {} dist computations, {} candidates refined, {} page accesses ({} reads)",
+        index.name(),
+        stats.dist_computations,
+        stats.candidates_refined,
+        stats.pages_touched,
+        stats.page_reads
+    );
     Ok(())
 }

@@ -15,7 +15,7 @@ fn data_strategy() -> impl Strategy<Value = Matrix> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn kmeans_partitions_consistently(data in data_strategy(), k in 1usize..6, seed in 0u64..8) {

@@ -26,6 +26,8 @@ pub enum Error {
     },
     /// Queries must use finite coordinates.
     InvalidQuery,
+    /// Range-search radii must be finite and non-negative.
+    InvalidRadius,
     /// Internal invariant violation (bug surfaced safely).
     Corrupt(&'static str),
 }
@@ -41,6 +43,7 @@ impl fmt::Display for Error {
                 write!(f, "dimensionality {dim} is unsupported (must fit a page)")
             }
             Error::InvalidQuery => write!(f, "query coordinates must be finite"),
+            Error::InvalidRadius => write!(f, "radius must be finite and non-negative"),
             Error::Corrupt(msg) => write!(f, "tree invariant violated: {msg}"),
         }
     }
@@ -70,6 +73,7 @@ mod tests {
         assert!(Error::InputMismatch { points: 3, rids: 2 }.to_string().contains("3"));
         assert!(Error::UnsupportedDimensionality { dim: 600 }.to_string().contains("600"));
         assert!(!Error::InvalidQuery.to_string().is_empty());
+        assert!(Error::InvalidRadius.to_string().contains("radius"));
         assert!(Error::Corrupt("x").to_string().contains('x'));
         assert!(Error::from(mmdr_storage::Error::ZeroCapacity)
             .to_string()

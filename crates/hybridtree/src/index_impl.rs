@@ -1,0 +1,98 @@
+//! [`VectorIndex`] implementation for the hybrid tree.
+
+use crate::tree::HybridTree;
+use mmdr_index::{SearchCounters, VectorIndex};
+use mmdr_storage::IoStats;
+use std::sync::Arc;
+
+impl From<crate::Error> for mmdr_index::Error {
+    fn from(e: crate::Error) -> Self {
+        match e {
+            crate::Error::InputMismatch { points, rids } => {
+                mmdr_index::Error::DimensionMismatch { expected: points, actual: rids }
+            }
+            crate::Error::InvalidQuery => mmdr_index::Error::InvalidQuery,
+            crate::Error::InvalidRadius => mmdr_index::Error::InvalidRadius,
+            other => mmdr_index::Error::backend(other),
+        }
+    }
+}
+
+impl VectorIndex for HybridTree {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn len(&self) -> usize {
+        HybridTree::len(self)
+    }
+
+    fn dim(&self) -> usize {
+        HybridTree::dim(self)
+    }
+
+    fn knn(&self, query: &[f64], k: usize) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(HybridTree::knn(self, query, k)?)
+    }
+
+    fn range_search(&self, query: &[f64], radius: f64) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(HybridTree::range_search(self, query, radius)?)
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        HybridTree::io_stats(self)
+    }
+
+    fn search_counters(&self) -> Arc<SearchCounters> {
+        HybridTree::search_counters(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdr_linalg::Matrix;
+    use mmdr_storage::{BufferPool, DiskManager};
+
+    fn tree() -> HybridTree {
+        let points = Matrix::from_fn(200, 4, |i, j| ((i * 7 + j * 13) % 101) as f64 / 101.0);
+        let rids: Vec<u64> = (0..200).collect();
+        let pool = BufferPool::new(DiskManager::new(), 128).unwrap();
+        HybridTree::bulk_load(pool, &points, &rids).unwrap()
+    }
+
+    #[test]
+    fn trait_object_queries_match_inherent() {
+        let t = tree();
+        let q = [0.4, 0.5, 0.6, 0.7];
+        let direct = t.knn(&q, 5).unwrap();
+        let via_trait = {
+            let dyn_ref: &dyn VectorIndex = &t;
+            dyn_ref.knn(&q, 5).unwrap()
+        };
+        assert_eq!(direct, via_trait);
+        assert_eq!(VectorIndex::len(&t), 200);
+        assert_eq!(VectorIndex::dim(&t), 4);
+        assert_eq!(VectorIndex::name(&t), "hybrid");
+    }
+
+    #[test]
+    fn errors_translate() {
+        let t = tree();
+        let err = VectorIndex::knn(&t, &[0.0; 2], 1).unwrap_err();
+        assert!(matches!(err, mmdr_index::Error::DimensionMismatch { .. }));
+        let err = VectorIndex::range_search(&t, &[0.0; 4], -1.0).unwrap_err();
+        assert!(matches!(err, mmdr_index::Error::InvalidRadius));
+    }
+
+    #[test]
+    fn stats_flow_through_trait() {
+        let t = tree();
+        let dyn_ref: &dyn VectorIndex = &t;
+        dyn_ref.reset_stats();
+        let _ = dyn_ref.knn(&[0.1, 0.2, 0.3, 0.4], 3).unwrap();
+        let stats = dyn_ref.query_stats();
+        assert!(stats.dist_computations > 0);
+        assert!(stats.pages_touched > 0);
+    }
+}

@@ -1,8 +1,9 @@
-//! Best-first KNN search over the hybrid tree.
+//! Best-first KNN and range search over the hybrid tree.
 
 use crate::error::{Error, Result};
 use crate::node::{count, is_leaf, Internal, Leaf};
 use crate::tree::HybridTree;
+use mmdr_index::KnnHeap;
 use mmdr_storage::PageId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -37,43 +38,28 @@ impl Ord for Frontier {
     }
 }
 
-/// Max-heap entry for the current k best candidates.
-struct Candidate {
-    dist_sq: f64,
-    rid: u64,
-}
-
-impl PartialEq for Candidate {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist_sq == other.dist_sq
-    }
-}
-impl Eq for Candidate {}
-impl PartialOrd for Candidate {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Candidate {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.dist_sq.partial_cmp(&other.dist_sq).unwrap_or(Ordering::Equal)
-    }
-}
-
 impl HybridTree {
-    /// Finds the `k` nearest neighbours of `query` by L2 distance.
-    ///
-    /// Returns `(distance, rid)` pairs sorted by ascending distance. The
-    /// classic best-first algorithm: a frontier ordered by region `MINDIST`,
-    /// pruned against the current k-th best distance. Every page popped from
-    /// the frontier costs one (buffered) page access.
-    pub fn knn(&mut self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+    fn validate(&self, query: &[f64]) -> Result<()> {
         if query.len() != self.dim {
             return Err(Error::InputMismatch { points: self.dim, rids: query.len() });
         }
         if query.iter().any(|c| !c.is_finite()) {
             return Err(Error::InvalidQuery);
         }
+        Ok(())
+    }
+
+    /// Finds the `k` nearest neighbours of `query` by L2 distance.
+    ///
+    /// Returns `(distance, rid)` pairs sorted ascending by distance, ties
+    /// broken toward the smaller rid. The classic best-first algorithm: a
+    /// frontier ordered by region `MINDIST`, pruned against the current
+    /// k-th best distance. Every page popped from the frontier costs one
+    /// (buffered) page access; leaf distances are early-abandoned against
+    /// the k-th best, which cannot change the result set (a candidate at
+    /// the bound is still summed in full and tie-broken by rid).
+    pub fn knn(&self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+        self.validate(query)?;
         if k == 0 || self.is_empty() {
             return Ok(Vec::new());
         }
@@ -85,32 +71,36 @@ impl HybridTree {
             lo: vec![f64::NEG_INFINITY; dim],
             hi: vec![f64::INFINITY; dim],
         });
-        let mut best: BinaryHeap<Candidate> = BinaryHeap::new();
+        // Holds *squared* distances; √ is applied once on the way out.
+        let mut best = KnnHeap::new(k);
         let mut coords = vec![0.0; dim];
 
         while let Some(node) = frontier.pop() {
-            if best.len() == k {
-                let kth = best.peek().expect("len == k").dist_sq;
-                if node.mindist_sq > kth {
-                    break; // no remaining region can beat the k-th best
-                }
+            if best.is_full() && node.mindist_sq > best.worst_dist().expect("full heap") {
+                break; // no remaining region can beat the k-th best
             }
             let leaf = self.pool.with_page(node.page, is_leaf)?;
             if leaf {
                 let n = self.pool.with_page(node.page, count)?;
+                self.search.record_dists(n as u64);
+                let mut refined = 0;
                 for i in 0..n {
                     let rid = self.pool.with_page(node.page, |p| {
                         Leaf::coords_into(p, dim, i, &mut coords);
                         Leaf::rid(p, dim, i)
                     })?;
-                    let d = mmdr_linalg::l2_dist_sq(query, &coords);
-                    if best.len() < k {
-                        best.push(Candidate { dist_sq: d, rid });
-                    } else if d < best.peek().expect("non-empty").dist_sq {
-                        best.pop();
-                        best.push(Candidate { dist_sq: d, rid });
+                    let d = match best.worst_dist() {
+                        Some(w) if best.is_full() => {
+                            mmdr_linalg::l2_dist_sq_within(query, &coords, w)
+                        }
+                        _ => Some(mmdr_linalg::l2_dist_sq(query, &coords)),
+                    };
+                    if let Some(d) = d {
+                        best.push(d, rid);
+                        refined += 1;
                     }
                 }
+                self.search.record_refined(refined);
                 continue;
             }
             // Internal: push each child with its refined region.
@@ -131,19 +121,81 @@ impl HybridTree {
                 lo[split_dim] = lo[split_dim].max(b_lo);
                 hi[split_dim] = hi[split_dim].min(b_hi);
                 let mindist_sq = mindist_sq(query, &lo, &hi);
-                if best.len() == k && mindist_sq > best.peek().expect("len == k").dist_sq {
+                if best.is_full() && mindist_sq > best.worst_dist().expect("full heap") {
                     continue;
                 }
                 frontier.push(Frontier { mindist_sq, page: child, lo, hi });
             }
         }
 
-        let mut out: Vec<(f64, u64)> = best
+        Ok(best
             .into_sorted_vec()
             .into_iter()
-            .map(|c| (c.dist_sq.sqrt(), c.rid))
-            .collect();
-        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+            .map(|(d_sq, rid)| (d_sq.sqrt(), rid))
+            .collect())
+    }
+
+    /// Every point within `radius` of `query`, as `(distance, rid)` sorted
+    /// ascending by `(distance, rid)`. Uses the same `MINDIST` region
+    /// pruning as [`knn`](Self::knn) and the same boundary tolerance as the
+    /// other backends (`dist ≤ radius + 1e-12`).
+    pub fn range_search(&self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
+        self.validate(query)?;
+        if !(radius >= 0.0 && radius.is_finite()) {
+            return Err(Error::InvalidRadius);
+        }
+        if self.is_empty() {
+            return Ok(Vec::new());
+        }
+        let dim = self.dim;
+        let limit = radius + 1e-12;
+        let mut out = Vec::new();
+        let mut coords = vec![0.0; dim];
+        // Plain stack walk: every qualifying region must be visited anyway,
+        // so best-first ordering buys nothing here.
+        let mut stack = vec![(self.root(), vec![f64::NEG_INFINITY; dim], vec![f64::INFINITY; dim])];
+        while let Some((page, lo, hi)) = stack.pop() {
+            if mindist_sq(query, &lo, &hi).sqrt() > limit {
+                continue;
+            }
+            if self.pool.with_page(page, is_leaf)? {
+                let n = self.pool.with_page(page, count)?;
+                self.search.record_dists(n as u64);
+                let mut refined = 0;
+                for i in 0..n {
+                    let rid = self.pool.with_page(page, |p| {
+                        Leaf::coords_into(p, dim, i, &mut coords);
+                        Leaf::rid(p, dim, i)
+                    })?;
+                    let d = mmdr_linalg::l2_dist(query, &coords);
+                    if d <= limit {
+                        out.push((d, rid));
+                        refined += 1;
+                    }
+                }
+                self.search.record_refined(refined);
+                continue;
+            }
+            let (split_dim, n_children) =
+                self.pool.with_page(page, |p| (Internal::split_dim(p), count(p)))?;
+            for i in 0..n_children {
+                let (child, b_lo, b_hi) = self.pool.with_page(page, |p| {
+                    let lo = if i == 0 { f64::NEG_INFINITY } else { Internal::boundary(p, i - 1) };
+                    let hi = if i + 1 == n_children {
+                        f64::INFINITY
+                    } else {
+                        Internal::boundary(p, i)
+                    };
+                    (Internal::child(p, i), lo, hi)
+                })?;
+                let mut lo = lo.clone();
+                let mut hi = hi.clone();
+                lo[split_dim] = lo[split_dim].max(b_lo);
+                hi[split_dim] = hi[split_dim].min(b_hi);
+                stack.push((child, lo, hi));
+            }
+        }
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
         Ok(out)
     }
 }
@@ -167,6 +219,7 @@ fn mindist_sq(q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tree::HybridTree;
     use mmdr_linalg::Matrix;
     use mmdr_storage::{BufferPool, DiskManager};
 
@@ -201,7 +254,7 @@ mod tests {
     fn knn_matches_brute_force() {
         let points = random_points(2000, 6, 42);
         let rids: Vec<u64> = (0..2000).collect();
-        let mut tree = HybridTree::bulk_load(pool(1024), &points, &rids).unwrap();
+        let tree = HybridTree::bulk_load(pool(1024), &points, &rids).unwrap();
         for qseed in [7u64, 99, 1234] {
             let q = random_points(1, 6, qseed);
             let query = q.row(0);
@@ -220,7 +273,7 @@ mod tests {
     fn knn_respects_k() {
         let points = random_points(100, 3, 5);
         let rids: Vec<u64> = (0..100).collect();
-        let mut tree = HybridTree::bulk_load(pool(128), &points, &rids).unwrap();
+        let tree = HybridTree::bulk_load(pool(128), &points, &rids).unwrap();
         assert_eq!(tree.knn(points.row(0), 1).unwrap().len(), 1);
         assert_eq!(tree.knn(points.row(0), 100).unwrap().len(), 100);
         assert_eq!(tree.knn(points.row(0), 500).unwrap().len(), 100);
@@ -231,18 +284,31 @@ mod tests {
     fn exact_match_is_nearest() {
         let points = random_points(500, 4, 11);
         let rids: Vec<u64> = (0..500).collect();
-        let mut tree = HybridTree::bulk_load(pool(256), &points, &rids).unwrap();
+        let tree = HybridTree::bulk_load(pool(256), &points, &rids).unwrap();
         let r = tree.knn(points.row(123), 1).unwrap();
         assert_eq!(r[0].1, 123);
         assert!(r[0].0 < 1e-12);
     }
 
     #[test]
+    fn duplicate_distances_tie_break_toward_smaller_rid() {
+        // 20 identical points: any k of them are correct by distance; the
+        // contract picks the k smallest rids.
+        let rows = vec![vec![0.25; 3]; 20];
+        let points = Matrix::from_rows(&rows).unwrap();
+        let rids: Vec<u64> = (0..20).collect();
+        let tree = HybridTree::bulk_load(pool(32), &points, &rids).unwrap();
+        let r = tree.knn(&[0.25; 3], 5).unwrap();
+        let ids: Vec<u64> = r.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
     fn pruning_saves_io_versus_full_scan() {
         let points = random_points(5000, 4, 3);
         let rids: Vec<u64> = (0..5000).collect();
-        let mut tree = HybridTree::bulk_load(pool(4), &points, &rids).unwrap();
-        let total_pages = tree.pool_mut().num_pages() as u64;
+        let tree = HybridTree::bulk_load(pool(4), &points, &rids).unwrap();
+        let total_pages = tree.pool().num_pages() as u64;
         let stats = tree.io_stats();
         stats.reset();
         let _ = tree.knn(points.row(0), 5).unwrap();
@@ -254,10 +320,63 @@ mod tests {
     }
 
     #[test]
+    fn search_counters_tick() {
+        let points = random_points(300, 4, 17);
+        let rids: Vec<u64> = (0..300).collect();
+        let tree = HybridTree::bulk_load(pool(64), &points, &rids).unwrap();
+        let counters = tree.search_counters();
+        let _ = tree.knn(points.row(0), 5).unwrap();
+        assert!(counters.dist_computations() > 0);
+        assert!(counters.candidates_refined() > 0);
+        // Pruning means not every computed distance is refined.
+        assert!(counters.candidates_refined() <= counters.dist_computations());
+        counters.reset();
+        assert_eq!(counters.dist_computations(), 0);
+    }
+
+    #[test]
+    fn range_search_matches_brute_force() {
+        let points = random_points(1500, 5, 77);
+        let rids: Vec<u64> = (0..1500).collect();
+        let tree = HybridTree::bulk_load(pool(512), &points, &rids).unwrap();
+        for (qseed, radius) in [(5u64, 0.2), (21, 0.5), (40, 1.0)] {
+            let q = random_points(1, 5, qseed);
+            let query = q.row(0);
+            let got = tree.range_search(query, radius).unwrap();
+            let want: Vec<(f64, u64)> = {
+                let mut v: Vec<(f64, u64)> = points
+                    .iter_rows()
+                    .enumerate()
+                    .map(|(i, p)| (mmdr_linalg::l2_dist(query, p), i as u64))
+                    .filter(|&(d, _)| d <= radius + 1e-12)
+                    .collect();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v
+            };
+            assert_eq!(got.len(), want.len(), "seed {qseed} radius {radius}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.1, w.1);
+                assert!((g.0 - w.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn range_search_validates() {
+        let points = random_points(50, 3, 9);
+        let rids: Vec<u64> = (0..50).collect();
+        let tree = HybridTree::bulk_load(pool(64), &points, &rids).unwrap();
+        assert!(tree.range_search(&[0.0, 0.0], 1.0).is_err());
+        assert!(tree.range_search(&[0.0; 3], -1.0).is_err());
+        assert!(tree.range_search(&[0.0; 3], f64::NAN).is_err());
+        assert!(tree.range_search(&[0.0; 3], f64::INFINITY).is_err());
+    }
+
+    #[test]
     fn validates_queries() {
         let points = random_points(50, 3, 9);
         let rids: Vec<u64> = (0..50).collect();
-        let mut tree = HybridTree::bulk_load(pool(64), &points, &rids).unwrap();
+        let tree = HybridTree::bulk_load(pool(64), &points, &rids).unwrap();
         assert!(tree.knn(&[0.0, 0.0], 1).is_err());
         assert!(tree.knn(&[f64::NAN, 0.0, 0.0], 1).is_err());
     }
@@ -265,8 +384,9 @@ mod tests {
     #[test]
     fn empty_tree_returns_nothing() {
         let points = Matrix::zeros(0, 3);
-        let mut tree = HybridTree::bulk_load(pool(4), &points, &[]).unwrap();
+        let tree = HybridTree::bulk_load(pool(4), &points, &[]).unwrap();
         assert!(tree.knn(&[0.0, 0.0, 0.0], 5).unwrap().is_empty());
+        assert!(tree.range_search(&[0.0, 0.0, 0.0], 1.0).unwrap().is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! are loaded at once.
 
 mod error;
+mod index_impl;
 mod knn;
 mod node;
 mod tree;

@@ -2,6 +2,7 @@
 
 use crate::error::{Error, Result};
 use crate::node::{internal_capacity, leaf_capacity, Internal, Leaf};
+use mmdr_index::SearchCounters;
 use mmdr_linalg::Matrix;
 use mmdr_storage::{BufferPool, IoStats, PageId};
 use std::sync::Arc;
@@ -17,6 +18,7 @@ pub struct HybridTree {
     pub(crate) pool: BufferPool,
     pub(crate) root: PageId,
     pub(crate) dim: usize,
+    pub(crate) search: Arc<SearchCounters>,
     len: usize,
     height: usize,
 }
@@ -54,7 +56,7 @@ impl HybridTree {
         } else {
             build(&mut pool, points, rids, &mut order[..], fanout, dim, 1, &mut height)?
         };
-        Ok(Self { pool, root, dim, len: rids.len(), height })
+        Ok(Self { pool, root, dim, search: SearchCounters::new(), len: rids.len(), height })
     }
 
     /// Number of indexed points.
@@ -82,9 +84,21 @@ impl HybridTree {
         self.pool.stats()
     }
 
-    /// Mutable access to the buffer pool.
-    pub fn pool_mut(&mut self) -> &mut BufferPool {
-        &mut self.pool
+    /// Handle to the CPU-side search counters.
+    pub fn search_counters(&self) -> Arc<SearchCounters> {
+        Arc::clone(&self.search)
+    }
+
+    /// Replaces the search counters with a shared set, so several trees
+    /// (e.g. gLDR's per-cluster forest) report into one ledger — the same
+    /// sharing [`mmdr_storage::DiskManager::with_stats`] gives page I/O.
+    pub fn share_search_counters(&mut self, counters: Arc<SearchCounters>) {
+        self.search = counters;
+    }
+
+    /// Access to the buffer pool (page counts, hit/miss ratios).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     pub(crate) fn root(&self) -> PageId {

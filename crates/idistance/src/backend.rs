@@ -1,0 +1,151 @@
+//! Uniform construction of the four KNN backends from a reduction result.
+//!
+//! Every comparison scheme in the evaluation answers the same question —
+//! nearest neighbours under the reduced-representation distance
+//! `‖q − restore(Pᵢ)‖` — so they can all be built from the same
+//! `(data, model)` pair and queried through [`VectorIndex`]. The benchmark
+//! binaries and the CLI's `--backend` flag both go through this factory.
+
+use crate::error::Result;
+use crate::gldr::GlobalLdrIndex;
+use crate::index::{IDistanceConfig, IDistanceIndex};
+use crate::seqscan::SeqScan;
+use mmdr_core::ReductionResult;
+use mmdr_hybridtree::HybridTree;
+use mmdr_index::VectorIndex;
+use mmdr_linalg::Matrix;
+use mmdr_storage::{BufferPool, DiskManager};
+use std::str::FromStr;
+
+/// The four KNN backends behind [`VectorIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Sequential scan of the reduced heap pages (the paper's baseline).
+    SeqScan,
+    /// Extended iDistance over the reduction (iMMDR / iLDR depending on
+    /// the model).
+    IDistance,
+    /// One global hybrid tree over the *restored* reduced representations
+    /// — a multidimensional index measuring the same distances.
+    Hybrid,
+    /// The paper's gLDR comparator: one hybrid tree per cluster.
+    Gldr,
+}
+
+impl Backend {
+    /// Flag/display name (`--backend` value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::SeqScan => "seqscan",
+            Backend::IDistance => "idistance",
+            Backend::Hybrid => "hybrid",
+            Backend::Gldr => "gldr",
+        }
+    }
+
+    /// All four, in comparison-plot order.
+    pub fn all() -> [Backend; 4] {
+        [Backend::SeqScan, Backend::IDistance, Backend::Hybrid, Backend::Gldr]
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "seqscan" => Ok(Backend::SeqScan),
+            "idistance" => Ok(Backend::IDistance),
+            "hybrid" => Ok(Backend::Hybrid),
+            "gldr" => Ok(Backend::Gldr),
+            other => Err(format!("unknown backend `{other}` (seqscan|idistance|hybrid|gldr)")),
+        }
+    }
+}
+
+/// Builds the chosen backend over `data` as reduced by `model`, behind a
+/// `buffer_pages`-page pool. All four share the reduced-representation
+/// distance, so their answers agree (up to floating-point rounding between
+/// axis systems) and their [`mmdr_index::QueryStats`] are comparable.
+pub fn build_backend(
+    backend: Backend,
+    data: &Matrix,
+    model: &ReductionResult,
+    buffer_pages: usize,
+) -> Result<Box<dyn VectorIndex>> {
+    Ok(match backend {
+        Backend::SeqScan => Box::new(SeqScan::build(data, model, buffer_pages)?),
+        Backend::IDistance => Box::new(IDistanceIndex::build(
+            data,
+            model,
+            IDistanceConfig { buffer_pages: buffer_pages.max(2), ..Default::default() },
+        )?),
+        Backend::Hybrid => {
+            // Index the restored representations `restore(project(P))` at
+            // original dimensionality: the tree's plain L2 metric then
+            // coincides with the reduced-representation distance the other
+            // backends compute piecewise.
+            let mut restored = Matrix::zeros(0, 0);
+            let mut rids = Vec::with_capacity(model.num_points);
+            for cluster in &model.clusters {
+                for &pid in &cluster.members {
+                    let local = cluster.subspace.project(data.row(pid))?;
+                    restored.push_row(&cluster.subspace.restore(&local)?)?;
+                    rids.push(pid as u64);
+                }
+            }
+            for &pid in &model.outliers {
+                restored.push_row(data.row(pid))?;
+                rids.push(pid as u64);
+            }
+            let pool = BufferPool::new(DiskManager::new(), buffer_pages.max(1))?;
+            Box::new(HybridTree::bulk_load(pool, &restored, &rids)?)
+        }
+        Backend::Gldr => Box::new(GlobalLdrIndex::build(data, model, buffer_pages)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdr_core::{Mmdr, MmdrParams};
+
+    #[test]
+    fn names_round_trip() {
+        for b in Backend::all() {
+            assert_eq!(b.name().parse::<Backend>().unwrap(), b);
+        }
+        assert!("btree".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn factory_builds_all_four_with_matching_answers() {
+        let mut rows = Vec::new();
+        let jit = |i: usize, s: f64| ((i as f64 * 0.618_033_988 + s).fract() - 0.5) * 0.02;
+        for i in 0..100 {
+            let t = i as f64 / 99.0;
+            rows.push(vec![t, 0.3 * t, jit(i, 0.5), jit(i, 0.7)]);
+            rows.push(vec![5.0 + jit(i, 0.1), 5.0 + jit(i, 0.9), 5.0 + t, 5.0 - 0.5 * t]);
+        }
+        let data = Matrix::from_rows(&rows).unwrap();
+        let model = Mmdr::new(MmdrParams { max_ec: 4, ..Default::default() })
+            .fit(&data)
+            .unwrap();
+        let q = data.row(10);
+        let mut answers = Vec::new();
+        for b in Backend::all() {
+            let index = build_backend(b, &data, &model, 64).unwrap();
+            assert_eq!(index.name(), b.name());
+            assert_eq!(index.len(), data.rows());
+            assert_eq!(index.dim(), 4);
+            answers.push(index.knn(q, 5).unwrap());
+        }
+        for pair in answers.windows(2) {
+            assert_eq!(pair[0].len(), pair[1].len());
+            for (a, b) in pair[0].iter().zip(&pair[1]) {
+                assert_eq!(a.1, b.1, "same neighbour ids");
+                assert!((a.0 - b.0).abs() < 1e-9, "same distances");
+            }
+        }
+    }
+}

@@ -29,6 +29,8 @@ pub enum Error {
     },
     /// Query coordinates must be finite.
     InvalidQuery,
+    /// Range-search radii must be finite and non-negative.
+    InvalidRadius,
     /// A record id does not resolve to a heap record.
     BadRecordId(u64),
     /// A configuration field is out of range.
@@ -51,6 +53,7 @@ impl fmt::Display for Error {
                 write!(f, "query has dimension {actual}, index expects {expected}")
             }
             Error::InvalidQuery => write!(f, "query coordinates must be finite"),
+            Error::InvalidRadius => write!(f, "radius must be finite and non-negative"),
             Error::BadRecordId(rid) => write!(f, "record id {rid} does not exist"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::InsertUnsupported(msg) => write!(f, "insert unsupported: {msg}"),
@@ -127,6 +130,7 @@ mod tests {
             .contains("3"));
         assert!(Error::BadRecordId(9).to_string().contains('9'));
         assert!(Error::InvalidQuery.source().is_none());
+        assert!(Error::InvalidRadius.to_string().contains("radius"));
         assert!(Error::InvalidConfig("x").to_string().contains('x'));
         assert!(Error::InsertUnsupported("y").to_string().contains('y'));
     }

@@ -5,6 +5,7 @@
 use crate::error::{Error, Result};
 use mmdr_core::ReductionResult;
 use mmdr_hybridtree::HybridTree;
+use mmdr_index::{KnnHeap, SearchCounters};
 use mmdr_linalg::Matrix;
 use mmdr_pca::ReducedSubspace;
 use mmdr_storage::{BufferPool, DiskManager, IoStats};
@@ -20,6 +21,16 @@ struct ClusterIndex {
     max_radius: f64,
 }
 
+/// One cluster's query geometry: the lower bound on any member's
+/// reduced-representation distance, the query's local coordinates and the
+/// squared projection distance to the subspace.
+struct ClusterProbe {
+    lower_bound: f64,
+    cluster: usize,
+    q_local: Vec<f64>,
+    proj_sq: f64,
+}
+
 /// The gLDR scheme: per-cluster hybrid trees searched with lower-bound
 /// ordering, outliers scanned separately.
 #[derive(Debug)]
@@ -30,16 +41,18 @@ pub struct GlobalLdrIndex {
     dim: usize,
     len: usize,
     stats: Arc<IoStats>,
+    search: Arc<SearchCounters>,
 }
 
 impl GlobalLdrIndex {
     /// Builds one hybrid tree per cluster from the reduction result. All
-    /// trees share I/O counters; `buffer_pages` is split evenly.
+    /// trees share I/O and search counters; `buffer_pages` is split evenly.
     pub fn build(data: &Matrix, model: &ReductionResult, buffer_pages: usize) -> Result<Self> {
         if data.cols() != model.dim {
             return Err(Error::DimensionMismatch { expected: model.dim, actual: data.cols() });
         }
         let stats = IoStats::new();
+        let search = SearchCounters::new();
         let n_structures = model.clusters.len() + 1;
         let pages_each = (buffer_pages / n_structures).max(1);
         let mut clusters = Vec::with_capacity(model.clusters.len());
@@ -54,7 +67,8 @@ impl GlobalLdrIndex {
                 rids.push(pid as u64);
             }
             let pool = BufferPool::new(DiskManager::with_stats(Arc::clone(&stats)), pages_each)?;
-            let tree = HybridTree::bulk_load(pool, &locals, &rids)?;
+            let mut tree = HybridTree::bulk_load(pool, &locals, &rids)?;
+            tree.share_search_counters(Arc::clone(&search));
             clusters.push(ClusterIndex {
                 subspace: cluster.subspace.clone(),
                 tree,
@@ -67,7 +81,9 @@ impl GlobalLdrIndex {
             let rows = data.select_rows(&model.outliers);
             let rids: Vec<u64> = model.outliers.iter().map(|&i| i as u64).collect();
             let pool = BufferPool::new(DiskManager::with_stats(Arc::clone(&stats)), pages_each)?;
-            Some(HybridTree::bulk_load(pool, &rows, &rids)?)
+            let mut tree = HybridTree::bulk_load(pool, &rows, &rids)?;
+            tree.share_search_counters(Arc::clone(&search));
+            Some(tree)
         };
         Ok(Self {
             clusters,
@@ -75,6 +91,7 @@ impl GlobalLdrIndex {
             dim: model.dim,
             len: model.num_points,
             stats,
+            search,
         })
     }
 
@@ -88,81 +105,126 @@ impl GlobalLdrIndex {
         self.len == 0
     }
 
+    /// Dimensionality of queries.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Combined logical I/O across every per-cluster tree.
     pub fn io_stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
     }
 
+    /// Combined CPU-side search counters across every per-cluster tree.
+    pub fn search_counters(&self) -> Arc<SearchCounters> {
+        Arc::clone(&self.search)
+    }
+
     /// Total pages across all structures.
-    pub fn total_pages(&mut self) -> usize {
-        let mut total: usize = self
-            .clusters
-            .iter_mut()
-            .map(|c| c.tree.pool_mut().num_pages())
-            .sum();
-        if let Some(t) = &mut self.outlier_tree {
-            total += t.pool_mut().num_pages();
+    pub fn total_pages(&self) -> usize {
+        let mut total: usize = self.clusters.iter().map(|c| c.tree.pool().num_pages()).sum();
+        if let Some(t) = &self.outlier_tree {
+            total += t.pool().num_pages();
         }
         total
     }
 
-    /// KNN with the same reduced-representation distance semantics as the
-    /// other schemes. Clusters are visited in ascending lower-bound order
-    /// and skipped once they cannot improve the k-th candidate.
-    pub fn knn(&mut self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+    fn validate(&self, query: &[f64]) -> Result<()> {
         if query.len() != self.dim {
             return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
         }
         if query.iter().any(|x| !x.is_finite()) {
             return Err(Error::InvalidQuery);
         }
-        if k == 0 || self.is_empty() {
-            return Ok(Vec::new());
-        }
-        // Lower bound per cluster: distance to the subspace plus the radial
-        // gap to the populated sphere.
-        let mut order: Vec<(f64, usize, Vec<f64>, f64)> = Vec::with_capacity(self.clusters.len());
+        Ok(())
+    }
+
+    /// Per-cluster query geometry, sorted by ascending lower bound (the
+    /// distance to the subspace combined with the radial gap to the
+    /// populated sphere).
+    fn cluster_order(&self, query: &[f64]) -> Result<Vec<ClusterProbe>> {
+        let mut order = Vec::with_capacity(self.clusters.len());
         for (i, c) in self.clusters.iter().enumerate() {
             let local = c.subspace.project(query)?;
             let pd = c.subspace.proj_dist(query)?;
             let gap = (mmdr_linalg::l2_norm(&local) - c.max_radius).max(0.0);
-            let lb = (pd * pd + gap * gap).sqrt();
-            order.push((lb, i, local, pd * pd));
+            order.push(ClusterProbe {
+                lower_bound: (pd * pd + gap * gap).sqrt(),
+                cluster: i,
+                q_local: local,
+                proj_sq: pd * pd,
+            });
         }
-        order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        order.sort_by(|a, b| {
+            a.lower_bound.partial_cmp(&b.lower_bound).unwrap_or(Ordering::Equal)
+        });
+        Ok(order)
+    }
 
-        let mut best: Vec<(f64, u64)> = Vec::new();
-        for (lb, i, local, proj_sq) in order {
-            if best.len() == k && lb >= best[k - 1].0 {
-                continue; // cannot improve
+    /// KNN with the same reduced-representation distance semantics as the
+    /// other schemes. Clusters are visited in ascending lower-bound order
+    /// and skipped once they cannot improve on the k-th candidate; ties at
+    /// the k-th distance are still visited so the smaller point id wins,
+    /// keeping the result deterministic across backends.
+    pub fn knn(&self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+        self.validate(query)?;
+        if k == 0 || self.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut best = KnnHeap::new(k);
+        for probe in self.cluster_order(query)? {
+            if best.is_full() && probe.lower_bound > best.worst_dist().expect("full heap") {
+                continue; // cannot improve (nor tie-break: lb strictly worse)
             }
-            let hits = self.clusters[i].tree.knn(&local, k)?;
-            for (local_dist, pid) in hits {
-                let dist = (proj_sq + local_dist * local_dist).sqrt();
-                insert_candidate(&mut best, k, dist, pid);
+            for (local_dist, pid) in self.clusters[probe.cluster].tree.knn(&probe.q_local, k)? {
+                best.push((probe.proj_sq + local_dist * local_dist).sqrt(), pid);
             }
         }
-        if let Some(t) = &mut self.outlier_tree {
-            if !(best.len() == k && best[k - 1].0 <= 0.0) {
-                for (dist, pid) in t.knn(query, k)? {
-                    insert_candidate(&mut best, k, dist, pid);
+        if let Some(t) = &self.outlier_tree {
+            for (dist, pid) in t.knn(query, k)? {
+                best.push(dist, pid);
+            }
+        }
+        Ok(best.into_sorted_vec())
+    }
+
+    /// Every point whose reduced representation lies within `radius` of
+    /// `query`, as `(distance, point_id)` sorted ascending by `(distance,
+    /// point_id)`. Same boundary tolerance as the other backends
+    /// (`dist ≤ radius + 1e-12`).
+    pub fn range_search(&self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
+        self.validate(query)?;
+        if !(radius >= 0.0 && radius.is_finite()) {
+            return Err(Error::InvalidRadius);
+        }
+        let limit = radius + 1e-12;
+        let mut out = Vec::new();
+        for probe in self.cluster_order(query)? {
+            if probe.lower_bound > limit {
+                continue;
+            }
+            // Distance decomposes as √(proj_sq + local²): solve for the
+            // within-subspace radius.
+            let local_r_sq = radius * radius - probe.proj_sq;
+            if local_r_sq < 0.0 {
+                continue;
+            }
+            for (local_dist, pid) in self.clusters[probe.cluster]
+                .tree
+                .range_search(&probe.q_local, local_r_sq.sqrt())?
+            {
+                let dist = (probe.proj_sq + local_dist * local_dist).sqrt();
+                if dist <= limit {
+                    out.push((dist, pid));
                 }
             }
         }
-        Ok(best)
+        if let Some(t) = &self.outlier_tree {
+            out.extend(t.range_search(query, radius)?);
+        }
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        Ok(out)
     }
-}
-
-/// Inserts into a sorted top-k vector.
-fn insert_candidate(best: &mut Vec<(f64, u64)>, k: usize, dist: f64, pid: u64) {
-    if best.len() < k {
-        best.push((dist, pid));
-    } else if dist < best[k - 1].0 {
-        best[k - 1] = (dist, pid);
-    } else {
-        return;
-    }
-    best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
 }
 
 #[cfg(test)]
@@ -185,7 +247,7 @@ mod tests {
     fn knn_returns_close_points() {
         let data = two_cluster_data();
         let model = Ldr::new(LdrParams { k: 2, ..Default::default() }).fit(&data).unwrap();
-        let mut index = GlobalLdrIndex::build(&data, &model, 128).unwrap();
+        let index = GlobalLdrIndex::build(&data, &model, 128).unwrap();
         let r = index.knn(data.row(10), 5).unwrap();
         assert_eq!(r.len(), 5);
         assert!(r[0].0 < 0.1, "nearest reduced rep should be close");
@@ -198,12 +260,15 @@ mod tests {
     fn validates_queries() {
         let data = two_cluster_data();
         let model = Ldr::new(LdrParams { k: 2, ..Default::default() }).fit(&data).unwrap();
-        let mut index = GlobalLdrIndex::build(&data, &model, 64).unwrap();
+        let index = GlobalLdrIndex::build(&data, &model, 64).unwrap();
         assert!(index.knn(&[0.0], 1).is_err());
         assert!(index.knn(&[f64::NAN; 4], 1).is_err());
         assert!(index.knn(data.row(0), 0).unwrap().is_empty());
+        assert!(index.range_search(&[0.0], 1.0).is_err());
+        assert!(index.range_search(&[0.0; 4], -1.0).is_err());
         assert_eq!(index.len(), 300);
         assert!(!index.is_empty());
+        assert_eq!(index.dim(), 4);
         assert!(index.total_pages() > 0);
     }
 
@@ -215,11 +280,37 @@ mod tests {
         let model = Ldr::new(LdrParams { k: 2, fixed_dim: Some(3), ..Default::default() })
             .fit(&data)
             .unwrap();
-        let mut index = GlobalLdrIndex::build(&data, &model, 3).unwrap();
+        let index = GlobalLdrIndex::build(&data, &model, 3).unwrap();
         assert!(index.total_pages() > 2, "need a multi-page index for this test");
         let stats = index.io_stats();
         stats.reset();
         let _ = index.knn(data.row(0), 10).unwrap();
         assert!(stats.reads() > 0);
+    }
+
+    #[test]
+    fn search_counters_are_shared_across_trees() {
+        let data = two_cluster_data();
+        let model = Ldr::new(LdrParams { k: 2, ..Default::default() }).fit(&data).unwrap();
+        let index = GlobalLdrIndex::build(&data, &model, 64).unwrap();
+        let counters = index.search_counters();
+        counters.reset();
+        let _ = index.knn(data.row(0), 5).unwrap();
+        assert!(counters.dist_computations() > 0, "cluster trees report into one ledger");
+    }
+
+    #[test]
+    fn range_search_finds_neighbourhood() {
+        let data = two_cluster_data();
+        let model = Ldr::new(LdrParams { k: 2, ..Default::default() }).fit(&data).unwrap();
+        let index = GlobalLdrIndex::build(&data, &model, 128).unwrap();
+        let q = data.row(10);
+        let knn = index.knn(q, 5).unwrap();
+        let hits = index.range_search(q, knn[4].0).unwrap();
+        assert!(hits.len() >= 5, "range at the 5-NN distance holds at least 5 points");
+        for w in hits.windows(2) {
+            assert!(w[0] <= w[1], "sorted by (distance, id)");
+        }
+        assert!(index.range_search(q, 1e6).unwrap().len() == data.rows());
     }
 }

@@ -4,6 +4,7 @@ use crate::error::{Error, Result};
 use crate::heap::VectorHeap;
 use mmdr_btree::BPlusTree;
 use mmdr_core::ReductionResult;
+use mmdr_index::SearchCounters;
 use mmdr_linalg::Matrix;
 use mmdr_pca::ReducedSubspace;
 use mmdr_storage::{BufferPool, DiskManager, IoStats};
@@ -73,6 +74,7 @@ pub struct IDistanceIndex {
     pub(crate) dim: usize,
     config: IDistanceConfig,
     stats: Arc<IoStats>,
+    pub(crate) search: Arc<SearchCounters>,
     len: usize,
 }
 
@@ -203,6 +205,7 @@ impl IDistanceIndex {
             dim,
             config,
             stats,
+            search: SearchCounters::new(),
             len: model.num_points,
         })
     }
@@ -240,6 +243,11 @@ impl IDistanceIndex {
     /// The search configuration.
     pub fn config(&self) -> &IDistanceConfig {
         &self.config
+    }
+
+    /// Handle to the CPU-side search counters.
+    pub fn search_counters(&self) -> Arc<SearchCounters> {
+        Arc::clone(&self.search)
     }
 
     /// Total pages allocated (tree + heap) — the footprint the seq-scan

@@ -3,107 +3,8 @@
 use crate::error::{Error, Result};
 use crate::index::IDistanceIndex;
 use mmdr_btree::Cursor;
+use mmdr_index::{KnnHeap, QUERY_CHUNK};
 use mmdr_linalg::{map_ranges_with, ParConfig};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// Queries per work chunk in [`IDistanceIndex::batch_knn`]. Much smaller
-/// than the dataset-side `PAR_CHUNK`: one query is already substantial work,
-/// and small chunks keep the dynamic scheduler's load balanced.
-const QUERY_CHUNK: usize = 8;
-
-/// Max-heap candidate (worst of the current k on top).
-struct Candidate {
-    dist: f64,
-    point_id: u64,
-}
-impl PartialEq for Candidate {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist && self.point_id == other.point_id
-    }
-}
-impl Eq for Candidate {}
-impl PartialOrd for Candidate {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Candidate {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.dist
-            .partial_cmp(&other.dist)
-            .unwrap_or(Ordering::Equal)
-            .then(self.point_id.cmp(&other.point_id))
-    }
-}
-
-/// Bounded max-heap of the k best `(distance, point_id)` candidates seen so
-/// far. Ties on distance break toward the smaller point id, so the winner
-/// set is deterministic regardless of insertion order.
-#[derive(Default)]
-pub struct KnnHeap {
-    k: usize,
-    heap: BinaryHeap<Candidate>,
-}
-
-impl KnnHeap {
-    /// An empty heap retaining at most `k` candidates.
-    pub fn new(k: usize) -> Self {
-        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
-    }
-
-    /// Candidate bound `k`.
-    pub fn k(&self) -> usize {
-        self.k
-    }
-
-    /// Candidates currently held (≤ k).
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// True when no candidate has been offered (or k = 0).
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-
-    /// True once k candidates are held.
-    pub fn is_full(&self) -> bool {
-        self.heap.len() >= self.k
-    }
-
-    /// Distance of the worst retained candidate (the current k-th best), or
-    /// `None` while empty.
-    pub fn worst_dist(&self) -> Option<f64> {
-        self.heap.peek().map(|c| c.dist)
-    }
-
-    /// Offers a candidate; it is kept only if the heap is not yet full or it
-    /// beats the current worst (distance, then point id).
-    pub fn push(&mut self, dist: f64, point_id: u64) {
-        if self.k == 0 {
-            return;
-        }
-        if self.heap.len() == self.k {
-            let worst = self.heap.peek().expect("len == k > 0");
-            if (dist, point_id) >= (worst.dist, worst.point_id) {
-                return;
-            }
-            self.heap.pop();
-        }
-        self.heap.push(Candidate { dist, point_id });
-    }
-
-    /// Consumes the heap, returning candidates sorted ascending by
-    /// `(distance, point_id)`.
-    pub fn into_sorted_vec(self) -> Vec<(f64, u64)> {
-        self.heap
-            .into_sorted_vec()
-            .into_iter()
-            .map(|c| (c.dist, c.point_id))
-            .collect()
-    }
-}
 
 /// Reusable per-query buffers. [`IDistanceIndex::knn`] allocates one per
 /// call; batch workers keep one per thread so repeated queries do not churn
@@ -391,8 +292,11 @@ fn candidate_distance(
 ) -> Result<(f64, u64)> {
     let (part, point_id) = index.heap.get_into(rid, scratch)?;
     debug_assert_eq!(part as usize, expected_part, "key slot and heap partition agree");
-    let local_sq = mmdr_linalg::l2_dist_sq(q_local, scratch);
-    Ok(((proj_sq + local_sq).sqrt(), point_id))
+    index.search.record_dists(1);
+    if point_id != crate::heap::TOMBSTONE {
+        index.search.record_refined(1);
+    }
+    Ok((mmdr_linalg::reduced_dist(proj_sq, q_local, scratch), point_id))
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@
 //! *reduced representations* (`‖q − restore(Pᵢ)‖`), which is what the
 //! paper's precision metric compares against the exact full-space answers.
 
+mod backend;
 mod error;
 mod gldr;
 mod heap;
@@ -40,10 +41,15 @@ mod index;
 mod knn;
 mod range;
 mod seqscan;
+mod vector_index;
 
+pub use backend::{build_backend, Backend};
 pub use error::{Error, Result};
 pub use gldr::GlobalLdrIndex;
 pub use heap::{VectorHeap, TOMBSTONE};
 pub use index::{IDistanceConfig, IDistanceIndex, PartitionInfo};
-pub use knn::{KnnHeap, QueryScratch};
+pub use knn::QueryScratch;
+// The candidate heap lives in `mmdr-index` now (every backend shares it);
+// re-exported so existing users keep compiling.
+pub use mmdr_index::{KnnHeap, QueryStats, VectorIndex};
 pub use seqscan::SeqScan;

@@ -20,7 +20,7 @@ impl IDistanceIndex {
             return Err(Error::InvalidQuery);
         }
         if !(radius >= 0.0 && radius.is_finite()) {
-            return Err(Error::InvalidConfig("radius must be non-negative and finite"));
+            return Err(Error::InvalidRadius);
         }
         let mut out = Vec::new();
         let n_parts = self.partitions.len();
@@ -68,13 +68,15 @@ impl IDistanceIndex {
                 if point_id == crate::heap::TOMBSTONE {
                     continue;
                 }
-                let dist = (proj_sq + mmdr_linalg::l2_dist_sq(&q_local, &scratch)).sqrt();
+                self.search.record_dists(1);
+                let dist = mmdr_linalg::reduced_dist(proj_sq, &q_local, &scratch);
                 if dist <= radius + 1e-12 {
+                    self.search.record_refined(1);
                     out.push((dist, point_id));
                 }
             }
         }
-        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         Ok(out)
     }
 }
@@ -84,7 +86,7 @@ impl SeqScan {
     /// against.
     pub fn range_search(&self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
         if !(radius >= 0.0 && radius.is_finite()) {
-            return Err(Error::InvalidConfig("radius must be non-negative and finite"));
+            return Err(Error::InvalidRadius);
         }
         // Reuse knn with k = everything, then cut at the radius: simple and
         // obviously correct (this type exists to be a reference).

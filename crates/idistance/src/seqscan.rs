@@ -5,10 +5,10 @@
 use crate::error::{Error, Result};
 use crate::heap::VectorHeap;
 use mmdr_core::ReductionResult;
+use mmdr_index::{KnnHeap, SearchCounters};
 use mmdr_linalg::Matrix;
 use mmdr_pca::ReducedSubspace;
 use mmdr_storage::{BufferPool, DiskManager, IoStats};
-use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// Sequential-scan KNN over heap pages of reduced points.
@@ -19,6 +19,7 @@ pub struct SeqScan {
     subspaces: Vec<Option<ReducedSubspace>>,
     dim: usize,
     len: usize,
+    search: Arc<SearchCounters>,
 }
 
 impl SeqScan {
@@ -42,7 +43,13 @@ impl SeqScan {
             heap.append(outlier_part as u32, pid as u64, data.row(pid))?;
         }
         subspaces.push(None);
-        Ok(Self { heap, subspaces, dim: model.dim, len: model.num_points })
+        Ok(Self {
+            heap,
+            subspaces,
+            dim: model.dim,
+            len: model.num_points,
+            search: SearchCounters::new(),
+        })
     }
 
     /// Number of stored points.
@@ -60,9 +67,19 @@ impl SeqScan {
         self.heap.num_pages()
     }
 
+    /// Dimensionality of queries.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Handle to the I/O counters.
     pub fn io_stats(&self) -> Arc<IoStats> {
         self.heap.io_stats()
+    }
+
+    /// Handle to the CPU-side search counters.
+    pub fn search_counters(&self) -> Arc<SearchCounters> {
+        Arc::clone(&self.search)
     }
 
     /// KNN by scanning every page; distances are to the reduced
@@ -90,19 +107,18 @@ impl SeqScan {
                 None => q_locals.push((query.to_vec(), 0.0)),
             }
         }
-        let mut best: Vec<(f64, u64)> = Vec::with_capacity(k + 1);
+        let mut best = KnnHeap::new(k);
+        let mut seen: u64 = 0;
         self.heap.scan(|part, pid, coords| {
             let (q_local, proj_sq) = &q_locals[part as usize];
-            let dist = (proj_sq + mmdr_linalg::l2_dist_sq(q_local, coords)).sqrt();
-            if best.len() < k {
-                best.push((dist, pid));
-                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
-            } else if dist < best[k - 1].0 {
-                best[k - 1] = (dist, pid);
-                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
-            }
+            best.push(mmdr_linalg::reduced_dist(*proj_sq, q_local, coords), pid);
+            seen += 1;
         })?;
-        Ok(best)
+        // A scan refines every stored point: both counters tick once per
+        // point, the CPU baseline the indexed backends are plotted against.
+        self.search.record_dists(seen);
+        self.search.record_refined(seen);
+        Ok(best.into_sorted_vec())
     }
 }
 

@@ -1,0 +1,230 @@
+//! [`VectorIndex`] implementations for the three schemes in this crate.
+
+use crate::gldr::GlobalLdrIndex;
+use crate::index::IDistanceIndex;
+use crate::knn::QueryScratch;
+use crate::seqscan::SeqScan;
+use mmdr_index::{SearchCounters, VectorIndex, QUERY_CHUNK};
+use mmdr_linalg::{map_ranges_with, ParConfig};
+use mmdr_storage::IoStats;
+use std::sync::Arc;
+
+impl From<crate::Error> for mmdr_index::Error {
+    fn from(e: crate::Error) -> Self {
+        match e {
+            crate::Error::DimensionMismatch { expected, actual } => {
+                mmdr_index::Error::DimensionMismatch { expected, actual }
+            }
+            crate::Error::InvalidQuery => mmdr_index::Error::InvalidQuery,
+            crate::Error::InvalidRadius => mmdr_index::Error::InvalidRadius,
+            other => mmdr_index::Error::backend(other),
+        }
+    }
+}
+
+impl VectorIndex for IDistanceIndex {
+    fn name(&self) -> &'static str {
+        "idistance"
+    }
+
+    fn len(&self) -> usize {
+        IDistanceIndex::len(self)
+    }
+
+    fn dim(&self) -> usize {
+        IDistanceIndex::dim(self)
+    }
+
+    fn knn(&self, query: &[f64], k: usize) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(IDistanceIndex::knn(self, query, k)?)
+    }
+
+    fn range_search(&self, query: &[f64], radius: f64) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(IDistanceIndex::range_search(self, query, radius)?)
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        IDistanceIndex::io_stats(self)
+    }
+
+    fn search_counters(&self) -> Arc<SearchCounters> {
+        IDistanceIndex::search_counters(self)
+    }
+
+    /// Overrides the provided executor only to hold one [`QueryScratch`]
+    /// per worker chunk instead of one per query; chunking, ordering and
+    /// per-query results are identical to the default.
+    fn batch_knn(
+        &self,
+        queries: &[Vec<f64>],
+        k: usize,
+        par: &ParConfig,
+    ) -> mmdr_index::Result<Vec<Vec<(f64, u64)>>> {
+        let chunk_results = map_ranges_with(queries.len(), QUERY_CHUNK, par, |range| {
+            let mut scratch = QueryScratch::new();
+            range
+                .map(|i| self.knn_with_scratch(&queries[i], k, &mut scratch))
+                .collect::<crate::Result<Vec<_>>>()
+        });
+        let mut out = Vec::with_capacity(queries.len());
+        for chunk in chunk_results {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+}
+
+impl VectorIndex for SeqScan {
+    fn name(&self) -> &'static str {
+        "seqscan"
+    }
+
+    fn len(&self) -> usize {
+        SeqScan::len(self)
+    }
+
+    fn dim(&self) -> usize {
+        SeqScan::dim(self)
+    }
+
+    fn knn(&self, query: &[f64], k: usize) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(SeqScan::knn(self, query, k)?)
+    }
+
+    fn range_search(&self, query: &[f64], radius: f64) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(SeqScan::range_search(self, query, radius)?)
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        SeqScan::io_stats(self)
+    }
+
+    fn search_counters(&self) -> Arc<SearchCounters> {
+        SeqScan::search_counters(self)
+    }
+}
+
+impl VectorIndex for GlobalLdrIndex {
+    fn name(&self) -> &'static str {
+        "gldr"
+    }
+
+    fn len(&self) -> usize {
+        GlobalLdrIndex::len(self)
+    }
+
+    fn dim(&self) -> usize {
+        GlobalLdrIndex::dim(self)
+    }
+
+    fn knn(&self, query: &[f64], k: usize) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(GlobalLdrIndex::knn(self, query, k)?)
+    }
+
+    fn range_search(&self, query: &[f64], radius: f64) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(GlobalLdrIndex::range_search(self, query, radius)?)
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        GlobalLdrIndex::io_stats(self)
+    }
+
+    fn search_counters(&self) -> Arc<SearchCounters> {
+        GlobalLdrIndex::search_counters(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IDistanceConfig;
+    use mmdr_core::{Mmdr, MmdrParams};
+    use mmdr_linalg::Matrix;
+
+    fn dataset() -> Matrix {
+        let mut rows = Vec::new();
+        let jit = |i: usize, s: f64| ((i as f64 * 0.618_033_988 + s).fract() - 0.5) * 0.02;
+        for i in 0..120 {
+            let t = i as f64 / 119.0;
+            rows.push(vec![t, 0.3 * t, jit(i, 0.5), jit(i, 0.7)]);
+            rows.push(vec![5.0 + jit(i, 0.1), 5.0 + jit(i, 0.9), 5.0 + t, 5.0 - 0.5 * t]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn all_three_backends_answer_through_the_trait() {
+        let data = dataset();
+        let model = Mmdr::new(MmdrParams { max_ec: 4, ..Default::default() })
+            .fit(&data)
+            .unwrap();
+        let index = IDistanceIndex::build(&data, &model, IDistanceConfig::default()).unwrap();
+        let scan = SeqScan::build(&data, &model, 64).unwrap();
+        let gldr = GlobalLdrIndex::build(&data, &model, 64).unwrap();
+        let backends: Vec<&dyn VectorIndex> = vec![&index, &scan, &gldr];
+        let q = data.row(10);
+        let reference = backends[0].knn(q, 5).unwrap();
+        for b in &backends {
+            assert_eq!(b.len(), data.rows(), "{}", b.name());
+            assert_eq!(b.dim(), 4, "{}", b.name());
+            let r = b.knn(q, 5).unwrap();
+            assert_eq!(r.len(), reference.len(), "{}", b.name());
+            b.reset_stats();
+            let _ = b.knn(q, 5).unwrap();
+            let stats = b.query_stats();
+            assert!(stats.dist_computations > 0, "{} counts distances", b.name());
+            assert!(stats.pages_touched > 0, "{} counts page accesses", b.name());
+        }
+    }
+
+    #[test]
+    fn scratch_batch_override_matches_serial() {
+        let data = dataset();
+        let model = Mmdr::new(MmdrParams { max_ec: 4, ..Default::default() })
+            .fit(&data)
+            .unwrap();
+        let index = IDistanceIndex::build(&data, &model, IDistanceConfig::default()).unwrap();
+        let queries: Vec<Vec<f64>> = (0..20).map(|i| data.row(i * 9).to_vec()).collect();
+        let serial: Vec<Vec<(f64, u64)>> =
+            queries.iter().map(|q| IDistanceIndex::knn(&index, q, 7).unwrap()).collect();
+        for threads in [1, 2, 4] {
+            let batch = VectorIndex::batch_knn(
+                &index,
+                &queries,
+                7,
+                &ParConfig::threads(threads),
+            )
+            .unwrap();
+            assert_eq!(batch, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn errors_translate() {
+        let data = dataset();
+        let model = Mmdr::new(MmdrParams { max_ec: 4, ..Default::default() })
+            .fit(&data)
+            .unwrap();
+        let scan = SeqScan::build(&data, &model, 16).unwrap();
+        assert!(matches!(
+            VectorIndex::knn(&scan, &[0.0], 1).unwrap_err(),
+            mmdr_index::Error::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            VectorIndex::range_search(&scan, &[0.0; 4], -1.0).unwrap_err(),
+            mmdr_index::Error::InvalidRadius
+        ));
+        // A backend-specific failure wraps rather than panics.
+        let wrapped: mmdr_index::Error = crate::Error::BadRecordId(7).into();
+        assert!(matches!(wrapped, mmdr_index::Error::Backend(_)));
+    }
+
+    #[test]
+    fn batch_queries_executor_is_usable_directly() {
+        let queries = vec![vec![1.0], vec![2.0]];
+        let doubled =
+            mmdr_index::batch_queries(&queries, &ParConfig::threads(2), |q| Ok(q[0] * 2.0))
+                .unwrap();
+        assert_eq!(doubled, vec![2.0, 4.0]);
+    }
+}

@@ -23,7 +23,7 @@ fn reference_top_k(mut cands: Vec<(f64, u64)>, k: usize) -> Vec<(f64, u64)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// into_sorted_vec returns candidates ascending by (distance, id) and
     /// never more than k of them.

@@ -1,0 +1,151 @@
+//! Bounded top-k candidate heap shared by every backend.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Max-heap candidate (worst of the current k on top).
+struct Candidate {
+    dist: f64,
+    point_id: u64,
+}
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.point_id == other.point_id
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then(self.point_id.cmp(&other.point_id))
+    }
+}
+
+/// Bounded max-heap of the k best `(distance, point_id)` candidates seen so
+/// far. Ties on distance break toward the smaller point id, so the winner
+/// set is deterministic regardless of insertion order — the property the
+/// backend-conformance suite's exact-parity assertions rest on.
+#[derive(Default)]
+pub struct KnnHeap {
+    k: usize,
+    heap: BinaryHeap<Candidate>,
+}
+
+impl KnnHeap {
+    /// An empty heap retaining at most `k` candidates.
+    pub fn new(k: usize) -> Self {
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Candidate bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Candidates currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no candidate has been offered (or k = 0).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True once k candidates are held.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Distance of the worst retained candidate (the current k-th best), or
+    /// `None` while empty.
+    pub fn worst_dist(&self) -> Option<f64> {
+        self.heap.peek().map(|c| c.dist)
+    }
+
+    /// Offers a candidate; it is kept only if the heap is not yet full or it
+    /// beats the current worst (distance, then point id).
+    pub fn push(&mut self, dist: f64, point_id: u64) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() == self.k {
+            let worst = self.heap.peek().expect("len == k > 0");
+            if (dist, point_id) >= (worst.dist, worst.point_id) {
+                return;
+            }
+            self.heap.pop();
+        }
+        self.heap.push(Candidate { dist, point_id });
+    }
+
+    /// Consumes the heap, returning candidates sorted ascending by
+    /// `(distance, point_id)`.
+    pub fn into_sorted_vec(self) -> Vec<(f64, u64)> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|c| (c.dist, c.point_id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_k_best_with_id_tiebreaks() {
+        let mut h = KnnHeap::new(3);
+        for (d, id) in [(5.0, 1), (1.0, 2), (3.0, 3), (3.0, 0), (9.0, 4)] {
+            h.push(d, id);
+        }
+        assert_eq!(h.into_sorted_vec(), vec![(1.0, 2), (3.0, 0), (3.0, 3)]);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut offers = vec![(2.0, 7u64), (2.0, 3), (2.0, 9), (1.0, 5), (4.0, 1)];
+        let mut forward = KnnHeap::new(2);
+        for &(d, id) in &offers {
+            forward.push(d, id);
+        }
+        offers.reverse();
+        let mut backward = KnnHeap::new(2);
+        for &(d, id) in &offers {
+            backward.push(d, id);
+        }
+        assert_eq!(forward.into_sorted_vec(), backward.into_sorted_vec());
+    }
+
+    #[test]
+    fn zero_k_accepts_nothing() {
+        let mut h = KnnHeap::new(0);
+        h.push(1.0, 1);
+        assert!(h.is_empty());
+        assert!(h.is_full());
+        assert_eq!(h.k(), 0);
+        assert!(h.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn tracks_fill_state() {
+        let mut h = KnnHeap::new(2);
+        assert!(!h.is_full());
+        assert_eq!(h.worst_dist(), None);
+        h.push(1.0, 1);
+        assert_eq!(h.len(), 1);
+        h.push(2.0, 2);
+        assert!(h.is_full());
+        assert_eq!(h.worst_dist(), Some(2.0));
+        h.push(0.5, 3);
+        assert_eq!(h.worst_dist(), Some(1.0));
+    }
+}

@@ -1,0 +1,35 @@
+//! The uniform query interface over every KNN backend.
+//!
+//! The paper's evaluation (§6, Figures 9–10) compares four ways of
+//! answering the same question — "which reduced representations are nearest
+//! to `q`?" — with very different machinery: a sequential scan, the
+//! extended iDistance B⁺-tree, a raw hybrid tree, and the per-cluster
+//! hybrid-tree *gLDR* scheme. [`VectorIndex`] is the contract that makes
+//! that comparison apples-to-apples:
+//!
+//! - **`&self` queries.** Read-only searches never require exclusive
+//!   access, so one index can serve concurrent workers.
+//! - **Deterministic answers.** `knn` returns `(distance, point_id)`
+//!   ascending by distance with ties broken toward the smaller point id
+//!   (the [`KnnHeap`] ordering), so two backends measuring the same metric
+//!   agree on the full result list, not just the id set.
+//! - **A shared batch executor.** [`VectorIndex::batch_knn`] is a provided
+//!   method: queries are split into fixed-size chunks and fanned across
+//!   scoped worker threads, with results merged in input order. Each answer
+//!   row is exactly the serial `knn` result for that query, so the thread
+//!   count changes wall-clock time, never answers — every backend inherits
+//!   the bit-identical-to-serial guarantee without writing threading code.
+//! - **Uniform measurement.** [`QueryStats`] snapshots distance
+//!   computations, logical page/node touches, physical page reads, and
+//!   candidates refined from the same counters ([`SearchCounters`] +
+//!   [`mmdr_storage::IoStats`]) regardless of backend.
+
+mod error;
+mod heap;
+mod stats;
+mod traits;
+
+pub use error::{Error, Result};
+pub use heap::KnnHeap;
+pub use stats::{QueryStats, SearchCounters};
+pub use traits::{batch_queries, VectorIndex, QUERY_CHUNK};

@@ -1,0 +1,130 @@
+//! Uniform query-cost accounting.
+
+use mmdr_storage::IoStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// CPU-side search counters, the complement of [`IoStats`]' page counters.
+///
+/// Shared `Arc`-style like [`IoStats`] so a harness can hold a handle while
+/// the index owns the search path; ordering is relaxed — these are
+/// statistics, not synchronization — so under concurrent batch queries the
+/// totals are exact but attribution to individual queries is not.
+#[derive(Debug, Default)]
+pub struct SearchCounters {
+    dist_computations: AtomicU64,
+    candidates_refined: AtomicU64,
+}
+
+impl SearchCounters {
+    /// Creates a zeroed, shareable counter set.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records `n` point-to-point distance evaluations.
+    pub fn record_dists(&self, n: u64) {
+        self.dist_computations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` candidates offered to the top-k result (after any
+    /// lower-bound pruning).
+    pub fn record_refined(&self, n: u64) {
+        self.candidates_refined.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Distance evaluations so far.
+    pub fn dist_computations(&self) -> u64 {
+        self.dist_computations.load(Ordering::Relaxed)
+    }
+
+    /// Candidates refined so far.
+    pub fn candidates_refined(&self) -> u64 {
+        self.candidates_refined.load(Ordering::Relaxed)
+    }
+
+    /// Resets both counters.
+    pub fn reset(&self) {
+        self.dist_computations.store(0, Ordering::Relaxed);
+        self.candidates_refined.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of a backend's cumulative query cost, combining
+/// [`SearchCounters`] with the storage layer's [`IoStats`].
+///
+/// All four backends populate every field through the same code paths (the
+/// buffer pool counts page/node touches, the search loops count distances
+/// and refinements), so `QueryStats` from different backends compare like
+/// with like — the property the paper's Figure 9/10 plots assume.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Point-to-point distance evaluations.
+    pub dist_computations: u64,
+    /// Logical page/node touches (buffer hits + misses).
+    pub pages_touched: u64,
+    /// Physical page reads (buffer misses).
+    pub page_reads: u64,
+    /// Candidates that survived pruning and were offered to the top-k set.
+    pub candidates_refined: u64,
+}
+
+impl QueryStats {
+    /// Snapshots the given counters.
+    pub fn snapshot(search: &SearchCounters, io: &IoStats) -> Self {
+        Self {
+            dist_computations: search.dist_computations(),
+            candidates_refined: search.candidates_refined(),
+            pages_touched: io.accesses(),
+            page_reads: io.reads(),
+        }
+    }
+
+    /// Field-wise difference against an earlier snapshot (per-query or
+    /// per-batch cost between two points in time).
+    pub fn since(&self, earlier: &QueryStats) -> QueryStats {
+        QueryStats {
+            dist_computations: self.dist_computations - earlier.dist_computations,
+            pages_touched: self.pages_touched - earlier.pages_touched,
+            page_reads: self.page_reads - earlier.page_reads,
+            candidates_refined: self.candidates_refined - earlier.candidates_refined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = SearchCounters::new();
+        c.record_dists(3);
+        c.record_dists(2);
+        c.record_refined(1);
+        assert_eq!(c.dist_computations(), 5);
+        assert_eq!(c.candidates_refined(), 1);
+        c.reset();
+        assert_eq!(c.dist_computations(), 0);
+        assert_eq!(c.candidates_refined(), 0);
+    }
+
+    #[test]
+    fn snapshot_and_delta() {
+        let c = SearchCounters::new();
+        let io = IoStats::new();
+        c.record_dists(10);
+        io.record_access();
+        io.record_read();
+        let before = QueryStats::snapshot(&c, &io);
+        c.record_dists(7);
+        c.record_refined(2);
+        io.record_access();
+        let after = QueryStats::snapshot(&c, &io);
+        let delta = after.since(&before);
+        assert_eq!(delta.dist_computations, 7);
+        assert_eq!(delta.candidates_refined, 2);
+        assert_eq!(delta.pages_touched, 1);
+        assert_eq!(delta.page_reads, 0);
+    }
+}

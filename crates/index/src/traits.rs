@@ -1,0 +1,217 @@
+//! The [`VectorIndex`] trait and the shared batch-query executor.
+
+use crate::error::Result;
+use crate::stats::{QueryStats, SearchCounters};
+use mmdr_linalg::{map_ranges_with, ParConfig};
+use mmdr_storage::IoStats;
+use std::sync::Arc;
+
+/// Queries per work chunk in [`VectorIndex::batch_knn`]. Much smaller than
+/// the dataset-side `PAR_CHUNK`: one query is already substantial work, and
+/// small chunks keep the dynamic scheduler's load balanced. Chunk
+/// boundaries never depend on the thread count, so neither do answers.
+pub const QUERY_CHUNK: usize = 8;
+
+/// A KNN backend over one dataset's reduced (or raw) representations.
+///
+/// # Contract
+///
+/// - Queries take `&self`: implementations keep any per-query scratch on
+///   the stack or behind interior mutability, never in the index API.
+/// - `knn` returns `(distance, point_id)` sorted ascending by distance,
+///   ties broken toward the smaller point id (the [`crate::KnnHeap`]
+///   ordering). `range_search` returns every hit within the radius, sorted
+///   the same way.
+/// - Answers are deterministic functions of `(index contents, query)` —
+///   in particular they must not depend on buffer-pool state or on how
+///   many other queries run concurrently. This is what lets
+///   [`batch_knn`](VectorIndex::batch_knn) promise bit-identical-to-serial
+///   results at every thread count.
+/// - Cost accounting flows through the shared counters: page/node touches
+///   via [`io_stats`](VectorIndex::io_stats) (the buffer pool records
+///   them), distance computations and refined candidates via
+///   [`search_counters`](VectorIndex::search_counters).
+pub trait VectorIndex: Send + Sync {
+    /// Short display name ("seqscan", "idistance", …) used by the CLI and
+    /// the bench reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// Dimensionality of queries the index accepts.
+    fn dim(&self) -> usize;
+
+    /// True when no points are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The k nearest neighbours of `query`, ascending by
+    /// `(distance, point_id)`.
+    fn knn(&self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>>;
+
+    /// Every point within `radius` of `query`, ascending by
+    /// `(distance, point_id)`.
+    fn range_search(&self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>>;
+
+    /// Handle to the backend's logical-I/O counters.
+    fn io_stats(&self) -> Arc<IoStats>;
+
+    /// Handle to the backend's CPU-side search counters.
+    fn search_counters(&self) -> Arc<SearchCounters>;
+
+    /// Snapshot of the cumulative query cost.
+    fn query_stats(&self) -> QueryStats {
+        QueryStats::snapshot(&self.search_counters(), &self.io_stats())
+    }
+
+    /// Zeroes every cost counter (harnesses call this between phases).
+    fn reset_stats(&self) {
+        self.io_stats().reset();
+        self.search_counters().reset();
+    }
+
+    /// Answers every query in `queries`, fanning the batch across
+    /// `par.num_threads` scoped worker threads.
+    ///
+    /// Results come back in input order and each row is exactly what
+    /// [`knn`](VectorIndex::knn) returns for that query — thread count
+    /// affects only wall-clock time, never answers. Backends with reusable
+    /// per-thread scratch may override this, but must preserve that
+    /// guarantee (the conformance suite checks it at 1/2/4/8 threads).
+    fn batch_knn(
+        &self,
+        queries: &[Vec<f64>],
+        k: usize,
+        par: &ParConfig,
+    ) -> Result<Vec<Vec<(f64, u64)>>> {
+        batch_queries(queries, par, |q| self.knn(q, k))
+    }
+}
+
+/// The chunk-and-merge batch executor behind
+/// [`VectorIndex::batch_knn`]: splits `queries` into fixed
+/// [`QUERY_CHUNK`]-sized chunks, answers each chunk with `run` (workers
+/// pull chunks dynamically), and concatenates the per-chunk results in
+/// input order. Exposed for backends that override `batch_knn` with a
+/// per-worker scratch but want the identical scheduling.
+pub fn batch_queries<R: Send>(
+    queries: &[Vec<f64>],
+    par: &ParConfig,
+    run: impl Fn(&[f64]) -> Result<R> + Sync,
+) -> Result<Vec<R>> {
+    let chunk_results = map_ranges_with(queries.len(), QUERY_CHUNK, par, |range| {
+        range.map(|i| run(&queries[i])).collect::<Result<Vec<_>>>()
+    });
+    let mut out = Vec::with_capacity(queries.len());
+    for chunk in chunk_results {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::KnnHeap;
+    use crate::Error;
+
+    /// Minimal in-memory backend: 1-d points, exact scan.
+    struct Toy {
+        points: Vec<f64>,
+        io: Arc<IoStats>,
+        search: Arc<SearchCounters>,
+    }
+
+    impl Toy {
+        fn new(points: Vec<f64>) -> Self {
+            Self { points, io: IoStats::new(), search: SearchCounters::new() }
+        }
+    }
+
+    impl VectorIndex for Toy {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn len(&self) -> usize {
+            self.points.len()
+        }
+        fn dim(&self) -> usize {
+            1
+        }
+        fn knn(&self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+            if query.len() != 1 {
+                return Err(Error::DimensionMismatch { expected: 1, actual: query.len() });
+            }
+            let mut heap = KnnHeap::new(k);
+            for (i, &p) in self.points.iter().enumerate() {
+                heap.push((p - query[0]).abs(), i as u64);
+            }
+            self.search.record_dists(self.points.len() as u64);
+            Ok(heap.into_sorted_vec())
+        }
+        fn range_search(&self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
+            let mut hits: Vec<(f64, u64)> = self
+                .points
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| ((p - query[0]).abs(), i as u64))
+                .filter(|&(d, _)| d <= radius)
+                .collect();
+            hits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            Ok(hits)
+        }
+        fn io_stats(&self) -> Arc<IoStats> {
+            Arc::clone(&self.io)
+        }
+        fn search_counters(&self) -> Arc<SearchCounters> {
+            Arc::clone(&self.search)
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy::new((0..100).map(|i| i as f64 * 0.25).collect())
+    }
+
+    #[test]
+    fn provided_batch_matches_serial_at_every_thread_count() {
+        let index = toy();
+        let queries: Vec<Vec<f64>> = (0..33).map(|i| vec![i as f64 * 0.7]).collect();
+        let serial: Vec<Vec<(f64, u64)>> =
+            queries.iter().map(|q| index.knn(q, 5).unwrap()).collect();
+        for threads in [1, 2, 4, 8] {
+            let batch = index
+                .batch_knn(&queries, 5, &ParConfig::threads(threads))
+                .unwrap();
+            assert_eq!(batch, serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn batch_propagates_errors() {
+        let index = toy();
+        let queries = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(index.batch_knn(&queries, 3, &ParConfig::serial()).is_err());
+    }
+
+    #[test]
+    fn works_through_dyn_dispatch() {
+        let boxed: Box<dyn VectorIndex> = Box::new(toy());
+        assert_eq!(boxed.name(), "toy");
+        assert_eq!(boxed.len(), 100);
+        assert_eq!(boxed.dim(), 1);
+        assert!(!boxed.is_empty());
+        let r = boxed.knn(&[0.0], 2).unwrap();
+        assert_eq!(r, vec![(0.0, 0), (0.25, 1)]);
+        let hits = boxed.range_search(&[0.0], 0.6).unwrap();
+        assert_eq!(hits.len(), 3);
+        let batch = boxed
+            .batch_knn(&[vec![0.0]], 1, &ParConfig::threads(4))
+            .unwrap();
+        assert_eq!(batch, vec![vec![(0.0, 0)]]);
+        assert!(boxed.query_stats().dist_computations > 0);
+        boxed.reset_stats();
+        assert_eq!(boxed.query_stats(), QueryStats::default());
+    }
+}

@@ -12,7 +12,7 @@ fn data_strategy() -> impl Strategy<Value = Matrix> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Covariance matrices are symmetric PSD; their eigendecompositions
     /// reconstruct and have non-negative spectra.

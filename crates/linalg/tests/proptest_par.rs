@@ -17,7 +17,7 @@ fn data_strategy() -> impl Strategy<Value = Matrix> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Merging per-chunk scatter matrices (in chunk order) reproduces the
     /// whole-dataset scatter within tight tolerance: chunked summation only

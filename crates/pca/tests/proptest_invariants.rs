@@ -12,7 +12,7 @@ fn data_strategy() -> impl Strategy<Value = Matrix> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// ProjDist_r² + ProjDist_e² = ‖P − μ‖² at every level (orthogonal
     /// decomposition), and ProjDist_r is non-increasing in d_r.

@@ -154,8 +154,11 @@ impl BufferPool {
 }
 
 impl PoolInner {
-    /// Ensures the page is resident and MRU; returns its frame index.
+    /// Ensures the page is resident and MRU; returns its frame index. Every
+    /// fetch counts as one logical access in the shared [`IoStats`], hit or
+    /// miss, so "pages touched" is comparable across pool sizes.
     fn fetch(&mut self, page_id: PageId) -> Result<usize> {
+        self.disk.stats_ref().record_access();
         if let Some(&idx) = self.map.get(&page_id) {
             self.hits += 1;
             self.touch(idx);

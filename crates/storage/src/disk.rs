@@ -31,6 +31,11 @@ impl DiskManager {
         Arc::clone(&self.stats)
     }
 
+    /// Borrowed view of the I/O counters (hot paths that only record).
+    pub fn stats_ref(&self) -> &IoStats {
+        &self.stats
+    }
+
     /// Number of allocated pages.
     pub fn num_pages(&self) -> usize {
         self.pages.len()

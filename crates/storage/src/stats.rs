@@ -13,6 +13,7 @@ use std::sync::Arc;
 pub struct IoStats {
     reads: AtomicU64,
     writes: AtomicU64,
+    accesses: AtomicU64,
 }
 
 impl IoStats {
@@ -31,6 +32,13 @@ impl IoStats {
         self.writes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one buffered page access (hit or miss). Buffer pools call
+    /// this on every fetch, so the count compares *logical* page/node
+    /// touches across index structures regardless of pool size.
+    pub fn record_access(&self) {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Logical page reads so far.
     pub fn reads(&self) -> u64 {
         self.reads.load(Ordering::Relaxed)
@@ -41,15 +49,21 @@ impl IoStats {
         self.writes.load(Ordering::Relaxed)
     }
 
+    /// Buffered page accesses (hits + misses) so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+    }
+
     /// Reads + writes.
     pub fn total(&self) -> u64 {
         self.reads() + self.writes()
     }
 
-    /// Resets both counters (benchmarks call this between phases).
+    /// Resets all counters (benchmarks call this between phases).
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
+        self.accesses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -63,11 +77,14 @@ mod tests {
         s.record_read();
         s.record_read();
         s.record_write();
+        s.record_access();
         assert_eq!(s.reads(), 2);
         assert_eq!(s.writes(), 1);
+        assert_eq!(s.accesses(), 1);
         assert_eq!(s.total(), 3);
         s.reset();
         assert_eq!(s.total(), 0);
+        assert_eq!(s.accesses(), 0);
     }
 
     #[test]

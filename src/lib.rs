@@ -12,6 +12,7 @@
 //! - [`cluster`] — Euclidean and elliptical (Mahalanobis) k-means.
 //! - [`core`] — the MMDR algorithm and the GDR/LDR baselines.
 //! - [`storage`] — paged storage with I/O accounting.
+//! - [`index`] — the `VectorIndex` trait every KNN backend implements.
 //! - [`btree`] — disk-page B⁺-tree.
 //! - [`hybridtree`] — simplified Hybrid tree (gLDR baseline index).
 //! - [`idistance`] — extended iDistance KNN index over the B⁺-tree.
@@ -25,6 +26,7 @@ pub use mmdr_core as core;
 pub use mmdr_datagen as datagen;
 pub use mmdr_hybridtree as hybridtree;
 pub use mmdr_idistance as idistance;
+pub use mmdr_index as index;
 pub use mmdr_linalg as linalg;
 pub use mmdr_pca as pca;
 pub use mmdr_storage as storage;

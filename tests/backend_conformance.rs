@@ -1,0 +1,170 @@
+//! Backend conformance suite: every `VectorIndex` backend must answer the
+//! same questions the same way.
+//!
+//! All four backends (sequential scan, extended iDistance, global hybrid
+//! tree, gLDR) measure the reduced-representation distance
+//! `‖q − restore(Pᵢ)‖`, so on one `(data, model)` pair they must agree on:
+//!
+//! 1. **KNN results** — same neighbour ids at every rank, distances within
+//!    float noise of the sequential-scan reference, sorted ascending by
+//!    `(distance, point_id)`.
+//! 2. **Batch execution** — `batch_knn` is bit-identical to a serial `knn`
+//!    loop at every thread count (the shared-executor guarantee).
+//! 3. **Range search** — identical hit sets for a radius away from any
+//!    distance boundary.
+
+use mmdr::core::{Mmdr, MmdrParams, ParConfig};
+use mmdr::datagen::{generate_correlated, sample_queries, CorrelatedConfig};
+use mmdr::idistance::{build_backend, Backend};
+use mmdr::index::VectorIndex;
+
+const K: usize = 10;
+const BUFFER_PAGES: usize = 128;
+
+struct Fixture {
+    data: mmdr::linalg::Matrix,
+    model: mmdr::core::ReductionResult,
+    queries: Vec<Vec<f64>>,
+}
+
+fn fixture() -> Fixture {
+    let ds = generate_correlated(&CorrelatedConfig::paper_style(1_500, 32, 5, 6, 30.0, 31));
+    let model = Mmdr::new(MmdrParams::default()).fit(&ds.data).unwrap();
+    let queries: Vec<Vec<f64>> = sample_queries(&ds.data, 20, 13)
+        .unwrap()
+        .iter_rows()
+        .map(|r| r.to_vec())
+        .collect();
+    Fixture { data: ds.data, model, queries }
+}
+
+fn build_all(fx: &Fixture) -> Vec<Box<dyn VectorIndex>> {
+    Backend::all()
+        .into_iter()
+        .map(|b| build_backend(b, &fx.data, &fx.model, BUFFER_PAGES).expect("build backend"))
+        .collect()
+}
+
+/// Asserts `results` is ascending by the full `(distance, point_id)` tuple.
+fn assert_sorted(label: &str, qi: usize, results: &[(f64, u64)]) {
+    for w in results.windows(2) {
+        assert!(
+            w[0] <= w[1],
+            "{label} query {qi}: out of order {:?} before {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn all_backends_agree_with_seqscan_reference() {
+    let fx = fixture();
+    let backends = build_all(&fx);
+    let reference: Vec<Vec<(f64, u64)>> =
+        fx.queries.iter().map(|q| backends[0].knn(q, K).unwrap()).collect();
+
+    for index in &backends {
+        for (qi, (q, want)) in fx.queries.iter().zip(&reference).enumerate() {
+            let got = index.knn(q, K).unwrap();
+            assert_sorted(index.name(), qi, &got);
+            assert_eq!(
+                got.len(),
+                want.len(),
+                "{} query {qi}: result size",
+                index.name()
+            );
+            for (rank, ((gd, gid), (wd, wid))) in got.iter().zip(want).enumerate() {
+                assert_eq!(
+                    gid,
+                    wid,
+                    "{} query {qi} rank {rank}: id mismatch (got {gd}, want {wd})",
+                    index.name()
+                );
+                assert!(
+                    (gd - wd).abs() < 1e-9,
+                    "{} query {qi} rank {rank}: distance drift {gd} vs {wd}",
+                    index.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_knn_is_bit_identical_to_serial_at_every_thread_count() {
+    let fx = fixture();
+    for index in build_all(&fx) {
+        let serial: Vec<Vec<(f64, u64)>> =
+            fx.queries.iter().map(|q| index.knn(q, K).unwrap()).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let batch = index
+                .batch_knn(&fx.queries, K, &ParConfig::threads(threads))
+                .unwrap();
+            assert_eq!(
+                batch,
+                serial,
+                "{} at {threads} threads: batch diverges from serial",
+                index.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn range_search_agrees_across_backends() {
+    let fx = fixture();
+    let backends = build_all(&fx);
+
+    for (qi, q) in fx.queries.iter().take(5).enumerate() {
+        // Pick a radius halfway between the K-th and (K+1)-th scan distance
+        // so no backend straddles a boundary within float noise. If the two
+        // distances tie, nudging the midpoint changes nothing — every
+        // backend keeps ties (`dist <= radius + eps`), so answers still
+        // agree.
+        let probe = backends[0].knn(q, K + 1).unwrap();
+        let radius = (probe[K - 1].0 + probe[K].0) / 2.0;
+
+        let want = backends[0].range_search(q, radius).unwrap();
+        assert!(!want.is_empty(), "query {qi}: degenerate radius {radius}");
+        for index in &backends[1..] {
+            let got = index.range_search(q, radius).unwrap();
+            assert_sorted(index.name(), qi, &got);
+            let got_ids: Vec<u64> = got.iter().map(|&(_, id)| id).collect();
+            let want_ids: Vec<u64> = want.iter().map(|&(_, id)| id).collect();
+            assert_eq!(
+                got_ids,
+                want_ids,
+                "{} query {qi} radius {radius}: hit set differs from scan",
+                index.name()
+            );
+            for (rank, ((gd, _), (wd, _))) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (gd - wd).abs() < 1e-9,
+                    "{} query {qi} rank {rank}: range distance drift {gd} vs {wd}",
+                    index.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn query_stats_tick_for_every_backend() {
+    let fx = fixture();
+    for index in build_all(&fx) {
+        index.reset_stats();
+        index.knn(&fx.queries[0], K).unwrap();
+        let stats = index.query_stats();
+        assert!(
+            stats.dist_computations > 0,
+            "{}: no distance computations recorded",
+            index.name()
+        );
+        assert!(
+            stats.pages_touched > 0,
+            "{}: no page accesses recorded",
+            index.name()
+        );
+    }
+}

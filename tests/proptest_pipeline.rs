@@ -19,7 +19,7 @@ fn dataset_strategy() -> impl Strategy<Value = Matrix> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// MMDR always yields a valid partition with in-range dimensionalities,
     /// whatever the data looks like.

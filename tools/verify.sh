@@ -15,11 +15,14 @@ fi
 echo "== build (all targets) =="
 RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --workspace --all-targets "${PROFILE[@]}"
 
+echo "== clippy (all targets) =="
+cargo clippy --workspace --all-targets "${PROFILE[@]}" -- -D warnings
+
 echo "== test (workspace) =="
 cargo test --workspace "${PROFILE[@]}"
 
-echo "== determinism + recall gates =="
-cargo test "${PROFILE[@]}" --test par_determinism --test golden_recall
+echo "== determinism + recall + conformance gates =="
+cargo test "${PROFILE[@]}" --test par_determinism --test golden_recall --test backend_conformance
 cargo test "${PROFILE[@]}" -p mmdr-linalg --test proptest_par
 cargo test "${PROFILE[@]}" -p mmdr-idistance --test proptest_heap
 

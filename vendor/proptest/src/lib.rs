@@ -24,6 +24,14 @@ pub struct ProptestConfig {
     pub cases: u32,
 }
 
+impl ProptestConfig {
+    /// A default configuration running `cases` cases (same constructor as
+    /// the real proptest).
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
 impl Default for ProptestConfig {
     fn default() -> Self {
         Self { cases: 64 }
@@ -340,7 +348,7 @@ mod tests {
     use crate::prelude::*;
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig::with_cases(32))]
 
         #[test]
         fn ranges_and_tuples(x in 3usize..10, (a, b) in (0u32..5, -1.0f64..1.0)) {
