@@ -65,5 +65,11 @@ fn bench_range_scan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_insert, bench_bulk_load, bench_seek, bench_range_scan);
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_bulk_load,
+    bench_seek,
+    bench_range_scan
+);
 criterion_main!(benches);

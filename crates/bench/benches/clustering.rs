@@ -40,20 +40,34 @@ fn bench_euclidean_vs_elliptical(c: &mut Criterion) {
     group.bench_function("euclidean", |b| {
         b.iter(|| {
             black_box(
-                kmeans(&ds.data, &KMeansConfig { k: 10, seed: 3, ..Default::default() })
-                    .unwrap()
-                    .iterations,
+                kmeans(
+                    &ds.data,
+                    &KMeansConfig {
+                        k: 10,
+                        seed: 3,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .iterations,
             )
         });
     });
     group.bench_function("elliptical", |b| {
-        let engine =
-            EllipticalKMeans::new(EllipticalConfig { k: 10, seed: 3, ..Default::default() })
-                .unwrap();
+        let engine = EllipticalKMeans::new(EllipticalConfig {
+            k: 10,
+            seed: 3,
+            ..Default::default()
+        })
+        .unwrap();
         b.iter(|| black_box(engine.fit(&ds.data).unwrap().outer_iterations));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_elliptical_ablation, bench_euclidean_vs_elliptical);
+criterion_group!(
+    benches,
+    bench_elliptical_ablation,
+    bench_euclidean_vs_elliptical
+);
 criterion_main!(benches);

@@ -17,15 +17,23 @@ fn bench_knn_schemes(c: &mut Criterion) {
     let immdr = IDistanceIndex::build(
         &ds.data,
         &mmdr_model,
-        IDistanceConfig { buffer_pages: 1 << 14, ..Default::default() },
+        IDistanceConfig {
+            buffer_pages: 1 << 14,
+            ..Default::default()
+        },
     )
     .unwrap();
-    group.bench_function("iMMDR", |b| b.iter(|| black_box(immdr.knn(&q, 10).unwrap())));
+    group.bench_function("iMMDR", |b| {
+        b.iter(|| black_box(immdr.knn(&q, 10).unwrap()))
+    });
 
     let ildr = IDistanceIndex::build(
         &ds.data,
         &ldr_model,
-        IDistanceConfig { buffer_pages: 1 << 14, ..Default::default() },
+        IDistanceConfig {
+            buffer_pages: 1 << 14,
+            ..Default::default()
+        },
     )
     .unwrap();
     group.bench_function("iLDR", |b| b.iter(|| black_box(ildr.knn(&q, 10).unwrap())));
@@ -34,7 +42,9 @@ fn bench_knn_schemes(c: &mut Criterion) {
     group.bench_function("gLDR", |b| b.iter(|| black_box(gldr.knn(&q, 10).unwrap())));
 
     let scan = SeqScan::build(&ds.data, &mmdr_model, 1 << 14).unwrap();
-    group.bench_function("seq-scan", |b| b.iter(|| black_box(scan.knn(&q, 10).unwrap())));
+    group.bench_function("seq-scan", |b| {
+        b.iter(|| black_box(scan.knn(&q, 10).unwrap()))
+    });
     group.finish();
 }
 

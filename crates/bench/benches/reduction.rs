@@ -33,7 +33,15 @@ fn bench_methods(c: &mut Criterion) {
         });
     });
     group.bench_function("LDR", |b| {
-        b.iter(|| black_box(Ldr::new(LdrParams::default()).fit(&ds.data).unwrap().clusters.len()));
+        b.iter(|| {
+            black_box(
+                Ldr::new(LdrParams::default())
+                    .fit(&ds.data)
+                    .unwrap()
+                    .clusters
+                    .len(),
+            )
+        });
     });
     group.bench_function("GDR", |b| {
         b.iter(|| black_box(Gdr::new(20).fit(&ds.data).unwrap().clusters.len()));
@@ -49,7 +57,13 @@ fn bench_mmdr_dim_scaling(c: &mut Criterion) {
         let ds = workloads::synthetic(3_000, dim, 6, 30.0, 11);
         group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
             b.iter(|| {
-                black_box(Mmdr::new(MmdrParams::default()).fit(&ds.data).unwrap().clusters.len())
+                black_box(
+                    Mmdr::new(MmdrParams::default())
+                        .fit(&ds.data)
+                        .unwrap()
+                        .clusters
+                        .len(),
+                )
             });
         });
     }

@@ -3,14 +3,27 @@ fn main() {
     let data = workloads::histogram(20_000, 0);
     for d_r in [10usize, 20] {
         let m = eval::reduce(Method::Mmdr, &data, Some(d_r), 10, 0);
-        println!("MMDR d_r={d_r}: clusters={} outliers={:.3}", m.clusters.len(), m.outlier_fraction());
+        println!(
+            "MMDR d_r={d_r}: clusters={} outliers={:.3}",
+            m.clusters.len(),
+            m.outlier_fraction()
+        );
         for c in &m.clusters {
-            println!("  n={:>6} d_r={} max_local_radius={:.3}", c.members.len(), c.reduced_dim(), c.radius_retained);
+            println!(
+                "  n={:>6} d_r={} max_local_radius={:.3}",
+                c.members.len(),
+                c.reduced_dim(),
+                c.radius_retained
+            );
         }
         let l = eval::reduce(Method::Ldr, &data, Some(d_r), 10, 0);
         println!("LDR d_r={d_r}: clusters={}", l.clusters.len());
         for c in &l.clusters {
-            println!("  n={:>6} max_local_radius={:.3}", c.members.len(), c.radius_retained);
+            println!(
+                "  n={:>6} max_local_radius={:.3}",
+                c.members.len(),
+                c.radius_retained
+            );
         }
     }
 }

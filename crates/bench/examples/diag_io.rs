@@ -4,16 +4,36 @@ use mmdr::idistance::{IDistanceConfig, IDistanceIndex, SeqScan};
 fn main() {
     let ds = generate_correlated(&CorrelatedConfig::paper_style(4_000, 32, 6, 6, 30.0, 17));
     let model = Mmdr::new(MmdrParams::default()).fit(&ds.data).unwrap();
-    println!("clusters={} outliers={:.3} mean_dr={:.1}", model.clusters.len(), model.outlier_fraction(), model.mean_retained_dim());
-    let index = IDistanceIndex::build(&ds.data, &model, IDistanceConfig { buffer_pages: 8, ..Default::default() }).unwrap();
+    println!(
+        "clusters={} outliers={:.3} mean_dr={:.1}",
+        model.clusters.len(),
+        model.outlier_fraction(),
+        model.mean_retained_dim()
+    );
+    let index = IDistanceIndex::build(
+        &ds.data,
+        &model,
+        IDistanceConfig {
+            buffer_pages: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let scan = SeqScan::build(&ds.data, &model, 4).unwrap();
-    println!("index pages={} scan pages={}", index.total_pages(), scan.num_pages());
+    println!(
+        "index pages={} scan pages={}",
+        index.total_pages(),
+        scan.num_pages()
+    );
     let queries = sample_queries(&ds.data, 10, 5).unwrap();
     let (mut ir, mut sr) = (0u64, 0u64);
     for q in queries.iter_rows() {
-        index.io_stats().reset(); scan.io_stats().reset();
-        index.knn(q, 10).unwrap(); scan.knn(q, 10).unwrap();
-        ir += index.io_stats().reads(); sr += scan.io_stats().reads();
+        index.io_stats().reset();
+        scan.io_stats().reset();
+        index.knn(q, 10).unwrap();
+        scan.knn(q, 10).unwrap();
+        ir += index.io_stats().reads();
+        sr += scan.io_stats().reads();
     }
     println!("index reads {ir} scan reads {sr}");
 }

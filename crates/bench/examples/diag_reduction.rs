@@ -6,7 +6,10 @@ fn main() {
             let model = eval::reduce(m, &ds.data, None, 10, 0);
             println!(
                 "ratio {ratio} {}: clusters={} outlier_frac={:.3} mean_dr={:.2}",
-                m.name(), model.clusters.len(), model.outlier_fraction(), model.mean_retained_dim()
+                m.name(),
+                model.clusters.len(),
+                model.outlier_fraction(),
+                model.mean_retained_dim()
             );
         }
     }

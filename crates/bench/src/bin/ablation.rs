@@ -24,8 +24,17 @@ fn main() {
         "ablation",
         "MMDR design ablation: clusters / outlier% / mean d_r / fit s / precision",
         "variant",
-        &["clusters", "outlier_pct", "mean_dr", "fit_seconds", "precision"],
-        format!("n={n} dim=64 clusters=10 ratio=30 queries={queries} k={k} seed={}", args.seed),
+        &[
+            "clusters",
+            "outlier_pct",
+            "mean_dr",
+            "fit_seconds",
+            "precision",
+        ],
+        format!(
+            "n={n} dim=64 clusters=10 ratio=30 queries={queries} k={k} seed={}",
+            args.seed
+        ),
     );
 
     let variants: [(&str, bool, bool); 4] = [

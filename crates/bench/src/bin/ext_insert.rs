@@ -34,15 +34,18 @@ fn main() {
     let base_data = ds.data.select_rows(&first);
 
     let model = eval::reduce(Method::Mmdr, &base_data, None, 10, args.seed);
-    let mut index = IDistanceIndex::build(&base_data, &model, IDistanceConfig::default())
-        .expect("index build");
+    let mut index =
+        IDistanceIndex::build(&base_data, &model, IDistanceConfig::default()).expect("index build");
 
     let mut report = Report::new(
         "ext_insert",
         "Dynamic insertion: precision and throughput vs inserted fraction",
         "inserted_fraction",
         &["precision", "inserts_per_sec", "outlier_pct"],
-        format!("n={n} dim=64 base={half} queries={queries} k={k} seed={}", args.seed),
+        format!(
+            "n={n} dim=64 base={half} queries={queries} k={k} seed={}",
+            args.seed
+        ),
     );
 
     let qs = sample_queries(&ds.data, queries, args.seed ^ 0xC1).expect("queries");
@@ -71,8 +74,10 @@ fn main() {
             let present_data = ds.data.select_rows(&present_rows);
             let mut total = 0.0;
             for q in qs.iter_rows() {
-                let exact: Vec<usize> =
-                    exact_knn(&present_data, q, k).into_iter().map(|(_, i)| i).collect();
+                let exact: Vec<usize> = exact_knn(&present_data, q, k)
+                    .into_iter()
+                    .map(|(_, i)| i)
+                    .collect();
                 let approx: Vec<usize> = index
                     .knn(q, k)
                     .expect("knn")
@@ -94,8 +99,10 @@ fn main() {
             // Baseline precision on the bulk-built half.
             let mut total = 0.0;
             for q in qs.iter_rows() {
-                let exact: Vec<usize> =
-                    exact_knn(&base_data, q, k).into_iter().map(|(_, i)| i).collect();
+                let exact: Vec<usize> = exact_knn(&base_data, q, k)
+                    .into_iter()
+                    .map(|(_, i)| i)
+                    .collect();
                 let approx: Vec<usize> = index
                     .knn(q, k)
                     .expect("knn")

@@ -6,15 +6,18 @@
 //! schemes by 30 dims (multi-d node comparisons vs. 1-d key comparisons);
 //! iMMDR slightly below iLDR.
 
-use mmdr_bench::{eval, workloads, Args, Method, Report};
+use mmdr_bench::{build_or_open_backend, eval, workloads, Args, Method, Report};
 use mmdr_datagen::sample_queries;
-use mmdr_idistance::{build_backend, Backend, VectorIndex};
+use mmdr_idistance::{Backend, VectorIndex};
 use mmdr_linalg::Matrix;
 use std::time::Instant;
 
 fn main() {
     let args = Args::from_env();
-    let dataset = args.dataset.clone().unwrap_or_else(|| "synthetic".to_string());
+    let dataset = args
+        .dataset
+        .clone()
+        .unwrap_or_else(|| "synthetic".to_string());
     let queries = args.queries.unwrap_or_else(|| args.pick(10, 50, 100));
     let k = args.k.unwrap_or(10);
 
@@ -35,15 +38,45 @@ fn main() {
         let mmdr_model = eval::reduce(Method::Mmdr, &data, Some(d_r), 10, args.seed);
         let ldr_model = eval::reduce(Method::Ldr, &data, Some(d_r), 10, args.seed);
 
+        // With --index-dir each (method, d_r) index is snapshotted and
+        // reopened on later runs instead of rebuilt.
+        let dir = args.index_dir.as_deref();
+        let key = |method: &str| {
+            format!(
+                "{fig}-{dataset}-{method}-n{n}-dr{d_r}-seed{}-bp{buffer_pages}",
+                args.seed
+            )
+        };
         let series: Vec<Box<dyn VectorIndex>> = vec![
-            build_backend(Backend::IDistance, &data, &mmdr_model, buffer_pages)
-                .expect("iMMDR build"),
-            build_backend(Backend::IDistance, &data, &ldr_model, buffer_pages)
-                .expect("iLDR build"),
-            build_backend(Backend::Gldr, &data, &ldr_model, buffer_pages).expect("gLDR build"),
+            build_or_open_backend(
+                dir,
+                &key("mmdr"),
+                Backend::IDistance,
+                &data,
+                &mmdr_model,
+                buffer_pages,
+            ),
+            build_or_open_backend(
+                dir,
+                &key("ldr"),
+                Backend::IDistance,
+                &data,
+                &ldr_model,
+                buffer_pages,
+            ),
+            build_or_open_backend(
+                dir,
+                &key("ldr"),
+                Backend::Gldr,
+                &data,
+                &ldr_model,
+                buffer_pages,
+            ),
         ];
-        let times: Vec<f64> =
-            series.iter().map(|b| time_queries(&qs, k, b.as_ref())).collect();
+        let times: Vec<f64> = series
+            .iter()
+            .map(|b| time_queries(&qs, k, b.as_ref()))
+            .collect();
 
         report.push(d_r as f64, times);
         eprintln!("d_r {d_r} done");
@@ -55,7 +88,11 @@ fn load(args: &Args, dataset: &str) -> (Matrix, usize, &'static str) {
     match dataset {
         "synthetic" => {
             let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 100_000));
-            (workloads::synthetic(n, 64, 10, 30.0, args.seed).data, n, "fig10a")
+            (
+                workloads::synthetic(n, 64, 10, 30.0, args.seed).data,
+                n,
+                "fig10a",
+            )
         }
         "histogram" => {
             let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 70_000));

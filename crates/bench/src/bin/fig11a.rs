@@ -28,14 +28,20 @@ fn main() {
 
     for &n in &sizes {
         let ds = workloads::synthetic(n, dim, 10, 30.0, args.seed);
-        let params = MmdrParams { max_ec: 10, seed: args.seed, ..Default::default() };
+        let params = MmdrParams {
+            max_ec: 10,
+            seed: args.seed,
+            ..Default::default()
+        };
 
         let start = Instant::now();
         let plain = Mmdr::new(params.clone()).fit(&ds.data).expect("mmdr fit");
         let t_plain = start.elapsed().as_secs_f64();
 
         let start = Instant::now();
-        let scalable = ScalableMmdr::new(params).fit(&ds.data).expect("scalable fit");
+        let scalable = ScalableMmdr::new(params)
+            .fit(&ds.data)
+            .expect("scalable fit");
         let t_scalable = start.elapsed().as_secs_f64();
 
         report.push(n as f64, vec![t_plain, t_scalable]);

@@ -9,7 +9,9 @@ use std::time::Instant;
 
 fn main() {
     let args = Args::from_env();
-    let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 1_000_000));
+    let n = args
+        .n
+        .unwrap_or_else(|| args.pick(2_000, 20_000, 1_000_000));
     let dims: Vec<usize> = vec![50, 100, 150, 200];
 
     let mut report = Report::new(
@@ -22,9 +24,15 @@ fn main() {
 
     for &dim in &dims {
         let ds = workloads::synthetic(n, dim, 10, 30.0, args.seed);
-        let params = MmdrParams { max_ec: 10, seed: args.seed, ..Default::default() };
+        let params = MmdrParams {
+            max_ec: 10,
+            seed: args.seed,
+            ..Default::default()
+        };
         let start = Instant::now();
-        let model = ScalableMmdr::new(params).fit(&ds.data).expect("scalable fit");
+        let model = ScalableMmdr::new(params)
+            .fit(&ds.data)
+            .expect("scalable fit");
         let t = start.elapsed().as_secs_f64();
         report.push(dim as f64, vec![t]);
         eprintln!("dim={dim}: {t:.2}s ({} clusters)", model.clusters.len());

@@ -21,7 +21,10 @@ fn main() {
         "Precision vs ellipticity (synthetic, 64-d)",
         "ellipticity_ratio",
         &["MMDR", "LDR", "GDR"],
-        format!("n={n} dim={dim} clusters={n_clusters} queries={queries} k={k} seed={}", args.seed),
+        format!(
+            "n={n} dim={dim} clusters={n_clusters} queries={queries} k={k} seed={}",
+            args.seed
+        ),
     );
 
     for &ratio in &[2.0, 5.0, 10.0, 20.0, 40.0, 80.0] {

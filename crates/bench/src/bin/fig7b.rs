@@ -19,7 +19,10 @@ fn main() {
         "Precision vs number of correlated clusters (synthetic, 64-d)",
         "clusters",
         &["MMDR", "LDR", "GDR"],
-        format!("n={n} dim={dim} ratio={ratio} queries={queries} k={k} seed={}", args.seed),
+        format!(
+            "n={n} dim={dim} ratio={ratio} queries={queries} k={k} seed={}",
+            args.seed
+        ),
     );
 
     for &n_clusters in &[1usize, 2, 5, 10, 15, 20] {

@@ -10,14 +10,21 @@ use mmdr_datagen::sample_queries;
 
 fn main() {
     let args = Args::from_env();
-    let dataset = args.dataset.clone().unwrap_or_else(|| "synthetic".to_string());
+    let dataset = args
+        .dataset
+        .clone()
+        .unwrap_or_else(|| "synthetic".to_string());
     let queries = args.queries.unwrap_or_else(|| args.pick(10, 50, 100));
     let k = args.k.unwrap_or(10);
 
     let (data, default_n, fig) = match dataset.as_str() {
         "synthetic" => {
             let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 100_000));
-            (workloads::synthetic(n, 64, 10, 30.0, args.seed).data, n, "fig8a")
+            (
+                workloads::synthetic(n, 64, 10, 30.0, args.seed).data,
+                n,
+                "fig8a",
+            )
         }
         "histogram" => {
             let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 70_000));

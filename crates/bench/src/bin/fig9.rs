@@ -5,14 +5,17 @@
 //! Paper shape: iMMDR < iLDR < gLDR, with gLDR crossing above the
 //! sequential scan around 20 dimensions.
 
-use mmdr_bench::{eval, workloads, Args, Method, Report};
+use mmdr_bench::{build_or_open_backend, eval, workloads, Args, Method, Report};
 use mmdr_datagen::sample_queries;
-use mmdr_idistance::{build_backend, Backend, VectorIndex};
+use mmdr_idistance::{Backend, VectorIndex};
 use mmdr_linalg::Matrix;
 
 fn main() {
     let args = Args::from_env();
-    let dataset = args.dataset.clone().unwrap_or_else(|| "synthetic".to_string());
+    let dataset = args
+        .dataset
+        .clone()
+        .unwrap_or_else(|| "synthetic".to_string());
     let queries = args.queries.unwrap_or_else(|| args.pick(10, 50, 100));
     let k = args.k.unwrap_or(10);
 
@@ -27,7 +30,10 @@ fn main() {
         &format!("I/O cost vs dimensionality ({dataset})"),
         "retained_dims",
         &["iMMDR", "iLDR", "gLDR", "seq-scan"],
-        format!("n={n} queries={queries} k={k} buffer_pages={buffer_pages} seed={}", args.seed),
+        format!(
+            "n={n} queries={queries} k={k} buffer_pages={buffer_pages} seed={}",
+            args.seed
+        ),
     );
 
     for &d_r in &[10usize, 15, 20, 25, 30] {
@@ -36,15 +42,48 @@ fn main() {
 
         // Every series is a VectorIndex; the measurement loop below is
         // backend-agnostic. iMMDR/iLDR differ only in the reduction; the
-        // scan uses the MMDR layout.
+        // scan uses the MMDR layout. With --index-dir each (method, d_r)
+        // index is snapshotted and reopened on later runs.
+        let dir = args.index_dir.as_deref();
+        let key = |method: &str| {
+            format!(
+                "{fig}-{dataset}-{method}-n{n}-dr{d_r}-seed{}-bp{buffer_pages}",
+                args.seed
+            )
+        };
         let series: Vec<Box<dyn VectorIndex>> = vec![
-            build_backend(Backend::IDistance, &data, &mmdr_model, buffer_pages)
-                .expect("iMMDR build"),
-            build_backend(Backend::IDistance, &data, &ldr_model, buffer_pages)
-                .expect("iLDR build"),
-            build_backend(Backend::Gldr, &data, &ldr_model, buffer_pages).expect("gLDR build"),
-            build_backend(Backend::SeqScan, &data, &mmdr_model, buffer_pages)
-                .expect("scan build"),
+            build_or_open_backend(
+                dir,
+                &key("mmdr"),
+                Backend::IDistance,
+                &data,
+                &mmdr_model,
+                buffer_pages,
+            ),
+            build_or_open_backend(
+                dir,
+                &key("ldr"),
+                Backend::IDistance,
+                &data,
+                &ldr_model,
+                buffer_pages,
+            ),
+            build_or_open_backend(
+                dir,
+                &key("ldr"),
+                Backend::Gldr,
+                &data,
+                &ldr_model,
+                buffer_pages,
+            ),
+            build_or_open_backend(
+                dir,
+                &key("mmdr"),
+                Backend::SeqScan,
+                &data,
+                &mmdr_model,
+                buffer_pages,
+            ),
         ];
         let ios: Vec<f64> = series.iter().map(|b| mean_io(&qs, k, b.as_ref())).collect();
 
@@ -58,7 +97,11 @@ fn load(args: &Args, dataset: &str) -> (Matrix, usize, &'static str) {
     match dataset {
         "synthetic" => {
             let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 100_000));
-            (workloads::synthetic(n, 64, 10, 30.0, args.seed).data, n, "fig9a")
+            (
+                workloads::synthetic(n, 64, 10, 30.0, args.seed).data,
+                n,
+                "fig9a",
+            )
         }
         "histogram" => {
             let n = args.n.unwrap_or_else(|| args.pick(2_000, 20_000, 70_000));

@@ -27,7 +27,12 @@ fn main() {
         "par_scaling",
         "speedup vs threads (model fit and batch 10-NN)",
         "threads",
-        &["fit_seconds", "fit_speedup", "batch_knn_seconds", "batch_knn_speedup"],
+        &[
+            "fit_seconds",
+            "fit_speedup",
+            "batch_knn_seconds",
+            "batch_knn_speedup",
+        ],
         format!("n={n} dim={dim} queries={queries} k={k} seed={}", args.seed),
     );
 
@@ -40,13 +45,16 @@ fn main() {
         let par = ParConfig::threads(threads);
 
         let t0 = Instant::now();
-        let model = Mmdr::new(MmdrParams { par, ..Default::default() })
-            .fit(&data)
-            .expect("fit");
+        let model = Mmdr::new(MmdrParams {
+            par,
+            ..Default::default()
+        })
+        .fit(&data)
+        .expect("fit");
         let fit_secs = t0.elapsed().as_secs_f64();
 
-        let index = IDistanceIndex::build(&data, &model, IDistanceConfig::default())
-            .expect("index build");
+        let index =
+            IDistanceIndex::build(&data, &model, IDistanceConfig::default()).expect("index build");
         let t1 = Instant::now();
         let answers = index.batch_knn(&query_rows, k, &par).expect("batch knn");
         let knn_secs = t1.elapsed().as_secs_f64();

@@ -1,0 +1,111 @@
+//! Persistence benchmark — open-from-snapshot vs. rebuild-from-scratch,
+//! for every backend.
+//!
+//! The point of `mmdr-persist` is that `open()` skips clustering,
+//! projection and bulk-loading entirely; this harness quantifies the
+//! saving. Rows are backends (1 = seqscan, 2 = idistance, 3 = hybrid,
+//! 4 = gldr); `fit_ms` is the (backend-independent) MMDR reduction the
+//! snapshot also makes unnecessary, and `speedup` is
+//! `(fit_ms + build_ms) / open_ms` — cold start from raw data vs opening
+//! the snapshot. Each opened index is spot-checked against the freshly
+//! built one before its timing counts.
+
+use mmdr_bench::{workloads, Args, Report};
+use mmdr_datagen::sample_queries;
+use mmdr_idistance::Backend;
+use mmdr_persist::{build_index, open, save};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.n.unwrap_or_else(|| args.pick(2_000, 10_000, 50_000));
+    let k = args.k.unwrap_or(10);
+    let buffer_pages = 256;
+
+    let workload = workloads::synthetic(n, 32, 6, 20.0, args.seed);
+    let data = workload.data;
+    let start = Instant::now();
+    let model = mmdr_bench::reduce(mmdr_bench::Method::Mmdr, &data, Some(12), 10, args.seed);
+    let fit_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let qs = sample_queries(&data, 20, args.seed ^ 0xB0).expect("queries");
+
+    let dir = std::env::temp_dir().join(format!("mmdr-bench-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let mut report = Report::new(
+        "BENCH_persist",
+        "index open-from-snapshot vs rebuild",
+        "backend",
+        &[
+            "fit_ms",
+            "build_ms",
+            "save_ms",
+            "open_ms",
+            "speedup",
+            "snapshot_mb",
+        ],
+        format!(
+            "n={n} dim=32 d_r=12 k={k} buffer_pages={buffer_pages} seed={} \
+             backends: 1=seqscan 2=idistance 3=hybrid 4=gldr",
+            args.seed
+        ),
+    );
+
+    let backends = [
+        Backend::SeqScan,
+        Backend::IDistance,
+        Backend::Hybrid,
+        Backend::Gldr,
+    ];
+    for (ordinal, &backend) in backends.iter().enumerate() {
+        let path = dir.join(format!("{}.snapshot", backend.name()));
+
+        let start = Instant::now();
+        let built = build_index(backend, &data, &model, buffer_pages).expect("build");
+        let build_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+        let start = Instant::now();
+        save(&path, &built, &model).expect("save");
+        let save_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let snapshot_mb =
+            std::fs::metadata(&path).expect("snapshot metadata").len() as f64 / (1 << 20) as f64;
+
+        let start = Instant::now();
+        let opened = open(&path).expect("open");
+        let open_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+        // The speedup is only meaningful if the reopened index answers
+        // identically; check a few queries before reporting.
+        let built_dyn = built.as_dyn();
+        let opened_dyn = opened.index.as_dyn();
+        for q in qs.iter_rows() {
+            let a = built_dyn.knn(q, k).expect("knn built");
+            let b = opened_dyn.knn(q, k).expect("knn opened");
+            assert_eq!(
+                a,
+                b,
+                "{}: reopened index disagrees with built one",
+                backend.name()
+            );
+        }
+
+        report.push(
+            (ordinal + 1) as f64,
+            vec![
+                fit_ms,
+                build_ms,
+                save_ms,
+                open_ms,
+                (fit_ms + build_ms) / open_ms.max(1e-9),
+                snapshot_mb,
+            ],
+        );
+        eprintln!(
+            "{} done (build {build_ms:.1} ms, open {open_ms:.1} ms)",
+            backend.name()
+        );
+    }
+
+    report.emit();
+    let _ = std::fs::remove_dir_all(&dir);
+}

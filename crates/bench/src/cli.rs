@@ -17,11 +17,22 @@ pub struct Args {
     /// Free-form `--dataset` selector (figures 8–10 take `synthetic` or
     /// `histogram`).
     pub dataset: Option<String>,
+    /// Directory for index snapshots (`--index-dir`): harnesses reuse a
+    /// saved index when a matching snapshot exists instead of rebuilding.
+    pub index_dir: Option<String>,
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Self { scale: 1, n: None, queries: None, k: None, seed: 0, dataset: None }
+        Self {
+            scale: 1,
+            n: None,
+            queries: None,
+            k: None,
+            seed: 0,
+            dataset: None,
+            index_dir: None,
+        }
     }
 }
 
@@ -45,9 +56,10 @@ impl Args {
                     out.seed = take_value(&mut it, "--seed")?.parse().map_err(bad("--seed"))?
                 }
                 "--dataset" => out.dataset = Some(take_value(&mut it, "--dataset")?),
+                "--index-dir" => out.index_dir = Some(take_value(&mut it, "--index-dir")?),
                 other => {
                     return Err(format!(
-                        "unknown flag {other}; known: --quick --paper --n N --queries Q --k K --seed S --dataset NAME"
+                        "unknown flag {other}; known: --quick --paper --n N --queries Q --k K --seed S --dataset NAME --index-dir DIR"
                     ))
                 }
             }
@@ -106,8 +118,21 @@ mod tests {
 
     #[test]
     fn flags() {
-        let a = parse(&["--paper", "--n", "500", "--queries", "10", "--k", "5", "--seed", "9",
-            "--dataset", "histogram"])
+        let a = parse(&[
+            "--paper",
+            "--n",
+            "500",
+            "--queries",
+            "10",
+            "--k",
+            "5",
+            "--seed",
+            "9",
+            "--dataset",
+            "histogram",
+            "--index-dir",
+            "/tmp/idx",
+        ])
         .unwrap();
         assert_eq!(a.scale, 2);
         assert_eq!(a.n, Some(500));
@@ -115,6 +140,7 @@ mod tests {
         assert_eq!(a.k, Some(5));
         assert_eq!(a.seed, 9);
         assert_eq!(a.dataset.as_deref(), Some("histogram"));
+        assert_eq!(a.index_dir.as_deref(), Some("/tmp/idx"));
         assert_eq!(a.pick(1, 2, 3), 3);
         assert_eq!(parse(&["--quick"]).unwrap().pick(1, 2, 3), 1);
     }

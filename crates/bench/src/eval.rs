@@ -57,7 +57,11 @@ pub fn reduce(
             max_ec,
             fixed_dim,
             seed,
-            beta: if no_escape { f64::MAX } else { MmdrParams::default().beta },
+            beta: if no_escape {
+                f64::MAX
+            } else {
+                MmdrParams::default().beta
+            },
             ..Default::default()
         })
         .fit(data)
@@ -75,7 +79,9 @@ pub fn reduce(
         })
         .fit(data)
         .expect("LDR fit"),
-        Method::Gdr => Gdr::new(fixed_dim.unwrap_or(20)).fit(data).expect("GDR fit"),
+        Method::Gdr => Gdr::new(fixed_dim.unwrap_or(20))
+            .fit(data)
+            .expect("GDR fit"),
     }
 }
 
@@ -83,12 +89,7 @@ pub fn reduce(
 /// `R_d` by linear scan in the original space, `R_dr` from the reduced
 /// representations (sequential scan — index choice does not affect the
 /// answer set, only its cost).
-pub fn mean_precision(
-    data: &Matrix,
-    model: &ReductionResult,
-    queries: &Matrix,
-    k: usize,
-) -> f64 {
+pub fn mean_precision(data: &Matrix, model: &ReductionResult, queries: &Matrix, k: usize) -> f64 {
     let scan = SeqScan::build(data, model, 4096).expect("seq scan build");
     let mut total = 0.0;
     for q in queries.iter_rows() {

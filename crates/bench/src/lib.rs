@@ -10,8 +10,10 @@
 pub mod cli;
 pub mod eval;
 pub mod report;
+pub mod snapshot_cache;
 pub mod workloads;
 
 pub use cli::Args;
 pub use eval::{mean_precision, reduce, Method};
 pub use report::Report;
+pub use snapshot_cache::build_or_open_backend;

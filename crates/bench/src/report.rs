@@ -23,13 +23,7 @@ pub struct Report {
 
 impl Report {
     /// Creates an empty report.
-    pub fn new(
-        figure: &str,
-        title: &str,
-        x_label: &str,
-        series: &[&str],
-        note: String,
-    ) -> Self {
+    pub fn new(figure: &str, title: &str, x_label: &str, series: &[&str], note: String) -> Self {
         Self {
             figure: figure.to_string(),
             title: title.to_string(),
@@ -80,9 +74,7 @@ impl Report {
                 Value::Array(
                     self.rows
                         .iter()
-                        .map(|(x, values)| {
-                            Value::Array(vec![(*x).into(), values.clone().into()])
-                        })
+                        .map(|(x, values)| Value::Array(vec![(*x).into(), values.clone().into()]))
                         .collect(),
                 ),
             ),

@@ -26,8 +26,12 @@ pub fn synthetic(
 
 /// The Corel-histogram stand-in (§6: 70 000 × 64-d color histograms).
 pub fn histogram(n: usize, seed: u64) -> Matrix {
-    generate_histograms(&HistogramConfig { n, seed, ..Default::default() })
-        .expect("valid default histogram config")
+    generate_histograms(&HistogramConfig {
+        n,
+        seed,
+        ..Default::default()
+    })
+    .expect("valid default histogram config")
 }
 
 #[cfg(test)]

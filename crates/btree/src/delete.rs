@@ -108,7 +108,8 @@ impl BPlusTree {
             let (parent, idx) = path[level];
             let n_children = self.pool.with_page(parent, |p| Internal::count(p) + 1)?;
             if n_children > 1 {
-                self.pool.with_page_mut(parent, |p| remove_child(p, idx))??;
+                self.pool
+                    .with_page_mut(parent, |p| remove_child(p, idx))??;
                 break;
             }
             // The parent's only child died; the parent dies with it —
@@ -121,8 +122,9 @@ impl BPlusTree {
             if self.pool.with_page(root, is_leaf)? {
                 break;
             }
-            let (keys, only_child) =
-                self.pool.with_page(root, |p| (Internal::count(p), Internal::child(p, 0)))?;
+            let (keys, only_child) = self
+                .pool
+                .with_page(root, |p| (Internal::count(p), Internal::child(p, 0)))?;
             if keys != 0 {
                 break;
             }
@@ -157,9 +159,9 @@ impl BPlusTree {
         if self.pool.with_page(node, is_leaf)? {
             return Ok(node == target);
         }
-        let (start, n) = self
-            .pool
-            .with_page(node, |p| (Internal::child_index(p, key), Internal::count(p)))?;
+        let (start, n) = self.pool.with_page(node, |p| {
+            (Internal::child_index(p, key), Internal::count(p))
+        })?;
         for idx in start..=n {
             let child = self.pool.with_page(node, |p| Internal::child(p, idx))?;
             path.push((node, idx));
@@ -177,7 +179,9 @@ impl BPlusTree {
     }
 
     fn unlink_from_chain(&mut self, leaf: PageId) -> Result<()> {
-        let (prev, next) = self.pool.with_page(leaf, |p| (Leaf::prev(p), Leaf::next(p)))?;
+        let (prev, next) = self
+            .pool
+            .with_page(leaf, |p| (Leaf::prev(p), Leaf::next(p)))?;
         if prev != NIL_PAGE {
             self.pool.with_page_mut(prev, |p| Leaf::set_next(p, next))?;
         }
@@ -196,7 +200,8 @@ fn remove_slot(p: &mut mmdr_storage::Page, slot: usize) -> Result<()> {
     const SIZE: usize = 16;
     let src = ENTRIES + (slot + 1) * SIZE;
     let dst = ENTRIES + slot * SIZE;
-    p.shift(src, dst, (n - 1 - slot) * SIZE).map_err(Error::Storage)?;
+    p.shift(src, dst, (n - 1 - slot) * SIZE)
+        .map_err(Error::Storage)?;
     p.put_u16(1, (n - 1) as u16).map_err(Error::Storage)?;
     Ok(())
 }
@@ -206,7 +211,9 @@ fn remove_slot(p: &mut mmdr_storage::Page, slot: usize) -> Result<()> {
 fn remove_child(p: &mut mmdr_storage::Page, idx: usize) -> Result<()> {
     let n = Internal::count(p); // keys; children = n + 1
     if n == 0 {
-        return Err(Error::Corrupt("removing the last child of an internal node"));
+        return Err(Error::Corrupt(
+            "removing the last child of an internal node",
+        ));
     }
     // Gather survivors, then rewrite the node. Internal nodes are small and
     // this path is rare (only on emptied leaves), so clarity wins.
@@ -260,7 +267,12 @@ mod tests {
         assert!(!t.delete(5.0, 5).unwrap(), "already gone");
         assert!(!t.delete(99.0, 0).unwrap(), "never existed");
         assert_eq!(t.len(), 9);
-        let keys: Vec<f64> = t.range(f64::MIN, f64::MAX).unwrap().iter().map(|&(k, _)| k).collect();
+        let keys: Vec<f64> = t
+            .range(f64::MIN, f64::MAX)
+            .unwrap()
+            .iter()
+            .map(|&(k, _)| k)
+            .collect();
         assert!(!keys.contains(&5.0));
         t.check_invariants().unwrap();
     }
@@ -343,7 +355,9 @@ mod tests {
         let mut rid = 0u64;
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..4_000 {
@@ -363,8 +377,12 @@ mod tests {
         t.check_invariants().unwrap();
         let mut want: Vec<f64> = model.iter().map(|&(k, _)| k as f64).collect();
         want.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let got: Vec<f64> =
-            t.range(f64::MIN, f64::MAX).unwrap().iter().map(|&(k, _)| k).collect();
+        let got: Vec<f64> = t
+            .range(f64::MIN, f64::MAX)
+            .unwrap()
+            .iter()
+            .map(|&(k, _)| k)
+            .collect();
         assert_eq!(got, want);
     }
 }

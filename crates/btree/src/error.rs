@@ -57,8 +57,12 @@ mod tests {
     #[test]
     fn displays() {
         assert!(Error::InvalidKey.to_string().contains("finite"));
-        assert!(Error::UnsortedInput { position: 3 }.to_string().contains('3'));
-        assert!(Error::Corrupt("bad fanout").to_string().contains("bad fanout"));
+        assert!(Error::UnsortedInput { position: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(Error::Corrupt("bad fanout")
+            .to_string()
+            .contains("bad fanout"));
         let e = Error::from(mmdr_storage::Error::ZeroCapacity);
         assert!(e.to_string().contains("storage"));
     }

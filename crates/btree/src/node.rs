@@ -61,7 +61,8 @@ pub fn count(page: &Page) -> usize {
 
 fn set_count(page: &mut Page, n: usize) {
     debug_assert!(n <= u16::MAX as usize);
-    page.put_u16(COUNT_OFFSET, n as u16).expect("header in page");
+    page.put_u16(COUNT_OFFSET, n as u16)
+        .expect("header in page");
 }
 
 /// Leaf-node accessors. All methods are static over a [`Page`]; offsets are
@@ -86,13 +87,15 @@ impl Leaf {
     /// Key of entry `i`.
     pub fn key(page: &Page, i: usize) -> f64 {
         debug_assert!(i < count(page));
-        page.get_f64(LEAF_ENTRIES_OFFSET + i * LEAF_ENTRY_SIZE).expect("entry in page")
+        page.get_f64(LEAF_ENTRIES_OFFSET + i * LEAF_ENTRY_SIZE)
+            .expect("entry in page")
     }
 
     /// Record id of entry `i`.
     pub fn rid(page: &Page, i: usize) -> u64 {
         debug_assert!(i < count(page));
-        page.get_u64(LEAF_ENTRIES_OFFSET + i * LEAF_ENTRY_SIZE + 8).expect("entry in page")
+        page.get_u64(LEAF_ENTRIES_OFFSET + i * LEAF_ENTRY_SIZE + 8)
+            .expect("entry in page")
     }
 
     /// Previous leaf in the chain.
@@ -159,8 +162,12 @@ impl Leaf {
         let mid = n / 2;
         let moved = n - mid;
         let src = LEAF_ENTRIES_OFFSET + mid * LEAF_ENTRY_SIZE;
-        let bytes = from.bytes(src, moved * LEAF_ENTRY_SIZE).expect("range in page").to_vec();
-        to.put_bytes(LEAF_ENTRIES_OFFSET, &bytes).expect("range in page");
+        let bytes = from
+            .bytes(src, moved * LEAF_ENTRY_SIZE)
+            .expect("range in page")
+            .to_vec();
+        to.put_bytes(LEAF_ENTRIES_OFFSET, &bytes)
+            .expect("range in page");
         set_count(to, moved);
         set_count(from, mid);
         Self::key(to, 0)
@@ -175,7 +182,8 @@ impl Internal {
     pub fn init(page: &mut Page, first_child: PageId) {
         page.put_u8(TYPE_OFFSET, NODE_INTERNAL).expect("header");
         set_count(page, 0);
-        page.put_u64(INTERNAL_CHILD0_OFFSET, first_child).expect("header");
+        page.put_u64(INTERNAL_CHILD0_OFFSET, first_child)
+            .expect("header");
     }
 
     /// Key count (children = count + 1).
@@ -186,7 +194,8 @@ impl Internal {
     /// Separator key `i`.
     pub fn key(page: &Page, i: usize) -> f64 {
         debug_assert!(i < count(page));
-        page.get_f64(INTERNAL_PAIRS_OFFSET + i * INTERNAL_PAIR_SIZE).expect("pair in page")
+        page.get_f64(INTERNAL_PAIRS_OFFSET + i * INTERNAL_PAIR_SIZE)
+            .expect("pair in page")
     }
 
     /// Child pointer `i` (`0 ..= count`).
@@ -226,7 +235,11 @@ impl Internal {
         }
         debug_assert!(slot <= n);
         let src = INTERNAL_PAIRS_OFFSET + slot * INTERNAL_PAIR_SIZE;
-        page.shift(src, src + INTERNAL_PAIR_SIZE, (n - slot) * INTERNAL_PAIR_SIZE)?;
+        page.shift(
+            src,
+            src + INTERNAL_PAIR_SIZE,
+            (n - slot) * INTERNAL_PAIR_SIZE,
+        )?;
         page.put_f64(src, key)?;
         page.put_u64(src + 8, right_child)?;
         set_count(page, n + 1);
@@ -325,10 +338,7 @@ mod tests {
         for i in 0..LEAF_CAPACITY {
             Leaf::push(&mut p, i as f64, i as u64).unwrap();
         }
-        assert!(matches!(
-            Leaf::push(&mut p, 0.0, 0),
-            Err(Error::Corrupt(_))
-        ));
+        assert!(matches!(Leaf::push(&mut p, 0.0, 0), Err(Error::Corrupt(_))));
     }
 
     #[test]

@@ -22,7 +22,45 @@ impl BPlusTree {
     pub fn new(pool: BufferPool) -> Result<Self> {
         let root = pool.allocate()?;
         pool.with_page_mut(root, Leaf::init)?;
-        Ok(Self { pool, root, height: 1, len: 0 })
+        Ok(Self {
+            pool,
+            root,
+            height: 1,
+            len: 0,
+        })
+    }
+
+    /// Reattaches a tree to pages restored from a snapshot. `root`,
+    /// `height` and `len` must be the values the saved tree reported
+    /// ([`root_page_id`](Self::root_page_id), [`height`](Self::height),
+    /// [`len`](Self::len)); the pool must hold that tree's page images.
+    /// Structural validation is limited to cheap invariants — the page
+    /// *contents* are protected by the snapshot layer's checksums.
+    pub fn from_parts(pool: BufferPool, root: PageId, height: usize, len: usize) -> Result<Self> {
+        if root as usize >= pool.num_pages() {
+            return Err(Error::Storage(mmdr_storage::Error::PageNotFound {
+                page_id: root,
+            }));
+        }
+        if height == 0 {
+            return Err(Error::Corrupt("tree height must be at least 1"));
+        }
+        let root_is_leaf = pool.with_page(root, is_leaf)?;
+        if root_is_leaf != (height == 1) {
+            return Err(Error::Corrupt("root node kind disagrees with height"));
+        }
+        Ok(Self {
+            pool,
+            root,
+            height,
+            len,
+        })
+    }
+
+    /// The root's page id (persisted alongside the page images so
+    /// [`from_parts`](Self::from_parts) can reattach).
+    pub fn root_page_id(&self) -> PageId {
+        self.root
     }
 
     /// Number of entries.
@@ -136,12 +174,15 @@ impl BPlusTree {
             self.pool.with_page_mut(node, |p| *p = moved)?;
             self.pool.with_page_mut(right, |p| *p = right_page)?;
             if old_next != NIL_PAGE {
-                self.pool.with_page_mut(old_next, |p| Leaf::set_prev(p, right))?;
+                self.pool
+                    .with_page_mut(old_next, |p| Leaf::set_prev(p, right))?;
             }
             return Ok(Some((sep, right)));
         }
 
-        let idx = self.pool.with_page(node, |p| Internal::child_index(p, key))?;
+        let idx = self
+            .pool
+            .with_page(node, |p| Internal::child_index(p, key))?;
         let child = self.pool.with_page(node, |p| Internal::child(p, idx))?;
         let Some((sep, new_right)) = self.insert_rec(child, key, rid)? else {
             return Ok(None);
@@ -200,9 +241,13 @@ impl BPlusTree {
             if leaf == NIL_PAGE {
                 return Ok(None);
             }
-            let (n, next) = self.pool.with_page(leaf, |p| (Leaf::count(p), Leaf::next(p)))?;
+            let (n, next) = self
+                .pool
+                .with_page(leaf, |p| (Leaf::count(p), Leaf::next(p)))?;
             if slot < n {
-                let entry = self.pool.with_page(leaf, |p| (Leaf::key(p, slot), Leaf::rid(p, slot)))?;
+                let entry = self
+                    .pool
+                    .with_page(leaf, |p| (Leaf::key(p, slot), Leaf::rid(p, slot)))?;
                 cursor.set(leaf, slot + 1);
                 return Ok(Some(entry));
             }
@@ -421,6 +466,49 @@ mod tests {
         let mut c = t.seek(2500.0).unwrap();
         let _ = t.cursor_next(&mut c).unwrap();
         assert!(stats.reads() > 0, "cold traversal must cost reads");
+    }
+
+    #[test]
+    fn from_parts_reattaches_exported_pages() {
+        let mut t = tree(16);
+        for i in 0..2000u64 {
+            t.insert(i as f64 * 0.25, i).unwrap();
+        }
+        let images = t.pool().export_pages().unwrap();
+        let (root, height, len) = (t.root_page_id(), t.height(), t.len());
+        let pool = BufferPool::new(
+            mmdr_storage::DiskManager::from_pages(images, mmdr_storage::IoStats::new()),
+            16,
+        )
+        .unwrap();
+        let back = BPlusTree::from_parts(pool, root, height, len).unwrap();
+        assert_eq!(back.len(), 2000);
+        assert_eq!(back.height(), height);
+        let mut c = back.seek(100.0).unwrap();
+        assert_eq!(back.cursor_next(&mut c).unwrap(), Some((100.0, 400)));
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_metadata() {
+        let mut t = tree(16);
+        for i in 0..2000u64 {
+            t.insert(i as f64, i).unwrap();
+        }
+        let (root, height, len) = (t.root_page_id(), t.height(), t.len());
+        assert!(height > 1, "need a multi-level tree");
+        let images = t.pool().export_pages().unwrap();
+        let reopen = |root, height| {
+            let pool = BufferPool::new(
+                mmdr_storage::DiskManager::from_pages(images.clone(), mmdr_storage::IoStats::new()),
+                16,
+            )
+            .unwrap();
+            BPlusTree::from_parts(pool, root, height, len)
+        };
+        assert!(reopen(root, height).is_ok());
+        assert!(reopen(10_000, height).is_err(), "root out of range");
+        assert!(reopen(root, 0).is_err(), "zero height");
+        assert!(reopen(root, 1).is_err(), "internal root claimed as leaf");
     }
 
     #[test]

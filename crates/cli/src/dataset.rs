@@ -16,7 +16,10 @@ pub struct DatasetFile {
 impl DatasetFile {
     /// Wraps a matrix.
     pub fn from_matrix(m: &Matrix) -> Self {
-        Self { dim: m.cols(), rows: m.iter_rows().map(|r| r.to_vec()).collect() }
+        Self {
+            dim: m.cols(),
+            rows: m.iter_rows().map(|r| r.to_vec()).collect(),
+        }
     }
 
     /// Converts to a matrix, validating row widths.
@@ -120,9 +123,15 @@ mod tests {
 
     #[test]
     fn validates() {
-        let bad = DatasetFile { dim: 3, rows: vec![vec![1.0, 2.0]] };
+        let bad = DatasetFile {
+            dim: 3,
+            rows: vec![vec![1.0, 2.0]],
+        };
         assert!(bad.into_matrix().is_err());
-        let empty = DatasetFile { dim: 2, rows: vec![] };
+        let empty = DatasetFile {
+            dim: 2,
+            rows: vec![],
+        };
         assert!(empty.into_matrix().is_err());
     }
 

@@ -1,15 +1,20 @@
 //! `mmdr` — command-line interface to the MMDR pipeline.
 //!
 //! ```text
-//! mmdr generate --out data.json --n 5000 --dim 32 --clusters 5 [--histogram]
-//! mmdr reduce   --data data.json --out model.json [--method mmdr|ldr|gdr] [--dim D] [--threads N]
-//! mmdr info     --model model.json
-//! mmdr query    --data data.json --model model.json --row 17,42 [--k 10] [--radius R] [--threads N] [--backend B]
+//! mmdr generate    --out data.json --n 5000 --dim 32 --clusters 5 [--histogram]
+//! mmdr reduce      --data data.json --out model.json [--method mmdr|ldr|gdr] [--dim D] [--threads N]
+//! mmdr info        --model model.json
+//! mmdr build-index --data data.json --model model.json --out index.mmdr [--backend B]
+//! mmdr query       --data data.json --model model.json --row 17,42 [--k 10] [--radius R] [--threads N] [--backend B]
+//! mmdr query       --index-file index.mmdr --point "0.1,0.2,…" [--k 10]
 //! ```
 //!
 //! Datasets and models are JSON files (`DatasetFile` /
 //! `ReductionResult::to_json`), so the pipeline's stages can be scripted,
-//! inspected and diffed.
+//! inspected and diffed. Built indexes persist as binary snapshots
+//! (`mmdr-persist`): `build-index` writes one, and `query --index-file`
+//! reopens it without rebuilding — with answers bit-identical to a fresh
+//! build.
 
 mod dataset;
 
@@ -19,7 +24,6 @@ use mmdr_datagen::{generate_correlated, generate_histograms, CorrelatedConfig, H
 use mmdr_idistance::{build_backend, Backend};
 use std::collections::HashMap;
 use std::process::ExitCode;
-
 
 /// `println!` that exits quietly when stdout closes (`mmdr … | head`),
 /// instead of panicking on the broken pipe.
@@ -43,6 +47,7 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(rest),
         "reduce" => cmd_reduce(rest),
         "info" => cmd_info(rest),
+        "build-index" => cmd_build_index(rest),
         "query" => cmd_query(rest),
         "help" | "--help" | "-h" => {
             outln!("{USAGE}");
@@ -66,12 +71,19 @@ USAGE:
   mmdr convert  (--csv FILE --out FILE | --data FILE --out-csv FILE)
   mmdr reduce   --data FILE --out FILE [--method mmdr|ldr|gdr] [--dim D] [--clusters K] [--beta B] [--seed S] [--threads N]
   mmdr info     --model FILE
+  mmdr build-index --data FILE --model FILE --out FILE [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N]
   mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--backend seqscan|idistance|hybrid|gldr]
+  mmdr query    --index-file FILE (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--threads N]
 
 Results are independent of --threads: clustering, PCA and batch queries use
 fixed-size work chunks merged in a fixed order, so any thread count produces
 bit-identical output. Every --backend answers with the same
-reduced-representation distances; they differ only in I/O and CPU cost.";
+reduced-representation distances; they differ only in I/O and CPU cost.
+
+build-index saves a checksummed binary snapshot of a built index; query
+--index-file reopens it without rebuilding (the snapshot pins the backend
+and model, so --model/--backend cannot be combined with it) and returns
+bit-identical answers to a fresh build.";
 
 /// Parses `--flag value` pairs into a map, rejecting unknown flags.
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
@@ -82,9 +94,14 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Stri
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
         if !allowed.contains(&name) {
-            return Err(format!("unknown flag --{name} (allowed: {})", allowed.join(", ")));
+            return Err(format!(
+                "unknown flag --{name} (allowed: {})",
+                allowed.join(", ")
+            ));
         }
-        let value = it.next().ok_or_else(|| format!("--{name} requires a value"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
         out.insert(name.to_string(), value.clone());
     }
     Ok(out)
@@ -96,19 +113,33 @@ fn get_parse<T: std::str::FromStr>(
     default: T,
 ) -> Result<T, String> {
     match flags.get(name) {
-        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse `{v}`")),
         None => Ok(default),
     }
 }
 
 fn require<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
-    flags.get(name).map(|s| s.as_str()).ok_or_else(|| format!("--{name} is required"))
+    flags
+        .get(name)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("--{name} is required"))
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
-        &["out", "n", "dim", "clusters", "ratio", "seed", "histogram", "s-dim"],
+        &[
+            "out",
+            "n",
+            "dim",
+            "clusters",
+            "ratio",
+            "seed",
+            "histogram",
+            "s-dim",
+        ],
     )?;
     let out = require(&flags, "out")?;
     let n = get_parse(&flags, "n", 5_000usize)?;
@@ -120,18 +151,28 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("--histogram: expected true/false, got `{other}`")),
     };
     let data = if histogram {
-        generate_histograms(&HistogramConfig { n, seed, ..Default::default() })
-            .ok_or("invalid histogram configuration")?
+        generate_histograms(&HistogramConfig {
+            n,
+            seed,
+            ..Default::default()
+        })
+        .ok_or("invalid histogram configuration")?
     } else {
         let dim = get_parse(&flags, "dim", 32usize)?;
         let clusters = get_parse(&flags, "clusters", 5usize)?;
         let ratio = get_parse(&flags, "ratio", 30.0f64)?;
         let s_dim = get_parse(&flags, "s-dim", 6usize)?;
-        generate_correlated(&CorrelatedConfig::paper_style(n, dim, clusters, s_dim, ratio, seed))
-            .data
+        generate_correlated(&CorrelatedConfig::paper_style(
+            n, dim, clusters, s_dim, ratio, seed,
+        ))
+        .data
     };
     DatasetFile::save(out, &data)?;
-    outln!("wrote {} points × {} dims to {out}", data.rows(), data.cols());
+    outln!(
+        "wrote {} points × {} dims to {out}",
+        data.rows(),
+        data.cols()
+    );
     Ok(())
 }
 
@@ -161,7 +202,9 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
 fn cmd_reduce(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
-        &["data", "out", "method", "dim", "clusters", "beta", "seed", "threads"],
+        &[
+            "data", "out", "method", "dim", "clusters", "beta", "seed", "threads",
+        ],
     )?;
     let data = DatasetFile::load(require(&flags, "data")?)?;
     let out = require(&flags, "out")?;
@@ -197,7 +240,9 @@ fn cmd_reduce(args: &[String]) -> Result<(), String> {
         })
         .fit(&data)
         .map_err(|e| e.to_string())?,
-        "gdr" => Gdr::new(fixed_dim.unwrap_or(20)).fit(&data).map_err(|e| e.to_string())?,
+        "gdr" => Gdr::new(fixed_dim.unwrap_or(20))
+            .fit(&data)
+            .map_err(|e| e.to_string())?,
         other => return Err(format!("unknown method `{other}` (mmdr|ldr|gdr)")),
     };
     std::fs::write(out, model.to_json()).map_err(|e| format!("{out}: {e}"))?;
@@ -228,7 +273,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         model.outliers.len(),
         100.0 * model.outlier_fraction()
     );
-    outln!("mean retained dimensionality: {:.2}", model.mean_retained_dim());
+    outln!(
+        "mean retained dimensionality: {:.2}",
+        model.mean_retained_dim()
+    );
     for (i, c) in model.clusters.iter().enumerate() {
         outln!(
             "  cluster {i:>3}: {:>7} points  d_r={:>3}  MPE={:.4}  radii[{:.3}, {:.3}]  e={:.1}",
@@ -243,19 +291,70 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
-    let flags =
-        parse_flags(args, &["data", "model", "row", "point", "k", "radius", "threads", "backend"])?;
+fn cmd_build_index(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["data", "model", "out", "backend", "buffer-pages"])?;
     let data = DatasetFile::load(require(&flags, "data")?)?;
     let model = load_model(require(&flags, "model")?)?;
+    let out = require(&flags, "out")?;
+    let backend: Backend = match flags.get("backend") {
+        Some(s) => s.parse()?,
+        None => Backend::IDistance,
+    };
+    let buffer_pages = get_parse(&flags, "buffer-pages", 256usize)?;
+    let start = std::time::Instant::now();
+    let index = mmdr_persist::build_index(backend, &data, &model, buffer_pages)
+        .map_err(|e| e.to_string())?;
+    let build_secs = start.elapsed().as_secs_f64();
+    mmdr_persist::save(out, &index, &model).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    outln!(
+        "built {} over {} points in {build_secs:.2}s; snapshot {bytes} bytes → {out}",
+        backend.name(),
+        index.as_dyn().len()
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "data",
+            "model",
+            "row",
+            "point",
+            "k",
+            "radius",
+            "threads",
+            "backend",
+            "index-file",
+        ],
+    )?;
+    let index_file = flags.get("index-file");
+    if index_file.is_some() && (flags.contains_key("model") || flags.contains_key("backend")) {
+        return Err(
+            "--index-file already pins the model and backend; drop --model/--backend".into(),
+        );
+    }
+    // The dataset is only needed to build an index or resolve --row queries.
+    let data = match flags.get("data") {
+        Some(path) => Some(DatasetFile::load(path)?),
+        None => None,
+    };
     // --row accepts a comma-separated list; multiple rows form a batch that
     // --threads fans across workers (answers are identical at any count).
     let queries: Vec<Vec<f64>> = if let Some(rows) = flags.get("row") {
+        let data = data
+            .as_ref()
+            .ok_or("--row needs --data to resolve row indexes")?;
         rows.split(',')
             .map(|s| {
                 let idx: usize = s.trim().parse().map_err(|_| "--row: not a number")?;
                 if idx >= data.rows() {
-                    return Err(format!("--row {idx} out of range (dataset has {})", data.rows()));
+                    return Err(format!(
+                        "--row {idx} out of range (dataset has {})",
+                        data.rows()
+                    ));
                 }
                 Ok(data.row(idx).to_vec())
             })
@@ -263,25 +362,46 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     } else if let Some(point) = flags.get("point") {
         vec![point
             .split(',')
-            .map(|s| s.trim().parse::<f64>().map_err(|_| format!("bad coordinate `{s}`")))
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad coordinate `{s}`"))
+            })
             .collect::<Result<_, _>>()?]
     } else {
         return Err("either --row or --point is required".into());
     };
     let par = ParConfig::threads(get_parse(&flags, "threads", 1usize)?);
-    let backend: Backend = match flags.get("backend") {
-        Some(s) => s.parse()?,
-        None => Backend::IDistance,
-    };
 
-    let index = build_backend(backend, &data, &model, 256).map_err(|e| e.to_string())?;
+    let index = match index_file {
+        Some(path) => {
+            // Reopen the snapshot: no rebuild, answers bit-identical to one.
+            mmdr_persist::open(path)
+                .map_err(|e| e.to_string())?
+                .index
+                .into_boxed()
+        }
+        None => {
+            let data = data
+                .as_ref()
+                .ok_or("--data is required unless --index-file is given")?;
+            let model = load_model(require(&flags, "model")?)?;
+            let backend: Backend = match flags.get("backend") {
+                Some(s) => s.parse()?,
+                None => Backend::IDistance,
+            };
+            build_backend(backend, data, &model, 256).map_err(|e| e.to_string())?
+        }
+    };
     index.reset_stats(); // count query work only, not construction I/O
     if let Some(radius) = flags.get("radius") {
         if queries.len() != 1 {
             return Err("--radius works with a single query".into());
         }
         let radius: f64 = radius.parse().map_err(|_| "--radius: not a number")?;
-        let hits = index.range_search(&queries[0], radius).map_err(|e| e.to_string())?;
+        let hits = index
+            .range_search(&queries[0], radius)
+            .map_err(|e| e.to_string())?;
         outln!("{} points within radius {radius}:", hits.len());
         for (dist, id) in hits.iter().take(50) {
             outln!("  #{id:<8} dist {dist:.6}");
@@ -291,7 +411,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
     } else {
         let k = get_parse(&flags, "k", 10usize)?;
-        let results = index.batch_knn(&queries, k, &par).map_err(|e| e.to_string())?;
+        let results = index
+            .batch_knn(&queries, k, &par)
+            .map_err(|e| e.to_string())?;
         for (qi, hits) in results.iter().enumerate() {
             if results.len() > 1 {
                 outln!("query {qi}: {k}-NN:");

@@ -100,7 +100,10 @@ struct ClusterState {
 impl ClusterState {
     fn norm_maha_dist(&self, point: &[f64], d_ln_2pi: f64) -> f64 {
         let diff = mmdr_linalg::sub(point, &self.centroid);
-        let q = self.chol.quadratic_form(&diff).expect("dims checked at fit entry");
+        let q = self
+            .chol
+            .quadratic_form(&diff)
+            .expect("dims checked at fit entry");
         0.5 * (d_ln_2pi + self.log_det + q)
     }
 }
@@ -129,7 +132,10 @@ impl EllipticalKMeans {
     /// where each "point" is a sub-ellipsoid centroid carrying its size).
     pub fn fit_weighted(&self, data: &Matrix, weights: &[f64]) -> Result<EllipticalResult> {
         if weights.len() != data.rows() {
-            return Err(Error::WeightMismatch { points: data.rows(), weights: weights.len() });
+            return Err(Error::WeightMismatch {
+                points: data.rows(),
+                weights: weights.len(),
+            });
         }
         if weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
             return Err(Error::InvalidConfig("weights must be positive and finite"));
@@ -172,7 +178,11 @@ impl EllipticalKMeans {
                 .map(|(c, cov)| {
                     let chol = Cholesky::new_regularized(cov, COVARIANCE_RIDGE)?;
                     let log_det = chol.log_determinant();
-                    Ok(ClusterState { centroid: c.clone(), chol, log_det })
+                    Ok(ClusterState {
+                        centroid: c.clone(),
+                        chol,
+                        log_det,
+                    })
                 })
                 .collect::<Result<_>>()?;
 
@@ -243,7 +253,14 @@ impl EllipticalKMeans {
             }
 
             // Outer step: re-estimate covariances from current membership.
-            update_centroids(data, weights, &assignments, &mut centroids, &mut rng, &self.config.par);
+            update_centroids(
+                data,
+                weights,
+                &assignments,
+                &mut centroids,
+                &mut rng,
+                &self.config.par,
+            );
             update_covariances(
                 data,
                 weights,
@@ -308,8 +325,13 @@ fn assign_point(
     let use_lookup = lookup_k.is_some() && !full_pass && !cur_lookup.is_empty();
     let mut new_lookup = None;
     let best = if use_lookup {
-        let (b, _) =
-            best_among(states, point, d_ln_2pi, cur_lookup.iter().copied(), dist_computations);
+        let (b, _) = best_among(
+            states,
+            point,
+            d_ln_2pi,
+            cur_lookup.iter().copied(),
+            dist_computations,
+        );
         b
     } else {
         let (b, order) = best_with_order(states, point, d_ln_2pi, lookup_k, dist_computations);
@@ -325,7 +347,12 @@ fn assign_point(
                 best_with_order(states, point, d_ln_2pi, lookup_k, dist_computations);
             new_lookup = order;
             if cur_assign != b_full {
-                PointOutcome { assign: b_full, activity: 0, lookup: new_lookup, changed: true }
+                PointOutcome {
+                    assign: b_full,
+                    activity: 0,
+                    lookup: new_lookup,
+                    changed: true,
+                }
             } else {
                 PointOutcome {
                     assign: cur_assign,
@@ -335,7 +362,12 @@ fn assign_point(
                 }
             }
         } else {
-            PointOutcome { assign: best, activity: 0, lookup: new_lookup, changed: true }
+            PointOutcome {
+                assign: best,
+                activity: 0,
+                lookup: new_lookup,
+                changed: true,
+            }
         }
     } else {
         PointOutcome {
@@ -585,7 +617,10 @@ fn materialize(
     }
     let assignments = assignments.iter().map(|&a| remap[a]).collect();
     let _ = data;
-    Clustering { assignments, clusters }
+    Clustering {
+        assignments,
+        clusters,
+    }
 }
 
 #[cfg(test)]
@@ -616,7 +651,11 @@ mod tests {
 
     fn accuracy(assignments: &[usize], truth: &[usize]) -> f64 {
         // Best of the two label permutations.
-        let same: usize = assignments.iter().zip(truth).filter(|(a, t)| a == t).count();
+        let same: usize = assignments
+            .iter()
+            .zip(truth)
+            .filter(|(a, t)| a == t)
+            .count();
         let flipped = assignments.len() - same;
         same.max(flipped) as f64 / assignments.len() as f64
     }
@@ -644,13 +683,21 @@ mod tests {
         let (data, truth) = crossed_ellipses(120);
         let euclid = crate::kmeans(
             &data,
-            &crate::KMeansConfig { k: 2, seed: 3, ..Default::default() },
+            &crate::KMeansConfig {
+                k: 2,
+                seed: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let maha = EllipticalKMeans::new(EllipticalConfig { k: 2, seed: 3, ..Default::default() })
-            .unwrap()
-            .fit(&data)
-            .unwrap();
+        let maha = EllipticalKMeans::new(EllipticalConfig {
+            k: 2,
+            seed: 3,
+            ..Default::default()
+        })
+        .unwrap()
+        .fit(&data)
+        .unwrap();
         let acc_e = accuracy(&euclid.clustering.assignments, &truth);
         let acc_m = accuracy(&maha.clustering.assignments, &truth);
         assert!(acc_m > acc_e + 0.05, "maha {acc_m} vs euclid {acc_e}");
@@ -659,9 +706,12 @@ mod tests {
     #[test]
     fn covariances_reflect_elongation() {
         let (data, _) = crossed_ellipses(120);
-        let engine =
-            EllipticalKMeans::new(EllipticalConfig { k: 2, seed: 3, ..Default::default() })
-                .unwrap();
+        let engine = EllipticalKMeans::new(EllipticalConfig {
+            k: 2,
+            seed: 3,
+            ..Default::default()
+        })
+        .unwrap();
         let r = engine.fit(&data).unwrap();
         for c in &r.clustering.clusters {
             let eig = mmdr_linalg::SymmetricEigen::new(&c.covariance).unwrap();
@@ -709,9 +759,12 @@ mod tests {
     #[test]
     fn weighted_fit_biases_centroid() {
         let data = Matrix::from_rows(&[vec![0.0], vec![10.0], vec![0.5], vec![9.5]]).unwrap();
-        let engine =
-            EllipticalKMeans::new(EllipticalConfig { k: 2, seed: 0, ..Default::default() })
-                .unwrap();
+        let engine = EllipticalKMeans::new(EllipticalConfig {
+            k: 2,
+            seed: 0,
+            ..Default::default()
+        })
+        .unwrap();
         // Heavy weight on point 0 pulls its cluster's centroid toward 0.
         let r = engine.fit_weighted(&data, &[100.0, 1.0, 1.0, 1.0]).unwrap();
         assert!(r.clustering.is_consistent());
@@ -734,7 +787,11 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(EllipticalKMeans::new(EllipticalConfig { k: 0, ..Default::default() }).is_err());
+        assert!(EllipticalKMeans::new(EllipticalConfig {
+            k: 0,
+            ..Default::default()
+        })
+        .is_err());
         assert!(EllipticalKMeans::new(EllipticalConfig {
             lookup_k: Some(0),
             ..Default::default()
@@ -755,14 +812,20 @@ mod tests {
     #[test]
     fn empty_dataset_rejected() {
         let engine = EllipticalKMeans::new(EllipticalConfig::default()).unwrap();
-        assert_eq!(engine.fit(&Matrix::zeros(0, 2)).err(), Some(Error::EmptyDataset));
+        assert_eq!(
+            engine.fit(&Matrix::zeros(0, 2)).err(),
+            Some(Error::EmptyDataset)
+        );
     }
 
     #[test]
     fn fewer_points_than_clusters_degrades_gracefully() {
         let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0]]).unwrap();
-        let engine =
-            EllipticalKMeans::new(EllipticalConfig { k: 10, ..Default::default() }).unwrap();
+        let engine = EllipticalKMeans::new(EllipticalConfig {
+            k: 10,
+            ..Default::default()
+        })
+        .unwrap();
         let r = engine.fit(&data).unwrap();
         assert!(r.clustering.clusters.len() <= 2);
         assert!(r.clustering.is_consistent());
@@ -771,8 +834,15 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let (data, _) = crossed_ellipses(60);
-        let cfg = EllipticalConfig { k: 3, seed: 11, ..Default::default() };
-        let a = EllipticalKMeans::new(cfg.clone()).unwrap().fit(&data).unwrap();
+        let cfg = EllipticalConfig {
+            k: 3,
+            seed: 11,
+            ..Default::default()
+        };
+        let a = EllipticalKMeans::new(cfg.clone())
+            .unwrap()
+            .fit(&data)
+            .unwrap();
         let b = EllipticalKMeans::new(cfg).unwrap().fit(&data).unwrap();
         assert_eq!(a.clustering.assignments, b.clustering.assignments);
         assert_eq!(a.distance_computations, b.distance_computations);
@@ -806,10 +876,13 @@ mod tests {
     #[test]
     fn converges_and_reports_iterations() {
         let (data, _) = crossed_ellipses(60);
-        let r = EllipticalKMeans::new(EllipticalConfig { k: 2, ..Default::default() })
-            .unwrap()
-            .fit(&data)
-            .unwrap();
+        let r = EllipticalKMeans::new(EllipticalConfig {
+            k: 2,
+            ..Default::default()
+        })
+        .unwrap()
+        .fit(&data)
+        .unwrap();
         assert!(r.converged);
         assert!(r.outer_iterations >= 1);
         assert!(r.inner_iterations >= r.outer_iterations);
@@ -827,10 +900,14 @@ mod tests {
             rows.push(vec![50.0 * t, ((i * 7919) % 100) as f64 / 100.0 - 0.5]);
         }
         let data = Matrix::from_rows(&rows).unwrap();
-        let r = EllipticalKMeans::new(EllipticalConfig { k: 2, seed: 5, ..Default::default() })
-            .unwrap()
-            .fit(&data)
-            .unwrap();
+        let r = EllipticalKMeans::new(EllipticalConfig {
+            k: 2,
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap()
+        .fit(&data)
+        .unwrap();
         let biggest = r
             .clustering
             .clusters

@@ -68,11 +68,23 @@ mod tests {
     #[test]
     fn displays() {
         assert!(Error::EmptyDataset.to_string().contains("empty"));
-        assert!(Error::InvalidClusterCount { requested: 5, points: 2 }
+        assert!(Error::InvalidClusterCount {
+            requested: 5,
+            points: 2
+        }
+        .to_string()
+        .contains("5"));
+        assert!(Error::WeightMismatch {
+            points: 3,
+            weights: 2
+        }
+        .to_string()
+        .contains("2"));
+        assert!(Error::InvalidConfig("k_lookup must be > 0")
             .to_string()
-            .contains("5"));
-        assert!(Error::WeightMismatch { points: 3, weights: 2 }.to_string().contains("2"));
-        assert!(Error::InvalidConfig("k_lookup must be > 0").to_string().contains("k_lookup"));
-        assert!(Error::from(mmdr_linalg::Error::Singular).to_string().contains("singular"));
+            .contains("k_lookup"));
+        assert!(Error::from(mmdr_linalg::Error::Singular)
+            .to_string()
+            .contains("singular"));
     }
 }

@@ -31,7 +31,13 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        Self { k: 8, max_iters: 100, seed: 0, estimate_covariance: false, par: ParConfig::serial() }
+        Self {
+            k: 8,
+            max_iters: 100,
+            seed: 0,
+            estimate_covariance: false,
+            par: ParConfig::serial(),
+        }
     }
 }
 
@@ -54,7 +60,10 @@ pub fn kmeans(data: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
         return Err(Error::EmptyDataset);
     }
     if config.k == 0 || config.k > n {
-        return Err(Error::InvalidClusterCount { requested: config.k, points: n });
+        return Err(Error::InvalidClusterCount {
+            requested: config.k,
+            points: n,
+        });
     }
     let k = config.k;
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -158,7 +167,10 @@ pub fn kmeans(data: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
         });
     }
     Ok(KMeansResult {
-        clustering: Clustering { assignments, clusters },
+        clustering: Clustering {
+            assignments,
+            clusters,
+        },
         iterations,
         converged,
     })
@@ -232,7 +244,14 @@ mod tests {
     #[test]
     fn separates_two_blobs() {
         let data = two_blobs();
-        let r = kmeans(&data, &KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        let r = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(r.converged);
         assert!(r.clustering.is_consistent());
         // Points alternate blob membership by construction; all even indices
@@ -247,7 +266,14 @@ mod tests {
     #[test]
     fn k_equals_n_gives_singletons() {
         let data = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![9.0]]).unwrap();
-        let r = kmeans(&data, &KMeansConfig { k: 3, ..Default::default() }).unwrap();
+        let r = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for c in &r.clustering.clusters {
             assert_eq!(c.len(), 1);
         }
@@ -257,11 +283,23 @@ mod tests {
     fn rejects_bad_inputs() {
         let data = Matrix::from_rows(&[vec![0.0]]).unwrap();
         assert!(matches!(
-            kmeans(&data, &KMeansConfig { k: 2, ..Default::default() }),
+            kmeans(
+                &data,
+                &KMeansConfig {
+                    k: 2,
+                    ..Default::default()
+                }
+            ),
             Err(Error::InvalidClusterCount { .. })
         ));
         assert!(matches!(
-            kmeans(&data, &KMeansConfig { k: 0, ..Default::default() }),
+            kmeans(
+                &data,
+                &KMeansConfig {
+                    k: 0,
+                    ..Default::default()
+                }
+            ),
             Err(Error::InvalidClusterCount { .. })
         ));
         assert!(matches!(
@@ -273,7 +311,11 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let data = two_blobs();
-        let cfg = KMeansConfig { k: 2, seed: 7, ..Default::default() };
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 7,
+            ..Default::default()
+        };
         let a = kmeans(&data, &cfg).unwrap();
         let b = kmeans(&data, &cfg).unwrap();
         assert_eq!(a.clustering.assignments, b.clustering.assignments);
@@ -283,7 +325,12 @@ mod tests {
     fn bit_identical_across_thread_counts() {
         let data = two_blobs();
         let run = |threads| {
-            let cfg = KMeansConfig { k: 2, seed: 7, par: ParConfig::threads(threads), ..Default::default() };
+            let cfg = KMeansConfig {
+                k: 2,
+                seed: 7,
+                par: ParConfig::threads(threads),
+                ..Default::default()
+            };
             kmeans(&data, &cfg).unwrap()
         };
         let base = run(1);
@@ -302,7 +349,11 @@ mod tests {
         let data = two_blobs();
         let r = kmeans(
             &data,
-            &KMeansConfig { k: 2, estimate_covariance: true, ..Default::default() },
+            &KMeansConfig {
+                k: 2,
+                estimate_covariance: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         for c in &r.clustering.clusters {
@@ -310,14 +361,28 @@ mod tests {
             // Jittered blobs have nonzero spread.
             assert!(c.covariance.trace().unwrap() > 0.0);
         }
-        let r2 = kmeans(&data, &KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        let r2 = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(r2.clustering.clusters[0].covariance, Matrix::zeros(2, 2));
     }
 
     #[test]
     fn duplicate_points_do_not_crash() {
         let data = Matrix::from_rows(&vec![vec![1.0, 1.0]; 6]).unwrap();
-        let r = kmeans(&data, &KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        let r = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(r.clustering.assignments.len(), 6);
         assert!(r.clustering.is_consistent());
     }
@@ -325,7 +390,14 @@ mod tests {
     #[test]
     fn centroids_minimize_within_cluster_distance() {
         let data = two_blobs();
-        let r = kmeans(&data, &KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        let r = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for c in &r.clustering.clusters {
             // Centroid is the mean of members.
             let mut mean = vec![0.0; 2];

@@ -27,7 +27,11 @@ pub struct StreamConfig {
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        Self { epsilon: 0.005, elliptical: EllipticalConfig::default(), per_stream_k: None }
+        Self {
+            epsilon: 0.005,
+            elliptical: EllipticalConfig::default(),
+            per_stream_k: None,
+        }
     }
 }
 
@@ -111,7 +115,9 @@ pub fn stream_cluster(data: &Matrix, config: &StreamConfig) -> Result<StreamResu
         let result = engine.fit(&stream)?;
         distance_computations += result.distance_computations;
         for cluster in &result.clustering.clusters {
-            array_points.push_row(&cluster.centroid).map_err(Error::Linalg)?;
+            array_points
+                .push_row(&cluster.centroid)
+                .map_err(Error::Linalg)?;
             array_weights.push(cluster.weight);
         }
         streams += 1;
@@ -128,7 +134,10 @@ pub fn stream_cluster(data: &Matrix, config: &StreamConfig) -> Result<StreamResu
 
     Ok(StreamResult {
         clustering: final_result.clustering,
-        ellipsoid_array: WeightedPoints { points: array_points, weights: array_weights },
+        ellipsoid_array: WeightedPoints {
+            points: array_points,
+            weights: array_weights,
+        },
         streams,
         distance_computations,
     })
@@ -157,7 +166,11 @@ mod tests {
         let data = three_blobs(100);
         let config = StreamConfig {
             epsilon: 0.1, // 30-point streams
-            elliptical: EllipticalConfig { k: 3, seed: 2, ..Default::default() },
+            elliptical: EllipticalConfig {
+                k: 3,
+                seed: 2,
+                ..Default::default()
+            },
             per_stream_k: Some(3),
         };
         let r = stream_cluster(&data, &config).unwrap();
@@ -179,7 +192,11 @@ mod tests {
         let data = three_blobs(60);
         let config = StreamConfig {
             epsilon: 0.2,
-            elliptical: EllipticalConfig { k: 3, seed: 2, ..Default::default() },
+            elliptical: EllipticalConfig {
+                k: 3,
+                seed: 2,
+                ..Default::default()
+            },
             per_stream_k: Some(3),
         };
         let r = stream_cluster(&data, &config).unwrap();
@@ -193,7 +210,11 @@ mod tests {
         let data = three_blobs(50);
         let config = StreamConfig {
             epsilon: 0.25,
-            elliptical: EllipticalConfig { k: 3, seed: 0, ..Default::default() },
+            elliptical: EllipticalConfig {
+                k: 3,
+                seed: 0,
+                ..Default::default()
+            },
             per_stream_k: Some(4),
         };
         let r = stream_cluster(&data, &config).unwrap();
@@ -204,10 +225,22 @@ mod tests {
     #[test]
     fn validates_inputs() {
         let data = three_blobs(5);
-        assert!(stream_cluster(&data, &StreamConfig { epsilon: 0.0, ..Default::default() })
-            .is_err());
-        assert!(stream_cluster(&data, &StreamConfig { epsilon: 1.5, ..Default::default() })
-            .is_err());
+        assert!(stream_cluster(
+            &data,
+            &StreamConfig {
+                epsilon: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(stream_cluster(
+            &data,
+            &StreamConfig {
+                epsilon: 1.5,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(stream_cluster(&Matrix::zeros(0, 2), &StreamConfig::default()).is_err());
     }
 
@@ -216,7 +249,11 @@ mod tests {
         let data = three_blobs(30);
         let config = StreamConfig {
             epsilon: 1.0,
-            elliptical: EllipticalConfig { k: 3, seed: 4, ..Default::default() },
+            elliptical: EllipticalConfig {
+                k: 3,
+                seed: 4,
+                ..Default::default()
+            },
             per_stream_k: Some(3),
         };
         let r = stream_cluster(&data, &config).unwrap();
@@ -229,7 +266,11 @@ mod tests {
         let data = three_blobs(20); // 60 points
         let config = StreamConfig {
             epsilon: 1e-6, // would be 1-point streams; clamped to k
-            elliptical: EllipticalConfig { k: 3, seed: 4, ..Default::default() },
+            elliptical: EllipticalConfig {
+                k: 3,
+                seed: 4,
+                ..Default::default()
+            },
             per_stream_k: Some(3),
         };
         let r = stream_cluster(&data, &config).unwrap();

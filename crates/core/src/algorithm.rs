@@ -43,7 +43,10 @@ impl Mmdr {
         if data.rows() == 0 {
             return Err(Error::EmptyDataset);
         }
-        let mut stats = ReductionStats { streams: 1, ..Default::default() };
+        let mut stats = ReductionStats {
+            streams: 1,
+            ..Default::default()
+        };
         let mut semis = Vec::new();
         let mut outliers = Vec::new();
         let indices: Vec<usize> = (0..data.rows()).collect();
@@ -116,8 +119,15 @@ pub(crate) fn finish(
             let mut members = std::mem::take(&mut clusters[ci].members);
             members.extend(extra);
             let s_dim = clusters[ci].reduced_dim();
-            let outcome =
-                optimize_dimensionality(data, &SemiEllipsoid { members, s_dim, mpe: 0.0 }, params)?;
+            let outcome = optimize_dimensionality(
+                data,
+                &SemiEllipsoid {
+                    members,
+                    s_dim,
+                    mpe: 0.0,
+                },
+                params,
+            )?;
             outliers.extend(outcome.outliers);
             if let Some(cluster) = outcome.cluster {
                 clusters[ci] = cluster;
@@ -216,11 +226,17 @@ mod tests {
 
     #[test]
     fn rejects_invalid_params_and_empty_data() {
-        let bad = Mmdr::new(MmdrParams { beta: -1.0, ..Default::default() });
+        let bad = Mmdr::new(MmdrParams {
+            beta: -1.0,
+            ..Default::default()
+        });
         let data = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
         assert!(matches!(bad.fit(&data), Err(Error::InvalidParams(_))));
         let good = Mmdr::new(MmdrParams::default());
-        assert!(matches!(good.fit(&Matrix::zeros(0, 4)), Err(Error::EmptyDataset)));
+        assert!(matches!(
+            good.fit(&Matrix::zeros(0, 4)),
+            Err(Error::EmptyDataset)
+        ));
     }
 
     #[test]
@@ -235,8 +251,14 @@ mod tests {
                 match model.assign_point(data.row(probe), params.beta).unwrap() {
                     PointAssignment::Cluster(cj) => {
                         // Same cluster, or at least a subspace equally close.
-                        let di = model.clusters[ci].subspace.proj_dist(data.row(probe)).unwrap();
-                        let dj = model.clusters[cj].subspace.proj_dist(data.row(probe)).unwrap();
+                        let di = model.clusters[ci]
+                            .subspace
+                            .proj_dist(data.row(probe))
+                            .unwrap();
+                        let dj = model.clusters[cj]
+                            .subspace
+                            .proj_dist(data.row(probe))
+                            .unwrap();
                         assert!(dj <= di + 1e-9);
                     }
                     PointAssignment::Outlier => panic!("member classified as outlier"),
@@ -273,9 +295,12 @@ mod tests {
     #[test]
     fn fixed_dim_flows_through() {
         let (data, _) = three_subspace_clusters();
-        let model = Mmdr::new(MmdrParams { fixed_dim: Some(4), ..Default::default() })
-            .fit(&data)
-            .unwrap();
+        let model = Mmdr::new(MmdrParams {
+            fixed_dim: Some(4),
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         for c in &model.clusters {
             assert_eq!(c.reduced_dim(), 4);
         }

@@ -98,7 +98,10 @@ pub fn optimize_dimensionality(
     }
 
     if members.is_empty() {
-        return Ok(DimOptOutcome { cluster: None, outliers });
+        return Ok(DimOptOutcome {
+            cluster: None,
+            outliers,
+        });
     }
 
     let kept_rows = data.select_rows(&members);
@@ -118,7 +121,11 @@ pub fn optimize_dimensionality(
             mpe,
             radius_eliminated,
             radius_retained,
-            nearest_radius: if nearest_radius.is_finite() { nearest_radius } else { 0.0 },
+            nearest_radius: if nearest_radius.is_finite() {
+                nearest_radius
+            } else {
+                0.0
+            },
             ellipticity,
             members,
         }),
@@ -143,7 +150,11 @@ mod tests {
     }
 
     fn semi_of_all(data: &Matrix, s_dim: usize) -> SemiEllipsoid {
-        SemiEllipsoid { members: (0..data.rows()).collect(), s_dim, mpe: 0.0 }
+        SemiEllipsoid {
+            members: (0..data.rows()).collect(),
+            s_dim,
+            mpe: 0.0,
+        }
     }
 
     #[test]
@@ -151,7 +162,10 @@ mod tests {
         let data = planar_data(100);
         // Accepted at s_dim = 4: optimization must shrink to 2 (dropping to
         // 1 would cost ~0.05 MPE from the u component).
-        let params = MmdrParams { mpe_change_threshold: 0.01, ..Default::default() };
+        let params = MmdrParams {
+            mpe_change_threshold: 0.01,
+            ..Default::default()
+        };
         let out = optimize_dimensionality(&data, &semi_of_all(&data, 4), &params).unwrap();
         let cluster = out.cluster.unwrap();
         assert_eq!(cluster.reduced_dim(), 2);
@@ -162,11 +176,17 @@ mod tests {
     #[test]
     fn fixed_dim_pins_the_dimensionality() {
         let data = planar_data(60);
-        let params = MmdrParams { fixed_dim: Some(3), ..Default::default() };
+        let params = MmdrParams {
+            fixed_dim: Some(3),
+            ..Default::default()
+        };
         let out = optimize_dimensionality(&data, &semi_of_all(&data, 4), &params).unwrap();
         assert_eq!(out.cluster.unwrap().reduced_dim(), 3);
         // fixed_dim larger than d clamps.
-        let params = MmdrParams { fixed_dim: Some(99), ..Default::default() };
+        let params = MmdrParams {
+            fixed_dim: Some(99),
+            ..Default::default()
+        };
         let out = optimize_dimensionality(&data, &semi_of_all(&data, 4), &params).unwrap();
         assert_eq!(out.cluster.unwrap().reduced_dim(), 6);
     }
@@ -178,7 +198,10 @@ mod tests {
         // enough not to hijack the local PCA's principal directions.
         data.row_mut(10)[3] = 0.3;
         data.row_mut(20)[4] = -0.35;
-        let params = MmdrParams { fixed_dim: Some(2), ..Default::default() };
+        let params = MmdrParams {
+            fixed_dim: Some(2),
+            ..Default::default()
+        };
         let out = optimize_dimensionality(&data, &semi_of_all(&data, 2), &params).unwrap();
         assert_eq!(out.outliers, vec![10, 20]);
         let cluster = out.cluster.unwrap();
@@ -189,7 +212,10 @@ mod tests {
     #[test]
     fn radii_are_consistent() {
         let data = planar_data(100);
-        let params = MmdrParams { fixed_dim: Some(2), ..Default::default() };
+        let params = MmdrParams {
+            fixed_dim: Some(2),
+            ..Default::default()
+        };
         let out = optimize_dimensionality(&data, &semi_of_all(&data, 2), &params).unwrap();
         let c = out.cluster.unwrap();
         assert!(c.nearest_radius <= c.radius_retained);
@@ -205,7 +231,11 @@ mod tests {
     fn all_outliers_yields_no_cluster() {
         // Points far from any 1-d fit: force β so tight everything fails.
         let data = planar_data(40);
-        let params = MmdrParams { fixed_dim: Some(1), beta: 1e-12, ..Default::default() };
+        let params = MmdrParams {
+            fixed_dim: Some(1),
+            beta: 1e-12,
+            ..Default::default()
+        };
         let out = optimize_dimensionality(&data, &semi_of_all(&data, 1), &params).unwrap();
         assert!(out.cluster.is_none());
         assert_eq!(out.outliers.len(), 40);

@@ -87,8 +87,11 @@ mod tests {
         assert!(e.to_string().contains("clustering"));
         assert!(Error::EmptyDataset.source().is_none());
         assert!(Error::InvalidParams("beta").to_string().contains("beta"));
-        assert!(Error::DimensionMismatch { expected: 4, actual: 2 }
-            .to_string()
-            .contains("4"));
+        assert!(Error::DimensionMismatch {
+            expected: 4,
+            actual: 2
+        }
+        .to_string()
+        .contains("4"));
     }
 }

@@ -68,11 +68,18 @@ impl Gdr {
                 mpe: mpe_sum / data.rows() as f64,
                 radius_eliminated,
                 radius_retained,
-                nearest_radius: if nearest_radius.is_finite() { nearest_radius } else { 0.0 },
+                nearest_radius: if nearest_radius.is_finite() {
+                    nearest_radius
+                } else {
+                    0.0
+                },
                 ellipticity,
             }],
             outliers: Vec::new(),
-            stats: ReductionStats { streams: 1, ..Default::default() },
+            stats: ReductionStats {
+                streams: 1,
+                ..Default::default()
+            },
         })
     }
 }
@@ -114,7 +121,11 @@ mod tests {
         }
         let data = Matrix::from_rows(&rows).unwrap();
         let model = Gdr::new(1).fit(&data).unwrap();
-        assert!(model.clusters[0].mpe > 0.05, "mpe {}", model.clusters[0].mpe);
+        assert!(
+            model.clusters[0].mpe > 0.05,
+            "mpe {}",
+            model.clusters[0].mpe
+        );
     }
 
     #[test]
@@ -131,6 +142,9 @@ mod tests {
             Err(Error::EmptyDataset)
         ));
         let data = correlated_data();
-        assert!(matches!(Gdr::new(0).fit(&data), Err(Error::InvalidParams(_))));
+        assert!(matches!(
+            Gdr::new(0).fit(&data),
+            Err(Error::InvalidParams(_))
+        ));
     }
 }

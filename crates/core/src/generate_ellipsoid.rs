@@ -95,7 +95,11 @@ fn recurse(
         loop {
             let mpe = pca.mpe_par(&subset, probe, &params.par)?;
             if mpe <= params.max_mpe {
-                out.push(SemiEllipsoid { members: indices, s_dim: probe, mpe });
+                out.push(SemiEllipsoid {
+                    members: indices,
+                    s_dim: probe,
+                    mpe,
+                });
                 return Ok(());
             }
             if probe >= level_cap {
@@ -153,7 +157,11 @@ fn recurse(
             )?;
         } else {
             // Line 11: accept.
-            out.push(SemiEllipsoid { members: member_indices, s_dim: local_s_dim, mpe });
+            out.push(SemiEllipsoid {
+                members: member_indices,
+                s_dim: local_s_dim,
+                mpe,
+            });
         }
     }
     Ok(())
@@ -163,10 +171,7 @@ fn recurse(
 mod tests {
     use super::*;
 
-    fn run(
-        data: &Matrix,
-        params: &MmdrParams,
-    ) -> (Vec<SemiEllipsoid>, Vec<usize>, ReductionStats) {
+    fn run(data: &Matrix, params: &MmdrParams) -> (Vec<SemiEllipsoid>, Vec<usize>, ReductionStats) {
         let mut stats = ReductionStats::default();
         let mut out = Vec::new();
         let mut small = Vec::new();
@@ -194,7 +199,10 @@ mod tests {
             })
             .collect();
         let data = Matrix::from_rows(&rows).unwrap();
-        let params = MmdrParams { max_ec: 2, ..Default::default() };
+        let params = MmdrParams {
+            max_ec: 2,
+            ..Default::default()
+        };
         let (out, small, stats) = run(&data, &params);
         assert!(small.is_empty());
         assert!(!out.is_empty());
@@ -223,7 +231,10 @@ mod tests {
             rows.push(vec![5.0, 5.0, 5.0 + t, 5.0]);
         }
         let data = Matrix::from_rows(&rows).unwrap();
-        let params = MmdrParams { max_ec: 4, ..Default::default() };
+        let params = MmdrParams {
+            max_ec: 4,
+            ..Default::default()
+        };
         let (out, small, _) = run(&data, &params);
         let covered: usize = out.iter().map(|s| s.members.len()).sum::<usize>() + small.len();
         assert_eq!(covered, 160);
@@ -242,7 +253,10 @@ mod tests {
     #[test]
     fn tiny_input_goes_to_small_set() {
         let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
-        let params = MmdrParams { min_cluster_size: 16, ..Default::default() };
+        let params = MmdrParams {
+            min_cluster_size: 16,
+            ..Default::default()
+        };
         let (out, small, _) = run(&data, &params);
         assert!(out.is_empty());
         assert_eq!(small.len(), 2);
@@ -252,7 +266,11 @@ mod tests {
     fn s_dim_is_clamped_to_d() {
         let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, -(i as f64)]).collect();
         let data = Matrix::from_rows(&rows).unwrap();
-        let params = MmdrParams { initial_s_dim: 10, max_ec: 2, ..Default::default() };
+        let params = MmdrParams {
+            initial_s_dim: 10,
+            max_ec: 2,
+            ..Default::default()
+        };
         let (out, _, stats) = run(&data, &params);
         assert!(stats.max_s_dim_reached <= 2);
         for s in &out {
@@ -266,14 +284,17 @@ mod tests {
         // but recursion must still end (depth/dimension caps).
         let mut state = 1u64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let rows: Vec<Vec<f64>> = (0..200)
-            .map(|_| (0..8).map(|_| rand()).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..200).map(|_| (0..8).map(|_| rand()).collect()).collect();
         let data = Matrix::from_rows(&rows).unwrap();
-        let params = MmdrParams { max_ec: 3, ..Default::default() };
+        let params = MmdrParams {
+            max_ec: 3,
+            ..Default::default()
+        };
         let (out, small, _) = run(&data, &params);
         let covered: usize = out.iter().map(|s| s.members.len()).sum::<usize>() + small.len();
         assert_eq!(covered, 200);

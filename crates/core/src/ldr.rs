@@ -130,8 +130,7 @@ impl Ldr {
                         let violations = member_rows
                             .iter_rows()
                             .filter(|row| {
-                                pca.proj_dist_r(row, trial).expect("dims match")
-                                    > p.recon_threshold
+                                pca.proj_dist_r(row, trial).expect("dims match") > p.recon_threshold
                             })
                             .count();
                         if violations <= allowed {
@@ -183,7 +182,11 @@ impl Ldr {
                 mpe,
                 radius_eliminated,
                 radius_retained,
-                nearest_radius: if nearest_radius.is_finite() { nearest_radius } else { 0.0 },
+                nearest_radius: if nearest_radius.is_finite() {
+                    nearest_radius
+                } else {
+                    0.0
+                },
                 ellipticity,
                 members,
             });
@@ -194,7 +197,10 @@ impl Ldr {
             num_points: data.rows(),
             clusters,
             outliers,
-            stats: ReductionStats { streams: 1, ..Default::default() },
+            stats: ReductionStats {
+                streams: 1,
+                ..Default::default()
+            },
         })
     }
 }
@@ -210,7 +216,12 @@ mod tests {
         for i in 0..100 {
             let t = i as f64 / 99.0;
             rows.push(vec![t, jit(i, 0.3), jit(i, 0.5), jit(i, 0.7)]);
-            rows.push(vec![5.0 + jit(i, 0.1), 5.0 + jit(i, 0.9), 5.0 + t, 5.0 + jit(i, 0.2)]);
+            rows.push(vec![
+                5.0 + jit(i, 0.1),
+                5.0 + jit(i, 0.9),
+                5.0 + t,
+                5.0 + jit(i, 0.2),
+            ]);
         }
         Matrix::from_rows(&rows).unwrap()
     }
@@ -218,7 +229,12 @@ mod tests {
     #[test]
     fn reduces_separated_local_clusters() {
         let data = two_local_clusters();
-        let model = Ldr::new(LdrParams { k: 2, ..Default::default() }).fit(&data).unwrap();
+        let model = Ldr::new(LdrParams {
+            k: 2,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         assert!(model.is_partition());
         assert_eq!(model.clusters.len(), 2);
         for c in &model.clusters {
@@ -230,9 +246,13 @@ mod tests {
     #[test]
     fn fixed_dim_pins() {
         let data = two_local_clusters();
-        let model = Ldr::new(LdrParams { k: 2, fixed_dim: Some(3), ..Default::default() })
-            .fit(&data)
-            .unwrap();
+        let model = Ldr::new(LdrParams {
+            k: 2,
+            fixed_dim: Some(3),
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         for c in &model.clusters {
             assert_eq!(c.reduced_dim(), 3);
         }
@@ -242,9 +262,13 @@ mod tests {
     fn small_clusters_dissolve_to_outliers() {
         let data = two_local_clusters();
         // k = 20 over 200 points with min size 16: some clusters dissolve.
-        let model = Ldr::new(LdrParams { k: 20, min_cluster_size: 16, ..Default::default() })
-            .fit(&data)
-            .unwrap();
+        let model = Ldr::new(LdrParams {
+            k: 20,
+            min_cluster_size: 16,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         assert!(model.is_partition());
         // Not all points survive in clusters.
         assert!(model.clustered_points() < 200 || model.clusters.len() < 20);
@@ -255,29 +279,58 @@ mod tests {
         let mut data = two_local_clusters();
         // Beyond the 0.1 reconstruction threshold without dominating PCA.
         data.row_mut(0)[1] = 0.5;
-        let model = Ldr::new(LdrParams { k: 2, ..Default::default() }).fit(&data).unwrap();
-        assert!(model.outliers.contains(&0) || model.clusters.iter().all(|c| !c.members.contains(&0)));
+        let model = Ldr::new(LdrParams {
+            k: 2,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
+        assert!(
+            model.outliers.contains(&0) || model.clusters.iter().all(|c| !c.members.contains(&0))
+        );
         assert!(model.is_partition());
     }
 
     #[test]
     fn validates_inputs() {
         let data = two_local_clusters();
-        assert!(Ldr::new(LdrParams { k: 0, ..Default::default() }).fit(&data).is_err());
-        assert!(Ldr::new(LdrParams { recon_threshold: 0.0, ..Default::default() })
-            .fit(&data)
+        assert!(Ldr::new(LdrParams {
+            k: 0,
+            ..Default::default()
+        })
+        .fit(&data)
+        .is_err());
+        assert!(Ldr::new(LdrParams {
+            recon_threshold: 0.0,
+            ..Default::default()
+        })
+        .fit(&data)
+        .is_err());
+        assert!(Ldr::new(LdrParams {
+            frac_violations: 1.0,
+            ..Default::default()
+        })
+        .fit(&data)
+        .is_err());
+        assert!(Ldr::new(LdrParams {
+            max_dim: 0,
+            ..Default::default()
+        })
+        .fit(&data)
+        .is_err());
+        assert!(Ldr::new(LdrParams::default())
+            .fit(&Matrix::zeros(0, 3))
             .is_err());
-        assert!(Ldr::new(LdrParams { frac_violations: 1.0, ..Default::default() })
-            .fit(&data)
-            .is_err());
-        assert!(Ldr::new(LdrParams { max_dim: 0, ..Default::default() }).fit(&data).is_err());
-        assert!(Ldr::new(LdrParams::default()).fit(&Matrix::zeros(0, 3)).is_err());
     }
 
     #[test]
     fn deterministic() {
         let data = two_local_clusters();
-        let p = LdrParams { k: 3, seed: 9, ..Default::default() };
+        let p = LdrParams {
+            k: 3,
+            seed: 9,
+            ..Default::default()
+        };
         let a = Ldr::new(p.clone()).fit(&data).unwrap();
         let b = Ldr::new(p).fit(&data).unwrap();
         assert_eq!(a.outliers, b.outliers);

@@ -55,7 +55,11 @@ fn merge_coplanar(
                     .reduced_dim()
                     .max(b.subspace.reduced_dim())
                     .min(params.max_dim);
-                let semi = SemiEllipsoid { members, s_dim, mpe: 0.0 };
+                let semi = SemiEllipsoid {
+                    members,
+                    s_dim,
+                    mpe: 0.0,
+                };
                 let outcome = optimize_dimensionality(data, &semi, params)?;
                 expelled.extend(outcome.outliers);
                 if let Some(cluster) = outcome.cluster {
@@ -108,7 +112,11 @@ fn enforce_max_ec(
             .reduced_dim()
             .max(victim.subspace.reduced_dim())
             .min(params.max_dim);
-        let semi = SemiEllipsoid { members, s_dim, mpe: 0.0 };
+        let semi = SemiEllipsoid {
+            members,
+            s_dim,
+            mpe: 0.0,
+        };
         let outcome = optimize_dimensionality(data, &semi, params)?;
         expelled.extend(outcome.outliers);
         if let Some(cluster) = outcome.cluster {
@@ -207,6 +215,9 @@ mod tests {
     fn distinct_flats_do_not_merge() {
         let data = fragmentable_data();
         let model = Mmdr::new(MmdrParams::default()).fit(&data).unwrap();
-        assert!(model.clusters.len() >= 2, "two true clusters must remain distinct");
+        assert!(
+            model.clusters.len() >= 2,
+            "two true clusters must remain distinct"
+        );
     }
 }

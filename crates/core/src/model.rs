@@ -103,7 +103,10 @@ impl ReductionResult {
     /// every cluster's `ProjDist` exceeds `beta`.
     pub fn assign_point(&self, point: &[f64], beta: f64) -> Result<PointAssignment> {
         if point.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: point.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: point.len(),
+            });
         }
         let mut best = None;
         let mut best_d = f64::INFINITY;

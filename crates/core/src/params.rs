@@ -143,16 +143,76 @@ mod tests {
     fn validation_catches_each_field() {
         let base = MmdrParams::default();
         let cases: Vec<(MmdrParams, &str)> = vec![
-            (MmdrParams { beta: 0.0, ..base.clone() }, "beta"),
-            (MmdrParams { beta: f64::NAN, ..base.clone() }, "beta"),
-            (MmdrParams { max_mpe: -1.0, ..base.clone() }, "max_mpe"),
-            (MmdrParams { max_ec: 0, ..base.clone() }, "max_ec"),
-            (MmdrParams { max_dim: 0, ..base.clone() }, "max_dim"),
-            (MmdrParams { initial_s_dim: 0, ..base.clone() }, "initial_s_dim"),
-            (MmdrParams { lookup_k: 0, ..base.clone() }, "lookup_k"),
-            (MmdrParams { mpe_change_threshold: -0.1, ..base.clone() }, "mpe_change"),
-            (MmdrParams { fixed_dim: Some(0), ..base.clone() }, "fixed_dim"),
-            (MmdrParams { max_recursion_depth: 0, ..base.clone() }, "max_recursion"),
+            (
+                MmdrParams {
+                    beta: 0.0,
+                    ..base.clone()
+                },
+                "beta",
+            ),
+            (
+                MmdrParams {
+                    beta: f64::NAN,
+                    ..base.clone()
+                },
+                "beta",
+            ),
+            (
+                MmdrParams {
+                    max_mpe: -1.0,
+                    ..base.clone()
+                },
+                "max_mpe",
+            ),
+            (
+                MmdrParams {
+                    max_ec: 0,
+                    ..base.clone()
+                },
+                "max_ec",
+            ),
+            (
+                MmdrParams {
+                    max_dim: 0,
+                    ..base.clone()
+                },
+                "max_dim",
+            ),
+            (
+                MmdrParams {
+                    initial_s_dim: 0,
+                    ..base.clone()
+                },
+                "initial_s_dim",
+            ),
+            (
+                MmdrParams {
+                    lookup_k: 0,
+                    ..base.clone()
+                },
+                "lookup_k",
+            ),
+            (
+                MmdrParams {
+                    mpe_change_threshold: -0.1,
+                    ..base.clone()
+                },
+                "mpe_change",
+            ),
+            (
+                MmdrParams {
+                    fixed_dim: Some(0),
+                    ..base.clone()
+                },
+                "fixed_dim",
+            ),
+            (
+                MmdrParams {
+                    max_recursion_depth: 0,
+                    ..base.clone()
+                },
+                "max_recursion",
+            ),
         ];
         for (p, field) in cases {
             let err = p.validate().expect_err(field);

@@ -23,9 +23,18 @@ fn matrix_to_value(m: &Matrix) -> Value {
 
 fn matrix_from_value(v: &Value) -> Result<Matrix> {
     let malformed = || Error::InvalidParams("malformed model JSON");
-    let rows = v.get("rows").and_then(Value::as_usize).ok_or_else(malformed)?;
-    let cols = v.get("cols").and_then(Value::as_usize).ok_or_else(malformed)?;
-    let data = v.get("data").and_then(Value::as_f64_vec).ok_or_else(malformed)?;
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_usize)
+        .ok_or_else(malformed)?;
+    let cols = v
+        .get("cols")
+        .and_then(Value::as_usize)
+        .ok_or_else(malformed)?;
+    let data = v
+        .get("data")
+        .and_then(Value::as_f64_vec)
+        .ok_or_else(malformed)?;
     Matrix::from_vec(rows, cols, data).map_err(Error::Linalg)
 }
 
@@ -58,7 +67,10 @@ impl ReductionResult {
             (
                 "stats",
                 Value::object(vec![
-                    ("distance_computations", self.stats.distance_computations.into()),
+                    (
+                        "distance_computations",
+                        self.stats.distance_computations.into(),
+                    ),
                     ("ge_invocations", self.stats.ge_invocations.into()),
                     ("max_s_dim_reached", self.stats.max_s_dim_reached.into()),
                     ("streams", self.stats.streams.into()),
@@ -73,23 +85,37 @@ impl ReductionResult {
     pub fn from_json(json: &str) -> Result<Self> {
         let malformed = || Error::InvalidParams("malformed model JSON");
         let doc = mmdr_json::parse(json).map_err(|_| malformed())?;
-        let version = doc.get("version").and_then(Value::as_u64).ok_or_else(malformed)?;
+        let version = doc
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or_else(malformed)?;
         if version != FORMAT_VERSION {
             return Err(Error::InvalidParams("unsupported model format version"));
         }
-        let dim = doc.get("dim").and_then(Value::as_usize).ok_or_else(malformed)?;
-        let num_points =
-            doc.get("num_points").and_then(Value::as_usize).ok_or_else(malformed)?;
-        let cluster_values =
-            doc.get("clusters").and_then(Value::as_array).ok_or_else(malformed)?;
+        let dim = doc
+            .get("dim")
+            .and_then(Value::as_usize)
+            .ok_or_else(malformed)?;
+        let num_points = doc
+            .get("num_points")
+            .and_then(Value::as_usize)
+            .ok_or_else(malformed)?;
+        let cluster_values = doc
+            .get("clusters")
+            .and_then(Value::as_array)
+            .ok_or_else(malformed)?;
         let mut clusters = Vec::with_capacity(cluster_values.len());
         for c in cluster_values {
-            let centroid =
-                c.get("centroid").and_then(Value::as_f64_vec).ok_or_else(malformed)?;
+            let centroid = c
+                .get("centroid")
+                .and_then(Value::as_f64_vec)
+                .ok_or_else(malformed)?;
             let basis = matrix_from_value(c.get("basis").ok_or_else(malformed)?)?;
             let covariance = matrix_from_value(c.get("covariance").ok_or_else(malformed)?)?;
-            let members =
-                c.get("members").and_then(Value::as_usize_vec).ok_or_else(malformed)?;
+            let members = c
+                .get("members")
+                .and_then(Value::as_usize_vec)
+                .ok_or_else(malformed)?;
             let field = |name: &str| c.get(name).and_then(Value::as_f64).ok_or_else(malformed);
             let subspace = ReducedSubspace::new(centroid, basis).map_err(Error::Pca)?;
             clusters.push(EllipsoidCluster {
@@ -103,10 +129,17 @@ impl ReductionResult {
                 ellipticity: field("ellipticity")?,
             });
         }
-        let outliers =
-            doc.get("outliers").and_then(Value::as_usize_vec).ok_or_else(malformed)?;
+        let outliers = doc
+            .get("outliers")
+            .and_then(Value::as_usize_vec)
+            .ok_or_else(malformed)?;
         let stats = doc.get("stats").ok_or_else(malformed)?;
-        let stat = |name: &str| stats.get(name).and_then(Value::as_u64).ok_or_else(malformed);
+        let stat = |name: &str| {
+            stats
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(malformed)
+        };
         let result = ReductionResult {
             dim,
             num_points,
@@ -123,7 +156,9 @@ impl ReductionResult {
             },
         };
         if !result.is_partition() {
-            return Err(Error::InvalidParams("model JSON does not partition its points"));
+            return Err(Error::InvalidParams(
+                "model JSON does not partition its points",
+            ));
         }
         Ok(result)
     }

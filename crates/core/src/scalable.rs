@@ -27,7 +27,10 @@ pub struct ScalableMmdr {
 impl ScalableMmdr {
     /// Creates the scalable algorithm with Table 1's `ε = 0.005`.
     pub fn new(params: MmdrParams) -> Self {
-        Self { params, epsilon: 0.005 }
+        Self {
+            params,
+            epsilon: 0.005,
+        }
     }
 
     /// Overrides the data-stream fraction `ε`.
@@ -179,7 +182,12 @@ mod tests {
         for i in 0..n_per {
             let t = i as f64 / (n_per - 1) as f64;
             rows.push(vec![t, jit(i, 0.1), jit(i, 0.2), jit(i, 0.3)]);
-            rows.push(vec![5.0 + jit(i, 0.4), 5.0 + t, 5.0 + jit(i, 0.5), 5.0 + jit(i, 0.6)]);
+            rows.push(vec![
+                5.0 + jit(i, 0.4),
+                5.0 + t,
+                5.0 + jit(i, 0.5),
+                5.0 + jit(i, 0.6),
+            ]);
         }
         Matrix::from_rows(&rows).unwrap()
     }
@@ -187,7 +195,10 @@ mod tests {
     #[test]
     fn streaming_matches_in_memory_structure() {
         let data = interleaved_clusters(200);
-        let params = MmdrParams { max_ec: 4, ..Default::default() };
+        let params = MmdrParams {
+            max_ec: 4,
+            ..Default::default()
+        };
         let scalable = ScalableMmdr::new(params.clone())
             .with_epsilon(0.25)
             .fit(&data)
@@ -238,14 +249,15 @@ mod tests {
     #[test]
     fn tiny_dataset_falls_back_to_single_stream() {
         // Smaller than min_cluster_size per stream: the degenerate path.
-        let rows: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64 / 19.0, 0.0])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0, 0.0]).collect();
         let data = Matrix::from_rows(&rows).unwrap();
-        let model = ScalableMmdr::new(MmdrParams { min_cluster_size: 8, ..Default::default() })
-            .with_epsilon(0.5)
-            .fit(&data)
-            .unwrap();
+        let model = ScalableMmdr::new(MmdrParams {
+            min_cluster_size: 8,
+            ..Default::default()
+        })
+        .with_epsilon(0.5)
+        .fit(&data)
+        .unwrap();
         assert!(model.is_partition());
     }
 }

@@ -79,7 +79,11 @@ impl CorrelatedConfig {
         let per = (n / n_clusters.max(1)).max(1);
         let clusters = (0..n_clusters)
             .map(|i| {
-                let size = if i + 1 == n_clusters { n - per * (n_clusters - 1) } else { per };
+                let size = if i + 1 == n_clusters {
+                    n - per * (n_clusters - 1)
+                } else {
+                    per
+                };
                 ClusterSpec {
                     size,
                     s_dim: s_dim.min(dim),
@@ -92,7 +96,11 @@ impl CorrelatedConfig {
                 }
             })
             .collect();
-        Self { dim, clusters, seed }
+        Self {
+            dim,
+            clusters,
+            seed,
+        }
     }
 }
 
@@ -271,7 +279,11 @@ mod tests {
         let ds = generate_correlated(&cfg);
         assert_eq!(ds.data.rows(), 1000);
         // All values bounded (position + variance + rotation slack).
-        assert!(ds.data.as_slice().iter().all(|x| x.is_finite() && x.abs() < 5.0));
+        assert!(ds
+            .data
+            .as_slice()
+            .iter()
+            .all(|x| x.is_finite() && x.abs() < 5.0));
     }
 
     #[test]

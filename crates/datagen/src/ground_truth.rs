@@ -21,7 +21,9 @@ pub fn exact_knn(data: &Matrix, query: &[f64], k: usize) -> Vec<(f64, usize)> {
     }
     impl Ord for Ordered {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+            self.0
+                .partial_cmp(&other.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
         }
     }
 

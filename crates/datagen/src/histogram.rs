@@ -124,7 +124,10 @@ mod tests {
     use super::*;
 
     fn small() -> HistogramConfig {
-        HistogramConfig { n: 2000, ..Default::default() }
+        HistogramConfig {
+            n: 2000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -157,7 +160,12 @@ mod tests {
         }
         let mut sorted = mass.clone();
         sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        assert!(sorted[0] > 5.0 * sorted[32], "top {} median {}", sorted[0], sorted[32]);
+        assert!(
+            sorted[0] > 5.0 * sorted[32],
+            "top {} median {}",
+            sorted[0],
+            sorted[32]
+        );
     }
 
     #[test]
@@ -201,8 +209,16 @@ mod tests {
 
     #[test]
     fn validates_config() {
-        assert!(generate_histograms(&HistogramConfig { n: 0, ..Default::default() }).is_none());
-        assert!(generate_histograms(&HistogramConfig { bins: 0, ..Default::default() }).is_none());
+        assert!(generate_histograms(&HistogramConfig {
+            n: 0,
+            ..Default::default()
+        })
+        .is_none());
+        assert!(generate_histograms(&HistogramConfig {
+            bins: 0,
+            ..Default::default()
+        })
+        .is_none());
         assert!(generate_histograms(&HistogramConfig {
             theme_weight: 1.5,
             ..Default::default()
@@ -217,7 +233,14 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let cfg = HistogramConfig { n: 100, seed: 7, ..Default::default() };
-        assert_eq!(generate_histograms(&cfg).unwrap(), generate_histograms(&cfg).unwrap());
+        let cfg = HistogramConfig {
+            n: 100,
+            seed: 7,
+            ..Default::default()
+        };
+        assert_eq!(
+            generate_histograms(&cfg).unwrap(),
+            generate_histograms(&cfg).unwrap()
+        );
     }
 }

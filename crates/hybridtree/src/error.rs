@@ -70,8 +70,12 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(Error::InputMismatch { points: 3, rids: 2 }.to_string().contains("3"));
-        assert!(Error::UnsupportedDimensionality { dim: 600 }.to_string().contains("600"));
+        assert!(Error::InputMismatch { points: 3, rids: 2 }
+            .to_string()
+            .contains("3"));
+        assert!(Error::UnsupportedDimensionality { dim: 600 }
+            .to_string()
+            .contains("600"));
         assert!(!Error::InvalidQuery.to_string().is_empty());
         assert!(Error::InvalidRadius.to_string().contains("radius"));
         assert!(Error::Corrupt("x").to_string().contains('x'));

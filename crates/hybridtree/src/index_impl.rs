@@ -8,9 +8,10 @@ use std::sync::Arc;
 impl From<crate::Error> for mmdr_index::Error {
     fn from(e: crate::Error) -> Self {
         match e {
-            crate::Error::InputMismatch { points, rids } => {
-                mmdr_index::Error::DimensionMismatch { expected: points, actual: rids }
-            }
+            crate::Error::InputMismatch { points, rids } => mmdr_index::Error::DimensionMismatch {
+                expected: points,
+                actual: rids,
+            },
             crate::Error::InvalidQuery => mmdr_index::Error::InvalidQuery,
             crate::Error::InvalidRadius => mmdr_index::Error::InvalidRadius,
             other => mmdr_index::Error::backend(other),

@@ -41,7 +41,10 @@ impl Ord for Frontier {
 impl HybridTree {
     fn validate(&self, query: &[f64]) -> Result<()> {
         if query.len() != self.dim {
-            return Err(Error::InputMismatch { points: self.dim, rids: query.len() });
+            return Err(Error::InputMismatch {
+                points: self.dim,
+                rids: query.len(),
+            });
         }
         if query.iter().any(|c| !c.is_finite()) {
             return Err(Error::InvalidQuery);
@@ -104,11 +107,16 @@ impl HybridTree {
                 continue;
             }
             // Internal: push each child with its refined region.
-            let (split_dim, n_children) =
-                self.pool.with_page(node.page, |p| (Internal::split_dim(p), count(p)))?;
+            let (split_dim, n_children) = self
+                .pool
+                .with_page(node.page, |p| (Internal::split_dim(p), count(p)))?;
             for i in 0..n_children {
                 let (child, b_lo, b_hi) = self.pool.with_page(node.page, |p| {
-                    let lo = if i == 0 { f64::NEG_INFINITY } else { Internal::boundary(p, i - 1) };
+                    let lo = if i == 0 {
+                        f64::NEG_INFINITY
+                    } else {
+                        Internal::boundary(p, i - 1)
+                    };
                     let hi = if i + 1 == n_children {
                         f64::INFINITY
                     } else {
@@ -124,7 +132,12 @@ impl HybridTree {
                 if best.is_full() && mindist_sq > best.worst_dist().expect("full heap") {
                     continue;
                 }
-                frontier.push(Frontier { mindist_sq, page: child, lo, hi });
+                frontier.push(Frontier {
+                    mindist_sq,
+                    page: child,
+                    lo,
+                    hi,
+                });
             }
         }
 
@@ -153,7 +166,11 @@ impl HybridTree {
         let mut coords = vec![0.0; dim];
         // Plain stack walk: every qualifying region must be visited anyway,
         // so best-first ordering buys nothing here.
-        let mut stack = vec![(self.root(), vec![f64::NEG_INFINITY; dim], vec![f64::INFINITY; dim])];
+        let mut stack = vec![(
+            self.root(),
+            vec![f64::NEG_INFINITY; dim],
+            vec![f64::INFINITY; dim],
+        )];
         while let Some((page, lo, hi)) = stack.pop() {
             if mindist_sq(query, &lo, &hi).sqrt() > limit {
                 continue;
@@ -176,11 +193,16 @@ impl HybridTree {
                 self.search.record_refined(refined);
                 continue;
             }
-            let (split_dim, n_children) =
-                self.pool.with_page(page, |p| (Internal::split_dim(p), count(p)))?;
+            let (split_dim, n_children) = self
+                .pool
+                .with_page(page, |p| (Internal::split_dim(p), count(p)))?;
             for i in 0..n_children {
                 let (child, b_lo, b_hi) = self.pool.with_page(page, |p| {
-                    let lo = if i == 0 { f64::NEG_INFINITY } else { Internal::boundary(p, i - 1) };
+                    let lo = if i == 0 {
+                        f64::NEG_INFINITY
+                    } else {
+                        Internal::boundary(p, i - 1)
+                    };
                     let hi = if i + 1 == n_children {
                         f64::INFINITY
                     } else {

@@ -72,7 +72,8 @@ impl Leaf {
 
     /// Record id of entry `i`.
     pub fn rid(page: &Page, dim: usize, i: usize) -> u64 {
-        page.get_u64(Self::entry_offset(dim, i)).expect("entry in page")
+        page.get_u64(Self::entry_offset(dim, i))
+            .expect("entry in page")
     }
 
     /// Reads the coordinates of entry `i` into `out` (`out.len() == dim`).
@@ -140,7 +141,8 @@ impl Internal {
     /// Boundary `i` (`0 .. count - 1`).
     pub fn boundary(page: &Page, i: usize) -> f64 {
         debug_assert!(i + 1 < count(page));
-        page.get_f64(INTERNAL_BOUNDS_OFFSET + 8 * i).expect("bound in page")
+        page.get_f64(INTERNAL_BOUNDS_OFFSET + 8 * i)
+            .expect("bound in page")
     }
 
     /// Child `i` (`0 .. count`).

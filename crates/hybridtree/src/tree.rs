@@ -39,7 +39,10 @@ impl HybridTree {
     ) -> Result<Self> {
         let dim = points.cols();
         if points.rows() != rids.len() {
-            return Err(Error::InputMismatch { points: points.rows(), rids: rids.len() });
+            return Err(Error::InputMismatch {
+                points: points.rows(),
+                rids: rids.len(),
+            });
         }
         if dim == 0 || leaf_capacity(dim) == 0 {
             return Err(Error::UnsupportedDimensionality { dim });
@@ -54,9 +57,63 @@ impl HybridTree {
             height = 1;
             id
         } else {
-            build(&mut pool, points, rids, &mut order[..], fanout, dim, 1, &mut height)?
+            build(
+                &mut pool,
+                points,
+                rids,
+                &mut order[..],
+                fanout,
+                dim,
+                1,
+                &mut height,
+            )?
         };
-        Ok(Self { pool, root, dim, search: SearchCounters::new(), len: rids.len(), height })
+        Ok(Self {
+            pool,
+            root,
+            dim,
+            search: SearchCounters::new(),
+            len: rids.len(),
+            height,
+        })
+    }
+
+    /// Reattaches a tree to pages restored from a snapshot. The metadata
+    /// must be the values the saved tree reported
+    /// ([`root_page_id`](Self::root_page_id), [`dim`](Self::dim),
+    /// [`len`](Self::len), [`height`](Self::height)); the pool must hold
+    /// that tree's page images. Page contents are protected by the snapshot
+    /// layer's checksums, so validation here is limited to cheap
+    /// invariants.
+    pub fn from_parts(
+        pool: BufferPool,
+        root: PageId,
+        dim: usize,
+        len: usize,
+        height: usize,
+    ) -> Result<Self> {
+        if dim == 0 || leaf_capacity(dim) == 0 {
+            return Err(Error::UnsupportedDimensionality { dim });
+        }
+        if root as usize >= pool.num_pages() || height == 0 {
+            return Err(Error::Corrupt(
+                "snapshot metadata does not match the page set",
+            ));
+        }
+        Ok(Self {
+            pool,
+            root,
+            dim,
+            search: SearchCounters::new(),
+            len,
+            height,
+        })
+    }
+
+    /// The root's page id (persisted alongside the page images so
+    /// [`from_parts`](Self::from_parts) can reattach).
+    pub fn root_page_id(&self) -> PageId {
+        self.root
     }
 
     /// Number of indexed points.
@@ -199,7 +256,11 @@ mod tests {
 
     fn grid_points(n: usize, dim: usize) -> (Matrix, Vec<u64>) {
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..dim).map(|j| ((i * (j + 3)) % 97) as f64 / 97.0).collect())
+            .map(|i| {
+                (0..dim)
+                    .map(|j| ((i * (j + 3)) % 97) as f64 / 97.0)
+                    .collect()
+            })
             .collect();
         let rids: Vec<u64> = (0..n as u64).collect();
         (Matrix::from_rows(&rows).unwrap(), rids)
@@ -213,6 +274,34 @@ mod tests {
         assert_eq!(t.dim(), 8);
         assert!(t.height() >= 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_parts_reattaches_exported_pages() {
+        let (points, rids) = grid_points(500, 4);
+        let t = HybridTree::bulk_load(pool(64), &points, &rids).unwrap();
+        let q = [0.3, 0.4, 0.5, 0.6];
+        let want = t.knn(&q, 7).unwrap();
+        let images = t.pool().export_pages().unwrap();
+        let reopened_pool = BufferPool::new(
+            DiskManager::from_pages(images, mmdr_storage::IoStats::new()),
+            64,
+        )
+        .unwrap();
+        let back = HybridTree::from_parts(
+            reopened_pool,
+            t.root_page_id(),
+            t.dim(),
+            t.len(),
+            t.height(),
+        )
+        .unwrap();
+        assert_eq!(back.knn(&q, 7).unwrap(), want);
+        assert!(
+            HybridTree::from_parts(BufferPool::new(DiskManager::new(), 4).unwrap(), 5, 4, 1, 1)
+                .is_err(),
+            "root beyond the page set is rejected"
+        );
     }
 
     #[test]

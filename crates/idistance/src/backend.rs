@@ -45,21 +45,32 @@ impl Backend {
 
     /// All four, in comparison-plot order.
     pub fn all() -> [Backend; 4] {
-        [Backend::SeqScan, Backend::IDistance, Backend::Hybrid, Backend::Gldr]
+        [
+            Backend::SeqScan,
+            Backend::IDistance,
+            Backend::Hybrid,
+            Backend::Gldr,
+        ]
     }
 }
 
 impl FromStr for Backend {
     type Err = String;
 
+    /// Parses a `--backend` flag value. The error of a failed parse lists
+    /// every valid name (derived from [`Backend::all`], so the list can
+    /// never drift from the enum).
     fn from_str(s: &str) -> std::result::Result<Self, String> {
-        match s {
-            "seqscan" => Ok(Backend::SeqScan),
-            "idistance" => Ok(Backend::IDistance),
-            "hybrid" => Ok(Backend::Hybrid),
-            "gldr" => Ok(Backend::Gldr),
-            other => Err(format!("unknown backend `{other}` (seqscan|idistance|hybrid|gldr)")),
-        }
+        Backend::all()
+            .into_iter()
+            .find(|b| b.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Backend::all().iter().map(|b| b.name()).collect();
+                format!(
+                    "unknown backend `{s}`; valid backends are: {}",
+                    names.join(", ")
+                )
+            })
     }
 }
 
@@ -78,31 +89,41 @@ pub fn build_backend(
         Backend::IDistance => Box::new(IDistanceIndex::build(
             data,
             model,
-            IDistanceConfig { buffer_pages: buffer_pages.max(2), ..Default::default() },
+            IDistanceConfig {
+                buffer_pages: buffer_pages.max(2),
+                ..Default::default()
+            },
         )?),
-        Backend::Hybrid => {
-            // Index the restored representations `restore(project(P))` at
-            // original dimensionality: the tree's plain L2 metric then
-            // coincides with the reduced-representation distance the other
-            // backends compute piecewise.
-            let mut restored = Matrix::zeros(0, 0);
-            let mut rids = Vec::with_capacity(model.num_points);
-            for cluster in &model.clusters {
-                for &pid in &cluster.members {
-                    let local = cluster.subspace.project(data.row(pid))?;
-                    restored.push_row(&cluster.subspace.restore(&local)?)?;
-                    rids.push(pid as u64);
-                }
-            }
-            for &pid in &model.outliers {
-                restored.push_row(data.row(pid))?;
-                rids.push(pid as u64);
-            }
-            let pool = BufferPool::new(DiskManager::new(), buffer_pages.max(1))?;
-            Box::new(HybridTree::bulk_load(pool, &restored, &rids)?)
-        }
+        Backend::Hybrid => Box::new(build_restored_hybrid(data, model, buffer_pages)?),
         Backend::Gldr => Box::new(GlobalLdrIndex::build(data, model, buffer_pages)?),
     })
+}
+
+/// Builds the `hybrid` backend's tree: the restored representations
+/// `restore(project(P))` indexed at original dimensionality, so the tree's
+/// plain L2 metric coincides with the reduced-representation distance the
+/// other backends compute piecewise. Exposed so the persistence layer can
+/// build the same concrete tree it snapshots.
+pub fn build_restored_hybrid(
+    data: &Matrix,
+    model: &ReductionResult,
+    buffer_pages: usize,
+) -> Result<HybridTree> {
+    let mut restored = Matrix::zeros(0, 0);
+    let mut rids = Vec::with_capacity(model.num_points);
+    for cluster in &model.clusters {
+        for &pid in &cluster.members {
+            let local = cluster.subspace.project(data.row(pid))?;
+            restored.push_row(&cluster.subspace.restore(&local)?)?;
+            rids.push(pid as u64);
+        }
+    }
+    for &pid in &model.outliers {
+        restored.push_row(data.row(pid))?;
+        rids.push(pid as u64);
+    }
+    let pool = BufferPool::new(DiskManager::new(), buffer_pages.max(1))?;
+    Ok(HybridTree::bulk_load(pool, &restored, &rids)?)
 }
 
 #[cfg(test)]
@@ -119,18 +140,39 @@ mod tests {
     }
 
     #[test]
+    fn parse_error_names_the_offender_and_every_valid_backend() {
+        let err = "btre".parse::<Backend>().unwrap_err();
+        assert!(err.contains("`btre`"), "offending input quoted: {err}");
+        for b in Backend::all() {
+            assert!(err.contains(b.name()), "{} missing from {err}", b.name());
+        }
+        // Near-miss spellings (case, whitespace) are rejected too — the
+        // flag is exact-match by design.
+        assert!("IDistance".parse::<Backend>().is_err());
+        assert!(" seqscan".parse::<Backend>().is_err());
+    }
+
+    #[test]
     fn factory_builds_all_four_with_matching_answers() {
         let mut rows = Vec::new();
         let jit = |i: usize, s: f64| ((i as f64 * 0.618_033_988 + s).fract() - 0.5) * 0.02;
         for i in 0..100 {
             let t = i as f64 / 99.0;
             rows.push(vec![t, 0.3 * t, jit(i, 0.5), jit(i, 0.7)]);
-            rows.push(vec![5.0 + jit(i, 0.1), 5.0 + jit(i, 0.9), 5.0 + t, 5.0 - 0.5 * t]);
+            rows.push(vec![
+                5.0 + jit(i, 0.1),
+                5.0 + jit(i, 0.9),
+                5.0 + t,
+                5.0 - 0.5 * t,
+            ]);
         }
         let data = Matrix::from_rows(&rows).unwrap();
-        let model = Mmdr::new(MmdrParams { max_ec: 4, ..Default::default() })
-            .fit(&data)
-            .unwrap();
+        let model = Mmdr::new(MmdrParams {
+            max_ec: 4,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         let q = data.row(10);
         let mut answers = Vec::new();
         for b in Backend::all() {

@@ -125,9 +125,12 @@ mod tests {
             assert!(!e.to_string().is_empty());
             assert!(e.source().is_some());
         }
-        assert!(Error::DimensionMismatch { expected: 3, actual: 2 }
-            .to_string()
-            .contains("3"));
+        assert!(Error::DimensionMismatch {
+            expected: 3,
+            actual: 2
+        }
+        .to_string()
+        .contains("3"));
         assert!(Error::BadRecordId(9).to_string().contains('9'));
         assert!(Error::InvalidQuery.source().is_none());
         assert!(Error::InvalidRadius.to_string().contains("radius"));

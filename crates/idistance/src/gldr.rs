@@ -49,7 +49,10 @@ impl GlobalLdrIndex {
     /// trees share I/O and search counters; `buffer_pages` is split evenly.
     pub fn build(data: &Matrix, model: &ReductionResult, buffer_pages: usize) -> Result<Self> {
         if data.cols() != model.dim {
-            return Err(Error::DimensionMismatch { expected: model.dim, actual: data.cols() });
+            return Err(Error::DimensionMismatch {
+                expected: model.dim,
+                actual: data.cols(),
+            });
         }
         let stats = IoStats::new();
         let search = SearchCounters::new();
@@ -95,6 +98,86 @@ impl GlobalLdrIndex {
         })
     }
 
+    /// Reassembles a gLDR forest from snapshot parts: per-cluster
+    /// `(subspace, tree, max_radius)` triples in build order plus the
+    /// optional outlier tree. Every tree's pool must already share the one
+    /// `stats` ledger (the snapshot layer reopens them that way); search
+    /// counters are re-unified here.
+    pub fn from_parts(
+        clusters: Vec<(ReducedSubspace, HybridTree, f64)>,
+        outlier_tree: Option<HybridTree>,
+        dim: usize,
+        len: usize,
+        stats: Arc<IoStats>,
+    ) -> Result<Self> {
+        let search = SearchCounters::new();
+        let mut cluster_indexes = Vec::with_capacity(clusters.len());
+        for (subspace, mut tree, max_radius) in clusters {
+            if !Arc::ptr_eq(&tree.io_stats(), &stats) {
+                return Err(Error::InvalidConfig(
+                    "cluster trees must share one IoStats ledger",
+                ));
+            }
+            if subspace.reduced_dim() != tree.dim() || subspace.original_dim() != dim {
+                return Err(Error::InvalidConfig(
+                    "subspace shape disagrees with its tree",
+                ));
+            }
+            tree.share_search_counters(Arc::clone(&search));
+            cluster_indexes.push(ClusterIndex {
+                subspace,
+                tree,
+                max_radius,
+            });
+        }
+        let outlier_tree = match outlier_tree {
+            Some(mut tree) => {
+                if !Arc::ptr_eq(&tree.io_stats(), &stats) {
+                    return Err(Error::InvalidConfig(
+                        "outlier tree must share the IoStats ledger",
+                    ));
+                }
+                if tree.dim() != dim {
+                    return Err(Error::InvalidConfig("outlier tree dimensionality mismatch"));
+                }
+                tree.share_search_counters(Arc::clone(&search));
+                Some(tree)
+            }
+            None => None,
+        };
+        let tree_total: usize = cluster_indexes.iter().map(|c| c.tree.len()).sum::<usize>()
+            + outlier_tree.as_ref().map_or(0, |t| t.len());
+        if tree_total != len {
+            return Err(Error::InvalidConfig(
+                "tree sizes disagree with the point count",
+            ));
+        }
+        Ok(Self {
+            clusters: cluster_indexes,
+            outlier_tree,
+            dim,
+            len,
+            stats,
+            search,
+        })
+    }
+
+    /// Number of per-cluster trees (snapshot export).
+    pub fn num_cluster_trees(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The `i`-th cluster's tree and its populated radius, in build order
+    /// (snapshot export).
+    pub fn cluster_tree(&self, i: usize) -> (&HybridTree, f64) {
+        (&self.clusters[i].tree, self.clusters[i].max_radius)
+    }
+
+    /// The outlier tree, when any outliers exist (snapshot export).
+    pub fn outlier_tree(&self) -> Option<&HybridTree> {
+        self.outlier_tree.as_ref()
+    }
+
     /// Number of indexed points.
     pub fn len(&self) -> usize {
         self.len
@@ -122,7 +205,11 @@ impl GlobalLdrIndex {
 
     /// Total pages across all structures.
     pub fn total_pages(&self) -> usize {
-        let mut total: usize = self.clusters.iter().map(|c| c.tree.pool().num_pages()).sum();
+        let mut total: usize = self
+            .clusters
+            .iter()
+            .map(|c| c.tree.pool().num_pages())
+            .sum();
         if let Some(t) = &self.outlier_tree {
             total += t.pool().num_pages();
         }
@@ -131,7 +218,10 @@ impl GlobalLdrIndex {
 
     fn validate(&self, query: &[f64]) -> Result<()> {
         if query.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         if query.iter().any(|x| !x.is_finite()) {
             return Err(Error::InvalidQuery);
@@ -156,7 +246,9 @@ impl GlobalLdrIndex {
             });
         }
         order.sort_by(|a, b| {
-            a.lower_bound.partial_cmp(&b.lower_bound).unwrap_or(Ordering::Equal)
+            a.lower_bound
+                .partial_cmp(&b.lower_bound)
+                .unwrap_or(Ordering::Equal)
         });
         Ok(order)
     }
@@ -238,7 +330,12 @@ mod tests {
         for i in 0..150 {
             let t = i as f64 / 149.0;
             rows.push(vec![t, jit(i, 0.3), jit(i, 0.5), jit(i, 0.7)]);
-            rows.push(vec![5.0 + jit(i, 0.1), 5.0 + jit(i, 0.9), 5.0 + t, 5.0 + jit(i, 0.2)]);
+            rows.push(vec![
+                5.0 + jit(i, 0.1),
+                5.0 + jit(i, 0.9),
+                5.0 + t,
+                5.0 + jit(i, 0.2),
+            ]);
         }
         Matrix::from_rows(&rows).unwrap()
     }
@@ -246,7 +343,12 @@ mod tests {
     #[test]
     fn knn_returns_close_points() {
         let data = two_cluster_data();
-        let model = Ldr::new(LdrParams { k: 2, ..Default::default() }).fit(&data).unwrap();
+        let model = Ldr::new(LdrParams {
+            k: 2,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         let index = GlobalLdrIndex::build(&data, &model, 128).unwrap();
         let r = index.knn(data.row(10), 5).unwrap();
         assert_eq!(r.len(), 5);
@@ -259,7 +361,12 @@ mod tests {
     #[test]
     fn validates_queries() {
         let data = two_cluster_data();
-        let model = Ldr::new(LdrParams { k: 2, ..Default::default() }).fit(&data).unwrap();
+        let model = Ldr::new(LdrParams {
+            k: 2,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         let index = GlobalLdrIndex::build(&data, &model, 64).unwrap();
         assert!(index.knn(&[0.0], 1).is_err());
         assert!(index.knn(&[f64::NAN; 4], 1).is_err());
@@ -277,11 +384,18 @@ mod tests {
         let data = two_cluster_data();
         // Pin d_r = 3 so leaves hold multi-d points (several leaves per
         // tree) and give each tree a 1-page pool: traversals must miss.
-        let model = Ldr::new(LdrParams { k: 2, fixed_dim: Some(3), ..Default::default() })
-            .fit(&data)
-            .unwrap();
+        let model = Ldr::new(LdrParams {
+            k: 2,
+            fixed_dim: Some(3),
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         let index = GlobalLdrIndex::build(&data, &model, 3).unwrap();
-        assert!(index.total_pages() > 2, "need a multi-page index for this test");
+        assert!(
+            index.total_pages() > 2,
+            "need a multi-page index for this test"
+        );
         let stats = index.io_stats();
         stats.reset();
         let _ = index.knn(data.row(0), 10).unwrap();
@@ -291,23 +405,39 @@ mod tests {
     #[test]
     fn search_counters_are_shared_across_trees() {
         let data = two_cluster_data();
-        let model = Ldr::new(LdrParams { k: 2, ..Default::default() }).fit(&data).unwrap();
+        let model = Ldr::new(LdrParams {
+            k: 2,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         let index = GlobalLdrIndex::build(&data, &model, 64).unwrap();
         let counters = index.search_counters();
         counters.reset();
         let _ = index.knn(data.row(0), 5).unwrap();
-        assert!(counters.dist_computations() > 0, "cluster trees report into one ledger");
+        assert!(
+            counters.dist_computations() > 0,
+            "cluster trees report into one ledger"
+        );
     }
 
     #[test]
     fn range_search_finds_neighbourhood() {
         let data = two_cluster_data();
-        let model = Ldr::new(LdrParams { k: 2, ..Default::default() }).fit(&data).unwrap();
+        let model = Ldr::new(LdrParams {
+            k: 2,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         let index = GlobalLdrIndex::build(&data, &model, 128).unwrap();
         let q = data.row(10);
         let knn = index.knn(q, 5).unwrap();
         let hits = index.range_search(q, knn[4].0).unwrap();
-        assert!(hits.len() >= 5, "range at the 5-NN distance holds at least 5 points");
+        assert!(
+            hits.len() >= 5,
+            "range at the 5-NN distance holds at least 5 points"
+        );
         for w in hits.windows(2) {
             assert!(w[0] <= w[1], "sorted by (distance, id)");
         }

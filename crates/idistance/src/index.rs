@@ -1,7 +1,7 @@
 //! Building the extended iDistance index from a reduction result.
 
 use crate::error::{Error, Result};
-use crate::heap::VectorHeap;
+use crate::vector_heap::VectorHeap;
 use mmdr_btree::BPlusTree;
 use mmdr_core::ReductionResult;
 use mmdr_index::SearchCounters;
@@ -85,11 +85,7 @@ impl IDistanceIndex {
     /// in heap pages at reduced width; outliers form one extra partition at
     /// original dimensionality. A single B⁺-tree indexes the mapped keys
     /// `y = i·c + dist(Pᵢ, Oᵢ)`.
-    pub fn build(
-        data: &Matrix,
-        model: &ReductionResult,
-        config: IDistanceConfig,
-    ) -> Result<Self> {
+    pub fn build(data: &Matrix, model: &ReductionResult, config: IDistanceConfig) -> Result<Self> {
         if config.buffer_pages < 2 {
             return Err(Error::InvalidConfig("buffer_pages must be >= 2"));
         }
@@ -98,7 +94,10 @@ impl IDistanceIndex {
         }
         let dim = model.dim;
         if data.cols() != dim {
-            return Err(Error::DimensionMismatch { expected: dim, actual: data.cols() });
+            return Err(Error::DimensionMismatch {
+                expected: dim,
+                actual: data.cols(),
+            });
         }
         let stats = IoStats::new();
         let tree_pool = BufferPool::new(
@@ -142,7 +141,11 @@ impl IDistanceIndex {
                 centroid: cluster.subspace.centroid().to_vec(),
                 subspace: Some(cluster.subspace.clone()),
                 covariance: Some(cluster.covariance.clone()),
-                min_radius: if min_radius.is_finite() { min_radius } else { 0.0 },
+                min_radius: if min_radius.is_finite() {
+                    min_radius
+                } else {
+                    0.0
+                },
                 max_radius,
                 count: cluster.members.len(),
             });
@@ -175,7 +178,11 @@ impl IDistanceIndex {
             subspace: None,
             centroid: reference,
             covariance: None,
-            min_radius: if min_radius.is_finite() { min_radius } else { 0.0 },
+            min_radius: if min_radius.is_finite() {
+                min_radius
+            } else {
+                0.0
+            },
             max_radius,
             count: model.outliers.len(),
         });
@@ -208,6 +215,72 @@ impl IDistanceIndex {
             search: SearchCounters::new(),
             len: model.num_points,
         })
+    }
+
+    /// Reassembles an index from parts restored from a snapshot: a
+    /// reattached B⁺-tree and heap (see [`BPlusTree::from_parts`] and
+    /// [`VectorHeap::from_parts`]), the partition metadata, and the scalar
+    /// state [`build`](Self::build) computed. The two pools must share one
+    /// [`IoStats`] ledger (the snapshot layer reopens them that way), so
+    /// the reopened index streams through the counters exactly like a
+    /// built one.
+    pub fn from_parts(
+        tree: BPlusTree,
+        heap: VectorHeap,
+        partitions: Vec<PartitionInfo>,
+        c: f64,
+        dim: usize,
+        config: IDistanceConfig,
+    ) -> Result<Self> {
+        if !(config.initial_radius_fraction > 0.0 && config.radius_step_fraction > 0.0) {
+            return Err(Error::InvalidConfig("radius fractions must be > 0"));
+        }
+        let Some(outlier) = partitions.last() else {
+            return Err(Error::InvalidConfig("partition table must not be empty"));
+        };
+        if outlier.subspace.is_some() {
+            return Err(Error::InvalidConfig(
+                "last partition must be the outlier home",
+            ));
+        }
+        let widest = partitions.iter().map(|p| p.max_radius).fold(0.0, f64::max);
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // !(a > b) also rejects NaN
+        if !(c > widest) {
+            return Err(Error::InvalidConfig("c must exceed every partition radius"));
+        }
+        let len: usize = partitions.iter().map(|p| p.count).sum();
+        if tree.len() != len || heap.len() < len as u64 {
+            return Err(Error::InvalidConfig(
+                "tree/heap sizes disagree with the partitions",
+            ));
+        }
+        let stats = tree.pool().stats();
+        if !Arc::ptr_eq(&stats, &heap.pool().stats()) {
+            return Err(Error::InvalidConfig(
+                "tree and heap must share one IoStats ledger",
+            ));
+        }
+        Ok(Self {
+            tree,
+            heap,
+            partitions,
+            c,
+            dim,
+            config,
+            stats,
+            search: SearchCounters::new(),
+            len,
+        })
+    }
+
+    /// Access to the B⁺-tree over the mapped keys (snapshot export).
+    pub fn tree(&self) -> &BPlusTree {
+        &self.tree
+    }
+
+    /// Access to the heap file of reduced payloads (snapshot export).
+    pub fn heap(&self) -> &VectorHeap {
+        &self.heap
     }
 
     /// Number of indexed points.
@@ -267,7 +340,10 @@ impl IDistanceIndex {
     /// correct.
     pub fn remove(&mut self, point: &[f64], point_id: u64) -> Result<bool> {
         if point.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: point.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: point.len(),
+            });
         }
         if point.iter().any(|x| !x.is_finite()) {
             return Err(Error::InvalidQuery);
@@ -318,7 +394,10 @@ impl IDistanceIndex {
     /// invariant.
     pub fn insert(&mut self, point: &[f64], point_id: u64) -> Result<()> {
         if point.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: point.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: point.len(),
+            });
         }
         if point.iter().any(|x| !x.is_finite()) {
             return Err(Error::InvalidQuery);
@@ -326,7 +405,9 @@ impl IDistanceIndex {
         // Assignment: nearest subspace within β, else outlier.
         let mut best: Option<(usize, f64)> = None;
         for (i, part) in self.partitions.iter().enumerate() {
-            let Some(subspace) = &part.subspace else { continue };
+            let Some(subspace) = &part.subspace else {
+                continue;
+            };
             let pd = subspace.proj_dist(point)?;
             if pd <= self.config.beta && best.is_none_or(|(_, d)| pd < d) {
                 best = Some((i, pd));
@@ -411,19 +492,28 @@ mod tests {
         assert!(IDistanceIndex::build(
             &data,
             &model,
-            IDistanceConfig { buffer_pages: 1, ..Default::default() }
+            IDistanceConfig {
+                buffer_pages: 1,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(IDistanceIndex::build(
             &data,
             &model,
-            IDistanceConfig { initial_radius_fraction: 0.0, ..Default::default() }
+            IDistanceConfig {
+                initial_radius_fraction: 0.0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(IDistanceIndex::build(
             &data,
             &model,
-            IDistanceConfig { c: Some(0.0), ..Default::default() }
+            IDistanceConfig {
+                c: Some(0.0),
+                ..Default::default()
+            }
         )
         .is_err());
     }
@@ -462,7 +552,10 @@ mod tests {
         let (data, mut index) = build();
         let victim = 50usize;
         assert!(index.remove(data.row(victim), victim as u64).unwrap());
-        assert!(!index.remove(data.row(victim), victim as u64).unwrap(), "already gone");
+        assert!(
+            !index.remove(data.row(victim), victim as u64).unwrap(),
+            "already gone"
+        );
         assert_eq!(index.len(), 199);
         // KNN over everything never returns the removed id.
         let hits = index.knn(data.row(victim), 199).unwrap();

@@ -65,7 +65,10 @@ impl IDistanceIndex {
         scratch: &mut QueryScratch,
     ) -> Result<Vec<(f64, u64)>> {
         if query.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         if query.iter().any(|x| !x.is_finite()) {
             return Err(Error::InvalidQuery);
@@ -93,7 +96,9 @@ impl IDistanceIndex {
                 None => mmdr_linalg::l2_dist(query, &part.centroid),
             };
             // Radial gap to the populated annulus [min_radius, max_radius].
-            let gap = (dist_q - part.max_radius).max(part.min_radius - dist_q).max(0.0);
+            let gap = (dist_q - part.max_radius)
+                .max(part.min_radius - dist_q)
+                .max(0.0);
             let lower_bound = (proj_sq + gap * gap).sqrt();
             searches.push(PartitionSearch {
                 part: i,
@@ -191,9 +196,14 @@ impl IDistanceIndex {
                             continue;
                         }
                         let (dist, point_id) = candidate_distance(
-                            self, rid, &s.q_local, s.proj_sq, s.part, &mut scratch.coords,
+                            self,
+                            rid,
+                            &s.q_local,
+                            s.proj_sq,
+                            s.part,
+                            &mut scratch.coords,
                         )?;
-                        if point_id != crate::heap::TOMBSTONE {
+                        if point_id != crate::vector_heap::TOMBSTONE {
                             best.push(dist, point_id);
                         }
                         s.outward = Some(cur);
@@ -217,9 +227,14 @@ impl IDistanceIndex {
                             continue;
                         }
                         let (dist, point_id) = candidate_distance(
-                            self, rid, &s.q_local, s.proj_sq, s.part, &mut scratch.coords,
+                            self,
+                            rid,
+                            &s.q_local,
+                            s.proj_sq,
+                            s.part,
+                            &mut scratch.coords,
                         )?;
-                        if point_id != crate::heap::TOMBSTONE {
+                        if point_id != crate::vector_heap::TOMBSTONE {
                             best.push(dist, point_id);
                         }
                         s.inward = Some(cur);
@@ -291,12 +306,18 @@ fn candidate_distance(
     scratch: &mut Vec<f64>,
 ) -> Result<(f64, u64)> {
     let (part, point_id) = index.heap.get_into(rid, scratch)?;
-    debug_assert_eq!(part as usize, expected_part, "key slot and heap partition agree");
+    debug_assert_eq!(
+        part as usize, expected_part,
+        "key slot and heap partition agree"
+    );
     index.search.record_dists(1);
-    if point_id != crate::heap::TOMBSTONE {
+    if point_id != crate::vector_heap::TOMBSTONE {
         index.search.record_refined(1);
     }
-    Ok((mmdr_linalg::reduced_dist(proj_sq, q_local, scratch), point_id))
+    Ok((
+        mmdr_linalg::reduced_dist(proj_sq, q_local, scratch),
+        point_id,
+    ))
 }
 
 #[cfg(test)]
@@ -314,7 +335,12 @@ mod tests {
         for i in 0..150 {
             let t = i as f64 / 149.0;
             rows.push(vec![t, 0.3 * t, jit(i, 0.5), jit(i, 0.7)]);
-            rows.push(vec![5.0 + jit(i, 0.1), 5.0 + jit(i, 0.9), 5.0 + t, 5.0 - 0.5 * t]);
+            rows.push(vec![
+                5.0 + jit(i, 0.1),
+                5.0 + jit(i, 0.9),
+                5.0 + t,
+                5.0 - 0.5 * t,
+            ]);
         }
         // Outliers off both planes.
         for i in 0..6 {
@@ -325,9 +351,12 @@ mod tests {
 
     fn build_pair() -> (Matrix, IDistanceIndex, SeqScan) {
         let data = dataset();
-        let model = Mmdr::new(MmdrParams { max_ec: 4, ..Default::default() })
-            .fit(&data)
-            .unwrap();
+        let model = Mmdr::new(MmdrParams {
+            max_ec: 4,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         let index = IDistanceIndex::build(&data, &model, IDistanceConfig::default()).unwrap();
         let scan = SeqScan::build(&data, &model, 64).unwrap();
         (data, index, scan)
@@ -360,7 +389,10 @@ mod tests {
         // out. The point must appear among the top few at ≤ β distance.
         let (data, index, _) = build_pair();
         let r = index.knn(data.row(42), 3).unwrap();
-        assert!(r.iter().any(|&(_, id)| id == 42), "self missing from top 3: {r:?}");
+        assert!(
+            r.iter().any(|&(_, id)| id == 42),
+            "self missing from top 3: {r:?}"
+        );
         assert!(r[0].0 <= 0.1, "nearest rep {} exceeds beta", r[0].0);
     }
 
@@ -374,13 +406,19 @@ mod tests {
         // Cold-ish pools would be fairer, but even warm the access count
         // (hits + misses) favours the index; compare logical page touches
         // via a small pool: rebuild with pool of 2.
-        let model = Mmdr::new(MmdrParams { max_ec: 4, ..Default::default() })
-            .fit(&data)
-            .unwrap();
+        let model = Mmdr::new(MmdrParams {
+            max_ec: 4,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         let cold_index = IDistanceIndex::build(
             &data,
             &model,
-            crate::index::IDistanceConfig { buffer_pages: 2, ..Default::default() },
+            crate::index::IDistanceConfig {
+                buffer_pages: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let cold_scan = SeqScan::build(&data, &model, 1).unwrap();

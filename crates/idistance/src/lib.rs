@@ -36,20 +36,21 @@
 mod backend;
 mod error;
 mod gldr;
-mod heap;
 mod index;
 mod knn;
 mod range;
 mod seqscan;
+mod vector_heap;
 mod vector_index;
 
-pub use backend::{build_backend, Backend};
+pub use backend::{build_backend, build_restored_hybrid, Backend};
 pub use error::{Error, Result};
 pub use gldr::GlobalLdrIndex;
-pub use heap::{VectorHeap, TOMBSTONE};
 pub use index::{IDistanceConfig, IDistanceIndex, PartitionInfo};
 pub use knn::QueryScratch;
-// The candidate heap lives in `mmdr-index` now (every backend shares it);
-// re-exported so existing users keep compiling.
-pub use mmdr_index::{KnnHeap, QueryStats, VectorIndex};
+// The shared query-layer types live in `mmdr-index` (the KnnHeap moved
+// there in PR 2 — import it from `mmdr_index` directly); these two are
+// re-exported because every backend consumer needs them together.
+pub use mmdr_index::{QueryStats, VectorIndex};
 pub use seqscan::SeqScan;
+pub use vector_heap::{VectorHeap, TOMBSTONE};

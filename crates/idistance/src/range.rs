@@ -14,7 +14,10 @@ impl IDistanceIndex {
     /// `radius` of `query`, as `(distance, point_id)` sorted ascending.
     pub fn range_search(&self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
         if query.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         if query.iter().any(|x| !x.is_finite()) {
             return Err(Error::InvalidQuery);
@@ -42,7 +45,9 @@ impl IDistanceIndex {
                 }
             };
             // Partition-level pruning (triangle inequality + projection).
-            let gap = (dist_q - info.max_radius).max(info.min_radius - dist_q).max(0.0);
+            let gap = (dist_q - info.max_radius)
+                .max(info.min_radius - dist_q)
+                .max(0.0);
             if proj_sq + gap * gap > radius * radius {
                 continue;
             }
@@ -55,7 +60,11 @@ impl IDistanceIndex {
             let max_r = info.max_radius;
             let lo_key = base + (dist_q - local_r).max(0.0);
             let hi_key = base + (dist_q + local_r).min(max_r);
-            let slot_end = if part + 1 == n_parts { f64::INFINITY } else { base + self.c };
+            let slot_end = if part + 1 == n_parts {
+                f64::INFINITY
+            } else {
+                base + self.c
+            };
 
             let mut cursor = self.tree.seek(lo_key)?;
             let mut scratch: Vec<f64> = Vec::new();
@@ -65,7 +74,7 @@ impl IDistanceIndex {
                 }
                 let (heap_part, point_id) = self.heap.get_into(rid, &mut scratch)?;
                 debug_assert_eq!(heap_part as usize, part);
-                if point_id == crate::heap::TOMBSTONE {
+                if point_id == crate::vector_heap::TOMBSTONE {
                     continue;
                 }
                 self.search.record_dists(1);
@@ -109,7 +118,12 @@ mod tests {
         for i in 0..200 {
             let t = i as f64 / 199.0;
             rows.push(vec![t, 0.4 * t, jit(i, 0.3), jit(i, 0.6)]);
-            rows.push(vec![5.0 + jit(i, 0.1), 5.0 - jit(i, 0.8), 5.0 + t, 5.0 + 0.7 * t]);
+            rows.push(vec![
+                5.0 + jit(i, 0.1),
+                5.0 - jit(i, 0.8),
+                5.0 + t,
+                5.0 + 0.7 * t,
+            ]);
         }
         let data = Matrix::from_rows(&rows).unwrap();
         let model = Mmdr::new(MmdrParams::default()).fit(&data).unwrap();

@@ -3,7 +3,7 @@
 //! in reduced subspaces).
 
 use crate::error::{Error, Result};
-use crate::heap::VectorHeap;
+use crate::vector_heap::VectorHeap;
 use mmdr_core::ReductionResult;
 use mmdr_index::{KnnHeap, SearchCounters};
 use mmdr_linalg::Matrix;
@@ -26,7 +26,10 @@ impl SeqScan {
     /// Lays the reduced dataset out in heap pages.
     pub fn build(data: &Matrix, model: &ReductionResult, buffer_pages: usize) -> Result<Self> {
         if data.cols() != model.dim {
-            return Err(Error::DimensionMismatch { expected: model.dim, actual: data.cols() });
+            return Err(Error::DimensionMismatch {
+                expected: model.dim,
+                actual: data.cols(),
+            });
         }
         let pool = BufferPool::new(DiskManager::new(), buffer_pages.max(1))?;
         let mut heap = VectorHeap::new(pool);
@@ -50,6 +53,34 @@ impl SeqScan {
             len: model.num_points,
             search: SearchCounters::new(),
         })
+    }
+
+    /// Reattaches a scan to a heap restored from a snapshot. The partition
+    /// subspaces are rebuilt from the reduction model the snapshot stores
+    /// (cluster order is the heap's partition order, exactly as
+    /// [`build`](Self::build) laid it out).
+    pub fn from_parts(heap: VectorHeap, model: &ReductionResult) -> Result<Self> {
+        if heap.len() != model.num_points as u64 {
+            return Err(Error::InvalidConfig("heap size disagrees with the model"));
+        }
+        let mut subspaces: Vec<Option<ReducedSubspace>> =
+            Vec::with_capacity(model.clusters.len() + 1);
+        for cluster in &model.clusters {
+            subspaces.push(Some(cluster.subspace.clone()));
+        }
+        subspaces.push(None);
+        Ok(Self {
+            heap,
+            subspaces,
+            dim: model.dim,
+            len: model.num_points,
+            search: SearchCounters::new(),
+        })
+    }
+
+    /// Access to the underlying heap (page export for snapshots).
+    pub fn heap(&self) -> &VectorHeap {
+        &self.heap
     }
 
     /// Number of stored points.
@@ -87,7 +118,10 @@ impl SeqScan {
     /// [`crate::IDistanceIndex::knn`].
     pub fn knn(&self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
         if query.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         if query.iter().any(|x| !x.is_finite()) {
             return Err(Error::InvalidQuery);
@@ -156,7 +190,11 @@ mod tests {
         let stats = scan.io_stats();
         stats.reset();
         let _ = scan.knn(data.row(0), 10).unwrap();
-        assert!(stats.reads() >= pages - 1, "reads {} pages {pages}", stats.reads());
+        assert!(
+            stats.reads() >= pages - 1,
+            "reads {} pages {pages}",
+            stats.reads()
+        );
     }
 
     #[test]

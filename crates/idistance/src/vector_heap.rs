@@ -36,7 +36,44 @@ pub struct VectorHeap {
 impl VectorHeap {
     /// Creates an empty heap in the pool.
     pub fn new(pool: BufferPool) -> Self {
-        Self { pool, open: None, len: 0 }
+        Self {
+            pool,
+            open: None,
+            len: 0,
+        }
+    }
+
+    /// Reattaches a heap to pages restored from a snapshot. `open` and
+    /// `len` must be the values the saved heap reported
+    /// ([`open_page`](Self::open_page), [`len`](Self::len)); restoring the
+    /// open-page state makes post-reopen appends land exactly where
+    /// post-build appends would, so record ids stay reproducible.
+    pub fn from_parts(
+        pool: BufferPool,
+        open: Option<(PageId, u32, usize)>,
+        len: u64,
+    ) -> Result<Self> {
+        if let Some((page, _, dim)) = open {
+            if page as usize >= pool.num_pages() {
+                return Err(Error::BadRecordId(page << 16));
+            }
+            if dim == 0 || Self::page_capacity(dim) == 0 {
+                return Err(Error::InvalidConfig("record width must fit a page"));
+            }
+        }
+        Ok(Self { pool, open, len })
+    }
+
+    /// The partially-filled page appends currently land in, as
+    /// `(page, partition, dim)` — persisted so
+    /// [`from_parts`](Self::from_parts) can reattach.
+    pub fn open_page(&self) -> Option<(PageId, u32, usize)> {
+        self.open
+    }
+
+    /// Access to the underlying buffer pool (page export for snapshots).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Number of records.
@@ -75,7 +112,10 @@ impl VectorHeap {
             Some((page, part, pdim)) => {
                 part != partition
                     || pdim != dim
-                    || self.pool.with_page(page, |p| p.get_u16(6).expect("header"))? as usize
+                    || self
+                        .pool
+                        .with_page(page, |p| p.get_u16(6).expect("header"))?
+                        as usize
                         >= Self::page_capacity(dim)
             }
             None => true,
@@ -114,22 +154,21 @@ impl VectorHeap {
         if page >= self.pool.num_pages() as u64 {
             return Err(Error::BadRecordId(rid));
         }
-        self.pool
-            .with_page(page, |p| {
-                let partition = p.get_u32(0).expect("header");
-                let dim = p.get_u16(4).expect("header") as usize;
-                let count = p.get_u16(6).expect("header") as usize;
-                if slot >= count {
-                    return Err(Error::BadRecordId(rid));
-                }
-                let base = HEADER + slot * (8 + 8 * dim);
-                let point_id = p.get_u64(base).expect("record in page");
-                coords.resize(dim, 0.0);
-                for (j, c) in coords.iter_mut().enumerate() {
-                    *c = p.get_f64(base + 8 + 8 * j).expect("record in page");
-                }
-                Ok((partition, point_id))
-            })?
+        self.pool.with_page(page, |p| {
+            let partition = p.get_u32(0).expect("header");
+            let dim = p.get_u16(4).expect("header") as usize;
+            let count = p.get_u16(6).expect("header") as usize;
+            if slot >= count {
+                return Err(Error::BadRecordId(rid));
+            }
+            let base = HEADER + slot * (8 + 8 * dim);
+            let point_id = p.get_u64(base).expect("record in page");
+            coords.resize(dim, 0.0);
+            for (j, c) in coords.iter_mut().enumerate() {
+                *c = p.get_f64(base + 8 + 8 * j).expect("record in page");
+            }
+            Ok((partition, point_id))
+        })?
     }
 
     /// Marks a record dead. Tombstoned records keep their slot (rids are
@@ -142,18 +181,17 @@ impl VectorHeap {
         if page >= self.pool.num_pages() as u64 {
             return Err(Error::BadRecordId(rid));
         }
-        self.pool
-            .with_page_mut(page, |p| {
-                let dim = p.get_u16(4).expect("header") as usize;
-                let count = p.get_u16(6).expect("header") as usize;
-                if slot >= count {
-                    return Err(Error::BadRecordId(rid));
-                }
-                let base = HEADER + slot * (8 + 8 * dim);
-                let old = p.get_u64(base).expect("record in page");
-                p.put_u64(base, TOMBSTONE).map_err(Error::Storage)?;
-                Ok(old)
-            })?
+        self.pool.with_page_mut(page, |p| {
+            let dim = p.get_u16(4).expect("header") as usize;
+            let count = p.get_u16(6).expect("header") as usize;
+            if slot >= count {
+                return Err(Error::BadRecordId(rid));
+            }
+            let base = HEADER + slot * (8 + 8 * dim);
+            let old = p.get_u64(base).expect("record in page");
+            p.put_u64(base, TOMBSTONE).map_err(Error::Storage)?;
+            Ok(old)
+        })?
     }
 
     /// Fetches a record: `(partition, point_id, coords)`.
@@ -163,21 +201,20 @@ impl VectorHeap {
         if page >= self.pool.num_pages() as u64 {
             return Err(Error::BadRecordId(rid));
         }
-        self.pool
-            .with_page(page, |p| {
-                let partition = p.get_u32(0).expect("header");
-                let dim = p.get_u16(4).expect("header") as usize;
-                let count = p.get_u16(6).expect("header") as usize;
-                if slot >= count {
-                    return Err(Error::BadRecordId(rid));
-                }
-                let base = HEADER + slot * (8 + 8 * dim);
-                let point_id = p.get_u64(base).expect("record in page");
-                let coords = (0..dim)
-                    .map(|j| p.get_f64(base + 8 + 8 * j).expect("record in page"))
-                    .collect();
-                Ok((partition, point_id, coords))
-            })?
+        self.pool.with_page(page, |p| {
+            let partition = p.get_u32(0).expect("header");
+            let dim = p.get_u16(4).expect("header") as usize;
+            let count = p.get_u16(6).expect("header") as usize;
+            if slot >= count {
+                return Err(Error::BadRecordId(rid));
+            }
+            let base = HEADER + slot * (8 + 8 * dim);
+            let point_id = p.get_u64(base).expect("record in page");
+            let coords = (0..dim)
+                .map(|j| p.get_f64(base + 8 + 8 * j).expect("record in page"))
+                .collect();
+            Ok((partition, point_id, coords))
+        })?
     }
 
     /// Iterates every record, invoking `f(partition, point_id, coords)`.
@@ -267,10 +304,36 @@ mod tests {
     }
 
     #[test]
+    fn from_parts_reattaches_and_appends_where_build_would() {
+        let mut h = heap(16);
+        for i in 0..10u64 {
+            h.append(0, i, &[i as f64, 1.0]).unwrap();
+        }
+        let images = h.pool().export_pages().unwrap();
+        let pool = BufferPool::new(
+            mmdr_storage::DiskManager::from_pages(images, mmdr_storage::IoStats::new()),
+            16,
+        )
+        .unwrap();
+        let mut back = VectorHeap::from_parts(pool, h.open_page(), h.len()).unwrap();
+        assert_eq!(back.len(), 10);
+        // The next append on the reopened heap gets the same rid as the
+        // next append on the original.
+        let r_orig = h.append(0, 99, &[9.0, 9.0]).unwrap();
+        let r_back = back.append(0, 99, &[9.0, 9.0]).unwrap();
+        assert_eq!(r_orig, r_back);
+        assert_eq!(back.get(r_back).unwrap(), (0, 99, vec![9.0, 9.0]));
+        // Bad open-page metadata is rejected.
+        let pool = BufferPool::new(mmdr_storage::DiskManager::new(), 4).unwrap();
+        assert!(VectorHeap::from_parts(pool, Some((7, 0, 2)), 0).is_err());
+    }
+
+    #[test]
     fn scan_visits_everything_once() {
         let mut h = heap(32);
         for i in 0..100u64 {
-            h.append((i % 3) as u32, i, &[i as f64, -(i as f64)]).unwrap();
+            h.append((i % 3) as u32, i, &[i as f64, -(i as f64)])
+                .unwrap();
         }
         let mut seen = Vec::new();
         h.scan(|part, pid, coords| {

@@ -147,7 +147,12 @@ mod tests {
         for i in 0..120 {
             let t = i as f64 / 119.0;
             rows.push(vec![t, 0.3 * t, jit(i, 0.5), jit(i, 0.7)]);
-            rows.push(vec![5.0 + jit(i, 0.1), 5.0 + jit(i, 0.9), 5.0 + t, 5.0 - 0.5 * t]);
+            rows.push(vec![
+                5.0 + jit(i, 0.1),
+                5.0 + jit(i, 0.9),
+                5.0 + t,
+                5.0 - 0.5 * t,
+            ]);
         }
         Matrix::from_rows(&rows).unwrap()
     }
@@ -155,9 +160,12 @@ mod tests {
     #[test]
     fn all_three_backends_answer_through_the_trait() {
         let data = dataset();
-        let model = Mmdr::new(MmdrParams { max_ec: 4, ..Default::default() })
-            .fit(&data)
-            .unwrap();
+        let model = Mmdr::new(MmdrParams {
+            max_ec: 4,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         let index = IDistanceIndex::build(&data, &model, IDistanceConfig::default()).unwrap();
         let scan = SeqScan::build(&data, &model, 64).unwrap();
         let gldr = GlobalLdrIndex::build(&data, &model, 64).unwrap();
@@ -180,21 +188,21 @@ mod tests {
     #[test]
     fn scratch_batch_override_matches_serial() {
         let data = dataset();
-        let model = Mmdr::new(MmdrParams { max_ec: 4, ..Default::default() })
-            .fit(&data)
-            .unwrap();
+        let model = Mmdr::new(MmdrParams {
+            max_ec: 4,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         let index = IDistanceIndex::build(&data, &model, IDistanceConfig::default()).unwrap();
         let queries: Vec<Vec<f64>> = (0..20).map(|i| data.row(i * 9).to_vec()).collect();
-        let serial: Vec<Vec<(f64, u64)>> =
-            queries.iter().map(|q| IDistanceIndex::knn(&index, q, 7).unwrap()).collect();
+        let serial: Vec<Vec<(f64, u64)>> = queries
+            .iter()
+            .map(|q| IDistanceIndex::knn(&index, q, 7).unwrap())
+            .collect();
         for threads in [1, 2, 4] {
-            let batch = VectorIndex::batch_knn(
-                &index,
-                &queries,
-                7,
-                &ParConfig::threads(threads),
-            )
-            .unwrap();
+            let batch =
+                VectorIndex::batch_knn(&index, &queries, 7, &ParConfig::threads(threads)).unwrap();
             assert_eq!(batch, serial, "threads={threads}");
         }
     }
@@ -202,9 +210,12 @@ mod tests {
     #[test]
     fn errors_translate() {
         let data = dataset();
-        let model = Mmdr::new(MmdrParams { max_ec: 4, ..Default::default() })
-            .fit(&data)
-            .unwrap();
+        let model = Mmdr::new(MmdrParams {
+            max_ec: 4,
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap();
         let scan = SeqScan::build(&data, &model, 16).unwrap();
         assert!(matches!(
             VectorIndex::knn(&scan, &[0.0], 1).unwrap_err(),

@@ -62,7 +62,12 @@ mod tests {
     #[test]
     fn displays_and_sources() {
         use std::error::Error as _;
-        assert!(Error::DimensionMismatch { expected: 3, actual: 2 }.to_string().contains('3'));
+        assert!(Error::DimensionMismatch {
+            expected: 3,
+            actual: 2
+        }
+        .to_string()
+        .contains('3'));
         assert!(!Error::InvalidQuery.to_string().is_empty());
         assert!(!Error::InvalidRadius.to_string().is_empty());
         let wrapped = Error::backend(std::io::Error::other("boom"));

@@ -41,7 +41,10 @@ pub struct KnnHeap {
 impl KnnHeap {
     /// An empty heap retaining at most `k` candidates.
     pub fn new(k: usize) -> Self {
-        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Candidate bound `k`.

@@ -126,7 +126,11 @@ mod tests {
 
     impl Toy {
         fn new(points: Vec<f64>) -> Self {
-            Self { points, io: IoStats::new(), search: SearchCounters::new() }
+            Self {
+                points,
+                io: IoStats::new(),
+                search: SearchCounters::new(),
+            }
         }
     }
 
@@ -142,7 +146,10 @@ mod tests {
         }
         fn knn(&self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
             if query.len() != 1 {
-                return Err(Error::DimensionMismatch { expected: 1, actual: query.len() });
+                return Err(Error::DimensionMismatch {
+                    expected: 1,
+                    actual: query.len(),
+                });
             }
             let mut heap = KnnHeap::new(k);
             for (i, &p) in self.points.iter().enumerate() {

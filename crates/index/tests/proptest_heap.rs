@@ -2,7 +2,7 @@
 //! of every KNN search: pop order, k-bounding, and insertion-order
 //! independence.
 
-use mmdr_idistance::KnnHeap;
+use mmdr_index::KnnHeap;
 use proptest::prelude::*;
 
 /// Candidate stream: distances in a bounded range (ties likely), small ids.

@@ -87,7 +87,12 @@ impl Value {
 
     /// Builds an object from `(key, value)` pairs.
     pub fn object(fields: Vec<(&str, Value)>) -> Value {
-        Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// Compact serialization (no whitespace).
@@ -466,8 +471,16 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1.2.3", "\"unterminated",
-            "[1] trailing", "{1: 2}",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "[1] trailing",
+            "{1: 2}",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -477,7 +490,10 @@ mod tests {
     fn parses_whitespace_and_escapes() {
         let v = parse(" { \"a\\u0041\" : [ 1 , 2.5e1 , \"x\\ty\" ] } ").unwrap();
         assert_eq!(v.get("aA").unwrap().as_array().unwrap().len(), 3);
-        assert_eq!(v.get("aA").unwrap().as_array().unwrap()[1].as_f64(), Some(25.0));
+        assert_eq!(
+            v.get("aA").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(25.0)
+        );
         assert_eq!(
             v.get("aA").unwrap().as_array().unwrap()[2].as_str(),
             Some("x\ty")

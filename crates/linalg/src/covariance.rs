@@ -232,7 +232,9 @@ mod tests {
         for _ in 0..n {
             let mut row = Vec::with_capacity(d);
             for _ in 0..d {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 row.push(((state >> 11) as f64) / (1u64 << 53) as f64 - 0.5);
             }
             rows.push(row);
@@ -275,7 +277,10 @@ mod tests {
         // the serial fold, so the results agree bitwise.
         let data = pseudo_random_data(200, 3);
         let mean = mean_vector(&data).unwrap();
-        assert_eq!(mean, mean_vector_par(&data, &ParConfig::threads(8)).unwrap());
+        assert_eq!(
+            mean,
+            mean_vector_par(&data, &ParConfig::threads(8)).unwrap()
+        );
         assert_eq!(
             covariance_about(&data, &mean).unwrap(),
             covariance_about_par(&data, &mean, &ParConfig::threads(8)).unwrap()

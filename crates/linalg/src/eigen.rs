@@ -89,7 +89,9 @@ impl SymmetricEigen {
                 }
             }
         }
-        Err(Error::NoConvergence { iterations: MAX_SWEEPS })
+        Err(Error::NoConvergence {
+            iterations: MAX_SWEEPS,
+        })
     }
 
     /// Extracts sorted eigenpairs from the diagonalized matrix.
@@ -97,7 +99,9 @@ impl SymmetricEigen {
         let n = m.rows();
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            m[(b, b)].partial_cmp(&m[(a, a)]).unwrap_or(std::cmp::Ordering::Equal)
+            m[(b, b)]
+                .partial_cmp(&m[(a, a)])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
         let mut eigenvectors = Matrix::zeros(n, n);
@@ -106,7 +110,10 @@ impl SymmetricEigen {
                 eigenvectors[(i, new_j)] = v[(i, old_j)];
             }
         }
-        Self { eigenvalues, eigenvectors }
+        Self {
+            eigenvalues,
+            eigenvectors,
+        }
     }
 
     /// The first `k` eigenvectors (largest eigenvalues) as a `d × k` matrix —
@@ -175,7 +182,11 @@ mod tests {
             }
         }
         // Eigenvector matrix orthonormal: VᵀV = I.
-        let vtv = eig.eigenvectors.transpose().matmul(&eig.eigenvectors).unwrap();
+        let vtv = eig
+            .eigenvectors
+            .transpose()
+            .matmul(&eig.eigenvectors)
+            .unwrap();
         assert!(vtv.sub(&Matrix::identity(n)).unwrap().max_abs() < 1e-10);
         // Trace preserved.
         let tr: f64 = eig.eigenvalues.iter().sum();

@@ -49,14 +49,21 @@ impl fmt::Display for Error {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             Error::NotSquare { shape } => {
-                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "operation requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             Error::Singular => write!(f, "matrix is singular"),
             Error::NotPositiveDefinite { pivot } => {
                 write!(f, "matrix is not positive definite (pivot {pivot})")
             }
             Error::NoConvergence { iterations } => {
-                write!(f, "iteration failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "iteration failed to converge after {iterations} iterations"
+                )
             }
             Error::Empty => write!(f, "input is empty"),
         }
@@ -71,13 +78,23 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = Error::DimensionMismatch { op: "matmul", lhs: (3, 2), rhs: (4, 4) };
+        let e = Error::DimensionMismatch {
+            op: "matmul",
+            lhs: (3, 2),
+            rhs: (4, 4),
+        };
         assert!(e.to_string().contains("matmul"));
         assert!(e.to_string().contains("3x2"));
         assert_eq!(Error::Singular.to_string(), "matrix is singular");
-        assert!(Error::NotPositiveDefinite { pivot: 7 }.to_string().contains('7'));
-        assert!(Error::NoConvergence { iterations: 9 }.to_string().contains('9'));
-        assert!(Error::NotSquare { shape: (2, 3) }.to_string().contains("2x3"));
+        assert!(Error::NotPositiveDefinite { pivot: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(Error::NoConvergence { iterations: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(Error::NotSquare { shape: (2, 3) }
+            .to_string()
+            .contains("2x3"));
         assert!(!Error::Empty.to_string().is_empty());
     }
 

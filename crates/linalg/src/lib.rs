@@ -43,11 +43,11 @@ pub use covariance::{
     covariance, covariance_about, covariance_about_par, covariance_par, mean_vector,
     mean_vector_par,
 };
-pub use par::{map_ranges, map_ranges_with, ParConfig, PAR_CHUNK};
 pub use eigen::SymmetricEigen;
 pub use error::{Error, Result};
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use par::{map_ranges, map_ranges_with, ParConfig, PAR_CHUNK};
 pub use qr::Qr;
 pub use rotation::random_rotation;
 pub use vector::{

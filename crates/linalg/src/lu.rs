@@ -175,7 +175,10 @@ mod tests {
 
     #[test]
     fn non_square_rejected() {
-        assert!(matches!(Lu::new(&Matrix::zeros(2, 3)), Err(Error::NotSquare { .. })));
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(Error::NotSquare { .. })
+        ));
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl Matrix {
 
     /// Creates an all-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -62,7 +66,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Self { rows: rows.len(), cols, data })
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Builds a matrix from a function of `(row, col)`.
@@ -219,7 +227,12 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -232,7 +245,12 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -248,7 +266,9 @@ impl Matrix {
     /// Sum of diagonal entries; requires a square matrix.
     pub fn trace(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(Error::NotSquare { shape: self.shape() });
+            return Err(Error::NotSquare {
+                shape: self.shape(),
+            });
         }
         Ok((0..self.rows).map(|i| self[(i, i)]).sum())
     }
@@ -285,7 +305,8 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(self.rows, len);
         for i in 0..self.rows {
-            out.row_mut(i).copy_from_slice(&self.row(i)[start..start + len]);
+            out.row_mut(i)
+                .copy_from_slice(&self.row(i)[start..start + len]);
         }
         Ok(out)
     }
@@ -445,7 +466,10 @@ mod tests {
     fn columns_block() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
         let c = a.columns(1, 2).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[vec![2.0, 3.0], vec![5.0, 6.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![2.0, 3.0], vec![5.0, 6.0]]).unwrap()
+        );
         assert!(a.columns(2, 2).is_err());
     }
 

@@ -126,7 +126,9 @@ mod tests {
     fn identical_partials_across_thread_counts() {
         // Partial sums of a pseudo-random series: the chunk reduction tree
         // must not depend on the thread count.
-        let data: Vec<f64> = (0..5000).map(|i| ((i * 2654435761u64 as usize) % 997) as f64 / 997.0).collect();
+        let data: Vec<f64> = (0..5000)
+            .map(|i| ((i * 2654435761u64 as usize) % 997) as f64 / 997.0)
+            .collect();
         let sum_with = |threads| {
             let partials = map_ranges(data.len(), &ParConfig::threads(threads), |r| {
                 data[r].iter().sum::<f64>()

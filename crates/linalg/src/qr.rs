@@ -184,7 +184,9 @@ mod tests {
     fn deterministic_random_tall() {
         let mut state = 42u64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let a = Matrix::from_fn(10, 6, |_, _| rand());

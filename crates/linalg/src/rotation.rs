@@ -65,7 +65,9 @@ mod tests {
                 return s;
             }
             let mut next_uniform = || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
             };
             let u1: f64 = next_uniform();

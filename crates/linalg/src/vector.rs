@@ -91,7 +91,10 @@ pub fn l1_norm(a: &[f64]) -> f64 {
 #[inline]
 pub fn linf_dist(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "linf_dist: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 /// General Minkowski `Lp` distance for `p >= 1`.

@@ -3,8 +3,8 @@
 //! and every thread count must produce bit-identical results.
 
 use mmdr_linalg::{
-    covariance_about, covariance_about_par, map_ranges_with, mean_vector, mean_vector_par,
-    Matrix, ParConfig,
+    covariance_about, covariance_about_par, map_ranges_with, mean_vector, mean_vector_par, Matrix,
+    ParConfig,
 };
 use proptest::prelude::*;
 

@@ -61,9 +61,16 @@ impl Pca {
     pub fn from_parts(mean: Vec<f64>, eigenvalues: Vec<f64>, components: Matrix) -> Result<Self> {
         let d = mean.len();
         if components.shape() != (d, d) || eigenvalues.len() != d {
-            return Err(Error::DimensionMismatch { expected: d, actual: components.rows() });
+            return Err(Error::DimensionMismatch {
+                expected: d,
+                actual: components.rows(),
+            });
         }
-        Ok(Self { mean, eigenvalues, components })
+        Ok(Self {
+            mean,
+            eigenvalues,
+            components,
+        })
     }
 
     /// Original dimensionality `d`.
@@ -115,7 +122,10 @@ impl Pca {
     pub fn project_dataset(&self, data: &Matrix, d_r: usize) -> Result<Matrix> {
         self.check_dr(d_r)?;
         if data.cols() != self.dim() {
-            return Err(Error::DimensionMismatch { expected: self.dim(), actual: data.cols() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: data.cols(),
+            });
         }
         let mut out = Matrix::zeros(data.rows(), d_r);
         for (i, row) in data.iter_rows().enumerate() {
@@ -128,10 +138,18 @@ impl Pca {
     /// [`Pca::project_dataset`] with chunk-parallel rows. Each output row
     /// depends only on its input row, so the result is identical to the
     /// serial version for every `num_threads`.
-    pub fn project_dataset_par(&self, data: &Matrix, d_r: usize, par: &ParConfig) -> Result<Matrix> {
+    pub fn project_dataset_par(
+        &self,
+        data: &Matrix,
+        d_r: usize,
+        par: &ParConfig,
+    ) -> Result<Matrix> {
         self.check_dr(d_r)?;
         if data.cols() != self.dim() {
-            return Err(Error::DimensionMismatch { expected: self.dim(), actual: data.cols() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: data.cols(),
+            });
         }
         let chunks = map_ranges(data.rows(), par, |range| {
             let mut rows = Vec::with_capacity(range.len());
@@ -182,7 +200,11 @@ impl Pca {
         // the point lies exactly on the subspace; clamp it to a true zero so
         // flat clusters report zero loss.
         let resid = total - retained;
-        Ok(if resid <= 1e-12 * total { 0.0 } else { resid.sqrt() })
+        Ok(if resid <= 1e-12 * total {
+            0.0
+        } else {
+            resid.sqrt()
+        })
     }
 
     /// `ProjDist_e(P)`: distance from `P` to its projection on the eliminated
@@ -218,7 +240,10 @@ impl Pca {
         }
         self.check_dr(d_r)?;
         if data.cols() != self.dim() {
-            return Err(Error::DimensionMismatch { expected: self.dim(), actual: data.cols() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: data.cols(),
+            });
         }
         let partials = map_ranges(data.rows(), par, |range| {
             let mut sum = 0.0;
@@ -227,7 +252,10 @@ impl Pca {
             }
             sum
         });
-        let sum = partials.into_iter().reduce(|a, b| a + b).expect("at least one chunk");
+        let sum = partials
+            .into_iter()
+            .reduce(|a, b| a + b)
+            .expect("at least one chunk");
         Ok(sum / data.rows() as f64)
     }
 
@@ -257,14 +285,20 @@ impl Pca {
 
     fn check_dr(&self, d_r: usize) -> Result<()> {
         if d_r == 0 || d_r > self.dim() {
-            return Err(Error::InvalidReducedDim { requested: d_r, original: self.dim() });
+            return Err(Error::InvalidReducedDim {
+                requested: d_r,
+                original: self.dim(),
+            });
         }
         Ok(())
     }
 
     fn check_point(&self, point: &[f64]) -> Result<()> {
         if point.len() != self.dim() {
-            return Err(Error::DimensionMismatch { expected: self.dim(), actual: point.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: point.len(),
+            });
         }
         Ok(())
     }
@@ -288,7 +322,10 @@ mod tests {
 
     #[test]
     fn fit_rejects_empty() {
-        assert_eq!(Pca::fit(&Matrix::zeros(0, 3)).err(), Some(Error::EmptyDataset));
+        assert_eq!(
+            Pca::fit(&Matrix::zeros(0, 3)).err(),
+            Some(Error::EmptyDataset)
+        );
     }
 
     #[test]
@@ -411,7 +448,9 @@ mod tests {
         for _ in 0..2000 {
             let mut row = Vec::with_capacity(4);
             for _ in 0..4 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 row.push(((state >> 11) as f64) / (1u64 << 53) as f64);
             }
             rows.push(row);
@@ -423,7 +462,9 @@ mod tests {
             assert!((a - b).abs() < 1e-12);
         }
         let mpe1 = base.mpe_par(&data, 2, &ParConfig::serial()).unwrap();
-        let proj1 = base.project_dataset_par(&data, 2, &ParConfig::serial()).unwrap();
+        let proj1 = base
+            .project_dataset_par(&data, 2, &ParConfig::serial())
+            .unwrap();
         assert_eq!(proj1, base.project_dataset(&data, 2).unwrap());
         assert!((mpe1 - base.mpe(&data, 2).unwrap()).abs() < 1e-9);
         for threads in [2, 4, 8] {

@@ -33,7 +33,10 @@ impl fmt::Display for Error {
         match self {
             Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             Error::EmptyDataset => write!(f, "dataset is empty"),
-            Error::InvalidReducedDim { requested, original } => write!(
+            Error::InvalidReducedDim {
+                requested,
+                original,
+            } => write!(
                 f,
                 "reduced dimensionality {requested} not in 1..={original}"
             ),
@@ -66,12 +69,18 @@ mod tests {
     #[test]
     fn displays() {
         assert!(Error::EmptyDataset.to_string().contains("empty"));
-        assert!(Error::InvalidReducedDim { requested: 9, original: 4 }
-            .to_string()
-            .contains("9"));
-        assert!(Error::DimensionMismatch { expected: 3, actual: 2 }
-            .to_string()
-            .contains("expects 3"));
+        assert!(Error::InvalidReducedDim {
+            requested: 9,
+            original: 4
+        }
+        .to_string()
+        .contains("9"));
+        assert!(Error::DimensionMismatch {
+            expected: 3,
+            actual: 2
+        }
+        .to_string()
+        .contains("expects 3"));
         let wrapped = Error::from(mmdr_linalg::Error::Singular);
         assert!(wrapped.to_string().contains("singular"));
         use std::error::Error as _;

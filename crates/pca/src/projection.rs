@@ -106,7 +106,12 @@ mod tests {
 
     #[test]
     fn ellipticity_of_point_mass_is_zero() {
-        let s = ProjectionStats { d_r: 1, max_proj_dist_r: 0.0, max_proj_dist_e: 0.0, mpe: 0.0 };
+        let s = ProjectionStats {
+            d_r: 1,
+            max_proj_dist_r: 0.0,
+            max_proj_dist_e: 0.0,
+            mpe: 0.0,
+        };
         assert_eq!(ellipticity(&s), 0.0);
     }
 

@@ -126,7 +126,11 @@ impl ReducedSubspace {
         // Clamp cancellation noise (see Pca::proj_dist_r) so on-flat points
         // report exactly zero.
         let resid = total - retained;
-        Ok(if resid <= 1e-12 * total { 0.0 } else { resid.sqrt() })
+        Ok(if resid <= 1e-12 * total {
+            0.0
+        } else {
+            resid.sqrt()
+        })
     }
 
     /// Distance *within* the subspace from the projected point to the

@@ -1,0 +1,235 @@
+//! Checked little-endian byte encoding for section payloads.
+//!
+//! Everything in a snapshot beyond raw page images goes through this pair:
+//! the writer appends fixed-width little-endian fields, the reader pulls
+//! them back with explicit bounds checks. Floating-point values travel as
+//! raw IEEE-754 bit patterns, so a save/open round trip is *bit-exact* —
+//! the property the parity tests assert on distances.
+
+use crate::error::{PersistError, Result};
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as `u64` (the on-disk width is fixed regardless of
+    /// the host).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked little-endian decoder over a section payload.
+///
+/// Overruns report [`PersistError::Malformed`]: the section already passed
+/// its CRC, so running out of bytes means the *writer* produced a
+/// structurally invalid section, not that the file was damaged in transit.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Region name used in error messages.
+    region: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader over a section payload; `region` names it in errors.
+    pub fn new(buf: &'a [u8], region: &'static str) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            region,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte was consumed — a decoded structure must
+    /// account for its entire section.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(PersistError::malformed(format!(
+                "{}: {} unconsumed bytes after decoding",
+                self.region,
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PersistError::malformed(format!(
+                "{}: needed {n} more bytes, only {} left",
+                self.region,
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`, rejecting values that do
+    /// not fit the host (only possible for hostile inputs on 32-bit).
+    pub fn get_usize(&mut self) -> Result<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| {
+            PersistError::malformed(format!(
+                "{}: length {v} exceeds the address space",
+                self.region
+            ))
+        })
+    }
+
+    /// Reads a `u64` meant to be a collection length, additionally bounding
+    /// it by the bytes actually available (each element needs at least
+    /// `min_elem_bytes`) so a corrupt length cannot trigger a huge
+    /// allocation before the overrun is noticed.
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let n = self.get_usize()?;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(PersistError::malformed(format!(
+                "{}: length {n} larger than the bytes backing it",
+                self.region
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>> {
+        let n = self.get_len(8)?;
+        (0..n).map(|_| self.get_f64()).collect()
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(42);
+        w.put_f64(-0.0);
+        w.put_f64(f64::MIN_POSITIVE);
+        w.put_f64_slice(&[1.5, -2.25]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "test");
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        // Bit-exact: −0.0 keeps its sign bit.
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_f64().unwrap(), f64::MIN_POSITIVE);
+        assert_eq!(r.get_f64_vec().unwrap(), vec![1.5, -2.25]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn overrun_is_malformed() {
+        let bytes = [1u8, 2];
+        let mut r = ByteReader::new(&bytes, "tiny");
+        assert!(matches!(r.get_u64(), Err(PersistError::Malformed(_))));
+    }
+
+    #[test]
+    fn unconsumed_bytes_rejected() {
+        let bytes = [0u8; 9];
+        let mut r = ByteReader::new(&bytes, "long");
+        r.get_u64().unwrap();
+        assert!(matches!(r.expect_end(), Err(PersistError::Malformed(_))));
+    }
+
+    #[test]
+    fn absurd_length_rejected_before_allocating() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX / 2); // claims ~9 quintillion elements
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "lie");
+        assert!(matches!(r.get_f64_vec(), Err(PersistError::Malformed(_))));
+    }
+}

@@ -1,0 +1,388 @@
+//! The snapshot container: superblock, section table, checksummed sections.
+//!
+//! ```text
+//! offset 0    superblock (80 bytes)
+//!   0..8    magic  "MMDRSNP\x01"
+//!   8..12   format version        (u32 LE)
+//!   12..16  endian tag 0x1A2B3C4D (u32 LE — reads back wrong on a
+//!           big-endian writer, catching byte-order drift explicitly)
+//!   16..20  backend tag           (u32 LE)
+//!   20..24  section count         (u32 LE)
+//!   24..32  section-table offset  (u64 LE, = 80)
+//!   32..40  total file length     (u64 LE)
+//!   40..44  section-table CRC32   (u32 LE)
+//!   44..48  superblock CRC32      (u32 LE, computed with this field zero)
+//!   48..80  reserved, zero
+//! offset 80   section table: count × 32-byte entries
+//!   0..4    section id   (u32 LE)
+//!   4..8    payload CRC32(u32 LE)
+//!   8..16   payload offset (u64 LE, absolute)
+//!   16..24  payload length (u64 LE)
+//!   24..32  reserved, zero
+//! then        section payloads, back to back
+//! ```
+//!
+//! Every byte of the file is covered: the superblock and table by their own
+//! CRCs, payloads by per-section CRCs, and the gap-freeness of the layout by
+//! the recorded total length (shorter file → `Truncated`, longer →
+//! `TrailingBytes`). Open-time checks run in a fixed order — magic, endian
+//! tag, *version*, then checksums — so a snapshot from a future format
+//! version reports `UnsupportedVersion` even though its superblock would
+//! also fail this version's expectations.
+
+use crate::crc32::crc32;
+use crate::error::{PersistError, Result};
+
+/// First eight bytes of every snapshot.
+pub const MAGIC: [u8; 8] = *b"MMDRSNP\x01";
+/// Current (and only) format version this build writes and opens.
+pub const FORMAT_VERSION: u32 = 1;
+/// Little-endian sentinel; a byte-swapped writer would store 0x4D3C2B1A.
+pub const ENDIAN_TAG: u32 = 0x1A2B_3C4D;
+/// Superblock size; the section table starts here.
+pub const SUPERBLOCK_LEN: usize = 80;
+/// Size of one section-table entry.
+pub const TABLE_ENTRY_LEN: usize = 32;
+
+/// Well-known section ids.
+pub mod section_id {
+    /// The reduction model (clusters, subspaces, outliers, stats).
+    pub const MODEL: u32 = 1;
+    /// Backend-specific scalar metadata (roots, heights, radii, config).
+    pub const META: u32 = 2;
+    /// Raw page images, grouped per storage structure.
+    pub const PAGES: u32 = 3;
+}
+
+/// Human-readable name of a section id for checksum error messages.
+fn section_name(id: u32) -> String {
+    match id {
+        section_id::MODEL => "section model".to_string(),
+        section_id::META => "section meta".to_string(),
+        section_id::PAGES => "section pages".to_string(),
+        other => format!("section #{other}"),
+    }
+}
+
+/// One section to write: id plus payload bytes.
+pub struct Section {
+    /// Section id (see [`section_id`]).
+    pub id: u32,
+    /// Raw payload.
+    pub payload: Vec<u8>,
+}
+
+/// Assembles a complete snapshot image from the backend tag and sections.
+pub fn assemble(backend_tag: u32, sections: &[Section]) -> Vec<u8> {
+    let table_len = sections.len() * TABLE_ENTRY_LEN;
+    let mut offset = (SUPERBLOCK_LEN + table_len) as u64;
+    let mut table = Vec::with_capacity(table_len);
+    for s in sections {
+        table.extend_from_slice(&s.id.to_le_bytes());
+        table.extend_from_slice(&crc32(&s.payload).to_le_bytes());
+        table.extend_from_slice(&offset.to_le_bytes());
+        table.extend_from_slice(&(s.payload.len() as u64).to_le_bytes());
+        table.extend_from_slice(&0u64.to_le_bytes());
+        offset += s.payload.len() as u64;
+    }
+    let file_len = offset;
+
+    let mut sb = [0u8; SUPERBLOCK_LEN];
+    sb[0..8].copy_from_slice(&MAGIC);
+    sb[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    sb[12..16].copy_from_slice(&ENDIAN_TAG.to_le_bytes());
+    sb[16..20].copy_from_slice(&backend_tag.to_le_bytes());
+    sb[20..24].copy_from_slice(&(sections.len() as u32).to_le_bytes());
+    sb[24..32].copy_from_slice(&(SUPERBLOCK_LEN as u64).to_le_bytes());
+    sb[32..40].copy_from_slice(&file_len.to_le_bytes());
+    sb[40..44].copy_from_slice(&crc32(&table).to_le_bytes());
+    // CRC over the superblock with its own CRC field still zero.
+    let sb_crc = crc32(&sb);
+    sb[44..48].copy_from_slice(&sb_crc.to_le_bytes());
+
+    let mut out = Vec::with_capacity(file_len as usize);
+    out.extend_from_slice(&sb);
+    out.extend_from_slice(&table);
+    for s in sections {
+        out.extend_from_slice(&s.payload);
+    }
+    out
+}
+
+/// A parsed, fully checksum-verified snapshot image.
+#[derive(Debug)]
+pub struct Parsed<'a> {
+    /// Backend tag from the superblock.
+    pub backend_tag: u32,
+    /// Verified sections in file order.
+    pub sections: Vec<(u32, &'a [u8])>,
+}
+
+impl<'a> Parsed<'a> {
+    /// The payload of the section with the given id.
+    pub fn section(&self, id: u32) -> Result<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, p)| *p)
+            .ok_or_else(|| PersistError::malformed(format!("missing {}", section_name(id))))
+    }
+}
+
+fn u32_at(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Parses and verifies a snapshot image, in the fixed check order: magic →
+/// endian tag → version → superblock CRC → file length → table CRC → section
+/// bounds and CRCs.
+pub fn parse(bytes: &[u8]) -> Result<Parsed<'_>> {
+    if bytes.len() < SUPERBLOCK_LEN {
+        // Too short to even check the magic? Report what we can: a wrong
+        // magic beats a generic truncation when the prefix already differs.
+        if bytes.len() >= 8 && bytes[0..8] != MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(&bytes[0..8]);
+            return Err(PersistError::BadMagic { found });
+        }
+        return Err(PersistError::Truncated {
+            expected: SUPERBLOCK_LEN as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    if bytes[0..8] != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[0..8]);
+        return Err(PersistError::BadMagic { found });
+    }
+    let endian = u32_at(bytes, 12);
+    if endian != ENDIAN_TAG {
+        return Err(PersistError::malformed(format!(
+            "endian tag {endian:#010x} (written on an incompatible byte order?)"
+        )));
+    }
+    let version = u32_at(bytes, 8);
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let stored_sb_crc = u32_at(bytes, 44);
+    let mut sb = [0u8; SUPERBLOCK_LEN];
+    sb.copy_from_slice(&bytes[0..SUPERBLOCK_LEN]);
+    sb[44..48].fill(0);
+    let computed_sb_crc = crc32(&sb);
+    if computed_sb_crc != stored_sb_crc {
+        return Err(PersistError::Checksum {
+            region: "superblock".to_string(),
+            stored: stored_sb_crc,
+            computed: computed_sb_crc,
+        });
+    }
+    // From here on the superblock fields are trustworthy.
+    let backend_tag = u32_at(bytes, 16);
+    let count = u32_at(bytes, 20) as usize;
+    let table_offset = u64_at(bytes, 24);
+    let file_len = u64_at(bytes, 32);
+    if (bytes.len() as u64) < file_len {
+        return Err(PersistError::Truncated {
+            expected: file_len,
+            actual: bytes.len() as u64,
+        });
+    }
+    if (bytes.len() as u64) > file_len {
+        return Err(PersistError::TrailingBytes {
+            expected: file_len,
+            actual: bytes.len() as u64,
+        });
+    }
+    if table_offset != SUPERBLOCK_LEN as u64 {
+        return Err(PersistError::malformed(format!(
+            "section table at {table_offset}, expected {SUPERBLOCK_LEN}"
+        )));
+    }
+    let table_end = SUPERBLOCK_LEN
+        .checked_add(
+            count
+                .checked_mul(TABLE_ENTRY_LEN)
+                .ok_or_else(|| PersistError::malformed("section count overflows the table size"))?,
+        )
+        .ok_or_else(|| PersistError::malformed("section table end overflows"))?;
+    if table_end as u64 > file_len {
+        return Err(PersistError::malformed(
+            "section table extends past the recorded length",
+        ));
+    }
+    let table = &bytes[SUPERBLOCK_LEN..table_end];
+    let stored_table_crc = u32_at(bytes, 40);
+    let computed_table_crc = crc32(table);
+    if computed_table_crc != stored_table_crc {
+        return Err(PersistError::Checksum {
+            region: "section table".to_string(),
+            stored: stored_table_crc,
+            computed: computed_table_crc,
+        });
+    }
+    let mut sections = Vec::with_capacity(count);
+    let mut expected_offset = table_end as u64;
+    for i in 0..count {
+        let e = &table[i * TABLE_ENTRY_LEN..(i + 1) * TABLE_ENTRY_LEN];
+        let id = u32_at(e, 0);
+        let stored_crc = u32_at(e, 4);
+        let offset = u64_at(e, 8);
+        let len = u64_at(e, 16);
+        // Sections must tile the rest of the file exactly — no gaps a
+        // checksum would not cover, no overlaps.
+        if offset != expected_offset {
+            return Err(PersistError::malformed(format!(
+                "{} at offset {offset}, expected {expected_offset}",
+                section_name(id)
+            )));
+        }
+        let end = offset.checked_add(len).ok_or_else(|| {
+            PersistError::malformed(format!("{} length overflows", section_name(id)))
+        })?;
+        if end > file_len {
+            return Err(PersistError::malformed(format!(
+                "{} extends past the recorded length",
+                section_name(id)
+            )));
+        }
+        let payload = &bytes[offset as usize..end as usize];
+        let computed_crc = crc32(payload);
+        if computed_crc != stored_crc {
+            return Err(PersistError::Checksum {
+                region: section_name(id),
+                stored: stored_crc,
+                computed: computed_crc,
+            });
+        }
+        sections.push((id, payload));
+        expected_offset = end;
+    }
+    if expected_offset != file_len {
+        return Err(PersistError::malformed("sections do not cover the file"));
+    }
+    Ok(Parsed {
+        backend_tag,
+        sections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        assemble(
+            2,
+            &[
+                Section {
+                    id: section_id::MODEL,
+                    payload: b"model-bytes".to_vec(),
+                },
+                Section {
+                    id: section_id::META,
+                    payload: vec![],
+                },
+                Section {
+                    id: section_id::PAGES,
+                    payload: vec![0xAB; 300],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let image = sample();
+        let parsed = parse(&image).unwrap();
+        assert_eq!(parsed.backend_tag, 2);
+        assert_eq!(parsed.section(section_id::MODEL).unwrap(), b"model-bytes");
+        assert_eq!(parsed.section(section_id::META).unwrap(), b"");
+        assert_eq!(parsed.section(section_id::PAGES).unwrap().len(), 300);
+        assert!(parsed.section(99).is_err());
+    }
+
+    #[test]
+    fn bad_magic() {
+        let mut image = sample();
+        image[0] = b'X';
+        assert!(matches!(parse(&image), Err(PersistError::BadMagic { .. })));
+        // Even on a tiny file the magic check wins when 8 bytes exist.
+        assert!(matches!(
+            parse(b"NOTASNAPx"),
+            Err(PersistError::BadMagic { .. })
+        ));
+        assert!(matches!(parse(b"abc"), Err(PersistError::Truncated { .. })));
+    }
+
+    #[test]
+    fn future_version_reported_before_checksums() {
+        let mut image = sample();
+        // Bump the version *without* fixing the superblock CRC: the version
+        // check must fire first.
+        image[8..12].copy_from_slice(&99u32.to_le_bytes());
+        match parse(&image) {
+            Err(PersistError::UnsupportedVersion {
+                found: 99,
+                supported,
+            }) => {
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let image = sample();
+        for cut in [image.len() - 1, image.len() / 2, SUPERBLOCK_LEN + 3, 40] {
+            let short = &image[..cut];
+            match parse(short) {
+                Err(
+                    PersistError::Truncated { .. }
+                    | PersistError::Checksum { .. }
+                    | PersistError::Malformed(_),
+                ) => {}
+                other => panic!("cut at {cut}: expected a typed failure, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut image = sample();
+        image.push(0);
+        assert!(matches!(
+            parse(&image),
+            Err(PersistError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn every_single_byte_is_guarded() {
+        let image = sample();
+        for i in 0..image.len() {
+            let mut broken = image.clone();
+            broken[i] ^= 0x01;
+            assert!(
+                parse(&broken).is_err(),
+                "flipping byte {i} of {} went unnoticed",
+                image.len()
+            );
+        }
+    }
+
+    #[test]
+    fn endian_tag_mismatch_is_malformed() {
+        let mut image = sample();
+        image[12..16].copy_from_slice(&0x4D3C_2B1Au32.to_le_bytes());
+        assert!(matches!(parse(&image), Err(PersistError::Malformed(_))));
+    }
+}

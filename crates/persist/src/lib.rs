@@ -1,0 +1,38 @@
+//! Durable on-disk store for MMDR indexes.
+//!
+//! Building an index over a large reduced dataset is expensive: the
+//! reduction itself, per-cluster projections, and a bulk load per storage
+//! structure. This crate makes that work durable — a built index is
+//! serialized into a single snapshot file and reopened later into a
+//! ready-to-query [`VectorIndex`](mmdr_index::VectorIndex) *without any
+//! rebuild*.
+//!
+//! The format (see [`format`]) is versioned, endian-stable and fully
+//! checksummed: a superblock, a section table, and CRC32-guarded sections
+//! for the reduction model, the backend metadata, and the raw buffer-pool
+//! page images. Every failure mode — truncation, bit flips, wrong magic,
+//! a future format version — surfaces as a typed [`PersistError`]; nothing
+//! panics and nothing opens into a silently wrong index.
+//!
+//! Reopened indexes reuse the same [`mmdr_storage`] page/buffer-pool
+//! machinery as built ones, so their logical I/O accounting (the unit the
+//! paper's figures plot) is identical: restoring pages costs zero reads,
+//! queries stream through [`IoStats`](mmdr_storage::IoStats) as usual.
+//!
+//! Because floats are stored as raw IEEE-754 bit patterns and pages as raw
+//! images, a save → open round trip is bit-exact: the reopened index
+//! returns byte-for-byte the same `(distance, id)` answers as the index
+//! that was saved. The `persist_roundtrip` integration test asserts this
+//! for all four backends.
+
+mod codec;
+mod crc32;
+mod error;
+pub mod format;
+mod model_codec;
+mod snapshot;
+
+pub use crc32::{crc32, Crc32};
+pub use error::{PersistError, Result};
+pub use format::FORMAT_VERSION;
+pub use snapshot::{build_index, open, open_expecting, open_or_build, save, BuiltIndex, Opened};

@@ -1,0 +1,525 @@
+//! Saving and reopening built indexes — the rebuild-free open path.
+//!
+//! A snapshot stores three sections: the reduction model (exact, bit-level
+//! float encoding), backend-specific metadata (tree roots, heights, radii,
+//! partition tables, pool capacities), and the raw 4 KiB page images of
+//! every storage structure. Reopening restores the pages into fresh
+//! [`DiskManager`]s behind [`BufferPool`]s with the original capacities and
+//! reattaches the trees/heaps via their `from_parts` constructors — no
+//! projection, clustering or bulk-load work is redone, and the reopened
+//! index streams through [`IoStats`] exactly like a built one (restoring
+//! itself costs zero logical I/O).
+//!
+//! Because page images and model floats round-trip bit-exactly, a reopened
+//! index returns byte-for-byte the same `(distance, id)` answers as the
+//! index that was saved.
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::error::{PersistError, Result};
+use crate::format::{self, section_id, Section};
+use crate::model_codec;
+use mmdr_core::ReductionResult;
+use mmdr_hybridtree::HybridTree;
+use mmdr_idistance::{
+    build_restored_hybrid, Backend, GlobalLdrIndex, IDistanceConfig, IDistanceIndex, SeqScan,
+    VectorHeap, VectorIndex,
+};
+use mmdr_linalg::Matrix;
+use mmdr_storage::{BufferPool, DiskManager, IoStats, Page, PageId, PAGE_SIZE};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A constructed index holding its concrete type, so it can be both
+/// queried (as a [`VectorIndex`]) and snapshotted (which needs access to
+/// the concrete trees and heaps).
+#[derive(Debug)]
+pub enum BuiltIndex {
+    /// Sequential scan over reduced heap pages.
+    SeqScan(SeqScan),
+    /// Extended iDistance (B⁺-tree + heap file). Boxed: the index struct
+    /// is several hundred bytes, far larger than the other variants.
+    IDistance(Box<IDistanceIndex>),
+    /// One hybrid tree over the restored representations.
+    Hybrid(HybridTree),
+    /// Per-cluster hybrid forest (gLDR).
+    Gldr(GlobalLdrIndex),
+}
+
+impl BuiltIndex {
+    /// Which backend this is.
+    pub fn backend(&self) -> Backend {
+        match self {
+            BuiltIndex::SeqScan(_) => Backend::SeqScan,
+            BuiltIndex::IDistance(_) => Backend::IDistance,
+            BuiltIndex::Hybrid(_) => Backend::Hybrid,
+            BuiltIndex::Gldr(_) => Backend::Gldr,
+        }
+    }
+
+    /// Queries the index through the uniform trait without consuming it.
+    pub fn as_dyn(&self) -> &dyn VectorIndex {
+        match self {
+            BuiltIndex::SeqScan(i) => i,
+            BuiltIndex::IDistance(i) => i.as_ref(),
+            BuiltIndex::Hybrid(i) => i,
+            BuiltIndex::Gldr(i) => i,
+        }
+    }
+
+    /// Consumes the enum into the boxed trait object the query executors
+    /// take — the same shape [`mmdr_idistance::build_backend`] returns.
+    pub fn into_boxed(self) -> Box<dyn VectorIndex> {
+        match self {
+            BuiltIndex::SeqScan(i) => Box::new(i),
+            BuiltIndex::IDistance(i) => i,
+            BuiltIndex::Hybrid(i) => Box::new(i),
+            BuiltIndex::Gldr(i) => Box::new(i),
+        }
+    }
+}
+
+/// Builds the chosen backend as a [`BuiltIndex`] — the snapshot-aware
+/// sibling of [`mmdr_idistance::build_backend`], kept here because saving
+/// needs the concrete type a `Box<dyn VectorIndex>` erases.
+pub fn build_index(
+    backend: Backend,
+    data: &Matrix,
+    model: &ReductionResult,
+    buffer_pages: usize,
+) -> Result<BuiltIndex> {
+    Ok(match backend {
+        Backend::SeqScan => BuiltIndex::SeqScan(SeqScan::build(data, model, buffer_pages)?),
+        Backend::IDistance => BuiltIndex::IDistance(Box::new(IDistanceIndex::build(
+            data,
+            model,
+            IDistanceConfig {
+                buffer_pages: buffer_pages.max(2),
+                ..Default::default()
+            },
+        )?)),
+        Backend::Hybrid => BuiltIndex::Hybrid(build_restored_hybrid(data, model, buffer_pages)?),
+        Backend::Gldr => BuiltIndex::Gldr(GlobalLdrIndex::build(data, model, buffer_pages)?),
+    })
+}
+
+fn backend_tag(b: Backend) -> u32 {
+    match b {
+        Backend::SeqScan => 1,
+        Backend::IDistance => 2,
+        Backend::Hybrid => 3,
+        Backend::Gldr => 4,
+    }
+}
+
+fn backend_from_tag(tag: u32) -> Result<Backend> {
+    Ok(match tag {
+        1 => Backend::SeqScan,
+        2 => Backend::IDistance,
+        3 => Backend::Hybrid,
+        4 => Backend::Gldr,
+        other => return Err(PersistError::UnknownBackendTag(other)),
+    })
+}
+
+// ---- page groups ---------------------------------------------------------
+
+/// Flushes and exports one storage structure's pages.
+fn export_group(pool: &BufferPool) -> Result<Vec<Page>> {
+    Ok(pool.export_pages()?)
+}
+
+fn put_groups(w: &mut ByteWriter, groups: &[Vec<Page>]) {
+    w.put_u32(groups.len() as u32);
+    for g in groups {
+        w.put_usize(g.len());
+        for p in g {
+            w.put_bytes(p.as_bytes());
+        }
+    }
+}
+
+fn get_groups(r: &mut ByteReader<'_>) -> Result<Vec<Vec<Page>>> {
+    let n = r.get_u32()? as usize;
+    let mut groups = Vec::with_capacity(n);
+    for _ in 0..n {
+        let count = r.get_len(PAGE_SIZE)?;
+        let mut pages = Vec::with_capacity(count);
+        for _ in 0..count {
+            pages.push(Page::from_bytes(r.get_bytes(PAGE_SIZE)?)?);
+        }
+        groups.push(pages);
+    }
+    Ok(groups)
+}
+
+/// Reattaches one page group behind a pool of the recorded capacity,
+/// sharing the given I/O ledger. Restoring costs no logical I/O.
+fn restore_pool(pages: Vec<Page>, capacity: usize, stats: &Arc<IoStats>) -> Result<BufferPool> {
+    Ok(BufferPool::new(
+        DiskManager::from_pages(pages, Arc::clone(stats)),
+        capacity,
+    )?)
+}
+
+// ---- per-structure metadata ----------------------------------------------
+
+fn put_heap_meta(w: &mut ByteWriter, heap: &VectorHeap) {
+    w.put_usize(heap.pool().capacity());
+    w.put_u64(heap.len());
+    match heap.open_page() {
+        Some((page, part, dim)) => {
+            w.put_u8(1);
+            w.put_u64(page);
+            w.put_u32(part);
+            w.put_usize(dim);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+/// Heap-file reattach state: pool capacity, stored vector count, and the
+/// open append page as `(page, partition, dim)` when one exists.
+type HeapMeta = (usize, u64, Option<(PageId, u32, usize)>);
+
+fn get_heap_meta(r: &mut ByteReader<'_>) -> Result<HeapMeta> {
+    let capacity = r.get_usize()?;
+    let len = r.get_u64()?;
+    let open = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let page = r.get_u64()?;
+            let part = r.get_u32()?;
+            let dim = r.get_usize()?;
+            Some((page, part, dim))
+        }
+        other => {
+            return Err(PersistError::malformed(format!(
+                "heap open-page flag {other}"
+            )))
+        }
+    };
+    Ok((capacity, len, open))
+}
+
+/// Scalar state of one hybrid tree: what
+/// [`HybridTree::from_parts`] needs besides the pages.
+struct HybridMeta {
+    capacity: usize,
+    root: PageId,
+    dim: usize,
+    len: usize,
+    height: usize,
+}
+
+fn put_hybrid_meta(w: &mut ByteWriter, t: &HybridTree) {
+    w.put_usize(t.pool().capacity());
+    w.put_u64(t.root_page_id());
+    w.put_usize(t.dim());
+    w.put_usize(t.len());
+    w.put_usize(t.height());
+}
+
+fn get_hybrid_meta(r: &mut ByteReader<'_>) -> Result<HybridMeta> {
+    Ok(HybridMeta {
+        capacity: r.get_usize()?,
+        root: r.get_u64()?,
+        dim: r.get_usize()?,
+        len: r.get_usize()?,
+        height: r.get_usize()?,
+    })
+}
+
+fn restore_hybrid(meta: HybridMeta, pages: Vec<Page>, stats: &Arc<IoStats>) -> Result<HybridTree> {
+    let pool = restore_pool(pages, meta.capacity, stats)?;
+    Ok(HybridTree::from_parts(
+        pool,
+        meta.root,
+        meta.dim,
+        meta.len,
+        meta.height,
+    )?)
+}
+
+// ---- save ----------------------------------------------------------------
+
+/// Serializes a built index (plus the model it was built from) into a
+/// snapshot image.
+fn encode(index: &BuiltIndex, model: &ReductionResult) -> Result<Vec<u8>> {
+    let mut model_w = ByteWriter::new();
+    model_codec::put_model(&mut model_w, model);
+
+    let mut meta = ByteWriter::new();
+    let mut groups: Vec<Vec<Page>> = Vec::new();
+    match index {
+        BuiltIndex::SeqScan(scan) => {
+            put_heap_meta(&mut meta, scan.heap());
+            groups.push(export_group(scan.heap().pool())?);
+        }
+        BuiltIndex::IDistance(idx) => {
+            meta.put_usize(idx.dim());
+            meta.put_f64(idx.c());
+            model_codec::put_config(&mut meta, idx.config());
+            meta.put_usize(idx.tree().pool().capacity());
+            meta.put_u64(idx.tree().root_page_id());
+            meta.put_usize(idx.tree().height());
+            meta.put_usize(idx.tree().len());
+            put_heap_meta(&mut meta, idx.heap());
+            meta.put_usize(idx.partitions().len());
+            for p in idx.partitions() {
+                model_codec::put_partition(&mut meta, p);
+            }
+            groups.push(export_group(idx.tree().pool())?);
+            groups.push(export_group(idx.heap().pool())?);
+        }
+        BuiltIndex::Hybrid(tree) => {
+            put_hybrid_meta(&mut meta, tree);
+            groups.push(export_group(tree.pool())?);
+        }
+        BuiltIndex::Gldr(gldr) => {
+            meta.put_usize(gldr.dim());
+            meta.put_usize(gldr.len());
+            meta.put_usize(gldr.num_cluster_trees());
+            for i in 0..gldr.num_cluster_trees() {
+                let (tree, max_radius) = gldr.cluster_tree(i);
+                meta.put_f64(max_radius);
+                put_hybrid_meta(&mut meta, tree);
+                groups.push(export_group(tree.pool())?);
+            }
+            match gldr.outlier_tree() {
+                Some(tree) => {
+                    meta.put_u8(1);
+                    put_hybrid_meta(&mut meta, tree);
+                    groups.push(export_group(tree.pool())?);
+                }
+                None => meta.put_u8(0),
+            }
+        }
+    }
+
+    let mut pages_w = ByteWriter::new();
+    put_groups(&mut pages_w, &groups);
+
+    Ok(format::assemble(
+        backend_tag(index.backend()),
+        &[
+            Section {
+                id: section_id::MODEL,
+                payload: model_w.into_bytes(),
+            },
+            Section {
+                id: section_id::META,
+                payload: meta.into_bytes(),
+            },
+            Section {
+                id: section_id::PAGES,
+                payload: pages_w.into_bytes(),
+            },
+        ],
+    ))
+}
+
+/// Writes a snapshot of the index and its model to `path`.
+///
+/// The image is written to a sibling temp file and renamed into place, so a
+/// crash mid-save never leaves a half-written file at the target path.
+pub fn save(path: impl AsRef<Path>, index: &BuiltIndex, model: &ReductionResult) -> Result<()> {
+    let path = path.as_ref();
+    let image = encode(index, model)?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &image).map_err(|e| PersistError::io(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| PersistError::io(path, e))?;
+    Ok(())
+}
+
+// ---- open ----------------------------------------------------------------
+
+/// A snapshot reopened into a ready-to-query index.
+#[derive(Debug)]
+pub struct Opened {
+    /// Which backend the snapshot stored.
+    pub backend: Backend,
+    /// The reduction model the index was built from.
+    pub model: ReductionResult,
+    /// The reattached index — queryable immediately, no rebuild performed.
+    pub index: BuiltIndex,
+}
+
+/// Exact group-count check for a backend's page section.
+fn expect_groups(groups: &[Vec<Page>], expected: usize) -> Result<()> {
+    if groups.len() != expected {
+        return Err(PersistError::malformed(format!(
+            "page section has {} groups, backend needs {expected}",
+            groups.len()
+        )));
+    }
+    Ok(())
+}
+
+fn decode(bytes: &[u8]) -> Result<Opened> {
+    let parsed = format::parse(bytes)?;
+    let backend = backend_from_tag(parsed.backend_tag)?;
+
+    let mut model_r = ByteReader::new(parsed.section(section_id::MODEL)?, "section model");
+    let model = model_codec::get_model(&mut model_r)?;
+    model_r.expect_end()?;
+
+    let mut pages_r = ByteReader::new(parsed.section(section_id::PAGES)?, "section pages");
+    let mut groups = get_groups(&mut pages_r)?;
+    pages_r.expect_end()?;
+
+    let mut meta = ByteReader::new(parsed.section(section_id::META)?, "section meta");
+    let index = match backend {
+        Backend::SeqScan => {
+            let (capacity, len, open) = get_heap_meta(&mut meta)?;
+            expect_groups(&groups, 1)?;
+            let stats = IoStats::new();
+            let pool = restore_pool(groups.pop().expect("one group"), capacity, &stats)?;
+            let heap = VectorHeap::from_parts(pool, open, len)?;
+            BuiltIndex::SeqScan(SeqScan::from_parts(heap, &model)?)
+        }
+        Backend::IDistance => {
+            let dim = meta.get_usize()?;
+            let c = meta.get_f64()?;
+            let config = model_codec::get_config(&mut meta)?;
+            let tree_capacity = meta.get_usize()?;
+            let tree_root = meta.get_u64()?;
+            let tree_height = meta.get_usize()?;
+            let tree_len = meta.get_usize()?;
+            let (heap_capacity, heap_len, heap_open) = get_heap_meta(&mut meta)?;
+            let n_parts = meta.get_len(1)?;
+            let mut partitions = Vec::with_capacity(n_parts);
+            for _ in 0..n_parts {
+                partitions.push(model_codec::get_partition(&mut meta)?);
+            }
+            expect_groups(&groups, 2)?;
+            let heap_pages = groups.pop().expect("two groups");
+            let tree_pages = groups.pop().expect("two groups");
+            // One ledger across both pools, exactly like a fresh build.
+            let stats = IoStats::new();
+            let tree_pool = restore_pool(tree_pages, tree_capacity, &stats)?;
+            let heap_pool = restore_pool(heap_pages, heap_capacity, &stats)?;
+            let tree =
+                mmdr_btree::BPlusTree::from_parts(tree_pool, tree_root, tree_height, tree_len)?;
+            let heap = VectorHeap::from_parts(heap_pool, heap_open, heap_len)?;
+            BuiltIndex::IDistance(Box::new(IDistanceIndex::from_parts(
+                tree, heap, partitions, c, dim, config,
+            )?))
+        }
+        Backend::Hybrid => {
+            let hm = get_hybrid_meta(&mut meta)?;
+            expect_groups(&groups, 1)?;
+            let stats = IoStats::new();
+            BuiltIndex::Hybrid(restore_hybrid(
+                hm,
+                groups.pop().expect("one group"),
+                &stats,
+            )?)
+        }
+        Backend::Gldr => {
+            let dim = meta.get_usize()?;
+            let len = meta.get_usize()?;
+            let n_clusters = meta.get_len(1)?;
+            if n_clusters != model.clusters.len() {
+                return Err(PersistError::malformed(format!(
+                    "{n_clusters} cluster trees but the model has {} clusters",
+                    model.clusters.len()
+                )));
+            }
+            let mut cluster_meta = Vec::with_capacity(n_clusters);
+            for _ in 0..n_clusters {
+                let max_radius = meta.get_f64()?;
+                cluster_meta.push((max_radius, get_hybrid_meta(&mut meta)?));
+            }
+            let outlier_meta = match meta.get_u8()? {
+                0 => None,
+                1 => Some(get_hybrid_meta(&mut meta)?),
+                other => {
+                    return Err(PersistError::malformed(format!(
+                        "outlier tree flag {other}"
+                    )));
+                }
+            };
+            let expected = n_clusters + usize::from(outlier_meta.is_some());
+            expect_groups(&groups, expected)?;
+            let stats = IoStats::new();
+            let mut group_iter = groups.into_iter();
+            let mut clusters = Vec::with_capacity(n_clusters);
+            for (i, (max_radius, hm)) in cluster_meta.into_iter().enumerate() {
+                let tree = restore_hybrid(hm, group_iter.next().expect("counted groups"), &stats)?;
+                // The forest's subspaces come from the model, in build
+                // order — the snapshot stores them once, not twice.
+                clusters.push((model.clusters[i].subspace.clone(), tree, max_radius));
+            }
+            let outlier_tree = match outlier_meta {
+                Some(hm) => Some(restore_hybrid(
+                    hm,
+                    group_iter.next().expect("counted groups"),
+                    &stats,
+                )?),
+                None => None,
+            };
+            BuiltIndex::Gldr(GlobalLdrIndex::from_parts(
+                clusters,
+                outlier_tree,
+                dim,
+                len,
+                stats,
+            )?)
+        }
+    };
+    meta.expect_end()?;
+    // Reattach validation peeks at root pages; that is restore work, not
+    // query work, so the ledger starts at zero like a freshly built index.
+    index.as_dyn().io_stats().reset();
+    Ok(Opened {
+        backend,
+        model,
+        index,
+    })
+}
+
+/// Opens a snapshot into a ready index — no clustering, projection or
+/// bulk-load is redone. Any damage (truncation, bit flips, wrong magic,
+/// future version) surfaces as a typed [`PersistError`].
+pub fn open(path: impl AsRef<Path>) -> Result<Opened> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| PersistError::io(path, e))?;
+    decode(&bytes)
+}
+
+/// Like [`open`], additionally checking the snapshot stores the expected
+/// backend.
+pub fn open_expecting(path: impl AsRef<Path>, backend: Backend) -> Result<Opened> {
+    let opened = open(path)?;
+    if opened.backend != backend {
+        return Err(PersistError::BackendMismatch {
+            expected: backend.name(),
+            found: opened.backend.name(),
+        });
+    }
+    Ok(opened)
+}
+
+/// Cache-style helper for harnesses: reuse a matching snapshot at `path`
+/// when one opens cleanly, otherwise build the index fresh and (re)write
+/// the snapshot. Returns the index and whether it came from the snapshot.
+pub fn open_or_build(
+    path: impl AsRef<Path>,
+    backend: Backend,
+    data: &Matrix,
+    model: &ReductionResult,
+    buffer_pages: usize,
+) -> Result<(BuiltIndex, bool)> {
+    let path = path.as_ref();
+    if path.exists() {
+        if let Ok(opened) = open_expecting(path, backend) {
+            return Ok((opened.index, true));
+        }
+        // Stale or damaged cache entry: fall through and rebuild it.
+    }
+    let index = build_index(backend, data, model, buffer_pages)?;
+    save(path, &index, model)?;
+    Ok((index, false))
+}

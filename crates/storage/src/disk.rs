@@ -18,12 +18,32 @@ pub struct DiskManager {
 impl DiskManager {
     /// Creates an empty disk with fresh counters.
     pub fn new() -> Self {
-        Self { pages: Vec::new(), stats: IoStats::new() }
+        Self {
+            pages: Vec::new(),
+            stats: IoStats::new(),
+        }
     }
 
     /// Creates an empty disk sharing the given counters.
     pub fn with_stats(stats: Arc<IoStats>) -> Self {
-        Self { pages: Vec::new(), stats }
+        Self {
+            pages: Vec::new(),
+            stats,
+        }
+    }
+
+    /// Rebuilds a disk from raw page images (a snapshot being reopened),
+    /// sharing the given counters. Restoring costs no logical I/O — the
+    /// counters start ticking at the first real page access, so an opened
+    /// index streams through [`IoStats`] exactly like a built one.
+    pub fn from_pages(pages: Vec<Page>, stats: Arc<IoStats>) -> Self {
+        Self { pages, stats }
+    }
+
+    /// Borrowed view of every page image, in page-id order. Used by
+    /// snapshot writers; not counted as logical I/O.
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
     }
 
     /// Handle to the I/O counters.

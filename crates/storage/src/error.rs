@@ -29,7 +29,10 @@ impl fmt::Display for Error {
         match self {
             Error::PageNotFound { page_id } => write!(f, "page {page_id} does not exist"),
             Error::OutOfBounds { offset, len } => {
-                write!(f, "access of {len} bytes at offset {offset} exceeds the page")
+                write!(
+                    f,
+                    "access of {len} bytes at offset {offset} exceeds the page"
+                )
             }
             Error::ZeroCapacity => write!(f, "buffer pool capacity must be > 0"),
         }
@@ -44,8 +47,15 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(Error::PageNotFound { page_id: 42 }.to_string().contains("42"));
-        assert!(Error::OutOfBounds { offset: 4090, len: 8 }.to_string().contains("4090"));
+        assert!(Error::PageNotFound { page_id: 42 }
+            .to_string()
+            .contains("42"));
+        assert!(Error::OutOfBounds {
+            offset: 4090,
+            len: 8
+        }
+        .to_string()
+        .contains("4090"));
         assert!(!Error::ZeroCapacity.to_string().is_empty());
     }
 }

@@ -36,9 +36,10 @@ macro_rules! typed_accessors {
         #[doc = concat!("Reads a little-endian `", stringify!($ty), "` at `offset`.")]
         pub fn $get(&self, offset: usize) -> Result<$ty> {
             const W: usize = std::mem::size_of::<$ty>();
-            let end = offset.checked_add(W).filter(|&e| e <= PAGE_SIZE).ok_or(
-                Error::OutOfBounds { offset, len: W },
-            )?;
+            let end = offset
+                .checked_add(W)
+                .filter(|&e| e <= PAGE_SIZE)
+                .ok_or(Error::OutOfBounds { offset, len: W })?;
             let mut buf = [0u8; W];
             buf.copy_from_slice(&self.data[offset..end]);
             Ok(<$ty>::from_le_bytes(buf))
@@ -47,9 +48,10 @@ macro_rules! typed_accessors {
         #[doc = concat!("Writes a little-endian `", stringify!($ty), "` at `offset`.")]
         pub fn $put(&mut self, offset: usize, value: $ty) -> Result<()> {
             const W: usize = std::mem::size_of::<$ty>();
-            let end = offset.checked_add(W).filter(|&e| e <= PAGE_SIZE).ok_or(
-                Error::OutOfBounds { offset, len: W },
-            )?;
+            let end = offset
+                .checked_add(W)
+                .filter(|&e| e <= PAGE_SIZE)
+                .ok_or(Error::OutOfBounds { offset, len: W })?;
             self.data[offset..end].copy_from_slice(&value.to_le_bytes());
             Ok(())
         }
@@ -59,7 +61,9 @@ macro_rules! typed_accessors {
 impl Page {
     /// Creates a zeroed page.
     pub fn new() -> Self {
-        Self { data: Box::new([0u8; PAGE_SIZE]) }
+        Self {
+            data: Box::new([0u8; PAGE_SIZE]),
+        }
     }
 
     typed_accessors!(get_u8, put_u8, u8);
@@ -82,9 +86,33 @@ impl Page {
         let end = offset
             .checked_add(bytes.len())
             .filter(|&e| e <= PAGE_SIZE)
-            .ok_or(Error::OutOfBounds { offset, len: bytes.len() })?;
+            .ok_or(Error::OutOfBounds {
+                offset,
+                len: bytes.len(),
+            })?;
         self.data[offset..end].copy_from_slice(bytes);
         Ok(())
+    }
+
+    /// The page's full raw image — the unit snapshot files store. Byte
+    /// order inside the image is whatever the typed accessors wrote
+    /// (little-endian), so images are portable across hosts.
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Rebuilds a page from a raw [`as_bytes`](Self::as_bytes) image.
+    /// `bytes` must be exactly [`PAGE_SIZE`] long.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(Error::OutOfBounds {
+                offset: 0,
+                len: bytes.len(),
+            });
+        }
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        data.copy_from_slice(bytes);
+        Ok(Self { data })
     }
 
     /// Shifts `len` bytes at `src` to `dst` within the page (memmove
@@ -130,7 +158,10 @@ mod tests {
         assert!(p.get_u8(PAGE_SIZE).is_err());
         assert!(p.bytes(PAGE_SIZE - 1, 2).is_err());
         assert!(p.put_bytes(PAGE_SIZE - 1, &[1, 2]).is_err());
-        assert!(p.get_u8(usize::MAX).is_err(), "offset overflow must not wrap");
+        assert!(
+            p.get_u8(usize::MAX).is_err(),
+            "offset overflow must not wrap"
+        );
     }
 
     #[test]
@@ -152,6 +183,18 @@ mod tests {
         assert_eq!(p.bytes(0, 4).unwrap(), &[2, 3, 4, 5]);
         assert!(p.shift(PAGE_SIZE - 2, 0, 4).is_err());
         assert!(p.shift(0, PAGE_SIZE - 2, 4).is_err());
+    }
+
+    #[test]
+    fn raw_image_roundtrip() {
+        let mut p = Page::new();
+        p.put_u64(0, 0xDEAD).unwrap();
+        p.put_f64(PAGE_SIZE - 8, -2.5).unwrap();
+        let back = Page::from_bytes(p.as_bytes()).unwrap();
+        assert_eq!(back.get_u64(0).unwrap(), 0xDEAD);
+        assert_eq!(back.get_f64(PAGE_SIZE - 8).unwrap(), -2.5);
+        assert!(Page::from_bytes(&[0u8; 17]).is_err());
+        assert!(Page::from_bytes(&[0u8; PAGE_SIZE + 1]).is_err());
     }
 
     #[test]

@@ -42,10 +42,14 @@ fn main() {
         dataset.data.cols()
     );
 
-    let mmdr = Mmdr::new(MmdrParams::default()).fit(&dataset.data).expect("mmdr");
+    let mmdr = Mmdr::new(MmdrParams::default())
+        .fit(&dataset.data)
+        .expect("mmdr");
     evaluate("MMDR", &dataset.data, &mmdr, &queries, 10);
 
-    let ldr = Ldr::new(LdrParams::default()).fit(&dataset.data).expect("ldr");
+    let ldr = Ldr::new(LdrParams::default())
+        .fit(&dataset.data)
+        .expect("ldr");
     evaluate("LDR", &dataset.data, &ldr, &queries, 10);
 
     let gdr = Gdr::new(20).fit(&dataset.data).expect("gdr");

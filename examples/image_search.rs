@@ -15,15 +15,26 @@ use mmdr::idistance::{IDistanceConfig, IDistanceIndex, SeqScan};
 
 fn main() {
     // A scaled-down Corel stand-in: 10 000 "images", 64 color bins.
-    let config = HistogramConfig { n: 10_000, seed: 11, ..Default::default() };
+    let config = HistogramConfig {
+        n: 10_000,
+        seed: 11,
+        ..Default::default()
+    };
     let images = generate_histograms(&config).expect("histogram generation");
-    println!("collection: {} images × {} color bins", images.rows(), images.cols());
+    println!(
+        "collection: {} images × {} color bins",
+        images.rows(),
+        images.cols()
+    );
 
     // Real histogram data is weakly correlated with many outliers (§6.1);
     // loosen β a little so the clusters keep their members.
-    let model = Mmdr::new(MmdrParams { beta: 0.3, ..Default::default() })
-        .fit(&images)
-        .expect("reduction");
+    let model = Mmdr::new(MmdrParams {
+        beta: 0.3,
+        ..Default::default()
+    })
+    .fit(&images)
+    .expect("reduction");
     println!(
         "MMDR: {} clusters, {:.1}% outliers, mean retained dim {:.1}",
         model.clusters.len(),
@@ -31,8 +42,8 @@ fn main() {
         model.mean_retained_dim()
     );
 
-    let mut index = IDistanceIndex::build(&images, &model, IDistanceConfig::default())
-        .expect("index");
+    let mut index =
+        IDistanceIndex::build(&images, &model, IDistanceConfig::default()).expect("index");
     let scan = SeqScan::build(&images, &model, 64).expect("scan");
 
     // "Find images similar to #123, #4567, #9000" — the interactive loop.
@@ -42,7 +53,10 @@ fn main() {
         scan.io_stats().reset();
         let hits = index.knn(q, 10).expect("knn");
         let _ = scan.knn(q, 10).expect("scan knn");
-        let exact: Vec<usize> = exact_knn(&images, q, 10).into_iter().map(|(_, i)| i).collect();
+        let exact: Vec<usize> = exact_knn(&images, q, 10)
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect();
         let approx: Vec<usize> = hits.iter().map(|&(_, id)| id as usize).collect();
         println!(
             "image #{query_id}: top match #{} (dist {:.4}), precision {:.2}, \
@@ -56,12 +70,20 @@ fn main() {
     }
 
     // New images arrive: dynamic insertion keeps the index current.
-    let new_images = generate_histograms(&HistogramConfig { n: 5, seed: 99, ..Default::default() })
-        .expect("new images");
+    let new_images = generate_histograms(&HistogramConfig {
+        n: 5,
+        seed: 99,
+        ..Default::default()
+    })
+    .expect("new images");
     for (i, row) in new_images.iter_rows().enumerate() {
         index
             .insert(row, (images.rows() + i) as u64)
             .expect("dynamic insert");
     }
-    println!("inserted {} new images; index now holds {}", new_images.rows(), index.len());
+    println!(
+        "inserted {} new images; index now holds {}",
+        new_images.rows(),
+        index.len()
+    );
 }

@@ -22,7 +22,11 @@ fn main() {
         42,    // seed
     );
     let dataset = generate_correlated(&config);
-    println!("dataset: {} points × {} dims", dataset.data.rows(), dataset.data.cols());
+    println!(
+        "dataset: {} points × {} dims",
+        dataset.data.rows(),
+        dataset.data.cols()
+    );
 
     // 2. Run MMDR with the paper's Table 1 defaults.
     let model = Mmdr::new(MmdrParams::default())
@@ -50,7 +54,10 @@ fn main() {
     let index = IDistanceIndex::build(
         &dataset.data,
         &model,
-        IDistanceConfig { buffer_pages: 32, ..Default::default() },
+        IDistanceConfig {
+            buffer_pages: 32,
+            ..Default::default()
+        },
     )
     .expect("index build");
     println!(

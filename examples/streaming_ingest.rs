@@ -21,13 +21,17 @@ fn main() {
 
     // Plain in-memory MMDR (needs the whole dataset resident)…
     let start = Instant::now();
-    let plain = Mmdr::new(params.clone()).fit(&dataset.data).expect("plain fit");
+    let plain = Mmdr::new(params.clone())
+        .fit(&dataset.data)
+        .expect("plain fit");
     let t_plain = start.elapsed();
 
     // …vs. the streaming variant with the paper's ε = 0.005 (300-point
     // streams): only one stream plus the Ellipsoid Array is ever resident.
     let start = Instant::now();
-    let streamed = ScalableMmdr::new(params).fit(&dataset.data).expect("streamed fit");
+    let streamed = ScalableMmdr::new(params)
+        .fit(&dataset.data)
+        .expect("streamed fit");
     let t_streamed = start.elapsed();
 
     println!(
@@ -45,8 +49,8 @@ fn main() {
     );
 
     // The streamed model serves queries exactly like the in-memory one.
-    let index = IDistanceIndex::build(&dataset.data, &streamed, IDistanceConfig::default())
-        .expect("index");
+    let index =
+        IDistanceIndex::build(&dataset.data, &streamed, IDistanceConfig::default()).expect("index");
     let queries = sample_queries(&dataset.data, 5, 3).expect("queries");
     for (qi, q) in queries.iter_rows().enumerate() {
         let hits = index.knn(q, 5).expect("knn");

@@ -35,7 +35,11 @@ fn fixture() -> Fixture {
         .iter_rows()
         .map(|r| r.to_vec())
         .collect();
-    Fixture { data: ds.data, model, queries }
+    Fixture {
+        data: ds.data,
+        model,
+        queries,
+    }
 }
 
 fn build_all(fx: &Fixture) -> Vec<Box<dyn VectorIndex>> {
@@ -61,8 +65,11 @@ fn assert_sorted(label: &str, qi: usize, results: &[(f64, u64)]) {
 fn all_backends_agree_with_seqscan_reference() {
     let fx = fixture();
     let backends = build_all(&fx);
-    let reference: Vec<Vec<(f64, u64)>> =
-        fx.queries.iter().map(|q| backends[0].knn(q, K).unwrap()).collect();
+    let reference: Vec<Vec<(f64, u64)>> = fx
+        .queries
+        .iter()
+        .map(|q| backends[0].knn(q, K).unwrap())
+        .collect();
 
     for index in &backends {
         for (qi, (q, want)) in fx.queries.iter().zip(&reference).enumerate() {
@@ -95,8 +102,11 @@ fn all_backends_agree_with_seqscan_reference() {
 fn batch_knn_is_bit_identical_to_serial_at_every_thread_count() {
     let fx = fixture();
     for index in build_all(&fx) {
-        let serial: Vec<Vec<(f64, u64)>> =
-            fx.queries.iter().map(|q| index.knn(q, K).unwrap()).collect();
+        let serial: Vec<Vec<(f64, u64)>> = fx
+            .queries
+            .iter()
+            .map(|q| index.knn(q, K).unwrap())
+            .collect();
         for threads in [1usize, 2, 4, 8] {
             let batch = index
                 .batch_knn(&fx.queries, K, &ParConfig::threads(threads))

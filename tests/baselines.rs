@@ -32,9 +32,12 @@ fn mmdr_beats_gdr_at_equal_dimensionality() {
     let data = locally_correlated();
     // Pin both to 12 retained dims: GDR's single global basis cannot serve
     // ten clusters correlated along different directions.
-    let mmdr = Mmdr::new(MmdrParams { fixed_dim: Some(12), ..Default::default() })
-        .fit(&data)
-        .unwrap();
+    let mmdr = Mmdr::new(MmdrParams {
+        fixed_dim: Some(12),
+        ..Default::default()
+    })
+    .fit(&data)
+    .unwrap();
     let gdr = Gdr::new(12).fit(&data).unwrap();
     let p_mmdr = mean_precision(&data, &mmdr, 10);
     let p_gdr = mean_precision(&data, &gdr, 10);

@@ -14,7 +14,11 @@ fn pipeline_reaches_high_precision() {
     let ds = workload();
     let model = Mmdr::new(MmdrParams::default()).fit(&ds.data).unwrap();
     assert!(model.is_partition(), "reduction must partition the dataset");
-    assert!(model.outlier_fraction() < 0.2, "outliers {:.3}", model.outlier_fraction());
+    assert!(
+        model.outlier_fraction() < 0.2,
+        "outliers {:.3}",
+        model.outlier_fraction()
+    );
     assert!(
         model.mean_retained_dim() < 16.0,
         "mean d_r {:.1} should be well under the original 32",
@@ -25,7 +29,10 @@ fn pipeline_reaches_high_precision() {
     let queries = sample_queries(&ds.data, 25, 3).unwrap();
     let mut total = 0.0;
     for q in queries.iter_rows() {
-        let exact: Vec<usize> = exact_knn(&ds.data, q, 10).into_iter().map(|(_, i)| i).collect();
+        let exact: Vec<usize> = exact_knn(&ds.data, q, 10)
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect();
         let approx: Vec<usize> = index
             .knn(q, 10)
             .unwrap()
@@ -64,7 +71,10 @@ fn index_beats_scan_on_io() {
     let index = IDistanceIndex::build(
         &ds.data,
         &model,
-        IDistanceConfig { buffer_pages: 8, ..Default::default() },
+        IDistanceConfig {
+            buffer_pages: 8,
+            ..Default::default()
+        },
     )
     .unwrap();
     let scan = SeqScan::build(&ds.data, &model, 4).unwrap();
@@ -100,5 +110,8 @@ fn dynamic_inserts_are_immediately_visible() {
     assert_eq!(index.len(), ds.data.rows() + 20);
     // The clone of row 0 must surface among its neighbours.
     let hits = index.knn(ds.data.row(0), 3).unwrap();
-    assert!(hits.iter().any(|&(_, id)| id == base || id == 0), "{hits:?}");
+    assert!(
+        hits.iter().any(|&(_, id)| id == base || id == 0),
+        "{hits:?}"
+    );
 }

@@ -25,8 +25,7 @@ fn index_has_full_recall_against_seqscan_serial_and_parallel() {
     // distances to the same reduced representations, so the index must
     // recover every reference id — ties at the k-th distance excepted,
     // where any same-distance id is an equally correct answer).
-    let reference: Vec<Vec<(f64, u64)>> =
-        queries.iter().map(|q| scan.knn(q, K).unwrap()).collect();
+    let reference: Vec<Vec<(f64, u64)>> = queries.iter().map(|q| scan.knn(q, K).unwrap()).collect();
 
     let check = |label: &str, results: &[Vec<(f64, u64)>]| {
         for (qi, (got, want)) in results.iter().zip(&reference).enumerate() {
@@ -59,12 +58,13 @@ fn index_has_full_recall_against_seqscan_serial_and_parallel() {
     };
 
     // Serial path.
-    let serial: Vec<Vec<(f64, u64)>> =
-        queries.iter().map(|q| index.knn(q, K).unwrap()).collect();
+    let serial: Vec<Vec<(f64, u64)>> = queries.iter().map(|q| index.knn(q, K).unwrap()).collect();
     check("serial", &serial);
 
     // Concurrent batch path at four workers.
-    let batch = index.batch_knn(&queries, K, &ParConfig::threads(4)).unwrap();
+    let batch = index
+        .batch_knn(&queries, K, &ParConfig::threads(4))
+        .unwrap();
     check("batch(threads=4)", &batch);
 
     // And the two index paths are bit-identical to each other.

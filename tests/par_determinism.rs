@@ -35,8 +35,14 @@ fn elliptical_clustering_is_thread_count_invariant() {
     let base = run(1);
     for &t in &THREADS[1..] {
         let r = run(t);
-        assert_eq!(r.clustering.assignments, base.clustering.assignments, "threads={t}");
-        assert_eq!(r.distance_computations, base.distance_computations, "threads={t}");
+        assert_eq!(
+            r.clustering.assignments, base.clustering.assignments,
+            "threads={t}"
+        );
+        assert_eq!(
+            r.distance_computations, base.distance_computations,
+            "threads={t}"
+        );
         for (a, b) in r.clustering.clusters.iter().zip(&base.clustering.clusters) {
             assert_eq!(a.centroid, b.centroid, "threads={t}");
             assert_eq!(a.covariance, b.covariance, "threads={t}");
@@ -50,14 +56,22 @@ fn euclidean_clustering_is_thread_count_invariant() {
     let run = |threads: usize| {
         kmeans(
             &data,
-            &KMeansConfig { k: 5, seed: 42, par: ParConfig::threads(threads), ..Default::default() },
+            &KMeansConfig {
+                k: 5,
+                seed: 42,
+                par: ParConfig::threads(threads),
+                ..Default::default()
+            },
         )
         .unwrap()
     };
     let base = run(1);
     for &t in &THREADS[1..] {
         let r = run(t);
-        assert_eq!(r.clustering.assignments, base.clustering.assignments, "threads={t}");
+        assert_eq!(
+            r.clustering.assignments, base.clustering.assignments,
+            "threads={t}"
+        );
         assert_eq!(r.iterations, base.iterations, "threads={t}");
     }
 }
@@ -66,14 +80,20 @@ fn euclidean_clustering_is_thread_count_invariant() {
 fn full_reduction_is_thread_count_invariant() {
     let data = workload();
     let fit = |threads: usize| {
-        Mmdr::new(MmdrParams { par: ParConfig::threads(threads), ..Default::default() })
-            .fit(&data)
-            .unwrap()
+        Mmdr::new(MmdrParams {
+            par: ParConfig::threads(threads),
+            ..Default::default()
+        })
+        .fit(&data)
+        .unwrap()
     };
     let base = fit(1);
     for &t in &THREADS[1..] {
         let model = fit(t);
-        assert_eq!(model.outliers, base.outliers, "threads={t}: outlier sets differ");
+        assert_eq!(
+            model.outliers, base.outliers,
+            "threads={t}: outlier sets differ"
+        );
         assert_eq!(model.clusters.len(), base.clusters.len(), "threads={t}");
         for (a, b) in model.clusters.iter().zip(&base.clusters) {
             assert_eq!(a.members, b.members, "threads={t}: memberships differ");
@@ -113,11 +133,12 @@ fn batch_knn_is_thread_count_invariant_and_matches_serial_loop() {
     let k = 10;
 
     // Ground truth: one serial knn() call per query, in order.
-    let serial: Vec<Vec<(f64, u64)>> =
-        queries.iter().map(|q| index.knn(q, k).unwrap()).collect();
+    let serial: Vec<Vec<(f64, u64)>> = queries.iter().map(|q| index.knn(q, k).unwrap()).collect();
 
     for &t in &THREADS {
-        let batch = index.batch_knn(&queries, k, &ParConfig::threads(t)).unwrap();
+        let batch = index
+            .batch_knn(&queries, k, &ParConfig::threads(t))
+            .unwrap();
         assert_eq!(batch.len(), serial.len(), "threads={t}");
         for (qi, (b, s)) in batch.iter().zip(&serial).enumerate() {
             assert_eq!(b.len(), s.len(), "threads={t} query {qi}");

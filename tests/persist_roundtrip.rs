@@ -1,0 +1,305 @@
+//! Snapshot round-trip guarantees, end to end: for every backend, an index
+//! built, saved and reopened answers KNN queries with *bit-identical*
+//! `(distance, id)` pairs — and every kind of file damage (truncation, bit
+//! flips, wrong magic, future format version) surfaces as a typed
+//! [`PersistError`], never a panic or a silently wrong index.
+
+use mmdr_core::{Mmdr, MmdrParams, ReductionResult};
+use mmdr_idistance::Backend;
+use mmdr_linalg::Matrix;
+use mmdr_persist::{build_index, open, open_expecting, open_or_build, save, PersistError};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Unique snapshot path per call, removed by [`TempFile::drop`].
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "mmdr-persist-test-{}-{tag}-{seq}.snapshot",
+            std::process::id()
+        ));
+        TempFile(path)
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Two elongated clusters plus a sprinkle of off-plane points (so both the
+/// cluster and the outlier paths of every backend are exercised), jittered
+/// deterministically from `shift`.
+fn dataset(n_per_cluster: usize, shift: f64) -> Matrix {
+    let mut rows = Vec::new();
+    let jit = |i: usize, s: f64| ((i as f64 * 0.618_033_988 + s + shift).fract() - 0.5) * 0.02;
+    for i in 0..n_per_cluster {
+        let t = i as f64 / n_per_cluster.max(2) as f64;
+        rows.push(vec![t + shift, 0.3 * t, jit(i, 0.5), jit(i, 0.7)]);
+        rows.push(vec![
+            5.0 + jit(i, 0.1),
+            5.0 + jit(i, 0.9),
+            5.0 + t,
+            5.0 - 0.5 * t + shift,
+        ]);
+        if i % 17 == 0 {
+            rows.push(vec![-3.0 - t, 8.0 + t, -5.0 + shift, 9.0 - t]);
+        }
+    }
+    Matrix::from_rows(&rows).unwrap()
+}
+
+fn fit(data: &Matrix) -> ReductionResult {
+    Mmdr::new(MmdrParams {
+        max_ec: 4,
+        ..Default::default()
+    })
+    .fit(data)
+    .unwrap()
+}
+
+/// Bit-level equality of two answer lists: same ids AND the same distance
+/// bit patterns, not merely approximately equal.
+fn assert_answers_identical(fresh: &[(f64, u64)], reopened: &[(f64, u64)], what: &str) {
+    assert_eq!(fresh.len(), reopened.len(), "{what}: answer lengths differ");
+    for (i, (a, b)) in fresh.iter().zip(reopened).enumerate() {
+        assert_eq!(a.1, b.1, "{what}: id differs at rank {i}");
+        assert_eq!(
+            a.0.to_bits(),
+            b.0.to_bits(),
+            "{what}: distance not bit-identical at rank {i} ({} vs {})",
+            a.0,
+            b.0
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// For every backend: build → save → open yields an index whose KNN
+    /// answers are bit-for-bit the answers of the freshly built one.
+    #[test]
+    fn saved_and_reopened_indexes_answer_identically(
+        n_per_cluster in 40usize..90,
+        shift in 0.0f64..1.5,
+        k in 1usize..8,
+    ) {
+        let data = dataset(n_per_cluster, shift);
+        let model = fit(&data);
+        let queries: Vec<&[f64]> = (0..5).map(|i| data.row(i * (data.rows() / 5))).collect();
+        for backend in Backend::all() {
+            let file = TempFile::new(backend.name());
+            let built = build_index(backend, &data, &model, 64).unwrap();
+            save(&file.0, &built, &model).unwrap();
+            let opened = open(&file.0).unwrap();
+            prop_assert_eq!(opened.backend, backend);
+            prop_assert_eq!(opened.model.num_points, model.num_points);
+            prop_assert_eq!(opened.index.as_dyn().len(), built.as_dyn().len());
+            for (qi, q) in queries.iter().enumerate() {
+                let fresh = built.as_dyn().knn(q, k).unwrap();
+                let again = opened.index.as_dyn().knn(q, k).unwrap();
+                assert_answers_identical(
+                    &fresh,
+                    &again,
+                    &format!("{} query {qi} k={k}", backend.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reopened_index_streams_through_io_stats_like_a_built_one() {
+    let data = dataset(60, 0.0);
+    let model = fit(&data);
+    for backend in Backend::all() {
+        let file = TempFile::new("iostats");
+        let built = build_index(backend, &data, &model, 16).unwrap();
+        save(&file.0, &built, &model).unwrap();
+        let opened = open(&file.0).unwrap();
+        let stats = opened.index.as_dyn().io_stats();
+        assert_eq!(
+            stats.reads(),
+            0,
+            "{}: restoring pages must cost no logical I/O",
+            backend.name()
+        );
+        let _ = opened.index.as_dyn().knn(data.row(3), 5).unwrap();
+        assert!(
+            stats.accesses() > 0,
+            "{}: queries must tick the I/O ledger",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn range_search_parity_after_reopen() {
+    let data = dataset(60, 0.25);
+    let model = fit(&data);
+    for backend in Backend::all() {
+        let file = TempFile::new("range");
+        let built = build_index(backend, &data, &model, 64).unwrap();
+        save(&file.0, &built, &model).unwrap();
+        let opened = open(&file.0).unwrap();
+        let fresh = built.as_dyn().range_search(data.row(7), 0.8).unwrap();
+        let again = opened
+            .index
+            .as_dyn()
+            .range_search(data.row(7), 0.8)
+            .unwrap();
+        assert_answers_identical(&fresh, &again, &format!("{} range", backend.name()));
+    }
+}
+
+/// One saved snapshot to damage in the corruption tests below.
+fn snapshot_bytes() -> Vec<u8> {
+    let data = dataset(50, 0.5);
+    let model = fit(&data);
+    let file = TempFile::new("corruption-source");
+    let built = build_index(Backend::IDistance, &data, &model, 32).unwrap();
+    save(&file.0, &built, &model).unwrap();
+    std::fs::read(&file.0).unwrap()
+}
+
+fn open_image(bytes: &[u8], tag: &str) -> Result<mmdr_persist::Opened, PersistError> {
+    let file = TempFile::new(tag);
+    std::fs::write(&file.0, bytes).unwrap();
+    open(&file.0)
+}
+
+#[test]
+fn truncated_snapshot_fails_closed() {
+    let image = snapshot_bytes();
+    // Cut at several depths: inside the superblock, the table, and the
+    // page payloads — including losing just the final byte.
+    for cut in [0, 10, 60, 100, image.len() / 2, image.len() - 1] {
+        match open_image(&image[..cut], "trunc") {
+            Err(
+                PersistError::Truncated { .. }
+                | PersistError::Checksum { .. }
+                | PersistError::Malformed(_),
+            ) => {}
+            Err(other) => panic!("cut at {cut}: unexpected error {other}"),
+            Ok(_) => panic!("cut at {cut}: truncated snapshot opened"),
+        }
+    }
+    // A deep cut that leaves the header intact is reported as truncation
+    // specifically, with byte counts.
+    match open_image(&image[..image.len() - 1], "trunc-last") {
+        Err(PersistError::Truncated { expected, actual }) => {
+            assert_eq!(expected, image.len() as u64);
+            assert_eq!(actual, image.len() as u64 - 1);
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipped_bytes_fail_closed() {
+    let image = snapshot_bytes();
+    // Flip one bit at a spread of positions covering every region of the
+    // file; each must produce a typed error (or, for the version field,
+    // UnsupportedVersion — never a success, never a panic).
+    for pos in (0..image.len()).step_by(image.len() / 41 + 1) {
+        let mut broken = image.clone();
+        broken[pos] ^= 0x10;
+        assert!(
+            open_image(&broken, "flip").is_err(),
+            "flipping byte {pos} of {} went unnoticed",
+            image.len()
+        );
+    }
+    // A payload flip specifically reports which section's checksum broke.
+    let mut broken = image.clone();
+    let last = broken.len() - 10;
+    broken[last] ^= 0x01;
+    match open_image(&broken, "flip-pages") {
+        Err(PersistError::Checksum {
+            region,
+            stored,
+            computed,
+        }) => {
+            assert_eq!(region, "section pages");
+            assert_ne!(stored, computed);
+        }
+        other => panic!("expected a pages checksum failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_magic_fails_closed() {
+    let mut image = snapshot_bytes();
+    image[0..8].copy_from_slice(b"NOTASNAP");
+    match open_image(&image, "magic") {
+        Err(PersistError::BadMagic { found }) => assert_eq!(&found, b"NOTASNAP"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn future_version_reports_unsupported_not_checksum() {
+    let mut image = snapshot_bytes();
+    image[8..12].copy_from_slice(&7u32.to_le_bytes());
+    match open_image(&image, "version") {
+        Err(PersistError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 7);
+            assert_eq!(supported, mmdr_persist::FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_file_and_backend_mismatch_are_typed() {
+    let missing = std::env::temp_dir().join("mmdr-persist-test-definitely-missing.snapshot");
+    assert!(matches!(open(&missing), Err(PersistError::Io { .. })));
+
+    let data = dataset(40, 0.0);
+    let model = fit(&data);
+    let file = TempFile::new("mismatch");
+    let built = build_index(Backend::SeqScan, &data, &model, 16).unwrap();
+    save(&file.0, &built, &model).unwrap();
+    match open_expecting(&file.0, Backend::Gldr) {
+        Err(PersistError::BackendMismatch { expected, found }) => {
+            assert_eq!(expected, "gldr");
+            assert_eq!(found, "seqscan");
+        }
+        other => panic!("expected BackendMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn open_or_build_caches_and_recovers_from_damage() {
+    let data = dataset(45, 0.75);
+    let model = fit(&data);
+    let file = TempFile::new("cache");
+    // First call builds and writes the snapshot.
+    let (first, reused) = open_or_build(&file.0, Backend::Hybrid, &data, &model, 32).unwrap();
+    assert!(!reused);
+    // Second call reuses it, answers identical.
+    let (second, reused) = open_or_build(&file.0, Backend::Hybrid, &data, &model, 32).unwrap();
+    assert!(reused);
+    let a = first.as_dyn().knn(data.row(2), 4).unwrap();
+    let b = second.as_dyn().knn(data.row(2), 4).unwrap();
+    assert_answers_identical(&a, &b, "cache reuse");
+    // Damage the cache: the helper rebuilds instead of failing or reusing.
+    let mut bytes = std::fs::read(&file.0).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&file.0, &bytes).unwrap();
+    let (third, reused) = open_or_build(&file.0, Backend::Hybrid, &data, &model, 32).unwrap();
+    assert!(!reused, "a damaged snapshot must trigger a rebuild");
+    let c = third.as_dyn().knn(data.row(2), 4).unwrap();
+    assert_answers_identical(&a, &c, "rebuild after damage");
+    // And the rewritten snapshot is healthy again.
+    let (_, reused) = open_or_build(&file.0, Backend::Hybrid, &data, &model, 32).unwrap();
+    assert!(reused);
+}

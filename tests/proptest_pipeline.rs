@@ -10,11 +10,8 @@ use proptest::prelude::*;
 /// Random small dataset: n points in d dims with values in [-range, range].
 fn dataset_strategy() -> impl Strategy<Value = Matrix> {
     (2usize..6, 40usize..120, 0.5f64..5.0).prop_flat_map(|(d, n, range)| {
-        proptest::collection::vec(
-            proptest::collection::vec(-range..range, d),
-            n..n + 1,
-        )
-        .prop_map(|rows| Matrix::from_rows(&rows).expect("equal-length rows"))
+        proptest::collection::vec(proptest::collection::vec(-range..range, d), n..n + 1)
+            .prop_map(|rows| Matrix::from_rows(&rows).expect("equal-length rows"))
     })
 }
 

@@ -10,17 +10,26 @@ fn streaming_matches_in_memory_quality() {
     let ds = generate_correlated(&CorrelatedConfig::paper_style(8_000, 32, 6, 6, 30.0, 41));
     let params = MmdrParams::default();
     let plain = Mmdr::new(params.clone()).fit(&ds.data).unwrap();
-    let streamed = ScalableMmdr::new(params).with_epsilon(0.05).fit(&ds.data).unwrap();
+    let streamed = ScalableMmdr::new(params)
+        .with_epsilon(0.05)
+        .fit(&ds.data)
+        .unwrap();
     assert!(streamed.is_partition());
-    assert!(streamed.stats.streams >= 10, "streams {}", streamed.stats.streams);
+    assert!(
+        streamed.stats.streams >= 10,
+        "streams {}",
+        streamed.stats.streams
+    );
 
     let queries = sample_queries(&ds.data, 15, 2).unwrap();
     let eval = |model: &mmdr::core::ReductionResult| {
         let scan = SeqScan::build(&ds.data, model, 512).unwrap();
         let mut total = 0.0;
         for q in queries.iter_rows() {
-            let exact: Vec<usize> =
-                exact_knn(&ds.data, q, 10).into_iter().map(|(_, i)| i).collect();
+            let exact: Vec<usize> = exact_knn(&ds.data, q, 10)
+                .into_iter()
+                .map(|(_, i)| i)
+                .collect();
             let approx: Vec<usize> = scan
                 .knn(q, 10)
                 .unwrap()
@@ -42,8 +51,14 @@ fn streaming_matches_in_memory_quality() {
 #[test]
 fn streaming_is_deterministic() {
     let ds = generate_correlated(&CorrelatedConfig::paper_style(3_000, 16, 4, 4, 20.0, 5));
-    let a = ScalableMmdr::new(MmdrParams::default()).with_epsilon(0.1).fit(&ds.data).unwrap();
-    let b = ScalableMmdr::new(MmdrParams::default()).with_epsilon(0.1).fit(&ds.data).unwrap();
+    let a = ScalableMmdr::new(MmdrParams::default())
+        .with_epsilon(0.1)
+        .fit(&ds.data)
+        .unwrap();
+    let b = ScalableMmdr::new(MmdrParams::default())
+        .with_epsilon(0.1)
+        .fit(&ds.data)
+        .unwrap();
     assert_eq!(a.clusters.len(), b.clusters.len());
     assert_eq!(a.outliers, b.outliers);
     for (ca, cb) in a.clusters.iter().zip(&b.clusters) {

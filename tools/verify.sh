@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: build everything warning-free, run the full
-# workspace test suite, then re-run the parallel-determinism and golden-recall
-# suites explicitly (they are the acceptance gate for the parallel layer).
+# Tier-1 verification gate: check formatting, build everything warning-free,
+# run the full workspace test suite, then re-run the parallel-determinism,
+# golden-recall and persistence suites explicitly (they are the acceptance
+# gates for the parallel layer and the snapshot store).
 #
 # Usage: tools/verify.sh [--release]
 set -euo pipefail
@@ -12,6 +13,9 @@ if [[ "${1:-}" == "--release" ]]; then
     PROFILE=(--release)
 fi
 
+echo "== fmt =="
+cargo fmt --all -- --check
+
 echo "== build (all targets) =="
 RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --workspace --all-targets "${PROFILE[@]}"
 
@@ -21,9 +25,10 @@ cargo clippy --workspace --all-targets "${PROFILE[@]}" -- -D warnings
 echo "== test (workspace) =="
 cargo test --workspace "${PROFILE[@]}"
 
-echo "== determinism + recall + conformance gates =="
+echo "== determinism + recall + conformance + persistence gates =="
 cargo test "${PROFILE[@]}" --test par_determinism --test golden_recall --test backend_conformance
+cargo test "${PROFILE[@]}" --test persist_roundtrip
 cargo test "${PROFILE[@]}" -p mmdr-linalg --test proptest_par
-cargo test "${PROFILE[@]}" -p mmdr-idistance --test proptest_heap
+cargo test "${PROFILE[@]}" -p mmdr-index --test proptest_heap
 
 echo "verify: OK"

@@ -26,12 +26,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        Self { id: format!("{}/{}", function_name.into(), parameter) }
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -88,24 +92,40 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks a closure with no input.
-    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         self.run(BenchmarkId::from_parameter(id), &(), move |b, _| f(b));
         self
     }
 
     fn run<I: ?Sized>(&mut self, id: BenchmarkId, input: &I, mut f: impl FnMut(&mut Bencher, &I)) {
-        let mut bencher = Bencher { samples: self.sample_size, results: Vec::new() };
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
         f(&mut bencher, input);
         let mut sorted = bencher.results.clone();
         sorted.sort();
         let (median, lo, hi) = if sorted.is_empty() {
             (Duration::ZERO, Duration::ZERO, Duration::ZERO)
         } else {
-            (sorted[sorted.len() / 2], sorted[0], sorted[sorted.len() - 1])
+            (
+                sorted[sorted.len() / 2],
+                sorted[0],
+                sorted[sorted.len() - 1],
+            )
         };
         println!(
             "{}/{:<24} median {:>12.3?}   [{:.3?} .. {:.3?}]  ({} samples)",
-            self.name, id.to_string(), median, lo, hi, self.sample_size
+            self.name,
+            id.to_string(),
+            median,
+            lo,
+            hi,
+            self.sample_size
         );
     }
 
@@ -122,7 +142,11 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("== group {name}");
-        BenchmarkGroup { name, sample_size: 20, _criterion: self }
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            _criterion: self,
+        }
     }
 
     /// Benchmarks a closure outside any group.
@@ -179,7 +203,10 @@ mod tests {
 
     #[test]
     fn bencher_collects_samples() {
-        let mut b = Bencher { samples: 5, results: Vec::new() };
+        let mut b = Bencher {
+            samples: 5,
+            results: Vec::new(),
+        };
         b.iter(|| 1 + 1);
         assert_eq!(b.results.len(), 5);
     }

@@ -62,15 +62,15 @@ pub trait Strategy {
     }
 
     /// Keeps only values satisfying `f` (rejection sampling, bounded).
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(
-        self,
-        whence: &'static str,
-        f: F,
-    ) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
     where
         Self: Sized,
     {
-        Filter { inner: self, f, whence }
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
     }
 }
 
@@ -116,7 +116,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter rejected 1000 candidates in a row: {}", self.whence);
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.whence
+        );
     }
 }
 
@@ -245,8 +248,8 @@ pub mod bool {
 
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
     };
 }
 
@@ -263,9 +266,7 @@ pub fn run_cases(cases: u32, test_name: &str, mut body: impl FnMut(&mut TestRng)
         let mut rng = TestRng::seed_from_u64(seed);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
         if let Err(payload) = outcome {
-            eprintln!(
-                "proptest {test_name}: case {case}/{cases} failed (seed {seed:#x})"
-            );
+            eprintln!("proptest {test_name}: case {case}/{cases} failed (seed {seed:#x})");
             std::panic::resume_unwind(payload);
         }
     }
