@@ -10,7 +10,25 @@ use mmdr_bench::{workloads, Args, Report};
 use mmdr_core::{Mmdr, MmdrParams, ParConfig};
 use mmdr_datagen::sample_queries;
 use mmdr_idistance::{IDistanceConfig, IDistanceIndex};
+use mmdr_storage::{PoolStats, ShardCounters};
 use std::time::Instant;
+
+/// Per-shard sum of the index's two pools (B+-tree pages and heap pages),
+/// so `BENCH_pool` reports the full page traffic behind a batch-KNN run.
+fn merge_pools(a: &PoolStats, b: &PoolStats) -> Vec<ShardCounters> {
+    let len = a.per_shard.len().max(b.per_shard.len());
+    (0..len)
+        .map(|i| {
+            let x = a.per_shard.get(i).copied().unwrap_or_default();
+            let y = b.per_shard.get(i).copied().unwrap_or_default();
+            ShardCounters {
+                hits: x.hits + y.hits,
+                misses: x.misses + y.misses,
+                evictions: x.evictions + y.evictions,
+            }
+        })
+        .collect()
+}
 
 fn main() {
     let args = Args::from_env();
@@ -36,6 +54,24 @@ fn main() {
         format!("n={n} dim={dim} queries={queries} k={k} seed={}", args.seed),
     );
 
+    // Companion figure: how the sharded buffer pool behaves under the same
+    // batch-KNN runs — throughput per thread count plus the hit/miss/eviction
+    // counters of every lock stripe (one row per shard per thread count).
+    let mut pool_report = Report::new(
+        "BENCH_pool",
+        "batch 10-NN throughput vs threads, with per-shard pool counters",
+        "threads",
+        &["shard", "hits", "misses", "evictions", "batch_knn_qps"],
+        format!(
+            "n={n} dim={dim} queries={queries} k={k} seed={} shards={}",
+            args.seed,
+            match mmdr_storage::default_pool_shards() {
+                0 => "auto".to_string(),
+                s => s.to_string(),
+            }
+        ),
+    );
+
     let mut fit_base = 0.0f64;
     let mut knn_base = 0.0f64;
     let mut serial_model = None;
@@ -55,9 +91,28 @@ fn main() {
 
         let index =
             IDistanceIndex::build(&data, &model, IDistanceConfig::default()).expect("index build");
+        let tree_before = index.tree().pool().snapshot();
+        let heap_before = index.heap().pool().snapshot();
         let t1 = Instant::now();
         let answers = index.batch_knn(&query_rows, k, &par).expect("batch knn");
         let knn_secs = t1.elapsed().as_secs_f64();
+        let per_shard = merge_pools(
+            &index.tree().pool().snapshot().since(&tree_before),
+            &index.heap().pool().snapshot().since(&heap_before),
+        );
+        let qps = queries as f64 / knn_secs;
+        for (shard, c) in per_shard.iter().enumerate() {
+            pool_report.push(
+                threads as f64,
+                vec![
+                    shard as f64,
+                    c.hits as f64,
+                    c.misses as f64,
+                    c.evictions as f64,
+                    qps,
+                ],
+            );
+        }
 
         // Determinism gate: every thread count must reproduce the serial
         // model and the serial (distance, id) lists bit for bit.
@@ -92,4 +147,5 @@ fn main() {
         );
     }
     report.emit();
+    pool_report.emit();
 }

@@ -20,6 +20,9 @@ pub struct Args {
     /// Directory for index snapshots (`--index-dir`): harnesses reuse a
     /// saved index when a matching snapshot exists instead of rebuilding.
     pub index_dir: Option<String>,
+    /// Buffer-pool shard count override (`--pool-shards`): 0/absent = auto
+    /// (sized from the machine's parallelism).
+    pub pool_shards: Option<usize>,
 }
 
 impl Default for Args {
@@ -32,6 +35,7 @@ impl Default for Args {
             seed: 0,
             dataset: None,
             index_dir: None,
+            pool_shards: None,
         }
     }
 }
@@ -57,9 +61,16 @@ impl Args {
                 }
                 "--dataset" => out.dataset = Some(take_value(&mut it, "--dataset")?),
                 "--index-dir" => out.index_dir = Some(take_value(&mut it, "--index-dir")?),
+                "--pool-shards" => {
+                    out.pool_shards = Some(
+                        take_value(&mut it, "--pool-shards")?
+                            .parse()
+                            .map_err(bad("--pool-shards"))?,
+                    )
+                }
                 other => {
                     return Err(format!(
-                        "unknown flag {other}; known: --quick --paper --n N --queries Q --k K --seed S --dataset NAME --index-dir DIR"
+                        "unknown flag {other}; known: --quick --paper --n N --queries Q --k K --seed S --dataset NAME --index-dir DIR --pool-shards P"
                     ))
                 }
             }
@@ -68,10 +79,16 @@ impl Args {
     }
 
     /// Parses the process arguments, exiting with the usage message on
-    /// error.
+    /// error. Applies the `--pool-shards` override process-wide so every
+    /// pool the harness builds picks it up.
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
-            Ok(a) => a,
+            Ok(a) => {
+                if let Some(shards) = a.pool_shards {
+                    mmdr_storage::set_default_pool_shards(shards);
+                }
+                a
+            }
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
@@ -132,6 +149,8 @@ mod tests {
             "histogram",
             "--index-dir",
             "/tmp/idx",
+            "--pool-shards",
+            "8",
         ])
         .unwrap();
         assert_eq!(a.scale, 2);
@@ -141,6 +160,7 @@ mod tests {
         assert_eq!(a.seed, 9);
         assert_eq!(a.dataset.as_deref(), Some("histogram"));
         assert_eq!(a.index_dir.as_deref(), Some("/tmp/idx"));
+        assert_eq!(a.pool_shards, Some(8));
         assert_eq!(a.pick(1, 2, 3), 3);
         assert_eq!(parse(&["--quick"]).unwrap().pick(1, 2, 3), 1);
     }
@@ -150,5 +170,7 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--n"]).is_err());
         assert!(parse(&["--n", "abc"]).is_err());
+        assert!(parse(&["--pool-shards"]).is_err());
+        assert!(parse(&["--pool-shards", "x"]).is_err());
     }
 }

@@ -71,14 +71,16 @@ USAGE:
   mmdr convert  (--csv FILE --out FILE | --data FILE --out-csv FILE)
   mmdr reduce   --data FILE --out FILE [--method mmdr|ldr|gdr] [--dim D] [--clusters K] [--beta B] [--seed S] [--threads N]
   mmdr info     --model FILE
-  mmdr build-index --data FILE --model FILE --out FILE [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N]
-  mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--backend seqscan|idistance|hybrid|gldr]
-  mmdr query    --index-file FILE (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--threads N]
+  mmdr build-index --data FILE --model FILE --out FILE [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N] [--pool-shards P]
+  mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--backend seqscan|idistance|hybrid|gldr] [--pool-shards P]
+  mmdr query    --index-file FILE (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--pool-shards P]
 
 Results are independent of --threads: clustering, PCA and batch queries use
 fixed-size work chunks merged in a fixed order, so any thread count produces
 bit-identical output. Every --backend answers with the same
 reduced-representation distances; they differ only in I/O and CPU cost.
+--pool-shards sets the buffer pool's lock-stripe count (default: sized from
+the machine's parallelism); it changes contention, never answers.
 
 build-index saves a checksummed binary snapshot of a built index; query
 --index-file reopens it without rebuilding (the snapshot pins the backend
@@ -291,8 +293,29 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Applies `--pool-shards` process-wide so every buffer pool built by this
+/// invocation uses the requested lock-stripe count (0 = auto).
+fn apply_pool_shards(flags: &HashMap<String, String>) -> Result<(), String> {
+    let shards = get_parse(flags, "pool-shards", 0usize)?;
+    if shards > 0 {
+        mmdr_storage::set_default_pool_shards(shards);
+    }
+    Ok(())
+}
+
 fn cmd_build_index(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["data", "model", "out", "backend", "buffer-pages"])?;
+    let flags = parse_flags(
+        args,
+        &[
+            "data",
+            "model",
+            "out",
+            "backend",
+            "buffer-pages",
+            "pool-shards",
+        ],
+    )?;
+    apply_pool_shards(&flags)?;
     let data = DatasetFile::load(require(&flags, "data")?)?;
     let model = load_model(require(&flags, "model")?)?;
     let out = require(&flags, "out")?;
@@ -328,8 +351,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             "threads",
             "backend",
             "index-file",
+            "pool-shards",
         ],
     )?;
+    apply_pool_shards(&flags)?;
     let index_file = flags.get("index-file");
     if index_file.is_some() && (flags.contains_key("model") || flags.contains_key("backend")) {
         return Err(

@@ -82,16 +82,20 @@ impl HybridTree {
             if best.is_full() && node.mindist_sq > best.worst_dist().expect("full heap") {
                 break; // no remaining region can beat the k-th best
             }
-            let leaf = self.pool.with_page(node.page, is_leaf)?;
+            // Each fetch clones an `Arc<Page>` out of the pool: no pool lock
+            // is held while distances are computed, so concurrent KNN
+            // workers proceed in parallel. The per-record refetch mirrors
+            // the historical access count (`pages_touched` is part of the
+            // golden I/O accounting); it is a guaranteed buffer hit.
+            let leaf = is_leaf(&*self.pool.page(node.page)?);
             if leaf {
-                let n = self.pool.with_page(node.page, count)?;
+                let n = count(&*self.pool.page(node.page)?);
                 self.search.record_dists(n as u64);
                 let mut refined = 0;
                 for i in 0..n {
-                    let rid = self.pool.with_page(node.page, |p| {
-                        Leaf::coords_into(p, dim, i, &mut coords);
-                        Leaf::rid(p, dim, i)
-                    })?;
+                    let page = self.pool.page(node.page)?;
+                    Leaf::coords_into(&page, dim, i, &mut coords);
+                    let rid = Leaf::rid(&page, dim, i);
                     let d = match best.worst_dist() {
                         Some(w) if best.is_full() => {
                             mmdr_linalg::l2_dist_sq_within(query, &coords, w)
@@ -107,23 +111,21 @@ impl HybridTree {
                 continue;
             }
             // Internal: push each child with its refined region.
-            let (split_dim, n_children) = self
-                .pool
-                .with_page(node.page, |p| (Internal::split_dim(p), count(p)))?;
+            let page = self.pool.page(node.page)?;
+            let (split_dim, n_children) = (Internal::split_dim(&page), count(&page));
             for i in 0..n_children {
-                let (child, b_lo, b_hi) = self.pool.with_page(node.page, |p| {
-                    let lo = if i == 0 {
-                        f64::NEG_INFINITY
-                    } else {
-                        Internal::boundary(p, i - 1)
-                    };
-                    let hi = if i + 1 == n_children {
-                        f64::INFINITY
-                    } else {
-                        Internal::boundary(p, i)
-                    };
-                    (Internal::child(p, i), lo, hi)
-                })?;
+                let page = self.pool.page(node.page)?;
+                let b_lo = if i == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    Internal::boundary(&page, i - 1)
+                };
+                let b_hi = if i + 1 == n_children {
+                    f64::INFINITY
+                } else {
+                    Internal::boundary(&page, i)
+                };
+                let child = Internal::child(&page, i);
                 let mut lo = node.lo.clone();
                 let mut hi = node.hi.clone();
                 lo[split_dim] = lo[split_dim].max(b_lo);
@@ -175,15 +177,14 @@ impl HybridTree {
             if mindist_sq(query, &lo, &hi).sqrt() > limit {
                 continue;
             }
-            if self.pool.with_page(page, is_leaf)? {
-                let n = self.pool.with_page(page, count)?;
+            if is_leaf(&*self.pool.page(page)?) {
+                let n = count(&*self.pool.page(page)?);
                 self.search.record_dists(n as u64);
                 let mut refined = 0;
                 for i in 0..n {
-                    let rid = self.pool.with_page(page, |p| {
-                        Leaf::coords_into(p, dim, i, &mut coords);
-                        Leaf::rid(p, dim, i)
-                    })?;
+                    let node_page = self.pool.page(page)?;
+                    Leaf::coords_into(&node_page, dim, i, &mut coords);
+                    let rid = Leaf::rid(&node_page, dim, i);
                     let d = mmdr_linalg::l2_dist(query, &coords);
                     if d <= limit {
                         out.push((d, rid));
@@ -193,23 +194,21 @@ impl HybridTree {
                 self.search.record_refined(refined);
                 continue;
             }
-            let (split_dim, n_children) = self
-                .pool
-                .with_page(page, |p| (Internal::split_dim(p), count(p)))?;
+            let node_page = self.pool.page(page)?;
+            let (split_dim, n_children) = (Internal::split_dim(&node_page), count(&node_page));
             for i in 0..n_children {
-                let (child, b_lo, b_hi) = self.pool.with_page(page, |p| {
-                    let lo = if i == 0 {
-                        f64::NEG_INFINITY
-                    } else {
-                        Internal::boundary(p, i - 1)
-                    };
-                    let hi = if i + 1 == n_children {
-                        f64::INFINITY
-                    } else {
-                        Internal::boundary(p, i)
-                    };
-                    (Internal::child(p, i), lo, hi)
-                })?;
+                let node_page = self.pool.page(page)?;
+                let b_lo = if i == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    Internal::boundary(&node_page, i - 1)
+                };
+                let b_hi = if i + 1 == n_children {
+                    f64::INFINITY
+                } else {
+                    Internal::boundary(&node_page, i)
+                };
+                let child = Internal::child(&node_page, i);
                 let mut lo = lo.clone();
                 let mut hi = hi.clone();
                 lo[split_dim] = lo[split_dim].max(b_lo);

@@ -153,7 +153,8 @@ impl HybridTree {
         self.search = counters;
     }
 
-    /// Access to the buffer pool (page counts, hit/miss ratios).
+    /// Access to the buffer pool (page counts, per-shard hit/miss/eviction
+    /// counters via [`BufferPool::snapshot`]).
     pub fn pool(&self) -> &BufferPool {
         &self.pool
     }

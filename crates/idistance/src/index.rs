@@ -273,12 +273,14 @@ impl IDistanceIndex {
         })
     }
 
-    /// Access to the B⁺-tree over the mapped keys (snapshot export).
+    /// Access to the B⁺-tree over the mapped keys (snapshot export, and
+    /// per-shard buffer-pool counters via its `pool().snapshot()`).
     pub fn tree(&self) -> &BPlusTree {
         &self.tree
     }
 
-    /// Access to the heap file of reduced payloads (snapshot export).
+    /// Access to the heap file of reduced payloads (snapshot export, and
+    /// per-shard buffer-pool counters via its `pool().snapshot()`).
     pub fn heap(&self) -> &VectorHeap {
         &self.heap
     }

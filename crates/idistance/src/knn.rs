@@ -271,9 +271,10 @@ impl IDistanceIndex {
     /// Answers every query in `queries`, fanning the batch across
     /// `par.num_threads` scoped worker threads. Results come back in input
     /// order, and each row is exactly what [`knn`](Self::knn) returns for
-    /// that query — workers share the index immutably (the buffer pool's
-    /// internal lock serializes page I/O), so thread count affects only
-    /// wall-clock time, never answers.
+    /// that query — workers share the index immutably and fetch pages as
+    /// shared `Arc<Page>` handles from the sharded buffer pool (no pool
+    /// lock is held across a distance computation), so thread count affects
+    /// only wall-clock time, never answers.
     pub fn batch_knn(
         &self,
         queries: &[Vec<f64>],

@@ -154,21 +154,23 @@ impl VectorHeap {
         if page >= self.pool.num_pages() as u64 {
             return Err(Error::BadRecordId(rid));
         }
-        self.pool.with_page(page, |p| {
-            let partition = p.get_u32(0).expect("header");
-            let dim = p.get_u16(4).expect("header") as usize;
-            let count = p.get_u16(6).expect("header") as usize;
-            if slot >= count {
-                return Err(Error::BadRecordId(rid));
-            }
-            let base = HEADER + slot * (8 + 8 * dim);
-            let point_id = p.get_u64(base).expect("record in page");
-            coords.resize(dim, 0.0);
-            for (j, c) in coords.iter_mut().enumerate() {
-                *c = p.get_f64(base + 8 + 8 * j).expect("record in page");
-            }
-            Ok((partition, point_id))
-        })?
+        // One shared page handle per fetch; no pool lock is held while the
+        // coordinates are copied out, so concurrent KNN workers refine
+        // candidates from the same page in parallel.
+        let p = self.pool.page(page)?;
+        let partition = p.get_u32(0).expect("header");
+        let dim = p.get_u16(4).expect("header") as usize;
+        let count = p.get_u16(6).expect("header") as usize;
+        if slot >= count {
+            return Err(Error::BadRecordId(rid));
+        }
+        let base = HEADER + slot * (8 + 8 * dim);
+        let point_id = p.get_u64(base).expect("record in page");
+        coords.resize(dim, 0.0);
+        for (j, c) in coords.iter_mut().enumerate() {
+            *c = p.get_f64(base + 8 + 8 * j).expect("record in page");
+        }
+        Ok((partition, point_id))
     }
 
     /// Marks a record dead. Tombstoned records keep their slot (rids are
@@ -201,20 +203,19 @@ impl VectorHeap {
         if page >= self.pool.num_pages() as u64 {
             return Err(Error::BadRecordId(rid));
         }
-        self.pool.with_page(page, |p| {
-            let partition = p.get_u32(0).expect("header");
-            let dim = p.get_u16(4).expect("header") as usize;
-            let count = p.get_u16(6).expect("header") as usize;
-            if slot >= count {
-                return Err(Error::BadRecordId(rid));
-            }
-            let base = HEADER + slot * (8 + 8 * dim);
-            let point_id = p.get_u64(base).expect("record in page");
-            let coords = (0..dim)
-                .map(|j| p.get_f64(base + 8 + 8 * j).expect("record in page"))
-                .collect();
-            Ok((partition, point_id, coords))
-        })?
+        let p = self.pool.page(page)?;
+        let partition = p.get_u32(0).expect("header");
+        let dim = p.get_u16(4).expect("header") as usize;
+        let count = p.get_u16(6).expect("header") as usize;
+        if slot >= count {
+            return Err(Error::BadRecordId(rid));
+        }
+        let base = HEADER + slot * (8 + 8 * dim);
+        let point_id = p.get_u64(base).expect("record in page");
+        let coords = (0..dim)
+            .map(|j| p.get_f64(base + 8 + 8 * j).expect("record in page"))
+            .collect();
+        Ok((partition, point_id, coords))
     }
 
     /// Iterates every record, invoking `f(partition, point_id, coords)`.
@@ -223,23 +224,22 @@ impl VectorHeap {
         let pages = self.pool.num_pages() as u64;
         let mut coords = Vec::new();
         for page in 0..pages {
-            self.pool.with_page(page, |p| {
-                let partition = p.get_u32(0).expect("header");
-                let dim = p.get_u16(4).expect("header") as usize;
-                let count = p.get_u16(6).expect("header") as usize;
-                coords.resize(dim, 0.0);
-                for slot in 0..count {
-                    let base = HEADER + slot * (8 + 8 * dim);
-                    let point_id = p.get_u64(base).expect("record in page");
-                    if point_id == TOMBSTONE {
-                        continue; // deleted record
-                    }
-                    for (j, c) in coords.iter_mut().enumerate() {
-                        *c = p.get_f64(base + 8 + 8 * j).expect("record in page");
-                    }
-                    f(partition, point_id, &coords);
+            let p = self.pool.page(page)?;
+            let partition = p.get_u32(0).expect("header");
+            let dim = p.get_u16(4).expect("header") as usize;
+            let count = p.get_u16(6).expect("header") as usize;
+            coords.resize(dim, 0.0);
+            for slot in 0..count {
+                let base = HEADER + slot * (8 + 8 * dim);
+                let point_id = p.get_u64(base).expect("record in page");
+                if point_id == TOMBSTONE {
+                    continue; // deleted record
                 }
-            })?;
+                for (j, c) in coords.iter_mut().enumerate() {
+                    *c = p.get_f64(base + 8 + 8 * j).expect("record in page");
+                }
+                f(partition, point_id, &coords);
+            }
         }
         Ok(())
     }

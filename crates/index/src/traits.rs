@@ -77,9 +77,12 @@ pub trait VectorIndex: Send + Sync {
     ///
     /// Results come back in input order and each row is exactly what
     /// [`knn`](VectorIndex::knn) returns for that query — thread count
-    /// affects only wall-clock time, never answers. Backends with reusable
-    /// per-thread scratch may override this, but must preserve that
-    /// guarantee (the conformance suite checks it at 1/2/4/8 threads).
+    /// affects only wall-clock time, never answers. Workers read pages as
+    /// shared `Arc<Page>` handles out of the sharded buffer pool, so they
+    /// hold no pool lock while computing distances and do not serialize on
+    /// page access. Backends with reusable per-thread scratch may override
+    /// this, but must preserve the determinism guarantee (the conformance
+    /// suite checks it at 1/2/4/8 threads).
     fn batch_knn(
         &self,
         queries: &[Vec<f64>],

@@ -153,7 +153,11 @@ fn get_groups(r: &mut ByteReader<'_>) -> Result<Vec<Vec<Page>>> {
 }
 
 /// Reattaches one page group behind a pool of the recorded capacity,
-/// sharing the given I/O ledger. Restoring costs no logical I/O.
+/// sharing the given I/O ledger. Restoring costs no logical I/O. Only the
+/// capacity is recorded: the reopened pool stripes its frames across
+/// whatever shard count the current process resolves (snapshots predate and
+/// outlive pool geometry), which cannot change answers or `pages_touched` —
+/// both are independent of shard layout.
 fn restore_pool(pages: Vec<Page>, capacity: usize, stats: &Arc<IoStats>) -> Result<BufferPool> {
     Ok(BufferPool::new(
         DiskManager::from_pages(pages, Arc::clone(stats)),

@@ -22,6 +22,10 @@ pub enum Error {
     },
     /// The buffer pool was configured with zero capacity.
     ZeroCapacity,
+    /// A pool lock or frame latch was poisoned by a panicking thread. The
+    /// typed error keeps one crashed query from silently wedging the pool:
+    /// the poisoned frame keeps erroring, everything else keeps serving.
+    Poisoned,
 }
 
 impl fmt::Display for Error {
@@ -35,6 +39,9 @@ impl fmt::Display for Error {
                 )
             }
             Error::ZeroCapacity => write!(f, "buffer pool capacity must be > 0"),
+            Error::Poisoned => {
+                write!(f, "a pool lock was poisoned by a panicking thread")
+            }
         }
     }
 }
@@ -57,5 +64,6 @@ mod tests {
         .to_string()
         .contains("4090"));
         assert!(!Error::ZeroCapacity.to_string().is_empty());
+        assert!(Error::Poisoned.to_string().contains("poisoned"));
     }
 }

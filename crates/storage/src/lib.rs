@@ -7,9 +7,12 @@
 //! - [`Page`] — a fixed 4 KiB byte page with typed little-endian accessors.
 //! - [`DiskManager`] — an in-memory "disk" of pages; every read and write
 //!   through it increments shared [`IoStats`] counters.
-//! - [`BufferPool`] — an LRU cache in front of the disk; buffer hits are
-//!   free, misses cost a logical read, dirty evictions cost a write. The
-//!   pool capacity models the paper's 500 K-point buffer limit (§6.3).
+//! - [`BufferPool`] — a sharded, lock-striped cache in front of the disk
+//!   with clock (second-chance) eviction per shard; buffer hits are free,
+//!   misses cost a logical read, dirty evictions cost a write. The pool
+//!   capacity models the paper's 500 K-point buffer limit (§6.3), and the
+//!   shared-read frames ([`BufferPool::page`] returns `Arc<Page>`) let
+//!   concurrent KNN workers scan pages without serializing on a pool lock.
 //!
 //! I/O numbers produced this way are *logical* page accesses — the same
 //! unit the paper plots — and are deterministic across runs.
@@ -20,7 +23,9 @@ mod error;
 mod page;
 mod stats;
 
-pub use buffer_pool::BufferPool;
+pub use buffer_pool::{
+    default_pool_shards, set_default_pool_shards, BufferPool, PoolStats, ShardCounters,
+};
 pub use disk::DiskManager;
 pub use error::{Error, Result};
 pub use page::{Page, PageId, PAGE_SIZE};

@@ -159,6 +159,46 @@ fn range_search_parity_after_reopen() {
     }
 }
 
+#[test]
+fn concurrent_batch_knn_on_reopened_snapshot_matches_serial() {
+    // A reopened snapshot must be just as safe to share across query
+    // threads as a freshly built index: parallel batch_knn against the
+    // restored (sharded) buffer pool returns the serial fresh-build
+    // answers bit-for-bit at every thread count.
+    use mmdr::core::ParConfig;
+    let data = dataset(70, 0.4);
+    let model = fit(&data);
+    let step = (data.rows() / 12).max(1);
+    let queries: Vec<Vec<f64>> = (0..12).map(|i| data.row(i * step).to_vec()).collect();
+    for backend in Backend::all() {
+        let file = TempFile::new("concurrent");
+        let built = build_index(backend, &data, &model, 32).unwrap();
+        save(&file.0, &built, &model).unwrap();
+        let opened = open(&file.0).unwrap();
+        let serial: Vec<Vec<(f64, u64)>> = queries
+            .iter()
+            .map(|q| built.as_dyn().knn(q, 6).unwrap())
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let batch = opened
+                .index
+                .as_dyn()
+                .batch_knn(&queries, 6, &ParConfig::threads(threads))
+                .unwrap();
+            for (qi, (fresh, again)) in serial.iter().zip(&batch).enumerate() {
+                assert_answers_identical(
+                    fresh,
+                    again,
+                    &format!(
+                        "{} reopened query {qi} at {threads} threads",
+                        backend.name()
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// One saved snapshot to damage in the corruption tests below.
 fn snapshot_bytes() -> Vec<u8> {
     let data = dataset(50, 0.5);

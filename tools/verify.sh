@@ -31,4 +31,14 @@ cargo test "${PROFILE[@]}" --test persist_roundtrip
 cargo test "${PROFILE[@]}" -p mmdr-linalg --test proptest_par
 cargo test "${PROFILE[@]}" -p mmdr-index --test proptest_heap
 
+echo "== buffer-pool concurrency gate =="
+cargo test "${PROFILE[@]}" --test pool_stress
+# The shared-read refactor's structural invariant: the pool must stay
+# lock-striped — a single global Mutex around the frame table must not
+# creep back in.
+if grep -rn "Mutex<PoolInner>" crates/storage/src; then
+    echo "verify: FAIL — global pool lock (Mutex<PoolInner>) reintroduced" >&2
+    exit 1
+fi
+
 echo "verify: OK"
