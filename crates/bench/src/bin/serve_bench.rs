@@ -1,0 +1,190 @@
+//! Closed-loop load generator for the mmdr-serve query server.
+//!
+//! Starts an in-process server over an iDistance index and sweeps the
+//! number of concurrent closed-loop clients (each issues its next KNN the
+//! moment the previous answer lands). Per client count it reports
+//! throughput, p50/p99 latency, how hard the worker pool coalesced queued
+//! singleton KNNs, and how many requests were rejected with the typed
+//! `OVERLOADED` status — the admission-control path, exercised on purpose
+//! by the tiny queue at the top client counts.
+//!
+//! Every answer is spot-checked against the in-process index: serving must
+//! never change bytes, only latency.
+
+use mmdr::index::VectorIndex;
+use mmdr::serve::{Client, ServeError, Server, ServerConfig};
+use mmdr_bench::{workloads, Args, Report};
+use mmdr_core::{Mmdr, MmdrParams};
+use mmdr_datagen::sample_queries;
+use mmdr_idistance::Backend;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct SweepResult {
+    latencies_ns: Vec<u64>,
+    overloaded: u64,
+    wall_seconds: f64,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[rank] as f64 / 1e6
+}
+
+fn run_clients(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    per_client: usize,
+    queries: &[Vec<f64>],
+    k: usize,
+    index: &Arc<dyn VectorIndex>,
+) -> SweepResult {
+    let start = Instant::now();
+    let per_thread: Vec<(Vec<u64>, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut overloaded = 0u64;
+                    for i in 0..per_client {
+                        let q = &queries[(c * per_client + i) % queries.len()];
+                        let t0 = Instant::now();
+                        match client.knn(q, k) {
+                            Ok(hits) => {
+                                latencies.push(t0.elapsed().as_nanos() as u64);
+                                if i == 0 {
+                                    // Parity spot check: wire answers are
+                                    // the in-process answers, bit for bit.
+                                    let local = index.knn(q, k).expect("local knn");
+                                    assert_eq!(local.len(), hits.len());
+                                    for (l, r) in local.iter().zip(&hits) {
+                                        assert_eq!(l.0.to_bits(), r.0.to_bits());
+                                        assert_eq!(l.1, r.1);
+                                    }
+                                }
+                            }
+                            Err(ServeError::Overloaded) => overloaded += 1,
+                            Err(e) => panic!("client {c}: {e}"),
+                        }
+                    }
+                    (latencies, overloaded)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut latencies_ns = Vec::new();
+    let mut overloaded = 0;
+    for (l, o) in per_thread {
+        latencies_ns.extend(l);
+        overloaded += o;
+    }
+    latencies_ns.sort_unstable();
+    SweepResult {
+        latencies_ns,
+        overloaded,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.n.unwrap_or_else(|| args.pick(2_000, 10_000, 50_000));
+    let n_queries = args.queries.unwrap_or_else(|| args.pick(64, 256, 1_024));
+    let per_client = args.pick(50, 200, 1_000);
+    let k = args.k.unwrap_or(10);
+    let dim = 32;
+    let client_counts: &[usize] = match args.scale {
+        0 => &[1, 2, 4],
+        1 => &[1, 2, 4, 8],
+        _ => &[1, 2, 4, 8, 16, 32],
+    };
+
+    let data = workloads::synthetic(n, dim, 5, 30.0, args.seed).data;
+    let model = Mmdr::new(MmdrParams {
+        max_ec: 5,
+        ..Default::default()
+    })
+    .fit(&data)
+    .expect("fit");
+    let qs = sample_queries(&data, n_queries, args.seed ^ 0x5e7e).expect("queries");
+    let queries: Vec<Vec<f64>> = qs.iter_rows().map(|r| r.to_vec()).collect();
+
+    let built = mmdr::persist::build_index(Backend::IDistance, &data, &model, 256).expect("build");
+    let index: Arc<dyn VectorIndex> = Arc::from(built.into_boxed());
+
+    // A deliberately small queue so the top client counts brush against
+    // admission control and the overload column is not trivially zero.
+    let config = ServerConfig {
+        workers: 2,
+        queue_depth: 64,
+        coalesce: 32,
+        batch_threads: 1,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(Arc::clone(&index), ("127.0.0.1", 0), config).expect("start server");
+    let addr = handle.local_addr();
+
+    let mut report = Report::new(
+        "BENCH_serve",
+        "served 10-NN: throughput and latency vs concurrent closed-loop clients",
+        "clients",
+        &[
+            "throughput_qps",
+            "p50_ms",
+            "p99_ms",
+            "answered",
+            "overloaded",
+            "coalesced_batches",
+            "mean_coalesce",
+            "max_coalesce",
+        ],
+        format!(
+            "n={n} dim={dim} queries={n_queries} per_client={per_client} k={k} \
+             workers=2 queue_depth=64 coalesce=32 seed={}",
+            args.seed
+        ),
+    );
+
+    let mut before = handle.stats();
+    for &clients in client_counts {
+        let sweep = run_clients(addr, clients, per_client, &queries, k, &index);
+        let after = handle.stats();
+        let batches = after.coalesced_batches - before.coalesced_batches;
+        let folded = after.coalesced_queries - before.coalesced_queries;
+        let answered = sweep.latencies_ns.len() as f64;
+        report.push(
+            clients as f64,
+            vec![
+                answered / sweep.wall_seconds,
+                percentile(&sweep.latencies_ns, 0.50),
+                percentile(&sweep.latencies_ns, 0.99),
+                answered,
+                sweep.overloaded as f64,
+                batches as f64,
+                if batches > 0 {
+                    folded as f64 / batches as f64
+                } else {
+                    0.0
+                },
+                after.max_coalesce as f64,
+            ],
+        );
+        before = after;
+    }
+
+    let final_stats = handle.shutdown();
+    report.emit();
+    eprintln!(
+        "server totals: {} requests, {} coalesced into {} batches (max {}), {} overloaded",
+        final_stats.requests,
+        final_stats.coalesced_queries,
+        final_stats.coalesced_batches,
+        final_stats.max_coalesce,
+        final_stats.overloaded
+    );
+}

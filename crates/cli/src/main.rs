@@ -7,6 +7,8 @@
 //! mmdr build-index --data data.json --model model.json --out index.mmdr [--backend B]
 //! mmdr query       --data data.json --model model.json --row 17,42 [--k 10] [--radius R] [--threads N] [--backend B]
 //! mmdr query       --index-file index.mmdr --point "0.1,0.2,…" [--k 10]
+//! mmdr serve       --index-file index.mmdr --port 7070 [--workers W]
+//! mmdr remote-query --addr host:port --point "0.1,0.2,…" [--k 10]
 //! ```
 //!
 //! Datasets and models are JSON files (`DatasetFile` /
@@ -49,6 +51,8 @@ fn main() -> ExitCode {
         "info" => cmd_info(rest),
         "build-index" => cmd_build_index(rest),
         "query" => cmd_query(rest),
+        "serve" => cmd_serve(rest),
+        "remote-query" => cmd_remote_query(rest),
         "help" | "--help" | "-h" => {
             outln!("{USAGE}");
             Ok(())
@@ -72,8 +76,11 @@ USAGE:
   mmdr reduce   --data FILE --out FILE [--method mmdr|ldr|gdr] [--dim D] [--clusters K] [--beta B] [--seed S] [--threads N]
   mmdr info     --model FILE
   mmdr build-index --data FILE --model FILE --out FILE [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N] [--pool-shards P]
-  mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--backend seqscan|idistance|hybrid|gldr] [--pool-shards P]
-  mmdr query    --index-file FILE (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--pool-shards P]
+  mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--backend seqscan|idistance|hybrid|gldr] [--pool-shards P] [--hex true]
+  mmdr query    --index-file FILE (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--pool-shards P] [--hex true]
+  mmdr serve    --index-file FILE [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--batch-threads N] [--pool-shards P]
+  mmdr remote-query --addr HOST:PORT (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--hex true]
+  mmdr remote-query --addr HOST:PORT --op ping|stats|shutdown
 
 Results are independent of --threads: clustering, PCA and batch queries use
 fixed-size work chunks merged in a fixed order, so any thread count produces
@@ -85,7 +92,14 @@ the machine's parallelism); it changes contention, never answers.
 build-index saves a checksummed binary snapshot of a built index; query
 --index-file reopens it without rebuilding (the snapshot pins the backend
 and model, so --model/--backend cannot be combined with it) and returns
-bit-identical answers to a fresh build.";
+bit-identical answers to a fresh build.
+
+serve exposes a snapshot over TCP (mmdr-serve wire protocol): a fixed
+worker pool answers KNN/range/batch queries with typed OVERLOADED
+rejections under load, and SIGINT/SIGTERM (or a remote-query --op
+shutdown) drains in-flight requests before exiting. remote-query answers
+are bit-identical to local query answers against the same snapshot —
+--hex prints raw distance bit patterns to make that checkable with diff.";
 
 /// Parses `--flag value` pairs into a map, rejecting unknown flags.
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
@@ -129,6 +143,16 @@ fn require<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str
         .ok_or_else(|| format!("--{name} is required"))
 }
 
+/// Parses an optional boolean flag (`--name true`), defaulting to false.
+fn get_bool(flags: &HashMap<String, String>, name: &str) -> Result<bool, String> {
+    match flags.get(name).map(String::as_str) {
+        None => Ok(false),
+        Some("true" | "1" | "yes") => Ok(true),
+        Some("false" | "0" | "no") => Ok(false),
+        Some(other) => Err(format!("--{name}: expected true/false, got `{other}`")),
+    }
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
@@ -146,12 +170,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let out = require(&flags, "out")?;
     let n = get_parse(&flags, "n", 5_000usize)?;
     let seed = get_parse(&flags, "seed", 0u64)?;
-    let histogram = match flags.get("histogram").map(String::as_str) {
-        None => false,
-        Some("true" | "1" | "yes") => true,
-        Some("false" | "0" | "no") => false,
-        Some(other) => return Err(format!("--histogram: expected true/false, got `{other}`")),
-    };
+    let histogram = get_bool(&flags, "histogram")?;
     let data = if histogram {
         generate_histograms(&HistogramConfig {
             n,
@@ -338,6 +357,84 @@ fn cmd_build_index(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves `--row`/`--point` flags into concrete query vectors.
+/// `--row` accepts a comma-separated list; multiple rows form a batch.
+fn parse_queries(
+    flags: &HashMap<String, String>,
+    data: Option<&mmdr_linalg::Matrix>,
+) -> Result<Vec<Vec<f64>>, String> {
+    if let Some(rows) = flags.get("row") {
+        let data = data.ok_or("--row needs --data to resolve row indexes")?;
+        rows.split(',')
+            .map(|s| {
+                let idx: usize = s.trim().parse().map_err(|_| "--row: not a number")?;
+                if idx >= data.rows() {
+                    return Err(format!(
+                        "--row {idx} out of range (dataset has {})",
+                        data.rows()
+                    ));
+                }
+                Ok(data.row(idx).to_vec())
+            })
+            .collect()
+    } else if let Some(point) = flags.get("point") {
+        let q = point
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad coordinate `{s}`"))
+            })
+            .collect::<Result<Vec<f64>, _>>()?;
+        if q.is_empty() {
+            return Err("--point: no coordinates given".into());
+        }
+        Ok(vec![q])
+    } else {
+        Err("either --row or --point is required".into())
+    }
+}
+
+/// Prints one answer list. With `hex`, distances print as raw IEEE-754 bit
+/// patterns — `query --hex` and `remote-query --hex` output can be diffed
+/// to check bit-exact parity, which `.6` decimals would mask.
+fn print_hits(hits: &[(f64, u64)], hex: bool) {
+    for (dist, id) in hits {
+        if hex {
+            outln!("  #{id:<8} dist {:016x}", dist.to_bits());
+        } else {
+            outln!("  #{id:<8} dist {dist:.6}");
+        }
+    }
+}
+
+/// Pre-flight checks shared by the local and remote query paths: every
+/// misuse is a typed single-line error, never a panic downstream.
+fn validate_query_shape(
+    queries: &[Vec<f64>],
+    index_dim: usize,
+    index_len: usize,
+    k: usize,
+) -> Result<(), String> {
+    if k == 0 {
+        return Err("--k must be at least 1".into());
+    }
+    if k > index_len {
+        return Err(format!(
+            "--k {k} exceeds the index size ({index_len} points)"
+        ));
+    }
+    for (qi, q) in queries.iter().enumerate() {
+        if q.len() != index_dim {
+            return Err(format!(
+                "query {qi} has {} coordinates but the index expects {index_dim}",
+                q.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
@@ -352,9 +449,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             "backend",
             "index-file",
             "pool-shards",
+            "hex",
         ],
     )?;
     apply_pool_shards(&flags)?;
+    let hex = get_bool(&flags, "hex")?;
     let index_file = flags.get("index-file");
     if index_file.is_some() && (flags.contains_key("model") || flags.contains_key("backend")) {
         return Err(
@@ -366,36 +465,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         Some(path) => Some(DatasetFile::load(path)?),
         None => None,
     };
-    // --row accepts a comma-separated list; multiple rows form a batch that
-    // --threads fans across workers (answers are identical at any count).
-    let queries: Vec<Vec<f64>> = if let Some(rows) = flags.get("row") {
-        let data = data
-            .as_ref()
-            .ok_or("--row needs --data to resolve row indexes")?;
-        rows.split(',')
-            .map(|s| {
-                let idx: usize = s.trim().parse().map_err(|_| "--row: not a number")?;
-                if idx >= data.rows() {
-                    return Err(format!(
-                        "--row {idx} out of range (dataset has {})",
-                        data.rows()
-                    ));
-                }
-                Ok(data.row(idx).to_vec())
-            })
-            .collect::<Result<_, _>>()?
-    } else if let Some(point) = flags.get("point") {
-        vec![point
-            .split(',')
-            .map(|s| {
-                s.trim()
-                    .parse::<f64>()
-                    .map_err(|_| format!("bad coordinate `{s}`"))
-            })
-            .collect::<Result<_, _>>()?]
-    } else {
-        return Err("either --row or --point is required".into());
-    };
+    let queries = parse_queries(&flags, data.as_ref())?;
     let par = ParConfig::threads(get_parse(&flags, "threads", 1usize)?);
 
     let index = match index_file {
@@ -424,18 +494,21 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             return Err("--radius works with a single query".into());
         }
         let radius: f64 = radius.parse().map_err(|_| "--radius: not a number")?;
+        if radius.is_nan() || radius < 0.0 {
+            return Err(format!("--radius must be non-negative, got {radius}"));
+        }
+        validate_query_shape(&queries, index.dim(), index.len(), 1)?;
         let hits = index
             .range_search(&queries[0], radius)
             .map_err(|e| e.to_string())?;
         outln!("{} points within radius {radius}:", hits.len());
-        for (dist, id) in hits.iter().take(50) {
-            outln!("  #{id:<8} dist {dist:.6}");
-        }
+        print_hits(&hits[..hits.len().min(50)], hex);
         if hits.len() > 50 {
             outln!("  … and {} more", hits.len() - 50);
         }
     } else {
         let k = get_parse(&flags, "k", 10usize)?;
+        validate_query_shape(&queries, index.dim(), index.len(), k)?;
         let results = index
             .batch_knn(&queries, k, &par)
             .map_err(|e| e.to_string())?;
@@ -445,9 +518,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             } else {
                 outln!("{k}-NN:");
             }
-            for (dist, id) in hits {
-                outln!("  #{id:<8} dist {dist:.6}");
-            }
+            print_hits(hits, hex);
         }
     }
     let stats = index.query_stats();
@@ -459,5 +530,177 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         stats.pages_touched,
         stats.page_reads
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use mmdr_serve::{Server, ServerConfig};
+    let flags = parse_flags(
+        args,
+        &[
+            "index-file",
+            "host",
+            "port",
+            "workers",
+            "queue-depth",
+            "coalesce",
+            "max-inflight",
+            "batch-threads",
+            "pool-shards",
+        ],
+    )?;
+    apply_pool_shards(&flags)?;
+    let index_file = require(&flags, "index-file")?;
+    let host = flags.get("host").map(String::as_str).unwrap_or("127.0.0.1");
+    let port = get_parse(&flags, "port", 0u16)?;
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        workers: get_parse(&flags, "workers", defaults.workers)?,
+        queue_depth: get_parse(&flags, "queue-depth", defaults.queue_depth)?,
+        coalesce: get_parse(&flags, "coalesce", defaults.coalesce)?,
+        max_inflight: get_parse(&flags, "max-inflight", defaults.max_inflight)?,
+        batch_threads: get_parse(&flags, "batch-threads", defaults.batch_threads)?,
+        ..defaults
+    };
+    let opened = mmdr_persist::open(index_file).map_err(|e| e.to_string())?;
+    let index: std::sync::Arc<dyn mmdr_index::VectorIndex> =
+        std::sync::Arc::from(opened.index.into_boxed());
+    index.reset_stats();
+    outln!(
+        "serving {} ({} points × {} dims) from {index_file}",
+        index.name(),
+        index.len(),
+        index.dim()
+    );
+    let workers = config.workers;
+    let handle = Server::start(index, (host, port), config).map_err(|e| e.to_string())?;
+    // stdout is line-buffered: scripts (tools/verify.sh) read this line to
+    // learn the ephemeral port.
+    outln!(
+        "listening on {} with {} workers",
+        handle.local_addr(),
+        workers
+    );
+    let signal = mmdr_serve::shutdown_flag_on_signals();
+    while !signal.load(std::sync::atomic::Ordering::SeqCst) && !handle.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let c = handle.shutdown();
+    outln!(
+        "shutdown: {} connections, {} requests ({} knn, {} range, {} batch), \
+         {} coalesced into {} batches (max {}), {} overloaded, {} protocol errors",
+        c.connections,
+        c.requests,
+        c.knn_requests,
+        c.range_requests,
+        c.batch_requests,
+        c.coalesced_queries,
+        c.coalesced_batches,
+        c.max_coalesce,
+        c.overloaded,
+        c.protocol_errors
+    );
+    Ok(())
+}
+
+fn cmd_remote_query(args: &[String]) -> Result<(), String> {
+    use mmdr_serve::Client;
+    let flags = parse_flags(
+        args,
+        &["addr", "op", "data", "row", "point", "k", "radius", "hex"],
+    )?;
+    let addr = require(&flags, "addr")?;
+    let hex = get_bool(&flags, "hex")?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    match flags.get("op").map(String::as_str) {
+        Some("ping") => {
+            let rtt = client.ping().map_err(|e| e.to_string())?;
+            outln!("pong in {:.3} ms", rtt.as_secs_f64() * 1e3);
+            return Ok(());
+        }
+        Some("stats") => {
+            let s = client.stats().map_err(|e| e.to_string())?;
+            outln!("[{}] {} points × {} dims", s.backend, s.len, s.dim);
+            outln!(
+                "query cost: {} dist computations, {} candidates refined, {} page accesses ({} reads)",
+                s.query.dist_computations,
+                s.query.candidates_refined,
+                s.query.pages_touched,
+                s.query.page_reads
+            );
+            for (pi, pool) in s.pools.iter().enumerate() {
+                let (h, m, e) = pool.per_shard.iter().fold((0u64, 0u64, 0u64), |acc, sh| {
+                    (acc.0 + sh.hits, acc.1 + sh.misses, acc.2 + sh.evictions)
+                });
+                outln!(
+                    "pool {pi}: {} shards, {h} hits, {m} misses, {e} evictions",
+                    pool.per_shard.len()
+                );
+            }
+            let c = &s.server;
+            outln!(
+                "server: {} connections, {} requests ({} knn, {} range, {} batch), \
+                 {} coalesced into {} batches (max {}), {} overloaded, {} protocol errors, {} queued",
+                c.connections,
+                c.requests,
+                c.knn_requests,
+                c.range_requests,
+                c.batch_requests,
+                c.coalesced_queries,
+                c.coalesced_batches,
+                c.max_coalesce,
+                c.overloaded,
+                c.protocol_errors,
+                c.queue_len
+            );
+            return Ok(());
+        }
+        Some("shutdown") => {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            outln!("shutdown acknowledged; server is draining");
+            return Ok(());
+        }
+        Some("search") | None => {}
+        Some(other) => return Err(format!("unknown --op `{other}` (ping|stats|shutdown)")),
+    }
+    let data = match flags.get("data") {
+        Some(path) => Some(DatasetFile::load(path)?),
+        None => None,
+    };
+    let queries = parse_queries(&flags, data.as_ref())?;
+    if let Some(radius) = flags.get("radius") {
+        if queries.len() != 1 {
+            return Err("--radius works with a single query".into());
+        }
+        let radius: f64 = radius.parse().map_err(|_| "--radius: not a number")?;
+        if radius.is_nan() || radius < 0.0 {
+            return Err(format!("--radius must be non-negative, got {radius}"));
+        }
+        let hits = client
+            .range(&queries[0], radius)
+            .map_err(|e| e.to_string())?;
+        outln!("{} points within radius {radius}:", hits.len());
+        print_hits(&hits[..hits.len().min(50)], hex);
+        if hits.len() > 50 {
+            outln!("  … and {} more", hits.len() - 50);
+        }
+    } else {
+        let k = get_parse(&flags, "k", 10usize)?;
+        if k == 0 {
+            return Err("--k must be at least 1".into());
+        }
+        // Answer blocks print identically to `query`, so parity is a diff.
+        if queries.len() > 1 {
+            let results = client.batch_knn(&queries, k).map_err(|e| e.to_string())?;
+            for (qi, hits) in results.iter().enumerate() {
+                outln!("query {qi}: {k}-NN:");
+                print_hits(hits, hex);
+            }
+        } else {
+            let hits = client.knn(&queries[0], k).map_err(|e| e.to_string())?;
+            outln!("{k}-NN:");
+            print_hits(&hits, hex);
+        }
+    }
     Ok(())
 }

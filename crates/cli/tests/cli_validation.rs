@@ -1,0 +1,311 @@
+//! CLI input-validation seatbelts: malformed query files, dimension
+//! mismatches and out-of-range `--k` must surface as typed single-line
+//! errors with a non-zero exit code — never a panic, never success.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::OnceLock;
+
+fn mmdr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mmdr"))
+}
+
+/// Temp workspace with a small dataset, model and snapshot, built once and
+/// shared by every case (building is the slow part).
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn data(&self) -> PathBuf {
+        self.dir.join("data.json")
+    }
+    fn model(&self) -> PathBuf {
+        self.dir.join("model.json")
+    }
+    fn index(&self) -> PathBuf {
+        self.dir.join("index.mmdr")
+    }
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("mmdr-cli-validation-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fix = Fixture { dir };
+        let run = |args: &[&str]| {
+            let out = mmdr().args(args).output().unwrap();
+            assert!(
+                out.status.success(),
+                "fixture step {:?} failed: {}",
+                args,
+                String::from_utf8_lossy(&out.stderr)
+            );
+        };
+        run(&[
+            "generate",
+            "--out",
+            fix.data().to_str().unwrap(),
+            "--n",
+            "300",
+            "--dim",
+            "8",
+            "--clusters",
+            "2",
+            "--seed",
+            "7",
+        ]);
+        run(&[
+            "reduce",
+            "--data",
+            fix.data().to_str().unwrap(),
+            "--out",
+            fix.model().to_str().unwrap(),
+            "--clusters",
+            "2",
+        ]);
+        run(&[
+            "build-index",
+            "--data",
+            fix.data().to_str().unwrap(),
+            "--model",
+            fix.model().to_str().unwrap(),
+            "--out",
+            fix.index().to_str().unwrap(),
+            "--buffer-pages",
+            "32",
+        ]);
+        fix
+    })
+}
+
+/// Runs `mmdr` with `args` and asserts the typed-failure contract: exit
+/// code 1, a single `error:` line on stderr containing `needle`, and no
+/// panic backtrace.
+fn assert_typed_error(args: &[&str], needle: &str) -> Output {
+    let out = mmdr().args(args).output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{args:?}: expected exit 1, got {:?}\nstderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.starts_with("error: "),
+        "{args:?}: stderr is not a typed error line: {stderr}"
+    );
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "{args:?}: expected a single-line error, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{args:?}: the CLI panicked: {stderr}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "{args:?}: error does not mention `{needle}`: {stderr}"
+    );
+    out
+}
+
+#[test]
+fn malformed_dataset_file_is_a_typed_error() {
+    let fix = fixture();
+    let bad = fix.dir.join("garbage.json");
+    std::fs::write(&bad, "{ this is not json").unwrap();
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            fix.index().to_str().unwrap(),
+            "--data",
+            bad.to_str().unwrap(),
+            "--row",
+            "0",
+        ],
+        "garbage.json",
+    );
+    let truncated = fix.dir.join("truncated.json");
+    let good = std::fs::read_to_string(fix.data()).unwrap();
+    std::fs::write(&truncated, &good[..good.len() / 2]).unwrap();
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            fix.index().to_str().unwrap(),
+            "--data",
+            truncated.to_str().unwrap(),
+            "--row",
+            "0",
+        ],
+        "truncated.json",
+    );
+}
+
+#[test]
+fn dimension_mismatched_query_is_a_typed_error() {
+    let fix = fixture();
+    // The model reduces 8-dim data; a 3-coordinate point cannot match the
+    // index dimensionality whatever the reduction chose.
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            fix.index().to_str().unwrap(),
+            "--point",
+            "1.0,2.0,3.0",
+        ],
+        "coordinates",
+    );
+}
+
+#[test]
+fn k_out_of_range_is_a_typed_error() {
+    let fix = fixture();
+    let index = fix.index();
+    let index = index.to_str().unwrap();
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            index,
+            "--row",
+            "0",
+            "--data",
+            fix.data().to_str().unwrap(),
+            "--k",
+            "0",
+        ],
+        "--k must be at least 1",
+    );
+    // 300 points indexed; 10000 neighbours cannot exist.
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            index,
+            "--row",
+            "0",
+            "--data",
+            fix.data().to_str().unwrap(),
+            "--k",
+            "10000",
+        ],
+        "exceeds the index size",
+    );
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            index,
+            "--row",
+            "0",
+            "--data",
+            fix.data().to_str().unwrap(),
+            "--k",
+            "not-a-number",
+        ],
+        "--k",
+    );
+}
+
+#[test]
+fn bad_rows_points_and_radii_are_typed_errors() {
+    let fix = fixture();
+    let index = fix.index();
+    let index = index.to_str().unwrap();
+    let data = fix.data();
+    let data = data.to_str().unwrap();
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            index,
+            "--data",
+            data,
+            "--row",
+            "999999",
+        ],
+        "out of range",
+    );
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            index,
+            "--data",
+            data,
+            "--row",
+            "zero",
+        ],
+        "--row",
+    );
+    assert_typed_error(
+        &["query", "--index-file", index, "--point", "1.0,oops"],
+        "bad coordinate",
+    );
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            index,
+            "--data",
+            data,
+            "--row",
+            "0",
+            "--radius",
+            "-1.0",
+        ],
+        "non-negative",
+    );
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            index,
+            "--data",
+            data,
+            "--row",
+            "0",
+            "--radius",
+            "wide",
+        ],
+        "--radius",
+    );
+    // No query at all.
+    assert_typed_error(&["query", "--index-file", index], "either --row or --point");
+}
+
+#[test]
+fn missing_or_damaged_snapshot_is_a_typed_error() {
+    let fix = fixture();
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            "/nonexistent/index.mmdr",
+            "--point",
+            "1.0",
+        ],
+        "index.mmdr",
+    );
+    let damaged = fix.dir.join("damaged.mmdr");
+    let mut bytes = std::fs::read(fix.index()).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&damaged, &bytes).unwrap();
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            damaged.to_str().unwrap(),
+            "--point",
+            "1.0",
+        ],
+        "checksum",
+    );
+}

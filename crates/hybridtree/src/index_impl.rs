@@ -2,7 +2,7 @@
 
 use crate::tree::HybridTree;
 use mmdr_index::{SearchCounters, VectorIndex};
-use mmdr_storage::IoStats;
+use mmdr_storage::{IoStats, PoolStats};
 use std::sync::Arc;
 
 impl From<crate::Error> for mmdr_index::Error {
@@ -46,6 +46,10 @@ impl VectorIndex for HybridTree {
 
     fn search_counters(&self) -> Arc<SearchCounters> {
         HybridTree::search_counters(self)
+    }
+
+    fn pool_stats(&self) -> Vec<PoolStats> {
+        vec![self.pool().snapshot()]
     }
 }
 

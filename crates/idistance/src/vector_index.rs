@@ -6,7 +6,7 @@ use crate::knn::QueryScratch;
 use crate::seqscan::SeqScan;
 use mmdr_index::{SearchCounters, VectorIndex, QUERY_CHUNK};
 use mmdr_linalg::{map_ranges_with, ParConfig};
-use mmdr_storage::IoStats;
+use mmdr_storage::{IoStats, PoolStats};
 use std::sync::Arc;
 
 impl From<crate::Error> for mmdr_index::Error {
@@ -49,6 +49,10 @@ impl VectorIndex for IDistanceIndex {
 
     fn search_counters(&self) -> Arc<SearchCounters> {
         IDistanceIndex::search_counters(self)
+    }
+
+    fn pool_stats(&self) -> Vec<PoolStats> {
+        vec![self.tree().pool().snapshot(), self.heap().pool().snapshot()]
     }
 
     /// Overrides the provided executor only to hold one [`QueryScratch`]
@@ -102,6 +106,10 @@ impl VectorIndex for SeqScan {
     fn search_counters(&self) -> Arc<SearchCounters> {
         SeqScan::search_counters(self)
     }
+
+    fn pool_stats(&self) -> Vec<PoolStats> {
+        vec![self.heap().pool().snapshot()]
+    }
 }
 
 impl VectorIndex for GlobalLdrIndex {
@@ -131,6 +139,16 @@ impl VectorIndex for GlobalLdrIndex {
 
     fn search_counters(&self) -> Arc<SearchCounters> {
         GlobalLdrIndex::search_counters(self)
+    }
+
+    fn pool_stats(&self) -> Vec<PoolStats> {
+        let mut pools: Vec<PoolStats> = (0..self.num_cluster_trees())
+            .map(|i| self.cluster_tree(i).0.pool().snapshot())
+            .collect();
+        if let Some(outliers) = self.outlier_tree() {
+            pools.push(outliers.pool().snapshot());
+        }
+        pools
     }
 }
 

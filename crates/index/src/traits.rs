@@ -3,7 +3,7 @@
 use crate::error::Result;
 use crate::stats::{QueryStats, SearchCounters};
 use mmdr_linalg::{map_ranges_with, ParConfig};
-use mmdr_storage::IoStats;
+use mmdr_storage::{IoStats, PoolStats};
 use std::sync::Arc;
 
 /// Queries per work chunk in [`VectorIndex::batch_knn`]. Much smaller than
@@ -60,6 +60,16 @@ pub trait VectorIndex: Send + Sync {
 
     /// Handle to the backend's CPU-side search counters.
     fn search_counters(&self) -> Arc<SearchCounters>;
+
+    /// Per-pool buffer statistics: one [`PoolStats`] snapshot per buffer
+    /// pool the backend owns (tree pools, heap pools, one per cluster tree
+    /// for forests), in a stable order. Remote callers (the query server's
+    /// `Stats` op) use this to see the same shard-level hit/miss/eviction
+    /// accounting the local harnesses print. Backends without paged storage
+    /// return an empty vector.
+    fn pool_stats(&self) -> Vec<PoolStats> {
+        Vec::new()
+    }
 
     /// Snapshot of the cumulative query cost.
     fn query_stats(&self) -> QueryStats {
@@ -221,6 +231,7 @@ mod tests {
             .unwrap();
         assert_eq!(batch, vec![vec![(0.0, 0)]]);
         assert!(boxed.query_stats().dist_computations > 0);
+        assert!(boxed.pool_stats().is_empty(), "toy backend has no pools");
         boxed.reset_stats();
         assert_eq!(boxed.query_stats(), QueryStats::default());
     }

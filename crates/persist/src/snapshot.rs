@@ -325,15 +325,30 @@ fn encode(index: &BuiltIndex, model: &ReductionResult) -> Result<Vec<u8>> {
 /// Writes a snapshot of the index and its model to `path`.
 ///
 /// The image is written to a sibling temp file and renamed into place, so a
-/// crash mid-save never leaves a half-written file at the target path.
+/// crash mid-save never leaves a half-written file at the target path. The
+/// temp name embeds the process id and a per-process counter, so concurrent
+/// savers (two threads, or two processes racing through
+/// [`open_or_build`]) each write their own temp file and the atomic rename
+/// decides a winner — the target is always one saver's complete image,
+/// never an interleaving.
 pub fn save(path: impl AsRef<Path>, index: &BuiltIndex, model: &ReductionResult) -> Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
     let path = path.as_ref();
     let image = encode(index, model)?;
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let tmp = std::path::PathBuf::from(tmp);
     std::fs::write(&tmp, &image).map_err(|e| PersistError::io(&tmp, e))?;
-    std::fs::rename(&tmp, path).map_err(|e| PersistError::io(path, e))?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        // Never leave the temp file behind, whatever made the rename fail.
+        let _ = std::fs::remove_file(&tmp);
+        return Err(PersistError::io(path, e));
+    }
     Ok(())
 }
 
@@ -509,6 +524,14 @@ pub fn open_expecting(path: impl AsRef<Path>, backend: Backend) -> Result<Opened
 /// Cache-style helper for harnesses: reuse a matching snapshot at `path`
 /// when one opens cleanly, otherwise build the index fresh and (re)write
 /// the snapshot. Returns the index and whether it came from the snapshot.
+///
+/// Safe under concurrent callers (threads or processes) racing on the same
+/// missing path: each builds independently and [`save`] writes through a
+/// unique temp file plus atomic rename, so racers never interleave bytes —
+/// the file ends up as exactly one racer's complete image and every caller
+/// returns a valid, queryable index. If a racer's save itself fails (e.g.
+/// the directory vanished), it falls back to opening whatever snapshot won
+/// before giving up.
 pub fn open_or_build(
     path: impl AsRef<Path>,
     backend: Backend,
@@ -524,6 +547,12 @@ pub fn open_or_build(
         // Stale or damaged cache entry: fall through and rebuild it.
     }
     let index = build_index(backend, data, model, buffer_pages)?;
-    save(path, &index, model)?;
+    if let Err(save_err) = save(path, &index, model) {
+        // A concurrent winner's snapshot is as good as ours.
+        if let Ok(opened) = open_expecting(path, backend) {
+            return Ok((opened.index, true));
+        }
+        return Err(save_err);
+    }
     Ok((index, false))
 }

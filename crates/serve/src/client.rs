@@ -1,0 +1,142 @@
+//! Synchronous client for the mmdr-serve wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection. The blocking methods
+//! ([`Client::knn`], [`Client::range`], …) send a request and wait for its
+//! response; the split [`Client::send`]/[`Client::recv`] pair lets a load
+//! generator pipeline several requests per connection and match responses
+//! by request id. Admission-control rejections surface as the typed
+//! [`ServeError::Overloaded`], distinct from transport and server errors.
+
+use crate::error::{Result, ServeError};
+use crate::wire::{self, RemoteStats, Request, Response};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A connection to an mmdr-serve server.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects with a 30 s read/write timeout (a hung server surfaces as
+    /// a timeout error, never an indefinite hang).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let default = Some(Duration::from_secs(30));
+        stream.set_read_timeout(default)?;
+        stream.set_write_timeout(default)?;
+        Ok(Self { stream, next_id: 1 })
+    }
+
+    /// Overrides the socket read/write timeout (`None` = block forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends a request without waiting; returns its request id. Pair with
+    /// [`recv`](Self::recv) to pipeline.
+    pub fn send(&mut self, req: &Request) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = wire::encode_request(id, req);
+        wire::write_frame(&mut self.stream, &payload)?;
+        Ok(id)
+    }
+
+    /// Receives the next response frame as `(request_id, response)`.
+    pub fn recv(&mut self) -> Result<(u64, Response)> {
+        let payload = wire::read_frame(&mut self.stream)?.ok_or_else(|| {
+            ServeError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        Ok(wire::decode_response(&payload)?)
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        let id = self.send(req)?;
+        let (rid, resp) = self.recv()?;
+        if rid != id {
+            return Err(ServeError::Unexpected("response id does not match request"));
+        }
+        Ok(resp)
+    }
+
+    /// Lifts the shared rejection/error statuses, handing the op-specific
+    /// payload to `f`.
+    fn expect<T>(resp: Response, f: impl FnOnce(Response) -> Option<T>) -> Result<T> {
+        match resp {
+            Response::Overloaded => Err(ServeError::Overloaded),
+            Response::Error(msg) => Err(ServeError::Remote(msg)),
+            other => f(other).ok_or(ServeError::Unexpected("wrong response variant")),
+        }
+    }
+
+    /// Round-trip liveness probe; returns the measured latency.
+    pub fn ping(&mut self) -> Result<Duration> {
+        let t0 = Instant::now();
+        Self::expect(self.call(&Request::Ping)?, |r| {
+            matches!(r, Response::Pong).then(|| t0.elapsed())
+        })
+    }
+
+    /// `k` nearest neighbours of `query`: `(distance, id)` ascending,
+    /// bit-identical to an in-process [`knn`](mmdr_index::VectorIndex::knn)
+    /// on the same index.
+    pub fn knn(&mut self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+        let req = Request::Knn {
+            query: query.to_vec(),
+            k: k as u32,
+        };
+        Self::expect(self.call(&req)?, |r| match r {
+            Response::Neighbors(hits) => Some(hits),
+            _ => None,
+        })
+    }
+
+    /// Every indexed point within `radius` of `query`.
+    pub fn range(&mut self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
+        let req = Request::Range {
+            query: query.to_vec(),
+            radius,
+        };
+        Self::expect(self.call(&req)?, |r| match r {
+            Response::Neighbors(hits) => Some(hits),
+            _ => None,
+        })
+    }
+
+    /// One round trip answering many KNN queries with a shared `k`.
+    pub fn batch_knn(&mut self, queries: &[Vec<f64>], k: usize) -> Result<Vec<Vec<(f64, u64)>>> {
+        let req = Request::BatchKnn {
+            queries: queries.to_vec(),
+            k: k as u32,
+        };
+        Self::expect(self.call(&req)?, |r| match r {
+            Response::Batch(rows) => Some(rows),
+            _ => None,
+        })
+    }
+
+    /// Server identity plus index, buffer-pool, and traffic counters.
+    pub fn stats(&mut self) -> Result<RemoteStats> {
+        Self::expect(self.call(&Request::Stats)?, |r| match r {
+            Response::Stats(s) => Some(*s),
+            _ => None,
+        })
+    }
+
+    /// Asks the server to shut down gracefully. Returns once the server
+    /// acknowledges; the drain happens server-side after the ack.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        Self::expect(self.call(&Request::Shutdown)?, |r| {
+            matches!(r, Response::ShutdownStarted).then_some(())
+        })
+    }
+}

@@ -1,0 +1,79 @@
+//! Client-side typed errors.
+
+use crate::wire::WireError;
+use std::fmt;
+use std::io;
+
+/// Convenience alias for client operations.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Everything a [`crate::Client`] call can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The peer sent bytes that do not decode as a protocol frame.
+    Wire(WireError),
+    /// Typed admission-control rejection: the server refused the request
+    /// because its queue or the connection's in-flight budget was full.
+    /// The request was *not* executed; retrying later is safe.
+    Overloaded,
+    /// The server executed (or tried to execute) the request and reported
+    /// this failure.
+    Remote(String),
+    /// The server answered with a response variant the request cannot
+    /// produce — a protocol bug, not a user error.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "connection error: {e}"),
+            ServeError::Wire(e) => write!(f, "protocol error: {e}"),
+            ServeError::Overloaded => write!(f, "server overloaded (request rejected, not run)"),
+            ServeError::Remote(msg) => write!(f, "server error: {msg}"),
+            ServeError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        use std::error::Error as _;
+        let io_err = ServeError::from(io::Error::other("boom"));
+        assert!(io_err.to_string().contains("boom"));
+        assert!(io_err.source().is_some());
+        assert!(ServeError::Overloaded.to_string().contains("overloaded"));
+        assert!(ServeError::Overloaded.source().is_none());
+        let wire = ServeError::from(WireError::Truncated);
+        assert!(wire.to_string().contains("truncated"));
+        assert!(ServeError::Remote("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,157 @@
+//! mmdr-serve: a concurrent TCP query server for MMDR indexes.
+//!
+//! This crate turns any [`mmdr_index::VectorIndex`] — typically opened
+//! rebuild-free from an `mmdr-persist` snapshot — into a network service:
+//!
+//! - **Wire protocol** ([`wire`]): versioned, length-prefixed binary
+//!   frames; little-endian integers, IEEE-754 bit-pattern floats, so
+//!   served distances are bit-identical to in-process answers.
+//! - **Server** ([`Server`]): accept loop → per-connection readers →
+//!   bounded job queue → fixed worker pool. Queued singleton KNNs with
+//!   equal `k` are coalesced into one `batch_knn` call (answers unchanged,
+//!   by the batch executor's contract); a full queue or per-connection
+//!   in-flight budget rejects with a typed `OVERLOADED`; graceful shutdown
+//!   drains every accepted request before exiting.
+//! - **Client** ([`Client`]): blocking helpers plus a `send`/`recv` split
+//!   for pipelined load generation.
+//!
+//! Std-only: no async runtime, no external dependencies.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod queue;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use client::Client;
+pub use error::{Result, ServeError};
+pub use server::{shutdown_flag_on_signals, Server, ServerConfig, ServerHandle};
+pub use wire::{RemoteStats, Request, Response, ServerCounters, WireError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdr_index::{KnnHeap, SearchCounters, VectorIndex};
+    use mmdr_storage::IoStats;
+    use std::sync::Arc;
+
+    /// Minimal exact-scan backend for in-crate server tests.
+    struct Toy {
+        points: Vec<Vec<f64>>,
+        io: Arc<IoStats>,
+        search: Arc<SearchCounters>,
+    }
+
+    impl VectorIndex for Toy {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn len(&self) -> usize {
+            self.points.len()
+        }
+        fn dim(&self) -> usize {
+            2
+        }
+        fn knn(&self, query: &[f64], k: usize) -> mmdr_index::Result<Vec<(f64, u64)>> {
+            if query.len() != 2 {
+                return Err(mmdr_index::Error::DimensionMismatch {
+                    expected: 2,
+                    actual: query.len(),
+                });
+            }
+            let mut heap = KnnHeap::new(k);
+            for (i, p) in self.points.iter().enumerate() {
+                let d = p
+                    .iter()
+                    .zip(query)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                heap.push(d, i as u64);
+            }
+            self.search.record_dists(self.points.len() as u64);
+            Ok(heap.into_sorted_vec())
+        }
+        fn range_search(&self, query: &[f64], radius: f64) -> mmdr_index::Result<Vec<(f64, u64)>> {
+            let mut hits: Vec<(f64, u64)> = self
+                .points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let d = p
+                        .iter()
+                        .zip(query)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt();
+                    (d, i as u64)
+                })
+                .filter(|&(d, _)| d <= radius)
+                .collect();
+            hits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            Ok(hits)
+        }
+        fn io_stats(&self) -> Arc<IoStats> {
+            Arc::clone(&self.io)
+        }
+        fn search_counters(&self) -> Arc<SearchCounters> {
+            Arc::clone(&self.search)
+        }
+    }
+
+    fn toy() -> Arc<dyn VectorIndex> {
+        Arc::new(Toy {
+            points: (0..32).map(|i| vec![i as f64, (i % 7) as f64]).collect(),
+            io: IoStats::new(),
+            search: SearchCounters::new(),
+        })
+    }
+
+    #[test]
+    fn end_to_end_roundtrip() {
+        let index = toy();
+        let handle = Server::start(
+            Arc::clone(&index),
+            ("127.0.0.1", 0),
+            ServerConfig::default(),
+        )
+        .expect("start");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        client.ping().expect("ping");
+
+        let q = vec![3.2, 1.1];
+        let remote = client.knn(&q, 5).expect("knn");
+        let local = index.knn(&q, 5).expect("local knn");
+        assert_eq!(remote.len(), local.len());
+        for ((rd, ri), (ld, li)) in remote.iter().zip(&local) {
+            assert_eq!(rd.to_bits(), ld.to_bits(), "distance bits differ");
+            assert_eq!(ri, li);
+        }
+
+        let remote_range = client.range(&q, 4.0).expect("range");
+        let local_range = index.range_search(&q, 4.0).expect("local range");
+        assert_eq!(remote_range, local_range);
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.backend, index.name());
+        assert_eq!(stats.len, index.len() as u64);
+        assert!(stats.server.requests >= 3);
+
+        let counters = handle.shutdown();
+        assert_eq!(counters.connections, 1);
+    }
+
+    #[test]
+    fn shutdown_over_the_wire() {
+        let handle =
+            Server::start(toy(), ("127.0.0.1", 0), ServerConfig::default()).expect("start");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        client.shutdown_server().expect("shutdown ack");
+        let counters = handle.shutdown();
+        assert_eq!(counters.requests, 1);
+    }
+}

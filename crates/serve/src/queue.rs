@@ -1,0 +1,250 @@
+//! Bounded MPMC job queue: the admission-control point between connection
+//! readers and the worker pool.
+//!
+//! - **Bounded**: [`JobQueue::try_push`] never blocks — a full queue is a
+//!   typed [`PushError::Full`] that the reader turns into an `OVERLOADED`
+//!   response, so overload shows up as a fast rejection instead of
+//!   unbounded latency.
+//! - **Drainable**: closing the queue stops new pushes but lets workers
+//!   pop every job already accepted — the graceful-shutdown contract that
+//!   in-flight requests are answered before the server exits.
+//! - **Pausable**: a paused queue accepts pushes but holds pops, which
+//!   gives tests a deterministic way to pile up a backlog (for the
+//!   coalescing and overload gates). Close overrides pause so shutdown
+//!   always drains.
+//! - **Matching drain**: [`JobQueue::drain_matching`] removes up to `max`
+//!   jobs satisfying a predicate wherever they sit — the coalescing hook
+//!   that folds queued equal-`k` singleton KNNs into one batch. Non-matching
+//!   jobs keep their relative order.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should reject with
+    /// `OVERLOADED`.
+    Full,
+    /// The queue was closed (server shutting down); no new work accepted.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    paused: bool,
+}
+
+/// The bounded MPMC queue described in the module docs.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` jobs (minimum 1).
+    pub fn new(capacity: usize, paused: bool) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                paused,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A panic while holding this short, allocation-only critical
+        // section leaves no broken invariant; keep serving.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues without blocking; typed refusal when full or closed.
+    pub fn try_push(&self, job: T) -> Result<(), PushError> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err(PushError::Closed);
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        g.items.push_back(job);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (and the queue is not paused), or
+    /// returns `None` once the queue is closed *and* drained — the worker
+    /// exit condition. A closed queue ignores pause so shutdown drains.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if g.closed {
+                return g.items.pop_front();
+            }
+            if !g.paused {
+                if let Some(job) = g.items.pop_front() {
+                    return Some(job);
+                }
+            }
+            g = self.ready.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Removes up to `max` jobs matching `pred`, wherever they sit in the
+    /// queue; remaining jobs keep their relative order. Used by workers to
+    /// coalesce compatible queued requests into one batch.
+    pub fn drain_matching(&self, max: usize, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut g = self.lock();
+        if max == 0 || g.items.is_empty() {
+            return Vec::new();
+        }
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(g.items.len());
+        while let Some(job) = g.items.pop_front() {
+            if taken.len() < max && pred(&job) {
+                taken.push(job);
+            } else {
+                kept.push_back(job);
+            }
+        }
+        g.items = kept;
+        taken
+    }
+
+    /// Stops new pushes and wakes every waiter; already-queued jobs remain
+    /// poppable until drained.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Pauses or resumes popping (close overrides pause).
+    pub fn set_paused(&self, paused: bool) {
+        self.lock().paused = paused;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_and_fifo_pop() {
+        let q = JobQueue::new(2, false);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = JobQueue::new(4, false);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pause_holds_pops_until_resume() {
+        let q = Arc::new(JobQueue::new(4, true));
+        q.try_push(7).unwrap();
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // The popper must not finish while paused.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!popper.is_finished(), "pop completed while paused");
+        q.set_paused(false);
+        assert_eq!(popper.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn close_overrides_pause() {
+        let q = JobQueue::new(4, true);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drain_matching_preserves_order_of_rest() {
+        let q = JobQueue::new(8, false);
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        let even = q.drain_matching(2, |v| v % 2 == 0);
+        assert_eq!(even, vec![0, 2]);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4)); // beyond max=2, left in place
+        assert_eq!(q.pop(), Some(5));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_jobs() {
+        let q = Arc::new(JobQueue::new(64, false));
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                let mut pushed = 0u64;
+                for i in 0..200 {
+                    loop {
+                        match q.try_push(p * 1000 + i) {
+                            Ok(()) => {
+                                pushed += 1;
+                                break;
+                            }
+                            Err(PushError::Full) => std::thread::yield_now(),
+                            Err(PushError::Closed) => return pushed,
+                        }
+                    }
+                }
+                pushed
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut seen = 0u64;
+                while q.pop().is_some() {
+                    seen += 1;
+                }
+                seen
+            }));
+        }
+        let pushed: u64 = producers.into_iter().map(|h| h.join().unwrap()).sum();
+        q.close();
+        let seen: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(pushed, 800);
+        assert_eq!(seen, pushed);
+    }
+}

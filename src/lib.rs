@@ -16,6 +16,8 @@
 //! - [`btree`] — disk-page B⁺-tree.
 //! - [`hybridtree`] — simplified Hybrid tree (gLDR baseline index).
 //! - [`idistance`] — extended iDistance KNN index over the B⁺-tree.
+//! - [`persist`] — checksummed index snapshots with rebuild-free reopen.
+//! - [`serve`] — concurrent TCP query server + client over any backend.
 //! - [`datagen`] — Appendix-A synthetic workloads and ground truth.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
@@ -29,4 +31,6 @@ pub use mmdr_idistance as idistance;
 pub use mmdr_index as index;
 pub use mmdr_linalg as linalg;
 pub use mmdr_pca as pca;
+pub use mmdr_persist as persist;
+pub use mmdr_serve as serve;
 pub use mmdr_storage as storage;

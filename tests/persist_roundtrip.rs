@@ -317,6 +317,52 @@ fn missing_file_and_backend_mismatch_are_typed() {
 }
 
 #[test]
+fn concurrent_open_or_build_both_return_valid_indexes() {
+    // Two threads race open_or_build on the same missing path. Each saver
+    // writes through its own uniquely named temp file, so the atomic
+    // rename picks a winner without ever interleaving bytes: both racers
+    // must come back with queryable indexes answering identically, and the
+    // file left behind must be a healthy snapshot.
+    let data = dataset(45, 0.3);
+    let model = fit(&data);
+    let file = TempFile::new("race");
+    let expected = {
+        let built = build_index(Backend::IDistance, &data, &model, 32).unwrap();
+        built.as_dyn().knn(data.row(4), 5).unwrap()
+    };
+    let results: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (path, data, model) = (&file.0, &data, &model);
+                s.spawn(move || {
+                    let (index, _reused) =
+                        open_or_build(path, Backend::IDistance, data, model, 32).unwrap();
+                    index.as_dyn().knn(data.row(4), 5).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, answers) in results.iter().enumerate() {
+        assert_answers_identical(&expected, answers, &format!("racer {i}"));
+    }
+    // Whoever won the rename, the surviving file is complete and typed.
+    let opened = open_expecting(&file.0, Backend::IDistance).unwrap();
+    let reopened = opened.index.as_dyn().knn(data.row(4), 5).unwrap();
+    assert_answers_identical(&expected, &reopened, "winner snapshot");
+    // No stray temp files were left next to the snapshot.
+    let dir = file.0.parent().unwrap();
+    let stem = file.0.file_name().unwrap().to_string_lossy().into_owned();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(
+            !(name.starts_with(&stem) && name.contains(".tmp")),
+            "leftover temp file {name}"
+        );
+    }
+}
+
+#[test]
 fn open_or_build_caches_and_recovers_from_damage() {
     let data = dataset(45, 0.75);
     let model = fit(&data);

@@ -1,7 +1,7 @@
 //! Scalable (streaming) MMDR must match the in-memory algorithm closely
 //! enough to serve the same queries.
 
-use mmdr::core::{Mmdr, MmdrParams, ScalableMmdr};
+use mmdr::core::{Mmdr, MmdrParams, ParConfig, ScalableMmdr};
 use mmdr::datagen::{exact_knn, generate_correlated, precision, sample_queries, CorrelatedConfig};
 use mmdr::idistance::SeqScan;
 
@@ -63,5 +63,62 @@ fn streaming_is_deterministic() {
     assert_eq!(a.outliers, b.outliers);
     for (ca, cb) in a.clusters.iter().zip(&b.clusters) {
         assert_eq!(ca.members, cb.members);
+    }
+}
+
+/// The streaming pipeline runs its clustering through the parallel
+/// execution layer; chunk-and-merge must make the fitted model — members,
+/// subspaces, covariances and radii — bit-identical at every thread count.
+#[test]
+fn streaming_clustering_is_thread_count_invariant() {
+    let ds = generate_correlated(&CorrelatedConfig::paper_style(3_000, 16, 4, 4, 20.0, 5));
+    let run = |threads: usize| {
+        ScalableMmdr::new(MmdrParams {
+            par: ParConfig::threads(threads),
+            ..Default::default()
+        })
+        .with_epsilon(0.1)
+        .fit(&ds.data)
+        .unwrap()
+    };
+    let base = run(1);
+    for threads in [2usize, 4, 8] {
+        let r = run(threads);
+        assert_eq!(r.outliers, base.outliers, "threads={threads}");
+        assert_eq!(r.clusters.len(), base.clusters.len(), "threads={threads}");
+        for (ci, (a, b)) in r.clusters.iter().zip(&base.clusters).enumerate() {
+            assert_eq!(a.members, b.members, "threads={threads} cluster={ci}");
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(a.subspace.centroid()),
+                bits(b.subspace.centroid()),
+                "threads={threads} cluster={ci} centroid"
+            );
+            assert_eq!(
+                bits(a.subspace.basis().as_slice()),
+                bits(b.subspace.basis().as_slice()),
+                "threads={threads} cluster={ci} basis"
+            );
+            assert_eq!(
+                bits(a.covariance.as_slice()),
+                bits(b.covariance.as_slice()),
+                "threads={threads} cluster={ci} covariance"
+            );
+            assert_eq!(
+                bits(&[
+                    a.mpe,
+                    a.radius_eliminated,
+                    a.radius_retained,
+                    a.nearest_radius
+                ]),
+                bits(&[
+                    b.mpe,
+                    b.radius_eliminated,
+                    b.radius_retained,
+                    b.nearest_radius
+                ]),
+                "threads={threads} cluster={ci} radii"
+            );
+        }
     }
 }

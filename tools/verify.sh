@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: check formatting, build everything warning-free,
 # run the full workspace test suite, then re-run the parallel-determinism,
-# golden-recall and persistence suites explicitly (they are the acceptance
-# gates for the parallel layer and the snapshot store).
+# golden-recall, persistence and serve-parity suites explicitly (they are
+# the acceptance gates for the parallel layer, the snapshot store and the
+# query server), and finish with a live server smoke test over a socket.
 #
 # Usage: tools/verify.sh [--release]
 set -euo pipefail
@@ -28,6 +29,8 @@ cargo test --workspace "${PROFILE[@]}"
 echo "== determinism + recall + conformance + persistence gates =="
 cargo test "${PROFILE[@]}" --test par_determinism --test golden_recall --test backend_conformance
 cargo test "${PROFILE[@]}" --test persist_roundtrip
+cargo test "${PROFILE[@]}" --test serve_parity --test scalable_pipeline
+cargo test "${PROFILE[@]}" -p mmdr-cli --test cli_validation
 cargo test "${PROFILE[@]}" -p mmdr-linalg --test proptest_par
 cargo test "${PROFILE[@]}" -p mmdr-index --test proptest_heap
 
@@ -38,6 +41,68 @@ cargo test "${PROFILE[@]}" --test pool_stress
 # creep back in.
 if grep -rn "Mutex<PoolInner>" crates/storage/src; then
     echo "verify: FAIL — global pool lock (Mutex<PoolInner>) reintroduced" >&2
+    exit 1
+fi
+
+echo "== serve smoke gate =="
+# End-to-end over a real socket: start `mmdr serve` on an ephemeral port,
+# check remote answers are byte-identical (ids and f64 bit patterns) to
+# querying the snapshot directly, then shut down gracefully over the wire.
+BINDIR=debug
+if [[ ${#PROFILE[@]} -gt 0 ]]; then BINDIR=release; fi
+MMDR="target/$BINDIR/mmdr"
+SMOKE="$(mktemp -d)"
+SERVE_PID=""
+cleanup_smoke() {
+    if [[ -n "$SERVE_PID" ]]; then kill "$SERVE_PID" 2>/dev/null || true; fi
+    rm -rf "$SMOKE"
+}
+trap cleanup_smoke EXIT
+
+"$MMDR" generate --out "$SMOKE/data.json" --n 600 --dim 12 --clusters 3 --seed 11
+"$MMDR" reduce --data "$SMOKE/data.json" --out "$SMOKE/model.json" --clusters 3
+"$MMDR" build-index --data "$SMOKE/data.json" --model "$SMOKE/model.json" \
+    --out "$SMOKE/index.mmdr" --buffer-pages 64
+
+"$MMDR" serve --index-file "$SMOKE/index.mmdr" --port 0 --workers 2 \
+    > "$SMOKE/serve.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$SMOKE/serve.log")"
+    if [[ -n "$ADDR" ]]; then break; fi
+    sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+    echo "verify: FAIL — server did not announce a listening port" >&2
+    exit 1
+fi
+
+"$MMDR" query --index-file "$SMOKE/index.mmdr" --data "$SMOKE/data.json" \
+    --row 0,7,42 --k 5 --hex true | grep -v '^\[' > "$SMOKE/direct.txt"
+"$MMDR" remote-query --addr "$ADDR" --data "$SMOKE/data.json" \
+    --row 0,7,42 --k 5 --hex true > "$SMOKE/remote.txt"
+diff -u "$SMOKE/direct.txt" "$SMOKE/remote.txt"
+
+"$MMDR" remote-query --addr "$ADDR" --op ping > /dev/null
+"$MMDR" remote-query --addr "$ADDR" --op shutdown > /dev/null
+# Until reaped the exited server is a zombie and kill -0 still succeeds, so
+# poll the process *state* instead (empty or Z = gone).
+server_state() { ps -o stat= -p "$SERVE_PID" 2>/dev/null | tr -d ' ' || true; }
+for _ in $(seq 1 100); do
+    STATE="$(server_state)"
+    if [[ -z "$STATE" || "$STATE" == Z* ]]; then break; fi
+    sleep 0.1
+done
+STATE="$(server_state)"
+if [[ -n "$STATE" && "$STATE" != Z* ]]; then
+    echo "verify: FAIL — server did not drain and exit after shutdown" >&2
+    exit 1
+fi
+wait "$SERVE_PID"
+SERVE_PID=""
+if ! grep -q '^shutdown:' "$SMOKE/serve.log"; then
+    echo "verify: FAIL — server exited without its shutdown summary" >&2
     exit 1
 fi
 
