@@ -61,7 +61,15 @@ fn main() {
         "BENCH_pool",
         "batch 10-NN throughput vs threads, with per-shard pool counters",
         "threads",
-        &["shard", "hits", "misses", "evictions", "batch_knn_qps"],
+        &[
+            "shard",
+            "hits",
+            "misses",
+            "evictions",
+            "physical_reads",
+            "readahead_hits",
+            "batch_knn_qps",
+        ],
         format!(
             "n={n} dim={dim} queries={queries} k={k} seed={} shards={}",
             args.seed,
@@ -93,6 +101,8 @@ fn main() {
             IDistanceIndex::build(&data, &model, IDistanceConfig::default()).expect("index build");
         let tree_before = index.tree().pool().snapshot();
         let heap_before = index.heap().pool().snapshot();
+        let io = index.io_stats();
+        let (phys_before, ra_before) = (io.physical_reads(), io.readahead_hits());
         let t1 = Instant::now();
         let answers = index.batch_knn(&query_rows, k, &par).expect("batch knn");
         let knn_secs = t1.elapsed().as_secs_f64();
@@ -100,6 +110,11 @@ fn main() {
             &index.tree().pool().snapshot().since(&tree_before),
             &index.heap().pool().snapshot().since(&heap_before),
         );
+        // Physical counters are index-wide, not per shard; a built (fully
+        // resident) index keeps them at zero — nonzero here would mean the
+        // pool was silently faulting pages from a backing source.
+        let phys = (io.physical_reads() - phys_before) as f64;
+        let ra = (io.readahead_hits() - ra_before) as f64;
         let qps = queries as f64 / knn_secs;
         for (shard, c) in per_shard.iter().enumerate() {
             pool_report.push(
@@ -109,6 +124,8 @@ fn main() {
                     c.hits as f64,
                     c.misses as f64,
                     c.evictions as f64,
+                    phys,
+                    ra,
                     qps,
                 ],
             );

@@ -255,6 +255,12 @@ impl BPlusTree {
                 cursor.set(leaf, slot + 1);
                 return Ok(Some(entry));
             }
+            // Crossing a leaf boundary: hint the pool so a demand-read
+            // source can start on the next leaf before the miss lands.
+            // Free on resident pools, and never a logical access.
+            if next != NIL_PAGE {
+                let _ = self.pool.prefetch(next);
+            }
             cursor.set(next, 0);
         }
     }

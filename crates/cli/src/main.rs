@@ -77,8 +77,8 @@ USAGE:
   mmdr info     --model FILE
   mmdr build-index --data FILE --model FILE --out FILE [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N] [--pool-shards P]
   mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--backend seqscan|idistance|hybrid|gldr] [--pool-shards P] [--hex true]
-  mmdr query    --index-file FILE (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--pool-shards P] [--hex true]
-  mmdr serve    --index-file FILE [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--batch-threads N] [--pool-shards P]
+  mmdr query    --index-file FILE (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--pool-shards P] [--pool-pages N] [--readahead N] [--hex true]
+  mmdr serve    --index-file FILE [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--batch-threads N] [--pool-shards P] [--pool-pages N] [--readahead N]
   mmdr remote-query --addr HOST:PORT (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--hex true]
   mmdr remote-query --addr HOST:PORT --op ping|stats|shutdown
 
@@ -92,7 +92,12 @@ the machine's parallelism); it changes contention, never answers.
 build-index saves a checksummed binary snapshot of a built index; query
 --index-file reopens it without rebuilding (the snapshot pins the backend
 and model, so --model/--backend cannot be combined with it) and returns
-bit-identical answers to a fresh build.
+bit-identical answers to a fresh build. The reopen is out-of-core: pages
+are demand-read (and checksummed) from the snapshot file as queries touch
+them, so open time and resident memory stay ~constant in dataset size.
+--pool-pages caps each buffer pool's frame count (the working set) and
+--readahead sets the sequential prefetch window in pages (0 disables);
+neither changes answers, only physical I/O.
 
 serve exposes a snapshot over TCP (mmdr-serve wire protocol): a fixed
 worker pool answers KNN/range/batch queries with typed OVERLOADED
@@ -322,6 +327,25 @@ fn apply_pool_shards(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Snapshot-open knobs shared by `query --index-file` and `serve`:
+/// `--pool-pages` caps every restored buffer pool's frame count (the
+/// out-of-core working set) and `--readahead` sets the sequential prefetch
+/// window. Answers are bit-identical at any setting.
+fn open_options(flags: &HashMap<String, String>) -> Result<mmdr_persist::OpenOptions, String> {
+    let mut opts = mmdr_persist::OpenOptions::default();
+    if let Some(v) = flags.get("pool-pages") {
+        let pages: usize = v
+            .parse()
+            .map_err(|_| format!("--pool-pages: cannot parse `{v}`"))?;
+        if pages == 0 {
+            return Err("--pool-pages must be at least 1".into());
+        }
+        opts.pool_pages = Some(pages);
+    }
+    opts.readahead = get_parse(flags, "readahead", opts.readahead)?;
+    Ok(opts)
+}
+
 fn cmd_build_index(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
@@ -449,6 +473,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             "backend",
             "index-file",
             "pool-shards",
+            "pool-pages",
+            "readahead",
             "hex",
         ],
     )?;
@@ -470,13 +496,20 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
     let index = match index_file {
         Some(path) => {
-            // Reopen the snapshot: no rebuild, answers bit-identical to one.
-            mmdr_persist::open(path)
+            // Reopen the snapshot demand-paged: no rebuild, answers
+            // bit-identical to one at any --pool-pages setting.
+            mmdr_persist::open_with(path, &open_options(&flags)?)
                 .map_err(|e| e.to_string())?
                 .index
                 .into_boxed()
         }
         None => {
+            if flags.contains_key("pool-pages") || flags.contains_key("readahead") {
+                return Err(
+                    "--pool-pages/--readahead tune a reopened snapshot; they require --index-file"
+                        .into(),
+                );
+            }
             let data = data
                 .as_ref()
                 .ok_or("--data is required unless --index-file is given")?;
@@ -530,6 +563,14 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         stats.pages_touched,
         stats.page_reads
     );
+    if stats.physical_reads > 0 || stats.read_errors > 0 {
+        outln!(
+            "[out-of-core] {} physical reads, {} readahead hits, {} read errors",
+            stats.physical_reads,
+            stats.readahead_hits,
+            stats.read_errors
+        );
+    }
     Ok(())
 }
 
@@ -547,6 +588,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "max-inflight",
             "batch-threads",
             "pool-shards",
+            "pool-pages",
+            "readahead",
         ],
     )?;
     apply_pool_shards(&flags)?;
@@ -562,7 +605,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         batch_threads: get_parse(&flags, "batch-threads", defaults.batch_threads)?,
         ..defaults
     };
-    let opened = mmdr_persist::open(index_file).map_err(|e| e.to_string())?;
+    let opened =
+        mmdr_persist::open_with(index_file, &open_options(&flags)?).map_err(|e| e.to_string())?;
     let index: std::sync::Arc<dyn mmdr_index::VectorIndex> =
         std::sync::Arc::from(opened.index.into_boxed());
     index.reset_stats();
@@ -628,6 +672,14 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
                 s.query.pages_touched,
                 s.query.page_reads
             );
+            if s.query.physical_reads > 0 || s.query.read_errors > 0 {
+                outln!(
+                    "[out-of-core] {} physical reads, {} readahead hits, {} read errors",
+                    s.query.physical_reads,
+                    s.query.readahead_hits,
+                    s.query.read_errors
+                );
+            }
             for (pi, pool) in s.pools.iter().enumerate() {
                 let (h, m, e) = pool.per_shard.iter().fold((0u64, 0u64, 0u64), |acc, sh| {
                     (acc.0 + sh.hits, acc.1 + sh.misses, acc.2 + sh.evictions)

@@ -293,10 +293,11 @@ fn missing_or_damaged_snapshot_is_a_typed_error() {
         ],
         "index.mmdr",
     );
+    // A flip in the section table is caught at open, even by the default
+    // demand-read open that never decodes the page payload.
     let damaged = fix.dir.join("damaged.mmdr");
     let mut bytes = std::fs::read(fix.index()).unwrap();
-    let mid = bytes.len() / 2;
-    bytes[mid] ^= 0xFF;
+    bytes[100] ^= 0xFF;
     std::fs::write(&damaged, &bytes).unwrap();
     assert_typed_error(
         &[
@@ -305,6 +306,28 @@ fn missing_or_damaged_snapshot_is_a_typed_error() {
             damaged.to_str().unwrap(),
             "--point",
             "1.0",
+        ],
+        "checksum",
+    );
+    // A flip deep in the page payload is only discovered when a query
+    // faults the damaged page in — still a typed checksum error, never a
+    // silently wrong answer. The huge radius forces every page to be read.
+    let deep = fix.dir.join("deep-damaged.mmdr");
+    let mut bytes = std::fs::read(fix.index()).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&deep, &bytes).unwrap();
+    assert_typed_error(
+        &[
+            "query",
+            "--index-file",
+            deep.to_str().unwrap(),
+            "--data",
+            fix.data().to_str().unwrap(),
+            "--row",
+            "0",
+            "--radius",
+            "1e9",
         ],
         "checksum",
     );

@@ -196,6 +196,14 @@ impl HybridTree {
             }
             let node_page = self.pool.page(page)?;
             let (split_dim, n_children) = (Internal::split_dim(&node_page), count(&node_page));
+            // Every child of this qualifying region is about to be pushed,
+            // and bulk-loaded siblings sit on consecutive pages: hint the
+            // pool at the first child so a demand-read source pulls the
+            // whole sibling run in one pread. Free on resident pools, and
+            // never a logical access.
+            if n_children > 0 {
+                let _ = self.pool.prefetch(Internal::child(&node_page, 0));
+            }
             for i in 0..n_children {
                 let node_page = self.pool.page(page)?;
                 let b_lo = if i == 0 {

@@ -63,10 +63,17 @@ pub struct QueryStats {
     pub dist_computations: u64,
     /// Logical page/node touches (buffer hits + misses).
     pub pages_touched: u64,
-    /// Physical page reads (buffer misses).
+    /// Logical page reads (buffer misses).
     pub page_reads: u64,
     /// Candidates that survived pruning and were offered to the top-k set.
     pub candidates_refined: u64,
+    /// Pages physically fetched from the backing source (nonzero only for
+    /// out-of-core, demand-read opens; a resident index never re-fetches).
+    pub physical_reads: u64,
+    /// Misses served from the readahead window instead of a fresh fetch.
+    pub readahead_hits: u64,
+    /// Physical fetches that failed (I/O error, short read, bad checksum).
+    pub read_errors: u64,
 }
 
 impl QueryStats {
@@ -77,6 +84,9 @@ impl QueryStats {
             candidates_refined: search.candidates_refined(),
             pages_touched: io.accesses(),
             page_reads: io.reads(),
+            physical_reads: io.physical_reads(),
+            readahead_hits: io.readahead_hits(),
+            read_errors: io.read_errors(),
         }
     }
 
@@ -88,6 +98,9 @@ impl QueryStats {
             pages_touched: self.pages_touched - earlier.pages_touched,
             page_reads: self.page_reads - earlier.page_reads,
             candidates_refined: self.candidates_refined - earlier.candidates_refined,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            readahead_hits: self.readahead_hits - earlier.readahead_hits,
+            read_errors: self.read_errors - earlier.read_errors,
         }
     }
 }

@@ -175,11 +175,6 @@ impl<'a> ByteReader<'a> {
         let n = self.get_len(8)?;
         (0..n).map(|_| self.get_f64()).collect()
     }
-
-    /// Reads `n` raw bytes.
-    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
-        self.take(n)
-    }
 }
 
 #[cfg(test)]

@@ -30,13 +30,19 @@
 //! version reports `UnsupportedVersion` even though its superblock would
 //! also fail this version's expectations.
 
-use crate::crc32::crc32;
 use crate::error::{PersistError, Result};
+use mmdr_storage::crc32;
 
 /// First eight bytes of every snapshot.
 pub const MAGIC: [u8; 8] = *b"MMDRSNP\x01";
 /// Current (and only) format version this build writes and opens.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 split the page payload in two: the PAGES section became raw
+/// concatenated 4 KiB images (pread-addressable by page id) and the new
+/// PAGEDIR section carries the group layout plus a CRC32 *per page*, so a
+/// lazy open can verify everything except the images up front and verify
+/// each image the moment it is demand-read.
+pub const FORMAT_VERSION: u32 = 2;
 /// Little-endian sentinel; a byte-swapped writer would store 0x4D3C2B1A.
 pub const ENDIAN_TAG: u32 = 0x1A2B_3C4D;
 /// Superblock size; the section table starts here.
@@ -50,16 +56,21 @@ pub mod section_id {
     pub const MODEL: u32 = 1;
     /// Backend-specific scalar metadata (roots, heights, radii, config).
     pub const META: u32 = 2;
-    /// Raw page images, grouped per storage structure.
+    /// Raw page images, back to back, grouped per storage structure by the
+    /// PAGEDIR section. Byte `PAGE_SIZE·i` of the payload is the start of
+    /// the section-wide `i`-th image — a lazy open preads straight here.
     pub const PAGES: u32 = 3;
+    /// Page directory: per-group page counts plus a CRC32 per page image.
+    pub const PAGEDIR: u32 = 4;
 }
 
 /// Human-readable name of a section id for checksum error messages.
-fn section_name(id: u32) -> String {
+pub(crate) fn section_name(id: u32) -> String {
     match id {
         section_id::MODEL => "section model".to_string(),
         section_id::META => "section meta".to_string(),
         section_id::PAGES => "section pages".to_string(),
+        section_id::PAGEDIR => "section pagedir".to_string(),
         other => format!("section #{other}"),
     }
 }
@@ -137,44 +148,82 @@ fn u64_at(bytes: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
 }
 
-/// Parses and verifies a snapshot image, in the fixed check order: magic →
-/// endian tag → version → superblock CRC → file length → table CRC → section
-/// bounds and CRCs.
-pub fn parse(bytes: &[u8]) -> Result<Parsed<'_>> {
-    if bytes.len() < SUPERBLOCK_LEN {
+/// Verified superblock fields — everything a lazy open needs before it
+/// touches the section table.
+#[derive(Debug, Clone)]
+pub struct Superblock {
+    /// Backend tag from the superblock.
+    pub backend_tag: u32,
+    /// Number of section-table entries.
+    pub section_count: usize,
+    /// Total file length the superblock records (and the on-disk length
+    /// matched at verification time).
+    pub file_len: u64,
+    /// CRC32 the table must hash to.
+    table_crc: u32,
+}
+
+impl Superblock {
+    /// Byte length of the section table.
+    pub fn table_len(&self) -> usize {
+        self.section_count * TABLE_ENTRY_LEN
+    }
+}
+
+/// Layout of one section as recorded in the (verified) table.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionEntry {
+    /// Section id (see [`section_id`]).
+    pub id: u32,
+    /// CRC32 the payload must hash to.
+    pub crc: u32,
+    /// Absolute byte offset of the payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+/// Verifies the superblock from the first `min(disk_len, SUPERBLOCK_LEN)`
+/// bytes of the file plus the actual on-disk length, in the fixed check
+/// order: magic → endian tag → version → superblock CRC → file length →
+/// table offset and bounds. This is all a lazy open reads eagerly besides
+/// the table and the small sections — truncation and trailing garbage are
+/// still caught here, before any payload is trusted.
+pub fn parse_superblock(prefix: &[u8], disk_len: u64) -> Result<Superblock> {
+    if prefix.len() < SUPERBLOCK_LEN {
         // Too short to even check the magic? Report what we can: a wrong
         // magic beats a generic truncation when the prefix already differs.
-        if bytes.len() >= 8 && bytes[0..8] != MAGIC {
+        if prefix.len() >= 8 && prefix[0..8] != MAGIC {
             let mut found = [0u8; 8];
-            found.copy_from_slice(&bytes[0..8]);
+            found.copy_from_slice(&prefix[0..8]);
             return Err(PersistError::BadMagic { found });
         }
         return Err(PersistError::Truncated {
             expected: SUPERBLOCK_LEN as u64,
-            actual: bytes.len() as u64,
+            actual: disk_len.min(prefix.len() as u64),
         });
     }
-    if bytes[0..8] != MAGIC {
+    if prefix[0..8] != MAGIC {
         let mut found = [0u8; 8];
-        found.copy_from_slice(&bytes[0..8]);
+        found.copy_from_slice(&prefix[0..8]);
         return Err(PersistError::BadMagic { found });
     }
-    let endian = u32_at(bytes, 12);
+    let endian = u32_at(prefix, 12);
     if endian != ENDIAN_TAG {
         return Err(PersistError::malformed(format!(
             "endian tag {endian:#010x} (written on an incompatible byte order?)"
         )));
     }
-    let version = u32_at(bytes, 8);
+    let version = u32_at(prefix, 8);
     if version != FORMAT_VERSION {
         return Err(PersistError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
         });
     }
-    let stored_sb_crc = u32_at(bytes, 44);
+    let stored_sb_crc = u32_at(prefix, 44);
     let mut sb = [0u8; SUPERBLOCK_LEN];
-    sb.copy_from_slice(&bytes[0..SUPERBLOCK_LEN]);
+    sb.copy_from_slice(&prefix[0..SUPERBLOCK_LEN]);
     sb[44..48].fill(0);
     let computed_sb_crc = crc32(&sb);
     if computed_sb_crc != stored_sb_crc {
@@ -185,20 +234,20 @@ pub fn parse(bytes: &[u8]) -> Result<Parsed<'_>> {
         });
     }
     // From here on the superblock fields are trustworthy.
-    let backend_tag = u32_at(bytes, 16);
-    let count = u32_at(bytes, 20) as usize;
-    let table_offset = u64_at(bytes, 24);
-    let file_len = u64_at(bytes, 32);
-    if (bytes.len() as u64) < file_len {
+    let backend_tag = u32_at(prefix, 16);
+    let count = u32_at(prefix, 20) as usize;
+    let table_offset = u64_at(prefix, 24);
+    let file_len = u64_at(prefix, 32);
+    if disk_len < file_len {
         return Err(PersistError::Truncated {
             expected: file_len,
-            actual: bytes.len() as u64,
+            actual: disk_len,
         });
     }
-    if (bytes.len() as u64) > file_len {
+    if disk_len > file_len {
         return Err(PersistError::TrailingBytes {
             expected: file_len,
-            actual: bytes.len() as u64,
+            actual: disk_len,
         });
     }
     if table_offset != SUPERBLOCK_LEN as u64 {
@@ -218,8 +267,22 @@ pub fn parse(bytes: &[u8]) -> Result<Parsed<'_>> {
             "section table extends past the recorded length",
         ));
     }
-    let table = &bytes[SUPERBLOCK_LEN..table_end];
-    let stored_table_crc = u32_at(bytes, 40);
+    Ok(Superblock {
+        backend_tag,
+        section_count: count,
+        file_len,
+        table_crc: u32_at(prefix, 40),
+    })
+}
+
+/// Verifies the section table (`sb.table_len()` bytes starting at
+/// [`SUPERBLOCK_LEN`]) against the superblock's CRC, and checks the entries
+/// tile the rest of the file exactly — no gaps a checksum would not cover,
+/// no overlaps. Payload CRCs are *not* checked here; callers verify each
+/// payload as (and if) they read it.
+pub fn parse_table(table: &[u8], sb: &Superblock) -> Result<Vec<SectionEntry>> {
+    debug_assert_eq!(table.len(), sb.table_len());
+    let stored_table_crc = sb.table_crc;
     let computed_table_crc = crc32(table);
     if computed_table_crc != stored_table_crc {
         return Err(PersistError::Checksum {
@@ -228,16 +291,14 @@ pub fn parse(bytes: &[u8]) -> Result<Parsed<'_>> {
             computed: computed_table_crc,
         });
     }
-    let mut sections = Vec::with_capacity(count);
-    let mut expected_offset = table_end as u64;
-    for i in 0..count {
+    let mut entries = Vec::with_capacity(sb.section_count);
+    let mut expected_offset = (SUPERBLOCK_LEN + table.len()) as u64;
+    for i in 0..sb.section_count {
         let e = &table[i * TABLE_ENTRY_LEN..(i + 1) * TABLE_ENTRY_LEN];
         let id = u32_at(e, 0);
-        let stored_crc = u32_at(e, 4);
+        let crc = u32_at(e, 4);
         let offset = u64_at(e, 8);
         let len = u64_at(e, 16);
-        // Sections must tile the rest of the file exactly — no gaps a
-        // checksum would not cover, no overlaps.
         if offset != expected_offset {
             return Err(PersistError::malformed(format!(
                 "{} at offset {offset}, expected {expected_offset}",
@@ -247,29 +308,58 @@ pub fn parse(bytes: &[u8]) -> Result<Parsed<'_>> {
         let end = offset.checked_add(len).ok_or_else(|| {
             PersistError::malformed(format!("{} length overflows", section_name(id)))
         })?;
-        if end > file_len {
+        if end > sb.file_len {
             return Err(PersistError::malformed(format!(
                 "{} extends past the recorded length",
                 section_name(id)
             )));
         }
-        let payload = &bytes[offset as usize..end as usize];
-        let computed_crc = crc32(payload);
-        if computed_crc != stored_crc {
-            return Err(PersistError::Checksum {
-                region: section_name(id),
-                stored: stored_crc,
-                computed: computed_crc,
-            });
-        }
-        sections.push((id, payload));
+        entries.push(SectionEntry {
+            id,
+            crc,
+            offset,
+            len,
+        });
         expected_offset = end;
     }
-    if expected_offset != file_len {
+    if expected_offset != sb.file_len {
         return Err(PersistError::malformed("sections do not cover the file"));
     }
+    Ok(entries)
+}
+
+/// Verifies `payload` against its table entry's CRC.
+pub fn verify_payload(entry: &SectionEntry, payload: &[u8]) -> Result<()> {
+    let computed = crc32(payload);
+    if computed != entry.crc {
+        return Err(PersistError::Checksum {
+            region: section_name(entry.id),
+            stored: entry.crc,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+/// Parses and verifies a complete snapshot image, in the fixed check order:
+/// magic → endian tag → version → superblock CRC → file length → table CRC →
+/// section bounds and CRCs. The eager path; lazy opens use
+/// [`parse_superblock`]/[`parse_table`] and verify payloads selectively.
+pub fn parse(bytes: &[u8]) -> Result<Parsed<'_>> {
+    let sb = parse_superblock(
+        &bytes[..SUPERBLOCK_LEN.min(bytes.len())],
+        bytes.len() as u64,
+    )?;
+    let table_end = SUPERBLOCK_LEN + sb.table_len();
+    let entries = parse_table(&bytes[SUPERBLOCK_LEN..table_end], &sb)?;
+    let mut sections = Vec::with_capacity(entries.len());
+    for e in &entries {
+        let payload = &bytes[e.offset as usize..(e.offset + e.len) as usize];
+        verify_payload(e, payload)?;
+        sections.push((e.id, payload));
+    }
     Ok(Parsed {
-        backend_tag,
+        backend_tag: sb.backend_tag,
         sections,
     })
 }

@@ -9,10 +9,20 @@
 //!
 //! The format (see [`format`]) is versioned, endian-stable and fully
 //! checksummed: a superblock, a section table, and CRC32-guarded sections
-//! for the reduction model, the backend metadata, and the raw buffer-pool
-//! page images. Every failure mode — truncation, bit flips, wrong magic,
-//! a future format version — surfaces as a typed [`PersistError`]; nothing
-//! panics and nothing opens into a silently wrong index.
+//! for the reduction model, the backend metadata, a page directory with a
+//! CRC32 per page, and the raw buffer-pool page images. Every failure mode
+//! — truncation, bit flips, wrong magic, a future format version —
+//! surfaces as a typed [`PersistError`]; nothing panics and nothing opens
+//! into a silently wrong index.
+//!
+//! The default [`open`] is *out-of-core*: it verifies the superblock,
+//! table and small sections, then mounts the page images as demand-read
+//! [`FileSource`](mmdr_storage::FileSource) windows — pages are pread in
+//! (and verified per page) only when the buffer pool misses on them, so
+//! open time is ~O(superblock) and resident memory is bounded by
+//! [`OpenOptions::pool_pages`], not the dataset. [`open_resident`] keeps
+//! the old decode-everything behaviour, and [`scrub`] deep-verifies a file
+//! in place.
 //!
 //! Reopened indexes reuse the same [`mmdr_storage`] page/buffer-pool
 //! machinery as built ones, so their logical I/O accounting (the unit the
@@ -26,13 +36,15 @@
 //! for all four backends.
 
 mod codec;
-mod crc32;
 mod error;
 pub mod format;
 mod model_codec;
 mod snapshot;
 
-pub use crc32::{crc32, Crc32};
 pub use error::{PersistError, Result};
 pub use format::FORMAT_VERSION;
-pub use snapshot::{build_index, open, open_expecting, open_or_build, save, BuiltIndex, Opened};
+pub use mmdr_storage::{crc32, Crc32};
+pub use snapshot::{
+    build_index, open, open_expecting, open_expecting_with, open_or_build, open_resident,
+    open_with, save, scrub, BuiltIndex, OpenOptions, Opened,
+};

@@ -1,22 +1,32 @@
 //! Saving and reopening built indexes — the rebuild-free open path.
 //!
-//! A snapshot stores three sections: the reduction model (exact, bit-level
+//! A snapshot stores four sections: the reduction model (exact, bit-level
 //! float encoding), backend-specific metadata (tree roots, heights, radii,
-//! partition tables, pool capacities), and the raw 4 KiB page images of
-//! every storage structure. Reopening restores the pages into fresh
-//! [`DiskManager`]s behind [`BufferPool`]s with the original capacities and
-//! reattaches the trees/heaps via their `from_parts` constructors — no
-//! projection, clustering or bulk-load work is redone, and the reopened
-//! index streams through [`IoStats`] exactly like a built one (restoring
-//! itself costs zero logical I/O).
+//! partition tables, pool capacities), a page directory (group layout plus
+//! a CRC32 per page), and the raw 4 KiB page images of every storage
+//! structure, concatenated so page `i` of a group sits at a fixed file
+//! offset. Reopening reattaches the trees/heaps via their `from_parts`
+//! constructors — no projection, clustering or bulk-load work is redone.
 //!
-//! Because page images and model floats round-trip bit-exactly, a reopened
-//! index returns byte-for-byte the same `(distance, id)` answers as the
-//! index that was saved.
+//! Two open strategies share that reattach logic:
+//!
+//! - [`open`] / [`open_with`] (the default) verify only the superblock,
+//!   section table and the small sections, then mount the PAGES section as
+//!   demand-read [`FileSource`]s — pages are pread in (and CRC-verified)
+//!   the first time a query touches them, so open cost is ~O(superblock)
+//!   and resident memory is bounded by the pool capacity, not the dataset.
+//! - [`open_resident`] decodes every page up front into memory, verifying
+//!   the whole file — the eager path [`open_or_build`] uses to decide
+//!   whether a cached snapshot is clean enough to reuse.
+//!
+//! Because page images and model floats round-trip bit-exactly — and a
+//! buffer-pool miss faults in exactly the bytes the save wrote — both paths
+//! return byte-for-byte the same `(distance, id)` answers as the index that
+//! was saved, at any pool capacity.
 
 use crate::codec::{ByteReader, ByteWriter};
 use crate::error::{PersistError, Result};
-use crate::format::{self, section_id, Section};
+use crate::format::{self, section_id, Section, SectionEntry};
 use crate::model_codec;
 use mmdr_core::ReductionResult;
 use mmdr_hybridtree::HybridTree;
@@ -25,7 +35,9 @@ use mmdr_idistance::{
     VectorHeap, VectorIndex,
 };
 use mmdr_linalg::Matrix;
-use mmdr_storage::{BufferPool, DiskManager, IoStats, Page, PageId, PAGE_SIZE};
+use mmdr_storage::{crc32, BufferPool, DiskManager, FileSource, IoStats, Page, PageId, PAGE_SIZE};
+use std::fs::File;
+use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -121,48 +133,148 @@ fn backend_from_tag(tag: u32) -> Result<Backend> {
     })
 }
 
-// ---- page groups ---------------------------------------------------------
+// ---- open options ---------------------------------------------------------
+
+/// Knobs for [`open_with`]: how a snapshot's pages are mounted.
+#[derive(Debug, Clone)]
+pub struct OpenOptions {
+    /// Override every restored buffer pool's frame capacity (the knob
+    /// behind `--pool-pages`). `None` keeps the capacities recorded at save
+    /// time. Applied per pool (iDistance's tree and heap each get this
+    /// many frames, as does each tree of a gLDR forest), clamped to ≥ 1.
+    /// Answers are bit-identical at any capacity — only the miss/eviction
+    /// counts and resident footprint change.
+    pub pool_pages: Option<usize>,
+    /// Sequential readahead window in pages for demand-read sources (the
+    /// knob behind `--readahead`). When a buffer-pool miss lands exactly
+    /// one past the previous miss, the next `readahead` pages are fetched
+    /// in one pread — leaf scans pay one physical read per window. `0` or
+    /// `1` disables it. Ignored for resident opens.
+    pub readahead: usize,
+    /// Decode every page eagerly into memory at open (the pre-v2
+    /// behaviour), verifying the whole file up front. When `false`, pages
+    /// are pread on demand and CRC-verified per page as queries touch them.
+    pub resident: bool,
+}
+
+impl Default for OpenOptions {
+    fn default() -> Self {
+        Self {
+            pool_pages: None,
+            readahead: 8,
+            resident: false,
+        }
+    }
+}
+
+// ---- page groups ----------------------------------------------------------
 
 /// Flushes and exports one storage structure's pages.
 fn export_group(pool: &BufferPool) -> Result<Vec<Page>> {
     Ok(pool.export_pages()?)
 }
 
-fn put_groups(w: &mut ByteWriter, groups: &[Vec<Page>]) {
-    w.put_u32(groups.len() as u32);
+/// Where one restored pool's pages come from: decoded images (resident
+/// open, or a freshly built index) or a demand-read window into the
+/// snapshot file's PAGES section.
+#[derive(Debug)]
+enum GroupData {
+    Mem(Vec<Page>),
+    File(FileSource),
+}
+
+/// Serializes the page directory (group layout + per-page CRC32s) and the
+/// raw page images. The images are written back-to-back with no framing,
+/// so page `i` of a group lives at `group_base + i * PAGE_SIZE` — the
+/// invariant [`FileSource`] preads against.
+fn put_pagedir_and_pages(dir_w: &mut ByteWriter, pages_w: &mut ByteWriter, groups: &[Vec<Page>]) {
+    dir_w.put_u32(groups.len() as u32);
     for g in groups {
-        w.put_usize(g.len());
+        dir_w.put_usize(g.len());
         for p in g {
-            w.put_bytes(p.as_bytes());
+            dir_w.put_u32(crc32(p.as_bytes()));
+            pages_w.put_bytes(p.as_bytes());
         }
     }
 }
 
-fn get_groups(r: &mut ByteReader<'_>) -> Result<Vec<Vec<Page>>> {
+/// Decodes the page directory: per-group per-page CRC32s.
+fn read_pagedir(payload: &[u8]) -> Result<Vec<Vec<u32>>> {
+    let mut r = ByteReader::new(payload, "section pagedir");
     let n = r.get_u32()? as usize;
-    let mut groups = Vec::with_capacity(n);
+    let mut dir = Vec::with_capacity(n);
     for _ in 0..n {
-        let count = r.get_len(PAGE_SIZE)?;
-        let mut pages = Vec::with_capacity(count);
+        let count = r.get_len(4)?;
+        let mut crcs = Vec::with_capacity(count);
         for _ in 0..count {
-            pages.push(Page::from_bytes(r.get_bytes(PAGE_SIZE)?)?);
+            crcs.push(r.get_u32()?);
         }
-        groups.push(pages);
+        dir.push(crcs);
+    }
+    r.expect_end()?;
+    Ok(dir)
+}
+
+/// Total page count across a directory, with the byte length the PAGES
+/// section must therefore have.
+fn expect_pages_len(dir: &[Vec<u32>], actual: u64) -> Result<()> {
+    let total: u64 = dir.iter().map(|g| g.len() as u64).sum();
+    let expected = total * PAGE_SIZE as u64;
+    if actual != expected {
+        return Err(PersistError::malformed(format!(
+            "page section holds {actual} bytes, directory describes {expected}"
+        )));
+    }
+    Ok(())
+}
+
+/// Eagerly decodes the whole PAGES section into per-group page vectors,
+/// re-verifying each image against its directory CRC. Only the resident
+/// open path calls this; the default open never decodes the section.
+fn eager_page_groups(payload: &[u8], dir: &[Vec<u32>]) -> Result<Vec<GroupData>> {
+    expect_pages_len(dir, payload.len() as u64)?;
+    let mut groups = Vec::with_capacity(dir.len());
+    let mut off = 0usize;
+    for crcs in dir {
+        let mut pages = Vec::with_capacity(crcs.len());
+        for (i, &stored) in crcs.iter().enumerate() {
+            let image = &payload[off..off + PAGE_SIZE];
+            let computed = crc32(image);
+            if computed != stored {
+                // The section-level CRC already passed, so a mismatch here
+                // means directory and images disagree — a malformed write,
+                // not bit rot.
+                return Err(PersistError::malformed(format!(
+                    "page {i} disagrees with its directory checksum"
+                )));
+            }
+            pages.push(Page::from_bytes(image)?);
+            off += PAGE_SIZE;
+        }
+        groups.push(GroupData::Mem(pages));
     }
     Ok(groups)
 }
 
-/// Reattaches one page group behind a pool of the recorded capacity,
-/// sharing the given I/O ledger. Restoring costs no logical I/O. Only the
-/// capacity is recorded: the reopened pool stripes its frames across
-/// whatever shard count the current process resolves (snapshots predate and
-/// outlive pool geometry), which cannot change answers or `pages_touched` —
-/// both are independent of shard layout.
-fn restore_pool(pages: Vec<Page>, capacity: usize, stats: &Arc<IoStats>) -> Result<BufferPool> {
-    Ok(BufferPool::new(
-        DiskManager::from_pages(pages, Arc::clone(stats)),
-        capacity,
-    )?)
+/// Reattaches one page group behind a pool of the given capacity, sharing
+/// the given I/O ledger. Restoring installs no frames and costs no logical
+/// I/O. Only the capacity is recorded: the reopened pool stripes its frames
+/// across whatever shard count the current process resolves (snapshots
+/// predate and outlive pool geometry), which cannot change answers or
+/// `pages_touched` — both are independent of shard layout.
+fn restore_pool(
+    group: GroupData,
+    capacity: usize,
+    stats: &Arc<IoStats>,
+    readahead: usize,
+) -> Result<BufferPool> {
+    let disk = match group {
+        GroupData::Mem(pages) => DiskManager::from_pages(pages, Arc::clone(stats)),
+        GroupData::File(src) => {
+            DiskManager::from_source(Box::new(src), Arc::clone(stats), readahead)
+        }
+    };
+    Ok(BufferPool::new(disk, capacity)?)
 }
 
 // ---- per-structure metadata ----------------------------------------------
@@ -233,8 +345,14 @@ fn get_hybrid_meta(r: &mut ByteReader<'_>) -> Result<HybridMeta> {
     })
 }
 
-fn restore_hybrid(meta: HybridMeta, pages: Vec<Page>, stats: &Arc<IoStats>) -> Result<HybridTree> {
-    let pool = restore_pool(pages, meta.capacity, stats)?;
+fn restore_hybrid(
+    meta: HybridMeta,
+    group: GroupData,
+    stats: &Arc<IoStats>,
+    opts: &OpenOptions,
+) -> Result<HybridTree> {
+    let capacity = opts.pool_pages.unwrap_or(meta.capacity).max(1);
+    let pool = restore_pool(group, capacity, stats, opts.readahead)?;
     Ok(HybridTree::from_parts(
         pool,
         meta.root,
@@ -300,9 +418,13 @@ fn encode(index: &BuiltIndex, model: &ReductionResult) -> Result<Vec<u8>> {
         }
     }
 
+    let mut pagedir_w = ByteWriter::new();
     let mut pages_w = ByteWriter::new();
-    put_groups(&mut pages_w, &groups);
+    put_pagedir_and_pages(&mut pagedir_w, &mut pages_w, &groups);
 
+    // PAGES goes last: it dominates the file, and keeping the small
+    // sections up front lets a lazy open fetch everything it needs with
+    // three short preads near the head of the file.
     Ok(format::assemble(
         backend_tag(index.backend()),
         &[
@@ -313,6 +435,10 @@ fn encode(index: &BuiltIndex, model: &ReductionResult) -> Result<Vec<u8>> {
             Section {
                 id: section_id::META,
                 payload: meta.into_bytes(),
+            },
+            Section {
+                id: section_id::PAGEDIR,
+                payload: pagedir_w.into_bytes(),
             },
             Section {
                 id: section_id::PAGES,
@@ -366,7 +492,7 @@ pub struct Opened {
 }
 
 /// Exact group-count check for a backend's page section.
-fn expect_groups(groups: &[Vec<Page>], expected: usize) -> Result<()> {
+fn expect_groups(groups: &[GroupData], expected: usize) -> Result<()> {
     if groups.len() != expected {
         return Err(PersistError::malformed(format!(
             "page section has {} groups, backend needs {expected}",
@@ -376,25 +502,29 @@ fn expect_groups(groups: &[Vec<Page>], expected: usize) -> Result<()> {
     Ok(())
 }
 
-fn decode(bytes: &[u8]) -> Result<Opened> {
-    let parsed = format::parse(bytes)?;
-    let backend = backend_from_tag(parsed.backend_tag)?;
-
-    let mut model_r = ByteReader::new(parsed.section(section_id::MODEL)?, "section model");
-    let model = model_codec::get_model(&mut model_r)?;
-    model_r.expect_end()?;
-
-    let mut pages_r = ByteReader::new(parsed.section(section_id::PAGES)?, "section pages");
-    let mut groups = get_groups(&mut pages_r)?;
-    pages_r.expect_end()?;
-
-    let mut meta = ByteReader::new(parsed.section(section_id::META)?, "section meta");
+/// Reattaches a backend from its decoded metadata and page groups — the
+/// logic both open paths share. `groups` arrive in the order [`encode`]
+/// wrote them.
+fn restore(
+    backend: Backend,
+    model: ReductionResult,
+    meta_bytes: &[u8],
+    mut groups: Vec<GroupData>,
+    opts: &OpenOptions,
+) -> Result<Opened> {
+    let cap = |recorded: usize| opts.pool_pages.unwrap_or(recorded).max(1);
+    let mut meta = ByteReader::new(meta_bytes, "section meta");
     let index = match backend {
         Backend::SeqScan => {
             let (capacity, len, open) = get_heap_meta(&mut meta)?;
             expect_groups(&groups, 1)?;
             let stats = IoStats::new();
-            let pool = restore_pool(groups.pop().expect("one group"), capacity, &stats)?;
+            let pool = restore_pool(
+                groups.pop().expect("one group"),
+                cap(capacity),
+                &stats,
+                opts.readahead,
+            )?;
             let heap = VectorHeap::from_parts(pool, open, len)?;
             BuiltIndex::SeqScan(SeqScan::from_parts(heap, &model)?)
         }
@@ -417,8 +547,8 @@ fn decode(bytes: &[u8]) -> Result<Opened> {
             let tree_pages = groups.pop().expect("two groups");
             // One ledger across both pools, exactly like a fresh build.
             let stats = IoStats::new();
-            let tree_pool = restore_pool(tree_pages, tree_capacity, &stats)?;
-            let heap_pool = restore_pool(heap_pages, heap_capacity, &stats)?;
+            let tree_pool = restore_pool(tree_pages, cap(tree_capacity), &stats, opts.readahead)?;
+            let heap_pool = restore_pool(heap_pages, cap(heap_capacity), &stats, opts.readahead)?;
             let tree =
                 mmdr_btree::BPlusTree::from_parts(tree_pool, tree_root, tree_height, tree_len)?;
             let heap = VectorHeap::from_parts(heap_pool, heap_open, heap_len)?;
@@ -434,6 +564,7 @@ fn decode(bytes: &[u8]) -> Result<Opened> {
                 hm,
                 groups.pop().expect("one group"),
                 &stats,
+                opts,
             )?)
         }
         Backend::Gldr => {
@@ -466,7 +597,8 @@ fn decode(bytes: &[u8]) -> Result<Opened> {
             let mut group_iter = groups.into_iter();
             let mut clusters = Vec::with_capacity(n_clusters);
             for (i, (max_radius, hm)) in cluster_meta.into_iter().enumerate() {
-                let tree = restore_hybrid(hm, group_iter.next().expect("counted groups"), &stats)?;
+                let tree =
+                    restore_hybrid(hm, group_iter.next().expect("counted groups"), &stats, opts)?;
                 // The forest's subspaces come from the model, in build
                 // order — the snapshot stores them once, not twice.
                 clusters.push((model.clusters[i].subspace.clone(), tree, max_radius));
@@ -476,6 +608,7 @@ fn decode(bytes: &[u8]) -> Result<Opened> {
                     hm,
                     group_iter.next().expect("counted groups"),
                     &stats,
+                    opts,
                 )?),
                 None => None,
             };
@@ -490,7 +623,9 @@ fn decode(bytes: &[u8]) -> Result<Opened> {
     };
     meta.expect_end()?;
     // Reattach validation peeks at root pages; that is restore work, not
-    // query work, so the ledger starts at zero like a freshly built index.
+    // query work, so the ledger starts at zero like a freshly built index —
+    // both the logical counters and, on the demand-read path, the physical
+    // ones (root pages stay resident, so no re-fetch is owed).
     index.as_dyn().io_stats().reset();
     Ok(Opened {
         backend,
@@ -499,19 +634,142 @@ fn decode(bytes: &[u8]) -> Result<Opened> {
     })
 }
 
-/// Opens a snapshot into a ready index — no clustering, projection or
-/// bulk-load is redone. Any damage (truncation, bit flips, wrong magic,
-/// future version) surfaces as a typed [`PersistError`].
-pub fn open(path: impl AsRef<Path>) -> Result<Opened> {
-    let path = path.as_ref();
-    let bytes = std::fs::read(path).map_err(|e| PersistError::io(path, e))?;
-    decode(&bytes)
+/// Eagerly decodes a complete in-memory snapshot image.
+fn decode(bytes: &[u8], opts: &OpenOptions) -> Result<Opened> {
+    let parsed = format::parse(bytes)?;
+    let backend = backend_from_tag(parsed.backend_tag)?;
+
+    let mut model_r = ByteReader::new(parsed.section(section_id::MODEL)?, "section model");
+    let model = model_codec::get_model(&mut model_r)?;
+    model_r.expect_end()?;
+
+    let dir = read_pagedir(parsed.section(section_id::PAGEDIR)?)?;
+    let groups = eager_page_groups(parsed.section(section_id::PAGES)?, &dir)?;
+
+    restore(
+        backend,
+        model,
+        parsed.section(section_id::META)?,
+        groups,
+        opts,
+    )
 }
 
-/// Like [`open`], additionally checking the snapshot stores the expected
-/// backend.
-pub fn open_expecting(path: impl AsRef<Path>, backend: Backend) -> Result<Opened> {
-    let opened = open(path)?;
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64, path: &Path) -> Result<()> {
+    file.read_exact_at(buf, offset)
+        .map_err(|e| PersistError::io(path, e))
+}
+
+fn find_entry(entries: &[SectionEntry], id: u32) -> Result<SectionEntry> {
+    entries.iter().find(|e| e.id == id).copied().ok_or_else(|| {
+        PersistError::malformed(format!("snapshot has no {}", format::section_name(id)))
+    })
+}
+
+/// Reads and CRC-verifies one section payload.
+fn read_section(file: &File, entry: &SectionEntry, path: &Path) -> Result<Vec<u8>> {
+    let mut buf = vec![0u8; entry.len as usize];
+    read_exact_at(file, &mut buf, entry.offset, path)?;
+    format::verify_payload(entry, &buf)?;
+    Ok(buf)
+}
+
+/// Demand-paged open: verifies the superblock, section table and the three
+/// small sections (model, metadata, page directory), then mounts each page
+/// group as a [`FileSource`] window into the PAGES section. The PAGES
+/// payload itself is never read here — pages are pread in, and verified
+/// against their directory CRC32, the first time the buffer pool misses on
+/// them. Open cost is ~O(superblock), independent of dataset size.
+fn open_lazy(path: &Path, opts: &OpenOptions) -> Result<Opened> {
+    let file = File::open(path).map_err(|e| PersistError::io(path, e))?;
+    let disk_len = file
+        .metadata()
+        .map_err(|e| PersistError::io(path, e))?
+        .len();
+
+    let head = disk_len.min(format::SUPERBLOCK_LEN as u64) as usize;
+    let mut prefix = vec![0u8; head];
+    read_exact_at(&file, &mut prefix, 0, path)?;
+    let sb = format::parse_superblock(&prefix, disk_len)?;
+
+    let mut table = vec![0u8; sb.table_len()];
+    read_exact_at(&file, &mut table, format::SUPERBLOCK_LEN as u64, path)?;
+    let entries = format::parse_table(&table, &sb)?;
+    let backend = backend_from_tag(sb.backend_tag)?;
+
+    let model_bytes = read_section(&file, &find_entry(&entries, section_id::MODEL)?, path)?;
+    let meta_bytes = read_section(&file, &find_entry(&entries, section_id::META)?, path)?;
+    let dir_bytes = read_section(&file, &find_entry(&entries, section_id::PAGEDIR)?, path)?;
+
+    let mut model_r = ByteReader::new(&model_bytes, "section model");
+    let model = model_codec::get_model(&mut model_r)?;
+    model_r.expect_end()?;
+
+    let dir = read_pagedir(&dir_bytes)?;
+    let pages_entry = find_entry(&entries, section_id::PAGES)?;
+    expect_pages_len(&dir, pages_entry.len)?;
+
+    let file = Arc::new(file);
+    let mut base = pages_entry.offset;
+    let mut groups = Vec::with_capacity(dir.len());
+    for crcs in dir {
+        let span = crcs.len() as u64 * PAGE_SIZE as u64;
+        groups.push(GroupData::File(FileSource::new(
+            Arc::clone(&file),
+            base,
+            crcs.into(),
+        )));
+        base += span;
+    }
+
+    restore(backend, model, &meta_bytes, groups, opts)
+}
+
+/// Opens a snapshot into a ready index with explicit [`OpenOptions`] — no
+/// clustering, projection or bulk-load is redone. The default (non-
+/// resident) open demand-reads pages; damage in the superblock, table,
+/// model, metadata or page directory surfaces as a typed [`PersistError`]
+/// at open, while a damaged page image surfaces as a checksum error from
+/// the first query that touches it — never a panic, never a silently wrong
+/// answer. Use [`open_resident`] or [`scrub`] to verify everything up
+/// front.
+pub fn open_with(path: impl AsRef<Path>, opts: &OpenOptions) -> Result<Opened> {
+    let path = path.as_ref();
+    if opts.resident {
+        let bytes = std::fs::read(path).map_err(|e| PersistError::io(path, e))?;
+        decode(&bytes, opts)
+    } else {
+        open_lazy(path, opts)
+    }
+}
+
+/// Opens a snapshot with default options: demand-read pages, recorded pool
+/// capacities, a small sequential readahead window.
+pub fn open(path: impl AsRef<Path>) -> Result<Opened> {
+    open_with(path, &OpenOptions::default())
+}
+
+/// Eager open: decodes and CRC-verifies every page up front into memory,
+/// like format v1 did. Any damage anywhere in the file — including page
+/// images — fails the open.
+pub fn open_resident(path: impl AsRef<Path>) -> Result<Opened> {
+    open_with(
+        path,
+        &OpenOptions {
+            resident: true,
+            ..OpenOptions::default()
+        },
+    )
+}
+
+/// Verifies an entire snapshot file — every section CRC, every page image,
+/// and that the metadata reattaches — without keeping the index. The
+/// deep-check counterpart to the default lazy [`open`].
+pub fn scrub(path: impl AsRef<Path>) -> Result<()> {
+    open_resident(path).map(|_| ())
+}
+
+fn expect_backend(opened: Opened, backend: Backend) -> Result<Opened> {
     if opened.backend != backend {
         return Err(PersistError::BackendMismatch {
             expected: backend.name(),
@@ -521,9 +779,28 @@ pub fn open_expecting(path: impl AsRef<Path>, backend: Backend) -> Result<Opened
     Ok(opened)
 }
 
+/// Like [`open`], additionally checking the snapshot stores the expected
+/// backend.
+pub fn open_expecting(path: impl AsRef<Path>, backend: Backend) -> Result<Opened> {
+    expect_backend(open(path)?, backend)
+}
+
+/// Like [`open_with`], additionally checking the snapshot stores the
+/// expected backend.
+pub fn open_expecting_with(
+    path: impl AsRef<Path>,
+    backend: Backend,
+    opts: &OpenOptions,
+) -> Result<Opened> {
+    expect_backend(open_with(path, opts)?, backend)
+}
+
 /// Cache-style helper for harnesses: reuse a matching snapshot at `path`
 /// when one opens cleanly, otherwise build the index fresh and (re)write
 /// the snapshot. Returns the index and whether it came from the snapshot.
+///
+/// Opens **resident** and fully verified: a cache whose page images are
+/// damaged should be rebuilt now, not discovered mid-query later.
 ///
 /// Safe under concurrent callers (threads or processes) racing on the same
 /// missing path: each builds independently and [`save`] writes through a
@@ -541,7 +818,7 @@ pub fn open_or_build(
 ) -> Result<(BuiltIndex, bool)> {
     let path = path.as_ref();
     if path.exists() {
-        if let Ok(opened) = open_expecting(path, backend) {
+        if let Ok(opened) = open_resident(path).and_then(|o| expect_backend(o, backend)) {
             return Ok((opened.index, true));
         }
         // Stale or damaged cache entry: fall through and rebuild it.
@@ -549,7 +826,7 @@ pub fn open_or_build(
     let index = build_index(backend, data, model, buffer_pages)?;
     if let Err(save_err) = save(path, &index, model) {
         // A concurrent winner's snapshot is as good as ours.
-        if let Ok(opened) = open_expecting(path, backend) {
+        if let Ok(opened) = open_resident(path).and_then(|o| expect_backend(o, backend)) {
             return Ok((opened.index, true));
         }
         return Err(save_err);

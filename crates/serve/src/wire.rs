@@ -203,10 +203,16 @@ pub struct QueryStatsWire {
     pub dist_computations: u64,
     /// Logical page/node touches.
     pub pages_touched: u64,
-    /// Physical page reads.
+    /// Logical page reads (buffer misses).
     pub page_reads: u64,
     /// Candidates offered to the top-k set.
     pub candidates_refined: u64,
+    /// Pages physically fetched from the snapshot file (out-of-core opens).
+    pub physical_reads: u64,
+    /// Misses served from the readahead window.
+    pub readahead_hits: u64,
+    /// Physical fetches that failed.
+    pub read_errors: u64,
 }
 
 impl From<QueryStats> for QueryStatsWire {
@@ -216,6 +222,9 @@ impl From<QueryStats> for QueryStatsWire {
             pages_touched: q.pages_touched,
             page_reads: q.page_reads,
             candidates_refined: q.candidates_refined,
+            physical_reads: q.physical_reads,
+            readahead_hits: q.readahead_hits,
+            read_errors: q.read_errors,
         }
     }
 }
@@ -524,6 +533,9 @@ fn put_stats(e: &mut Enc, s: &RemoteStats) {
         s.query.pages_touched,
         s.query.page_reads,
         s.query.candidates_refined,
+        s.query.physical_reads,
+        s.query.readahead_hits,
+        s.query.read_errors,
     ] {
         e.u64(v);
     }
@@ -560,6 +572,9 @@ fn get_stats(d: &mut Dec<'_>) -> Result<RemoteStats, WireError> {
         pages_touched: d.u64()?,
         page_reads: d.u64()?,
         candidates_refined: d.u64()?,
+        physical_reads: d.u64()?,
+        readahead_hits: d.u64()?,
+        read_errors: d.u64()?,
     };
     let n_pools = d.len(4)?;
     let pools = (0..n_pools)
@@ -742,6 +757,9 @@ mod tests {
                     pages_touched: 2,
                     page_reads: 3,
                     candidates_refined: 4,
+                    physical_reads: 8,
+                    readahead_hits: 9,
+                    read_errors: 10,
                 },
                 pools: vec![PoolStats {
                     per_shard: vec![ShardCounters {

@@ -478,7 +478,24 @@ impl BufferPool {
     /// beyond the flush's writes.
     pub fn export_pages(&self) -> Result<Vec<Page>> {
         self.flush_all()?;
-        Ok(lock_mutex(&self.disk)?.pages().to_vec())
+        lock_mutex(&self.disk)?.dump_pages()
+    }
+
+    /// Hints that `page_id` will be read soon. If the page is already
+    /// resident in its shard this is a no-op; otherwise the disk warms its
+    /// readahead buffer with the run starting there (a no-op when readahead
+    /// is disabled). No frame is installed and no logical access or read is
+    /// recorded — a hint must not change the `pages_touched` accounting.
+    pub fn prefetch(&self, page_id: PageId) -> Result<()> {
+        let shard = self.shard_for(page_id);
+        {
+            let inner = lock_mutex(&shard.inner)?;
+            if inner.map.contains_key(&page_id) {
+                return Ok(());
+            }
+        }
+        lock_mutex(&self.disk)?.prefetch(page_id);
+        Ok(())
     }
 
     /// Writes every dirty resident page back to disk, shard by shard.

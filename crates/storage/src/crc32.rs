@@ -1,6 +1,7 @@
 //! CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
-//! guarding every region of a snapshot file. Table-driven, one table built
-//! lazily at first use.
+//! guarding every region of a snapshot file and every 4 KiB page image a
+//! file-backed [`crate::PageSource`] demand-reads. Table-driven, one table
+//! built lazily at first use.
 
 use std::sync::OnceLock;
 

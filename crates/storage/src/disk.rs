@@ -1,49 +1,87 @@
-//! The simulated disk: a growable array of pages behind I/O counters.
+//! The disk: a [`PageSource`] behind a write overlay and I/O counters.
+//!
+//! During a build everything lives in the overlay (the source is empty);
+//! a reopened snapshot instead wires a [`crate::FileSource`] underneath,
+//! and pages are faulted in with `pread` the first time the buffer pool
+//! misses on them. An optional readahead window turns sequential misses
+//! (leaf scans) into one larger physical read.
 
 use crate::error::{Error, Result};
 use crate::page::{Page, PageId};
+use crate::source::{MemSource, PageSource};
 use crate::stats::IoStats;
+use std::collections::HashMap;
 use std::sync::Arc;
 
-/// An in-memory "disk". Every [`read_page`](DiskManager::read_page) and
+/// A paged "disk". Every [`read_page`](DiskManager::read_page) and
 /// [`write_page`](DiskManager::write_page) costs one logical I/O; going
 /// through a [`crate::BufferPool`] instead makes repeated accesses to hot
-/// pages free, as on a real system.
+/// pages free, as on a real system. Underneath, bytes come from a pluggable
+/// [`PageSource`]; reads that physically hit the source additionally tick
+/// the *physical* ledger in [`IoStats`].
+///
+/// Writes never reach the source (snapshots are immutable): they land in an
+/// in-memory overlay that shadows the source page for every later read.
 #[derive(Debug)]
 pub struct DiskManager {
-    pages: Vec<Page>,
+    source: Box<dyn PageSource>,
+    /// Pages written or allocated since the source was attached. Consulted
+    /// before the readahead buffer and the source on every read, so a
+    /// copy-on-write page can never be re-read stale from the file.
+    overlay: HashMap<PageId, Page>,
+    /// Total allocated pages: `source.num_pages()` plus overlay growth.
+    num_pages: usize,
     stats: Arc<IoStats>,
+    /// Whether source fetches count as physical I/O (false for in-memory
+    /// sources, so a resident index keeps a zero physical ledger).
+    physical: bool,
+    /// Pages to pull per sequential run (`0` disables readahead).
+    readahead: usize,
+    /// Last prefetched run: first page id + images. Empty = no run cached.
+    ra_start: PageId,
+    ra_pages: Vec<Page>,
+    /// The id a strictly sequential reader would ask for next; a miss on
+    /// exactly this id triggers a readahead run.
+    next_seq: PageId,
 }
 
 impl DiskManager {
     /// Creates an empty disk with fresh counters.
     pub fn new() -> Self {
-        Self {
-            pages: Vec::new(),
-            stats: IoStats::new(),
-        }
+        Self::with_stats(IoStats::new())
     }
 
     /// Creates an empty disk sharing the given counters.
     pub fn with_stats(stats: Arc<IoStats>) -> Self {
-        Self {
-            pages: Vec::new(),
-            stats,
-        }
+        Self::from_source(Box::new(MemSource::default()), stats, 0)
     }
 
-    /// Rebuilds a disk from raw page images (a snapshot being reopened),
+    /// Rebuilds a disk from raw page images (an eagerly decoded snapshot),
     /// sharing the given counters. Restoring costs no logical I/O — the
     /// counters start ticking at the first real page access, so an opened
     /// index streams through [`IoStats`] exactly like a built one.
     pub fn from_pages(pages: Vec<Page>, stats: Arc<IoStats>) -> Self {
-        Self { pages, stats }
+        Self::from_source(Box::new(MemSource::new(pages)), stats, 0)
     }
 
-    /// Borrowed view of every page image, in page-id order. Used by
-    /// snapshot writers; not counted as logical I/O.
-    pub fn pages(&self) -> &[Page] {
-        &self.pages
+    /// Wraps an arbitrary page source (a [`crate::FileSource`] window into
+    /// a snapshot, or a fault-injecting test source) with `readahead`
+    /// pages of sequential prefetch (`0` = off). Nothing is read here:
+    /// the first physical fetch happens on the first buffer-pool miss.
+    pub fn from_source(source: Box<dyn PageSource>, stats: Arc<IoStats>, readahead: usize) -> Self {
+        let num_pages = source.num_pages();
+        let physical = source.is_physical();
+        Self {
+            source,
+            overlay: HashMap::new(),
+            num_pages,
+            stats,
+            physical,
+            readahead,
+            ra_start: 0,
+            ra_pages: Vec::new(),
+            next_seq: 0,
+        }
     }
 
     /// Handle to the I/O counters.
@@ -58,35 +96,135 @@ impl DiskManager {
 
     /// Number of allocated pages.
     pub fn num_pages(&self) -> usize {
-        self.pages.len()
+        self.num_pages
+    }
+
+    /// The configured sequential-readahead window in pages (`0` = off).
+    pub fn readahead(&self) -> usize {
+        self.readahead
     }
 
     /// Allocates a zeroed page and returns its id. Allocation itself is not
-    /// counted as I/O (the write that populates it is).
+    /// counted as I/O (the write that populates it is). Fresh pages live in
+    /// the overlay; the source underneath never grows.
     pub fn allocate(&mut self) -> PageId {
-        self.pages.push(Page::new());
-        (self.pages.len() - 1) as PageId
+        let id = self.num_pages as PageId;
+        self.overlay.insert(id, Page::new());
+        self.num_pages += 1;
+        id
     }
 
-    /// Reads a page (one logical read).
-    pub fn read_page(&self, page_id: PageId) -> Result<Page> {
-        let page = self
-            .pages
-            .get(page_id as usize)
-            .ok_or(Error::PageNotFound { page_id })?;
+    /// Reads a page (one logical read). The overlay wins over the
+    /// readahead buffer, which wins over a physical fetch from the source;
+    /// only the last tick the physical ledger.
+    pub fn read_page(&mut self, page_id: PageId) -> Result<Page> {
+        if page_id as usize >= self.num_pages {
+            return Err(Error::PageNotFound { page_id });
+        }
         self.stats.record_read();
-        Ok(page.clone())
+        let sequential = page_id == self.next_seq;
+        self.next_seq = page_id + 1;
+        if let Some(page) = self.overlay.get(&page_id) {
+            return Ok(page.clone());
+        }
+        if let Some(page) = self.ra_lookup(page_id) {
+            if self.physical {
+                self.stats.record_readahead_hit();
+            }
+            return Ok(page);
+        }
+        let src_pages = self.source.num_pages() as u64;
+        if page_id >= src_pages {
+            // Allocated past the source but missing from the overlay:
+            // structurally impossible unless a caller bypassed `allocate`.
+            return Err(Error::PageNotFound { page_id });
+        }
+        if self.readahead > 1 && sequential {
+            let count = (self.readahead as u64).min(src_pages - page_id) as usize;
+            if let Ok(pages) = self.source.read_run(page_id, count) {
+                if self.physical {
+                    self.stats.record_physical_reads(count as u64);
+                }
+                let first = pages[0].clone();
+                self.ra_start = page_id;
+                self.ra_pages = pages;
+                return Ok(first);
+            }
+            // A failed run falls back to a single-page read below, so a
+            // corrupt page later in the window cannot fail this fetch.
+        }
+        match self.source.read_page(page_id) {
+            Ok(page) => {
+                if self.physical {
+                    self.stats.record_physical_reads(1);
+                }
+                Ok(page)
+            }
+            Err(e) => {
+                self.stats.record_read_error();
+                Err(e)
+            }
+        }
     }
 
-    /// Writes a page (one logical write).
+    /// Warms the readahead buffer with the run starting at `start` without
+    /// recording a logical read — the hint half of sequential prefetch
+    /// (leaf-chain scans call this for the *next* leaf). Failures are
+    /// swallowed: a bad page surfaces, typed, on the demand read that
+    /// actually needs it.
+    pub fn prefetch(&mut self, start: PageId) {
+        if self.readahead == 0 {
+            return;
+        }
+        let src_pages = self.source.num_pages() as u64;
+        if start >= src_pages
+            || self.ra_lookup(start).is_some()
+            || self.overlay.contains_key(&start)
+        {
+            return;
+        }
+        let count = (self.readahead.max(1) as u64).min(src_pages - start) as usize;
+        if let Ok(pages) = self.source.read_run(start, count) {
+            self.stats.record_physical_reads(count as u64);
+            self.ra_start = start;
+            self.ra_pages = pages;
+        }
+    }
+
+    /// Writes a page (one logical write). The image lands in the overlay
+    /// and shadows both the source and any readahead copy.
     pub fn write_page(&mut self, page_id: PageId, page: &Page) -> Result<()> {
-        let slot = self
-            .pages
-            .get_mut(page_id as usize)
-            .ok_or(Error::PageNotFound { page_id })?;
-        *slot = page.clone();
+        if page_id as usize >= self.num_pages {
+            return Err(Error::PageNotFound { page_id });
+        }
+        // Drop a readahead run that covers this page: the overlay already
+        // wins on reads, but a stale copy has no business staying cached.
+        if self.ra_lookup(page_id).is_some() {
+            self.ra_pages.clear();
+        }
+        self.overlay.insert(page_id, page.clone());
         self.stats.record_write();
         Ok(())
+    }
+
+    /// Copy of every page image in page-id order — overlay over source.
+    /// Used by snapshot writers; a bulk export, so it records no logical
+    /// or physical I/O.
+    pub fn dump_pages(&self) -> Result<Vec<Page>> {
+        (0..self.num_pages as PageId)
+            .map(|id| match self.overlay.get(&id) {
+                Some(page) => Ok(page.clone()),
+                None => self.source.read_page(id),
+            })
+            .collect()
+    }
+
+    fn ra_lookup(&self, page_id: PageId) -> Option<Page> {
+        if self.ra_pages.is_empty() || page_id < self.ra_start {
+            return None;
+        }
+        let idx = (page_id - self.ra_start) as usize;
+        self.ra_pages.get(idx).cloned()
     }
 }
 
@@ -99,6 +237,8 @@ impl Default for DiskManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::{FaultMode, FaultSource};
+    use crate::PAGE_SIZE;
 
     #[test]
     fn allocate_read_write_roundtrip() {
@@ -113,16 +253,20 @@ mod tests {
         assert_eq!(disk.stats().reads(), 1);
         assert_eq!(disk.stats().writes(), 1);
         assert_eq!(disk.num_pages(), 1);
+        assert_eq!(
+            disk.stats().physical_reads(),
+            0,
+            "overlay reads are not physical"
+        );
     }
 
     #[test]
     fn missing_page_is_an_error() {
-        let disk = DiskManager::new();
+        let mut disk = DiskManager::new();
         assert_eq!(
             disk.read_page(5).err(),
             Some(Error::PageNotFound { page_id: 5 })
         );
-        let mut disk = DiskManager::new();
         assert!(disk.write_page(0, &Page::new()).is_err());
     }
 
@@ -133,5 +277,159 @@ mod tests {
         let id = disk.allocate();
         let _ = disk.read_page(id).unwrap();
         assert_eq!(stats.reads(), 1);
+    }
+
+    fn images(n: usize) -> Vec<Page> {
+        (0..n)
+            .map(|i| {
+                let mut p = Page::new();
+                p.put_u64(8, 1000 + i as u64).unwrap();
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn source_reads_are_physical_and_overlay_shadows_them() {
+        let stats = IoStats::new();
+        let src = FaultSource::new(images(4));
+        let mut disk = DiskManager::from_source(Box::new(src), Arc::clone(&stats), 0);
+        assert_eq!(disk.num_pages(), 4);
+        assert_eq!(disk.read_page(2).unwrap().get_u64(8).unwrap(), 1002);
+        assert_eq!(stats.physical_reads(), 1);
+        // Overwrite page 2; the overlay must shadow the source forever.
+        let mut p = Page::new();
+        p.put_u64(8, 7777).unwrap();
+        disk.write_page(2, &p).unwrap();
+        assert_eq!(disk.read_page(2).unwrap().get_u64(8).unwrap(), 7777);
+        assert_eq!(stats.physical_reads(), 1, "overlay read is free");
+        // Growth past the source stays in the overlay.
+        let id = disk.allocate();
+        assert_eq!(id, 4);
+        assert_eq!(disk.read_page(4).unwrap().get_u64(0).unwrap(), 0);
+        let dump = disk.dump_pages().unwrap();
+        assert_eq!(dump.len(), 5);
+        assert_eq!(dump[2].get_u64(8).unwrap(), 7777);
+        assert_eq!(dump[3].get_u64(8).unwrap(), 1003);
+    }
+
+    #[test]
+    fn sequential_misses_trigger_readahead() {
+        let stats = IoStats::new();
+        let src = FaultSource::new(images(8));
+        let mut disk = DiskManager::from_source(Box::new(src), Arc::clone(&stats), 4);
+        // Page 0 is the first sequential id, so the run [0,4) comes in at once.
+        assert_eq!(disk.read_page(0).unwrap().get_u64(8).unwrap(), 1000);
+        assert_eq!(stats.physical_reads(), 4);
+        for id in 1..4u64 {
+            assert_eq!(disk.read_page(id).unwrap().get_u64(8).unwrap(), 1000 + id);
+        }
+        assert_eq!(stats.physical_reads(), 4, "run served 1..4 from the buffer");
+        assert_eq!(stats.readahead_hits(), 3);
+        // The next sequential miss pulls the next run, clamped to the end.
+        assert_eq!(disk.read_page(4).unwrap().get_u64(8).unwrap(), 1004);
+        assert_eq!(stats.physical_reads(), 8);
+        assert_eq!(stats.reads(), 5, "logical ledger unaffected by readahead");
+    }
+
+    #[test]
+    fn random_misses_do_not_readahead() {
+        let stats = IoStats::new();
+        let src = FaultSource::new(images(8));
+        let mut disk = DiskManager::from_source(Box::new(src), Arc::clone(&stats), 4);
+        disk.read_page(5).unwrap();
+        disk.read_page(2).unwrap();
+        assert_eq!(stats.physical_reads(), 2, "non-sequential = single reads");
+        assert_eq!(stats.readahead_hits(), 0);
+    }
+
+    #[test]
+    fn write_invalidates_readahead_copy() {
+        let stats = IoStats::new();
+        let src = FaultSource::new(images(8));
+        let mut disk = DiskManager::from_source(Box::new(src), Arc::clone(&stats), 4);
+        disk.read_page(0).unwrap(); // buffers [0,4)
+        let mut p = Page::new();
+        p.put_u64(8, 42).unwrap();
+        disk.write_page(1, &p).unwrap();
+        assert_eq!(
+            disk.read_page(1).unwrap().get_u64(8).unwrap(),
+            42,
+            "stale readahead copy must not resurface"
+        );
+    }
+
+    #[test]
+    fn prefetch_warms_without_logical_reads() {
+        let stats = IoStats::new();
+        let src = FaultSource::new(images(8));
+        let mut disk = DiskManager::from_source(Box::new(src), Arc::clone(&stats), 2);
+        disk.prefetch(3);
+        assert_eq!(stats.reads(), 0, "a hint is not a logical read");
+        assert_eq!(stats.physical_reads(), 2);
+        disk.read_page(3).unwrap();
+        assert_eq!(stats.readahead_hits(), 1);
+        assert_eq!(stats.physical_reads(), 2, "demand read was free");
+        // Prefetch with readahead disabled is a no-op.
+        let src = FaultSource::new(images(4));
+        let mut disk = DiskManager::from_source(Box::new(src), IoStats::new(), 0);
+        disk.prefetch(0);
+        assert_eq!(disk.stats().physical_reads(), 0);
+    }
+
+    #[test]
+    fn failed_reads_are_typed_and_counted_and_retryable() {
+        let stats = IoStats::new();
+        let src = FaultSource::new(images(4));
+        let handle: &'static FaultSource = Box::leak(Box::new(src));
+        // Share the leaked source so the test can flip modes mid-flight.
+        #[derive(Debug)]
+        struct Shared(&'static FaultSource);
+        impl PageSource for Shared {
+            fn num_pages(&self) -> usize {
+                self.0.num_pages()
+            }
+            fn read_page(&self, id: PageId) -> Result<Page> {
+                self.0.read_page(id)
+            }
+        }
+        let mut disk = DiskManager::from_source(Box::new(Shared(handle)), Arc::clone(&stats), 0);
+        handle.set_mode(FaultMode::Transient { remaining: 1 });
+        match disk.read_page(1) {
+            Err(Error::Io { kind, .. }) => {
+                assert_eq!(kind, std::io::ErrorKind::WouldBlock)
+            }
+            other => panic!("expected transient Io error, got {other:?}"),
+        }
+        assert_eq!(stats.read_errors(), 1);
+        // Retry succeeds; the disk is not wedged.
+        assert_eq!(disk.read_page(1).unwrap().get_u64(8).unwrap(), 1001);
+        assert_eq!(stats.read_errors(), 1);
+    }
+
+    #[test]
+    fn readahead_run_failure_falls_back_to_single_page() {
+        let stats = IoStats::new();
+        let src = FaultSource::new(images(4));
+        // Corrupt page 2: a run [0,4) fails its CRC, but page 0 itself is
+        // fine and must still be served by the single-page fallback.
+        src.set_mode(FaultMode::FlipByte {
+            page_id: 2,
+            offset: 11,
+        });
+        let mut disk = DiskManager::from_source(Box::new(src), Arc::clone(&stats), 4);
+        assert_eq!(disk.read_page(0).unwrap().get_u64(8).unwrap(), 1000);
+        assert_eq!(stats.physical_reads(), 1);
+        assert_eq!(
+            disk.read_page(2).err(),
+            Some(Error::Corrupt { page_id: 2 }),
+            "the corrupt page itself stays a typed error"
+        );
+        assert_eq!(stats.read_errors(), 1);
+    }
+
+    #[test]
+    fn page_size_constant_matches_images() {
+        assert_eq!(Page::new().as_bytes().len(), PAGE_SIZE);
     }
 }

@@ -1,11 +1,17 @@
 //! Error type for storage operations.
 
 use std::fmt;
+use std::io;
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Errors produced by the storage layer.
+///
+/// The type stays `Clone + PartialEq + Eq` so errors can be asserted on in
+/// tests and retried by callers; I/O failures therefore carry the
+/// [`io::ErrorKind`] plus a rendered detail string rather than the
+/// non-cloneable [`io::Error`] itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// Access to a page id that was never allocated.
@@ -26,6 +32,31 @@ pub enum Error {
     /// typed error keeps one crashed query from silently wedging the pool:
     /// the poisoned frame keeps erroring, everything else keeps serving.
     Poisoned,
+    /// A physical read against a page source failed. Transient kinds (e.g.
+    /// [`io::ErrorKind::WouldBlock`]) may succeed on retry; the failed
+    /// fetch installs no frame, so the pool keeps serving either way.
+    Io {
+        /// The page whose fetch failed.
+        page_id: u64,
+        /// The OS-level failure class.
+        kind: io::ErrorKind,
+        /// Rendered message of the underlying error.
+        detail: String,
+    },
+    /// A demand-read page image failed its CRC32 checksum: the bytes on
+    /// disk do not match what the snapshot recorded for this page.
+    Corrupt {
+        /// The corrupt page.
+        page_id: u64,
+    },
+    /// A source returned fewer bytes than a full page (truncated file or
+    /// a lying test source).
+    ShortRead {
+        /// The page whose image came up short.
+        page_id: u64,
+        /// Bytes actually obtained for that page.
+        got: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -41,6 +72,21 @@ impl fmt::Display for Error {
             Error::ZeroCapacity => write!(f, "buffer pool capacity must be > 0"),
             Error::Poisoned => {
                 write!(f, "a pool lock was poisoned by a panicking thread")
+            }
+            Error::Io {
+                page_id,
+                kind,
+                detail,
+            } => write!(f, "I/O error reading page {page_id} ({kind:?}): {detail}"),
+            Error::Corrupt { page_id } => {
+                write!(f, "page {page_id} failed its checksum (corrupt page image)")
+            }
+            Error::ShortRead { page_id, got } => {
+                write!(
+                    f,
+                    "short read of page {page_id}: got {got} of {} bytes",
+                    crate::PAGE_SIZE
+                )
             }
         }
     }
@@ -65,5 +111,39 @@ mod tests {
         .contains("4090"));
         assert!(!Error::ZeroCapacity.to_string().is_empty());
         assert!(Error::Poisoned.to_string().contains("poisoned"));
+        let io = Error::Io {
+            page_id: 7,
+            kind: io::ErrorKind::WouldBlock,
+            detail: "injected".into(),
+        };
+        assert!(io.to_string().contains("7"));
+        assert!(io.to_string().contains("injected"));
+        assert!(Error::Corrupt { page_id: 3 }
+            .to_string()
+            .contains("checksum"));
+        assert!(Error::ShortRead {
+            page_id: 1,
+            got: 100
+        }
+        .to_string()
+        .contains("100"));
+    }
+
+    #[test]
+    fn io_errors_compare_by_kind_and_detail() {
+        let a = Error::Io {
+            page_id: 1,
+            kind: io::ErrorKind::WouldBlock,
+            detail: "x".into(),
+        };
+        assert_eq!(a.clone(), a);
+        assert_ne!(
+            a,
+            Error::Io {
+                page_id: 1,
+                kind: io::ErrorKind::Other,
+                detail: "x".into(),
+            }
+        );
     }
 }

@@ -5,8 +5,13 @@
 //! pieces needed to reproduce that measurement without a physical disk:
 //!
 //! - [`Page`] — a fixed 4 KiB byte page with typed little-endian accessors.
-//! - [`DiskManager`] — an in-memory "disk" of pages; every read and write
-//!   through it increments shared [`IoStats`] counters.
+//! - [`PageSource`] — where page images physically come from: a resident
+//!   [`MemSource`] at build time, a demand-read [`FileSource`] window into
+//!   a snapshot file (pread + per-page CRC32), or a fault-injecting
+//!   [`FaultSource`] in tests.
+//! - [`DiskManager`] — a "disk" over a page source with a write overlay
+//!   and optional sequential readahead; every read and write through it
+//!   increments shared [`IoStats`] counters (logical and physical ledgers).
 //! - [`BufferPool`] — a sharded, lock-striped cache in front of the disk
 //!   with clock (second-chance) eviction per shard; buffer hits are free,
 //!   misses cost a logical read, dirty evictions cost a write. The pool
@@ -18,15 +23,19 @@
 //! unit the paper plots — and are deterministic across runs.
 
 mod buffer_pool;
+mod crc32;
 mod disk;
 mod error;
 mod page;
+mod source;
 mod stats;
 
 pub use buffer_pool::{
     default_pool_shards, set_default_pool_shards, BufferPool, PoolStats, ShardCounters,
 };
+pub use crc32::{crc32, Crc32};
 pub use disk::DiskManager;
 pub use error::{Error, Result};
 pub use page::{Page, PageId, PAGE_SIZE};
+pub use source::{FaultMode, FaultSource, FileSource, MemSource, PageSource};
 pub use stats::IoStats;

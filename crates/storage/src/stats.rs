@@ -1,10 +1,19 @@
-//! Shared logical-I/O counters.
+//! Shared logical- and physical-I/O counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Logical I/O counters, shared between a disk/buffer pool and the harness
-/// that reports them.
+/// I/O counters, shared between a disk/buffer pool and the harness that
+/// reports them.
+///
+/// Two ledgers live here. The *logical* counters (`reads`, `writes`,
+/// `accesses`) are the paper's buffer-size-independent unit: one read per
+/// pool miss, one access per pool fetch, no matter where the bytes came
+/// from. The *physical* counters (`physical_reads`, `readahead_hits`,
+/// `read_errors`) tick only when a [`crate::PageSource`] actually fetches
+/// an image — zero for a fully resident in-memory disk, nonzero for a
+/// demand-paged snapshot file — so the two can diverge and the gap is the
+/// out-of-core cost.
 ///
 /// Counters are atomics so a harness can hold a clone of the `Arc` while
 /// the index owns the pool; ordering is relaxed — these are statistics, not
@@ -14,6 +23,9 @@ pub struct IoStats {
     reads: AtomicU64,
     writes: AtomicU64,
     accesses: AtomicU64,
+    physical_reads: AtomicU64,
+    readahead_hits: AtomicU64,
+    read_errors: AtomicU64,
 }
 
 impl IoStats {
@@ -39,6 +51,24 @@ impl IoStats {
         self.accesses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` pages physically fetched from a page source (a pread
+    /// against a snapshot file, or an injected test read).
+    pub fn record_physical_reads(&self, n: u64) {
+        self.physical_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one logical read served from the readahead buffer instead of
+    /// a fresh physical fetch.
+    pub fn record_readahead_hit(&self) {
+        self.readahead_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed physical read (I/O error, short read, or a page
+    /// image that failed its checksum).
+    pub fn record_read_error(&self) {
+        self.read_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Logical page reads so far.
     pub fn reads(&self) -> u64 {
         self.reads.load(Ordering::Relaxed)
@@ -54,7 +84,22 @@ impl IoStats {
         self.accesses.load(Ordering::Relaxed)
     }
 
-    /// Reads + writes.
+    /// Pages physically fetched from the page source so far.
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Logical reads served from the readahead buffer so far.
+    pub fn readahead_hits(&self) -> u64 {
+        self.readahead_hits.load(Ordering::Relaxed)
+    }
+
+    /// Failed physical reads so far.
+    pub fn read_errors(&self) -> u64 {
+        self.read_errors.load(Ordering::Relaxed)
+    }
+
+    /// Reads + writes (logical).
     pub fn total(&self) -> u64 {
         self.reads() + self.writes()
     }
@@ -64,6 +109,9 @@ impl IoStats {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
         self.accesses.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.readahead_hits.store(0, Ordering::Relaxed);
+        self.read_errors.store(0, Ordering::Relaxed);
     }
 }
 
@@ -78,13 +126,22 @@ mod tests {
         s.record_read();
         s.record_write();
         s.record_access();
+        s.record_physical_reads(3);
+        s.record_readahead_hit();
+        s.record_read_error();
         assert_eq!(s.reads(), 2);
         assert_eq!(s.writes(), 1);
         assert_eq!(s.accesses(), 1);
+        assert_eq!(s.physical_reads(), 3);
+        assert_eq!(s.readahead_hits(), 1);
+        assert_eq!(s.read_errors(), 1);
         assert_eq!(s.total(), 3);
         s.reset();
         assert_eq!(s.total(), 0);
         assert_eq!(s.accesses(), 0);
+        assert_eq!(s.physical_reads(), 0);
+        assert_eq!(s.readahead_hits(), 0);
+        assert_eq!(s.read_errors(), 0);
     }
 
     #[test]
@@ -93,5 +150,14 @@ mod tests {
         let s2 = Arc::clone(&s);
         s2.record_read();
         assert_eq!(s.reads(), 1);
+    }
+
+    #[test]
+    fn logical_and_physical_ledgers_are_independent() {
+        let s = IoStats::new();
+        s.record_read();
+        assert_eq!(s.physical_reads(), 0, "logical read ticks no physical");
+        s.record_physical_reads(1);
+        assert_eq!(s.reads(), 1, "physical read ticks no logical");
     }
 }

@@ -1,0 +1,274 @@
+//! Out-of-core correctness gate: every backend, reopened demand-paged from
+//! a snapshot with a *tiny* buffer pool (4/8/16 frames), must answer KNN
+//! and range queries bit-identically to a fully-resident open — serially
+//! and under 8 query threads — while the pool's clock eviction actually
+//! cycles (nonzero misses AND evictions) and pages are physically fetched
+//! from the file only on demand. Damaged page images surface as typed
+//! errors at fault time, and the pool keeps serving after a failed fetch.
+
+use mmdr_core::{Mmdr, MmdrParams, ParConfig, ReductionResult};
+use mmdr_idistance::Backend;
+use mmdr_linalg::Matrix;
+use mmdr_persist::{build_index, open_resident, open_with, save, OpenOptions, Opened};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Unique snapshot path per call, removed by [`TempFile::drop`].
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "mmdr-oocore-test-{}-{tag}-{seq}.snapshot",
+            std::process::id()
+        ));
+        TempFile(path)
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Big enough that every backend's page groups — including each per-cluster
+/// tree of the gLDR forest — exceed the largest pool capacity under test
+/// (16 frames), so eviction must cycle: two elongated clusters plus
+/// off-plane outliers, ~12300 points.
+fn dataset() -> Matrix {
+    let n_per_cluster = 6000usize;
+    let mut rows = Vec::new();
+    let jit = |i: usize, s: f64| ((i as f64 * 0.618_033_988 + s).fract() - 0.5) * 0.02;
+    for i in 0..n_per_cluster {
+        let t = i as f64 / n_per_cluster as f64;
+        rows.push(vec![t, 0.3 * t, jit(i, 0.5), jit(i, 0.7)]);
+        rows.push(vec![
+            5.0 + jit(i, 0.1),
+            5.0 + jit(i, 0.9),
+            5.0 + t,
+            5.0 - 0.5 * t,
+        ]);
+        if i % 17 == 0 {
+            rows.push(vec![-3.0 - t, 8.0 + t, -5.0, 9.0 - t]);
+        }
+    }
+    Matrix::from_rows(&rows).unwrap()
+}
+
+fn fit(data: &Matrix) -> ReductionResult {
+    Mmdr::new(MmdrParams {
+        max_ec: 4,
+        ..Default::default()
+    })
+    .fit(data)
+    .unwrap()
+}
+
+/// Bit-level equality of two answer lists: same ids AND the same distance
+/// bit patterns, not merely approximately equal.
+fn assert_answers_identical(fresh: &[(f64, u64)], reopened: &[(f64, u64)], what: &str) {
+    assert_eq!(fresh.len(), reopened.len(), "{what}: answer lengths differ");
+    for (i, (a, b)) in fresh.iter().zip(reopened).enumerate() {
+        assert_eq!(a.1, b.1, "{what}: id differs at rank {i}");
+        assert_eq!(
+            a.0.to_bits(),
+            b.0.to_bits(),
+            "{what}: distance not bit-identical at rank {i} ({} vs {})",
+            a.0,
+            b.0
+        );
+    }
+}
+
+fn lazy_opts(pool_pages: usize) -> OpenOptions {
+    OpenOptions {
+        pool_pages: Some(pool_pages),
+        readahead: 4,
+        resident: false,
+    }
+}
+
+/// True when `needle` appears anywhere in the error's source chain.
+fn chain_contains(err: &dyn std::error::Error, needle: &str) -> bool {
+    let mut cur: Option<&dyn std::error::Error> = Some(err);
+    while let Some(e) = cur {
+        if e.to_string().contains(needle) {
+            return true;
+        }
+        cur = e.source();
+    }
+    false
+}
+
+#[test]
+fn tiny_pool_demand_paged_answers_are_bit_identical() {
+    let data = dataset();
+    let model = fit(&data);
+    let step = (data.rows() / 9).max(1);
+    let queries: Vec<Vec<f64>> = (0..9).map(|i| data.row(i * step).to_vec()).collect();
+    let k = 6;
+    let radius = 0.8;
+
+    for backend in Backend::all() {
+        let file = TempFile::new(backend.name());
+        let built = build_index(backend, &data, &model, 64).unwrap();
+        save(&file.0, &built, &model).unwrap();
+        drop(built); // reference answers come from the resident *reopen*
+
+        let resident = open_resident(&file.0).unwrap();
+        let ref_knn: Vec<Vec<(f64, u64)>> = queries
+            .iter()
+            .map(|q| resident.index.as_dyn().knn(q, k).unwrap())
+            .collect();
+        let ref_range: Vec<Vec<(f64, u64)>> = queries
+            .iter()
+            .map(|q| resident.index.as_dyn().range_search(q, radius).unwrap())
+            .collect();
+        // The resident open never touches its source after restore.
+        assert_eq!(
+            resident.index.as_dyn().io_stats().physical_reads(),
+            0,
+            "{}: resident open must not fetch pages",
+            backend.name()
+        );
+
+        for pool_pages in [4usize, 8, 16] {
+            let what = format!("{} pool={pool_pages}", backend.name());
+            let opened: Opened = open_with(&file.0, &lazy_opts(pool_pages)).unwrap();
+            let idx = opened.index.as_dyn();
+            let io = idx.io_stats();
+            // A demand-paged open is ~O(superblock): no page payloads are
+            // decoded or fetched until a query asks for them.
+            assert_eq!(
+                io.physical_reads(),
+                0,
+                "{what}: open must not fetch any pages"
+            );
+
+            // Serial parity, KNN and range.
+            for (qi, q) in queries.iter().enumerate() {
+                assert_answers_identical(
+                    &ref_knn[qi],
+                    &idx.knn(q, k).unwrap(),
+                    &format!("{what} knn query {qi}"),
+                );
+                assert_answers_identical(
+                    &ref_range[qi],
+                    &idx.range_search(q, radius).unwrap(),
+                    &format!("{what} range query {qi}"),
+                );
+            }
+            assert!(
+                io.physical_reads() > 0,
+                "{what}: queries over a cold out-of-core index must fetch pages"
+            );
+
+            // 8-thread parity: batch KNN through the trait's parallel
+            // path, plus raw threads hammering range_search concurrently.
+            let batch = idx.batch_knn(&queries, k, &ParConfig::threads(8)).unwrap();
+            for (qi, hits) in batch.iter().enumerate() {
+                assert_answers_identical(
+                    &ref_knn[qi],
+                    hits,
+                    &format!("{what} batch knn query {qi} at 8 threads"),
+                );
+            }
+            std::thread::scope(|s| {
+                for t in 0..8usize {
+                    let queries = &queries;
+                    let ref_range = &ref_range;
+                    let what = &what;
+                    s.spawn(move || {
+                        let qi = t % queries.len();
+                        let hits = idx.range_search(&queries[qi], radius).unwrap();
+                        assert_answers_identical(
+                            &ref_range[qi],
+                            &hits,
+                            &format!("{what} concurrent range query {qi} (thread {t})"),
+                        );
+                    });
+                }
+            });
+
+            // The tiny pool must actually be paging: cold fetches are
+            // misses, and a working set larger than the pool evicts.
+            let (mut misses, mut evictions) = (0u64, 0u64);
+            for pool in idx.pool_stats() {
+                for shard in &pool.per_shard {
+                    misses += shard.misses;
+                    evictions += shard.evictions;
+                }
+            }
+            assert!(misses > 0, "{what}: expected buffer-pool misses");
+            assert!(
+                evictions > 0,
+                "{what}: expected clock evictions (working set exceeds the pool)"
+            );
+        }
+    }
+}
+
+#[test]
+fn damaged_page_is_a_typed_error_and_pool_recovers() {
+    let data = dataset();
+    let model = fit(&data);
+    let file = TempFile::new("fault");
+    let built = build_index(Backend::IDistance, &data, &model, 64).unwrap();
+    save(&file.0, &built, &model).unwrap();
+    drop(built);
+    let clean = std::fs::read(&file.0).unwrap();
+
+    let resident = open_resident(&file.0).unwrap();
+    let q = data.row(5);
+    let reference = resident.index.as_dyn().range_search(q, 1e9).unwrap();
+
+    // Corrupt a byte deep in the PAGES section (the file tail), then open
+    // demand-paged: the open succeeds — it never reads that section — and
+    // the full-range scan that eventually faults the damaged page in gets
+    // a typed checksum error, not a panic and not a wrong answer.
+    let mut broken = clean.clone();
+    let pos = broken.len() - 10;
+    broken[pos] ^= 0x01;
+    std::fs::write(&file.0, &broken).unwrap();
+
+    let opened = open_with(&file.0, &lazy_opts(4)).unwrap();
+    let idx = opened.index.as_dyn();
+    let err = idx.range_search(q, 1e9).unwrap_err();
+    assert!(
+        chain_contains(&err, "checksum"),
+        "expected a checksum error from the faulting scan, got: {err}"
+    );
+    assert!(
+        idx.io_stats().read_errors() > 0,
+        "failed fetches must tick the read-error counter"
+    );
+
+    // Heal the file in place (same inode — the opened index preads through
+    // its original descriptor) and retry on the SAME index: the failed
+    // fetch must not have wedged the pool or cached poisoned bytes.
+    std::fs::write(&file.0, &clean).unwrap();
+    let healed = idx.range_search(q, 1e9).unwrap();
+    assert_answers_identical(&reference, &healed, "post-recovery full-range scan");
+
+    // A file truncated *after* the open (the whole-file length check at
+    // open time catches earlier truncation) short-reads at fault time —
+    // equally fail-closed, equally recoverable.
+    let opened = open_with(&file.0, &lazy_opts(4)).unwrap();
+    let idx = opened.index.as_dyn();
+    let handle = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&file.0)
+        .unwrap();
+    handle.set_len(clean.len() as u64 - 100).unwrap();
+    drop(handle);
+    assert!(
+        idx.range_search(q, 1e9).is_err(),
+        "a scan over a truncated page payload must error"
+    );
+    std::fs::write(&file.0, &clean).unwrap();
+    let healed = idx.range_search(q, 1e9).unwrap();
+    assert_answers_identical(&reference, &healed, "post-truncation full-range scan");
+}

@@ -7,7 +7,9 @@
 use mmdr_core::{Mmdr, MmdrParams, ReductionResult};
 use mmdr_idistance::Backend;
 use mmdr_linalg::Matrix;
-use mmdr_persist::{build_index, open, open_expecting, open_or_build, save, PersistError};
+use mmdr_persist::{
+    build_index, open, open_expecting, open_or_build, open_resident, save, scrub, PersistError,
+};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -209,10 +211,27 @@ fn snapshot_bytes() -> Vec<u8> {
     std::fs::read(&file.0).unwrap()
 }
 
-fn open_image(bytes: &[u8], tag: &str) -> Result<mmdr_persist::Opened, PersistError> {
+fn write_image(bytes: &[u8], tag: &str) -> TempFile {
     let file = TempFile::new(tag);
     std::fs::write(&file.0, bytes).unwrap();
+    file
+}
+
+fn open_image(bytes: &[u8], tag: &str) -> Result<mmdr_persist::Opened, PersistError> {
+    let file = write_image(bytes, tag);
     open(&file.0)
+}
+
+/// True when `needle` appears anywhere in the error's source chain.
+fn chain_contains(err: &dyn std::error::Error, needle: &str) -> bool {
+    let mut cur: Option<&dyn std::error::Error> = Some(err);
+    while let Some(e) = cur {
+        if e.to_string().contains(needle) {
+            return true;
+        }
+        cur = e.source();
+    }
+    false
 }
 
 #[test]
@@ -245,23 +264,52 @@ fn truncated_snapshot_fails_closed() {
 #[test]
 fn flipped_bytes_fail_closed() {
     let image = snapshot_bytes();
+    let data = dataset(50, 0.5);
+    let q = data.row(3);
+    // Reference answers from the clean image, for the fail-closed sweep:
+    // a huge-radius range search walks every tree level and heap page, so
+    // it faults in every page the index can ever touch.
+    let clean_hits = {
+        let file = write_image(&image, "flip-clean");
+        let opened = open(&file.0).unwrap();
+        opened.index.as_dyn().range_search(q, 1e9).unwrap()
+    };
     // Flip one bit at a spread of positions covering every region of the
     // file; each must produce a typed error (or, for the version field,
     // UnsupportedVersion — never a success, never a panic).
     for pos in (0..image.len()).step_by(image.len() / 41 + 1) {
         let mut broken = image.clone();
         broken[pos] ^= 0x10;
+        let file = write_image(&broken, "flip");
+        // The deep verifier catches a flip anywhere in the file.
         assert!(
-            open_image(&broken, "flip").is_err(),
-            "flipping byte {pos} of {} went unnoticed",
+            scrub(&file.0).is_err(),
+            "scrub missed a flipped byte {pos} of {}",
             image.len()
         );
+        // The demand-read open fails closed too: either the open itself
+        // errors (header, table, model, metadata, page directory), or the
+        // query that faults the damaged page in does — never a silently
+        // different answer.
+        match open(&file.0) {
+            Err(_) => {}
+            Ok(opened) => match opened.index.as_dyn().range_search(q, 1e9) {
+                Err(_) => {}
+                Ok(hits) => assert_answers_identical(
+                    &clean_hits,
+                    &hits,
+                    &format!("flip at byte {pos} silently changed answers"),
+                ),
+            },
+        }
     }
-    // A payload flip specifically reports which section's checksum broke.
+    // A payload flip specifically reports which section's checksum broke
+    // when the file is verified in full.
     let mut broken = image.clone();
     let last = broken.len() - 10;
     broken[last] ^= 0x01;
-    match open_image(&broken, "flip-pages") {
+    let file = write_image(&broken, "flip-pages");
+    match open_resident(&file.0) {
         Err(PersistError::Checksum {
             region,
             stored,
@@ -272,6 +320,15 @@ fn flipped_bytes_fail_closed() {
         }
         other => panic!("expected a pages checksum failure, got {other:?}"),
     }
+    // The lazy open defers that discovery to first touch: the open (which
+    // never reads the PAGES section) succeeds, and the query that faults
+    // the damaged page in reports its checksum failure.
+    let opened = open(&file.0).unwrap();
+    let err = opened.index.as_dyn().range_search(q, 1e9).unwrap_err();
+    assert!(
+        chain_contains(&err, "checksum"),
+        "expected a checksum failure from the faulting query, got {err}"
+    );
 }
 
 #[test]

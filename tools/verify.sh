@@ -44,6 +44,26 @@ if grep -rn "Mutex<PoolInner>" crates/storage/src; then
     exit 1
 fi
 
+echo "== out-of-core gate =="
+# Demand-paged reopen: every backend, tiny pools, bit-identical answers,
+# live eviction, typed errors on damaged pages — plus the storage-layer
+# proptest/fault harness behind the pool.
+cargo test "${PROFILE[@]}" --test out_of_core
+cargo test "${PROFILE[@]}" -p mmdr-storage --test out_of_core_pool
+# Structural invariant: a file-backed open must stay ~O(superblock).
+# eager_page_groups is the only full-PAGES-section decoder; it must still
+# exist under that name (otherwise this gate is vacuous — update it), and
+# open_lazy must not reach it.
+if ! grep -q "fn eager_page_groups" crates/persist/src/snapshot.rs; then
+    echo "verify: FAIL — eager_page_groups is gone; update the out-of-core gate" >&2
+    exit 1
+fi
+if awk '/^fn open_lazy/,/^}/' crates/persist/src/snapshot.rs \
+        | grep -n "eager_page_groups"; then
+    echo "verify: FAIL — open_lazy decodes the full PAGES section eagerly" >&2
+    exit 1
+fi
+
 echo "== serve smoke gate =="
 # End-to-end over a real socket: start `mmdr serve` on an ephemeral port,
 # check remote answers are byte-identical (ids and f64 bit patterns) to
