@@ -1,0 +1,294 @@
+//! Sustained ingest-while-querying benchmark for the epoch-versioned
+//! serving path (the online counterpart of `--bin ext_insert`).
+//!
+//! Builds a snapshot, serves it through an [`IngestEngine`] behind the TCP
+//! server, and drives it in three phases:
+//!
+//! 1. **before** — M closed-loop KNN clients against the quiescent index;
+//! 2. **during** — the same query load while N writer threads insert new
+//!    rows over the wire, sized so background merges (and the epoch swaps
+//!    that publish them) land mid-stream;
+//! 3. **after** — an explicit flush folds the remaining delta, then the
+//!    query load runs once more against the merged snapshot.
+//!
+//! Per phase it reports insert throughput, query p50/p99, and how many
+//! epoch swaps the phase observed — the claim under test being that a
+//! background merge swaps epochs without stalling readers, so the "during"
+//! p99 stays within small factors of the quiescent one.
+
+use mmdr::index::LiveIndex;
+use mmdr::serve::{Client, ServeError, Server, ServerConfig};
+use mmdr_bench::{workloads, Args, Report};
+use mmdr_core::{Mmdr, MmdrParams};
+use mmdr_datagen::sample_queries;
+use mmdr_idistance::Backend;
+use mmdr_persist::{IngestEngine, IngestOptions};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[rank] as f64 / 1e6
+}
+
+/// One phase of closed-loop query load, optionally alongside writers.
+struct PhaseResult {
+    query_ns: Vec<u64>,
+    inserts: u64,
+    wall_seconds: f64,
+}
+
+/// Runs `query_clients` closed-loop KNN clients until either every client
+/// has issued `per_client` queries (no writers) or the writers finish
+/// (`insert_rows` non-empty). Writers insert rows round-robin and stop
+/// when their slice is exhausted.
+fn run_phase(
+    addr: std::net::SocketAddr,
+    query_clients: usize,
+    per_client: usize,
+    queries: &[Vec<f64>],
+    k: usize,
+    writers: usize,
+    insert_rows: &[Vec<f64>],
+) -> PhaseResult {
+    let start = Instant::now();
+    let writers_done = AtomicBool::new(false);
+    let inserted = AtomicU64::new(0);
+    let query_ns = std::thread::scope(|s| {
+        let writers_done = &writers_done;
+        let inserted = &inserted;
+        let mut write_handles = Vec::new();
+        for w in 0..writers {
+            let rows: Vec<&Vec<f64>> = insert_rows.iter().skip(w).step_by(writers.max(1)).collect();
+            write_handles.push(s.spawn(move || {
+                let mut client = Client::connect(addr).expect("writer connect");
+                for row in rows {
+                    match client.insert(row) {
+                        Ok(_) => {
+                            inserted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::Overloaded) => {
+                            // Closed-loop writer backs off and retries once;
+                            // a second rejection drops the row (throughput
+                            // reflects admission control, parity does not
+                            // depend on any particular row landing).
+                            std::thread::yield_now();
+                            if client.insert(row).is_ok() {
+                                inserted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => panic!("writer {w}: {e}"),
+                    }
+                }
+            }));
+        }
+        let query_handles: Vec<_> = (0..query_clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("query connect");
+                    let mut lat = Vec::with_capacity(per_client);
+                    let mut i = 0usize;
+                    // With writers: run until they finish. Without: a fixed
+                    // budget per client.
+                    loop {
+                        if writers > 0 {
+                            if writers_done.load(Ordering::Acquire) {
+                                break;
+                            }
+                        } else if i >= per_client {
+                            break;
+                        }
+                        let q = &queries[(c * 31 + i) % queries.len()];
+                        let t0 = Instant::now();
+                        match client.knn(q, k) {
+                            Ok(hits) => {
+                                lat.push(t0.elapsed().as_nanos() as u64);
+                                assert!(hits.len() <= k);
+                            }
+                            Err(ServeError::Overloaded) => {}
+                            Err(e) => panic!("query client {c}: {e}"),
+                        }
+                        i += 1;
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in write_handles {
+            h.join().unwrap();
+        }
+        writers_done.store(true, Ordering::Release);
+        let mut all = Vec::new();
+        for h in query_handles {
+            all.extend(h.join().unwrap());
+        }
+        all
+    });
+    let mut query_ns = query_ns;
+    query_ns.sort_unstable();
+    PhaseResult {
+        query_ns,
+        inserts: inserted.load(Ordering::Relaxed),
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.n.unwrap_or_else(|| args.pick(2_000, 10_000, 50_000));
+    let n_queries = args.queries.unwrap_or_else(|| args.pick(64, 256, 1_024));
+    let per_client = args.pick(100, 400, 2_000);
+    let inserts = args.pick(400, 2_000, 10_000);
+    let k = args.k.unwrap_or(10);
+    let dim = 32;
+    let writers = 2;
+    let query_clients = 4;
+
+    let data = workloads::synthetic(n, dim, 5, 30.0, args.seed).data;
+    let model = Mmdr::new(MmdrParams {
+        max_ec: 5,
+        ..Default::default()
+    })
+    .fit(&data)
+    .expect("fit");
+    let qs = sample_queries(&data, n_queries, args.seed ^ 0x1157).expect("queries");
+    let queries: Vec<Vec<f64>> = qs.iter_rows().map(|r| r.to_vec()).collect();
+    // Rows the writers stream in: a second draw from the same generator,
+    // so inserts route through existing subspaces and outliers alike.
+    let extra = workloads::synthetic(inserts, dim, 5, 30.0, args.seed ^ 0xA11CE).data;
+    let insert_rows: Vec<Vec<f64>> = extra.iter_rows().map(|r| r.to_vec()).collect();
+
+    let dir = std::env::temp_dir().join(format!("mmdr-ingest-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snapshot = dir.join("ingest.mmdr");
+    // A threshold of a quarter of the insert stream guarantees several
+    // background merges land while writers are still running.
+    let engine = IngestEngine::create(
+        &snapshot,
+        Backend::IDistance,
+        &data,
+        &model,
+        256,
+        IngestOptions {
+            pool_pages: None,
+            merge_threshold: (inserts / 4).max(64),
+        },
+    )
+    .expect("create engine");
+
+    let config = ServerConfig {
+        workers: 4,
+        queue_depth: 256,
+        coalesce: 32,
+        batch_threads: 1,
+        ..ServerConfig::default()
+    };
+    let live: Arc<dyn LiveIndex> = Arc::new(engine.clone());
+    let handle = Server::start(live, ("127.0.0.1", 0), config).expect("start server");
+    let addr = handle.local_addr();
+    let mut stats_client = Client::connect(addr).expect("stats client");
+
+    let mut report = Report::new(
+        "BENCH_ingest",
+        "Sustained ingest: query latency before/during/after background merges",
+        "phase",
+        &[
+            "insert_qps",
+            "query_p50_ms",
+            "query_p99_ms",
+            "queries_answered",
+            "epoch_swaps",
+            "merges",
+        ],
+        format!(
+            "n={n} dim={dim} inserts={inserts} writers={writers} query_clients={query_clients} \
+             queries={n_queries} per_client={per_client} k={k} merge_threshold={} seed={}",
+            (inserts / 4).max(64),
+            args.seed
+        ),
+    );
+
+    let phases: [(&str, usize, &[Vec<f64>]); 3] = [
+        ("before", 0, &[]),
+        ("during", writers, &insert_rows),
+        ("after", 0, &[]),
+    ];
+    let mut epoch_before = stats_client.stats().expect("stats").ingest;
+    let mut quiescent_p99 = 0.0;
+    for (pi, (name, n_writers, rows)) in phases.iter().enumerate() {
+        if *name == "after" {
+            // Fold the remaining delta so the closing phase measures the
+            // merged snapshot, not the delta-overlaid one.
+            let epoch = stats_client.flush().expect("flush");
+            engine.quiesce();
+            eprintln!("flushed to epoch {epoch}");
+        }
+        let res = run_phase(
+            addr,
+            query_clients,
+            per_client,
+            &queries,
+            k,
+            *n_writers,
+            rows,
+        );
+        let ing = stats_client.stats().expect("stats").ingest;
+        let swaps = ing.epoch - epoch_before.epoch;
+        let merges = ing.merges - epoch_before.merges;
+        epoch_before = ing;
+        let p50 = percentile(&res.query_ns, 0.50);
+        let p99 = percentile(&res.query_ns, 0.99);
+        if *name == "before" {
+            quiescent_p99 = p99;
+        }
+        eprintln!(
+            "phase {name}: {} inserts in {:.2}s, {} queries, p50 {:.3} ms, p99 {:.3} ms, \
+             {} epoch swaps, {} merges (delta rows now {}, WAL {} B)",
+            res.inserts,
+            res.wall_seconds,
+            res.query_ns.len(),
+            p50,
+            p99,
+            swaps,
+            merges,
+            ing.delta_rows,
+            ing.wal_bytes
+        );
+        report.push(
+            pi as f64,
+            vec![
+                res.inserts as f64 / res.wall_seconds,
+                p50,
+                p99,
+                res.query_ns.len() as f64,
+                swaps as f64,
+                merges as f64,
+            ],
+        );
+        if *name == "during" {
+            if swaps == 0 {
+                eprintln!("warning: no epoch swap landed mid-stream; raise inserts or lower merge_threshold");
+            }
+            if quiescent_p99 > 0.0 && p99 > 2.0 * quiescent_p99 {
+                eprintln!(
+                    "warning: p99 during merge ({p99:.3} ms) exceeded 2x quiescent ({quiescent_p99:.3} ms)"
+                );
+            }
+        }
+    }
+
+    let final_stats = handle.shutdown();
+    report.emit();
+    eprintln!(
+        "server totals: {} requests ({} inserts, {} deletes), {} overloaded",
+        final_stats.requests,
+        final_stats.insert_requests,
+        final_stats.delete_requests,
+        final_stats.overloaded
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -71,7 +71,8 @@ fn main() {
             "batch_knn_qps",
         ],
         format!(
-            "n={n} dim={dim} queries={queries} k={k} seed={} shards={}",
+            "n={n} dim={dim} queries={queries} k={k} seed={} shards={}; \
+             rows with threads=-1 are a demand-paged reopen (readahead=8)",
             args.seed,
             match mmdr_storage::default_pool_shards() {
                 0 => "auto".to_string(),
@@ -163,6 +164,81 @@ fn main() {
             knn_base / knn_secs
         );
     }
+    // Demand-paged counterpart: the resident rows above keep
+    // physical_reads and readahead_hits pinned at zero, so reopen the same
+    // index from a snapshot with a small pool and a readahead window and
+    // run the query mix against it. The sibling-order hints in the tree
+    // walks must turn a share of the page misses into readahead hits —
+    // asserted here so the BENCH_pool column demonstrably rises.
+    {
+        let model = serial_model.as_ref().expect("serial model");
+        let snap =
+            std::env::temp_dir().join(format!("mmdr-par-scaling-{}.mmdr", std::process::id()));
+        let built =
+            mmdr::persist::build_index(mmdr_idistance::Backend::IDistance, &data, model, 256)
+                .expect("build for snapshot");
+        mmdr::persist::save(&snap, &built, model).expect("save snapshot");
+        drop(built);
+        let opened = mmdr::persist::open_with(
+            &snap,
+            &mmdr::persist::OpenOptions {
+                pool_pages: Some(64),
+                readahead: 8,
+                resident: false,
+            },
+        )
+        .expect("demand-paged open");
+        let idx = opened.index.as_dyn();
+        let io = idx.io_stats();
+        let pools_before: Vec<_> = idx.pool_stats();
+        let t2 = Instant::now();
+        let answers = idx
+            .batch_knn(&query_rows, k, &ParConfig::threads(1))
+            .expect("demand-paged batch knn");
+        for q in query_rows.iter().take(16) {
+            let _ = idx.range_search(q, 0.5).expect("demand-paged range");
+        }
+        let knn_secs = t2.elapsed().as_secs_f64();
+        assert_eq!(
+            answers,
+            *serial_answers.as_ref().expect("serial answers"),
+            "demand-paged answers diverged from resident"
+        );
+        let (phys, ra) = (io.physical_reads() as f64, io.readahead_hits() as f64);
+        assert!(
+            ra > 0.0,
+            "demand-paged query mix produced no readahead hits"
+        );
+        let pools_after: Vec<_> = idx.pool_stats();
+        let mut acc = PoolStats {
+            per_shard: Vec::new(),
+        };
+        for (before, after) in pools_before.iter().zip(&pools_after) {
+            acc = PoolStats {
+                per_shard: merge_pools(&acc, &after.since(before)),
+            };
+        }
+        let qps = queries as f64 / knn_secs;
+        for (shard, c) in acc.per_shard.iter().enumerate() {
+            pool_report.push(
+                -1.0,
+                vec![
+                    shard as f64,
+                    c.hits as f64,
+                    c.misses as f64,
+                    c.evictions as f64,
+                    phys,
+                    ra,
+                    qps,
+                ],
+            );
+        }
+        eprintln!(
+            "demand-paged reopen: batch knn {knn_secs:.3}s, {phys} physical reads, {ra} readahead hits"
+        );
+        let _ = std::fs::remove_file(&snap);
+    }
+
     report.emit();
     pool_report.emit();
 }

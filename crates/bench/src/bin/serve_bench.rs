@@ -126,7 +126,8 @@ fn main() {
         batch_threads: 1,
         ..ServerConfig::default()
     };
-    let handle = Server::start(Arc::clone(&index), ("127.0.0.1", 0), config).expect("start server");
+    let handle =
+        Server::start_static(Arc::clone(&index), ("127.0.0.1", 0), config).expect("start server");
     let addr = handle.local_addr();
 
     let mut report = Report::new(
@@ -151,9 +152,17 @@ fn main() {
     );
 
     let mut before = handle.stats();
+    let mut stats_client = Client::connect(addr).expect("stats client");
     for &clients in client_counts {
         let sweep = run_clients(addr, clients, per_client, &queries, k, &index);
         let after = handle.stats();
+        let remote = stats_client.stats().expect("remote stats");
+        let ing = remote.ingest;
+        eprintln!(
+            "interval clients={clients}: ingest epoch {}, {} delta rows, {} tombstones, \
+             {} WAL bytes, {} merges",
+            ing.epoch, ing.delta_rows, ing.tombstones, ing.wal_bytes, ing.merges
+        );
         let batches = after.coalesced_batches - before.coalesced_batches;
         let folded = after.coalesced_queries - before.coalesced_queries;
         let answered = sweep.latencies_ns.len() as f64;

@@ -52,7 +52,9 @@ fn main() -> ExitCode {
         "build-index" => cmd_build_index(rest),
         "query" => cmd_query(rest),
         "serve" => cmd_serve(rest),
+        "ingest" => cmd_ingest(rest),
         "remote-query" => cmd_remote_query(rest),
+        "remote-insert" => cmd_remote_insert(rest),
         "help" | "--help" | "-h" => {
             outln!("{USAGE}");
             Ok(())
@@ -78,9 +80,11 @@ USAGE:
   mmdr build-index --data FILE --model FILE --out FILE [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N] [--pool-shards P]
   mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--backend seqscan|idistance|hybrid|gldr] [--pool-shards P] [--hex true]
   mmdr query    --index-file FILE (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--pool-shards P] [--pool-pages N] [--readahead N] [--hex true]
-  mmdr serve    --index-file FILE [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--batch-threads N] [--pool-shards P] [--pool-pages N] [--readahead N]
+  mmdr serve    --index-file FILE [--wal true] [--merge-threshold N] [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--batch-threads N] [--pool-shards P] [--pool-pages N] [--readahead N]
+  mmdr ingest   --index-file FILE (--data FILE | --point \"x,y,…\") [--delete I[,J,…]] [--flush true] [--merge-threshold N] [--pool-pages N]
   mmdr remote-query --addr HOST:PORT (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--hex true]
   mmdr remote-query --addr HOST:PORT --op ping|stats|shutdown
+  mmdr remote-insert --addr HOST:PORT (--data FILE | --point \"x,y,…\") [--delete I[,J,…]] [--flush true]
 
 Results are independent of --threads: clustering, PCA and batch queries use
 fixed-size work chunks merged in a fixed order, so any thread count produces
@@ -104,7 +108,16 @@ worker pool answers KNN/range/batch queries with typed OVERLOADED
 rejections under load, and SIGINT/SIGTERM (or a remote-query --op
 shutdown) drains in-flight requests before exiting. remote-query answers
 are bit-identical to local query answers against the same snapshot —
---hex prints raw distance bit patterns to make that checkable with diff.";
+--hex prints raw distance bit patterns to make that checkable with diff.
+
+serve --wal opens the snapshot writable: INSERT/DELETE/FLUSH opcodes are
+accepted, every write is WAL-logged (fsync'd) before it is acknowledged,
+and a background merge folds the delta into a fresh snapshot — swapping
+the serving epoch atomically — once delta pressure crosses
+--merge-threshold (0 = merge only on FLUSH). ingest applies writes to a
+snapshot locally through the same engine; remote-insert sends them to a
+running serve --wal over the wire. A merged index answers bit-identically
+to one built from scratch over the surviving rows.";
 
 /// Parses `--flag value` pairs into a map, rejecting unknown flags.
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
@@ -575,6 +588,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use mmdr_index::LiveIndex as _;
     use mmdr_serve::{Server, ServerConfig};
     let flags = parse_flags(
         args,
@@ -590,12 +604,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "pool-shards",
             "pool-pages",
             "readahead",
+            "wal",
+            "merge-threshold",
         ],
     )?;
     apply_pool_shards(&flags)?;
     let index_file = require(&flags, "index-file")?;
     let host = flags.get("host").map(String::as_str).unwrap_or("127.0.0.1");
     let port = get_parse(&flags, "port", 0u16)?;
+    let wal = get_bool(&flags, "wal")?;
     let defaults = ServerConfig::default();
     let config = ServerConfig {
         workers: get_parse(&flags, "workers", defaults.workers)?,
@@ -605,19 +622,38 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         batch_threads: get_parse(&flags, "batch-threads", defaults.batch_threads)?,
         ..defaults
     };
-    let opened =
-        mmdr_persist::open_with(index_file, &open_options(&flags)?).map_err(|e| e.to_string())?;
-    let index: std::sync::Arc<dyn mmdr_index::VectorIndex> =
-        std::sync::Arc::from(opened.index.into_boxed());
-    index.reset_stats();
-    outln!(
-        "serving {} ({} points × {} dims) from {index_file}",
-        index.name(),
-        index.len(),
-        index.dim()
-    );
+    let live: std::sync::Arc<dyn mmdr_index::LiveIndex> = if wal {
+        if flags.contains_key("readahead") {
+            return Err("--readahead applies to read-only serving; drop it with --wal".into());
+        }
+        let engine = open_engine(&flags, index_file)?;
+        let pin = engine.pin();
+        pin.index.reset_stats();
+        outln!(
+            "serving {} ({} points × {} dims) from {index_file} [writable, WAL at {}]",
+            pin.index.name(),
+            pin.index.len(),
+            pin.index.dim(),
+            mmdr_persist::wal_path(std::path::Path::new(index_file)).display()
+        );
+        std::sync::Arc::new(engine)
+    } else {
+        let opened = mmdr_persist::open_with(index_file, &open_options(&flags)?)
+            .map_err(|e| e.to_string())?;
+        let index: std::sync::Arc<dyn mmdr_index::VectorIndex> =
+            std::sync::Arc::from(opened.index.into_boxed());
+        index.reset_stats();
+        outln!(
+            "serving {} ({} points × {} dims) from {index_file}",
+            index.name(),
+            index.len(),
+            index.dim()
+        );
+        std::sync::Arc::new(mmdr_index::ReadOnlyLive::new(index))
+    };
     let workers = config.workers;
-    let handle = Server::start(index, (host, port), config).map_err(|e| e.to_string())?;
+    let ingest_handle = std::sync::Arc::clone(&live);
+    let handle = Server::start(live, (host, port), config).map_err(|e| e.to_string())?;
     // stdout is line-buffered: scripts (tools/verify.sh) read this line to
     // learn the ephemeral port.
     outln!(
@@ -631,19 +667,199 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let c = handle.shutdown();
     outln!(
-        "shutdown: {} connections, {} requests ({} knn, {} range, {} batch), \
-         {} coalesced into {} batches (max {}), {} overloaded, {} protocol errors",
+        "shutdown: {} connections, {} requests ({} knn, {} range, {} batch, \
+         {} insert, {} delete), {} coalesced into {} batches (max {}), \
+         {} overloaded, {} protocol errors",
         c.connections,
         c.requests,
         c.knn_requests,
         c.range_requests,
         c.batch_requests,
+        c.insert_requests,
+        c.delete_requests,
         c.coalesced_queries,
         c.coalesced_batches,
         c.max_coalesce,
         c.overloaded,
         c.protocol_errors
     );
+    if wal {
+        print_ingest_stats(&ingest_handle.ingest_stats().into());
+    }
+    Ok(())
+}
+
+/// Opens a snapshot writable: the ingest engine replays its WAL and wires
+/// up the background merge. Shared by `serve --wal` and `ingest`.
+fn open_engine(
+    flags: &HashMap<String, String>,
+    index_file: &str,
+) -> Result<mmdr_persist::IngestEngine, String> {
+    let mut opts = mmdr_persist::IngestOptions {
+        merge_threshold: get_parse(
+            flags,
+            "merge-threshold",
+            mmdr_persist::DEFAULT_MERGE_THRESHOLD,
+        )?,
+        ..Default::default()
+    };
+    if let Some(v) = flags.get("pool-pages") {
+        let pages: usize = v
+            .parse()
+            .map_err(|_| format!("--pool-pages: cannot parse `{v}`"))?;
+        if pages == 0 {
+            return Err("--pool-pages must be at least 1".into());
+        }
+        opts.pool_pages = Some(pages);
+    }
+    mmdr_persist::IngestEngine::open(index_file, opts).map_err(|e| e.to_string())
+}
+
+/// The operator-facing merge-pressure line, identical for local engines
+/// and remote STATS answers.
+fn print_ingest_stats(s: &mmdr_serve::IngestWire) {
+    outln!(
+        "ingest: epoch {}, {} delta rows, {} tombstones, {} WAL bytes, {} merges, next id {}",
+        s.epoch,
+        s.delta_rows,
+        s.tombstones,
+        s.wal_bytes,
+        s.merges,
+        s.next_id
+    );
+}
+
+/// Local writes against a snapshot: insert rows from --data or --point,
+/// tombstone --delete ids, optionally --flush (fold + swap + truncate the
+/// WAL). Without --flush the WAL holds the writes until the next merge —
+/// a reopen (ingest, serve --wal, or the engine's replay) restores them.
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    use mmdr_index::LiveIndex as _;
+    let flags = parse_flags(
+        args,
+        &[
+            "index-file",
+            "data",
+            "point",
+            "delete",
+            "flush",
+            "merge-threshold",
+            "pool-pages",
+            "pool-shards",
+        ],
+    )?;
+    apply_pool_shards(&flags)?;
+    let index_file = require(&flags, "index-file")?;
+    if !["data", "point", "delete", "flush"]
+        .iter()
+        .any(|f| flags.contains_key(*f))
+    {
+        return Err("nothing to do: give --data, --point, --delete or --flush".into());
+    }
+    let engine = open_engine(&flags, index_file)?;
+    let mut inserted = 0usize;
+    let mut first_id = None;
+    if flags.contains_key("data") || flags.contains_key("point") {
+        let data = match flags.get("data") {
+            Some(path) => Some(DatasetFile::load(path)?),
+            None => None,
+        };
+        let rows: Vec<Vec<f64>> = match (&data, flags.get("point")) {
+            (Some(m), None) => (0..m.rows()).map(|i| m.row(i).to_vec()).collect(),
+            (None, Some(_)) => parse_queries(&flags, None)?,
+            (Some(_), Some(_)) => return Err("give either --data or --point, not both".into()),
+            (None, None) => unreachable!("guarded by contains_key"),
+        };
+        for row in &rows {
+            let id = engine.insert(row).map_err(|e| e.to_string())?;
+            first_id.get_or_insert(id);
+            inserted += 1;
+        }
+    }
+    let mut deleted = 0usize;
+    if let Some(ids) = flags.get("delete") {
+        for s in ids.split(',') {
+            let id: u64 = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("--delete: bad id `{s}`"))?;
+            if engine.delete(id).map_err(|e| e.to_string())? {
+                deleted += 1;
+            }
+        }
+    }
+    match first_id {
+        Some(first) => outln!(
+            "inserted {inserted} rows (ids {first}..{}), deleted {deleted}",
+            first + inserted as u64 - 1
+        ),
+        None => outln!("inserted 0 rows, deleted {deleted}"),
+    }
+    if get_bool(&flags, "flush")? {
+        let epoch = engine.flush().map_err(|e| e.to_string())?;
+        outln!("flushed: serving epoch is now {epoch}");
+    }
+    engine.quiesce(); // let a pressure-triggered merge finish before exit
+    print_ingest_stats(&engine.ingest_stats().into());
+    Ok(())
+}
+
+/// Remote writes: the same insert/delete/flush verbs as `ingest`, sent to
+/// a running `serve --wal` over the wire. Each insert is acknowledged only
+/// after the server's WAL fsync.
+fn cmd_remote_insert(args: &[String]) -> Result<(), String> {
+    use mmdr_serve::Client;
+    let flags = parse_flags(args, &["addr", "data", "point", "delete", "flush"])?;
+    let addr = require(&flags, "addr")?;
+    if !["data", "point", "delete", "flush"]
+        .iter()
+        .any(|f| flags.contains_key(*f))
+    {
+        return Err("nothing to do: give --data, --point, --delete or --flush".into());
+    }
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut inserted = 0usize;
+    let mut first_id = None;
+    if flags.contains_key("data") || flags.contains_key("point") {
+        let data = match flags.get("data") {
+            Some(path) => Some(DatasetFile::load(path)?),
+            None => None,
+        };
+        let rows: Vec<Vec<f64>> = match (&data, flags.get("point")) {
+            (Some(m), None) => (0..m.rows()).map(|i| m.row(i).to_vec()).collect(),
+            (None, Some(_)) => parse_queries(&flags, None)?,
+            (Some(_), Some(_)) => return Err("give either --data or --point, not both".into()),
+            (None, None) => unreachable!("guarded by contains_key"),
+        };
+        for row in &rows {
+            let id = client.insert(row).map_err(|e| e.to_string())?;
+            first_id.get_or_insert(id);
+            inserted += 1;
+        }
+    }
+    let mut deleted = 0usize;
+    if let Some(ids) = flags.get("delete") {
+        for s in ids.split(',') {
+            let id: u64 = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("--delete: bad id `{s}`"))?;
+            if client.delete(id).map_err(|e| e.to_string())? {
+                deleted += 1;
+            }
+        }
+    }
+    match first_id {
+        Some(first) => outln!(
+            "inserted {inserted} rows (ids {first}..{}), deleted {deleted}",
+            first + inserted as u64 - 1
+        ),
+        None => outln!("inserted 0 rows, deleted {deleted}"),
+    }
+    if get_bool(&flags, "flush")? {
+        let epoch = client.flush().map_err(|e| e.to_string())?;
+        outln!("flushed: serving epoch is now {epoch}");
+    }
     Ok(())
 }
 
@@ -691,13 +907,16 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
             }
             let c = &s.server;
             outln!(
-                "server: {} connections, {} requests ({} knn, {} range, {} batch), \
-                 {} coalesced into {} batches (max {}), {} overloaded, {} protocol errors, {} queued",
+                "server: {} connections, {} requests ({} knn, {} range, {} batch, \
+                 {} insert, {} delete), {} coalesced into {} batches (max {}), \
+                 {} overloaded, {} protocol errors, {} queued",
                 c.connections,
                 c.requests,
                 c.knn_requests,
                 c.range_requests,
                 c.batch_requests,
+                c.insert_requests,
+                c.delete_requests,
                 c.coalesced_queries,
                 c.coalesced_batches,
                 c.max_coalesce,
@@ -705,6 +924,7 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
                 c.protocol_errors,
                 c.queue_len
             );
+            print_ingest_stats(&s.ingest);
             return Ok(());
         }
         Some("shutdown") => {

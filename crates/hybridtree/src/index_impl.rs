@@ -1,7 +1,7 @@
 //! [`VectorIndex`] implementation for the hybrid tree.
 
 use crate::tree::HybridTree;
-use mmdr_index::{SearchCounters, VectorIndex};
+use mmdr_index::{DeltaStats, MutableVectorIndex, SearchCounters, VectorIndex};
 use mmdr_storage::{IoStats, PoolStats};
 use std::sync::Arc;
 
@@ -50,6 +50,28 @@ impl VectorIndex for HybridTree {
 
     fn pool_stats(&self) -> Vec<PoolStats> {
         vec![self.pool().snapshot()]
+    }
+}
+
+impl MutableVectorIndex for HybridTree {
+    fn insert(&self, id: u64, vector: &[f64]) -> mmdr_index::Result<()> {
+        if vector.iter().any(|x| !x.is_finite()) {
+            return Err(mmdr_index::Error::InvalidQuery);
+        }
+        let row = self.prepare_row(vector)?;
+        self.delta().insert(id, row)
+    }
+
+    fn delete(&self, id: u64) -> mmdr_index::Result<bool> {
+        self.delta().delete(id)
+    }
+
+    fn seal(&self) -> DeltaStats {
+        self.delta().seal()
+    }
+
+    fn delta_stats(&self) -> DeltaStats {
+        self.delta().stats()
     }
 }
 

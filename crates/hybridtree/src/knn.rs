@@ -6,7 +6,7 @@ use crate::tree::HybridTree;
 use mmdr_index::KnnHeap;
 use mmdr_storage::PageId;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Heap entry for the best-first frontier, ordered by ascending `MINDIST`.
 struct Frontier {
@@ -62,11 +62,34 @@ impl HybridTree {
     /// the k-th best, which cannot change the result set (a candidate at
     /// the bound is still summed in full and tie-broken by rid).
     pub fn knn(&self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+        self.knn_impl(query, k, None)
+    }
+
+    /// [`knn`](Self::knn) with an extra set of rids to hide. The gLDR
+    /// forest keeps one tombstone set at its own level and passes it down
+    /// to every cluster tree, so deleted members never surface.
+    pub fn knn_filtered(
+        &self,
+        query: &[f64],
+        k: usize,
+        skip: &HashSet<u64>,
+    ) -> Result<Vec<(f64, u64)>> {
+        self.knn_impl(query, k, Some(skip))
+    }
+
+    fn knn_impl(
+        &self,
+        query: &[f64],
+        k: usize,
+        skip: Option<&HashSet<u64>>,
+    ) -> Result<Vec<(f64, u64)>> {
         self.validate(query)?;
         if k == 0 || self.is_empty() {
             return Ok(Vec::new());
         }
         let dim = self.dim;
+        let tombs = self.delta.tombstones();
+        let dead = |rid: u64| tombs.contains(&rid) || skip.is_some_and(|s| s.contains(&rid));
         let mut frontier = BinaryHeap::new();
         frontier.push(Frontier {
             mindist_sq: 0.0,
@@ -77,6 +100,21 @@ impl HybridTree {
         // Holds *squared* distances; √ is applied once on the way out.
         let mut best = KnnHeap::new(k);
         let mut coords = vec![0.0; dim];
+
+        // Delta rows are scanned exactly before the tree walk (the final
+        // top-k is independent of push order): full squared distances, the
+        // same value an early-abandoned leaf computation completes to.
+        let mut delta_seen: u64 = 0;
+        self.delta.for_each(|id, row| {
+            if !dead(id) {
+                best.push(mmdr_linalg::l2_dist_sq(query, row), id);
+                delta_seen += 1;
+            }
+        });
+        if delta_seen > 0 {
+            self.search.record_dists(delta_seen);
+            self.search.record_refined(delta_seen);
+        }
 
         while let Some(node) = frontier.pop() {
             if best.is_full() && node.mindist_sq > best.worst_dist().expect("full heap") {
@@ -94,8 +132,11 @@ impl HybridTree {
                 let mut refined = 0;
                 for i in 0..n {
                     let page = self.pool.page(node.page)?;
-                    Leaf::coords_into(&page, dim, i, &mut coords);
                     let rid = Leaf::rid(&page, dim, i);
+                    if dead(rid) {
+                        continue;
+                    }
+                    Leaf::coords_into(&page, dim, i, &mut coords);
                     let d = match best.worst_dist() {
                         Some(w) if best.is_full() => {
                             mmdr_linalg::l2_dist_sq_within(query, &coords, w)
@@ -155,6 +196,26 @@ impl HybridTree {
     /// pruning as [`knn`](Self::knn) and the same boundary tolerance as the
     /// other backends (`dist ≤ radius + 1e-12`).
     pub fn range_search(&self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
+        self.range_search_impl(query, radius, None)
+    }
+
+    /// [`range_search`](Self::range_search) with an extra set of rids to
+    /// hide (see [`knn_filtered`](Self::knn_filtered)).
+    pub fn range_search_filtered(
+        &self,
+        query: &[f64],
+        radius: f64,
+        skip: &HashSet<u64>,
+    ) -> Result<Vec<(f64, u64)>> {
+        self.range_search_impl(query, radius, Some(skip))
+    }
+
+    fn range_search_impl(
+        &self,
+        query: &[f64],
+        radius: f64,
+        skip: Option<&HashSet<u64>>,
+    ) -> Result<Vec<(f64, u64)>> {
         self.validate(query)?;
         if !(radius >= 0.0 && radius.is_finite()) {
             return Err(Error::InvalidRadius);
@@ -164,8 +225,28 @@ impl HybridTree {
         }
         let dim = self.dim;
         let limit = radius + 1e-12;
+        let tombs = self.delta.tombstones();
+        let dead = |rid: u64| tombs.contains(&rid) || skip.is_some_and(|s| s.contains(&rid));
         let mut out = Vec::new();
         let mut coords = vec![0.0; dim];
+
+        // Delta rows, scanned exactly; `out` is sorted at the end.
+        let mut delta_seen: u64 = 0;
+        let mut delta_hits: u64 = 0;
+        self.delta.for_each(|id, row| {
+            if !dead(id) {
+                delta_seen += 1;
+                let d = mmdr_linalg::l2_dist(query, row);
+                if d <= limit {
+                    out.push((d, id));
+                    delta_hits += 1;
+                }
+            }
+        });
+        if delta_seen > 0 {
+            self.search.record_dists(delta_seen);
+            self.search.record_refined(delta_hits);
+        }
         // Plain stack walk: every qualifying region must be visited anyway,
         // so best-first ordering buys nothing here.
         let mut stack = vec![(
@@ -178,13 +259,25 @@ impl HybridTree {
                 continue;
             }
             if is_leaf(&*self.pool.page(page)?) {
+                // The next stack entry is the next region in walk order —
+                // for bulk-loaded trees, the right sibling leaf. Hint it
+                // before scanning this leaf so a demand-read source can
+                // overlap the sibling fetch, even when pruning made the
+                // page ids non-consecutive. Free on resident pools, and
+                // never a logical access.
+                if let Some((next, _, _)) = stack.last() {
+                    let _ = self.pool.prefetch(*next);
+                }
                 let n = count(&*self.pool.page(page)?);
                 self.search.record_dists(n as u64);
                 let mut refined = 0;
                 for i in 0..n {
                     let node_page = self.pool.page(page)?;
-                    Leaf::coords_into(&node_page, dim, i, &mut coords);
                     let rid = Leaf::rid(&node_page, dim, i);
+                    if dead(rid) {
+                        continue;
+                    }
+                    Leaf::coords_into(&node_page, dim, i, &mut coords);
                     let d = mmdr_linalg::l2_dist(query, &coords);
                     if d <= limit {
                         out.push((d, rid));
@@ -199,12 +292,15 @@ impl HybridTree {
             // Every child of this qualifying region is about to be pushed,
             // and bulk-loaded siblings sit on consecutive pages: hint the
             // pool at the first child so a demand-read source pulls the
-            // whole sibling run in one pread. Free on resident pools, and
-            // never a logical access.
+            // whole sibling run in one pread. Children are pushed in
+            // reverse so the stack pops them in leaf-sibling order —
+            // ascending page ids under bulk load — which keeps the
+            // sequential-readahead window warm across the walk. Answer
+            // order is unaffected: `out` is sorted at the end.
             if n_children > 0 {
                 let _ = self.pool.prefetch(Internal::child(&node_page, 0));
             }
-            for i in 0..n_children {
+            for i in (0..n_children).rev() {
                 let node_page = self.pool.page(page)?;
                 let b_lo = if i == 0 {
                     f64::NEG_INFINITY

@@ -1,8 +1,8 @@
 //! Bulk construction of the hybrid tree.
 
 use crate::error::{Error, Result};
-use crate::node::{internal_capacity, leaf_capacity, Internal, Leaf};
-use mmdr_index::SearchCounters;
+use crate::node::{count, internal_capacity, is_leaf, leaf_capacity, Internal, Leaf};
+use mmdr_index::{DeltaLayer, SearchCounters};
 use mmdr_linalg::Matrix;
 use mmdr_storage::{BufferPool, IoStats, PageId};
 use std::sync::Arc;
@@ -11,6 +11,24 @@ use std::sync::Arc;
 /// into pages; a modest multiway fanout per page is the equivalent packed
 /// form.
 pub const DEFAULT_FANOUT: usize = 16;
+
+/// Hook converting an ingested full-space vector into the coordinates this
+/// tree stores (the `hybrid` backend indexes reduced-then-restored
+/// representations, so its hook routes through the reduction model).
+/// Wrapped in a newtype so [`HybridTree`] can keep deriving `Debug`.
+pub(crate) type PrepFn = Arc<dyn Fn(&[f64]) -> mmdr_index::Result<Vec<f64>> + Send + Sync>;
+
+pub(crate) struct PrepHook(pub(crate) Option<PrepFn>);
+
+impl std::fmt::Debug for PrepHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "PrepHook(set)"
+        } else {
+            "PrepHook(identity)"
+        })
+    }
+}
 
 /// A bulk-loaded, paged kd-style multidimensional index.
 #[derive(Debug)]
@@ -21,6 +39,10 @@ pub struct HybridTree {
     pub(crate) search: Arc<SearchCounters>,
     len: usize,
     height: usize,
+    /// Rows ingested since the snapshot, already in stored coordinates;
+    /// scanned exactly alongside the paged tree.
+    pub(crate) delta: DeltaLayer<Vec<f64>>,
+    prep: PrepHook,
 }
 
 impl HybridTree {
@@ -75,6 +97,8 @@ impl HybridTree {
             search: SearchCounters::new(),
             len: rids.len(),
             height,
+            delta: DeltaLayer::new(),
+            prep: PrepHook(None),
         })
     }
 
@@ -107,6 +131,8 @@ impl HybridTree {
             search: SearchCounters::new(),
             len,
             height,
+            delta: DeltaLayer::new(),
+            prep: PrepHook(None),
         })
     }
 
@@ -116,14 +142,72 @@ impl HybridTree {
         self.root
     }
 
-    /// Number of indexed points.
+    /// Number of visible points: the bulk-loaded rows plus live delta
+    /// rows. Paged rows masked by a tombstone still count until a merge
+    /// folds them out; searches filter them from answers.
     pub fn len(&self) -> usize {
-        self.len
+        self.len + self.delta.live_rows()
     }
 
-    /// True when no points are indexed.
+    /// True when no paged rows and no delta rows exist.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
+    }
+
+    /// Installs the hook applied to vectors ingested through
+    /// [`mmdr_index::MutableVectorIndex::insert`]. Without a hook, inserted
+    /// vectors are stored verbatim (after a dimensionality check).
+    pub fn set_ingest_prep(
+        &mut self,
+        f: impl Fn(&[f64]) -> mmdr_index::Result<Vec<f64>> + Send + Sync + 'static,
+    ) {
+        self.prep = PrepHook(Some(Arc::new(f)));
+    }
+
+    /// Converts an ingested vector into stored coordinates via the prep
+    /// hook (identity when none is installed).
+    pub(crate) fn prepare_row(&self, vector: &[f64]) -> mmdr_index::Result<Vec<f64>> {
+        let row = match &self.prep.0 {
+            Some(f) => f(vector)?,
+            None => vector.to_vec(),
+        };
+        if row.len() != self.dim {
+            return Err(mmdr_index::Error::DimensionMismatch {
+                expected: self.dim,
+                actual: row.len(),
+            });
+        }
+        Ok(row)
+    }
+
+    /// The mutable overlay (rows ingested since the snapshot).
+    pub(crate) fn delta(&self) -> &DeltaLayer<Vec<f64>> {
+        &self.delta
+    }
+
+    /// Walks every leaf and returns the stored `(rid, coords)` rows, in
+    /// page order. The background merge exports these to rebuild a folded
+    /// tree; delta rows are not included (the merge replays them from its
+    /// own op log).
+    pub fn export_rows(&self) -> Result<Vec<(u64, Vec<f64>)>> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut coords = vec![0.0; self.dim];
+        let mut stack = vec![self.root];
+        while let Some(page_id) = stack.pop() {
+            let page = self.pool.page(page_id)?;
+            let n = count(&page);
+            if is_leaf(&page) {
+                for i in 0..n {
+                    Leaf::coords_into(&page, self.dim, i, &mut coords);
+                    out.push((Leaf::rid(&page, self.dim, i), coords.clone()));
+                }
+            } else {
+                for i in 0..n {
+                    stack.push(Internal::child(&page, i));
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Dimensionality of the indexed points.

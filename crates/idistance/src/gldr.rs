@@ -5,7 +5,7 @@
 use crate::error::{Error, Result};
 use mmdr_core::ReductionResult;
 use mmdr_hybridtree::HybridTree;
-use mmdr_index::{KnnHeap, SearchCounters};
+use mmdr_index::{DeltaLayer, KnnHeap, SearchCounters};
 use mmdr_linalg::Matrix;
 use mmdr_pca::ReducedSubspace;
 use mmdr_storage::{BufferPool, DiskManager, IoStats};
@@ -42,6 +42,12 @@ pub struct GlobalLdrIndex {
     len: usize,
     stats: Arc<IoStats>,
     search: Arc<SearchCounters>,
+    /// Rows ingested since the snapshot, kept at the forest level (not
+    /// inside any cluster tree): `Some(ci)` rows hold local coordinates in
+    /// cluster `ci`'s subspace, `None` rows are outliers stored raw. All
+    /// delta rows enter the global candidate heap before any tree search,
+    /// so the per-cluster pruning radii never need to account for them.
+    delta: DeltaLayer<(Option<usize>, Vec<f64>)>,
 }
 
 impl GlobalLdrIndex {
@@ -95,6 +101,7 @@ impl GlobalLdrIndex {
             len: model.num_points,
             stats,
             search,
+            delta: DeltaLayer::new(),
         })
     }
 
@@ -159,6 +166,7 @@ impl GlobalLdrIndex {
             len,
             stats,
             search,
+            delta: DeltaLayer::new(),
         })
     }
 
@@ -178,14 +186,32 @@ impl GlobalLdrIndex {
         self.outlier_tree.as_ref()
     }
 
-    /// Number of indexed points.
-    pub fn len(&self) -> usize {
-        self.len
+    /// Routes a new point and returns the stored representation: local
+    /// coordinates in the nearest subspace within β, or the raw vector for
+    /// the outlier side.
+    pub(crate) fn prepare_row(&self, vector: &[f64]) -> Result<(Option<usize>, Vec<f64>)> {
+        let clusters = self.clusters.iter().map(|c| &c.subspace);
+        match crate::ingest::route(clusters, crate::ingest::DEFAULT_BETA, vector)? {
+            Some((ci, local)) => Ok((Some(ci), local)),
+            None => Ok((None, vector.to_vec())),
+        }
     }
 
-    /// True when empty.
+    /// The mutable overlay (rows ingested since the snapshot).
+    pub(crate) fn delta(&self) -> &DeltaLayer<(Option<usize>, Vec<f64>)> {
+        &self.delta
+    }
+
+    /// Number of visible points: the snapshot rows plus live delta rows.
+    /// Tree rows masked by a tombstone still count until a merge folds
+    /// them out; searches filter them from answers.
+    pub fn len(&self) -> usize {
+        self.len + self.delta.live_rows()
+    }
+
+    /// True when no snapshot rows and no delta rows exist.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Dimensionality of queries.
@@ -263,17 +289,51 @@ impl GlobalLdrIndex {
         if k == 0 || self.is_empty() {
             return Ok(Vec::new());
         }
+        let order = self.cluster_order(query)?;
+        let tombs = self.delta.tombstones();
         let mut best = KnnHeap::new(k);
-        for probe in self.cluster_order(query)? {
+        // Delta rows enter the heap before any tree search: their cluster
+        // distances mimic the tree path bit-for-bit (local distance via
+        // √(Σd²), then recombined with the projection component), so a row
+        // answers identically whether it is still in the delta or already
+        // folded into a tree. Pushing them first also keeps the stored
+        // cluster radii valid for pruning — the lower bounds only ever
+        // gate tree rows.
+        if self.delta.live_rows() > 0 {
+            let mut geo: Vec<(&[f64], f64)> = vec![(&[], 0.0); self.clusters.len()];
+            for p in &order {
+                geo[p.cluster] = (p.q_local.as_slice(), p.proj_sq);
+            }
+            let mut delta_seen: u64 = 0;
+            self.delta.for_each(|id, (cluster, row)| match cluster {
+                Some(ci) => {
+                    let (q_local, proj_sq) = geo[*ci];
+                    let local_dist = mmdr_linalg::l2_dist_sq(q_local, row).sqrt();
+                    best.push((proj_sq + local_dist * local_dist).sqrt(), id);
+                    delta_seen += 1;
+                }
+                None => {
+                    best.push(mmdr_linalg::l2_dist_sq(query, row).sqrt(), id);
+                    delta_seen += 1;
+                }
+            });
+            self.search.record_dists(delta_seen);
+            self.search.record_refined(delta_seen);
+        }
+        for probe in &order {
             if best.is_full() && probe.lower_bound > best.worst_dist().expect("full heap") {
                 continue; // cannot improve (nor tie-break: lb strictly worse)
             }
-            for (local_dist, pid) in self.clusters[probe.cluster].tree.knn(&probe.q_local, k)? {
+            for (local_dist, pid) in
+                self.clusters[probe.cluster]
+                    .tree
+                    .knn_filtered(&probe.q_local, k, &tombs)?
+            {
                 best.push((probe.proj_sq + local_dist * local_dist).sqrt(), pid);
             }
         }
         if let Some(t) = &self.outlier_tree {
-            for (dist, pid) in t.knn(query, k)? {
+            for (dist, pid) in t.knn_filtered(query, k, &tombs)? {
                 best.push(dist, pid);
             }
         }
@@ -290,8 +350,37 @@ impl GlobalLdrIndex {
             return Err(Error::InvalidRadius);
         }
         let limit = radius + 1e-12;
+        let order = self.cluster_order(query)?;
+        let tombs = self.delta.tombstones();
         let mut out = Vec::new();
-        for probe in self.cluster_order(query)? {
+        // Delta rows, scanned exactly; `out` is sorted at the end. Cluster
+        // rows mimic the tree path's distance arithmetic bit-for-bit.
+        if self.delta.live_rows() > 0 {
+            let mut geo: Vec<(&[f64], f64)> = vec![(&[], 0.0); self.clusters.len()];
+            for p in &order {
+                geo[p.cluster] = (p.q_local.as_slice(), p.proj_sq);
+            }
+            let mut delta_seen: u64 = 0;
+            let mut delta_hits: u64 = 0;
+            self.delta.for_each(|id, (cluster, row)| {
+                delta_seen += 1;
+                let dist = match cluster {
+                    Some(ci) => {
+                        let (q_local, proj_sq) = geo[*ci];
+                        let local_dist = mmdr_linalg::l2_dist_sq(q_local, row).sqrt();
+                        (proj_sq + local_dist * local_dist).sqrt()
+                    }
+                    None => mmdr_linalg::l2_dist(query, row),
+                };
+                if dist <= limit {
+                    out.push((dist, id));
+                    delta_hits += 1;
+                }
+            });
+            self.search.record_dists(delta_seen);
+            self.search.record_refined(delta_hits);
+        }
+        for probe in &order {
             if probe.lower_bound > limit {
                 continue;
             }
@@ -301,10 +390,11 @@ impl GlobalLdrIndex {
             if local_r_sq < 0.0 {
                 continue;
             }
-            for (local_dist, pid) in self.clusters[probe.cluster]
-                .tree
-                .range_search(&probe.q_local, local_r_sq.sqrt())?
-            {
+            for (local_dist, pid) in self.clusters[probe.cluster].tree.range_search_filtered(
+                &probe.q_local,
+                local_r_sq.sqrt(),
+                &tombs,
+            )? {
                 let dist = (probe.proj_sq + local_dist * local_dist).sqrt();
                 if dist <= limit {
                     out.push((dist, pid));
@@ -312,7 +402,7 @@ impl GlobalLdrIndex {
             }
         }
         if let Some(t) = &self.outlier_tree {
-            out.extend(t.range_search(query, radius)?);
+            out.extend(t.range_search_filtered(query, radius, &tombs)?);
         }
         out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
         Ok(out)

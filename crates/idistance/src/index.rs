@@ -4,7 +4,7 @@ use crate::error::{Error, Result};
 use crate::vector_heap::VectorHeap;
 use mmdr_btree::BPlusTree;
 use mmdr_core::ReductionResult;
-use mmdr_index::SearchCounters;
+use mmdr_index::{DeltaLayer, SearchCounters};
 use mmdr_linalg::Matrix;
 use mmdr_pca::ReducedSubspace;
 use mmdr_storage::{BufferPool, DiskManager, IoStats};
@@ -76,6 +76,11 @@ pub struct IDistanceIndex {
     stats: Arc<IoStats>,
     pub(crate) search: Arc<SearchCounters>,
     len: usize,
+    /// Rows ingested since the snapshot, routed to a partition and stored
+    /// as the heap would store them (local coordinates for clusters, raw
+    /// for outliers). Scanned exactly during every search, merged into the
+    /// same candidate heap as tree hits.
+    pub(crate) delta: DeltaLayer<(u32, Vec<f64>)>,
 }
 
 impl IDistanceIndex {
@@ -214,6 +219,7 @@ impl IDistanceIndex {
             stats,
             search: SearchCounters::new(),
             len: model.num_points,
+            delta: DeltaLayer::new(),
         })
     }
 
@@ -270,6 +276,7 @@ impl IDistanceIndex {
             stats,
             search: SearchCounters::new(),
             len,
+            delta: DeltaLayer::new(),
         })
     }
 
@@ -285,14 +292,34 @@ impl IDistanceIndex {
         &self.heap
     }
 
-    /// Number of indexed points.
-    pub fn len(&self) -> usize {
-        self.len
+    /// Routes a new point and returns the partition plus the coordinates
+    /// the heap would store for it. Unlike the in-place
+    /// [`insert`](Self::insert), there is no key-escape fallback: delta
+    /// rows live outside the B⁺-tree, and the background merge recomputes
+    /// `c` so every folded key fits its partition slot.
+    pub(crate) fn prepare_row(&self, vector: &[f64]) -> Result<(u32, Vec<f64>)> {
+        let clusters = self.partitions.iter().filter_map(|p| p.subspace.as_ref());
+        match crate::ingest::route(clusters, self.config.beta, vector)? {
+            Some((ci, local)) => Ok((ci as u32, local)),
+            None => Ok(((self.partitions.len() - 1) as u32, vector.to_vec())),
+        }
     }
 
-    /// True when the index is empty.
+    /// The mutable overlay (rows ingested since the snapshot).
+    pub(crate) fn delta(&self) -> &DeltaLayer<(u32, Vec<f64>)> {
+        &self.delta
+    }
+
+    /// Number of visible points: the snapshot rows plus live delta rows.
+    /// Base rows masked by a tombstone still count until a merge folds
+    /// them out; searches filter them from answers.
+    pub fn len(&self) -> usize {
+        self.len + self.delta.live_rows()
+    }
+
+    /// True when no snapshot rows and no delta rows exist.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Original dimensionality of queries.

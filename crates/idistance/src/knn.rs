@@ -125,6 +125,47 @@ impl IDistanceIndex {
         let mut radius = widest * self.config().initial_radius_fraction;
         let mut best = KnnHeap::new(k);
 
+        // Delta rows are scanned exactly before the enlargement loop (the
+        // final top-k is independent of push order). A snapshot-empty
+        // partition has no `PartitionSearch`, so compute the query's
+        // geometry for such partitions separately — a delta row may be a
+        // partition's first point.
+        let tombs = self.delta.tombstones();
+        if self.delta.live_rows() > 0 {
+            let mut geo: Vec<Option<(&[f64], f64)>> = vec![None; self.partitions.len()];
+            for s in &searches {
+                geo[s.part] = Some((s.q_local.as_slice(), s.proj_sq));
+            }
+            let mut computed: Vec<Option<(Vec<f64>, f64)>> = vec![None; self.partitions.len()];
+            for (pi, part) in self.partitions.iter().enumerate() {
+                if geo[pi].is_none() {
+                    computed[pi] = Some(match &part.subspace {
+                        Some(subspace) => {
+                            let local = subspace.project(query)?;
+                            let pd = subspace.proj_dist(query)?;
+                            (local, pd * pd)
+                        }
+                        None => (query.to_vec(), 0.0),
+                    });
+                }
+            }
+            let mut delta_seen: u64 = 0;
+            self.delta.for_each(|id, (part, coords)| {
+                let pi = *part as usize;
+                let (q_local, proj_sq) = match geo[pi] {
+                    Some(pair) => pair,
+                    None => {
+                        let c = computed[pi].as_ref().expect("geometry computed above");
+                        (c.0.as_slice(), c.1)
+                    }
+                };
+                best.push(mmdr_linalg::reduced_dist(proj_sq, q_local, coords), id);
+                delta_seen += 1;
+            });
+            self.search.record_dists(delta_seen);
+            self.search.record_refined(delta_seen);
+        }
+
         loop {
             let mut any_active = false;
             for s in searches.iter_mut() {
@@ -188,10 +229,13 @@ impl IDistanceIndex {
                         // Key-gap lower bound: |‖p‖ − ‖q‖| ≤ ‖p − q‖, so an
                         // entry whose ring distance already exceeds the
                         // current k-th best cannot win — skip the heap
-                        // fetch entirely.
+                        // fetch entirely. Strictly greater only: skipping
+                        // ties would make the answer set depend on the
+                        // heap's trajectory, and merged-vs-fresh parity
+                        // requires trajectory independence.
                         let ring_gap = key - (base + s.dist_q);
                         let lb = (s.proj_sq + ring_gap * ring_gap).sqrt();
-                        if best.is_full() && lb >= best.worst_dist().expect("full heap") {
+                        if best.is_full() && lb > best.worst_dist().expect("full heap") {
                             s.outward = Some(cur);
                             continue;
                         }
@@ -203,7 +247,7 @@ impl IDistanceIndex {
                             s.part,
                             &mut scratch.coords,
                         )?;
-                        if point_id != crate::vector_heap::TOMBSTONE {
+                        if point_id != crate::vector_heap::TOMBSTONE && !tombs.contains(&point_id) {
                             best.push(dist, point_id);
                         }
                         s.outward = Some(cur);
@@ -219,10 +263,11 @@ impl IDistanceIndex {
                             }
                             break;
                         }
-                        // Same key-gap lower bound as the outward walk.
+                        // Same key-gap lower bound as the outward walk
+                        // (strict, for trajectory independence).
                         let ring_gap = (base + s.dist_q) - key;
                         let lb = (s.proj_sq + ring_gap * ring_gap).sqrt();
-                        if best.is_full() && lb >= best.worst_dist().expect("full heap") {
+                        if best.is_full() && lb > best.worst_dist().expect("full heap") {
                             s.inward = Some(cur);
                             continue;
                         }
@@ -234,7 +279,7 @@ impl IDistanceIndex {
                             s.part,
                             &mut scratch.coords,
                         )?;
-                        if point_id != crate::vector_heap::TOMBSTONE {
+                        if point_id != crate::vector_heap::TOMBSTONE && !tombs.contains(&point_id) {
                             best.push(dist, point_id);
                         }
                         s.inward = Some(cur);

@@ -37,16 +37,18 @@ mod backend;
 mod error;
 mod gldr;
 mod index;
+mod ingest;
 mod knn;
 mod range;
 mod seqscan;
 mod vector_heap;
 mod vector_index;
 
-pub use backend::{build_backend, build_restored_hybrid, Backend};
+pub use backend::{build_backend, build_restored_hybrid, install_restored_prep, Backend};
 pub use error::{Error, Result};
 pub use gldr::GlobalLdrIndex;
 pub use index::{IDistanceConfig, IDistanceIndex, PartitionInfo};
+pub use ingest::DEFAULT_BETA;
 pub use knn::QueryScratch;
 // The shared query-layer types live in `mmdr-index` (the KnnHeap moved
 // there in PR 2 — import it from `mmdr_index` directly); these two are

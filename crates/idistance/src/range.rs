@@ -27,6 +27,35 @@ impl IDistanceIndex {
         }
         let mut out = Vec::new();
         let n_parts = self.partitions.len();
+        let tombs = self.delta.tombstones();
+        // Delta rows are scanned exactly (they are few between merges);
+        // `out` is sorted at the end, so interleaving order is irrelevant.
+        if self.delta.live_rows() > 0 {
+            let mut geo: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n_parts);
+            for info in &self.partitions {
+                geo.push(match &info.subspace {
+                    Some(subspace) => {
+                        let local = subspace.project(query)?;
+                        let pd = subspace.proj_dist(query)?;
+                        (local, pd * pd)
+                    }
+                    None => (query.to_vec(), 0.0),
+                });
+            }
+            let mut delta_seen: u64 = 0;
+            let mut delta_hits: u64 = 0;
+            self.delta.for_each(|id, (part, coords)| {
+                let (q_local, proj_sq) = &geo[*part as usize];
+                let dist = mmdr_linalg::reduced_dist(*proj_sq, q_local, coords);
+                delta_seen += 1;
+                if dist <= radius + 1e-12 {
+                    delta_hits += 1;
+                    out.push((dist, id));
+                }
+            });
+            self.search.record_dists(delta_seen);
+            self.search.record_refined(delta_hits);
+        }
         for part in 0..n_parts {
             let info = &self.partitions[part];
             if info.count == 0 {
@@ -74,7 +103,7 @@ impl IDistanceIndex {
                 }
                 let (heap_part, point_id) = self.heap.get_into(rid, &mut scratch)?;
                 debug_assert_eq!(heap_part as usize, part);
-                if point_id == crate::vector_heap::TOMBSTONE {
+                if point_id == crate::vector_heap::TOMBSTONE || tombs.contains(&point_id) {
                     continue;
                 }
                 self.search.record_dists(1);

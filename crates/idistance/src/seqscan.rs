@@ -5,7 +5,7 @@
 use crate::error::{Error, Result};
 use crate::vector_heap::VectorHeap;
 use mmdr_core::ReductionResult;
-use mmdr_index::{KnnHeap, SearchCounters};
+use mmdr_index::{DeltaLayer, KnnHeap, SearchCounters};
 use mmdr_linalg::Matrix;
 use mmdr_pca::ReducedSubspace;
 use mmdr_storage::{BufferPool, DiskManager, IoStats};
@@ -20,6 +20,10 @@ pub struct SeqScan {
     dim: usize,
     len: usize,
     search: Arc<SearchCounters>,
+    /// Rows ingested since the snapshot, already routed to a partition and
+    /// stored exactly as the heap would store them (local coordinates for
+    /// cluster partitions, raw for outliers). Scanned alongside the heap.
+    delta: DeltaLayer<(u32, Vec<f64>)>,
 }
 
 impl SeqScan {
@@ -52,6 +56,7 @@ impl SeqScan {
             dim: model.dim,
             len: model.num_points,
             search: SearchCounters::new(),
+            delta: DeltaLayer::new(),
         })
     }
 
@@ -75,6 +80,7 @@ impl SeqScan {
             dim: model.dim,
             len: model.num_points,
             search: SearchCounters::new(),
+            delta: DeltaLayer::new(),
         })
     }
 
@@ -83,14 +89,31 @@ impl SeqScan {
         &self.heap
     }
 
-    /// Number of stored points.
-    pub fn len(&self) -> usize {
-        self.len
+    /// Routes a new point and returns the partition plus the coordinates
+    /// the heap would store for it.
+    pub(crate) fn prepare_row(&self, vector: &[f64]) -> Result<(u32, Vec<f64>)> {
+        let clusters = self.subspaces.iter().filter_map(|s| s.as_ref());
+        match crate::ingest::route(clusters, crate::ingest::DEFAULT_BETA, vector)? {
+            Some((ci, local)) => Ok((ci as u32, local)),
+            None => Ok(((self.subspaces.len() - 1) as u32, vector.to_vec())),
+        }
     }
 
-    /// True when empty.
+    /// The mutable overlay (rows ingested since the snapshot).
+    pub(crate) fn delta(&self) -> &DeltaLayer<(u32, Vec<f64>)> {
+        &self.delta
+    }
+
+    /// Number of visible points: the snapshot rows plus live delta rows.
+    /// Base rows masked by a tombstone still count (the heap keeps their
+    /// record); [`knn`](Self::knn) filters them from answers.
+    pub fn len(&self) -> usize {
+        self.len + self.delta.live_rows()
+    }
+
+    /// True when no snapshot rows and no delta rows exist.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Heap pages the scan touches.
@@ -143,7 +166,19 @@ impl SeqScan {
         }
         let mut best = KnnHeap::new(k);
         let mut seen: u64 = 0;
+        // Delta rows first (order is irrelevant to the final top-k): they
+        // are stored exactly as the heap stores rows, so the same
+        // reduced-distance formula applies bit-for-bit.
+        self.delta.for_each(|id, (part, coords)| {
+            let (q_local, proj_sq) = &q_locals[*part as usize];
+            best.push(mmdr_linalg::reduced_dist(*proj_sq, q_local, coords), id);
+            seen += 1;
+        });
+        let tombs = self.delta.tombstones();
         self.heap.scan(|part, pid, coords| {
+            if tombs.contains(&pid) {
+                return;
+            }
             let (q_local, proj_sq) = &q_locals[part as usize];
             best.push(mmdr_linalg::reduced_dist(*proj_sq, q_local, coords), pid);
             seen += 1;
@@ -195,6 +230,32 @@ mod tests {
             "reads {} pages {pages}",
             stats.reads()
         );
+    }
+
+    #[test]
+    fn delta_rows_and_tombstones_are_visible() {
+        use mmdr_index::MutableVectorIndex;
+        let data = flat_data();
+        let model = Mmdr::new(MmdrParams::default()).fit(&data).unwrap();
+        let scan = SeqScan::build(&data, &model, 64).unwrap();
+        let probe = vec![10.0, 5.0, 0.0, 0.0];
+        MutableVectorIndex::insert(&scan, 500, &probe).unwrap();
+        assert_eq!(scan.len(), 201);
+        let r = scan.knn(&probe, 1).unwrap();
+        assert_eq!(r[0].1, 500);
+        assert!(r[0].0 < 1e-9);
+        // Deleting a base row removes it from answers without shrinking
+        // the heap.
+        assert!(MutableVectorIndex::delete(&scan, 199).unwrap());
+        let near_base = scan.knn(data.row(199), 1).unwrap();
+        assert_ne!(near_base[0].1, 199);
+        // Deleting the delta row hides it again.
+        assert!(MutableVectorIndex::delete(&scan, 500).unwrap());
+        let r = scan.knn(&probe, 1).unwrap();
+        assert_ne!(r[0].1, 500);
+        // Tombstoned base rows still count toward len (the heap keeps
+        // their record until a merge folds them out).
+        assert_eq!(scan.len(), 200);
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub enum Error {
     InvalidQuery,
     /// A range-search radius must be non-negative and finite.
     InvalidRadius,
+    /// A mutation reached an index whose delta layer has been sealed
+    /// (it is being retired after an epoch swap, or was frozen for a
+    /// consistent read).
+    Sealed,
+    /// A mutation reached a read-only serving handle (a static snapshot
+    /// with no write-ahead log behind it).
+    ReadOnly,
     /// The backend failed internally.
     Backend(Box<dyn std::error::Error + Send + Sync>),
 }
@@ -41,6 +48,8 @@ impl fmt::Display for Error {
             }
             Error::InvalidQuery => write!(f, "query coordinates must be finite"),
             Error::InvalidRadius => write!(f, "radius must be non-negative and finite"),
+            Error::Sealed => write!(f, "index delta layer is sealed against mutation"),
+            Error::ReadOnly => write!(f, "index is served read-only (no write-ahead log)"),
             Error::Backend(e) => write!(f, "backend failure: {e}"),
         }
     }

@@ -26,10 +26,15 @@
 
 mod error;
 mod heap;
+mod mutable;
 mod stats;
 mod traits;
 
 pub use error::{Error, Result};
 pub use heap::KnnHeap;
+pub use mutable::{
+    DeltaLayer, DeltaStats, IngestOp, IngestStats, LiveIndex, MutableVectorIndex, PinnedEpoch,
+    ReadOnlyLive,
+};
 pub use stats::{QueryStats, SearchCounters};
 pub use traits::{batch_queries, VectorIndex, QUERY_CHUNK};

@@ -1,0 +1,421 @@
+//! The mutation side of the index contract: delta layers, sealed epochs,
+//! and the live-serving handle.
+//!
+//! Every backend stays immutable in its *base* structures (heap pages,
+//! B⁺-tree, hybrid-tree pages) — those are what snapshots persist and what
+//! the out-of-core pager mounts. Mutability is layered on top:
+//!
+//! - **Inserts** land in an in-memory [`DeltaLayer`]: the row is prepared
+//!   into the backend's own stored representation at insert time (same
+//!   projection / restoration code as the build path), so a delta scan
+//!   computes bit-identical distances to a from-scratch build over the
+//!   union of rows.
+//! - **Deletes** become entries in a copy-on-write tombstone set. Base
+//!   searches filter tombstoned ids at *push* time (before a candidate can
+//!   occupy a heap slot), which keeps exact-k semantics: a delete never
+//!   shrinks an answer below `k` while live rows remain.
+//! - **Seal** freezes the delta against further mutation. The background
+//!   merge seals the *retired* epoch after an atomic swap; queries still
+//!   pinned to it finish unaffected.
+//!
+//! [`MutableVectorIndex`] is the per-backend contract; [`LiveIndex`] is
+//! the process-level serving handle (epoch pinning + WAL-backed ingest)
+//! that `mmdr-serve` codes against without depending on the persistence
+//! crate.
+
+use crate::error::{Error, Result};
+use crate::traits::VectorIndex;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One logical mutation, as carried by the write-ahead log and replayed
+/// into backend deltas. Vectors are always full original-dimensional —
+/// per-backend preparation (projection, restoration) happens at apply
+/// time with the same code the build path uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestOp {
+    /// Add a row under an engine-assigned, monotonically increasing id.
+    Insert {
+        /// The new row's point id.
+        id: u64,
+        /// Full-dimensional coordinates.
+        vector: Vec<f64>,
+    },
+    /// Remove the row with this id (idempotent; unknown ids tombstone
+    /// harmlessly).
+    Delete {
+        /// The point id to remove.
+        id: u64,
+    },
+}
+
+/// Snapshot of a delta layer's size — the merge-pressure signal operators
+/// watch through the `Stats` op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Rows living in the delta (inserted since the last merge, not yet
+    /// folded into base structures).
+    pub rows: u64,
+    /// Tombstoned ids filtered out of base searches.
+    pub tombstones: u64,
+}
+
+/// The shared delta machinery behind every backend's
+/// [`MutableVectorIndex`] implementation: an ordered map of prepared rows
+/// plus a copy-on-write tombstone set, both behind interior mutability so
+/// queries stay `&self`.
+///
+/// `R` is the backend's prepared-row payload — `(partition, local
+/// coordinates)` for the reduced-heap backends, restored full-dimensional
+/// coordinates for the hybrid tree.
+///
+/// Concurrency: mutations take a short write lock; queries take a read
+/// lock only while iterating the (small) delta and grab the tombstone set
+/// as one `Arc` clone, so the base search proceeds without any delta lock
+/// held.
+#[derive(Debug)]
+pub struct DeltaLayer<R> {
+    rows: RwLock<BTreeMap<u64, R>>,
+    tombstones: RwLock<Arc<HashSet<u64>>>,
+    sealed: AtomicBool,
+}
+
+impl<R> Default for DeltaLayer<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R> DeltaLayer<R> {
+    /// An empty, unsealed delta.
+    pub fn new() -> Self {
+        Self {
+            rows: RwLock::new(BTreeMap::new()),
+            tombstones: RwLock::new(Arc::new(HashSet::new())),
+            sealed: AtomicBool::new(false),
+        }
+    }
+
+    fn check_unsealed(&self) -> Result<()> {
+        if self.sealed.load(Ordering::Acquire) {
+            return Err(Error::Sealed);
+        }
+        Ok(())
+    }
+
+    /// Stores a prepared row under `id`. Replays are last-write-wins: a
+    /// duplicate id replaces the previous delta row.
+    pub fn insert(&self, id: u64, row: R) -> Result<()> {
+        self.check_unsealed()?;
+        let mut rows = self.rows.write().unwrap_or_else(|p| p.into_inner());
+        rows.insert(id, row);
+        Ok(())
+    }
+
+    /// Deletes `id`: removes it from the delta when it lives there,
+    /// otherwise tombstones it so base searches skip it. Returns whether
+    /// the call changed visible state (false when the id was already
+    /// tombstoned).
+    pub fn delete(&self, id: u64) -> Result<bool> {
+        self.check_unsealed()?;
+        let removed = {
+            let mut rows = self.rows.write().unwrap_or_else(|p| p.into_inner());
+            rows.remove(&id).is_some()
+        };
+        let mut tombs = self.tombstones.write().unwrap_or_else(|p| p.into_inner());
+        if tombs.contains(&id) {
+            return Ok(removed);
+        }
+        // Copy-on-write: queries hold the old Arc; deletes are rare next
+        // to candidate lookups, so the clone is the cheap side.
+        let mut next = HashSet::clone(&tombs);
+        next.insert(id);
+        *tombs = Arc::new(next);
+        Ok(true)
+    }
+
+    /// Freezes the delta against further mutation and reports its final
+    /// size. Idempotent.
+    pub fn seal(&self) -> DeltaStats {
+        self.sealed.store(true, Ordering::Release);
+        self.stats()
+    }
+
+    /// Whether [`seal`](Self::seal) has been called.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::Acquire)
+    }
+
+    /// Current size of the delta.
+    pub fn stats(&self) -> DeltaStats {
+        let rows = self.rows.read().unwrap_or_else(|p| p.into_inner()).len() as u64;
+        let tombstones = self
+            .tombstones
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .len() as u64;
+        DeltaStats { rows, tombstones }
+    }
+
+    /// Number of live delta rows.
+    pub fn live_rows(&self) -> usize {
+        self.rows.read().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// True when the delta holds no rows and no tombstones.
+    pub fn is_empty(&self) -> bool {
+        let s = self.stats();
+        s.rows == 0 && s.tombstones == 0
+    }
+
+    /// The tombstone set as one `Arc` clone — O(1), and stable for the
+    /// duration of a query regardless of concurrent deletes.
+    pub fn tombstones(&self) -> Arc<HashSet<u64>> {
+        Arc::clone(&self.tombstones.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Visits every delta row in ascending id order under a read lock.
+    /// Callers must not mutate the same delta from inside `f`.
+    pub fn for_each(&self, mut f: impl FnMut(u64, &R)) {
+        let rows = self.rows.read().unwrap_or_else(|p| p.into_inner());
+        for (&id, row) in rows.iter() {
+            f(id, row);
+        }
+    }
+
+    /// Visits every delta row, propagating the first error. Same locking
+    /// caveat as [`for_each`](Self::for_each).
+    pub fn try_for_each(&self, mut f: impl FnMut(u64, &R) -> Result<()>) -> Result<()> {
+        let rows = self.rows.read().unwrap_or_else(|p| p.into_inner());
+        for (&id, row) in rows.iter() {
+            f(id, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// The mutation extension of [`VectorIndex`]: live inserts and deletes
+/// through an in-memory delta, with queries remaining `&self` and
+/// bit-identical to a from-scratch build over the surviving rows.
+///
+/// Implementations prepare each inserted vector into their own stored
+/// representation using exactly the code the build path uses, so delta
+/// rows and base rows are indistinguishable to the distance computation.
+pub trait MutableVectorIndex: VectorIndex {
+    /// Adds a row under `id` (engine-assigned, unique, monotone).
+    fn insert(&self, id: u64, vector: &[f64]) -> Result<()>;
+
+    /// Removes the row with `id`. Returns whether visible state changed
+    /// (false when the id was already deleted). Unknown ids tombstone
+    /// harmlessly — the engine validates id ranges.
+    fn delete(&self, id: u64) -> Result<bool>;
+
+    /// Freezes the delta against further mutation (the retired-epoch
+    /// half of an atomic swap) and reports its final size.
+    fn seal(&self) -> DeltaStats;
+
+    /// Current delta size — the merge-pressure signal.
+    fn delta_stats(&self) -> DeltaStats;
+}
+
+/// Ingest-side counters carried by the `Stats` op and the CLI stats line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Current epoch number (bumped by every merge + swap).
+    pub epoch: u64,
+    /// Rows in the serving epoch's delta.
+    pub delta_rows: u64,
+    /// Tombstoned ids in the serving epoch.
+    pub tombstones: u64,
+    /// Bytes in the write-ahead log.
+    pub wal_bytes: u64,
+    /// Background merges completed since open.
+    pub merges: u64,
+    /// Next id the engine will assign.
+    pub next_id: u64,
+}
+
+/// An epoch pin: the epoch number plus an owning handle to the index that
+/// serves it. Queries run entirely against the pinned `Arc`; a concurrent
+/// merge swaps the *next* queries to a new epoch without touching pinned
+/// ones.
+#[derive(Clone)]
+pub struct PinnedEpoch {
+    /// The pinned epoch's number.
+    pub epoch: u64,
+    /// The index serving that epoch.
+    pub index: Arc<dyn VectorIndex>,
+}
+
+/// The process-level serving handle: epoch-versioned reads plus
+/// WAL-backed writes. `mmdr-serve` holds one of these; the persistence
+/// crate's ingest engine implements it, and [`ReadOnlyLive`] adapts a
+/// static snapshot (writes are typed errors).
+pub trait LiveIndex: Send + Sync {
+    /// Pins the current epoch for one query (or one coalesced batch).
+    /// Lock-free on the read path beyond one `RwLock` read + `Arc` clone.
+    fn pin(&self) -> PinnedEpoch;
+
+    /// Appends the vector to the WAL (fsync'd), applies it to the serving
+    /// delta, and returns the assigned id. The row is durable and visible
+    /// once this returns.
+    fn insert(&self, vector: &[f64]) -> Result<u64>;
+
+    /// Logs and applies a delete. Returns whether visible state changed.
+    fn delete(&self, id: u64) -> Result<bool>;
+
+    /// Forces a merge now: fold the delta into a fresh snapshot, swap
+    /// epochs, truncate the WAL. Returns the new epoch number.
+    fn flush(&self) -> Result<u64>;
+
+    /// Ingest-side counters (delta size, WAL bytes, epoch, merges).
+    fn ingest_stats(&self) -> IngestStats;
+}
+
+/// [`LiveIndex`] over a static snapshot: reads serve epoch 0 forever,
+/// writes are typed [`Error::ReadOnly`] rejections.
+pub struct ReadOnlyLive {
+    index: Arc<dyn VectorIndex>,
+}
+
+impl ReadOnlyLive {
+    /// Wraps an immutable index as a read-only serving handle.
+    pub fn new(index: Arc<dyn VectorIndex>) -> Self {
+        Self { index }
+    }
+}
+
+impl LiveIndex for ReadOnlyLive {
+    fn pin(&self) -> PinnedEpoch {
+        PinnedEpoch {
+            epoch: 0,
+            index: Arc::clone(&self.index),
+        }
+    }
+
+    fn insert(&self, _vector: &[f64]) -> Result<u64> {
+        Err(Error::ReadOnly)
+    }
+
+    fn delete(&self, _id: u64) -> Result<bool> {
+        Err(Error::ReadOnly)
+    }
+
+    fn flush(&self) -> Result<u64> {
+        Err(Error::ReadOnly)
+    }
+
+    fn ingest_stats(&self) -> IngestStats {
+        IngestStats {
+            next_id: self.index.len() as u64,
+            ..IngestStats::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_insert_delete_and_stats() {
+        let d: DeltaLayer<Vec<f64>> = DeltaLayer::new();
+        assert!(d.is_empty());
+        d.insert(10, vec![1.0]).unwrap();
+        d.insert(11, vec![2.0]).unwrap();
+        assert_eq!(
+            d.stats(),
+            DeltaStats {
+                rows: 2,
+                tombstones: 0
+            }
+        );
+        // Deleting a delta row removes it (and records the id as dead).
+        assert!(d.delete(10).unwrap());
+        assert_eq!(d.live_rows(), 1);
+        // Deleting a base id tombstones it; repeat deletes are no-ops.
+        assert!(d.delete(3).unwrap());
+        assert!(!d.delete(3).unwrap());
+        assert!(d.tombstones().contains(&3));
+        assert!(d.tombstones().contains(&10));
+        let s = d.stats();
+        assert_eq!(s.rows, 1);
+        assert_eq!(s.tombstones, 2);
+    }
+
+    #[test]
+    fn delta_iterates_in_id_order() {
+        let d: DeltaLayer<u32> = DeltaLayer::new();
+        for id in [5u64, 1, 9, 3] {
+            d.insert(id, id as u32).unwrap();
+        }
+        let mut seen = Vec::new();
+        d.for_each(|id, _| seen.push(id));
+        assert_eq!(seen, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn tombstone_handle_is_stable_across_later_deletes() {
+        let d: DeltaLayer<u32> = DeltaLayer::new();
+        d.delete(1).unwrap();
+        let pinned = d.tombstones();
+        d.delete(2).unwrap();
+        assert!(pinned.contains(&1));
+        assert!(!pinned.contains(&2), "pinned set is copy-on-write");
+        assert!(d.tombstones().contains(&2));
+    }
+
+    #[test]
+    fn seal_freezes_mutation() {
+        let d: DeltaLayer<u32> = DeltaLayer::new();
+        d.insert(1, 1).unwrap();
+        let s = d.seal();
+        assert_eq!(s.rows, 1);
+        assert!(d.is_sealed());
+        assert!(matches!(d.insert(2, 2), Err(Error::Sealed)));
+        assert!(matches!(d.delete(1), Err(Error::Sealed)));
+        // Reads still work on a sealed delta.
+        assert_eq!(d.live_rows(), 1);
+    }
+
+    #[test]
+    fn read_only_live_rejects_writes() {
+        use crate::stats::SearchCounters;
+        use mmdr_storage::IoStats;
+
+        struct Empty;
+        impl VectorIndex for Empty {
+            fn name(&self) -> &'static str {
+                "empty"
+            }
+            fn len(&self) -> usize {
+                7
+            }
+            fn dim(&self) -> usize {
+                1
+            }
+            fn knn(&self, _q: &[f64], _k: usize) -> Result<Vec<(f64, u64)>> {
+                Ok(Vec::new())
+            }
+            fn range_search(&self, _q: &[f64], _r: f64) -> Result<Vec<(f64, u64)>> {
+                Ok(Vec::new())
+            }
+            fn io_stats(&self) -> Arc<IoStats> {
+                IoStats::new()
+            }
+            fn search_counters(&self) -> Arc<SearchCounters> {
+                SearchCounters::new()
+            }
+        }
+
+        let live = ReadOnlyLive::new(Arc::new(Empty));
+        let pin = live.pin();
+        assert_eq!(pin.epoch, 0);
+        assert_eq!(pin.index.len(), 7);
+        assert!(matches!(live.insert(&[0.0]), Err(Error::ReadOnly)));
+        assert!(matches!(live.delete(0), Err(Error::ReadOnly)));
+        assert!(matches!(live.flush(), Err(Error::ReadOnly)));
+        assert_eq!(live.ingest_stats().next_id, 7);
+    }
+}

@@ -86,6 +86,21 @@ pub enum PersistError {
     Pca(mmdr_pca::Error),
     /// The storage layer rejected restored pages.
     Storage(mmdr_storage::Error),
+    /// A matrix operation on fold inputs failed (e.g. a row of the wrong
+    /// width reached a rebuild).
+    Linalg(mmdr_linalg::Error),
+    /// The query layer rejected an ingest operation (bad vector, sealed
+    /// delta, read-only index).
+    Query(mmdr_index::Error),
+    /// A complete write-ahead-log record failed its CRC or decoded to an
+    /// invalid structure — mid-log corruption, as opposed to a torn tail
+    /// (an incomplete final record), which replay truncates cleanly.
+    WalCorrupt {
+        /// Byte offset of the damaged record's frame header.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl PersistError {
@@ -152,6 +167,11 @@ impl fmt::Display for PersistError {
             PersistError::Core(e) => write!(f, "model restore failed: {e}"),
             PersistError::Pca(e) => write!(f, "subspace restore failed: {e}"),
             PersistError::Storage(e) => write!(f, "storage restore failed: {e}"),
+            PersistError::Linalg(e) => write!(f, "fold arithmetic failed: {e}"),
+            PersistError::Query(e) => write!(f, "ingest rejected: {e}"),
+            PersistError::WalCorrupt { offset, detail } => {
+                write!(f, "write-ahead log corrupt at byte {offset}: {detail}")
+            }
         }
     }
 }
@@ -166,6 +186,8 @@ impl std::error::Error for PersistError {
             PersistError::Core(e) => Some(e),
             PersistError::Pca(e) => Some(e),
             PersistError::Storage(e) => Some(e),
+            PersistError::Linalg(e) => Some(e),
+            PersistError::Query(e) => Some(e),
             _ => None,
         }
     }
@@ -199,6 +221,16 @@ impl From<mmdr_pca::Error> for PersistError {
 impl From<mmdr_storage::Error> for PersistError {
     fn from(e: mmdr_storage::Error) -> Self {
         PersistError::Storage(e)
+    }
+}
+impl From<mmdr_linalg::Error> for PersistError {
+    fn from(e: mmdr_linalg::Error) -> Self {
+        PersistError::Linalg(e)
+    }
+}
+impl From<mmdr_index::Error> for PersistError {
+    fn from(e: mmdr_index::Error) -> Self {
+        PersistError::Query(e)
     }
 }
 

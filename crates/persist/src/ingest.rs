@@ -1,0 +1,1128 @@
+//! The online-ingest engine: WAL → delta → background merge → atomic
+//! epoch swap.
+//!
+//! Writes flow through one funnel. An accepted operation is (1) framed and
+//! fsync'd into the write-ahead log, (2) applied to the serving epoch's
+//! in-memory delta (insert) or tombstone set (delete), and (3) queued for
+//! the next merge. A query never blocks on any of this: readers pin the
+//! serving epoch as one `Arc` clone and run entirely against that pin.
+//!
+//! The background merge folds the queued operations into fresh base
+//! structures — the same layouts a from-scratch build produces — saves
+//! them through the ordinary snapshot path, and swaps the serving epoch
+//! atomically. Operations that arrived *during* the fold are replayed into
+//! the new epoch's delta before the swap, so nothing is lost and nothing
+//! is visible twice. The retired epoch is sealed; queries still pinned to
+//! it finish unaffected and drop their pin when done.
+//!
+//! ## Exactness
+//!
+//! A merged index answers bit-identically to a from-scratch build over
+//! the union of surviving rows:
+//!
+//! - Inserted rows are prepared (projected / restored) with exactly the
+//!   build path's arithmetic, both in the delta and in the fold.
+//! - The model only ever grows: [`extend_model`] appends inserted ids to
+//!   the cluster the fitted model assigns them to; deletes never touch
+//!   the model, so cluster order, subspaces and partition numbering are
+//!   stable across merges.
+//! - Every backend's search visits delta rows exactly and filters
+//!   tombstones at push time, and the shared [`mmdr_index::KnnHeap`]'s
+//!   final top-k is independent of push order.
+//!
+//! ## Crash recovery
+//!
+//! The WAL is rewritten (not truncated in place) *after* the folded
+//! snapshot is durably renamed into place. A crash between the two leaves
+//! the old WAL alongside the new snapshot; replay-on-open skips `Insert`
+//! records whose id the snapshot's model already covers and re-applies
+//! `Delete` records, which are idempotent. A crash before the save leaves
+//! the old snapshot and the full WAL — replay reconstructs the delta
+//! exactly. Either way an acknowledged operation is never lost.
+
+use crate::error::{PersistError, Result};
+use crate::snapshot::{build_index, open_with, save, BuiltIndex, OpenOptions};
+use crate::wal::WalWriter;
+use mmdr_core::{PointAssignment, ReductionResult};
+use mmdr_hybridtree::HybridTree;
+use mmdr_idistance::{
+    Backend, GlobalLdrIndex, IDistanceIndex, PartitionInfo, SeqScan, VectorHeap, TOMBSTONE,
+};
+use mmdr_index::{
+    IngestOp, IngestStats, LiveIndex, PinnedEpoch, QueryStats, SearchCounters, VectorIndex,
+};
+use mmdr_linalg::Matrix;
+use mmdr_storage::{BufferPool, DiskManager, IoStats, PoolStats};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// The write-ahead log that pairs with a snapshot at `path`:
+/// `<snapshot>.wal` in the same directory, so the two travel together.
+pub fn wal_path(snapshot: &Path) -> PathBuf {
+    let mut name = snapshot.as_os_str().to_owned();
+    name.push(".wal");
+    PathBuf::from(name)
+}
+
+// ---- model extension ------------------------------------------------------
+
+/// Extends a reduction model with the inserts in `ops`: each inserted id
+/// joins the cluster the fitted model assigns its vector to (nearest
+/// subspace within `beta`, else the outlier set), exactly the routing the
+/// backends applied when the row entered their delta.
+///
+/// Deletes never modify the model. The member lists only ever grow, which
+/// keeps cluster order, subspaces and partition numbering stable across
+/// merges; the fold writes heap sentinels for (or simply omits) dead ids.
+pub fn extend_model(model: &mut ReductionResult, ops: &[IngestOp], beta: f64) -> Result<()> {
+    for op in ops {
+        let IngestOp::Insert { id, vector } = op else {
+            continue;
+        };
+        match model.assign_point(vector, beta)? {
+            PointAssignment::Cluster(ci) => model.clusters[ci].members.push(*id as usize),
+            PointAssignment::Outlier => model.outliers.push(*id as usize),
+        }
+        model.num_points = model.num_points.max(*id as usize + 1);
+    }
+    Ok(())
+}
+
+/// Replays `ops` in order into the net effect a fold consumes: the rows
+/// that must be added (last write wins) and the ids that must disappear.
+fn split_ops(ops: &[IngestOp]) -> (BTreeMap<u64, Vec<f64>>, HashSet<u64>) {
+    let mut inserted: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    let mut dead: HashSet<u64> = HashSet::new();
+    for op in ops {
+        match op {
+            IngestOp::Insert { id, vector } => {
+                inserted.insert(*id, vector.clone());
+                dead.remove(id);
+            }
+            IngestOp::Delete { id } => {
+                inserted.remove(id);
+                dead.insert(*id);
+            }
+        }
+    }
+    (inserted, dead)
+}
+
+// ---- folds ----------------------------------------------------------------
+
+/// Folds queued operations into fresh base structures for `base`'s
+/// backend, under the already-[extended](extend_model) `model`. The result
+/// has an empty delta and answers bit-identically to a from-scratch build
+/// over the union of surviving rows.
+pub fn fold(
+    base: &BuiltIndex,
+    model: &ReductionResult,
+    ops: &[IngestOp],
+    buffer_pages: usize,
+) -> Result<BuiltIndex> {
+    let (inserted, dead) = split_ops(ops);
+    let beta = base.ingest_beta();
+    Ok(match base {
+        BuiltIndex::SeqScan(s) => {
+            BuiltIndex::SeqScan(fold_seqscan(s, model, &inserted, &dead, buffer_pages)?)
+        }
+        BuiltIndex::IDistance(i) => BuiltIndex::IDistance(Box::new(fold_idistance(
+            i,
+            model,
+            &inserted,
+            &dead,
+            buffer_pages,
+        )?)),
+        BuiltIndex::Hybrid(t) => {
+            BuiltIndex::Hybrid(fold_hybrid(t, model, &inserted, &dead, buffer_pages, beta)?)
+        }
+        BuiltIndex::Gldr(g) => {
+            BuiltIndex::Gldr(fold_gldr(g, model, &inserted, &dead, buffer_pages, beta)?)
+        }
+    })
+}
+
+/// Collects a heap's live rows into an id-keyed map (sentinel records from
+/// earlier folds are skipped).
+fn heap_rows(heap: &VectorHeap) -> Result<HashMap<u64, Vec<f64>>> {
+    let mut base = HashMap::with_capacity(heap.len() as usize);
+    heap.scan(|_part, pid, coords| {
+        if pid != TOMBSTONE {
+            base.insert(pid, coords.to_vec());
+        }
+    })?;
+    Ok(base)
+}
+
+/// SeqScan fold: one heap record per model id, in model order.
+/// [`SeqScan::from_parts`] requires `heap.len() == model.num_points`, so
+/// dead ids keep a sentinel record (partition-width zeros under the
+/// [`TOMBSTONE`] point id) that scans skip.
+fn fold_seqscan(
+    scan: &SeqScan,
+    model: &ReductionResult,
+    inserted: &BTreeMap<u64, Vec<f64>>,
+    dead: &HashSet<u64>,
+    buffer_pages: usize,
+) -> Result<SeqScan> {
+    let base = heap_rows(scan.heap())?;
+    let pool = BufferPool::new(DiskManager::new(), buffer_pages.max(1))?;
+    let mut heap = VectorHeap::new(pool);
+    for (ci, cluster) in model.clusters.iter().enumerate() {
+        let zeros = vec![0.0; cluster.reduced_dim()];
+        for &pid in &cluster.members {
+            let id = pid as u64;
+            if dead.contains(&id) {
+                heap.append(ci as u32, TOMBSTONE, &zeros)?;
+            } else if let Some(v) = inserted.get(&id) {
+                let local = cluster.subspace.project(v)?;
+                heap.append(ci as u32, id, &local)?;
+            } else if let Some(coords) = base.get(&id) {
+                heap.append(ci as u32, id, coords)?;
+            } else {
+                // Folded out by an earlier merge: keep the sentinel.
+                heap.append(ci as u32, TOMBSTONE, &zeros)?;
+            }
+        }
+    }
+    let outlier_part = model.clusters.len() as u32;
+    let zeros = vec![0.0; model.dim];
+    for &pid in &model.outliers {
+        let id = pid as u64;
+        if dead.contains(&id) {
+            heap.append(outlier_part, TOMBSTONE, &zeros)?;
+        } else if let Some(v) = inserted.get(&id) {
+            heap.append(outlier_part, id, v)?;
+        } else if let Some(coords) = base.get(&id) {
+            heap.append(outlier_part, id, coords)?;
+        } else {
+            heap.append(outlier_part, TOMBSTONE, &zeros)?;
+        }
+    }
+    Ok(SeqScan::from_parts(heap, model)?)
+}
+
+/// iDistance fold: live rows only, re-appended per partition in ascending
+/// key-distance order (the build path's clustered layout), radii
+/// recomputed over survivors. The outlier partition keeps its *original*
+/// reference point — answers never depend on it, only keys and annulus
+/// bounds do, and those stay internally consistent as long as every
+/// distance is measured against the same reference.
+fn fold_idistance(
+    idx: &IDistanceIndex,
+    model: &ReductionResult,
+    inserted: &BTreeMap<u64, Vec<f64>>,
+    dead: &HashSet<u64>,
+    buffer_pages: usize,
+) -> Result<IDistanceIndex> {
+    let base = heap_rows(idx.heap())?;
+    let stats = IoStats::new();
+    let tree_pool = BufferPool::new(
+        DiskManager::with_stats(Arc::clone(&stats)),
+        (buffer_pages / 2).max(1),
+    )?;
+    let heap_pool = BufferPool::new(
+        DiskManager::with_stats(Arc::clone(&stats)),
+        (buffer_pages / 2).max(1),
+    )?;
+    let mut heap = VectorHeap::new(heap_pool);
+    let mut partitions: Vec<PartitionInfo> = Vec::with_capacity(model.clusters.len() + 1);
+    let mut staged: Vec<(usize, f64, u64)> = Vec::new();
+
+    let fold_partition = |part: usize,
+                          rows: &mut Vec<(f64, u64, Vec<f64>)>,
+                          heap: &mut VectorHeap,
+                          staged: &mut Vec<(usize, f64, u64)>|
+     -> Result<(f64, f64)> {
+        rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut min_radius = f64::INFINITY;
+        let mut max_radius: f64 = 0.0;
+        for (dist, pid, coords) in rows.iter() {
+            min_radius = min_radius.min(*dist);
+            max_radius = max_radius.max(*dist);
+            let rid = heap.append(part as u32, *pid, coords)?;
+            staged.push((part, *dist, rid));
+        }
+        Ok((
+            if min_radius.is_finite() {
+                min_radius
+            } else {
+                0.0
+            },
+            max_radius,
+        ))
+    };
+
+    for (ci, cluster) in model.clusters.iter().enumerate() {
+        let mut rows: Vec<(f64, u64, Vec<f64>)> = Vec::with_capacity(cluster.members.len());
+        for &pid in &cluster.members {
+            let id = pid as u64;
+            if dead.contains(&id) {
+                continue;
+            }
+            let local = if let Some(v) = inserted.get(&id) {
+                cluster.subspace.project(v)?
+            } else if let Some(coords) = base.get(&id) {
+                coords.clone()
+            } else {
+                continue;
+            };
+            rows.push((mmdr_linalg::l2_norm(&local), id, local));
+        }
+        let count = rows.len();
+        let (min_radius, max_radius) = fold_partition(ci, &mut rows, &mut heap, &mut staged)?;
+        partitions.push(PartitionInfo {
+            subspace: Some(cluster.subspace.clone()),
+            centroid: cluster.subspace.centroid().to_vec(),
+            covariance: Some(cluster.covariance.clone()),
+            min_radius,
+            max_radius,
+            count,
+        });
+    }
+
+    let outlier_part = model.clusters.len();
+    let reference = idx
+        .partitions()
+        .last()
+        .expect("every iDistance index has an outlier home")
+        .centroid
+        .clone();
+    let mut rows: Vec<(f64, u64, Vec<f64>)> = Vec::with_capacity(model.outliers.len());
+    for &pid in &model.outliers {
+        let id = pid as u64;
+        if dead.contains(&id) {
+            continue;
+        }
+        let coords = if let Some(v) = inserted.get(&id) {
+            v.clone()
+        } else if let Some(coords) = base.get(&id) {
+            coords.clone()
+        } else {
+            continue;
+        };
+        rows.push((mmdr_linalg::l2_dist(&coords, &reference), id, coords));
+    }
+    let count = rows.len();
+    let (min_radius, max_radius) = fold_partition(outlier_part, &mut rows, &mut heap, &mut staged)?;
+    partitions.push(PartitionInfo {
+        subspace: None,
+        centroid: reference,
+        covariance: None,
+        min_radius,
+        max_radius,
+        count,
+    });
+
+    // Keys must fit their partition slot: widen `c` if a new row stretched
+    // a radius past the old margin, never shrink it.
+    let widest = partitions.iter().map(|p| p.max_radius).fold(0.0, f64::max);
+    let c = idx.c().max(2.0 * widest + 1.0);
+    let mut entries: Vec<(f64, u64)> = staged
+        .into_iter()
+        .map(|(part, dist, rid)| (part as f64 * c + dist, rid))
+        .collect();
+    entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let tree = mmdr_btree::BPlusTree::bulk_load(tree_pool, &entries)?;
+    Ok(IDistanceIndex::from_parts(
+        tree,
+        heap,
+        partitions,
+        c,
+        model.dim,
+        idx.config().clone(),
+    )?)
+}
+
+/// Hybrid fold: surviving base rows are exported verbatim (they are
+/// already restored representations), inserted rows are restored with the
+/// build path's arithmetic, and a fresh tree is bulk-loaded.
+fn fold_hybrid(
+    tree: &HybridTree,
+    model: &ReductionResult,
+    inserted: &BTreeMap<u64, Vec<f64>>,
+    dead: &HashSet<u64>,
+    buffer_pages: usize,
+    beta: f64,
+) -> Result<HybridTree> {
+    let mut restored = Matrix::zeros(0, model.dim);
+    let mut rids: Vec<u64> = Vec::new();
+    for (rid, coords) in tree.export_rows()? {
+        if dead.contains(&rid) {
+            continue;
+        }
+        restored.push_row(&coords)?;
+        rids.push(rid);
+    }
+    for (&id, v) in inserted {
+        let row = match model.assign_point(v, beta)? {
+            PointAssignment::Cluster(ci) => {
+                let subspace = &model.clusters[ci].subspace;
+                subspace.restore(&subspace.project(v)?)?
+            }
+            PointAssignment::Outlier => v.clone(),
+        };
+        restored.push_row(&row)?;
+        rids.push(id);
+    }
+    let pool = BufferPool::new(DiskManager::new(), buffer_pages.max(1))?;
+    let mut out = HybridTree::bulk_load(pool, &restored, &rids)?;
+    mmdr_idistance::install_restored_prep(&mut out, model);
+    Ok(out)
+}
+
+/// gLDR fold: each cluster tree is rebuilt from its surviving exported
+/// rows plus the inserts routed to that cluster; pruning radii are
+/// recomputed over survivors (they may shrink — still a valid lower bound
+/// for every live row).
+fn fold_gldr(
+    g: &GlobalLdrIndex,
+    model: &ReductionResult,
+    inserted: &BTreeMap<u64, Vec<f64>>,
+    dead: &HashSet<u64>,
+    buffer_pages: usize,
+    beta: f64,
+) -> Result<GlobalLdrIndex> {
+    if g.num_cluster_trees() != model.clusters.len() {
+        return Err(PersistError::malformed(format!(
+            "gLDR forest has {} cluster trees but the model has {} clusters",
+            g.num_cluster_trees(),
+            model.clusters.len()
+        )));
+    }
+    // Route every inserted row once.
+    let mut per_cluster: Vec<Vec<(u64, Vec<f64>)>> = vec![Vec::new(); model.clusters.len()];
+    let mut outlier_rows: Vec<(u64, Vec<f64>)> = Vec::new();
+    for (&id, v) in inserted {
+        match model.assign_point(v, beta)? {
+            PointAssignment::Cluster(ci) => {
+                per_cluster[ci].push((id, model.clusters[ci].subspace.project(v)?));
+            }
+            PointAssignment::Outlier => outlier_rows.push((id, v.clone())),
+        }
+    }
+
+    let stats = IoStats::new();
+    let n_structures = model.clusters.len() + 1;
+    let pages_each = (buffer_pages / n_structures).max(1);
+    let mut clusters = Vec::with_capacity(model.clusters.len());
+    let mut len = 0usize;
+    for (ci, cluster) in model.clusters.iter().enumerate() {
+        let mut locals = Matrix::zeros(0, cluster.reduced_dim());
+        let mut rids: Vec<u64> = Vec::new();
+        let mut max_radius: f64 = 0.0;
+        for (rid, coords) in g.cluster_tree(ci).0.export_rows()? {
+            if dead.contains(&rid) {
+                continue;
+            }
+            max_radius = max_radius.max(mmdr_linalg::l2_norm(&coords));
+            locals.push_row(&coords)?;
+            rids.push(rid);
+        }
+        for (id, local) in &per_cluster[ci] {
+            max_radius = max_radius.max(mmdr_linalg::l2_norm(local));
+            locals.push_row(local)?;
+            rids.push(*id);
+        }
+        len += rids.len();
+        let pool = BufferPool::new(DiskManager::with_stats(Arc::clone(&stats)), pages_each)?;
+        let tree = HybridTree::bulk_load(pool, &locals, &rids)?;
+        clusters.push((cluster.subspace.clone(), tree, max_radius));
+    }
+
+    let mut rows = Matrix::zeros(0, model.dim);
+    let mut rids: Vec<u64> = Vec::new();
+    if let Some(t) = g.outlier_tree() {
+        for (rid, coords) in t.export_rows()? {
+            if dead.contains(&rid) {
+                continue;
+            }
+            rows.push_row(&coords)?;
+            rids.push(rid);
+        }
+    }
+    for (id, v) in &outlier_rows {
+        rows.push_row(v)?;
+        rids.push(*id);
+    }
+    len += rids.len();
+    let outlier_tree = if rids.is_empty() {
+        None
+    } else {
+        let pool = BufferPool::new(DiskManager::with_stats(Arc::clone(&stats)), pages_each)?;
+        Some(HybridTree::bulk_load(pool, &rows, &rids)?)
+    };
+    Ok(GlobalLdrIndex::from_parts(
+        clusters,
+        outlier_tree,
+        model.dim,
+        len,
+        stats,
+    )?)
+}
+
+// ---- epochs ---------------------------------------------------------------
+
+/// One immutable-base generation of the index: the folded structures plus
+/// their live delta. Readers pin an `Arc<Epoch>` per query; a merge swap
+/// replaces the serving `Arc` without touching existing pins.
+#[derive(Debug)]
+pub struct Epoch {
+    number: u64,
+    built: BuiltIndex,
+}
+
+impl Epoch {
+    /// The epoch's sequence number (0 = as opened).
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// The epoch's index.
+    pub fn built(&self) -> &BuiltIndex {
+        &self.built
+    }
+}
+
+impl VectorIndex for Epoch {
+    fn name(&self) -> &'static str {
+        self.built.as_dyn().name()
+    }
+    fn len(&self) -> usize {
+        self.built.as_dyn().len()
+    }
+    fn dim(&self) -> usize {
+        self.built.as_dyn().dim()
+    }
+    fn knn(&self, query: &[f64], k: usize) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        self.built.as_dyn().knn(query, k)
+    }
+    fn range_search(&self, query: &[f64], radius: f64) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        self.built.as_dyn().range_search(query, radius)
+    }
+    fn io_stats(&self) -> Arc<IoStats> {
+        self.built.as_dyn().io_stats()
+    }
+    fn search_counters(&self) -> Arc<SearchCounters> {
+        self.built.as_dyn().search_counters()
+    }
+    fn pool_stats(&self) -> Vec<PoolStats> {
+        self.built.as_dyn().pool_stats()
+    }
+    fn query_stats(&self) -> QueryStats {
+        self.built.as_dyn().query_stats()
+    }
+    fn batch_knn(
+        &self,
+        queries: &[Vec<f64>],
+        k: usize,
+        par: &mmdr_linalg::ParConfig,
+    ) -> mmdr_index::Result<Vec<Vec<(f64, u64)>>> {
+        self.built.as_dyn().batch_knn(queries, k, par)
+    }
+}
+
+// ---- engine ---------------------------------------------------------------
+
+/// Delta pressure (rows + tombstones) at which an insert or delete kicks
+/// off a background merge.
+pub const DEFAULT_MERGE_THRESHOLD: usize = 1024;
+
+/// Knobs for opening an [`IngestEngine`].
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Buffer-pool frames per restored pool (see
+    /// [`OpenOptions::pool_pages`]); also the page budget folds build
+    /// with. `None` keeps the capacities recorded at save time and folds
+    /// with [`DEFAULT_FOLD_PAGES`].
+    pub pool_pages: Option<usize>,
+    /// Delta pressure (rows + tombstones) that triggers a background
+    /// merge. `0` disables background merges — only explicit
+    /// [`LiveIndex::flush`] calls fold.
+    pub merge_threshold: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        Self {
+            pool_pages: None,
+            merge_threshold: DEFAULT_MERGE_THRESHOLD,
+        }
+    }
+}
+
+/// Page budget folds build with when [`IngestOptions::pool_pages`] is
+/// unset.
+pub const DEFAULT_FOLD_PAGES: usize = 256;
+
+/// Writer-side state, serialized under one mutex: the WAL, the operations
+/// queued for the next fold, the (extended) model and the id allocator.
+#[derive(Debug)]
+struct WriterState {
+    wal: WalWriter,
+    /// Operations applied to the serving delta but not yet folded, in
+    /// arrival order. Append-only between merges; a merge folds a prefix
+    /// and keeps the tail.
+    pending: Vec<IngestOp>,
+    model: ReductionResult,
+    next_id: u64,
+    epoch_no: u64,
+    merges: u64,
+}
+
+#[derive(Debug)]
+struct EngineCore {
+    path: PathBuf,
+    fold_pages: usize,
+    merge_threshold: usize,
+    serving: RwLock<Arc<Epoch>>,
+    writer: Mutex<WriterState>,
+    /// Serializes merges (background and explicit flush). Never acquired
+    /// while holding `writer`.
+    merge: Mutex<()>,
+    /// True while a background merge thread is in flight.
+    merging: AtomicBool,
+}
+
+/// The WAL-backed, epoch-versioned serving handle over a snapshot — the
+/// persistence crate's [`LiveIndex`] implementation.
+///
+/// Cloning is cheap (one `Arc`); all clones share the same engine.
+#[derive(Debug, Clone)]
+pub struct IngestEngine {
+    core: Arc<EngineCore>,
+}
+
+fn to_query_err(e: PersistError) -> mmdr_index::Error {
+    match e {
+        PersistError::Query(q) => q,
+        other => mmdr_index::Error::backend(other),
+    }
+}
+
+impl IngestEngine {
+    /// Builds `backend` over `(data, model)`, saves the snapshot to
+    /// `path`, and opens an engine over it with an empty WAL.
+    pub fn create(
+        path: impl AsRef<Path>,
+        backend: Backend,
+        data: &Matrix,
+        model: &ReductionResult,
+        buffer_pages: usize,
+        opts: IngestOptions,
+    ) -> Result<Self> {
+        let path = path.as_ref();
+        let built = build_index(backend, data, model, buffer_pages)?;
+        save(path, &built, model)?;
+        // A stale WAL next to a brand-new snapshot would replay foreign
+        // operations into it.
+        let wal = wal_path(path);
+        if wal.exists() {
+            std::fs::remove_file(&wal).map_err(|e| PersistError::io(&wal, e))?;
+        }
+        Self::open(path, opts)
+    }
+
+    /// Opens the snapshot at `path` and replays its WAL into the serving
+    /// delta. `Insert` records the snapshot's model already covers are
+    /// skipped (a previous merge folded them before the crash); `Delete`
+    /// records are always re-applied — tombstoning an id that is already
+    /// gone is harmless.
+    pub fn open(path: impl AsRef<Path>, opts: IngestOptions) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let opened = open_with(
+            &path,
+            &OpenOptions {
+                pool_pages: opts.pool_pages,
+                ..OpenOptions::default()
+            },
+        )?;
+        let (wal, replay) = WalWriter::open(wal_path(&path))?;
+        let folded_below = opened.model.num_points as u64;
+        let mut pending: Vec<IngestOp> = Vec::new();
+        let mut next_id = folded_below;
+        for op in replay.ops {
+            match &op {
+                IngestOp::Insert { id, vector } => {
+                    if *id < folded_below {
+                        continue; // already folded into the snapshot
+                    }
+                    opened
+                        .index
+                        .as_mutable()
+                        .insert(*id, vector)
+                        .map_err(PersistError::from)?;
+                    next_id = next_id.max(*id + 1);
+                }
+                IngestOp::Delete { id } => {
+                    let _ = opened
+                        .index
+                        .as_mutable()
+                        .delete(*id)
+                        .map_err(PersistError::from)?;
+                }
+            }
+            pending.push(op);
+        }
+        let core = EngineCore {
+            path,
+            fold_pages: opts.pool_pages.unwrap_or(DEFAULT_FOLD_PAGES),
+            merge_threshold: opts.merge_threshold,
+            serving: RwLock::new(Arc::new(Epoch {
+                number: 0,
+                built: opened.index,
+            })),
+            writer: Mutex::new(WriterState {
+                wal,
+                pending,
+                model: opened.model,
+                next_id,
+                epoch_no: 0,
+                merges: 0,
+            }),
+            merge: Mutex::new(()),
+            merging: AtomicBool::new(false),
+        };
+        Ok(Self {
+            core: Arc::new(core),
+        })
+    }
+
+    /// The snapshot path this engine folds into.
+    pub fn path(&self) -> &Path {
+        &self.core.path
+    }
+
+    /// Blocks until no background merge is in flight (the next pressure
+    /// trigger may start a new one). Test and shutdown aid.
+    pub fn quiesce(&self) {
+        let _guard = self.core.merge.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+impl EngineCore {
+    fn serving(&self) -> Arc<Epoch> {
+        Arc::clone(&self.serving.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Kicks off a background merge when delta pressure crosses the
+    /// threshold and none is already running. Must not be called while
+    /// holding the writer lock (the merge takes it).
+    fn maybe_spawn_merge(self: &Arc<Self>) {
+        if self.merge_threshold == 0 {
+            return;
+        }
+        let stats = self.serving().built.as_mutable().delta_stats();
+        if (stats.rows + stats.tombstones) < self.merge_threshold as u64 {
+            return;
+        }
+        if self
+            .merging
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        let core = Arc::clone(self);
+        std::thread::spawn(move || {
+            let result = core.merge_now();
+            core.merging.store(false, Ordering::Release);
+            if let Err(e) = result {
+                // Queries and writes continue against the current epoch;
+                // the next pressure trigger retries the fold.
+                eprintln!("mmdr: background merge failed: {e}");
+            }
+        });
+    }
+
+    /// Folds the pending operations into a fresh snapshot and swaps the
+    /// serving epoch. Returns the (possibly unchanged) epoch number.
+    fn merge_now(&self) -> Result<u64> {
+        let _merges_are_serial = self.merge.lock().unwrap_or_else(|p| p.into_inner());
+
+        // Snapshot phase: pin the base epoch and the operation prefix to
+        // fold. Consistent because swaps also hold the writer lock.
+        let (base, ops, mut model) = {
+            let w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+            if w.pending.is_empty() {
+                return Ok(w.epoch_no);
+            }
+            (self.serving(), w.pending.clone(), w.model.clone())
+        };
+
+        // Fold phase, off every lock: writers keep landing in the base
+        // epoch's delta and the pending tail; readers keep pinning the
+        // base epoch. The fold reads only immutable base structures and
+        // the cloned op prefix.
+        let beta = base.built.ingest_beta();
+        extend_model(&mut model, &ops, beta)?;
+        let folded = fold(&base.built, &model, &ops, self.fold_pages)?;
+        save(&self.path, &folded, &model)?;
+
+        // Swap phase: replay the tail that arrived during the fold into
+        // the new epoch, rewrite the WAL down to that tail, and publish.
+        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let tail: Vec<IngestOp> = w.pending[ops.len()..].to_vec();
+        for op in &tail {
+            match op {
+                IngestOp::Insert { id, vector } => {
+                    folded
+                        .as_mutable()
+                        .insert(*id, vector)
+                        .map_err(PersistError::from)?;
+                }
+                IngestOp::Delete { id } => {
+                    let _ = folded
+                        .as_mutable()
+                        .delete(*id)
+                        .map_err(PersistError::from)?;
+                }
+            }
+        }
+        w.wal = WalWriter::rewrite(w.wal.path(), &tail)?;
+        w.pending = tail;
+        w.model = model;
+        w.merges += 1;
+        w.epoch_no += 1;
+        let fresh = Arc::new(Epoch {
+            number: w.epoch_no,
+            built: folded,
+        });
+        let retired = {
+            let mut serving = self.serving.write().unwrap_or_else(|p| p.into_inner());
+            std::mem::replace(&mut *serving, fresh)
+        };
+        // The retired epoch only serves queries already pinned to it;
+        // freeze its delta so a straggling writer bug cannot fork history.
+        retired.built.as_mutable().seal();
+        Ok(w.epoch_no)
+    }
+}
+
+impl LiveIndex for IngestEngine {
+    fn pin(&self) -> PinnedEpoch {
+        let epoch = self.core.serving();
+        PinnedEpoch {
+            epoch: epoch.number,
+            index: epoch,
+        }
+    }
+
+    fn insert(&self, vector: &[f64]) -> mmdr_index::Result<u64> {
+        let id = {
+            let mut w = self.core.writer.lock().unwrap_or_else(|p| p.into_inner());
+            if vector.len() != w.model.dim {
+                return Err(mmdr_index::Error::DimensionMismatch {
+                    expected: w.model.dim,
+                    actual: vector.len(),
+                });
+            }
+            if vector.iter().any(|x| !x.is_finite()) {
+                return Err(mmdr_index::Error::InvalidQuery);
+            }
+            let id = w.next_id;
+            let op = IngestOp::Insert {
+                id,
+                vector: vector.to_vec(),
+            };
+            // Durable first, then visible: the WAL append fsyncs.
+            w.wal.append(&op).map_err(to_query_err)?;
+            self.core.serving().built.as_mutable().insert(id, vector)?;
+            w.pending.push(op);
+            w.next_id += 1;
+            id
+        };
+        self.core.maybe_spawn_merge();
+        Ok(id)
+    }
+
+    fn delete(&self, id: u64) -> mmdr_index::Result<bool> {
+        let changed = {
+            let mut w = self.core.writer.lock().unwrap_or_else(|p| p.into_inner());
+            if id >= w.next_id {
+                return Ok(false); // never-assigned id: nothing to log
+            }
+            let op = IngestOp::Delete { id };
+            w.wal.append(&op).map_err(to_query_err)?;
+            let changed = self.core.serving().built.as_mutable().delete(id)?;
+            w.pending.push(op);
+            changed
+        };
+        self.core.maybe_spawn_merge();
+        Ok(changed)
+    }
+
+    fn flush(&self) -> mmdr_index::Result<u64> {
+        self.core.merge_now().map_err(to_query_err)
+    }
+
+    fn ingest_stats(&self) -> IngestStats {
+        let epoch = self.core.serving();
+        let delta = epoch.built.as_mutable().delta_stats();
+        let w = self.core.writer.lock().unwrap_or_else(|p| p.into_inner());
+        IngestStats {
+            epoch: w.epoch_no,
+            delta_rows: delta.rows,
+            tombstones: delta.tombstones,
+            wal_bytes: w.wal.bytes(),
+            merges: w.merges,
+            next_id: w.next_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdr_core::{Mmdr, MmdrParams};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmdr-ingest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn dataset() -> Matrix {
+        let mut rows = Vec::new();
+        let jit = |i: usize, s: f64| ((i as f64 * 0.618_033_988 + s).fract() - 0.5) * 0.02;
+        for i in 0..120 {
+            let t = i as f64 / 119.0;
+            rows.push(vec![t, 0.3 * t, jit(i, 0.5), jit(i, 0.7)]);
+            rows.push(vec![
+                5.0 + jit(i, 0.1),
+                5.0 + jit(i, 0.9),
+                5.0 + t,
+                5.0 - 0.5 * t,
+            ]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    fn model_for(data: &Matrix) -> ReductionResult {
+        Mmdr::new(MmdrParams {
+            max_ec: 4,
+            ..Default::default()
+        })
+        .fit(data)
+        .unwrap()
+    }
+
+    /// New rows the fitted model routes to a cluster and to the outlier
+    /// side, mixed.
+    fn new_rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let t = (i as f64 * 0.381_966).fract();
+                if i % 3 == 2 {
+                    vec![2.0 + t, -1.0 - t, 2.0, -2.0] // off every subspace
+                } else {
+                    vec![t, 0.3 * t, 0.001, -0.001] // on cluster 0's line
+                }
+            })
+            .collect()
+    }
+
+    /// Fresh-build reference over the union: base data + survivors of the
+    /// inserted rows, with deletes applied through the delta layer (the
+    /// reference build also masks deleted *base* ids via tombstones).
+    fn reference(
+        backend: Backend,
+        data: &Matrix,
+        inserts: &[Vec<f64>],
+        deletes: &[u64],
+    ) -> BuiltIndex {
+        let mut union = data.clone();
+        for v in inserts {
+            union.push_row(v).unwrap();
+        }
+        let mut model = model_for(data);
+        let base_rows = data.rows() as u64;
+        let ops: Vec<IngestOp> = inserts
+            .iter()
+            .enumerate()
+            .map(|(i, v)| IngestOp::Insert {
+                id: base_rows + i as u64,
+                vector: v.clone(),
+            })
+            .collect();
+        let built = build_index(backend, data, &model, 128).unwrap();
+        extend_model(&mut model, &ops, built.ingest_beta()).unwrap();
+        let fresh = build_index(backend, &union, &model, 128).unwrap();
+        for &id in deletes {
+            let _ = fresh.as_mutable().delete(id).unwrap();
+        }
+        fresh
+    }
+
+    #[test]
+    fn fold_matches_fresh_build_over_union() {
+        let data = dataset();
+        let model = model_for(&data);
+        let inserts = new_rows(9);
+        let deletes: Vec<u64> = vec![3, 77, 240]; // two base rows + one inserted row
+        for backend in Backend::all() {
+            let base = build_index(backend, &data, &model, 128).unwrap();
+            let mut ops: Vec<IngestOp> = inserts
+                .iter()
+                .enumerate()
+                .map(|(i, v)| IngestOp::Insert {
+                    id: data.rows() as u64 + i as u64,
+                    vector: v.clone(),
+                })
+                .collect();
+            ops.extend(deletes.iter().map(|&id| IngestOp::Delete { id }));
+            let mut extended = model.clone();
+            extend_model(&mut extended, &ops, base.ingest_beta()).unwrap();
+            let folded = fold(&base, &extended, &ops, 128).unwrap();
+            let fresh = reference(backend, &data, &inserts, &deletes);
+            for qi in [0usize, 7, 41, 113] {
+                let q = data.row(qi);
+                let a = folded.as_dyn().knn(q, 10).unwrap();
+                let b = fresh.as_dyn().knn(q, 10).unwrap();
+                assert_eq!(a, b, "{}: fold ≡ fresh build (bitwise)", backend.name());
+                assert!(
+                    !a.iter().any(|&(_, id)| deletes.contains(&id)),
+                    "{}: deleted ids stay gone",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_insert_query_flush_cycle() {
+        let data = dataset();
+        let model = model_for(&data);
+        let dir = tmp_dir("cycle");
+        let path = dir.join("idx.mmdr");
+        let engine = IngestEngine::create(
+            &path,
+            Backend::IDistance,
+            &data,
+            &model,
+            128,
+            IngestOptions {
+                merge_threshold: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let probe = vec![0.4, 0.12, 0.0, 0.0];
+        let id = engine.insert(&probe).unwrap();
+        assert_eq!(id, data.rows() as u64);
+        let pin = engine.pin();
+        assert_eq!(pin.epoch, 0);
+        // Visible immediately through the pinned epoch.
+        let hits = pin.index.knn(&probe, 1).unwrap();
+        assert_eq!(hits[0].1, id);
+        // The WAL holds the op until a merge folds it.
+        let stats = engine.ingest_stats();
+        assert_eq!(stats.delta_rows, 1);
+        assert!(stats.wal_bytes > 0);
+        // Flush folds, swaps the epoch, and truncates the WAL.
+        let epoch = engine.flush().unwrap();
+        assert_eq!(epoch, 1);
+        let stats = engine.ingest_stats();
+        assert_eq!(
+            (stats.delta_rows, stats.tombstones, stats.wal_bytes),
+            (0, 0, 0)
+        );
+        assert_eq!(stats.merges, 1);
+        let pin2 = engine.pin();
+        assert_eq!(pin2.epoch, 1);
+        let hits = pin2.index.knn(&probe, 1).unwrap();
+        assert_eq!(hits[0].1, id);
+        // The old pin still answers (retired epoch sealed, not destroyed).
+        let hits = pin.index.knn(&probe, 1).unwrap();
+        assert_eq!(hits[0].1, id);
+        // Deletes round-trip too.
+        assert!(engine.delete(id).unwrap());
+        assert!(!engine.delete(id).unwrap(), "second delete is a no-op");
+        assert!(!engine.delete(999_999).unwrap(), "unknown id: no-op");
+        let hits = engine.pin().index.knn(&probe, 1).unwrap();
+        assert_ne!(hits[0].1, id);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_on_open_restores_acknowledged_ops() {
+        let data = dataset();
+        let model = model_for(&data);
+        let dir = tmp_dir("replay");
+        let path = dir.join("idx.mmdr");
+        let opts = IngestOptions {
+            merge_threshold: 0,
+            ..Default::default()
+        };
+        let probe = vec![0.4, 0.12, 0.0, 0.0];
+        let (id, deleted) = {
+            let engine =
+                IngestEngine::create(&path, Backend::SeqScan, &data, &model, 128, opts.clone())
+                    .unwrap();
+            let id = engine.insert(&probe).unwrap();
+            engine.delete(5).unwrap();
+            (id, 5u64)
+            // Engine dropped without flush: the snapshot on disk knows
+            // nothing of these ops — only the WAL does.
+        };
+        let engine = IngestEngine::open(&path, opts).unwrap();
+        let stats = engine.ingest_stats();
+        assert_eq!(stats.delta_rows, 1);
+        assert_eq!(stats.tombstones, 1);
+        assert_eq!(stats.next_id, id + 1);
+        let pin = engine.pin();
+        assert_eq!(pin.index.knn(&probe, 1).unwrap()[0].1, id);
+        assert!(pin
+            .index
+            .knn(data.row(deleted as usize), 3)
+            .unwrap()
+            .iter()
+            .all(|&(_, pid)| pid != deleted));
+        // A merge after recovery folds the replayed ops durably.
+        engine.flush().unwrap();
+        let stats = engine.ingest_stats();
+        assert_eq!((stats.delta_rows, stats.wal_bytes), (0, 0));
+        let reopened = IngestEngine::open(&path, IngestOptions::default()).unwrap();
+        assert_eq!(reopened.pin().index.knn(&probe, 1).unwrap()[0].1, id);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_merge_triggers_on_pressure() {
+        let data = dataset();
+        let model = model_for(&data);
+        let dir = tmp_dir("pressure");
+        let path = dir.join("idx.mmdr");
+        let engine = IngestEngine::create(
+            &path,
+            Backend::Hybrid,
+            &data,
+            &model,
+            128,
+            IngestOptions {
+                merge_threshold: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for v in new_rows(24) {
+            engine.insert(&v).unwrap();
+        }
+        // Let any in-flight merge finish, then check at least one ran.
+        engine.quiesce();
+        let stats = engine.ingest_stats();
+        assert!(
+            stats.merges >= 1,
+            "pressure crossed, merges {}",
+            stats.merges
+        );
+        assert!(stats.epoch >= 1);
+        // Every inserted row is still visible after the swap(s).
+        let pin = engine.pin();
+        assert_eq!(pin.index.len(), data.rows() + 24);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -38,13 +38,20 @@
 mod codec;
 mod error;
 pub mod format;
+mod ingest;
 mod model_codec;
 mod snapshot;
+mod wal;
 
 pub use error::{PersistError, Result};
 pub use format::FORMAT_VERSION;
+pub use ingest::{
+    extend_model, fold, wal_path, Epoch, IngestEngine, IngestOptions, DEFAULT_FOLD_PAGES,
+    DEFAULT_MERGE_THRESHOLD,
+};
 pub use mmdr_storage::{crc32, Crc32};
 pub use snapshot::{
     build_index, open, open_expecting, open_expecting_with, open_or_build, open_resident,
     open_with, save, scrub, BuiltIndex, OpenOptions, Opened,
 };
+pub use wal::{decode_op, decode_wal, encode_op, replay_wal, WalReplay, WalWriter, MAX_WAL_RECORD};

@@ -88,6 +88,27 @@ impl BuiltIndex {
             BuiltIndex::Gldr(i) => Box::new(i),
         }
     }
+
+    /// Mutates the index through the uniform ingest trait — every backend
+    /// layers a delta on top of its immutable base structures.
+    pub fn as_mutable(&self) -> &dyn mmdr_index::MutableVectorIndex {
+        match self {
+            BuiltIndex::SeqScan(i) => i,
+            BuiltIndex::IDistance(i) => i.as_ref(),
+            BuiltIndex::Hybrid(i) => i,
+            BuiltIndex::Gldr(i) => i,
+        }
+    }
+
+    /// The β this backend routes inserted points with (cluster-vs-outlier
+    /// test). iDistance carries its own configured β; the other backends
+    /// use the paper's Table 1 default.
+    pub fn ingest_beta(&self) -> f64 {
+        match self {
+            BuiltIndex::IDistance(i) => i.config().beta,
+            _ => mmdr_idistance::DEFAULT_BETA,
+        }
+    }
 }
 
 /// Builds the chosen backend as a [`BuiltIndex`] — the snapshot-aware
@@ -560,12 +581,11 @@ fn restore(
             let hm = get_hybrid_meta(&mut meta)?;
             expect_groups(&groups, 1)?;
             let stats = IoStats::new();
-            BuiltIndex::Hybrid(restore_hybrid(
-                hm,
-                groups.pop().expect("one group"),
-                &stats,
-                opts,
-            )?)
+            let mut tree = restore_hybrid(hm, groups.pop().expect("one group"), &stats, opts)?;
+            // Hooks are code, not data: reinstall the restored-representation
+            // ingest prep the build path gave the tree.
+            mmdr_idistance::install_restored_prep(&mut tree, &model);
+            BuiltIndex::Hybrid(tree)
         }
         Backend::Gldr => {
             let dim = meta.get_usize()?;

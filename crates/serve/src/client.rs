@@ -124,6 +124,35 @@ impl Client {
         })
     }
 
+    /// Inserts one vector. The returned id is durable: the server
+    /// acknowledges only after the WAL fsync.
+    pub fn insert(&mut self, vector: &[f64]) -> Result<u64> {
+        let req = Request::Insert {
+            vector: vector.to_vec(),
+        };
+        Self::expect(self.call(&req)?, |r| match r {
+            Response::Inserted(id) => Some(id),
+            _ => None,
+        })
+    }
+
+    /// Deletes one id; `true` when visible state changed.
+    pub fn delete(&mut self, id: u64) -> Result<bool> {
+        Self::expect(self.call(&Request::Delete { id })?, |r| match r {
+            Response::Deleted(changed) => Some(changed),
+            _ => None,
+        })
+    }
+
+    /// Forces a merge (fold the delta, swap epochs, truncate the WAL) and
+    /// returns the new serving epoch number.
+    pub fn flush(&mut self) -> Result<u64> {
+        Self::expect(self.call(&Request::Flush)?, |r| match r {
+            Response::Flushed(epoch) => Some(epoch),
+            _ => None,
+        })
+    }
+
     /// Server identity plus index, buffer-pool, and traffic counters.
     pub fn stats(&mut self) -> Result<RemoteStats> {
         Self::expect(self.call(&Request::Stats)?, |r| match r {

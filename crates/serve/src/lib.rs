@@ -29,7 +29,7 @@ pub mod wire;
 pub use client::Client;
 pub use error::{Result, ServeError};
 pub use server::{shutdown_flag_on_signals, Server, ServerConfig, ServerHandle};
-pub use wire::{RemoteStats, Request, Response, ServerCounters, WireError};
+pub use wire::{IngestWire, RemoteStats, Request, Response, ServerCounters, WireError};
 
 #[cfg(test)]
 mod tests {
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn end_to_end_roundtrip() {
         let index = toy();
-        let handle = Server::start(
+        let handle = Server::start_static(
             Arc::clone(&index),
             ("127.0.0.1", 0),
             ServerConfig::default(),
@@ -146,9 +146,28 @@ mod tests {
     }
 
     #[test]
+    fn writes_to_a_static_server_are_typed_errors() {
+        let handle =
+            Server::start_static(toy(), ("127.0.0.1", 0), ServerConfig::default()).expect("start");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        assert!(matches!(
+            client.insert(&[1.0, 2.0]),
+            Err(ServeError::Remote(_))
+        ));
+        assert!(matches!(client.delete(3), Err(ServeError::Remote(_))));
+        assert!(matches!(client.flush(), Err(ServeError::Remote(_))));
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.server.insert_requests, 1);
+        assert_eq!(stats.server.delete_requests, 1);
+        assert_eq!(stats.ingest.epoch, 0);
+        assert_eq!(stats.ingest.next_id, 32, "read-only next_id mirrors len");
+        handle.shutdown();
+    }
+
+    #[test]
     fn shutdown_over_the_wire() {
         let handle =
-            Server::start(toy(), ("127.0.0.1", 0), ServerConfig::default()).expect("start");
+            Server::start_static(toy(), ("127.0.0.1", 0), ServerConfig::default()).expect("start");
         let mut client = Client::connect(handle.local_addr()).expect("connect");
         client.shutdown_server().expect("shutdown ack");
         let counters = handle.shutdown();

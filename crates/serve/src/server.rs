@@ -35,7 +35,7 @@ use crate::stats::ServerStats;
 use crate::wire::{
     self, opcode, RemoteStats, Request, Response, ServerCounters, WireError, MAX_FRAME,
 };
-use mmdr_index::VectorIndex;
+use mmdr_index::{LiveIndex, ReadOnlyLive, VectorIndex};
 use mmdr_linalg::ParConfig;
 use std::io::{self, ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -100,11 +100,16 @@ impl Default for ServerConfig {
     }
 }
 
-/// A queued query op (the cheap ops never reach the queue).
+/// A queued op (the cheap ops never reach the queue). Writes ride the
+/// same queue as queries: admission control covers them, and a burst of
+/// inserts cannot starve reads any harder than a burst of queries could.
 enum JobOp {
     Knn { query: Vec<f64>, k: usize },
     Range { query: Vec<f64>, radius: f64 },
     Batch { queries: Vec<Vec<f64>>, k: usize },
+    Insert { vector: Vec<f64> },
+    Delete { id: u64 },
+    Flush,
 }
 
 impl JobOp {
@@ -113,6 +118,9 @@ impl JobOp {
             JobOp::Knn { .. } => opcode::KNN,
             JobOp::Range { .. } => opcode::RANGE,
             JobOp::Batch { .. } => opcode::BATCH_KNN,
+            JobOp::Insert { .. } => opcode::INSERT,
+            JobOp::Delete { .. } => opcode::DELETE,
+            JobOp::Flush => opcode::FLUSH,
         }
     }
 }
@@ -148,7 +156,7 @@ impl Conn {
 }
 
 struct Shared {
-    index: Arc<dyn VectorIndex>,
+    index: Arc<dyn LiveIndex>,
     queue: JobQueue<Job>,
     stats: ServerStats,
     shutdown: AtomicBool,
@@ -168,10 +176,23 @@ impl Shared {
 pub struct Server;
 
 impl Server {
-    /// Binds `addr` (port 0 picks an ephemeral port — read it back from
-    /// [`ServerHandle::local_addr`]) and starts serving `index`.
-    pub fn start(
+    /// Serves a static snapshot: queries work as always, writes answer
+    /// with a typed "read-only" error. The common case for benchmarks and
+    /// parity gates that never ingest.
+    pub fn start_static(
         index: Arc<dyn VectorIndex>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        Self::start(Arc::new(ReadOnlyLive::new(index)), addr, config)
+    }
+
+    /// Binds `addr` (port 0 picks an ephemeral port — read it back from
+    /// [`ServerHandle::local_addr`]) and starts serving `index`. Each
+    /// query pins the serving epoch once; inserts, deletes and flushes go
+    /// through the engine's write path.
+    pub fn start(
+        index: Arc<dyn LiveIndex>,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
@@ -481,6 +502,15 @@ fn handle_frame(shared: &Arc<Shared>, conn: &Arc<Conn>, payload: &[u8]) -> bool 
                 },
             )
         }
+        Request::Insert { vector } => {
+            shared.stats.record_insert();
+            enqueue(shared, conn, id, JobOp::Insert { vector })
+        }
+        Request::Delete { id: point } => {
+            shared.stats.record_delete();
+            enqueue(shared, conn, id, JobOp::Delete { id: point })
+        }
+        Request::Flush => enqueue(shared, conn, id, JobOp::Flush),
     }
 }
 
@@ -516,13 +546,15 @@ fn enqueue(shared: &Arc<Shared>, conn: &Arc<Conn>, id: u64, op: JobOp) -> bool {
 }
 
 fn build_stats(shared: &Shared) -> RemoteStats {
+    let pin = shared.index.pin();
     RemoteStats {
-        backend: shared.index.name().to_string(),
-        len: shared.index.len() as u64,
-        dim: shared.index.dim() as u32,
-        query: shared.index.query_stats().into(),
-        pools: shared.index.pool_stats(),
+        backend: pin.index.name().to_string(),
+        len: pin.index.len() as u64,
+        dim: pin.index.dim() as u32,
+        query: pin.index.query_stats().into(),
+        pools: pin.index.pool_stats(),
         server: shared.stats.snapshot(shared.queue.len()),
+        ingest: shared.index.ingest_stats().into(),
     }
 }
 
@@ -556,25 +588,51 @@ fn worker_loop(shared: &Arc<Shared>) {
                 coalesce_and_run(shared, request_id, conn, query, k, &par);
             }
             JobOp::Knn { query, k } => {
-                let resp = match guarded(|| shared.index.knn(&query, k)) {
+                // One pin per job: the query runs to completion against
+                // this epoch even if a merge swaps mid-flight.
+                let pin = shared.index.pin();
+                let resp = match guarded(|| pin.index.knn(&query, k)) {
                     Ok(hits) => Response::Neighbors(hits),
                     Err(msg) => Response::Error(msg),
                 };
                 send_and_release(&conn, request_id, opcode::KNN, &resp);
             }
             JobOp::Range { query, radius } => {
-                let resp = match guarded(|| shared.index.range_search(&query, radius)) {
+                let pin = shared.index.pin();
+                let resp = match guarded(|| pin.index.range_search(&query, radius)) {
                     Ok(hits) => Response::Neighbors(hits),
                     Err(msg) => Response::Error(msg),
                 };
                 send_and_release(&conn, request_id, opcode::RANGE, &resp);
             }
             JobOp::Batch { queries, k } => {
-                let resp = match guarded(|| shared.index.batch_knn(&queries, k, &par)) {
+                let pin = shared.index.pin();
+                let resp = match guarded(|| pin.index.batch_knn(&queries, k, &par)) {
                     Ok(rows) => Response::Batch(rows),
                     Err(msg) => Response::Error(msg),
                 };
                 send_and_release(&conn, request_id, opcode::BATCH_KNN, &resp);
+            }
+            JobOp::Insert { vector } => {
+                let resp = match guarded(|| shared.index.insert(&vector)) {
+                    Ok(id) => Response::Inserted(id),
+                    Err(msg) => Response::Error(msg),
+                };
+                send_and_release(&conn, request_id, opcode::INSERT, &resp);
+            }
+            JobOp::Delete { id } => {
+                let resp = match guarded(|| shared.index.delete(id)) {
+                    Ok(changed) => Response::Deleted(changed),
+                    Err(msg) => Response::Error(msg),
+                };
+                send_and_release(&conn, request_id, opcode::DELETE, &resp);
+            }
+            JobOp::Flush => {
+                let resp = match guarded(|| shared.index.flush()) {
+                    Ok(epoch) => Response::Flushed(epoch),
+                    Err(msg) => Response::Error(msg),
+                };
+                send_and_release(&conn, request_id, opcode::FLUSH, &resp);
             }
         }
     }
@@ -597,8 +655,11 @@ fn coalesce_and_run(
         shared.config.coalesce.saturating_sub(1),
         |j| matches!(&j.op, JobOp::Knn { k: jk, .. } if *jk == k),
     );
+    // One pin for the whole fold: every coalesced query answers from the
+    // same epoch, so a batch can never mix pre- and post-merge views.
+    let pin = shared.index.pin();
     if more.is_empty() {
-        let resp = match guarded(|| shared.index.knn(&lead_query, k)) {
+        let resp = match guarded(|| pin.index.knn(&lead_query, k)) {
             Ok(hits) => Response::Neighbors(hits),
             Err(msg) => Response::Error(msg),
         };
@@ -618,7 +679,7 @@ fn coalesce_and_run(
         }
     }
     shared.stats.record_coalesce(queries.len() as u64);
-    match guarded(|| shared.index.batch_knn(&queries, k, par)) {
+    match guarded(|| pin.index.batch_knn(&queries, k, par)) {
         Ok(rows) => {
             for ((id, conn), hits) in recipients.iter().zip(rows) {
                 send_and_release(conn, *id, opcode::KNN, &Response::Neighbors(hits));
@@ -629,7 +690,7 @@ fn coalesce_and_run(
             // dimension). Re-run individually so each caller gets its own
             // typed verdict instead of a shared one.
             for ((id, conn), q) in recipients.iter().zip(&queries) {
-                let resp = match guarded(|| shared.index.knn(q, k)) {
+                let resp = match guarded(|| pin.index.knn(q, k)) {
                     Ok(hits) => Response::Neighbors(hits),
                     Err(msg) => Response::Error(msg),
                 };

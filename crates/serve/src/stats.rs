@@ -15,6 +15,8 @@ pub struct ServerStats {
     knn_requests: AtomicU64,
     range_requests: AtomicU64,
     batch_requests: AtomicU64,
+    insert_requests: AtomicU64,
+    delete_requests: AtomicU64,
     coalesced_batches: AtomicU64,
     coalesced_queries: AtomicU64,
     max_coalesce: AtomicU64,
@@ -43,6 +45,14 @@ impl ServerStats {
     pub fn record_batch(&self) {
         self.batch_requests.fetch_add(1, Ordering::Relaxed);
     }
+    /// Counts one insert request.
+    pub fn record_insert(&self) {
+        self.insert_requests.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Counts one delete request.
+    pub fn record_delete(&self) {
+        self.delete_requests.fetch_add(1, Ordering::Relaxed);
+    }
     /// Counts one typed `OVERLOADED` rejection.
     pub fn record_overloaded(&self) {
         self.overloaded.fetch_add(1, Ordering::Relaxed);
@@ -67,6 +77,8 @@ impl ServerStats {
             knn_requests: self.knn_requests.load(Ordering::Relaxed),
             range_requests: self.range_requests.load(Ordering::Relaxed),
             batch_requests: self.batch_requests.load(Ordering::Relaxed),
+            insert_requests: self.insert_requests.load(Ordering::Relaxed),
+            delete_requests: self.delete_requests.load(Ordering::Relaxed),
             coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
             coalesced_queries: self.coalesced_queries.load(Ordering::Relaxed),
             max_coalesce: self.max_coalesce.load(Ordering::Relaxed),

@@ -30,8 +30,10 @@ use std::io::{self, Read, Write};
 pub const MAGIC: u32 = 0x4D4D_4452;
 
 /// Current protocol version. Servers reject frames from future versions
-/// with a typed error instead of guessing at their layout.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// with a typed error instead of guessing at their layout. Version 2
+/// added the write opcodes (`INSERT`/`DELETE`/`FLUSH`), the ingest block
+/// in `STATS`, and the write counters in [`ServerCounters`].
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard cap on one frame's payload (16 MiB). Anything larger is rejected
 /// before allocation — the admission-control seatbelt against garbage or
@@ -56,6 +58,12 @@ pub mod opcode {
     pub const STATS: u8 = 5;
     /// Graceful shutdown request.
     pub const SHUTDOWN: u8 = 6;
+    /// Insert one vector; the server assigns and returns its id.
+    pub const INSERT: u8 = 7;
+    /// Delete one id; returns whether visible state changed.
+    pub const DELETE: u8 = 8;
+    /// Force a merge (fold delta, swap epoch, truncate WAL).
+    pub const FLUSH: u8 = 9;
 }
 
 /// The status byte.
@@ -142,6 +150,20 @@ pub enum Request {
     Stats,
     /// Ask the server to shut down gracefully (drain, flush, exit).
     Shutdown,
+    /// Insert one vector; the server's ingest engine assigns the id,
+    /// WAL-logs the row, and acknowledges only once it is durable.
+    Insert {
+        /// Full-dimensional coordinates of the new row.
+        vector: Vec<f64>,
+    },
+    /// Delete the row with this id (tombstone until the next merge).
+    Delete {
+        /// Point id to remove.
+        id: u64,
+    },
+    /// Force a merge now: fold the delta into a fresh snapshot and swap
+    /// the serving epoch.
+    Flush,
 }
 
 impl Request {
@@ -154,6 +176,9 @@ impl Request {
             Request::BatchKnn { .. } => opcode::BATCH_KNN,
             Request::Stats => opcode::STATS,
             Request::Shutdown => opcode::SHUTDOWN,
+            Request::Insert { .. } => opcode::INSERT,
+            Request::Delete { .. } => opcode::DELETE,
+            Request::Flush => opcode::FLUSH,
         }
     }
 }
@@ -171,6 +196,12 @@ pub enum Response {
     Stats(Box<RemoteStats>),
     /// Shutdown acknowledged; the server drains and exits.
     ShutdownStarted,
+    /// Insert acknowledged: the row is durable and visible under this id.
+    Inserted(u64),
+    /// Delete acknowledged; `true` when visible state changed.
+    Deleted(bool),
+    /// Flush finished; the serving epoch is now this number.
+    Flushed(u64),
     /// Typed admission-control rejection — the request was *not* run.
     Overloaded,
     /// The request failed with this message.
@@ -194,6 +225,38 @@ pub struct RemoteStats {
     pub pools: Vec<PoolStats>,
     /// Server traffic/coalescing/rejection counters.
     pub server: ServerCounters,
+    /// Ingest-side state: delta pressure, WAL size, epoch, merges.
+    pub ingest: IngestWire,
+}
+
+/// [`mmdr_index::IngestStats`] with a stable wire layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestWire {
+    /// Serving epoch number (bumped by every merge + swap).
+    pub epoch: u64,
+    /// Rows in the serving epoch's delta.
+    pub delta_rows: u64,
+    /// Tombstoned ids in the serving epoch.
+    pub tombstones: u64,
+    /// Bytes in the write-ahead log.
+    pub wal_bytes: u64,
+    /// Merges completed since the server opened the index.
+    pub merges: u64,
+    /// Next id the engine will assign.
+    pub next_id: u64,
+}
+
+impl From<mmdr_index::IngestStats> for IngestWire {
+    fn from(s: mmdr_index::IngestStats) -> Self {
+        Self {
+            epoch: s.epoch,
+            delta_rows: s.delta_rows,
+            tombstones: s.tombstones,
+            wal_bytes: s.wal_bytes,
+            merges: s.merges,
+            next_id: s.next_id,
+        }
+    }
 }
 
 /// [`QueryStats`] with a stable wire layout (plain `u64`s).
@@ -242,6 +305,10 @@ pub struct ServerCounters {
     pub range_requests: u64,
     /// Client-side batch requests.
     pub batch_requests: u64,
+    /// Insert requests.
+    pub insert_requests: u64,
+    /// Delete requests.
+    pub delete_requests: u64,
     /// Worker batches that folded ≥ 2 queued singleton KNNs together.
     pub coalesced_batches: u64,
     /// Singleton KNN requests answered inside such folded batches.
@@ -422,7 +489,9 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
     let mut e = Enc::new();
     put_header(&mut e, request_id, req.opcode(), status::REQUEST);
     match req {
-        Request::Ping | Request::Stats | Request::Shutdown => {}
+        Request::Ping | Request::Stats | Request::Shutdown | Request::Flush => {}
+        Request::Insert { vector } => put_vec(&mut e, vector),
+        Request::Delete { id } => e.u64(*id),
         Request::Knn { query, k } => {
             e.u32(*k);
             put_vec(&mut e, query);
@@ -461,6 +530,13 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), (Option<u64>, Wi
         opcode::PING => Request::Ping,
         opcode::STATS => Request::Stats,
         opcode::SHUTDOWN => Request::Shutdown,
+        opcode::FLUSH => Request::Flush,
+        opcode::INSERT => Request::Insert {
+            vector: get_vec(&mut d).map_err(fail)?,
+        },
+        opcode::DELETE => Request::Delete {
+            id: d.u64().map_err(fail)?,
+        },
         opcode::KNN => {
             let k = d.u32().map_err(fail)?;
             let query = get_vec(&mut d).map_err(fail)?;
@@ -550,12 +626,24 @@ fn put_stats(e: &mut Enc, s: &RemoteStats) {
         c.knn_requests,
         c.range_requests,
         c.batch_requests,
+        c.insert_requests,
+        c.delete_requests,
         c.coalesced_batches,
         c.coalesced_queries,
         c.max_coalesce,
         c.overloaded,
         c.protocol_errors,
         c.queue_len,
+    ] {
+        e.u64(v);
+    }
+    for v in [
+        s.ingest.epoch,
+        s.ingest.delta_rows,
+        s.ingest.tombstones,
+        s.ingest.wal_bytes,
+        s.ingest.merges,
+        s.ingest.next_id,
     ] {
         e.u64(v);
     }
@@ -586,12 +674,22 @@ fn get_stats(d: &mut Dec<'_>) -> Result<RemoteStats, WireError> {
         knn_requests: d.u64()?,
         range_requests: d.u64()?,
         batch_requests: d.u64()?,
+        insert_requests: d.u64()?,
+        delete_requests: d.u64()?,
         coalesced_batches: d.u64()?,
         coalesced_queries: d.u64()?,
         max_coalesce: d.u64()?,
         overloaded: d.u64()?,
         protocol_errors: d.u64()?,
         queue_len: d.u64()?,
+    };
+    let ingest = IngestWire {
+        epoch: d.u64()?,
+        delta_rows: d.u64()?,
+        tombstones: d.u64()?,
+        wal_bytes: d.u64()?,
+        merges: d.u64()?,
+        next_id: d.u64()?,
     };
     Ok(RemoteStats {
         backend,
@@ -600,6 +698,7 @@ fn get_stats(d: &mut Dec<'_>) -> Result<RemoteStats, WireError> {
         query,
         pools,
         server,
+        ingest,
     })
 }
 
@@ -615,6 +714,9 @@ pub fn encode_response(request_id: u64, op: u8, resp: &Response) -> Vec<u8> {
     put_header(&mut e, request_id, op, status_byte);
     match resp {
         Response::Pong | Response::ShutdownStarted | Response::Overloaded => {}
+        Response::Inserted(id) => e.u64(*id),
+        Response::Deleted(changed) => e.u8(*changed as u8),
+        Response::Flushed(epoch) => e.u64(*epoch),
         Response::Neighbors(hits) => put_hits(&mut e, hits),
         Response::Batch(rows) => {
             e.u32(rows.len() as u32);
@@ -646,6 +748,17 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
         status::OK => match h.op {
             opcode::PING => Response::Pong,
             opcode::SHUTDOWN => Response::ShutdownStarted,
+            opcode::INSERT => Response::Inserted(d.u64()?),
+            opcode::DELETE => match d.u8()? {
+                0 => Response::Deleted(false),
+                1 => Response::Deleted(true),
+                other => {
+                    return Err(WireError::Malformed(format!(
+                        "delete verdict byte {other} is not 0 or 1"
+                    )))
+                }
+            },
+            opcode::FLUSH => Response::Flushed(d.u64()?),
             opcode::KNN | opcode::RANGE => Response::Neighbors(get_hits(&mut d)?),
             opcode::BATCH_KNN => {
                 let nq = d.len(4)?;
@@ -730,6 +843,11 @@ mod tests {
             queries: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
             k: 3,
         });
+        roundtrip_request(Request::Insert {
+            vector: vec![0.5, -1.5, f64::MAX],
+        });
+        roundtrip_request(Request::Delete { id: u64::MAX });
+        roundtrip_request(Request::Flush);
     }
 
     #[test]
@@ -746,6 +864,10 @@ mod tests {
             opcode::BATCH_KNN,
             Response::Batch(vec![vec![(0.5, 1)], vec![], vec![(1.0, 2), (2.0, 4)]]),
         );
+        roundtrip_response(opcode::INSERT, Response::Inserted(12_345));
+        roundtrip_response(opcode::DELETE, Response::Deleted(true));
+        roundtrip_response(opcode::DELETE, Response::Deleted(false));
+        roundtrip_response(opcode::FLUSH, Response::Flushed(7));
         roundtrip_response(
             opcode::STATS,
             Response::Stats(Box::new(RemoteStats {
@@ -774,12 +896,22 @@ mod tests {
                     knn_requests: 3,
                     range_requests: 4,
                     batch_requests: 5,
+                    insert_requests: 12,
+                    delete_requests: 13,
                     coalesced_batches: 6,
                     coalesced_queries: 7,
                     max_coalesce: 8,
                     overloaded: 9,
                     protocol_errors: 10,
                     queue_len: 11,
+                },
+                ingest: IngestWire {
+                    epoch: 3,
+                    delta_rows: 14,
+                    tombstones: 2,
+                    wal_bytes: 4096,
+                    merges: 3,
+                    next_id: 1015,
                 },
             })),
         );

@@ -272,3 +272,70 @@ fn damaged_page_is_a_typed_error_and_pool_recovers() {
     let healed = idx.range_search(q, 1e9).unwrap();
     assert_answers_identical(&reference, &healed, "post-truncation full-range scan");
 }
+
+#[test]
+fn hybrid_range_walk_readahead_hits_rise() {
+    let data = dataset();
+    let model = fit(&data);
+    let file = TempFile::new("range-readahead");
+    let built = build_index(Backend::Hybrid, &data, &model, 64).unwrap();
+    save(&file.0, &built, &model).unwrap();
+    drop(built);
+
+    let resident = open_resident(&file.0).unwrap();
+    let step = (data.rows() / 7).max(1);
+    let queries: Vec<Vec<f64>> = (0..7).map(|i| data.row(i * step).to_vec()).collect();
+    let radius = 0.8;
+    let reference: Vec<Vec<(f64, u64)>> = queries
+        .iter()
+        .map(|q| resident.index.as_dyn().range_search(q, radius).unwrap())
+        .collect();
+
+    // Demand-paged with a sequential-readahead window: the range walk
+    // visits qualifying leaves in sibling order and hints the next one, so
+    // a meaningful share of its page misses must be absorbed by the
+    // readahead buffer rather than hitting the file one page at a time.
+    let opened = open_with(&file.0, &lazy_opts(8)).unwrap();
+    let idx = opened.index.as_dyn();
+    let io = idx.io_stats();
+    assert_eq!(io.readahead_hits(), 0, "no readahead before any query");
+    let mut hits_so_far = 0;
+    for (qi, q) in queries.iter().enumerate() {
+        assert_answers_identical(
+            &reference[qi],
+            &idx.range_search(q, radius).unwrap(),
+            &format!("readahead range query {qi}"),
+        );
+        let now = io.readahead_hits();
+        assert!(
+            now >= hits_so_far,
+            "readahead_hits is monotone ({now} < {hits_so_far})"
+        );
+        hits_so_far = now;
+    }
+    assert!(
+        hits_so_far > 0,
+        "sibling-order range walk produced no readahead hits"
+    );
+
+    // The same walks with readahead disabled: answers identical, zero hits
+    // — the hint path is an optimization, never a semantic dependency.
+    let opened_off = open_with(
+        &file.0,
+        &OpenOptions {
+            pool_pages: Some(8),
+            readahead: 0,
+            resident: false,
+        },
+    )
+    .unwrap();
+    let idx_off = opened_off.index.as_dyn();
+    for (qi, q) in queries.iter().enumerate() {
+        assert_answers_identical(
+            &reference[qi],
+            &idx_off.range_search(q, radius).unwrap(),
+            &format!("no-readahead range query {qi}"),
+        );
+    }
+    assert_eq!(idx_off.io_stats().readahead_hits(), 0);
+}

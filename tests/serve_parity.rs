@@ -78,7 +78,7 @@ fn serve_backend(
     save(&file.0, &built, model).unwrap();
     let opened = open(&file.0).unwrap();
     let index: Arc<dyn VectorIndex> = Arc::from(opened.index.into_boxed());
-    let handle = Server::start(Arc::clone(&index), ("127.0.0.1", 0), config).unwrap();
+    let handle = Server::start_static(Arc::clone(&index), ("127.0.0.1", 0), config).unwrap();
     (index, handle)
 }
 

@@ -64,6 +64,28 @@ if awk '/^fn open_lazy/,/^}/' crates/persist/src/snapshot.rs \
     exit 1
 fi
 
+echo "== ingest gate =="
+# Live mutation parity: WAL-logged inserts/deletes with background merges
+# and epoch swaps must answer bit-identically to a fresh build over the
+# surviving rows — all four backends, serial and threaded, plus the
+# crash-image replay and the server-level insert-then-query path. The WAL
+# framing itself is property-tested (torn tails, mid-record damage).
+cargo test "${PROFILE[@]}" --test ingest_parity
+cargo test "${PROFILE[@]}" -p mmdr-persist --test wal_proptest
+# Structural invariant: mutability must never leak into the query hot
+# path — VectorIndex::knn stays `&self` (the epoch/delta design exists
+# precisely so readers take no locks and no `&mut`).
+if awk '/pub trait VectorIndex/,/^}/' crates/index/src/traits.rs \
+        | grep -n "fn knn(&mut self"; then
+    echo "verify: FAIL — VectorIndex::knn takes &mut self; the read path must stay shared" >&2
+    exit 1
+fi
+if ! awk '/pub trait VectorIndex/,/^}/' crates/index/src/traits.rs \
+        | grep -q "fn knn(&self"; then
+    echo "verify: FAIL — VectorIndex::knn no longer matches the &self gate; update it" >&2
+    exit 1
+fi
+
 echo "== serve smoke gate =="
 # End-to-end over a real socket: start `mmdr serve` on an ephemeral port,
 # check remote answers are byte-identical (ids and f64 bit patterns) to
@@ -125,5 +147,43 @@ if ! grep -q '^shutdown:' "$SMOKE/serve.log"; then
     echo "verify: FAIL — server exited without its shutdown summary" >&2
     exit 1
 fi
+
+echo "== ingest smoke gate =="
+# The same snapshot served writable: insert a point over the wire, force a
+# merge, and check the stats line reports the swapped epoch with the WAL
+# truncated — the operator-visible face of the WAL → delta → merge → swap
+# path.
+"$MMDR" serve --index-file "$SMOKE/index.mmdr" --wal true --port 0 --workers 2 \
+    > "$SMOKE/serve_wal.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$SMOKE/serve_wal.log")"
+    if [[ -n "$ADDR" ]]; then break; fi
+    sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+    echo "verify: FAIL — writable server did not announce a listening port" >&2
+    exit 1
+fi
+"$MMDR" remote-insert --addr "$ADDR" \
+    --point "9,9,9,9,9,9,9,9,9,9,9,9" --flush true > "$SMOKE/insert.txt"
+grep -q '^inserted 1 rows (ids 600..600)' "$SMOKE/insert.txt"
+grep -q '^flushed: serving epoch is now 1' "$SMOKE/insert.txt"
+"$MMDR" remote-query --addr "$ADDR" --op stats > "$SMOKE/stats.txt"
+if ! grep -q '^ingest: epoch 1, 0 delta rows, 0 tombstones, 0 WAL bytes, 1 merges' \
+        "$SMOKE/stats.txt"; then
+    echo "verify: FAIL — stats do not show the post-flush epoch swap:" >&2
+    cat "$SMOKE/stats.txt" >&2
+    exit 1
+fi
+"$MMDR" remote-query --addr "$ADDR" --op shutdown > /dev/null
+for _ in $(seq 1 100); do
+    STATE="$(server_state)"
+    if [[ -z "$STATE" || "$STATE" == Z* ]]; then break; fi
+    sleep 0.1
+done
+wait "$SERVE_PID"
+SERVE_PID=""
 
 echo "verify: OK"
