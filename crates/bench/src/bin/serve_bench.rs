@@ -10,8 +10,17 @@
 //!
 //! Every answer is spot-checked against the in-process index: serving must
 //! never change bytes, only latency.
+//!
+//! A second phase drives the scale-out tier over the same data: the model
+//! is shard-split across four worker servers, an `mmdr-router` front is
+//! started over them, and the same closed-loop sweep runs against the
+//! front. `BENCH_router.json` reports cluster throughput next to the
+//! single-node baseline from the first phase, plus the pruning headline —
+//! mean shards contacted per query (below the shard count on clustered
+//! data, the fan-out is sublinear).
 
 use mmdr::index::VectorIndex;
+use mmdr::router::{Router, RouterConfig};
 use mmdr::serve::{Client, ServeError, Server, ServerConfig};
 use mmdr_bench::{workloads, Args, Report};
 use mmdr_core::{Mmdr, MmdrParams};
@@ -195,5 +204,135 @@ fn main() {
         final_stats.coalesced_batches,
         final_stats.max_coalesce,
         final_stats.overloaded
+    );
+
+    // ---- phase 2: the sharded cluster behind a router front ------------
+
+    const SHARDS: usize = 4;
+    let dir = std::env::temp_dir().join(format!("mmdr-serve-bench-shards-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("shard dir");
+    let plans = mmdr::persist::plan_shards(&data, &model, SHARDS).expect("plan shards");
+    let mut entries = Vec::new();
+    let mut shard_handles = Vec::new();
+    let mut addrs = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        let name = format!("shard-{i}.mmdr");
+        let built = mmdr::persist::build_index(Backend::IDistance, &plan.data, &plan.model, 256)
+            .expect("build shard");
+        mmdr::persist::save(dir.join(&name), &built, &plan.model).expect("save shard");
+        entries.push(plan.entry(name.clone()));
+        let opened = mmdr::persist::open(dir.join(&name)).expect("open shard");
+        let shard_index: Arc<dyn VectorIndex> = Arc::from(opened.index.into_boxed());
+        let h = Server::start_static(
+            shard_index,
+            ("127.0.0.1", 0),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start shard server");
+        addrs.push(h.local_addr().to_string());
+        shard_handles.push(h);
+    }
+    let manifest = mmdr::persist::Manifest {
+        backend: Backend::IDistance.name().to_string(),
+        dim,
+        num_points: n,
+        shards: entries,
+    };
+    let router = Arc::new(
+        Router::connect(manifest, &addrs, RouterConfig::default()).expect("connect router"),
+    );
+    // The front matches the single-node server's admission configuration,
+    // so the two sweeps differ only in what sits behind the queue.
+    let front_config = ServerConfig {
+        workers: 2,
+        queue_depth: 64,
+        coalesce: 32,
+        batch_threads: 1,
+        ..ServerConfig::default()
+    };
+    let front_index: Arc<dyn VectorIndex> = Arc::clone(&router) as Arc<dyn VectorIndex>;
+    let front = Server::start_static(front_index, ("127.0.0.1", 0), front_config)
+        .expect("start router front");
+    let front_addr = front.local_addr();
+
+    let mut router_report = Report::new(
+        "BENCH_router",
+        "routed 10-NN over a 4-shard cluster: throughput, latency, and \
+         shards contacted per query vs the single-node baseline",
+        "clients",
+        &[
+            "throughput_qps",
+            "p50_ms",
+            "p99_ms",
+            "answered",
+            "overloaded",
+            "mean_shards_contacted",
+            "pruned_per_query",
+            "single_node_qps",
+        ],
+        format!(
+            "n={n} dim={dim} queries={n_queries} per_client={per_client} k={k} shards={SHARDS} \
+             front workers=2 queue_depth=64 coalesce=32; single_node_qps column is the same \
+             sweep from BENCH_serve.json, seed={}",
+            args.seed
+        ),
+    );
+
+    let baseline_qps: Vec<f64> = report.rows.iter().map(|(_, v)| v[0]).collect();
+    let mut shard_before = router.shard_stats().expect("router shard stats");
+    for (ci, &clients) in client_counts.iter().enumerate() {
+        let sweep = run_clients(front_addr, clients, per_client, &queries, k, &index);
+        let shard_after = router.shard_stats().expect("router shard stats");
+        let routed = shard_after.queries - shard_before.queries;
+        let contacted = shard_after.contacted - shard_before.contacted;
+        let pruned = shard_after.pruned - shard_before.pruned;
+        let answered = sweep.latencies_ns.len() as f64;
+        router_report.push(
+            clients as f64,
+            vec![
+                answered / sweep.wall_seconds,
+                percentile(&sweep.latencies_ns, 0.50),
+                percentile(&sweep.latencies_ns, 0.99),
+                answered,
+                sweep.overloaded as f64,
+                if routed > 0 {
+                    contacted as f64 / routed as f64
+                } else {
+                    0.0
+                },
+                if routed > 0 {
+                    pruned as f64 / routed as f64
+                } else {
+                    0.0
+                },
+                baseline_qps.get(ci).copied().unwrap_or(0.0),
+            ],
+        );
+        shard_before = shard_after;
+    }
+
+    front.shutdown();
+    let totals = router.shard_stats().expect("router shard stats");
+    for h in shard_handles {
+        h.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    router_report.emit();
+    eprintln!(
+        "router totals: {} queries across {} shards, {} contacted (mean {:.2}/query), \
+         {} pruned, {} degraded",
+        totals.queries,
+        totals.shards,
+        totals.contacted,
+        totals.mean_contacted(),
+        totals.pruned,
+        totals.degraded
+    );
+    assert!(
+        totals.mean_contacted() < totals.shards as f64,
+        "pruning must keep mean fan-out below the shard count on clustered data"
     );
 }

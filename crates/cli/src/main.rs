@@ -50,8 +50,10 @@ fn main() -> ExitCode {
         "reduce" => cmd_reduce(rest),
         "info" => cmd_info(rest),
         "build-index" => cmd_build_index(rest),
+        "shard-split" => cmd_shard_split(rest),
         "query" => cmd_query(rest),
         "serve" => cmd_serve(rest),
+        "route" => cmd_route(rest),
         "ingest" => cmd_ingest(rest),
         "remote-query" => cmd_remote_query(rest),
         "remote-insert" => cmd_remote_insert(rest),
@@ -80,10 +82,12 @@ USAGE:
   mmdr build-index --data FILE --model FILE --out FILE [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N] [--pool-shards P]
   mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--backend seqscan|idistance|hybrid|gldr] [--pool-shards P] [--hex true]
   mmdr query    --index-file FILE (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--pool-shards P] [--pool-pages N] [--readahead N] [--hex true]
-  mmdr serve    --index-file FILE [--wal true] [--merge-threshold N] [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--batch-threads N] [--pool-shards P] [--pool-pages N] [--readahead N]
+  mmdr shard-split --data FILE --model FILE --out-dir DIR --shards N [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N] [--pool-shards P]
+  mmdr serve    --index-file FILE [--wal true] [--merge-threshold N] [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--io-timeout-ms MS] [--batch-threads N] [--pool-shards P] [--pool-pages N] [--readahead N]
+  mmdr route    --manifest FILE --shard-addr HOST:PORT,HOST:PORT,… [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--io-timeout-ms MS] [--batch-threads N] [--shard-timeout-ms MS]
   mmdr ingest   --index-file FILE (--data FILE | --point \"x,y,…\") [--delete I[,J,…]] [--flush true] [--merge-threshold N] [--pool-pages N]
-  mmdr remote-query --addr HOST:PORT (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--hex true]
-  mmdr remote-query --addr HOST:PORT --op ping|stats|shutdown
+  mmdr remote-query (--addr | --router) HOST:PORT (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--hex true] [--verbose true]
+  mmdr remote-query (--addr | --router) HOST:PORT --op ping|stats|shutdown
   mmdr remote-insert --addr HOST:PORT (--data FILE | --point \"x,y,…\") [--delete I[,J,…]] [--flush true]
 
 Results are independent of --threads: clustering, PCA and batch queries use
@@ -117,7 +121,20 @@ the serving epoch atomically — once delta pressure crosses
 --merge-threshold (0 = merge only on FLUSH). ingest applies writes to a
 snapshot locally through the same engine; remote-insert sends them to a
 running serve --wal over the wire. A merged index answers bit-identically
-to one built from scratch over the surviving rows.";
+to one built from scratch over the surviving rows.
+
+shard-split partitions a model's clusters across N shards — whole
+clusters only, so per-point distance bits are untouched — writing one
+snapshot per shard plus a CRC-guarded MANIFEST of cluster geometry.
+Each shard runs as an ordinary serve; route fronts them over the same
+wire protocol, scattering each query only to shards whose ball lower
+bound can still beat the current answer (ascending-bound order, radius
+tightened as partials return) and merging partials into answers
+bit-identical to a single-node index over the full dataset. If a needed
+shard is down the query fails with a typed degraded error instead of
+silently returning a subset. remote-query --verbose prints per-query
+shard attribution; --io-timeout-ms bounds per-connection socket reads
+and writes on serve and route alike.";
 
 /// Parses `--flag value` pairs into a map, rejecting unknown flags.
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
@@ -359,6 +376,25 @@ fn open_options(flags: &HashMap<String, String>) -> Result<mmdr_persist::OpenOpt
     Ok(opts)
 }
 
+/// Applies `--io-timeout-ms` to both socket deadlines (read and write):
+/// one knob, because a stalled peer is a stalled peer in either direction.
+fn apply_io_timeout(
+    flags: &HashMap<String, String>,
+    config: &mut mmdr_serve::ServerConfig,
+) -> Result<(), String> {
+    if let Some(v) = flags.get("io-timeout-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("--io-timeout-ms: cannot parse `{v}`"))?;
+        if ms == 0 {
+            return Err("--io-timeout-ms must be at least 1".into());
+        }
+        config.read_timeout = std::time::Duration::from_millis(ms);
+        config.write_timeout = std::time::Duration::from_millis(ms);
+    }
+    Ok(())
+}
+
 fn cmd_build_index(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
@@ -390,6 +426,70 @@ fn cmd_build_index(args: &[String]) -> Result<(), String> {
         "built {} over {} points in {build_secs:.2}s; snapshot {bytes} bytes → {out}",
         backend.name(),
         index.as_dyn().len()
+    );
+    Ok(())
+}
+
+fn cmd_shard_split(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "data",
+            "model",
+            "out-dir",
+            "shards",
+            "backend",
+            "buffer-pages",
+            "pool-shards",
+        ],
+    )?;
+    apply_pool_shards(&flags)?;
+    let data = DatasetFile::load(require(&flags, "data")?)?;
+    let model = load_model(require(&flags, "model")?)?;
+    let out_dir = std::path::Path::new(require(&flags, "out-dir")?);
+    let shards = get_parse(&flags, "shards", 2usize)?;
+    let backend: Backend = match flags.get("backend") {
+        Some(s) => s.parse()?,
+        None => Backend::IDistance,
+    };
+    let buffer_pages = get_parse(&flags, "buffer-pages", 256usize)?;
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
+    let start = std::time::Instant::now();
+    let plans = mmdr_persist::plan_shards(&data, &model, shards).map_err(|e| e.to_string())?;
+    let mut entries = Vec::with_capacity(plans.len());
+    for (i, plan) in plans.iter().enumerate() {
+        let name = format!("shard-{i}.mmdr");
+        let path = out_dir.join(&name);
+        let index = mmdr_persist::build_index(backend, &plan.data, &plan.model, buffer_pages)
+            .map_err(|e| e.to_string())?;
+        mmdr_persist::save(&path, &index, &plan.model).map_err(|e| e.to_string())?;
+        outln!(
+            "shard {i}: {} points, {} clusters{} → {}",
+            plan.rows.len(),
+            plan.clusters.len(),
+            if plan.holds_outliers {
+                " + outliers"
+            } else {
+                ""
+            },
+            path.display()
+        );
+        entries.push(plan.entry(name));
+    }
+    let manifest = mmdr_persist::Manifest {
+        backend: backend.name().to_string(),
+        dim: data.cols(),
+        num_points: data.rows(),
+        shards: entries,
+    };
+    let manifest_path = out_dir.join(mmdr_persist::MANIFEST_FILE);
+    mmdr_persist::write_manifest(&manifest_path, &manifest).map_err(|e| e.to_string())?;
+    outln!(
+        "split {} points across {} shards in {:.2}s; manifest → {}",
+        data.rows(),
+        plans.len(),
+        start.elapsed().as_secs_f64(),
+        manifest_path.display()
     );
     Ok(())
 }
@@ -600,6 +700,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "queue-depth",
             "coalesce",
             "max-inflight",
+            "io-timeout-ms",
             "batch-threads",
             "pool-shards",
             "pool-pages",
@@ -614,14 +715,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let port = get_parse(&flags, "port", 0u16)?;
     let wal = get_bool(&flags, "wal")?;
     let defaults = ServerConfig::default();
-    let config = ServerConfig {
+    let mut config = ServerConfig {
         workers: get_parse(&flags, "workers", defaults.workers)?,
         queue_depth: get_parse(&flags, "queue-depth", defaults.queue_depth)?,
         coalesce: get_parse(&flags, "coalesce", defaults.coalesce)?,
         max_inflight: get_parse(&flags, "max-inflight", defaults.max_inflight)?,
         batch_threads: get_parse(&flags, "batch-threads", defaults.batch_threads)?,
+        // STATS echoes the open configuration so a router fronting many
+        // workers can check the cluster is homogeneous.
+        pool_pages: get_parse(&flags, "pool-pages", 0u64)?,
+        readahead: get_parse(&flags, "readahead", 0u64)?,
         ..defaults
     };
+    apply_io_timeout(&flags, &mut config)?;
     let live: std::sync::Arc<dyn mmdr_index::LiveIndex> = if wal {
         if flags.contains_key("readahead") {
             return Err("--readahead applies to read-only serving; drop it with --wal".into());
@@ -686,6 +792,101 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if wal {
         print_ingest_stats(&ingest_handle.ingest_stats().into());
     }
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    use mmdr_serve::{Server, ServerConfig};
+    let flags = parse_flags(
+        args,
+        &[
+            "manifest",
+            "shard-addr",
+            "host",
+            "port",
+            "workers",
+            "queue-depth",
+            "coalesce",
+            "max-inflight",
+            "io-timeout-ms",
+            "batch-threads",
+            "shard-timeout-ms",
+        ],
+    )?;
+    let manifest =
+        mmdr_persist::read_manifest(require(&flags, "manifest")?).map_err(|e| e.to_string())?;
+    let addrs: Vec<String> = require(&flags, "shard-addr")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let host = flags.get("host").map(String::as_str).unwrap_or("127.0.0.1");
+    let port = get_parse(&flags, "port", 0u16)?;
+    let router_defaults = mmdr_router::RouterConfig::default();
+    let router_config = mmdr_router::RouterConfig {
+        shard_timeout: std::time::Duration::from_millis(get_parse(
+            &flags,
+            "shard-timeout-ms",
+            router_defaults.shard_timeout.as_millis() as u64,
+        )?),
+        ..router_defaults
+    };
+    let router =
+        mmdr_router::Router::connect(manifest, &addrs, router_config).map_err(|e| e.to_string())?;
+    for (i, (entry, addr)) in router.manifest().shards.iter().zip(&addrs).enumerate() {
+        outln!(
+            "shard {i} @ {addr}: {} points, {} clusters{}",
+            entry.rows.len(),
+            entry.clusters.len(),
+            if entry.holds_outliers {
+                " + outliers"
+            } else {
+                ""
+            }
+        );
+    }
+    outln!(
+        "routing {} ({} points × {} dims) across {} shards",
+        router.manifest().backend,
+        router.manifest().num_points,
+        router.manifest().dim,
+        router.manifest().shards.len()
+    );
+    let defaults = ServerConfig::default();
+    let mut config = ServerConfig {
+        workers: get_parse(&flags, "workers", defaults.workers)?,
+        queue_depth: get_parse(&flags, "queue-depth", defaults.queue_depth)?,
+        coalesce: get_parse(&flags, "coalesce", defaults.coalesce)?,
+        max_inflight: get_parse(&flags, "max-inflight", defaults.max_inflight)?,
+        batch_threads: get_parse(&flags, "batch-threads", defaults.batch_threads)?,
+        ..defaults
+    };
+    apply_io_timeout(&flags, &mut config)?;
+    let workers = config.workers;
+    let index: std::sync::Arc<dyn mmdr_index::VectorIndex> = std::sync::Arc::new(router);
+    let handle = Server::start_static(index, (host, port), config).map_err(|e| e.to_string())?;
+    // Same format as `serve`: scripts read this line for the port.
+    outln!(
+        "listening on {} with {} workers",
+        handle.local_addr(),
+        workers
+    );
+    let signal = mmdr_serve::shutdown_flag_on_signals();
+    while !signal.load(std::sync::atomic::Ordering::SeqCst) && !handle.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let c = handle.shutdown();
+    outln!(
+        "shutdown: {} connections, {} requests ({} knn, {} range, {} batch), \
+         {} overloaded, {} protocol errors",
+        c.connections,
+        c.requests,
+        c.knn_requests,
+        c.range_requests,
+        c.batch_requests,
+        c.overloaded,
+        c.protocol_errors
+    );
     Ok(())
 }
 
@@ -867,10 +1068,22 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
     use mmdr_serve::Client;
     let flags = parse_flags(
         args,
-        &["addr", "op", "data", "row", "point", "k", "radius", "hex"],
+        &[
+            "addr", "router", "op", "data", "row", "point", "k", "radius", "hex", "verbose",
+        ],
     )?;
-    let addr = require(&flags, "addr")?;
+    // --router is an alias for --addr: a router *is* a server speaking the
+    // same protocol. The spelling documents intent in scripts.
+    let addr = match (flags.get("addr"), flags.get("router")) {
+        (Some(a), None) => a.as_str(),
+        (None, Some(r)) => r.as_str(),
+        (Some(_), Some(_)) => {
+            return Err("--addr and --router name the same endpoint; give exactly one".into())
+        }
+        (None, None) => return Err("missing required flag --addr (or --router)".into()),
+    };
     let hex = get_bool(&flags, "hex")?;
+    let verbose = get_bool(&flags, "verbose")?;
     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
     match flags.get("op").map(String::as_str) {
         Some("ping") => {
@@ -881,6 +1094,31 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
         Some("stats") => {
             let s = client.stats().map_err(|e| e.to_string())?;
             outln!("[{}] {} points × {} dims", s.backend, s.len, s.dim);
+            outln!(
+                "open config: {} workers, pool_pages {}, readahead {}",
+                s.workers,
+                s.pool_pages,
+                s.readahead
+            );
+            if let Some(sh) = &s.shard {
+                outln!(
+                    "router: {} shards, {} queries, {} contacted (mean {:.2}/query), \
+                     {} pruned, {} degraded",
+                    sh.shards,
+                    sh.queries,
+                    sh.contacted,
+                    sh.mean_contacted(),
+                    sh.pruned,
+                    sh.degraded
+                );
+                for i in 0..sh.per_shard_contacts.len() {
+                    outln!(
+                        "  shard {i}: {} contacts, {} partial rows",
+                        sh.per_shard_contacts[i],
+                        sh.per_shard_partials.get(i).copied().unwrap_or(0)
+                    );
+                }
+            }
             outln!(
                 "query cost: {} dist computations, {} candidates refined, {} page accesses ({} reads)",
                 s.query.dist_computations,
@@ -940,6 +1178,13 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
         None => None,
     };
     let queries = parse_queries(&flags, data.as_ref())?;
+    // --verbose attribution diffs the server's cumulative shard counters
+    // around this command's queries.
+    let before = if verbose {
+        Some(client.stats().map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
     if let Some(radius) = flags.get("radius") {
         if queries.len() != 1 {
             return Err("--radius works with a single query".into());
@@ -974,5 +1219,41 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
             print_hits(&hits, hex);
         }
     }
+    if let Some(before) = before {
+        let after = client.stats().map_err(|e| e.to_string())?;
+        print_attribution(&before, &after);
+    }
     Ok(())
+}
+
+/// Prints which shards this command's queries touched, from the delta of
+/// the router's cumulative attribution counters. A shard with zero new
+/// contacts was pruned by its ball lower bound (or the query never needed
+/// it); partial rows count the candidates each shard shipped back.
+fn print_attribution(before: &mmdr_serve::RemoteStats, after: &mmdr_serve::RemoteStats) {
+    let (Some(b), Some(a)) = (&before.shard, &after.shard) else {
+        outln!("[router] server reports no shard attribution (single-node endpoint)");
+        return;
+    };
+    outln!(
+        "[router] {} of {} shards contacted, {} pruned",
+        a.contacted.saturating_sub(b.contacted),
+        a.shards,
+        a.pruned.saturating_sub(b.pruned)
+    );
+    for i in 0..a.per_shard_contacts.len() {
+        let contacts = a.per_shard_contacts[i]
+            .saturating_sub(b.per_shard_contacts.get(i).copied().unwrap_or(0));
+        let partials = a
+            .per_shard_partials
+            .get(i)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(b.per_shard_partials.get(i).copied().unwrap_or(0));
+        if contacts > 0 {
+            outln!("  shard {i}: {contacts} contact(s), {partials} partial rows");
+        } else {
+            outln!("  shard {i}: pruned");
+        }
+    }
 }

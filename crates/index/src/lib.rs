@@ -37,4 +37,4 @@ pub use mutable::{
     ReadOnlyLive,
 };
 pub use stats::{QueryStats, SearchCounters};
-pub use traits::{batch_queries, VectorIndex, QUERY_CHUNK};
+pub use traits::{ball_lower_bound, batch_queries, ShardStats, VectorIndex, QUERY_CHUNK};

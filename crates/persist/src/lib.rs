@@ -39,6 +39,7 @@ mod codec;
 mod error;
 pub mod format;
 mod ingest;
+pub mod manifest;
 mod model_codec;
 mod snapshot;
 mod wal;
@@ -48,6 +49,10 @@ pub use format::FORMAT_VERSION;
 pub use ingest::{
     extend_model, fold, wal_path, Epoch, IngestEngine, IngestOptions, DEFAULT_FOLD_PAGES,
     DEFAULT_MERGE_THRESHOLD,
+};
+pub use manifest::{
+    plan_shards, read_manifest, write_manifest, Manifest, ShardBall, ShardEntry, ShardPlan,
+    MANIFEST_FILE, MANIFEST_VERSION,
 };
 pub use mmdr_storage::{crc32, Crc32};
 pub use snapshot::{

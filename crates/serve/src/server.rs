@@ -80,6 +80,13 @@ pub struct ServerConfig {
     /// Start with the worker pool paused (tests use this to assemble a
     /// deterministic backlog, then [`ServerHandle::resume`]).
     pub start_paused: bool,
+    /// `--pool-pages` the index was opened with, echoed verbatim in the
+    /// `Stats` op (0 = resident / unset). The server does not act on it;
+    /// a router uses the echo to sanity-check shard homogeneity.
+    pub pool_pages: u64,
+    /// `--readahead` the index was opened with, echoed in `Stats`
+    /// (0 = unset).
+    pub readahead: u64,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +103,8 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             batch_threads: 1,
             start_paused: false,
+            pool_pages: 0,
+            readahead: 0,
         }
     }
 }
@@ -555,6 +564,10 @@ fn build_stats(shared: &Shared) -> RemoteStats {
         pools: pin.index.pool_stats(),
         server: shared.stats.snapshot(shared.queue.len()),
         ingest: shared.index.ingest_stats().into(),
+        workers: shared.config.workers as u64,
+        pool_pages: shared.config.pool_pages,
+        readahead: shared.config.readahead,
+        shard: pin.index.shard_stats(),
     }
 }
 

@@ -21,7 +21,7 @@
 //! oversized allocation, and every malformed input surfaces as a typed
 //! [`WireError`], never a panic.
 
-use mmdr_index::QueryStats;
+use mmdr_index::{QueryStats, ShardStats};
 use mmdr_storage::{PoolStats, ShardCounters};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -32,8 +32,12 @@ pub const MAGIC: u32 = 0x4D4D_4452;
 /// Current protocol version. Servers reject frames from future versions
 /// with a typed error instead of guessing at their layout. Version 2
 /// added the write opcodes (`INSERT`/`DELETE`/`FLUSH`), the ingest block
-/// in `STATS`, and the write counters in [`ServerCounters`].
-pub const PROTOCOL_VERSION: u16 = 2;
+/// in `STATS`, and the write counters in [`ServerCounters`]. Version 3
+/// added the open-configuration echo (`workers`, `pool_pages`,
+/// `readahead`) and the optional scatter-gather attribution block to
+/// `STATS`, so a router can sanity-check shard homogeneity at connect
+/// time and clients can observe shard pruning.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Hard cap on one frame's payload (16 MiB). Anything larger is rejected
 /// before allocation — the admission-control seatbelt against garbage or
@@ -227,6 +231,16 @@ pub struct RemoteStats {
     pub server: ServerCounters,
     /// Ingest-side state: delta pressure, WAL size, epoch, merges.
     pub ingest: IngestWire,
+    /// Worker threads the server was started with.
+    pub workers: u64,
+    /// `--pool-pages` the index was opened with (0 = resident / unset) —
+    /// echoed so a router can verify shard homogeneity at connect time.
+    pub pool_pages: u64,
+    /// `--readahead` the index was opened with (0 = unset).
+    pub readahead: u64,
+    /// Scatter-gather attribution, present when the served index is a
+    /// router front ([`mmdr_index::VectorIndex::shard_stats`]).
+    pub shard: Option<ShardStats>,
 }
 
 /// [`mmdr_index::IngestStats`] with a stable wire layout.
@@ -647,6 +661,26 @@ fn put_stats(e: &mut Enc, s: &RemoteStats) {
     ] {
         e.u64(v);
     }
+    e.u64(s.workers);
+    e.u64(s.pool_pages);
+    e.u64(s.readahead);
+    match &s.shard {
+        None => e.u8(0),
+        Some(sh) => {
+            e.u8(1);
+            for v in [sh.shards, sh.queries, sh.contacted, sh.pruned, sh.degraded] {
+                e.u64(v);
+            }
+            e.u32(sh.per_shard_contacts.len() as u32);
+            for &v in &sh.per_shard_contacts {
+                e.u64(v);
+            }
+            e.u32(sh.per_shard_partials.len() as u32);
+            for &v in &sh.per_shard_partials {
+                e.u64(v);
+            }
+        }
+    }
 }
 
 fn get_stats(d: &mut Dec<'_>) -> Result<RemoteStats, WireError> {
@@ -691,6 +725,37 @@ fn get_stats(d: &mut Dec<'_>) -> Result<RemoteStats, WireError> {
         merges: d.u64()?,
         next_id: d.u64()?,
     };
+    let workers = d.u64()?;
+    let pool_pages = d.u64()?;
+    let readahead = d.u64()?;
+    let shard = match d.u8()? {
+        0 => None,
+        1 => {
+            let shards = d.u64()?;
+            let queries = d.u64()?;
+            let contacted = d.u64()?;
+            let pruned = d.u64()?;
+            let degraded = d.u64()?;
+            let n = d.len(8)?;
+            let per_shard_contacts = (0..n).map(|_| d.u64()).collect::<Result<_, _>>()?;
+            let n = d.len(8)?;
+            let per_shard_partials = (0..n).map(|_| d.u64()).collect::<Result<_, _>>()?;
+            Some(ShardStats {
+                shards,
+                queries,
+                contacted,
+                pruned,
+                degraded,
+                per_shard_contacts,
+                per_shard_partials,
+            })
+        }
+        other => {
+            return Err(WireError::Malformed(format!(
+                "shard-attribution flag must be 0 or 1, found {other}"
+            )))
+        }
+    };
     Ok(RemoteStats {
         backend,
         len,
@@ -699,6 +764,10 @@ fn get_stats(d: &mut Dec<'_>) -> Result<RemoteStats, WireError> {
         pools,
         server,
         ingest,
+        workers,
+        pool_pages,
+        readahead,
+        shard,
     })
 }
 
@@ -913,8 +982,51 @@ mod tests {
                     merges: 3,
                     next_id: 1015,
                 },
+                workers: 4,
+                pool_pages: 256,
+                readahead: 8,
+                shard: None,
             })),
         );
+        // Router fronts attach the attribution block; it must survive the
+        // trip bit-for-bit too.
+        roundtrip_response(
+            opcode::STATS,
+            Response::Stats(Box::new(RemoteStats {
+                backend: "router".into(),
+                len: 64,
+                dim: 8,
+                workers: 2,
+                shard: Some(ShardStats {
+                    shards: 4,
+                    queries: 100,
+                    contacted: 210,
+                    pruned: 190,
+                    degraded: 1,
+                    per_shard_contacts: vec![100, 60, 30, 20],
+                    per_shard_partials: vec![500, 180, 90, 40],
+                }),
+                ..Default::default()
+            })),
+        );
+    }
+
+    #[test]
+    fn bad_shard_flag_is_malformed() {
+        let stats = RemoteStats {
+            backend: "x".into(),
+            ..Default::default()
+        };
+        let bytes = encode_response(5, opcode::STATS, &Response::Stats(Box::new(stats)));
+        let mut bad = bytes.clone();
+        // The attribution flag is the final byte of a shard-less stats body.
+        let last = bad.len() - 1;
+        assert_eq!(bad[last], 0);
+        bad[last] = 9;
+        assert!(matches!(
+            decode_response(&bad),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]
