@@ -83,9 +83,9 @@ USAGE:
   mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--backend seqscan|idistance|hybrid|gldr] [--pool-shards P] [--hex true]
   mmdr query    --index-file FILE (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--pool-shards P] [--pool-pages N] [--readahead N] [--hex true]
   mmdr shard-split --data FILE --model FILE --out-dir DIR --shards N [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N] [--pool-shards P]
-  mmdr serve    --index-file FILE [--wal true] [--merge-threshold N] [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--io-timeout-ms MS] [--batch-threads N] [--pool-shards P] [--pool-pages N] [--readahead N]
+  mmdr serve    --index-file FILE [--wal true] [--merge-threshold N] [--refit-threshold X] [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--io-timeout-ms MS] [--batch-threads N] [--pool-shards P] [--pool-pages N] [--readahead N]
   mmdr route    --manifest FILE --shard-addr HOST:PORT,HOST:PORT,… [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--io-timeout-ms MS] [--batch-threads N] [--shard-timeout-ms MS]
-  mmdr ingest   --index-file FILE (--data FILE | --point \"x,y,…\") [--delete I[,J,…]] [--flush true] [--merge-threshold N] [--pool-pages N]
+  mmdr ingest   --index-file FILE (--data FILE | --point \"x,y,…\") [--delete I[,J,…]] [--flush true] [--refit true] [--merge-threshold N] [--refit-threshold X] [--pool-pages N]
   mmdr remote-query (--addr | --router) HOST:PORT (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--hex true] [--verbose true]
   mmdr remote-query (--addr | --router) HOST:PORT --op ping|stats|shutdown
   mmdr remote-insert --addr HOST:PORT (--data FILE | --point \"x,y,…\") [--delete I[,J,…]] [--flush true]
@@ -122,6 +122,17 @@ the serving epoch atomically — once delta pressure crosses
 snapshot locally through the same engine; remote-insert sends them to a
 running serve --wal over the wire. A merged index answers bit-identically
 to one built from scratch over the surviving rows.
+
+The engine also tracks per-cluster model drift: the running mean
+projection error of routed inserts against each cluster's fitted MPE,
+relative to the model's MaxMPE budget. When any cluster's drift crosses
+--refit-threshold (0 = never, the default) a background re-fit re-runs
+Scalable MMDR over the surviving rows, bumps the model epoch, and swaps
+the freshly attached index in without blocking readers; answers stay
+exact throughout because queries always refine in whatever model is
+serving. ingest --refit forces one synchronous re-fit. Stats lines
+(local and remote) report the model epoch, re-fit count and per-cluster
+drift.
 
 shard-split partitions a model's clusters across N shards — whole
 clusters only, so per-point distance bits are untouched — writing one
@@ -707,6 +718,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "readahead",
             "wal",
             "merge-threshold",
+            "refit-threshold",
         ],
     )?;
     apply_pool_shards(&flags)?;
@@ -744,6 +756,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         );
         std::sync::Arc::new(engine)
     } else {
+        if flags.contains_key("refit-threshold") {
+            return Err("--refit-threshold applies to writable serving; add --wal true".into());
+        }
         let opened = mmdr_persist::open_with(index_file, &open_options(&flags)?)
             .map_err(|e| e.to_string())?;
         let index: std::sync::Arc<dyn mmdr_index::VectorIndex> =
@@ -790,7 +805,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         c.protocol_errors
     );
     if wal {
-        print_ingest_stats(&ingest_handle.ingest_stats().into());
+        let mut s: mmdr_serve::IngestWire = ingest_handle.ingest_stats().into();
+        s.cluster_drift = ingest_handle.model_drift();
+        print_ingest_stats(&s);
     }
     Ok(())
 }
@@ -902,8 +919,12 @@ fn open_engine(
             "merge-threshold",
             mmdr_persist::DEFAULT_MERGE_THRESHOLD,
         )?,
+        refit_threshold: get_parse(flags, "refit-threshold", 0.0f64)?,
         ..Default::default()
     };
+    if opts.refit_threshold < 0.0 || opts.refit_threshold.is_nan() {
+        return Err("--refit-threshold must be non-negative".into());
+    }
     if let Some(v) = flags.get("pool-pages") {
         let pages: usize = v
             .parse()
@@ -920,14 +941,21 @@ fn open_engine(
 /// and remote STATS answers.
 fn print_ingest_stats(s: &mmdr_serve::IngestWire) {
     outln!(
-        "ingest: epoch {}, {} delta rows, {} tombstones, {} WAL bytes, {} merges, next id {}",
+        "ingest: epoch {}, {} delta rows, {} tombstones, {} WAL bytes, {} merges, next id {}, \
+         model epoch {}, {} re-fits",
         s.epoch,
         s.delta_rows,
         s.tombstones,
         s.wal_bytes,
         s.merges,
-        s.next_id
+        s.next_id,
+        s.model_epoch,
+        s.refits
     );
+    if !s.cluster_drift.is_empty() {
+        let drift: Vec<String> = s.cluster_drift.iter().map(|d| format!("{d:.3}")).collect();
+        outln!("model drift per cluster: {}", drift.join(" "));
+    }
 }
 
 /// Local writes against a snapshot: insert rows from --data or --point,
@@ -944,7 +972,9 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
             "point",
             "delete",
             "flush",
+            "refit",
             "merge-threshold",
+            "refit-threshold",
             "pool-pages",
             "pool-shards",
         ],
@@ -1000,8 +1030,14 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         let epoch = engine.flush().map_err(|e| e.to_string())?;
         outln!("flushed: serving epoch is now {epoch}");
     }
+    if get_bool(&flags, "refit")? {
+        let model_epoch = engine.refit().map_err(|e| e.to_string())?;
+        outln!("re-fit: model epoch is now {model_epoch}");
+    }
     engine.quiesce(); // let a pressure-triggered merge finish before exit
-    print_ingest_stats(&engine.ingest_stats().into());
+    let mut s: mmdr_serve::IngestWire = engine.ingest_stats().into();
+    s.cluster_drift = engine.model_drift();
+    print_ingest_stats(&s);
     Ok(())
 }
 
@@ -1222,6 +1258,11 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
     if let Some(before) = before {
         let after = client.stats().map_err(|e| e.to_string())?;
         print_attribution(&before, &after);
+        outln!(
+            "[model] epoch {}, {} re-fits",
+            after.ingest.model_epoch,
+            after.ingest.refits
+        );
     }
     Ok(())
 }

@@ -34,4 +34,4 @@ pub use elliptical::{EllipticalConfig, EllipticalKMeans, EllipticalResult};
 pub use error::{Error, Result};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use mahalanobis::MahalanobisModel;
-pub use streaming::{stream_cluster, StreamConfig, StreamResult, WeightedPoints};
+pub use streaming::{stream_cluster, stream_len, StreamConfig, StreamResult, WeightedPoints};

@@ -77,6 +77,14 @@ impl StreamResult {
     }
 }
 
+/// The paper's stream-sizing rule, shared by every fit stage that reads
+/// the data as `ε`-fraction streams: `⌈ε·N⌉` points per stream, raised to
+/// `floor` (the per-stream cluster count here, the minimum cluster size in
+/// the scalable MMDR fit) and capped at `N`.
+pub fn stream_len(epsilon: f64, n: usize, floor: usize) -> usize {
+    ((epsilon * n as f64).ceil() as usize).max(floor).min(n)
+}
+
 /// Clusters a large dataset stream-by-stream (§4.3).
 ///
 /// `data` rows are points, read in index order as the paper's "sequence of
@@ -92,9 +100,7 @@ pub fn stream_cluster(data: &Matrix, config: &StreamConfig) -> Result<StreamResu
         return Err(Error::InvalidConfig("epsilon must be in (0, 1]"));
     }
     let per_stream_k = config.per_stream_k.unwrap_or(config.elliptical.k).max(1);
-    let stream_len = ((config.epsilon * n as f64).ceil() as usize)
-        .max(per_stream_k)
-        .min(n);
+    let stream_len = stream_len(config.epsilon, n, per_stream_k);
 
     let mut array_points = Matrix::zeros(0, 0);
     let mut array_weights: Vec<f64> = Vec::new();

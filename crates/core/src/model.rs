@@ -102,6 +102,18 @@ impl ReductionResult {
     /// whose subspace is nearest (smallest `ProjDist`), or `Outlier` when
     /// every cluster's `ProjDist` exceeds `beta`.
     pub fn assign_point(&self, point: &[f64], beta: f64) -> Result<PointAssignment> {
+        Ok(self.assign_point_with_dist(point, beta)?.0)
+    }
+
+    /// Like [`assign_point`](Self::assign_point), also returning the
+    /// winning `ProjDist` (infinite for a model with no clusters). The
+    /// ingest engine's drift estimator feeds on this distance: it is the
+    /// point's contribution to the assigned cluster's streaming MPE.
+    pub fn assign_point_with_dist(
+        &self,
+        point: &[f64],
+        beta: f64,
+    ) -> Result<(PointAssignment, f64)> {
         if point.len() != self.dim {
             return Err(Error::DimensionMismatch {
                 expected: self.dim,
@@ -117,10 +129,10 @@ impl ReductionResult {
                 best = Some(ci);
             }
         }
-        match best {
-            Some(ci) if best_d <= beta => Ok(PointAssignment::Cluster(ci)),
-            _ => Ok(PointAssignment::Outlier),
-        }
+        Ok(match best {
+            Some(ci) if best_d <= beta => (PointAssignment::Cluster(ci), best_d),
+            _ => (PointAssignment::Outlier, best_d),
+        })
     }
 
     /// Total number of points covered by clusters (excludes outliers).
@@ -241,6 +253,14 @@ mod tests {
         );
         // Wrong dimensionality rejected.
         assert!(r.assign_point(&[1.0], 0.1).is_err());
+        // The with-distance variant reports the winning ProjDist even for
+        // outliers (the distance that failed the β test).
+        let (a, d) = r.assign_point_with_dist(&[5.0, 0.05], 0.1).unwrap();
+        assert_eq!(a, PointAssignment::Cluster(0));
+        assert!((d - 0.05).abs() < 1e-12);
+        let (a, d) = r.assign_point_with_dist(&[0.0, 4.0], 0.1).unwrap();
+        assert_eq!(a, PointAssignment::Outlier);
+        assert!((d - 4.0).abs() < 1e-12);
     }
 
     #[test]

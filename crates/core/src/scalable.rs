@@ -58,9 +58,7 @@ impl ScalableMmdr {
             return Err(Error::InvalidParams("epsilon must be in (0, 1]"));
         }
         let n = data.rows();
-        let stream_len = ((self.epsilon * n as f64).ceil() as usize)
-            .max(self.params.min_cluster_size)
-            .min(n);
+        let stream_len = mmdr_cluster::stream_len(self.epsilon, n, self.params.min_cluster_size);
 
         // Phase 1: per-stream Generate Ellipsoid; keep centroids + weights.
         let mut stats = ReductionStats::default();

@@ -33,8 +33,8 @@ mod traits;
 pub use error::{Error, Result};
 pub use heap::KnnHeap;
 pub use mutable::{
-    DeltaLayer, DeltaStats, IngestOp, IngestStats, LiveIndex, MutableVectorIndex, PinnedEpoch,
-    ReadOnlyLive,
+    DeltaLayer, DeltaStats, DriftEstimator, IngestOp, IngestStats, LiveIndex, MutableVectorIndex,
+    PinnedEpoch, ReadOnlyLive, MIN_DRIFT_SAMPLES,
 };
 pub use stats::{QueryStats, SearchCounters};
 pub use traits::{ball_lower_bound, batch_queries, ShardStats, VectorIndex, QUERY_CHUNK};

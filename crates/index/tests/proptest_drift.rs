@@ -1,0 +1,93 @@
+//! Property tests for [`DriftEstimator`]: the streaming per-cluster mean
+//! must agree with a batch recomputation of the same MPE over the same
+//! routed inserts, within floating-point accumulation tolerance, in any
+//! arrival order.
+
+use mmdr_index::{DriftEstimator, MIN_DRIFT_SAMPLES};
+use proptest::prelude::*;
+
+const MAX_MPE: f64 = 0.05;
+
+/// A routed insert stream over up to 4 clusters: (cluster, ProjDist_r).
+fn stream() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::vec((0usize..4, 0.0f64..0.2), 0..400)
+}
+
+/// Batch reference: mean ProjDist_r per cluster over the whole stream,
+/// recomputed from scratch (sum / count).
+fn batch_means(stream: &[(usize, f64)], clusters: usize) -> (Vec<f64>, Vec<u64>) {
+    let mut sums = vec![0.0; clusters];
+    let mut counts = vec![0u64; clusters];
+    for &(c, d) in stream {
+        sums[c] += d;
+        counts[c] += 1;
+    }
+    let means = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &n)| if n == 0 { 0.0 } else { s / n as f64 })
+        .collect();
+    (means, counts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming mean ≡ batch mean (tolerance-bounded) and the reported
+    /// drift is exactly (mean − baseline) / MaxMPE on sampled clusters.
+    #[test]
+    fn streaming_matches_batch_recomputation(
+        ops in stream(),
+        baseline in proptest::collection::vec(0.0f64..0.05, 4),
+    ) {
+        let mut est = DriftEstimator::new(baseline.clone(), MAX_MPE);
+        for &(c, d) in &ops {
+            est.record(c, d);
+        }
+        let (means, counts) = batch_means(&ops, 4);
+        prop_assert_eq!(est.counts(), counts.as_slice());
+        let drift = est.drift();
+        for c in 0..4 {
+            // Incremental-mean error grows with the count; 1e-9 is orders
+            // of magnitude above what n ≤ 400 accumulates at this scale.
+            prop_assert!(
+                (est.means()[c] - means[c]).abs() < 1e-9,
+                "cluster {}: streaming {} vs batch {}", c, est.means()[c], means[c]
+            );
+            let expect = if counts[c] == 0 { 0.0 } else { (means[c] - baseline[c]) / MAX_MPE };
+            prop_assert!(
+                (drift[c] - expect).abs() < 1e-9,
+                "cluster {}: drift {} vs {}", c, drift[c], expect
+            );
+        }
+    }
+
+    /// Arrival order never changes the estimate beyond float tolerance,
+    /// and max_drift only listens to clusters past the sample floor.
+    #[test]
+    fn order_independent_and_sample_gated(ops in stream()) {
+        let baseline = vec![0.0; 4];
+        let mut fwd = DriftEstimator::new(baseline.clone(), MAX_MPE);
+        // Per-cluster subsequences keep their internal order; interleaving
+        // across clusters is what varies in practice (cluster streams are
+        // independent), so compare forward vs cluster-grouped arrival.
+        for &(c, d) in &ops {
+            fwd.record(c, d);
+        }
+        let mut grouped = DriftEstimator::new(baseline, MAX_MPE);
+        for target in 0..4 {
+            for &(c, d) in ops.iter().filter(|&&(c, _)| c == target) {
+                grouped.record(c, d);
+            }
+        }
+        let (_, counts) = batch_means(&ops, 4);
+        for c in 0..4 {
+            prop_assert!((fwd.means()[c] - grouped.means()[c]).abs() < 1e-9);
+        }
+        let max = fwd.max_drift();
+        prop_assert!(max >= 0.0);
+        if counts.iter().all(|&n| n < MIN_DRIFT_SAMPLES) {
+            prop_assert_eq!(max, 0.0, "no cluster past the floor may trigger");
+        }
+    }
+}

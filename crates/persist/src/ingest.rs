@@ -22,13 +22,30 @@
 //!
 //! - Inserted rows are prepared (projected / restored) with exactly the
 //!   build path's arithmetic, both in the delta and in the fold.
-//! - The model only ever grows: [`extend_model`] appends inserted ids to
-//!   the cluster the fitted model assigns them to; deletes never touch
-//!   the model, so cluster order, subspaces and partition numbering are
-//!   stable across merges.
+//! - Between re-fits the model only ever grows: [`extend_model`] appends
+//!   inserted ids to the cluster the fitted model assigns them to;
+//!   deletes never touch the model, so cluster order, subspaces and
+//!   partition numbering are stable across merges.
 //! - Every backend's search visits delta rows exactly and filters
 //!   tombstones at push time, and the shared [`mmdr_index::KnnHeap`]'s
 //!   final top-k is independent of push order.
+//!
+//! ## Adaptive model maintenance
+//!
+//! Merges keep the model's subspaces frozen, so a *drifted* insert stream
+//! — rows the fitted clusters describe poorly — degrades page locality
+//! even though answers stay exact. The engine therefore tracks, per
+//! cluster, the running mean `ProjDist` of routed inserts against the
+//! fitted mean projection error (a [`DriftEstimator`]), and when the
+//! worst cluster's relative drift crosses
+//! [`IngestOptions::refit_threshold`] a second background stage runs: it
+//! materializes every surviving row in its restored representation,
+//! re-runs the Scalable MMDR fit off-lock, [attaches](crate::refit::attach)
+//! fresh base structures under the new model, saves a snapshot stamped
+//! with a bumped *model epoch*, and swaps it in through the same epoch
+//! machinery a merge uses (see [`crate::refit`]). Readers never block;
+//! answers after a re-fit are exact by construction over the same
+//! survivors.
 //!
 //! ## Crash recovery
 //!
@@ -39,17 +56,28 @@
 //! `Delete` records, which are idempotent. A crash before the save leaves
 //! the old snapshot and the full WAL — replay reconstructs the delta
 //! exactly. Either way an acknowledged operation is never lost.
+//!
+//! A re-fit follows the same durable-first-then-visible rule. Its
+//! snapshot carries the bumped model epoch and covers every operation up
+//! to the captured prefix (`num_points` = the id allocator at capture),
+//! so the replay-skip rule handles a crash in the save-before-rewrite
+//! window exactly as it does for a merge; the rewritten WAL leads with a
+//! model-epoch mark so an old snapshot restored next to a newer log is
+//! refused at open instead of replaying against the wrong model.
 
 use crate::error::{PersistError, Result};
-use crate::snapshot::{build_index, open_with, save, BuiltIndex, OpenOptions};
+use crate::refit::{attach, materialize_rows, refit_model};
+use crate::snapshot::{build_index, open_with, save, save_with_epoch, BuiltIndex, OpenOptions};
 use crate::wal::WalWriter;
-use mmdr_core::{PointAssignment, ReductionResult};
+use mmdr_core::{MmdrParams, PointAssignment, ReductionResult};
 use mmdr_hybridtree::HybridTree;
 use mmdr_idistance::{
-    Backend, GlobalLdrIndex, IDistanceIndex, PartitionInfo, SeqScan, VectorHeap, TOMBSTONE,
+    Backend, GlobalLdrIndex, IDistanceConfig, IDistanceIndex, PartitionInfo, SeqScan, VectorHeap,
+    TOMBSTONE,
 };
 use mmdr_index::{
-    IngestOp, IngestStats, LiveIndex, PinnedEpoch, QueryStats, SearchCounters, VectorIndex,
+    DriftEstimator, IngestOp, IngestStats, LiveIndex, PinnedEpoch, QueryStats, SearchCounters,
+    VectorIndex,
 };
 use mmdr_linalg::Matrix;
 use mmdr_storage::{BufferPool, DiskManager, IoStats, PoolStats};
@@ -530,6 +558,15 @@ impl VectorIndex for Epoch {
 /// off a background merge.
 pub const DEFAULT_MERGE_THRESHOLD: usize = 1024;
 
+/// Fraction of live rows the tombstone count must reach before a
+/// delete-heavy stream triggers a background merge on its own (see
+/// [`IngestOptions::merge_threshold`]).
+pub const TOMBSTONE_MERGE_RATIO: f64 = 0.25;
+
+/// Minimum tombstone count before the ratio trigger is consulted at all —
+/// tiny indexes should not compact on every other delete.
+pub const TOMBSTONE_MERGE_FLOOR: u64 = 8;
+
 /// Knobs for opening an [`IngestEngine`].
 #[derive(Debug, Clone)]
 pub struct IngestOptions {
@@ -540,8 +577,20 @@ pub struct IngestOptions {
     pub pool_pages: Option<usize>,
     /// Delta pressure (rows + tombstones) that triggers a background
     /// merge. `0` disables background merges — only explicit
-    /// [`LiveIndex::flush`] calls fold.
+    /// [`LiveIndex::flush`] calls fold. When non-zero, a delete-heavy
+    /// stream also triggers a merge once tombstones reach
+    /// [`TOMBSTONE_MERGE_RATIO`] of the live rows (at least
+    /// [`TOMBSTONE_MERGE_FLOOR`] of them), so compaction does not wait for
+    /// an insert-pressure threshold deletes never contribute rows toward.
     pub merge_threshold: usize,
+    /// Per-cluster drift (mean routed-insert `ProjDist` above the fitted
+    /// mean projection error, in units of `MaxMPE`) at which a background
+    /// re-fit of the model starts. `0.0` (the default) disables
+    /// drift-triggered re-fits; [`IngestEngine::refit`] always works.
+    pub refit_threshold: f64,
+    /// Parameters for the background Scalable MMDR re-fit. `None` uses
+    /// [`MmdrParams::default`].
+    pub refit_params: Option<MmdrParams>,
 }
 
 impl Default for IngestOptions {
@@ -549,6 +598,8 @@ impl Default for IngestOptions {
         Self {
             pool_pages: None,
             merge_threshold: DEFAULT_MERGE_THRESHOLD,
+            refit_threshold: 0.0,
+            refit_params: None,
         }
     }
 }
@@ -570,6 +621,13 @@ struct WriterState {
     next_id: u64,
     epoch_no: u64,
     merges: u64,
+    /// How many background re-fits produced the current model; stamped
+    /// into every saved snapshot and rewritten WAL.
+    model_epoch: u64,
+    refits: u64,
+    /// Streaming per-cluster drift of routed inserts against the fitted
+    /// mean projection errors; rebased on every re-fit.
+    drift: DriftEstimator,
 }
 
 #[derive(Debug)]
@@ -577,6 +635,8 @@ struct EngineCore {
     path: PathBuf,
     fold_pages: usize,
     merge_threshold: usize,
+    refit_threshold: f64,
+    refit_params: MmdrParams,
     serving: RwLock<Arc<Epoch>>,
     writer: Mutex<WriterState>,
     /// Serializes merges (background and explicit flush). Never acquired
@@ -584,6 +644,12 @@ struct EngineCore {
     merge: Mutex<()>,
     /// True while a background merge thread is in flight.
     merging: AtomicBool,
+    /// Serializes re-fits. A re-fit holds this *and then* `merge` for its
+    /// whole duration (so no merge can fold the pending prefix out from
+    /// under it); a merge takes only `merge`, so the order is acyclic.
+    refit: Mutex<()>,
+    /// True while a background re-fit thread is in flight.
+    refitting: AtomicBool,
 }
 
 /// The WAL-backed, epoch-versioned serving handle over a snapshot — the
@@ -640,6 +706,15 @@ impl IngestEngine {
             },
         )?;
         let (wal, replay) = WalWriter::open(wal_path(&path))?;
+        if replay.model_epoch > opened.model_epoch {
+            // Someone restored an old snapshot next to a newer log: the
+            // log's operations were acknowledged against a model this
+            // snapshot does not carry. Replaying would route them wrong.
+            return Err(PersistError::malformed(format!(
+                "WAL carries model epoch {} but the snapshot is at epoch {} — stale snapshot",
+                replay.model_epoch, opened.model_epoch
+            )));
+        }
         let folded_below = opened.model.num_points as u64;
         let mut pending: Vec<IngestOp> = Vec::new();
         let mut next_id = folded_below;
@@ -666,10 +741,17 @@ impl IngestEngine {
             }
             pending.push(op);
         }
+        let refit_params = opts.refit_params.clone().unwrap_or_default();
+        let drift = DriftEstimator::new(
+            opened.model.clusters.iter().map(|c| c.mpe).collect(),
+            refit_params.max_mpe,
+        );
         let core = EngineCore {
             path,
             fold_pages: opts.pool_pages.unwrap_or(DEFAULT_FOLD_PAGES),
             merge_threshold: opts.merge_threshold,
+            refit_threshold: opts.refit_threshold,
+            refit_params,
             serving: RwLock::new(Arc::new(Epoch {
                 number: 0,
                 built: opened.index,
@@ -681,9 +763,14 @@ impl IngestEngine {
                 next_id,
                 epoch_no: 0,
                 merges: 0,
+                model_epoch: opened.model_epoch,
+                refits: 0,
+                drift,
             }),
             merge: Mutex::new(()),
             merging: AtomicBool::new(false),
+            refit: Mutex::new(()),
+            refitting: AtomicBool::new(false),
         };
         Ok(Self {
             core: Arc::new(core),
@@ -695,10 +782,19 @@ impl IngestEngine {
         &self.core.path
     }
 
-    /// Blocks until no background merge is in flight (the next pressure
-    /// trigger may start a new one). Test and shutdown aid.
+    /// Blocks until no background re-fit or merge is in flight (the next
+    /// pressure or drift trigger may start a new one). Test and shutdown
+    /// aid.
     pub fn quiesce(&self) {
-        let _guard = self.core.merge.lock().unwrap_or_else(|p| p.into_inner());
+        let _refit = self.core.refit.lock().unwrap_or_else(|p| p.into_inner());
+        let _merge = self.core.merge.lock().unwrap_or_else(|p| p.into_inner());
+    }
+
+    /// Re-fits the model over the surviving rows now, regardless of the
+    /// drift threshold, and swaps the result in. Returns the new model
+    /// epoch number (unchanged if there was nothing to fit over).
+    pub fn refit(&self) -> mmdr_index::Result<u64> {
+        self.core.refit_now().map_err(to_query_err)
     }
 }
 
@@ -708,14 +804,21 @@ impl EngineCore {
     }
 
     /// Kicks off a background merge when delta pressure crosses the
-    /// threshold and none is already running. Must not be called while
-    /// holding the writer lock (the merge takes it).
+    /// threshold — or when tombstones alone reach a quarter of the live
+    /// rows, so a delete-heavy stream compacts without ever accumulating
+    /// insert pressure — and none is already running. Must not be called
+    /// while holding the writer lock (the merge takes it).
     fn maybe_spawn_merge(self: &Arc<Self>) {
         if self.merge_threshold == 0 {
             return;
         }
-        let stats = self.serving().built.as_mutable().delta_stats();
-        if (stats.rows + stats.tombstones) < self.merge_threshold as u64 {
+        let serving = self.serving();
+        let stats = serving.built.as_mutable().delta_stats();
+        let pressure = (stats.rows + stats.tombstones) >= self.merge_threshold as u64;
+        let live = serving.built.as_dyn().len() as u64;
+        let delete_heavy = stats.tombstones >= TOMBSTONE_MERGE_FLOOR
+            && stats.tombstones as f64 >= TOMBSTONE_MERGE_RATIO * live as f64;
+        if !pressure && !delete_heavy {
             return;
         }
         if self
@@ -743,13 +846,20 @@ impl EngineCore {
         let _merges_are_serial = self.merge.lock().unwrap_or_else(|p| p.into_inner());
 
         // Snapshot phase: pin the base epoch and the operation prefix to
-        // fold. Consistent because swaps also hold the writer lock.
-        let (base, ops, mut model) = {
+        // fold. Consistent because swaps also hold the writer lock. The
+        // model epoch cannot change mid-merge (a re-fit holds the merge
+        // lock for its whole duration).
+        let (base, ops, mut model, model_epoch) = {
             let w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
             if w.pending.is_empty() {
                 return Ok(w.epoch_no);
             }
-            (self.serving(), w.pending.clone(), w.model.clone())
+            (
+                self.serving(),
+                w.pending.clone(),
+                w.model.clone(),
+                w.model_epoch,
+            )
         };
 
         // Fold phase, off every lock: writers keep landing in the base
@@ -759,7 +869,7 @@ impl EngineCore {
         let beta = base.built.ingest_beta();
         extend_model(&mut model, &ops, beta)?;
         let folded = fold(&base.built, &model, &ops, self.fold_pages)?;
-        save(&self.path, &folded, &model)?;
+        save_with_epoch(&self.path, &folded, &model, model_epoch)?;
 
         // Swap phase: replay the tail that arrived during the fold into
         // the new epoch, rewrite the WAL down to that tail, and publish.
@@ -781,7 +891,7 @@ impl EngineCore {
                 }
             }
         }
-        w.wal = WalWriter::rewrite(w.wal.path(), &tail)?;
+        w.wal = WalWriter::rewrite_with_model_epoch(w.wal.path(), &tail, model_epoch)?;
         w.pending = tail;
         w.model = model;
         w.merges += 1;
@@ -798,6 +908,136 @@ impl EngineCore {
         // freeze its delta so a straggling writer bug cannot fork history.
         retired.built.as_mutable().seal();
         Ok(w.epoch_no)
+    }
+
+    /// Kicks off a background re-fit when the worst cluster's drift
+    /// crosses the threshold and none is already running. Must not be
+    /// called while holding the writer lock.
+    fn maybe_spawn_refit(self: &Arc<Self>) {
+        if self.refit_threshold <= 0.0 {
+            return;
+        }
+        let drifted = {
+            let w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+            w.drift.max_drift() > self.refit_threshold
+        };
+        if !drifted {
+            return;
+        }
+        if self
+            .refitting
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        let core = Arc::clone(self);
+        std::thread::spawn(move || {
+            let result = core.refit_now();
+            core.refitting.store(false, Ordering::Release);
+            if let Err(e) = result {
+                // Serving continues on the drifted-but-exact model; the
+                // next drift trigger retries.
+                eprintln!("mmdr: background re-fit failed: {e}");
+            }
+        });
+    }
+
+    /// Re-fits the model over every surviving row and swaps fresh base
+    /// structures in under a bumped model epoch. Runs with the re-fit
+    /// *and* merge locks held throughout, so the captured pending prefix
+    /// stays a prefix; writers and readers are only blocked for the final
+    /// swap.
+    fn refit_now(&self) -> Result<u64> {
+        let _refits_are_serial = self.refit.lock().unwrap_or_else(|p| p.into_inner());
+        let _no_concurrent_merge = self.merge.lock().unwrap_or_else(|p| p.into_inner());
+
+        // Snapshot phase: capture the base epoch, the pending prefix, the
+        // current model (needed to restore base rows) and the id
+        // allocator. `next_id` becomes the new model's `num_points`, so
+        // every captured insert is covered by the replay-skip rule if we
+        // crash between the save and the WAL rewrite.
+        let (base, ops, old_model, next_id, new_model_epoch) = {
+            let w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+            (
+                self.serving(),
+                w.pending.clone(),
+                w.model.clone(),
+                w.next_id,
+                w.model_epoch + 1,
+            )
+        };
+
+        // Fit phase, off every lock: materialize the base's live rows in
+        // their restored representation, overlay the captured operations
+        // (inserts carry exact full-dimensional vectors), fit, attach.
+        let mut rows = materialize_rows(&base.built, &old_model)?;
+        for op in &ops {
+            match op {
+                IngestOp::Insert { id, vector } => {
+                    rows.insert(*id, vector.clone());
+                }
+                IngestOp::Delete { id } => {
+                    rows.remove(id);
+                }
+            }
+        }
+        if rows.is_empty() {
+            // Nothing survives; a fit over zero rows is undefined. Keep
+            // serving the current (exact) model.
+            let w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+            return Ok(w.model_epoch);
+        }
+        let model = refit_model(&rows, next_id, &self.refit_params)?;
+        let config = match &base.built {
+            BuiltIndex::IDistance(i) => i.config().clone(),
+            _ => IDistanceConfig::default(),
+        };
+        let folded = attach(base.built.backend(), &model, &rows, self.fold_pages, config)?;
+        save_with_epoch(&self.path, &folded, &model, new_model_epoch)?;
+
+        // Swap phase: replay the tail that arrived during the fit into
+        // the new epoch (its backends route with the new model), rewrite
+        // the WAL down to the tail under the new epoch's mark, rebase the
+        // drift estimator onto the new clusters, and publish.
+        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let tail: Vec<IngestOp> = w.pending[ops.len()..].to_vec();
+        for op in &tail {
+            match op {
+                IngestOp::Insert { id, vector } => {
+                    folded
+                        .as_mutable()
+                        .insert(*id, vector)
+                        .map_err(PersistError::from)?;
+                }
+                IngestOp::Delete { id } => {
+                    let _ = folded
+                        .as_mutable()
+                        .delete(*id)
+                        .map_err(PersistError::from)?;
+                }
+            }
+        }
+        w.wal = WalWriter::rewrite_with_model_epoch(w.wal.path(), &tail, new_model_epoch)?;
+        w.pending = tail;
+        w.drift = DriftEstimator::new(
+            model.clusters.iter().map(|c| c.mpe).collect(),
+            self.refit_params.max_mpe,
+        );
+        w.model = model;
+        w.model_epoch = new_model_epoch;
+        w.refits += 1;
+        w.epoch_no += 1;
+        let fresh = Arc::new(Epoch {
+            number: w.epoch_no,
+            built: folded,
+        });
+        let retired = {
+            let mut serving = self.serving.write().unwrap_or_else(|p| p.into_inner());
+            std::mem::replace(&mut *serving, fresh)
+        };
+        retired.built.as_mutable().seal();
+        Ok(new_model_epoch)
     }
 }
 
@@ -829,11 +1069,24 @@ impl LiveIndex for IngestEngine {
             };
             // Durable first, then visible: the WAL append fsyncs.
             w.wal.append(&op).map_err(to_query_err)?;
-            self.core.serving().built.as_mutable().insert(id, vector)?;
+            let serving = self.core.serving();
+            serving.built.as_mutable().insert(id, vector)?;
+            // Feed the drift estimator with the routing the backend just
+            // applied: which cluster won, and how far off its flat the
+            // row sits. Outliers train no cluster.
+            let beta = serving.built.ingest_beta();
+            if let (PointAssignment::Cluster(ci), proj_dist) = w
+                .model
+                .assign_point_with_dist(vector, beta)
+                .map_err(|e| to_query_err(e.into()))?
+            {
+                w.drift.record(ci, proj_dist);
+            }
             w.pending.push(op);
             w.next_id += 1;
             id
         };
+        self.core.maybe_spawn_refit();
         self.core.maybe_spawn_merge();
         Ok(id)
     }
@@ -869,7 +1122,14 @@ impl LiveIndex for IngestEngine {
             wal_bytes: w.wal.bytes(),
             merges: w.merges,
             next_id: w.next_id,
+            model_epoch: w.model_epoch,
+            refits: w.refits,
         }
+    }
+
+    fn model_drift(&self) -> Vec<f64> {
+        let w = self.core.writer.lock().unwrap_or_else(|p| p.into_inner());
+        w.drift.drift()
     }
 }
 
@@ -1087,6 +1347,185 @@ mod tests {
         assert_eq!((stats.delta_rows, stats.wal_bytes), (0, 0));
         let reopened = IngestEngine::open(&path, IngestOptions::default()).unwrap();
         assert_eq!(reopened.pin().index.knn(&probe, 1).unwrap()[0].1, id);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delete_heavy_stream_compacts_on_tombstone_ratio() {
+        let data = dataset();
+        let model = model_for(&data);
+        let dir = tmp_dir("tombstones");
+        let path = dir.join("idx.mmdr");
+        let engine = IngestEngine::create(
+            &path,
+            Backend::SeqScan,
+            &data,
+            &model,
+            128,
+            IngestOptions {
+                // Insert pressure alone would need 10_000 ops; the ratio
+                // trigger must fire long before that.
+                merge_threshold: 10_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Delete a third of the base rows: 80 tombstones ≥ 25% of the
+        // 160 surviving rows (and past the floor).
+        for id in 0..80u64 {
+            engine.delete(id * 3).unwrap();
+        }
+        // The trigger is asynchronous: wait for the spawned merge.
+        for _ in 0..200 {
+            engine.quiesce();
+            if engine.ingest_stats().merges >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let stats = engine.ingest_stats();
+        assert!(
+            stats.merges >= 1,
+            "tombstone ratio crossed, merges {}",
+            stats.merges
+        );
+        // The fold consumed the tombstones accumulated before it ran;
+        // only deletes that arrived after the trigger can remain.
+        assert!(stats.tombstones < 80, "tombstones {}", stats.tombstones);
+        let hits = engine.pin().index.knn(data.row(0), 10).unwrap();
+        assert!(hits.iter().all(|&(_, id)| id % 3 != 0 || id >= 240));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refit_bumps_model_epoch_and_keeps_answers_exact() {
+        let data = dataset();
+        let model = model_for(&data);
+        let dir = tmp_dir("refit");
+        let path = dir.join("idx.mmdr");
+        let opts = IngestOptions {
+            merge_threshold: 0,
+            refit_params: Some(MmdrParams {
+                max_ec: 4,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let engine =
+            IngestEngine::create(&path, Backend::IDistance, &data, &model, 128, opts.clone())
+                .unwrap();
+        // A drifted stream: on the cluster-0 line in the first two
+        // coordinates but lifted well off its flat.
+        let mut drifted_ids = Vec::new();
+        for i in 0..48 {
+            let t = i as f64 / 47.0;
+            drifted_ids.push(engine.insert(&[t, 0.3 * t, 0.085, 0.0]).unwrap());
+        }
+        engine.delete(drifted_ids[0]).unwrap();
+        let drift = engine.model_drift();
+        assert!(
+            drift.iter().cloned().fold(0.0, f64::max) > 1.0,
+            "drifted stream must register, got {drift:?}"
+        );
+        let before = engine.ingest_stats();
+        assert_eq!((before.model_epoch, before.refits), (0, 0));
+
+        let epoch = engine.refit().unwrap();
+        assert_eq!(epoch, 1);
+        let stats = engine.ingest_stats();
+        assert_eq!((stats.model_epoch, stats.refits), (1, 1));
+        assert_eq!(
+            (stats.delta_rows, stats.tombstones, stats.wal_bytes > 0),
+            (0, 0, true)
+        );
+        // The rebased estimator starts from zero drift.
+        assert!(engine.model_drift().iter().all(|&d| d == 0.0));
+        // Every survivor is still answerable; the deleted id stays gone.
+        let pin = engine.pin();
+        assert_eq!(pin.index.len(), data.rows() + 47);
+        let hits = pin.index.knn(&[0.5, 0.15, 0.085, 0.0], 5).unwrap();
+        assert!(!hits.iter().any(|&(_, id)| id == drifted_ids[0]));
+        assert!(hits.iter().any(|&(_, id)| drifted_ids.contains(&id)));
+
+        // Reopening sees the bumped epoch via the snapshot + WAL mark.
+        drop(engine);
+        let reopened = IngestEngine::open(&path, opts).unwrap();
+        assert_eq!(reopened.ingest_stats().model_epoch, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_snapshot_is_refused_at_open() {
+        let data = dataset();
+        let model = model_for(&data);
+        let dir = tmp_dir("stale");
+        let path = dir.join("idx.mmdr");
+        let opts = IngestOptions {
+            merge_threshold: 0,
+            ..Default::default()
+        };
+        let engine =
+            IngestEngine::create(&path, Backend::SeqScan, &data, &model, 128, opts.clone())
+                .unwrap();
+        // Keep a copy of the epoch-0 snapshot, then re-fit past it.
+        let old = dir.join("old.mmdr");
+        std::fs::copy(&path, &old).unwrap();
+        engine.insert(&[0.4, 0.12, 0.05, 0.0]).unwrap();
+        engine.refit().unwrap();
+        engine.insert(&[0.5, 0.15, 0.05, 0.0]).unwrap();
+        drop(engine);
+        // Restore the old snapshot next to the newer (marked) WAL.
+        std::fs::copy(&old, &path).unwrap();
+        let err = IngestEngine::open(&path, opts).unwrap_err();
+        assert!(
+            err.to_string().contains("stale snapshot"),
+            "unexpected error: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drift_threshold_spawns_background_refit() {
+        let data = dataset();
+        let model = model_for(&data);
+        let dir = tmp_dir("auto-refit");
+        let path = dir.join("idx.mmdr");
+        let engine = IngestEngine::create(
+            &path,
+            Backend::Hybrid,
+            &data,
+            &model,
+            128,
+            IngestOptions {
+                merge_threshold: 0,
+                refit_threshold: 1.0,
+                refit_params: Some(MmdrParams {
+                    max_ec: 4,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Enough drifted inserts to pass the sample gate and the
+        // threshold.
+        for i in 0..64 {
+            let t = i as f64 / 63.0;
+            engine.insert(&[t, 0.3 * t, 0.085, 0.0]).unwrap();
+        }
+        // The trigger is asynchronous: wait for the background thread.
+        for _ in 0..200 {
+            engine.quiesce();
+            if engine.ingest_stats().refits >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(
+            engine.ingest_stats().refits >= 1,
+            "drift crossed the threshold but no re-fit ran"
+        );
+        assert_eq!(engine.pin().index.len(), data.rows() + 64);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

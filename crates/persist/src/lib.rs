@@ -41,6 +41,7 @@ pub mod format;
 mod ingest;
 pub mod manifest;
 mod model_codec;
+pub mod refit;
 mod snapshot;
 mod wal;
 
@@ -48,15 +49,16 @@ pub use error::{PersistError, Result};
 pub use format::FORMAT_VERSION;
 pub use ingest::{
     extend_model, fold, wal_path, Epoch, IngestEngine, IngestOptions, DEFAULT_FOLD_PAGES,
-    DEFAULT_MERGE_THRESHOLD,
+    DEFAULT_MERGE_THRESHOLD, TOMBSTONE_MERGE_FLOOR, TOMBSTONE_MERGE_RATIO,
 };
 pub use manifest::{
     plan_shards, read_manifest, write_manifest, Manifest, ShardBall, ShardEntry, ShardPlan,
     MANIFEST_FILE, MANIFEST_VERSION,
 };
 pub use mmdr_storage::{crc32, Crc32};
+pub use refit::{attach, materialize_rows, refit_model};
 pub use snapshot::{
     build_index, open, open_expecting, open_expecting_with, open_or_build, open_resident,
-    open_with, save, scrub, BuiltIndex, OpenOptions, Opened,
+    open_with, save, save_with_epoch, scrub, BuiltIndex, OpenOptions, Opened,
 };
 pub use wal::{decode_op, decode_wal, encode_op, replay_wal, WalReplay, WalWriter, MAX_WAL_RECORD};

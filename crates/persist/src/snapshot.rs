@@ -386,10 +386,16 @@ fn restore_hybrid(
 // ---- save ----------------------------------------------------------------
 
 /// Serializes a built index (plus the model it was built from) into a
-/// snapshot image.
-fn encode(index: &BuiltIndex, model: &ReductionResult) -> Result<Vec<u8>> {
+/// snapshot image. The model epoch — how many background re-fits produced
+/// this model — rides as an optional trailing u64 in the MODEL section:
+/// epoch 0 writes nothing, so a never-re-fit snapshot is byte-identical to
+/// the pre-epoch format, and readers treat an absent field as epoch 0.
+fn encode(index: &BuiltIndex, model: &ReductionResult, model_epoch: u64) -> Result<Vec<u8>> {
     let mut model_w = ByteWriter::new();
     model_codec::put_model(&mut model_w, model);
+    if model_epoch > 0 {
+        model_w.put_u64(model_epoch);
+    }
 
     let mut meta = ByteWriter::new();
     let mut groups: Vec<Vec<Page>> = Vec::new();
@@ -479,10 +485,22 @@ fn encode(index: &BuiltIndex, model: &ReductionResult) -> Result<Vec<u8>> {
 /// decides a winner — the target is always one saver's complete image,
 /// never an interleaving.
 pub fn save(path: impl AsRef<Path>, index: &BuiltIndex, model: &ReductionResult) -> Result<()> {
+    save_with_epoch(path, index, model, 0)
+}
+
+/// [`save`] that stamps the snapshot with its model epoch — the version
+/// counter a background re-fit bumps. Epoch 0 produces a byte-identical
+/// legacy snapshot.
+pub fn save_with_epoch(
+    path: impl AsRef<Path>,
+    index: &BuiltIndex,
+    model: &ReductionResult,
+    model_epoch: u64,
+) -> Result<()> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
     let path = path.as_ref();
-    let image = encode(index, model)?;
+    let image = encode(index, model, model_epoch)?;
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(
         ".tmp.{}.{}",
@@ -510,6 +528,9 @@ pub struct Opened {
     pub model: ReductionResult,
     /// The reattached index — queryable immediately, no rebuild performed.
     pub index: BuiltIndex,
+    /// How many background re-fits produced the stored model (0 for a
+    /// snapshot saved before any re-fit, including every legacy image).
+    pub model_epoch: u64,
 }
 
 /// Exact group-count check for a backend's page section.
@@ -529,6 +550,7 @@ fn expect_groups(groups: &[GroupData], expected: usize) -> Result<()> {
 fn restore(
     backend: Backend,
     model: ReductionResult,
+    model_epoch: u64,
     meta_bytes: &[u8],
     mut groups: Vec<GroupData>,
     opts: &OpenOptions,
@@ -651,7 +673,20 @@ fn restore(
         backend,
         model,
         index,
+        model_epoch,
     })
+}
+
+/// Reads the optional trailing model-epoch field of a MODEL section (0
+/// when absent — the pre-epoch format) and checks the section ends there.
+fn get_model_epoch(model_r: &mut ByteReader<'_>) -> Result<u64> {
+    let epoch = if model_r.remaining() >= 8 {
+        model_r.get_u64()?
+    } else {
+        0
+    };
+    model_r.expect_end()?;
+    Ok(epoch)
 }
 
 /// Eagerly decodes a complete in-memory snapshot image.
@@ -661,7 +696,7 @@ fn decode(bytes: &[u8], opts: &OpenOptions) -> Result<Opened> {
 
     let mut model_r = ByteReader::new(parsed.section(section_id::MODEL)?, "section model");
     let model = model_codec::get_model(&mut model_r)?;
-    model_r.expect_end()?;
+    let model_epoch = get_model_epoch(&mut model_r)?;
 
     let dir = read_pagedir(parsed.section(section_id::PAGEDIR)?)?;
     let groups = eager_page_groups(parsed.section(section_id::PAGES)?, &dir)?;
@@ -669,6 +704,7 @@ fn decode(bytes: &[u8], opts: &OpenOptions) -> Result<Opened> {
     restore(
         backend,
         model,
+        model_epoch,
         parsed.section(section_id::META)?,
         groups,
         opts,
@@ -723,7 +759,7 @@ fn open_lazy(path: &Path, opts: &OpenOptions) -> Result<Opened> {
 
     let mut model_r = ByteReader::new(&model_bytes, "section model");
     let model = model_codec::get_model(&mut model_r)?;
-    model_r.expect_end()?;
+    let model_epoch = get_model_epoch(&mut model_r)?;
 
     let dir = read_pagedir(&dir_bytes)?;
     let pages_entry = find_entry(&entries, section_id::PAGES)?;
@@ -742,7 +778,7 @@ fn open_lazy(path: &Path, opts: &OpenOptions) -> Result<Opened> {
         base += span;
     }
 
-    restore(backend, model, &meta_bytes, groups, opts)
+    restore(backend, model, model_epoch, &meta_bytes, groups, opts)
 }
 
 /// Opens a snapshot into a ready index with explicit [`OpenOptions`] — no

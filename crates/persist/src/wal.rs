@@ -13,10 +13,18 @@
 //! file   = record*
 //! record = u32 payload_len (LE) | u32 crc32(payload) | payload
 //! payload:
-//!   u8  tag          1 = insert, 2 = delete
-//!   u64 point id
-//!   insert only: u32 dim | dim × f64 (IEEE-754 bit patterns, bit-exact)
+//!   u8  tag          1 = insert, 2 = delete, 3 = model-epoch mark
+//!   tag 1/2: u64 point id
+//!   tag 1 only: u32 dim | dim × f64 (IEEE-754 bit patterns, bit-exact)
+//!   tag 3: u64 model epoch (no point id)
 //! ```
+//!
+//! The model-epoch mark is written once, at the head of every rewritten
+//! log, and records which model epoch the paired snapshot was saved under
+//! (epoch 0 writes no mark — the pre-mark format, byte-identical). Replay
+//! surfaces the highest mark seen so the opener can refuse a log whose
+//! operations postdate the snapshot (a *stale snapshot*: someone restored
+//! an old snapshot file next to a newer log).
 //!
 //! # Damage model
 //!
@@ -44,6 +52,15 @@ pub const MAX_WAL_RECORD: u32 = 16 * 1024 * 1024;
 
 const TAG_INSERT: u8 = 1;
 const TAG_DELETE: u8 = 2;
+const TAG_MODEL_EPOCH: u8 = 3;
+
+/// Encodes a model-epoch mark payload (no frame header).
+fn encode_model_epoch(epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(TAG_MODEL_EPOCH);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out
+}
 
 /// Encodes one op as a record payload (no frame header).
 pub fn encode_op(op: &IngestOp) -> Vec<u8> {
@@ -124,12 +141,17 @@ pub struct WalReplay {
     /// Whether an incomplete final record (a crash mid-append) was found
     /// past `valid_bytes`. The tail carries no acknowledged op.
     pub torn_tail: bool,
+    /// The highest model-epoch mark in the log (0 when the log predates
+    /// every re-fit — no mark record written). The paired snapshot must
+    /// carry at least this model epoch; a lower one is stale.
+    pub model_epoch: u64,
 }
 
 /// Decodes a log image. Stops cleanly at a torn tail; errors (typed) on
 /// mid-log corruption. Exposed at byte level for the proptest harness.
 pub fn decode_wal(bytes: &[u8]) -> Result<WalReplay> {
     let mut ops = Vec::new();
+    let mut model_epoch = 0u64;
     let mut pos = 0usize;
     while pos < bytes.len() {
         let remaining = bytes.len() - pos;
@@ -138,6 +160,7 @@ pub fn decode_wal(bytes: &[u8]) -> Result<WalReplay> {
                 ops,
                 valid_bytes: pos as u64,
                 torn_tail: true,
+                model_epoch,
             });
         }
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
@@ -155,6 +178,7 @@ pub fn decode_wal(bytes: &[u8]) -> Result<WalReplay> {
                 ops,
                 valid_bytes: pos as u64,
                 torn_tail: true,
+                model_epoch,
             });
         }
         let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len as usize];
@@ -165,13 +189,26 @@ pub fn decode_wal(bytes: &[u8]) -> Result<WalReplay> {
                 detail: format!("payload CRC {computed:#010x} != stored {stored_crc:#010x}"),
             });
         }
-        ops.push(decode_op(payload, pos as u64)?);
+        if payload.first() == Some(&TAG_MODEL_EPOCH) {
+            // Epoch marks are log metadata, not operations.
+            if payload.len() != 9 {
+                return Err(PersistError::WalCorrupt {
+                    offset: pos as u64,
+                    detail: "model-epoch mark has wrong length".to_string(),
+                });
+            }
+            let mark = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+            model_epoch = model_epoch.max(mark);
+        } else {
+            ops.push(decode_op(payload, pos as u64)?);
+        }
         pos += FRAME_HEADER + len as usize;
     }
     Ok(WalReplay {
         ops,
         valid_bytes: pos as u64,
         torn_tail: false,
+        model_epoch,
     })
 }
 
@@ -187,6 +224,7 @@ pub fn replay_wal(path: impl AsRef<Path>) -> Result<WalReplay> {
                 ops: Vec::new(),
                 valid_bytes: 0,
                 torn_tail: false,
+                model_epoch: 0,
             })
         }
         Err(e) => return Err(PersistError::io(path, e)),
@@ -234,10 +272,26 @@ impl WalWriter {
 
     /// Atomically replaces the log with exactly `ops` (the unfolded tail
     /// after a merge): temp file, fsync, rename. The returned writer
-    /// appends after the rewritten records.
+    /// appends after the rewritten records. Equivalent to
+    /// [`rewrite_with_model_epoch`](Self::rewrite_with_model_epoch) at
+    /// model epoch 0 (no mark record — the pre-mark format).
     pub fn rewrite(path: impl AsRef<Path>, ops: &[IngestOp]) -> Result<Self> {
+        Self::rewrite_with_model_epoch(path, ops, 0)
+    }
+
+    /// [`rewrite`](Self::rewrite) that stamps the log with the model epoch
+    /// of the snapshot it pairs with. A non-zero epoch writes one mark
+    /// record at the head; epoch 0 produces a byte-identical legacy log.
+    pub fn rewrite_with_model_epoch(
+        path: impl AsRef<Path>,
+        ops: &[IngestOp],
+        model_epoch: u64,
+    ) -> Result<Self> {
         let path = path.as_ref();
         let mut image = Vec::new();
+        if model_epoch > 0 {
+            image.extend_from_slice(&frame(&encode_model_epoch(model_epoch)));
+        }
         for op in ops {
             image.extend_from_slice(&frame(&encode_op(op)));
         }
@@ -371,6 +425,58 @@ mod tests {
         assert!(matches!(
             decode_wal(&bad),
             Err(PersistError::WalCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn model_epoch_mark_survives_rewrite_and_appends() {
+        let dir = std::env::temp_dir().join(format!("mmdr-wal-me-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.wal");
+        let _ = std::fs::remove_file(&path);
+        let tail = vec![IngestOp::Delete { id: 7 }];
+        let mut w = WalWriter::rewrite_with_model_epoch(&path, &tail, 5).unwrap();
+        w.append(&IngestOp::Delete { id: 8 }).unwrap();
+        drop(w);
+        let replay = replay_wal(&path).unwrap();
+        assert_eq!(replay.model_epoch, 5);
+        // The mark is metadata: ops come back without it.
+        assert_eq!(
+            replay.ops,
+            vec![IngestOp::Delete { id: 7 }, IngestOp::Delete { id: 8 }]
+        );
+        // Reopening through the writer path sees the same mark.
+        let (_, replay) = WalWriter::open(&path).unwrap();
+        assert_eq!(replay.model_epoch, 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn epoch_zero_rewrite_is_byte_identical_to_legacy() {
+        let dir = std::env::temp_dir().join(format!("mmdr-wal-me0-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("legacy.wal");
+        let b = dir.join("marked.wal");
+        for p in [&a, &b] {
+            let _ = std::fs::remove_file(p);
+        }
+        drop(WalWriter::rewrite(&a, &ops()).unwrap());
+        drop(WalWriter::rewrite_with_model_epoch(&b, &ops(), 0).unwrap());
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        let replay = replay_wal(&a).unwrap();
+        assert_eq!(replay.model_epoch, 0);
+        for p in [&a, &b] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn truncated_epoch_mark_is_corruption() {
+        // A complete frame whose payload claims tag 3 but is short.
+        let image = frame(&[TAG_MODEL_EPOCH, 1, 2, 3]);
+        assert!(matches!(
+            decode_wal(&image),
+            Err(PersistError::WalCorrupt { offset: 0, .. })
         ));
     }
 

@@ -556,6 +556,8 @@ fn enqueue(shared: &Arc<Shared>, conn: &Arc<Conn>, id: u64, op: JobOp) -> bool {
 
 fn build_stats(shared: &Shared) -> RemoteStats {
     let pin = shared.index.pin();
+    let mut ingest: crate::wire::IngestWire = shared.index.ingest_stats().into();
+    ingest.cluster_drift = shared.index.model_drift();
     RemoteStats {
         backend: pin.index.name().to_string(),
         len: pin.index.len() as u64,
@@ -563,7 +565,7 @@ fn build_stats(shared: &Shared) -> RemoteStats {
         query: pin.index.query_stats().into(),
         pools: pin.index.pool_stats(),
         server: shared.stats.snapshot(shared.queue.len()),
-        ingest: shared.index.ingest_stats().into(),
+        ingest,
         workers: shared.config.workers as u64,
         pool_pages: shared.config.pool_pages,
         readahead: shared.config.readahead,

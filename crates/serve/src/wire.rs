@@ -36,8 +36,11 @@ pub const MAGIC: u32 = 0x4D4D_4452;
 /// added the open-configuration echo (`workers`, `pool_pages`,
 /// `readahead`) and the optional scatter-gather attribution block to
 /// `STATS`, so a router can sanity-check shard homogeneity at connect
-/// time and clients can observe shard pruning.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// time and clients can observe shard pruning. Version 4 added the
+/// adaptive-maintenance block to `STATS` (`model_epoch`, `refits`, and
+/// the per-cluster drift vector in [`IngestWire`]), so operators can
+/// watch a drifting stream approach the re-fit threshold remotely.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Hard cap on one frame's payload (16 MiB). Anything larger is rejected
 /// before allocation — the admission-control seatbelt against garbage or
@@ -244,7 +247,7 @@ pub struct RemoteStats {
 }
 
 /// [`mmdr_index::IngestStats`] with a stable wire layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct IngestWire {
     /// Serving epoch number (bumped by every merge + swap).
     pub epoch: u64,
@@ -258,6 +261,12 @@ pub struct IngestWire {
     pub merges: u64,
     /// Next id the engine will assign.
     pub next_id: u64,
+    /// Reduction-model epoch (bumped by every background re-fit).
+    pub model_epoch: u64,
+    /// Re-fits completed since the server opened the index.
+    pub refits: u64,
+    /// Per-cluster MPE drift of routed inserts, relative to `max_mpe`.
+    pub cluster_drift: Vec<f64>,
 }
 
 impl From<mmdr_index::IngestStats> for IngestWire {
@@ -269,6 +278,9 @@ impl From<mmdr_index::IngestStats> for IngestWire {
             wal_bytes: s.wal_bytes,
             merges: s.merges,
             next_id: s.next_id,
+            model_epoch: s.model_epoch,
+            refits: s.refits,
+            cluster_drift: Vec::new(),
         }
     }
 }
@@ -658,8 +670,14 @@ fn put_stats(e: &mut Enc, s: &RemoteStats) {
         s.ingest.wal_bytes,
         s.ingest.merges,
         s.ingest.next_id,
+        s.ingest.model_epoch,
+        s.ingest.refits,
     ] {
         e.u64(v);
+    }
+    e.u32(s.ingest.cluster_drift.len() as u32);
+    for &v in &s.ingest.cluster_drift {
+        e.f64(v);
     }
     e.u64(s.workers);
     e.u64(s.pool_pages);
@@ -724,6 +742,12 @@ fn get_stats(d: &mut Dec<'_>) -> Result<RemoteStats, WireError> {
         wal_bytes: d.u64()?,
         merges: d.u64()?,
         next_id: d.u64()?,
+        model_epoch: d.u64()?,
+        refits: d.u64()?,
+        cluster_drift: {
+            let n = d.len(8)?;
+            (0..n).map(|_| d.f64()).collect::<Result<_, _>>()?
+        },
     };
     let workers = d.u64()?;
     let pool_pages = d.u64()?;
@@ -981,6 +1005,9 @@ mod tests {
                     wal_bytes: 4096,
                     merges: 3,
                     next_id: 1015,
+                    model_epoch: 2,
+                    refits: 1,
+                    cluster_drift: vec![0.5, 1.25, f64::from_bits(0x3FF0_0000_0000_0001)],
                 },
                 workers: 4,
                 pool_pages: 256,

@@ -153,6 +153,7 @@ fn live_sequence_matches_fresh_build_over_union() {
                 // Small enough that the insert stream trips background
                 // merges while later operations are still arriving.
                 merge_threshold: 10,
+                ..IngestOptions::default()
             },
         )
         .unwrap();
@@ -247,6 +248,7 @@ fn concurrent_readers_never_observe_torn_epochs() {
         IngestOptions {
             pool_pages: None,
             merge_threshold: 6,
+            ..IngestOptions::default()
         },
     )
     .unwrap();
@@ -359,6 +361,7 @@ fn crash_image_reopens_to_identical_answers() {
         IngestOptions {
             pool_pages: None,
             merge_threshold: 0, // manual flush only: the WAL carries everything
+            ..IngestOptions::default()
         },
     )
     .unwrap();
@@ -381,6 +384,7 @@ fn crash_image_reopens_to_identical_answers() {
         IngestOptions {
             pool_pages: None,
             merge_threshold: 0,
+            ..IngestOptions::default()
         },
     )
     .unwrap();
@@ -437,6 +441,7 @@ fn server_level_insert_then_query() {
         IngestOptions {
             pool_pages: None,
             merge_threshold: 0,
+            ..IngestOptions::default()
         },
     )
     .unwrap();
@@ -479,4 +484,94 @@ fn server_level_insert_then_query() {
         "wire vs pinned epoch",
     );
     handle.shutdown();
+}
+
+/// Regression for the adaptive-maintenance refactor: with re-fits disabled
+/// (the default `refit_threshold: 0.0`), a badly drifted insert stream —
+/// every row routed into cluster 0 with projection error far past its
+/// fitted MPE — still answers bit-identically to a fresh build over the
+/// union and recalls every inserted row at rank 0. Drift may accumulate in
+/// the estimator; it must never change answers on its own.
+#[test]
+fn drifted_stream_without_refit_stays_exact() {
+    let data = dataset(120);
+    let model = fit(&data);
+    // On cluster 0's (t, 0.3t) line but lifted well off its fitted plane:
+    // inside the routing beta, so each insert trains the drift estimator.
+    let inserts: Vec<Vec<f64>> = (0..48)
+        .map(|i| {
+            let t = (i as f64 * 0.381_966).fract();
+            vec![t, 0.3 * t, 0.085, 0.0]
+        })
+        .collect();
+    let deletes: Vec<u64> = vec![7, data.rows() as u64 + 3];
+    let k = 10;
+
+    for backend in Backend::all() {
+        let dir = TempDir::new(&format!("drift-{}", backend.name()));
+        let path = dir.file("idx.mmdr");
+        let engine = IngestEngine::create(
+            &path,
+            backend,
+            &data,
+            &model,
+            128,
+            IngestOptions {
+                pool_pages: None,
+                merge_threshold: 10, // merges fold the drifted delta mid-stream
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap();
+        for v in &inserts {
+            engine.insert(v).unwrap();
+        }
+        for &id in &deletes {
+            assert!(engine.delete(id).unwrap());
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while engine.ingest_stats().merges < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{}: background merge never landed",
+                backend.name()
+            );
+            engine.quiesce();
+            std::thread::yield_now();
+        }
+        let stats = engine.ingest_stats();
+        assert_eq!(stats.refits, 0, "refits stay disabled");
+        assert_eq!(stats.model_epoch, 0, "model never re-fit");
+
+        let fresh = reference(backend, &data, &inserts, &deletes);
+        let pin = engine.pin();
+        let step = (data.rows() / 5).max(1);
+        let queries: Vec<Vec<f64>> = (0..5)
+            .map(|i| data.row(i * step).to_vec())
+            .chain(inserts.iter().take(4).cloned())
+            .collect();
+        for (qi, q) in queries.iter().enumerate() {
+            assert_bit_identical(
+                &fresh.as_dyn().knn(q, k).unwrap(),
+                &pin.index.knn(q, k).unwrap(),
+                &format!("{} drifted query {qi}", backend.name()),
+            );
+        }
+        // 100% recall on the drifted inserts: each surviving row's stored
+        // representation is strictly nearer its own exact vector than any
+        // neighbour on the drifted line.
+        for (i, v) in inserts.iter().enumerate() {
+            let id = data.rows() as u64 + i as u64;
+            if deletes.contains(&id) {
+                continue;
+            }
+            let hits = pin.index.knn(v, 1).unwrap();
+            assert_eq!(
+                hits[0].1,
+                id,
+                "{}: drifted insert {i} not recalled at rank 0",
+                backend.name()
+            );
+        }
+    }
 }

@@ -86,6 +86,23 @@ if ! awk '/pub trait VectorIndex/,/^}/' crates/index/src/traits.rs \
     exit 1
 fi
 
+echo "== adapt gate =="
+# Adaptive model maintenance: a drifted stream with a background re-fit
+# must answer bit-identically to the same fit/attach stages composed by
+# hand, id-exactly with SeqScan, across 1/2/4/8 threads; the mid-re-fit
+# crash image must reopen identically; and the streaming drift estimator
+# must agree with a batch recomputation (property-tested).
+cargo test "${PROFILE[@]}" --test adapt_parity
+cargo test "${PROFILE[@]}" -p mmdr-index --test proptest_drift
+# Structural invariant: the read hot path must never touch the re-fit
+# machinery — Epoch's VectorIndex impl takes no engine locks (readers pin
+# an epoch and query it; re-fits swap whole epochs underneath them).
+if awk '/^impl VectorIndex for Epoch/,/^}/' crates/persist/src/ingest.rs \
+        | grep -n "refit\|merge\|writer"; then
+    echo "verify: FAIL — Epoch's read path references engine lock state" >&2
+    exit 1
+fi
+
 echo "== router gate =="
 # Scale-out serving: scatter-gather answers through the cluster-sharded
 # router must be bit-identical to single-node for all four backends at
@@ -200,6 +217,25 @@ for _ in $(seq 1 100); do
 done
 wait "$SERVE_PID"
 SERVE_PID=""
+
+echo "== adapt smoke gate =="
+# The operator-facing face of adaptive maintenance: a local ingest with
+# --refit forces one synchronous re-fit, bumps the model epoch, and the
+# stats line reports it; a reopen still sees the re-fit model.
+"$MMDR" ingest --index-file "$SMOKE/index.mmdr" \
+    --point "8,8,8,8,8,8,8,8,8,8,8,8" --refit true > "$SMOKE/refit.txt"
+grep -q '^re-fit: model epoch is now 1' "$SMOKE/refit.txt"
+if ! grep -q 'model epoch 1, 1 re-fits' "$SMOKE/refit.txt"; then
+    echo "verify: FAIL — ingest stats do not report the re-fit:" >&2
+    cat "$SMOKE/refit.txt" >&2
+    exit 1
+fi
+"$MMDR" ingest --index-file "$SMOKE/index.mmdr" --flush true > "$SMOKE/refit2.txt"
+if ! grep -q 'model epoch 1, 0 re-fits' "$SMOKE/refit2.txt"; then
+    echo "verify: FAIL — reopened snapshot lost the re-fit model epoch:" >&2
+    cat "$SMOKE/refit2.txt" >&2
+    exit 1
+fi
 
 echo "== router smoke gate =="
 # The scale-out path end to end over real sockets: shard-split the same
