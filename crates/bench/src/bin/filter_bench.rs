@@ -1,0 +1,231 @@
+//! Filtered-search benchmark: pushdown vs post-filter across selectivity.
+//!
+//! Builds an iDistance index plus an attribute column drawn uniformly, then
+//! answers the same filtered KNN workload three ways per selectivity level
+//! (0.1%, 1%, 10%, 50%):
+//!
+//! - **post-filter** — forced [`Strategy::PostFilter`]: unfiltered search
+//!   with doubling k, filter applied to the ranked stream;
+//! - **pushdown** — forced [`Strategy::Pushdown`]: the compiled row bitmap
+//!   (plus sketch-based cluster skipping) inside the index traversal;
+//! - **planner** — the cost-based planner picks per query, its pages/query
+//!   EWMA warmed by its own observations.
+//!
+//! Reported per level: throughput (qps) and logical pages read per query
+//! for the two forced strategies, the planner's cost, and the fraction of
+//! planner decisions that chose each strategy. The claim under test: at
+//! selective predicates (≤1%) pushdown reads far fewer pages per query
+//! than post-filtering, and the planner tracks whichever side wins. All
+//! three execution paths return bit-identical answers (asserted here on
+//! every query).
+//!
+//! Scale via env: `FILTER_BENCH_N` (rows, default 20000),
+//! `FILTER_BENCH_QUERIES` (default 200).
+
+use mmdr::index::{SearchFilter, VectorIndex};
+use mmdr_bench::Report;
+use mmdr_core::{Mmdr, MmdrParams};
+use mmdr_datagen::{generate_correlated, sample_queries, CorrelatedConfig};
+use mmdr_idistance::Backend;
+use mmdr_query::{
+    AttrSketches, AttrStore, AttrType, AttrValue, PlannedFilter, Planner, Predicate, Strategy,
+};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Compiles `pred` into an executable plan with a forced strategy.
+fn forced_plan(
+    pred: &Predicate,
+    store: &AttrStore,
+    sketches: &AttrSketches,
+    strategy: Strategy,
+) -> PlannedFilter {
+    let rows = pred.compile(store).expect("compile");
+    let matches = rows.count();
+    let (alive, outliers_alive) = sketches.prune(pred).expect("prune");
+    PlannedFilter {
+        predicate: pred.clone(),
+        filter: SearchFilter::with_clusters(rows, alive, outliers_alive),
+        matches,
+        strategy,
+    }
+}
+
+struct Measured {
+    qps: f64,
+    pages_per_query: f64,
+}
+
+/// Runs `queries` through `run`, measuring wall time and the index's
+/// logical page-read delta.
+fn measure(
+    index: &dyn VectorIndex,
+    queries: &[Vec<f64>],
+    mut run: impl FnMut(&[f64]) -> Vec<(f64, u64)>,
+    expect: Option<&[Vec<(f64, u64)>]>,
+) -> (Measured, Vec<Vec<(f64, u64)>>) {
+    let before = index.query_stats().pages_touched;
+    let t0 = Instant::now();
+    let mut answers = Vec::with_capacity(queries.len());
+    for q in queries {
+        answers.push(run(q));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let pages = index.query_stats().pages_touched - before;
+    if let Some(expect) = expect {
+        for (qi, (got, want)) in answers.iter().zip(expect).enumerate() {
+            assert_eq!(got.len(), want.len(), "q{qi}: answer lengths diverge");
+            for ((gd, gi), (wd, wi)) in got.iter().zip(want) {
+                assert!(
+                    gd.to_bits() == wd.to_bits() && gi == wi,
+                    "q{qi}: strategies disagree — planner bug"
+                );
+            }
+        }
+    }
+    (
+        Measured {
+            qps: queries.len() as f64 / wall.max(1e-9),
+            pages_per_query: pages as f64 / queries.len() as f64,
+        },
+        answers,
+    )
+}
+
+fn main() {
+    let n = env_usize("FILTER_BENCH_N", 20_000);
+    let num_queries = env_usize("FILTER_BENCH_QUERIES", 200);
+    let k = 10;
+    let dim = 32;
+
+    let data = generate_correlated(&CorrelatedConfig::paper_style(n, dim, 5, 6, 30.0, 42)).data;
+    let model = Mmdr::new(MmdrParams {
+        max_ec: 5,
+        ..Default::default()
+    })
+    .fit(&data)
+    .expect("fit");
+    let built = mmdr_persist::build_index(Backend::IDistance, &data, &model, 512).expect("build");
+    let index = built.into_boxed();
+
+    // One uniform i64 column: `views < cut` dials selectivity exactly.
+    let mut store = AttrStore::new(&[("views", AttrType::I64)]).expect("store");
+    for i in 0..n {
+        let views = ((i as u64).wrapping_mul(2_654_435_761) % 1_000_000) as i64;
+        store
+            .set_row(i as u64, &[("views".to_string(), AttrValue::I64(views))])
+            .expect("set_row");
+    }
+    let members: Vec<Vec<u64>> = model
+        .clusters
+        .iter()
+        .map(|c| c.members.iter().map(|&m| m as u64).collect())
+        .collect();
+    let outliers: Vec<u64> = model.outliers.iter().map(|&m| m as u64).collect();
+    let sketches = AttrSketches::build(&store, &members, &outliers).expect("sketches");
+
+    let queries_m = sample_queries(&data, num_queries, 7).expect("queries");
+    let queries: Vec<Vec<f64>> = (0..queries_m.rows())
+        .map(|i| queries_m.row(i).to_vec())
+        .collect();
+
+    let mut report = Report::new(
+        "BENCH_filter",
+        "Filtered KNN: pushdown vs post-filter vs cost-based planner",
+        "selectivity_pct",
+        &[
+            "postfilter_qps",
+            "pushdown_qps",
+            "planner_qps",
+            "postfilter_pages_per_q",
+            "pushdown_pages_per_q",
+            "planner_pages_per_q",
+            "planner_pushdown_frac",
+            "planner_postfilter_frac",
+            "planner_prefilter_frac",
+        ],
+        format!("n={n} dim={dim} k={k} queries={num_queries} backend=idistance"),
+    );
+
+    for selectivity_pct in [0.1f64, 1.0, 10.0, 50.0] {
+        let cut = (selectivity_pct / 100.0 * 1_000_000.0) as i64;
+        let pred_text = format!("views < {cut}");
+        let pred = Predicate::parse(&pred_text).expect("parse");
+
+        let post = forced_plan(&pred, &store, &sketches, Strategy::PostFilter);
+        let push = forced_plan(&pred, &store, &sketches, Strategy::Pushdown);
+        index.reset_stats();
+        let (post_m, answers) = measure(
+            index.as_ref(),
+            &queries,
+            |q| mmdr_query::run_filtered_knn(index.as_ref(), q, k, &post).expect("post"),
+            None,
+        );
+        let (push_m, _) = measure(
+            index.as_ref(),
+            &queries,
+            |q| mmdr_query::run_filtered_knn(index.as_ref(), q, k, &push).expect("push"),
+            Some(&answers),
+        );
+
+        // Fresh planner per level so each distribution reflects this
+        // selectivity alone, not carry-over from the previous level.
+        let planner = Planner::new();
+        let before_pages = index.query_stats().pages_touched;
+        let t0 = Instant::now();
+        for (qi, q) in queries.iter().enumerate() {
+            let rows = pred.compile(&store).expect("compile");
+            let plan = planner
+                .plan_knn(pred.clone(), rows, Some(&sketches), n as u64, k)
+                .expect("plan");
+            let p0 = index.query_stats().pages_touched;
+            let got = mmdr_query::run_filtered_knn(index.as_ref(), q, k, &plan).expect("planned");
+            planner.observe(plan.strategy, index.query_stats().pages_touched - p0);
+            let want = &answers[qi];
+            assert_eq!(got.len(), want.len(), "planner answer diverges at q{qi}");
+            for ((gd, gi), (wd, wi)) in got.iter().zip(want) {
+                assert!(
+                    gd.to_bits() == wd.to_bits() && gi == wi,
+                    "planner diverges at q{qi}"
+                );
+            }
+        }
+        let planner_wall = t0.elapsed().as_secs_f64();
+        let planner_pages = index.query_stats().pages_touched - before_pages;
+        let snap = planner.counters().snapshot();
+        let decisions = (snap.post_filter + snap.pushdown + snap.prefilter_rank).max(1) as f64;
+
+        println!(
+            "selectivity {selectivity_pct}%: post-filter {:.0} qps / {:.1} pages, \
+             pushdown {:.0} qps / {:.1} pages, planner chose {}push {}post {}rank",
+            post_m.qps,
+            post_m.pages_per_query,
+            push_m.qps,
+            push_m.pages_per_query,
+            snap.pushdown,
+            snap.post_filter,
+            snap.prefilter_rank
+        );
+        report.push(
+            selectivity_pct,
+            vec![
+                post_m.qps,
+                push_m.qps,
+                queries.len() as f64 / planner_wall.max(1e-9),
+                post_m.pages_per_query,
+                push_m.pages_per_query,
+                planner_pages as f64 / queries.len() as f64,
+                snap.pushdown as f64 / decisions,
+                snap.post_filter as f64 / decisions,
+                snap.prefilter_rank as f64 / decisions,
+            ],
+        );
+    }
+    report.emit();
+}

@@ -18,6 +18,7 @@
 //! reopens it without rebuilding — with answers bit-identical to a fresh
 //! build.
 
+mod attrs_file;
 mod dataset;
 
 use dataset::DatasetFile;
@@ -75,18 +76,18 @@ fn main() -> ExitCode {
 const USAGE: &str = "mmdr — MMDR dimensionality reduction + extended iDistance indexing
 
 USAGE:
-  mmdr generate --out FILE [--n N] [--dim D] [--clusters K] [--ratio R] [--seed S] [--histogram true]
+  mmdr generate --out FILE [--n N] [--dim D] [--clusters K] [--ratio R] [--seed S] [--histogram true] [--attrs-out FILE]
   mmdr convert  (--csv FILE --out FILE | --data FILE --out-csv FILE)
   mmdr reduce   --data FILE --out FILE [--method mmdr|ldr|gdr] [--dim D] [--clusters K] [--beta B] [--seed S] [--threads N]
   mmdr info     --model FILE
-  mmdr build-index --data FILE --model FILE --out FILE [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N] [--pool-shards P]
+  mmdr build-index --data FILE --model FILE --out FILE [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N] [--pool-shards P] [--attrs FILE]
   mmdr query    --data FILE --model FILE (--row I[,J,…] | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--backend seqscan|idistance|hybrid|gldr] [--pool-shards P] [--hex true]
-  mmdr query    --index-file FILE (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--threads N] [--pool-shards P] [--pool-pages N] [--readahead N] [--hex true]
-  mmdr shard-split --data FILE --model FILE --out-dir DIR --shards N [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N] [--pool-shards P]
-  mmdr serve    --index-file FILE [--wal true] [--merge-threshold N] [--refit-threshold X] [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--io-timeout-ms MS] [--batch-threads N] [--pool-shards P] [--pool-pages N] [--readahead N]
+  mmdr query    --index-file FILE (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--filter \"EXPR\"] [--threads N] [--pool-shards P] [--pool-pages N] [--readahead N] [--hex true]
+  mmdr shard-split --data FILE --model FILE --out-dir DIR --shards N [--backend seqscan|idistance|hybrid|gldr] [--buffer-pages N] [--pool-shards P] [--attrs FILE]
+  mmdr serve    --index-file FILE [--wal true] [--merge-threshold N] [--refit-threshold X] [--refit-cooldown-merges N] [--wal-segment-bytes N] [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--io-timeout-ms MS] [--batch-threads N] [--pool-shards P] [--pool-pages N] [--readahead N]
   mmdr route    --manifest FILE --shard-addr HOST:PORT,HOST:PORT,… [--host H] [--port P] [--workers W] [--queue-depth N] [--coalesce N] [--max-inflight N] [--io-timeout-ms MS] [--batch-threads N] [--shard-timeout-ms MS]
-  mmdr ingest   --index-file FILE (--data FILE | --point \"x,y,…\") [--delete I[,J,…]] [--flush true] [--refit true] [--merge-threshold N] [--refit-threshold X] [--pool-pages N]
-  mmdr remote-query (--addr | --router) HOST:PORT (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--hex true] [--verbose true]
+  mmdr ingest   --index-file FILE (--data FILE | --point \"x,y,…\") [--delete I[,J,…]] [--flush true] [--refit true] [--merge-threshold N] [--refit-threshold X] [--refit-cooldown-merges N] [--wal-segment-bytes N] [--pool-pages N]
+  mmdr remote-query (--addr | --router) HOST:PORT (--row I[,J,…] --data FILE | --point \"x,y,…\") [--k K] [--radius R] [--filter \"EXPR\"] [--hex true] [--verbose true]
   mmdr remote-query (--addr | --router) HOST:PORT --op ping|stats|shutdown
   mmdr remote-insert --addr HOST:PORT (--data FILE | --point \"x,y,…\") [--delete I[,J,…]] [--flush true]
 
@@ -145,7 +146,27 @@ bit-identical to a single-node index over the full dataset. If a needed
 shard is down the query fails with a typed degraded error instead of
 silently returning a subset. remote-query --verbose prints per-query
 shard attribution; --io-timeout-ms bounds per-connection socket reads
-and writes on serve and route alike.";
+and writes on serve and route alike.
+
+Attribute payloads and filtered search: generate --attrs-out writes a
+deterministic per-row attribute file (header `name:type` with types
+i64|f64|tag, one CSV row per vector, empty cell = NULL), and build-index
+--attrs / shard-split --attrs embed it into snapshots as a checksummed
+ATTRS section (shard-split re-keys rows to shard-local ids). query
+--filter / remote-query --filter then answer filtered KNN and range
+queries: a filter is `column op value` terms (ops = != < <= > >=; tags
+take only = and !=; NULL fails every term) joined by AND. A cost-based
+planner picks, per query, between post-filtering a widened unfiltered
+search, pushing the row bitmap into the index traversal (with
+sketch-based cluster skipping), and pre-filter ranking when few rows
+match — the choice never changes answers, which stay bit-identical to
+a sequential scan of matching rows, serially, threaded, and through
+route. Planner decisions show in query output and STATS.
+
+serve --wal rotates its log into --wal-segment-bytes segments (default
+16 MiB) so merges reclaim space by deleting whole sealed segments;
+--refit-cooldown-merges makes drift-triggered re-fits wait N merges
+after the previous one before firing again.";
 
 /// Parses `--flag value` pairs into a map, rejecting unknown flags.
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
@@ -211,6 +232,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             "seed",
             "histogram",
             "s-dim",
+            "attrs-out",
         ],
     )?;
     let out = require(&flags, "out")?;
@@ -240,6 +262,13 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         data.rows(),
         data.cols()
     );
+    if let Some(attrs_out) = flags.get("attrs-out") {
+        attrs_file::write_synthetic_attrs(attrs_out, data.rows(), seed)?;
+        outln!(
+            "wrote {} attribute rows (label:tag, score:f64, views:i64) to {attrs_out}",
+            data.rows()
+        );
+    }
     Ok(())
 }
 
@@ -416,12 +445,17 @@ fn cmd_build_index(args: &[String]) -> Result<(), String> {
             "backend",
             "buffer-pages",
             "pool-shards",
+            "attrs",
         ],
     )?;
     apply_pool_shards(&flags)?;
     let data = DatasetFile::load(require(&flags, "data")?)?;
     let model = load_model(require(&flags, "model")?)?;
     let out = require(&flags, "out")?;
+    let attrs = match flags.get("attrs") {
+        Some(path) => Some(attrs_file::load_attrs(path, data.rows())?),
+        None => None,
+    };
     let backend: Backend = match flags.get("backend") {
         Some(s) => s.parse()?,
         None => Backend::IDistance,
@@ -431,12 +465,18 @@ fn cmd_build_index(args: &[String]) -> Result<(), String> {
     let index = mmdr_persist::build_index(backend, &data, &model, buffer_pages)
         .map_err(|e| e.to_string())?;
     let build_secs = start.elapsed().as_secs_f64();
-    mmdr_persist::save(out, &index, &model).map_err(|e| e.to_string())?;
+    mmdr_persist::save_with_attrs(out, &index, &model, 0, attrs.as_ref())
+        .map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     outln!(
-        "built {} over {} points in {build_secs:.2}s; snapshot {bytes} bytes → {out}",
+        "built {} over {} points in {build_secs:.2}s; snapshot {bytes} bytes{} → {out}",
         backend.name(),
-        index.as_dyn().len()
+        index.as_dyn().len(),
+        if attrs.is_some() {
+            " (with attribute payloads)"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -452,11 +492,16 @@ fn cmd_shard_split(args: &[String]) -> Result<(), String> {
             "backend",
             "buffer-pages",
             "pool-shards",
+            "attrs",
         ],
     )?;
     apply_pool_shards(&flags)?;
     let data = DatasetFile::load(require(&flags, "data")?)?;
     let model = load_model(require(&flags, "model")?)?;
+    let attrs = match flags.get("attrs") {
+        Some(path) => Some(attrs_file::load_attrs(path, data.rows())?),
+        None => None,
+    };
     let out_dir = std::path::Path::new(require(&flags, "out-dir")?);
     let shards = get_parse(&flags, "shards", 2usize)?;
     let backend: Backend = match flags.get("backend") {
@@ -473,7 +518,25 @@ fn cmd_shard_split(args: &[String]) -> Result<(), String> {
         let path = out_dir.join(&name);
         let index = mmdr_persist::build_index(backend, &plan.data, &plan.model, buffer_pages)
             .map_err(|e| e.to_string())?;
-        mmdr_persist::save(&path, &index, &plan.model).map_err(|e| e.to_string())?;
+        // Each shard serves local row ids, so its ATTRS section must be
+        // re-keyed: global id plan.rows[j] becomes the shard's row j. The
+        // router remaps answers back, so filters stay globally consistent.
+        let shard_attrs = match &attrs {
+            Some(store) => {
+                let schema = store.schema();
+                let borrowed: Vec<(&str, mmdr_query::AttrType)> =
+                    schema.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+                let mut local = mmdr_query::AttrStore::new(&borrowed).map_err(|e| e.to_string())?;
+                for (j, &global) in plan.rows.iter().enumerate() {
+                    let row = store.row(global as u64);
+                    local.set_row(j as u64, &row).map_err(|e| e.to_string())?;
+                }
+                Some(local)
+            }
+            None => None,
+        };
+        mmdr_persist::save_with_attrs(&path, &index, &plan.model, 0, shard_attrs.as_ref())
+            .map_err(|e| e.to_string())?;
         outln!(
             "shard {i}: {} points, {} clusters{} → {}",
             plan.rows.len(),
@@ -593,6 +656,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             "point",
             "k",
             "radius",
+            "filter",
             "threads",
             "backend",
             "index-file",
@@ -617,6 +681,12 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
     let queries = parse_queries(&flags, data.as_ref())?;
     let par = ParConfig::threads(get_parse(&flags, "threads", 1usize)?);
+
+    if let Some(filter) = flags.get("filter") {
+        let path = index_file
+            .ok_or("--filter evaluates against a snapshot's ATTRS payload; give --index-file")?;
+        return query_filtered(&flags, path, filter, &queries, hex);
+    }
 
     let index = match index_file {
         Some(path) => {
@@ -698,6 +768,73 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `query --filter`: reopens the snapshot together with its ATTRS payload
+/// and answers through the same predicate → planner → execution pipeline
+/// the servers run, then prints which strategies the planner chose.
+fn query_filtered(
+    flags: &HashMap<String, String>,
+    path: &str,
+    filter: &str,
+    queries: &[Vec<f64>],
+    hex: bool,
+) -> Result<(), String> {
+    use mmdr_index::LiveIndex as _;
+    let opened = mmdr_persist::open_with(path, &open_options(flags)?).map_err(|e| e.to_string())?;
+    let index: std::sync::Arc<dyn mmdr_index::VectorIndex> =
+        std::sync::Arc::from(opened.index.into_boxed());
+    index.reset_stats();
+    let live =
+        mmdr_persist::SnapshotLive::new(std::sync::Arc::clone(&index), &opened.model, opened.attrs)
+            .map_err(|e| e.to_string())?;
+    if let Some(radius) = flags.get("radius") {
+        if queries.len() != 1 {
+            return Err("--radius works with a single query".into());
+        }
+        let radius: f64 = radius.parse().map_err(|_| "--radius: not a number")?;
+        if radius.is_nan() || radius < 0.0 {
+            return Err(format!("--radius must be non-negative, got {radius}"));
+        }
+        validate_query_shape(queries, index.dim(), index.len(), 1)?;
+        let hits = live
+            .filtered_range(&queries[0], radius, filter)
+            .map_err(|e| e.to_string())?;
+        outln!("{} points within radius {radius}:", hits.len());
+        print_hits(&hits[..hits.len().min(50)], hex);
+        if hits.len() > 50 {
+            outln!("  … and {} more", hits.len() - 50);
+        }
+    } else {
+        let k = get_parse(flags, "k", 10usize)?;
+        validate_query_shape(queries, index.dim(), index.len(), k)?;
+        for (qi, q) in queries.iter().enumerate() {
+            let hits = live.filtered_knn(q, k, filter).map_err(|e| e.to_string())?;
+            if queries.len() > 1 {
+                outln!("query {qi}: {k}-NN:");
+            } else {
+                outln!("{k}-NN:");
+            }
+            print_hits(&hits, hex);
+        }
+    }
+    let stats = index.query_stats();
+    outln!(
+        "[{}] {} dist computations, {} candidates refined, {} page accesses ({} reads)",
+        index.name(),
+        stats.dist_computations,
+        stats.candidates_refined,
+        stats.pages_touched,
+        stats.page_reads
+    );
+    let p = live.planner_snapshot();
+    outln!(
+        "[planner] {} post-filter, {} pushdown, {} prefilter-rank",
+        p.post_filter,
+        p.pushdown,
+        p.prefilter_rank
+    );
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use mmdr_index::LiveIndex as _;
     use mmdr_serve::{Server, ServerConfig};
@@ -719,6 +856,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "wal",
             "merge-threshold",
             "refit-threshold",
+            "refit-cooldown-merges",
+            "wal-segment-bytes",
         ],
     )?;
     apply_pool_shards(&flags)?;
@@ -756,8 +895,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         );
         std::sync::Arc::new(engine)
     } else {
-        if flags.contains_key("refit-threshold") {
-            return Err("--refit-threshold applies to writable serving; add --wal true".into());
+        for wal_only in [
+            "refit-threshold",
+            "refit-cooldown-merges",
+            "wal-segment-bytes",
+        ] {
+            if flags.contains_key(wal_only) {
+                return Err(format!(
+                    "--{wal_only} applies to writable serving; add --wal true"
+                ));
+            }
         }
         let opened = mmdr_persist::open_with(index_file, &open_options(&flags)?)
             .map_err(|e| e.to_string())?;
@@ -765,12 +912,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             std::sync::Arc::from(opened.index.into_boxed());
         index.reset_stats();
         outln!(
-            "serving {} ({} points × {} dims) from {index_file}",
+            "serving {} ({} points × {} dims) from {index_file}{}",
             index.name(),
             index.len(),
-            index.dim()
+            index.dim(),
+            if opened.attrs.is_some() {
+                " [attribute filters on]"
+            } else {
+                ""
+            }
         );
-        std::sync::Arc::new(mmdr_index::ReadOnlyLive::new(index))
+        // SnapshotLive keeps the read-only contract of ReadOnlyLive but
+        // answers --filter queries when the snapshot carries ATTRS.
+        let live = mmdr_persist::SnapshotLive::new(
+            std::sync::Arc::clone(&index),
+            &opened.model,
+            opened.attrs,
+        )
+        .map_err(|e| e.to_string())?;
+        std::sync::Arc::new(live)
     };
     let workers = config.workers;
     let ingest_handle = std::sync::Arc::clone(&live);
@@ -880,8 +1040,11 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     };
     apply_io_timeout(&flags, &mut config)?;
     let workers = config.workers;
-    let index: std::sync::Arc<dyn mmdr_index::VectorIndex> = std::sync::Arc::new(router);
-    let handle = Server::start_static(index, (host, port), config).map_err(|e| e.to_string())?;
+    // RouterLive keeps the router read-only but forwards --filter queries
+    // to the shards (each compiles the predicate against its own ATTRS).
+    let live: std::sync::Arc<dyn mmdr_index::LiveIndex> =
+        std::sync::Arc::new(mmdr_router::RouterLive::new(std::sync::Arc::new(router)));
+    let handle = Server::start(live, (host, port), config).map_err(|e| e.to_string())?;
     // Same format as `serve`: scripts read this line for the port.
     outln!(
         "listening on {} with {} workers",
@@ -920,10 +1083,19 @@ fn open_engine(
             mmdr_persist::DEFAULT_MERGE_THRESHOLD,
         )?,
         refit_threshold: get_parse(flags, "refit-threshold", 0.0f64)?,
+        refit_cooldown_merges: get_parse(flags, "refit-cooldown-merges", 0u64)?,
+        wal_segment_bytes: get_parse(
+            flags,
+            "wal-segment-bytes",
+            mmdr_persist::DEFAULT_WAL_SEGMENT_BYTES,
+        )?,
         ..Default::default()
     };
     if opts.refit_threshold < 0.0 || opts.refit_threshold.is_nan() {
         return Err("--refit-threshold must be non-negative".into());
+    }
+    if opts.wal_segment_bytes == 0 {
+        return Err("--wal-segment-bytes must be at least 1".into());
     }
     if let Some(v) = flags.get("pool-pages") {
         let pages: usize = v
@@ -975,6 +1147,8 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
             "refit",
             "merge-threshold",
             "refit-threshold",
+            "refit-cooldown-merges",
+            "wal-segment-bytes",
             "pool-pages",
             "pool-shards",
         ],
@@ -1105,7 +1279,8 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
         &[
-            "addr", "router", "op", "data", "row", "point", "k", "radius", "hex", "verbose",
+            "addr", "router", "op", "data", "row", "point", "k", "radius", "filter", "hex",
+            "verbose",
         ],
     )?;
     // --router is an alias for --addr: a router *is* a server speaking the
@@ -1161,6 +1336,12 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
                 s.query.candidates_refined,
                 s.query.pages_touched,
                 s.query.page_reads
+            );
+            outln!(
+                "planner: {} post-filter, {} pushdown, {} prefilter-rank",
+                s.query.planner_post_filter,
+                s.query.planner_pushdown,
+                s.query.planner_prefilter_rank
             );
             if s.query.physical_reads > 0 || s.query.read_errors > 0 {
                 outln!(
@@ -1221,6 +1402,7 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
     } else {
         None
     };
+    let filter = flags.get("filter").map(String::as_str);
     if let Some(radius) = flags.get("radius") {
         if queries.len() != 1 {
             return Err("--radius works with a single query".into());
@@ -1229,9 +1411,11 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
         if radius.is_nan() || radius < 0.0 {
             return Err(format!("--radius must be non-negative, got {radius}"));
         }
-        let hits = client
-            .range(&queries[0], radius)
-            .map_err(|e| e.to_string())?;
+        let hits = match filter {
+            Some(f) => client.filtered_range(&queries[0], radius, f),
+            None => client.range(&queries[0], radius),
+        }
+        .map_err(|e| e.to_string())?;
         outln!("{} points within radius {radius}:", hits.len());
         print_hits(&hits[..hits.len().min(50)], hex);
         if hits.len() > 50 {
@@ -1244,13 +1428,22 @@ fn cmd_remote_query(args: &[String]) -> Result<(), String> {
         }
         // Answer blocks print identically to `query`, so parity is a diff.
         if queries.len() > 1 {
+            if filter.is_some() {
+                return Err(
+                    "--filter sends one query at a time; give a single --row/--point".into(),
+                );
+            }
             let results = client.batch_knn(&queries, k).map_err(|e| e.to_string())?;
             for (qi, hits) in results.iter().enumerate() {
                 outln!("query {qi}: {k}-NN:");
                 print_hits(hits, hex);
             }
         } else {
-            let hits = client.knn(&queries[0], k).map_err(|e| e.to_string())?;
+            let hits = match filter {
+                Some(f) => client.filtered_knn(&queries[0], k, f),
+                None => client.knn(&queries[0], k),
+            }
+            .map_err(|e| e.to_string())?;
             outln!("{k}-NN:");
             print_hits(&hits, hex);
         }

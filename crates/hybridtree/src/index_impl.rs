@@ -1,7 +1,7 @@
 //! [`VectorIndex`] implementation for the hybrid tree.
 
 use crate::tree::HybridTree;
-use mmdr_index::{DeltaStats, MutableVectorIndex, SearchCounters, VectorIndex};
+use mmdr_index::{DeltaStats, MutableVectorIndex, SearchCounters, SearchFilter, VectorIndex};
 use mmdr_storage::{IoStats, PoolStats};
 use std::sync::Arc;
 
@@ -38,6 +38,24 @@ impl VectorIndex for HybridTree {
 
     fn range_search(&self, query: &[f64], radius: f64) -> mmdr_index::Result<Vec<(f64, u64)>> {
         Ok(HybridTree::range_search(self, query, radius)?)
+    }
+
+    fn knn_filtered(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: &SearchFilter,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(self.knn_gated(query, k, None, Some(filter))?)
+    }
+
+    fn range_search_filtered(
+        &self,
+        query: &[f64],
+        radius: f64,
+        filter: &SearchFilter,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(self.range_search_gated(query, radius, None, Some(filter))?)
     }
 
     fn io_stats(&self) -> Arc<IoStats> {

@@ -3,7 +3,7 @@
 use crate::error::{Error, Result};
 use crate::node::{count, is_leaf, Internal, Leaf};
 use crate::tree::HybridTree;
-use mmdr_index::KnnHeap;
+use mmdr_index::{KnnHeap, SearchFilter};
 use mmdr_storage::PageId;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -62,19 +62,23 @@ impl HybridTree {
     /// the k-th best, which cannot change the result set (a candidate at
     /// the bound is still summed in full and tie-broken by rid).
     pub fn knn(&self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
-        self.knn_impl(query, k, None)
+        self.knn_impl(query, k, None, None)
     }
 
-    /// [`knn`](Self::knn) with an extra set of rids to hide. The gLDR
-    /// forest keeps one tombstone set at its own level and passes it down
-    /// to every cluster tree, so deleted members never surface.
-    pub fn knn_filtered(
+    /// [`knn`](Self::knn) with two optional row gates: a set of rids to
+    /// hide (the gLDR forest keeps one tombstone set at its own level and
+    /// passes it down to every cluster tree, so deleted members never
+    /// surface) and a [`SearchFilter`] whose failing rows never enter the
+    /// answer heap (the pushdown contract — results are bit-identical to
+    /// post-filtering the ungated ranking).
+    pub fn knn_gated(
         &self,
         query: &[f64],
         k: usize,
-        skip: &HashSet<u64>,
+        skip: Option<&HashSet<u64>>,
+        filter: Option<&SearchFilter>,
     ) -> Result<Vec<(f64, u64)>> {
-        self.knn_impl(query, k, Some(skip))
+        self.knn_impl(query, k, skip, filter)
     }
 
     fn knn_impl(
@@ -82,6 +86,7 @@ impl HybridTree {
         query: &[f64],
         k: usize,
         skip: Option<&HashSet<u64>>,
+        filter: Option<&SearchFilter>,
     ) -> Result<Vec<(f64, u64)>> {
         self.validate(query)?;
         if k == 0 || self.is_empty() {
@@ -89,7 +94,11 @@ impl HybridTree {
         }
         let dim = self.dim;
         let tombs = self.delta.tombstones();
-        let dead = |rid: u64| tombs.contains(&rid) || skip.is_some_and(|s| s.contains(&rid));
+        let dead = |rid: u64| {
+            tombs.contains(&rid)
+                || skip.is_some_and(|s| s.contains(&rid))
+                || filter.is_some_and(|f| !f.passes(rid))
+        };
         let mut frontier = BinaryHeap::new();
         frontier.push(Frontier {
             mindist_sq: 0.0,
@@ -196,18 +205,19 @@ impl HybridTree {
     /// pruning as [`knn`](Self::knn) and the same boundary tolerance as the
     /// other backends (`dist ≤ radius + 1e-12`).
     pub fn range_search(&self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
-        self.range_search_impl(query, radius, None)
+        self.range_search_impl(query, radius, None, None)
     }
 
-    /// [`range_search`](Self::range_search) with an extra set of rids to
-    /// hide (see [`knn_filtered`](Self::knn_filtered)).
-    pub fn range_search_filtered(
+    /// [`range_search`](Self::range_search) with the same optional row
+    /// gates as [`knn_gated`](Self::knn_gated).
+    pub fn range_search_gated(
         &self,
         query: &[f64],
         radius: f64,
-        skip: &HashSet<u64>,
+        skip: Option<&HashSet<u64>>,
+        filter: Option<&SearchFilter>,
     ) -> Result<Vec<(f64, u64)>> {
-        self.range_search_impl(query, radius, Some(skip))
+        self.range_search_impl(query, radius, skip, filter)
     }
 
     fn range_search_impl(
@@ -215,6 +225,7 @@ impl HybridTree {
         query: &[f64],
         radius: f64,
         skip: Option<&HashSet<u64>>,
+        filter: Option<&SearchFilter>,
     ) -> Result<Vec<(f64, u64)>> {
         self.validate(query)?;
         if !(radius >= 0.0 && radius.is_finite()) {
@@ -226,7 +237,11 @@ impl HybridTree {
         let dim = self.dim;
         let limit = radius + 1e-12;
         let tombs = self.delta.tombstones();
-        let dead = |rid: u64| tombs.contains(&rid) || skip.is_some_and(|s| s.contains(&rid));
+        let dead = |rid: u64| {
+            tombs.contains(&rid)
+                || skip.is_some_and(|s| s.contains(&rid))
+                || filter.is_some_and(|f| !f.passes(rid))
+        };
         let mut out = Vec::new();
         let mut coords = vec![0.0; dim];
 

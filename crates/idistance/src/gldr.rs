@@ -5,7 +5,7 @@
 use crate::error::{Error, Result};
 use mmdr_core::ReductionResult;
 use mmdr_hybridtree::HybridTree;
-use mmdr_index::{DeltaLayer, KnnHeap, SearchCounters};
+use mmdr_index::{DeltaLayer, KnnHeap, SearchCounters, SearchFilter};
 use mmdr_linalg::Matrix;
 use mmdr_pca::ReducedSubspace;
 use mmdr_storage::{BufferPool, DiskManager, IoStats};
@@ -285,6 +285,30 @@ impl GlobalLdrIndex {
     /// the k-th distance are still visited so the smaller point id wins,
     /// keeping the result deterministic across backends.
     pub fn knn(&self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+        self.knn_impl(query, k, None)
+    }
+
+    /// [`knn`](Self::knn) restricted to rows passing `filter`. Exact
+    /// pushdown: failing rows never enter the candidate heap, so they never
+    /// tighten the per-cluster pruning bound; dead clusters (per the
+    /// filter's sketch hints) are skipped without touching their trees.
+    /// Delta rows are never cluster-skipped — sketches only cover merged
+    /// base rows — and are gated per-row by the bitmap instead.
+    pub fn knn_filtered(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: &SearchFilter,
+    ) -> Result<Vec<(f64, u64)>> {
+        self.knn_impl(query, k, Some(filter))
+    }
+
+    fn knn_impl(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: Option<&SearchFilter>,
+    ) -> Result<Vec<(f64, u64)>> {
         self.validate(query)?;
         if k == 0 || self.is_empty() {
             return Ok(Vec::new());
@@ -305,36 +329,47 @@ impl GlobalLdrIndex {
                 geo[p.cluster] = (p.q_local.as_slice(), p.proj_sq);
             }
             let mut delta_seen: u64 = 0;
-            self.delta.for_each(|id, (cluster, row)| match cluster {
-                Some(ci) => {
-                    let (q_local, proj_sq) = geo[*ci];
-                    let local_dist = mmdr_linalg::l2_dist_sq(q_local, row).sqrt();
-                    best.push((proj_sq + local_dist * local_dist).sqrt(), id);
-                    delta_seen += 1;
+            self.delta.for_each(|id, (cluster, row)| {
+                if filter.is_some_and(|f| !f.passes(id)) {
+                    return;
                 }
-                None => {
-                    best.push(mmdr_linalg::l2_dist_sq(query, row).sqrt(), id);
-                    delta_seen += 1;
+                match cluster {
+                    Some(ci) => {
+                        let (q_local, proj_sq) = geo[*ci];
+                        let local_dist = mmdr_linalg::l2_dist_sq(q_local, row).sqrt();
+                        best.push((proj_sq + local_dist * local_dist).sqrt(), id);
+                        delta_seen += 1;
+                    }
+                    None => {
+                        best.push(mmdr_linalg::l2_dist_sq(query, row).sqrt(), id);
+                        delta_seen += 1;
+                    }
                 }
             });
             self.search.record_dists(delta_seen);
             self.search.record_refined(delta_seen);
         }
         for probe in &order {
+            if filter.is_some_and(|f| !f.cluster_alive(probe.cluster)) {
+                continue; // sketch proved no base row of this cluster passes
+            }
             if best.is_full() && probe.lower_bound > best.worst_dist().expect("full heap") {
                 continue; // cannot improve (nor tie-break: lb strictly worse)
             }
-            for (local_dist, pid) in
-                self.clusters[probe.cluster]
-                    .tree
-                    .knn_filtered(&probe.q_local, k, &tombs)?
-            {
+            for (local_dist, pid) in self.clusters[probe.cluster].tree.knn_gated(
+                &probe.q_local,
+                k,
+                Some(&tombs),
+                filter,
+            )? {
                 best.push((probe.proj_sq + local_dist * local_dist).sqrt(), pid);
             }
         }
         if let Some(t) = &self.outlier_tree {
-            for (dist, pid) in t.knn_filtered(query, k, &tombs)? {
-                best.push(dist, pid);
+            if filter.is_none_or(|f| f.outliers_alive()) {
+                for (dist, pid) in t.knn_gated(query, k, Some(&tombs), filter)? {
+                    best.push(dist, pid);
+                }
             }
         }
         Ok(best.into_sorted_vec())
@@ -345,6 +380,27 @@ impl GlobalLdrIndex {
     /// point_id)`. Same boundary tolerance as the other backends
     /// (`dist ≤ radius + 1e-12`).
     pub fn range_search(&self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
+        self.range_impl(query, radius, None)
+    }
+
+    /// [`range_search`](Self::range_search) restricted to rows passing
+    /// `filter` (same pushdown semantics as
+    /// [`knn_filtered`](Self::knn_filtered)).
+    pub fn range_search_filtered(
+        &self,
+        query: &[f64],
+        radius: f64,
+        filter: &SearchFilter,
+    ) -> Result<Vec<(f64, u64)>> {
+        self.range_impl(query, radius, Some(filter))
+    }
+
+    fn range_impl(
+        &self,
+        query: &[f64],
+        radius: f64,
+        filter: Option<&SearchFilter>,
+    ) -> Result<Vec<(f64, u64)>> {
         self.validate(query)?;
         if !(radius >= 0.0 && radius.is_finite()) {
             return Err(Error::InvalidRadius);
@@ -363,6 +419,9 @@ impl GlobalLdrIndex {
             let mut delta_seen: u64 = 0;
             let mut delta_hits: u64 = 0;
             self.delta.for_each(|id, (cluster, row)| {
+                if filter.is_some_and(|f| !f.passes(id)) {
+                    return;
+                }
                 delta_seen += 1;
                 let dist = match cluster {
                     Some(ci) => {
@@ -381,6 +440,9 @@ impl GlobalLdrIndex {
             self.search.record_refined(delta_hits);
         }
         for probe in &order {
+            if filter.is_some_and(|f| !f.cluster_alive(probe.cluster)) {
+                continue;
+            }
             if probe.lower_bound > limit {
                 continue;
             }
@@ -390,10 +452,11 @@ impl GlobalLdrIndex {
             if local_r_sq < 0.0 {
                 continue;
             }
-            for (local_dist, pid) in self.clusters[probe.cluster].tree.range_search_filtered(
+            for (local_dist, pid) in self.clusters[probe.cluster].tree.range_search_gated(
                 &probe.q_local,
                 local_r_sq.sqrt(),
-                &tombs,
+                Some(&tombs),
+                filter,
             )? {
                 let dist = (probe.proj_sq + local_dist * local_dist).sqrt();
                 if dist <= limit {
@@ -402,7 +465,9 @@ impl GlobalLdrIndex {
             }
         }
         if let Some(t) = &self.outlier_tree {
-            out.extend(t.range_search_filtered(query, radius, &tombs)?);
+            if filter.is_none_or(|f| f.outliers_alive()) {
+                out.extend(t.range_search_gated(query, radius, Some(&tombs), filter)?);
+            }
         }
         out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
         Ok(out)

@@ -3,7 +3,7 @@
 use crate::error::{Error, Result};
 use crate::index::IDistanceIndex;
 use mmdr_btree::Cursor;
-use mmdr_index::{KnnHeap, QUERY_CHUNK};
+use mmdr_index::{KnnHeap, SearchFilter, QUERY_CHUNK};
 use mmdr_linalg::{map_ranges_with, ParConfig};
 
 /// Reusable per-query buffers. [`IDistanceIndex::knn`] allocates one per
@@ -64,6 +64,41 @@ impl IDistanceIndex {
         k: usize,
         scratch: &mut QueryScratch,
     ) -> Result<Vec<(f64, u64)>> {
+        self.knn_impl(query, k, None, scratch)
+    }
+
+    /// [`knn`](Self::knn) restricted to rows passing `filter`. Exact
+    /// pushdown: failing rows never enter the candidate heap, so they never
+    /// tighten the enlargement radius; partitions the filter's sketch hints
+    /// prove dead are never cursor-walked. Delta rows are gated per-row by
+    /// the bitmap only (sketches cover merged base rows).
+    pub fn knn_filtered(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: &SearchFilter,
+    ) -> Result<Vec<(f64, u64)>> {
+        self.knn_impl(query, k, Some(filter), &mut QueryScratch::new())
+    }
+
+    /// [`knn_filtered`](Self::knn_filtered) with caller-provided buffers.
+    pub fn knn_filtered_with_scratch(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: &SearchFilter,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<(f64, u64)>> {
+        self.knn_impl(query, k, Some(filter), scratch)
+    }
+
+    fn knn_impl(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: Option<&SearchFilter>,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<(f64, u64)>> {
         if query.len() != self.dim {
             return Err(Error::DimensionMismatch {
                 expected: self.dim,
@@ -81,6 +116,15 @@ impl IDistanceIndex {
         let mut searches = Vec::with_capacity(self.partitions.len());
         for (i, part) in self.partitions.iter().enumerate() {
             if part.count == 0 {
+                continue;
+            }
+            // Partition `i` is cluster `i` in build order; the last
+            // (subspace-less) partition holds the outliers. A dead partition
+            // gets no PartitionSearch, so its pages are never touched.
+            if filter.is_some_and(|f| match part.subspace {
+                Some(_) => !f.cluster_alive(i),
+                None => !f.outliers_alive(),
+            }) {
                 continue;
             }
             let (q_local, proj_sq) = match &part.subspace {
@@ -151,6 +195,9 @@ impl IDistanceIndex {
             }
             let mut delta_seen: u64 = 0;
             self.delta.for_each(|id, (part, coords)| {
+                if filter.is_some_and(|f| !f.passes(id)) {
+                    return;
+                }
                 let pi = *part as usize;
                 let (q_local, proj_sq) = match geo[pi] {
                     Some(pair) => pair,
@@ -247,7 +294,10 @@ impl IDistanceIndex {
                             s.part,
                             &mut scratch.coords,
                         )?;
-                        if point_id != crate::vector_heap::TOMBSTONE && !tombs.contains(&point_id) {
+                        if point_id != crate::vector_heap::TOMBSTONE
+                            && !tombs.contains(&point_id)
+                            && filter.is_none_or(|f| f.passes(point_id))
+                        {
                             best.push(dist, point_id);
                         }
                         s.outward = Some(cur);
@@ -279,7 +329,10 @@ impl IDistanceIndex {
                             s.part,
                             &mut scratch.coords,
                         )?;
-                        if point_id != crate::vector_heap::TOMBSTONE && !tombs.contains(&point_id) {
+                        if point_id != crate::vector_heap::TOMBSTONE
+                            && !tombs.contains(&point_id)
+                            && filter.is_none_or(|f| f.passes(point_id))
+                        {
                             best.push(dist, point_id);
                         }
                         s.inward = Some(cur);

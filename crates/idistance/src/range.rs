@@ -8,11 +8,33 @@
 use crate::error::{Error, Result};
 use crate::index::IDistanceIndex;
 use crate::seqscan::SeqScan;
+use mmdr_index::SearchFilter;
 
 impl IDistanceIndex {
     /// Returns every point whose reduced representation lies within
     /// `radius` of `query`, as `(distance, point_id)` sorted ascending.
     pub fn range_search(&self, query: &[f64], radius: f64) -> Result<Vec<(f64, u64)>> {
+        self.range_impl(query, radius, None)
+    }
+
+    /// [`range_search`](Self::range_search) restricted to rows passing
+    /// `filter`: failing rows never enter the answer set, dead partitions
+    /// (per the filter's sketch hints) are not cursor-walked at all.
+    pub fn range_search_filtered(
+        &self,
+        query: &[f64],
+        radius: f64,
+        filter: &SearchFilter,
+    ) -> Result<Vec<(f64, u64)>> {
+        self.range_impl(query, radius, Some(filter))
+    }
+
+    fn range_impl(
+        &self,
+        query: &[f64],
+        radius: f64,
+        filter: Option<&SearchFilter>,
+    ) -> Result<Vec<(f64, u64)>> {
         if query.len() != self.dim {
             return Err(Error::DimensionMismatch {
                 expected: self.dim,
@@ -45,6 +67,9 @@ impl IDistanceIndex {
             let mut delta_seen: u64 = 0;
             let mut delta_hits: u64 = 0;
             self.delta.for_each(|id, (part, coords)| {
+                if filter.is_some_and(|f| !f.passes(id)) {
+                    return;
+                }
                 let (q_local, proj_sq) = &geo[*part as usize];
                 let dist = mmdr_linalg::reduced_dist(*proj_sq, q_local, coords);
                 delta_seen += 1;
@@ -59,6 +84,14 @@ impl IDistanceIndex {
         for part in 0..n_parts {
             let info = &self.partitions[part];
             if info.count == 0 {
+                continue;
+            }
+            // Partition `part` is cluster `part` in build order; the last
+            // (subspace-less) partition holds the outliers.
+            if filter.is_some_and(|f| match info.subspace {
+                Some(_) => !f.cluster_alive(part),
+                None => !f.outliers_alive(),
+            }) {
                 continue;
             }
             let (q_local, proj_sq, dist_q) = match &info.subspace {
@@ -103,7 +136,10 @@ impl IDistanceIndex {
                 }
                 let (heap_part, point_id) = self.heap.get_into(rid, &mut scratch)?;
                 debug_assert_eq!(heap_part as usize, part);
-                if point_id == crate::vector_heap::TOMBSTONE || tombs.contains(&point_id) {
+                if point_id == crate::vector_heap::TOMBSTONE
+                    || tombs.contains(&point_id)
+                    || filter.is_some_and(|f| !f.passes(point_id))
+                {
                     continue;
                 }
                 self.search.record_dists(1);
@@ -129,6 +165,22 @@ impl SeqScan {
         // Reuse knn with k = everything, then cut at the radius: simple and
         // obviously correct (this type exists to be a reference).
         let mut hits = self.knn(query, self.len())?;
+        hits.retain(|&(d, _)| d <= radius + 1e-12);
+        Ok(hits)
+    }
+
+    /// Filtered range search by full scan, same reference role as
+    /// [`range_search`](Self::range_search).
+    pub fn range_search_filtered(
+        &self,
+        query: &[f64],
+        radius: f64,
+        filter: &SearchFilter,
+    ) -> Result<Vec<(f64, u64)>> {
+        if !(radius >= 0.0 && radius.is_finite()) {
+            return Err(Error::InvalidRadius);
+        }
+        let mut hits = self.knn_filtered(query, self.len(), filter)?;
         hits.retain(|&(d, _)| d <= radius + 1e-12);
         Ok(hits)
     }

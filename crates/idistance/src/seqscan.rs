@@ -5,7 +5,7 @@
 use crate::error::{Error, Result};
 use crate::vector_heap::VectorHeap;
 use mmdr_core::ReductionResult;
-use mmdr_index::{DeltaLayer, KnnHeap, SearchCounters};
+use mmdr_index::{DeltaLayer, KnnHeap, SearchCounters, SearchFilter};
 use mmdr_linalg::Matrix;
 use mmdr_pca::ReducedSubspace;
 use mmdr_storage::{BufferPool, DiskManager, IoStats};
@@ -140,6 +140,28 @@ impl SeqScan {
     /// representations, identical semantics to
     /// [`crate::IDistanceIndex::knn`].
     pub fn knn(&self, query: &[f64], k: usize) -> Result<Vec<(f64, u64)>> {
+        self.knn_impl(query, k, None)
+    }
+
+    /// [`knn`](Self::knn) restricted to rows passing `filter`. The scan
+    /// still touches every page (this backend is the exhaustive baseline),
+    /// but failing rows are gated before the candidate heap, so the result
+    /// is the exact top-k of the passing subset.
+    pub fn knn_filtered(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: &SearchFilter,
+    ) -> Result<Vec<(f64, u64)>> {
+        self.knn_impl(query, k, Some(filter))
+    }
+
+    fn knn_impl(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: Option<&SearchFilter>,
+    ) -> Result<Vec<(f64, u64)>> {
         if query.len() != self.dim {
             return Err(Error::DimensionMismatch {
                 expected: self.dim,
@@ -170,13 +192,16 @@ impl SeqScan {
         // are stored exactly as the heap stores rows, so the same
         // reduced-distance formula applies bit-for-bit.
         self.delta.for_each(|id, (part, coords)| {
+            if filter.is_some_and(|f| !f.passes(id)) {
+                return;
+            }
             let (q_local, proj_sq) = &q_locals[*part as usize];
             best.push(mmdr_linalg::reduced_dist(*proj_sq, q_local, coords), id);
             seen += 1;
         });
         let tombs = self.delta.tombstones();
         self.heap.scan(|part, pid, coords| {
-            if tombs.contains(&pid) {
+            if tombs.contains(&pid) || filter.is_some_and(|f| !f.passes(pid)) {
                 return;
             }
             let (q_local, proj_sq) = &q_locals[part as usize];

@@ -4,7 +4,7 @@ use crate::gldr::GlobalLdrIndex;
 use crate::index::IDistanceIndex;
 use crate::knn::QueryScratch;
 use crate::seqscan::SeqScan;
-use mmdr_index::{SearchCounters, VectorIndex, QUERY_CHUNK};
+use mmdr_index::{SearchCounters, SearchFilter, VectorIndex, QUERY_CHUNK};
 use mmdr_linalg::{map_ranges_with, ParConfig};
 use mmdr_storage::{IoStats, PoolStats};
 use std::sync::Arc;
@@ -41,6 +41,46 @@ impl VectorIndex for IDistanceIndex {
 
     fn range_search(&self, query: &[f64], radius: f64) -> mmdr_index::Result<Vec<(f64, u64)>> {
         Ok(IDistanceIndex::range_search(self, query, radius)?)
+    }
+
+    fn knn_filtered(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: &SearchFilter,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(IDistanceIndex::knn_filtered(self, query, k, filter)?)
+    }
+
+    fn range_search_filtered(
+        &self,
+        query: &[f64],
+        radius: f64,
+        filter: &SearchFilter,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(IDistanceIndex::range_search_filtered(
+            self, query, radius, filter,
+        )?)
+    }
+
+    fn batch_knn_filtered(
+        &self,
+        queries: &[Vec<f64>],
+        k: usize,
+        filter: &SearchFilter,
+        par: &ParConfig,
+    ) -> mmdr_index::Result<Vec<Vec<(f64, u64)>>> {
+        let chunk_results = map_ranges_with(queries.len(), QUERY_CHUNK, par, |range| {
+            let mut scratch = QueryScratch::new();
+            range
+                .map(|i| self.knn_filtered_with_scratch(&queries[i], k, filter, &mut scratch))
+                .collect::<crate::Result<Vec<_>>>()
+        });
+        let mut out = Vec::with_capacity(queries.len());
+        for chunk in chunk_results {
+            out.extend(chunk?);
+        }
+        Ok(out)
     }
 
     fn io_stats(&self) -> Arc<IoStats> {
@@ -99,6 +139,24 @@ impl VectorIndex for SeqScan {
         Ok(SeqScan::range_search(self, query, radius)?)
     }
 
+    fn knn_filtered(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: &SearchFilter,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(SeqScan::knn_filtered(self, query, k, filter)?)
+    }
+
+    fn range_search_filtered(
+        &self,
+        query: &[f64],
+        radius: f64,
+        filter: &SearchFilter,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(SeqScan::range_search_filtered(self, query, radius, filter)?)
+    }
+
     fn io_stats(&self) -> Arc<IoStats> {
         SeqScan::io_stats(self)
     }
@@ -131,6 +189,26 @@ impl VectorIndex for GlobalLdrIndex {
 
     fn range_search(&self, query: &[f64], radius: f64) -> mmdr_index::Result<Vec<(f64, u64)>> {
         Ok(GlobalLdrIndex::range_search(self, query, radius)?)
+    }
+
+    fn knn_filtered(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: &SearchFilter,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(GlobalLdrIndex::knn_filtered(self, query, k, filter)?)
+    }
+
+    fn range_search_filtered(
+        &self,
+        query: &[f64],
+        radius: f64,
+        filter: &SearchFilter,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        Ok(GlobalLdrIndex::range_search_filtered(
+            self, query, radius, filter,
+        )?)
     }
 
     fn io_stats(&self) -> Arc<IoStats> {

@@ -29,6 +29,10 @@ pub enum Error {
     /// A mutation reached a read-only serving handle (a static snapshot
     /// with no write-ahead log behind it).
     ReadOnly,
+    /// A filtered query reached a serving handle with no attribute store
+    /// behind it (the snapshot carries no ATTRS section, or the handle
+    /// does not implement filtered search).
+    FiltersUnavailable,
     /// The backend failed internally.
     Backend(Box<dyn std::error::Error + Send + Sync>),
 }
@@ -50,6 +54,12 @@ impl fmt::Display for Error {
             Error::InvalidRadius => write!(f, "radius must be non-negative and finite"),
             Error::Sealed => write!(f, "index delta layer is sealed against mutation"),
             Error::ReadOnly => write!(f, "index is served read-only (no write-ahead log)"),
+            Error::FiltersUnavailable => {
+                write!(
+                    f,
+                    "index has no attribute store to evaluate filters against"
+                )
+            }
             Error::Backend(e) => write!(f, "backend failure: {e}"),
         }
     }

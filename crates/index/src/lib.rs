@@ -25,12 +25,14 @@
 //!   [`mmdr_storage::IoStats`]) regardless of backend.
 
 mod error;
+mod filter;
 mod heap;
 mod mutable;
 mod stats;
 mod traits;
 
 pub use error::{Error, Result};
+pub use filter::{RowFilter, SearchFilter};
 pub use heap::KnnHeap;
 pub use mutable::{
     DeltaLayer, DeltaStats, DriftEstimator, IngestOp, IngestStats, LiveIndex, MutableVectorIndex,

@@ -391,6 +391,34 @@ pub trait LiveIndex: Send + Sync {
     fn model_drift(&self) -> Vec<f64> {
         Vec::new()
     }
+
+    /// Attribute-filtered KNN: `predicate` is the filter's canonical text
+    /// (e.g. `label = "news" && score >= 10`), compiled server-side against
+    /// the handle's attribute store and planned per query. Exact: the
+    /// result equals post-filtering the unfiltered full ranking. The
+    /// default — handles with no attribute store — is a typed rejection.
+    fn filtered_knn(&self, _query: &[f64], _k: usize, _predicate: &str) -> Result<Vec<(f64, u64)>> {
+        Err(Error::FiltersUnavailable)
+    }
+
+    /// Attribute-filtered range search (see [`filtered_knn`]'s contract).
+    ///
+    /// [`filtered_knn`]: LiveIndex::filtered_knn
+    fn filtered_range(
+        &self,
+        _query: &[f64],
+        _radius: f64,
+        _predicate: &str,
+    ) -> Result<Vec<(f64, u64)>> {
+        Err(Error::FiltersUnavailable)
+    }
+
+    /// Monotonic planner-choice counters for filtered queries, in the
+    /// order `[post_filter, pushdown, prefilter_rank]`. Zeros for handles
+    /// without a query planner.
+    fn planner_counts(&self) -> [u64; 3] {
+        [0; 3]
+    }
 }
 
 /// [`LiveIndex`] over a static snapshot: reads serve epoch 0 forever,

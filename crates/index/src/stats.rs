@@ -74,6 +74,15 @@ pub struct QueryStats {
     pub readahead_hits: u64,
     /// Physical fetches that failed (I/O error, short read, bad checksum).
     pub read_errors: u64,
+    /// Filtered queries the planner answered by post-filtering an
+    /// unfiltered search. Zero unless a query planner runs in front of the
+    /// index (serving populates these from its planner's counters; plain
+    /// snapshots leave them zero).
+    pub planner_post_filter: u64,
+    /// Filtered queries answered by bitmap pushdown.
+    pub planner_pushdown: u64,
+    /// Filtered queries answered by ranking the whole passing set.
+    pub planner_prefilter_rank: u64,
 }
 
 impl QueryStats {
@@ -87,6 +96,9 @@ impl QueryStats {
             physical_reads: io.physical_reads(),
             readahead_hits: io.readahead_hits(),
             read_errors: io.read_errors(),
+            planner_post_filter: 0,
+            planner_pushdown: 0,
+            planner_prefilter_rank: 0,
         }
     }
 
@@ -101,6 +113,9 @@ impl QueryStats {
             physical_reads: self.physical_reads - earlier.physical_reads,
             readahead_hits: self.readahead_hits - earlier.readahead_hits,
             read_errors: self.read_errors - earlier.read_errors,
+            planner_post_filter: self.planner_post_filter - earlier.planner_post_filter,
+            planner_pushdown: self.planner_pushdown - earlier.planner_pushdown,
+            planner_prefilter_rank: self.planner_prefilter_rank - earlier.planner_prefilter_rank,
         }
     }
 }

@@ -1,6 +1,7 @@
 //! The [`VectorIndex`] trait and the shared batch-query executor.
 
 use crate::error::Result;
+use crate::filter::SearchFilter;
 use crate::stats::{QueryStats, SearchCounters};
 use mmdr_linalg::{map_ranges_with, ParConfig};
 use mmdr_storage::{IoStats, PoolStats};
@@ -100,6 +101,58 @@ pub trait VectorIndex: Send + Sync {
         par: &ParConfig,
     ) -> Result<Vec<Vec<(f64, u64)>>> {
         batch_queries(queries, par, |q| self.knn(q, k))
+    }
+
+    /// The k nearest neighbours of `query` among rows passing `filter`,
+    /// ascending by `(distance, point_id)`.
+    ///
+    /// The contract is exact pushdown: the result is bit-identical (ids and
+    /// f64 distance bits) to ranking every indexed row, dropping rows that
+    /// fail the filter, and truncating to `k`. The default does literally
+    /// that; backends override it to gate rows before they enter the answer
+    /// heap so filtered rows never tighten termination radii or touch pages
+    /// they can prune.
+    fn knn_filtered(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: &SearchFilter,
+    ) -> Result<Vec<(f64, u64)>> {
+        let full = self.knn(query, self.len())?;
+        Ok(full
+            .into_iter()
+            .filter(|&(_, id)| filter.passes(id))
+            .take(k)
+            .collect())
+    }
+
+    /// Every point within `radius` of `query` passing `filter`, ascending by
+    /// `(distance, point_id)`. Same exactness contract as
+    /// [`knn_filtered`](VectorIndex::knn_filtered).
+    fn range_search_filtered(
+        &self,
+        query: &[f64],
+        radius: f64,
+        filter: &SearchFilter,
+    ) -> Result<Vec<(f64, u64)>> {
+        let full = self.range_search(query, radius)?;
+        Ok(full
+            .into_iter()
+            .filter(|&(_, id)| filter.passes(id))
+            .collect())
+    }
+
+    /// Answers every query in `queries` under one shared `filter`, with the
+    /// same chunking, ordering, and bit-identical-to-serial guarantee as
+    /// [`batch_knn`](VectorIndex::batch_knn).
+    fn batch_knn_filtered(
+        &self,
+        queries: &[Vec<f64>],
+        k: usize,
+        filter: &SearchFilter,
+        par: &ParConfig,
+    ) -> Result<Vec<Vec<(f64, u64)>>> {
+        batch_queries(queries, par, |q| self.knn_filtered(q, k, filter))
     }
 
     /// Cumulative scatter-gather attribution, when this index fronts

@@ -62,6 +62,10 @@ pub mod section_id {
     pub const PAGES: u32 = 3;
     /// Page directory: per-group page counts plus a CRC32 per page image.
     pub const PAGEDIR: u32 = 4;
+    /// Columnar per-row attribute payloads (the `mmdr-query` AttrStore
+    /// codec). Optional: attribute-less snapshots omit the section and
+    /// stay byte-identical to pre-attribute images.
+    pub const ATTRS: u32 = 5;
 }
 
 /// Human-readable name of a section id for checksum error messages.
@@ -71,6 +75,7 @@ pub(crate) fn section_name(id: u32) -> String {
         section_id::META => "section meta".to_string(),
         section_id::PAGES => "section pages".to_string(),
         section_id::PAGEDIR => "section pagedir".to_string(),
+        section_id::ATTRS => "section attrs".to_string(),
         other => format!("section #{other}"),
     }
 }
@@ -137,6 +142,15 @@ impl<'a> Parsed<'a> {
             .find(|(sid, _)| *sid == id)
             .map(|(_, p)| *p)
             .ok_or_else(|| PersistError::malformed(format!("missing {}", section_name(id))))
+    }
+
+    /// The payload of the section with the given id, when present — for
+    /// optional sections like ATTRS that old images legitimately lack.
+    pub fn maybe_section(&self, id: u32) -> Option<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, p)| *p)
     }
 }
 

@@ -67,8 +67,8 @@
 
 use crate::error::{PersistError, Result};
 use crate::refit::{attach, materialize_rows, refit_model};
-use crate::snapshot::{build_index, open_with, save, save_with_epoch, BuiltIndex, OpenOptions};
-use crate::wal::WalWriter;
+use crate::snapshot::{build_index, open_with, save_with_attrs, BuiltIndex, OpenOptions};
+use crate::wal::{remove_wal, WalWriter, DEFAULT_WAL_SEGMENT_BYTES};
 use mmdr_core::{MmdrParams, PointAssignment, ReductionResult};
 use mmdr_hybridtree::HybridTree;
 use mmdr_idistance::{
@@ -80,6 +80,10 @@ use mmdr_index::{
     VectorIndex,
 };
 use mmdr_linalg::Matrix;
+use mmdr_query::{
+    decode_row, encode_row, run_filtered_knn, run_filtered_range, AttrSketches, AttrStore,
+    AttrValue, PlannedFilter, Planner,
+};
 use mmdr_storage::{BufferPool, DiskManager, IoStats, PoolStats};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
@@ -530,6 +534,35 @@ impl VectorIndex for Epoch {
     fn range_search(&self, query: &[f64], radius: f64) -> mmdr_index::Result<Vec<(f64, u64)>> {
         self.built.as_dyn().range_search(query, radius)
     }
+    fn knn_filtered(
+        &self,
+        query: &[f64],
+        k: usize,
+        filter: &mmdr_index::SearchFilter,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        self.built.as_dyn().knn_filtered(query, k, filter)
+    }
+    fn range_search_filtered(
+        &self,
+        query: &[f64],
+        radius: f64,
+        filter: &mmdr_index::SearchFilter,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        self.built
+            .as_dyn()
+            .range_search_filtered(query, radius, filter)
+    }
+    fn batch_knn_filtered(
+        &self,
+        queries: &[Vec<f64>],
+        k: usize,
+        filter: &mmdr_index::SearchFilter,
+        par: &mmdr_linalg::ParConfig,
+    ) -> mmdr_index::Result<Vec<Vec<(f64, u64)>>> {
+        self.built
+            .as_dyn()
+            .batch_knn_filtered(queries, k, filter, par)
+    }
     fn io_stats(&self) -> Arc<IoStats> {
         self.built.as_dyn().io_stats()
     }
@@ -591,6 +624,16 @@ pub struct IngestOptions {
     /// Parameters for the background Scalable MMDR re-fit. `None` uses
     /// [`MmdrParams::default`].
     pub refit_params: Option<MmdrParams>,
+    /// WAL segment size: appends rotate to a fresh `<wal>.N` segment once
+    /// the active one reaches this many bytes, so a merge can discard
+    /// fully-folded history by unlinking whole segments instead of
+    /// rewriting one ever-growing file. Clamped to at least one byte.
+    pub wal_segment_bytes: u64,
+    /// Minimum number of merges that must fold between two drift-triggered
+    /// re-fits. `0` (the default) lets drift re-fit back-to-back; the
+    /// first re-fit is never delayed, and explicit
+    /// [`IngestEngine::refit`] calls ignore the cooldown entirely.
+    pub refit_cooldown_merges: u64,
 }
 
 impl Default for IngestOptions {
@@ -600,6 +643,8 @@ impl Default for IngestOptions {
             merge_threshold: DEFAULT_MERGE_THRESHOLD,
             refit_threshold: 0.0,
             refit_params: None,
+            wal_segment_bytes: DEFAULT_WAL_SEGMENT_BYTES,
+            refit_cooldown_merges: 0,
         }
     }
 }
@@ -617,10 +662,17 @@ struct WriterState {
     /// arrival order. Append-only between merges; a merge folds a prefix
     /// and keeps the tail.
     pending: Vec<IngestOp>,
+    /// Encoded attribute rows parallel to `pending`: `Some` for inserts
+    /// that carried attributes, `None` otherwise. A re-fit's WAL rewrite
+    /// re-frames the tail from this.
+    pending_attrs: Vec<Option<Vec<u8>>>,
     model: ReductionResult,
     next_id: u64,
     epoch_no: u64,
     merges: u64,
+    /// Merges folded since the last re-fit (any kind); the drift trigger's
+    /// cooldown counts these.
+    merges_since_refit: u64,
     /// How many background re-fits produced the current model; stamped
     /// into every saved snapshot and rewritten WAL.
     model_epoch: u64,
@@ -637,7 +689,22 @@ struct EngineCore {
     merge_threshold: usize,
     refit_threshold: f64,
     refit_params: MmdrParams,
+    refit_cooldown_merges: u64,
+    wal_segment_bytes: u64,
     serving: RwLock<Arc<Epoch>>,
+    /// The attribute payload store. Lock order: `writer` first when both
+    /// are held (writes mutate under the writer lock); queries take only
+    /// this lock, so they never contend with the WAL fsync.
+    attrs: RwLock<AttrStore>,
+    /// Per-partition attribute sketches over the *base* rows of the
+    /// serving model; rebuilt after every merge and re-fit. `None` when
+    /// the store has no columns. Delta rows are not sketched — the filter
+    /// contract already exempts them from cluster skipping.
+    sketches: RwLock<Option<Arc<AttrSketches>>>,
+    /// The filtered-query planner: strategy choice, decision counters,
+    /// pages/query cost feedback. Lives for the engine's whole life so the
+    /// adaptive threshold learns across epochs.
+    planner: Planner,
     writer: Mutex<WriterState>,
     /// Serializes merges (background and explicit flush). Never acquired
     /// while holding `writer`.
@@ -668,6 +735,40 @@ fn to_query_err(e: PersistError) -> mmdr_index::Error {
     }
 }
 
+pub(crate) fn attr_err(e: mmdr_query::Error) -> PersistError {
+    PersistError::from(mmdr_index::Error::from(e))
+}
+
+/// Whether the drift trigger may fire: always before the first re-fit,
+/// afterwards only once `cooldown` merges have folded since the last one.
+/// Two back-to-back over-threshold signals therefore yield one re-fit when
+/// the cooldown is non-zero.
+fn refit_cooldown_open(refits: u64, merges_since_refit: u64, cooldown: u64) -> bool {
+    refits == 0 || merges_since_refit >= cooldown
+}
+
+/// Sketches the store over the model's base-row partitions; `None` when
+/// the dataset carries no attributes. Membership lists cover base rows
+/// only — delta rows are exempt from sketch-driven cluster skipping by the
+/// [`mmdr_index::SearchFilter`] contract, so sketches stay sound between
+/// merges without per-insert maintenance.
+pub(crate) fn build_sketches(
+    store: &AttrStore,
+    model: &ReductionResult,
+) -> Result<Option<Arc<AttrSketches>>> {
+    if store.is_empty() {
+        return Ok(None);
+    }
+    let members: Vec<Vec<u64>> = model
+        .clusters
+        .iter()
+        .map(|c| c.members.iter().map(|&m| m as u64).collect())
+        .collect();
+    let outliers: Vec<u64> = model.outliers.iter().map(|&m| m as u64).collect();
+    let sketches = AttrSketches::build(store, &members, &outliers).map_err(attr_err)?;
+    Ok(Some(Arc::new(sketches)))
+}
+
 impl IngestEngine {
     /// Builds `backend` over `(data, model)`, saves the snapshot to
     /// `path`, and opens an engine over it with an empty WAL.
@@ -679,15 +780,28 @@ impl IngestEngine {
         buffer_pages: usize,
         opts: IngestOptions,
     ) -> Result<Self> {
+        Self::create_with_attrs(path, backend, data, model, buffer_pages, opts, None)
+    }
+
+    /// [`create`](Self::create), with per-row attribute payloads: `attrs`
+    /// is persisted into the snapshot's `ATTRS` section and served for
+    /// filtered queries. `None` (or an empty store) keeps the snapshot
+    /// byte-identical to an attribute-less save.
+    pub fn create_with_attrs(
+        path: impl AsRef<Path>,
+        backend: Backend,
+        data: &Matrix,
+        model: &ReductionResult,
+        buffer_pages: usize,
+        opts: IngestOptions,
+        attrs: Option<&AttrStore>,
+    ) -> Result<Self> {
         let path = path.as_ref();
         let built = build_index(backend, data, model, buffer_pages)?;
-        save(path, &built, model)?;
-        // A stale WAL next to a brand-new snapshot would replay foreign
-        // operations into it.
-        let wal = wal_path(path);
-        if wal.exists() {
-            std::fs::remove_file(&wal).map_err(|e| PersistError::io(&wal, e))?;
-        }
+        save_with_attrs(path, &built, model, 0, attrs)?;
+        // A stale WAL (any of its segments) next to a brand-new snapshot
+        // would replay foreign operations into it.
+        remove_wal(&wal_path(path))?;
         Self::open(path, opts)
     }
 
@@ -705,7 +819,7 @@ impl IngestEngine {
                 ..OpenOptions::default()
             },
         )?;
-        let (wal, replay) = WalWriter::open(wal_path(&path))?;
+        let (wal, replay) = WalWriter::open_with_limit(wal_path(&path), opts.wal_segment_bytes)?;
         if replay.model_epoch > opened.model_epoch {
             // Someone restored an old snapshot next to a newer log: the
             // log's operations were acknowledged against a model this
@@ -717,18 +831,26 @@ impl IngestEngine {
         }
         let folded_below = opened.model.num_points as u64;
         let mut pending: Vec<IngestOp> = Vec::new();
+        let mut pending_attrs: Vec<Option<Vec<u8>>> = Vec::new();
+        let mut store = opened.attrs.unwrap_or_default();
         let mut next_id = folded_below;
-        for op in replay.ops {
+        for (op, op_attrs) in replay.ops.into_iter().zip(replay.attrs) {
             match &op {
                 IngestOp::Insert { id, vector } => {
                     if *id < folded_below {
-                        continue; // already folded into the snapshot
+                        // Already folded into the snapshot — its attribute
+                        // row (if any) is in the ATTRS section too.
+                        continue;
                     }
                     opened
                         .index
                         .as_mutable()
                         .insert(*id, vector)
                         .map_err(PersistError::from)?;
+                    if let Some(bytes) = &op_attrs {
+                        let row = decode_row(bytes).map_err(attr_err)?;
+                        store.set_row(*id, &row).map_err(attr_err)?;
+                    }
                     next_id = next_id.max(*id + 1);
                 }
                 IngestOp::Delete { id } => {
@@ -737,32 +859,42 @@ impl IngestEngine {
                         .as_mutable()
                         .delete(*id)
                         .map_err(PersistError::from)?;
+                    store.clear_row(*id);
                 }
             }
             pending.push(op);
+            pending_attrs.push(op_attrs);
         }
         let refit_params = opts.refit_params.clone().unwrap_or_default();
         let drift = DriftEstimator::new(
             opened.model.clusters.iter().map(|c| c.mpe).collect(),
             refit_params.max_mpe,
         );
+        let sketches = build_sketches(&store, &opened.model)?;
         let core = EngineCore {
             path,
             fold_pages: opts.pool_pages.unwrap_or(DEFAULT_FOLD_PAGES),
             merge_threshold: opts.merge_threshold,
             refit_threshold: opts.refit_threshold,
             refit_params,
+            refit_cooldown_merges: opts.refit_cooldown_merges,
+            wal_segment_bytes: opts.wal_segment_bytes,
             serving: RwLock::new(Arc::new(Epoch {
                 number: 0,
                 built: opened.index,
             })),
+            attrs: RwLock::new(store),
+            sketches: RwLock::new(sketches),
+            planner: Planner::new(),
             writer: Mutex::new(WriterState {
                 wal,
                 pending,
+                pending_attrs,
                 model: opened.model,
                 next_id,
                 epoch_no: 0,
                 merges: 0,
+                merges_since_refit: 0,
                 model_epoch: opened.model_epoch,
                 refits: 0,
                 drift,
@@ -795,6 +927,131 @@ impl IngestEngine {
     /// epoch number (unchanged if there was nothing to fit over).
     pub fn refit(&self) -> mmdr_index::Result<u64> {
         self.core.refit_now().map_err(to_query_err)
+    }
+
+    /// Runs `f` against the attribute store under its read lock — the way
+    /// a query compiles a [`mmdr_query::Predicate`] into a row bitmap.
+    /// Keep `f` short; inserts carrying attributes block on this lock.
+    pub fn with_attrs<R>(&self, f: impl FnOnce(&AttrStore) -> R) -> R {
+        f(&self.core.attrs.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// The current per-partition attribute sketches, or `None` when the
+    /// dataset carries no attributes. Rebuilt after every merge and
+    /// re-fit; sound between them (deletes only shrink partitions, and
+    /// un-merged inserts are exempt from cluster skipping).
+    pub fn attr_sketches(&self) -> Option<Arc<AttrSketches>> {
+        self.core
+            .sketches
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Parses `predicate`, compiles it against the live attribute store
+    /// into a row bitmap, prunes clusters through the current sketches,
+    /// and lets the planner pick a strategy (`k = None` plans a range
+    /// query, which always pushes down).
+    fn plan_filtered(
+        &self,
+        predicate: &str,
+        n: u64,
+        k: Option<usize>,
+    ) -> mmdr_index::Result<PlannedFilter> {
+        // Sketches first, attrs second — both taken and released in turn,
+        // never nested, so no ordering against the writer path matters.
+        let sketches = self.attr_sketches();
+        self.with_attrs(|store| {
+            crate::live::plan_filtered(
+                &self.core.planner,
+                store,
+                sketches.as_deref(),
+                predicate,
+                n,
+                k,
+            )
+        })
+    }
+
+    /// The planner's decision counters (mirrored into `QueryStats` by the
+    /// serving layer).
+    pub fn planner_snapshot(&self) -> mmdr_query::PlannerSnapshot {
+        self.core.planner.counters().snapshot()
+    }
+
+    /// [`LiveIndex::insert`], with an attribute row: the `(column, value)`
+    /// pairs are validated against the store's schema, logged in the same
+    /// WAL record as the vector, and visible to filtered queries as soon
+    /// as this returns. Columns not named stay NULL.
+    pub fn insert_with_attrs(
+        &self,
+        vector: &[f64],
+        values: &[(String, AttrValue)],
+    ) -> mmdr_index::Result<u64> {
+        self.insert_inner(vector, Some(values))
+    }
+
+    fn insert_inner(
+        &self,
+        vector: &[f64],
+        values: Option<&[(String, AttrValue)]>,
+    ) -> mmdr_index::Result<u64> {
+        let id = {
+            let mut w = self.core.writer.lock().unwrap_or_else(|p| p.into_inner());
+            if vector.len() != w.model.dim {
+                return Err(mmdr_index::Error::DimensionMismatch {
+                    expected: w.model.dim,
+                    actual: vector.len(),
+                });
+            }
+            if vector.iter().any(|x| !x.is_finite()) {
+                return Err(mmdr_index::Error::InvalidQuery);
+            }
+            // Validate the attribute row against the schema *before*
+            // logging anything, so a rejected row never reaches the WAL
+            // and the store mutation below cannot fail halfway.
+            let encoded = match values {
+                Some(row) => {
+                    self.with_attrs(|store| store.validate_row(row))
+                        .map_err(mmdr_index::Error::from)?;
+                    Some(encode_row(row))
+                }
+                None => None,
+            };
+            let id = w.next_id;
+            let op = IngestOp::Insert {
+                id,
+                vector: vector.to_vec(),
+            };
+            // Durable first, then visible: the WAL append fsyncs.
+            w.wal
+                .append_record(&op, encoded.as_deref())
+                .map_err(to_query_err)?;
+            let serving = self.core.serving();
+            serving.built.as_mutable().insert(id, vector)?;
+            if let Some(row) = values {
+                let mut store = self.core.attrs.write().unwrap_or_else(|p| p.into_inner());
+                store.set_row(id, row).map_err(mmdr_index::Error::from)?;
+            }
+            // Feed the drift estimator with the routing the backend just
+            // applied: which cluster won, and how far off its flat the
+            // row sits. Outliers train no cluster.
+            let beta = serving.built.ingest_beta();
+            if let (PointAssignment::Cluster(ci), proj_dist) = w
+                .model
+                .assign_point_with_dist(vector, beta)
+                .map_err(|e| to_query_err(e.into()))?
+            {
+                w.drift.record(ci, proj_dist);
+            }
+            w.pending.push(op);
+            w.pending_attrs.push(encoded);
+            w.next_id += 1;
+            id
+        };
+        self.core.maybe_spawn_refit();
+        self.core.maybe_spawn_merge();
+        Ok(id)
     }
 }
 
@@ -869,12 +1126,24 @@ impl EngineCore {
         let beta = base.built.ingest_beta();
         extend_model(&mut model, &ops, beta)?;
         let folded = fold(&base.built, &model, &ops, self.fold_pages)?;
-        save_with_epoch(&self.path, &folded, &model, model_epoch)?;
+        // The attribute snapshot may be newer than the folded prefix
+        // (writers keep landing); that is safe — any attribute row whose
+        // vector is not folded belongs to a tail insert the retained WAL
+        // still carries, and replay re-applies it idempotently.
+        let attrs_snapshot = self.attrs.read().unwrap_or_else(|p| p.into_inner()).clone();
+        save_with_attrs(
+            &self.path,
+            &folded,
+            &model,
+            model_epoch,
+            Some(&attrs_snapshot),
+        )?;
 
         // Swap phase: replay the tail that arrived during the fold into
-        // the new epoch, rewrite the WAL down to that tail, and publish.
+        // the new epoch, drop fully-folded WAL segments, and publish.
         let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
         let tail: Vec<IngestOp> = w.pending[ops.len()..].to_vec();
+        let tail_attrs: Vec<Option<Vec<u8>>> = w.pending_attrs[ops.len()..].to_vec();
         for op in &tail {
             match op {
                 IngestOp::Insert { id, vector } => {
@@ -891,11 +1160,21 @@ impl EngineCore {
                 }
             }
         }
-        w.wal = WalWriter::rewrite_with_model_epoch(w.wal.path(), &tail, model_epoch)?;
+        // The folded prefix is durable in the snapshot, so whole WAL
+        // segments containing only folded records are unlinked; the
+        // segment straddling the fold boundary is kept (replay-skip makes
+        // its folded records harmless). No byte of the tail is rewritten.
+        w.wal.truncate_folded(ops.len() as u64)?;
         w.pending = tail;
+        w.pending_attrs = tail_attrs;
         w.model = model;
         w.merges += 1;
+        w.merges_since_refit += 1;
         w.epoch_no += 1;
+        // Re-sketch under the extended model: folded inserts joined the
+        // member lists, so cluster skipping starts covering them.
+        let sketches = build_sketches(&attrs_snapshot, &w.model)?;
+        *self.sketches.write().unwrap_or_else(|p| p.into_inner()) = sketches;
         let fresh = Arc::new(Epoch {
             number: w.epoch_no,
             built: folded,
@@ -920,6 +1199,7 @@ impl EngineCore {
         let drifted = {
             let w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
             w.drift.max_drift() > self.refit_threshold
+                && refit_cooldown_open(w.refits, w.merges_since_refit, self.refit_cooldown_merges)
         };
         if !drifted {
             return;
@@ -994,7 +1274,14 @@ impl EngineCore {
             _ => IDistanceConfig::default(),
         };
         let folded = attach(base.built.backend(), &model, &rows, self.fold_pages, config)?;
-        save_with_epoch(&self.path, &folded, &model, new_model_epoch)?;
+        let attrs_snapshot = self.attrs.read().unwrap_or_else(|p| p.into_inner()).clone();
+        save_with_attrs(
+            &self.path,
+            &folded,
+            &model,
+            new_model_epoch,
+            Some(&attrs_snapshot),
+        )?;
 
         // Swap phase: replay the tail that arrived during the fit into
         // the new epoch (its backends route with the new model), rewrite
@@ -1002,6 +1289,7 @@ impl EngineCore {
         // drift estimator onto the new clusters, and publish.
         let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
         let tail: Vec<IngestOp> = w.pending[ops.len()..].to_vec();
+        let tail_attrs: Vec<Option<Vec<u8>>> = w.pending_attrs[ops.len()..].to_vec();
         for op in &tail {
             match op {
                 IngestOp::Insert { id, vector } => {
@@ -1018,8 +1306,15 @@ impl EngineCore {
                 }
             }
         }
-        w.wal = WalWriter::rewrite_with_model_epoch(w.wal.path(), &tail, new_model_epoch)?;
+        w.wal = WalWriter::rewrite_records(
+            w.wal.path(),
+            &tail,
+            &tail_attrs,
+            new_model_epoch,
+            self.wal_segment_bytes,
+        )?;
         w.pending = tail;
+        w.pending_attrs = tail_attrs;
         w.drift = DriftEstimator::new(
             model.clusters.iter().map(|c| c.mpe).collect(),
             self.refit_params.max_mpe,
@@ -1027,7 +1322,10 @@ impl EngineCore {
         w.model = model;
         w.model_epoch = new_model_epoch;
         w.refits += 1;
+        w.merges_since_refit = 0;
         w.epoch_no += 1;
+        let sketches = build_sketches(&attrs_snapshot, &w.model)?;
+        *self.sketches.write().unwrap_or_else(|p| p.into_inner()) = sketches;
         let fresh = Arc::new(Epoch {
             number: w.epoch_no,
             built: folded,
@@ -1051,44 +1349,7 @@ impl LiveIndex for IngestEngine {
     }
 
     fn insert(&self, vector: &[f64]) -> mmdr_index::Result<u64> {
-        let id = {
-            let mut w = self.core.writer.lock().unwrap_or_else(|p| p.into_inner());
-            if vector.len() != w.model.dim {
-                return Err(mmdr_index::Error::DimensionMismatch {
-                    expected: w.model.dim,
-                    actual: vector.len(),
-                });
-            }
-            if vector.iter().any(|x| !x.is_finite()) {
-                return Err(mmdr_index::Error::InvalidQuery);
-            }
-            let id = w.next_id;
-            let op = IngestOp::Insert {
-                id,
-                vector: vector.to_vec(),
-            };
-            // Durable first, then visible: the WAL append fsyncs.
-            w.wal.append(&op).map_err(to_query_err)?;
-            let serving = self.core.serving();
-            serving.built.as_mutable().insert(id, vector)?;
-            // Feed the drift estimator with the routing the backend just
-            // applied: which cluster won, and how far off its flat the
-            // row sits. Outliers train no cluster.
-            let beta = serving.built.ingest_beta();
-            if let (PointAssignment::Cluster(ci), proj_dist) = w
-                .model
-                .assign_point_with_dist(vector, beta)
-                .map_err(|e| to_query_err(e.into()))?
-            {
-                w.drift.record(ci, proj_dist);
-            }
-            w.pending.push(op);
-            w.next_id += 1;
-            id
-        };
-        self.core.maybe_spawn_refit();
-        self.core.maybe_spawn_merge();
-        Ok(id)
+        self.insert_inner(vector, None)
     }
 
     fn delete(&self, id: u64) -> mmdr_index::Result<bool> {
@@ -1100,7 +1361,15 @@ impl LiveIndex for IngestEngine {
             let op = IngestOp::Delete { id };
             w.wal.append(&op).map_err(to_query_err)?;
             let changed = self.core.serving().built.as_mutable().delete(id)?;
+            // Ids are never reused, so the attribute row can go now; a
+            // replayed delete clears it again, harmlessly.
+            self.core
+                .attrs
+                .write()
+                .unwrap_or_else(|p| p.into_inner())
+                .clear_row(id);
             w.pending.push(op);
+            w.pending_attrs.push(None);
             changed
         };
         self.core.maybe_spawn_merge();
@@ -1130,6 +1399,40 @@ impl LiveIndex for IngestEngine {
     fn model_drift(&self) -> Vec<f64> {
         let w = self.core.writer.lock().unwrap_or_else(|p| p.into_inner());
         w.drift.drift()
+    }
+
+    fn filtered_knn(
+        &self,
+        query: &[f64],
+        k: usize,
+        predicate: &str,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        // Pin once: plan and execution see the same epoch. The bitmap is
+        // id-keyed, and a merge never renumbers ids, so a concurrent swap
+        // cannot skew the filter either way.
+        let pin = LiveIndex::pin(self);
+        let plan = self.plan_filtered(predicate, pin.index.len() as u64, Some(k))?;
+        let before = pin.index.query_stats().page_reads;
+        let hits = run_filtered_knn(pin.index.as_ref(), query, k, &plan)?;
+        let pages = pin.index.query_stats().page_reads.saturating_sub(before);
+        self.core.planner.observe(plan.strategy, pages);
+        Ok(hits)
+    }
+
+    fn filtered_range(
+        &self,
+        query: &[f64],
+        radius: f64,
+        predicate: &str,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        let pin = LiveIndex::pin(self);
+        let plan = self.plan_filtered(predicate, pin.index.len() as u64, None)?;
+        run_filtered_range(pin.index.as_ref(), query, radius, &plan)
+    }
+
+    fn planner_counts(&self) -> [u64; 3] {
+        let s = self.core.planner.counters().snapshot();
+        [s.post_filter, s.pushdown, s.prefilter_rank]
     }
 }
 
@@ -1562,6 +1865,223 @@ mod tests {
         // Every inserted row is still visible after the swap(s).
         let pin = engine.pin();
         assert_eq!(pin.index.len(), data.rows() + 24);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attrs_survive_wal_replay_and_snapshot_fold() {
+        use mmdr_query::AttrType;
+        let data = dataset();
+        let model = model_for(&data);
+        let dir = tmp_dir("attrs");
+        let path = dir.join("idx.mmdr");
+        let opts = IngestOptions {
+            merge_threshold: 0,
+            ..Default::default()
+        };
+        let mut store =
+            AttrStore::new(&[("label", AttrType::Tag), ("score", AttrType::I64)]).unwrap();
+        for id in 0..data.rows() as u64 {
+            let label = if id % 2 == 0 { "even" } else { "odd" };
+            store
+                .set(id, "label", &AttrValue::Tag(label.into()))
+                .unwrap();
+            store.set(id, "score", &AttrValue::I64(id as i64)).unwrap();
+        }
+        let probe = vec![0.4, 0.12, 0.0, 0.0];
+        let (id, bare) = {
+            let engine = IngestEngine::create_with_attrs(
+                &path,
+                Backend::SeqScan,
+                &data,
+                &model,
+                128,
+                opts.clone(),
+                Some(&store),
+            )
+            .unwrap();
+            let id = engine
+                .insert_with_attrs(
+                    &probe,
+                    &[
+                        ("label".to_string(), AttrValue::Tag("fresh".into())),
+                        ("score".to_string(), AttrValue::I64(-7)),
+                    ],
+                )
+                .unwrap();
+            let bare = engine.insert(&[0.5, 0.15, 0.0, 0.0]).unwrap();
+            engine.delete(3).unwrap();
+            // A row that fails schema validation never reaches the WAL,
+            // the store, or the id allocator.
+            let before = engine.ingest_stats();
+            assert!(engine
+                .insert_with_attrs(&probe, &[("missing".to_string(), AttrValue::I64(0))])
+                .is_err());
+            let after = engine.ingest_stats();
+            assert_eq!(before.next_id, after.next_id);
+            assert_eq!(before.wal_bytes, after.wal_bytes);
+            (id, bare)
+            // Dropped without a flush: only the WAL knows these ops.
+        };
+        let engine = IngestEngine::open(&path, opts.clone()).unwrap();
+        engine.with_attrs(|s| {
+            assert_eq!(
+                s.get(id, "label").unwrap(),
+                Some(AttrValue::Tag("fresh".into()))
+            );
+            assert_eq!(s.get(id, "score").unwrap(), Some(AttrValue::I64(-7)));
+            assert_eq!(s.get(bare, "label").unwrap(), None);
+            assert_eq!(
+                s.get(3, "label").unwrap(),
+                None,
+                "deleted row cleared on replay"
+            );
+            assert_eq!(
+                s.get(0, "label").unwrap(),
+                Some(AttrValue::Tag("even".into()))
+            );
+        });
+        assert!(engine.attr_sketches().is_some());
+        // A flush folds everything into the snapshot's ATTRS section and
+        // empties the log; the next open reads attrs from the snapshot.
+        engine.flush().unwrap();
+        assert_eq!(engine.ingest_stats().wal_bytes, 0);
+        drop(engine);
+        let engine = IngestEngine::open(&path, opts).unwrap();
+        engine.with_attrs(|s| {
+            assert_eq!(s.get(id, "score").unwrap(), Some(AttrValue::I64(-7)));
+            assert_eq!(s.get(3, "label").unwrap(), None);
+            assert_eq!(
+                s.get(240, "label").unwrap(),
+                Some(AttrValue::Tag("fresh".into()))
+            );
+        });
+        let sketches = engine.attr_sketches().unwrap();
+        assert_eq!(
+            sketches.columns,
+            vec!["label".to_string(), "score".to_string()]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Pokes the drift estimator past any threshold, deterministically —
+    /// the organic path (routed inserts far off a fitted flat) depends on
+    /// fit geometry this test must not.
+    fn force_drift(engine: &IngestEngine) {
+        let mut w = engine.core.writer.lock().unwrap();
+        for _ in 0..64 {
+            w.drift.record(0, 1.0e3);
+        }
+    }
+
+    #[test]
+    fn refit_cooldown_suppresses_back_to_back_refits() {
+        // The gate itself: the first re-fit is never delayed; afterwards
+        // the configured number of merges must fold first.
+        assert!(refit_cooldown_open(0, 0, 5));
+        assert!(!refit_cooldown_open(1, 0, 2));
+        assert!(!refit_cooldown_open(1, 1, 2));
+        assert!(refit_cooldown_open(1, 2, 2));
+        assert!(refit_cooldown_open(3, 0, 0));
+
+        let data = dataset();
+        let model = model_for(&data);
+        let dir = tmp_dir("cooldown");
+        let path = dir.join("idx.mmdr");
+        let engine = IngestEngine::create(
+            &path,
+            Backend::SeqScan,
+            &data,
+            &model,
+            128,
+            IngestOptions {
+                merge_threshold: 0,
+                refit_threshold: 1.0,
+                refit_cooldown_merges: 1,
+                refit_params: Some(MmdrParams {
+                    max_ec: 4,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for v in new_rows(8) {
+            engine.insert(&v).unwrap();
+        }
+        // First over-threshold signal: re-fits immediately.
+        force_drift(&engine);
+        engine.core.maybe_spawn_refit();
+        for _ in 0..200 {
+            engine.quiesce();
+            if engine.ingest_stats().refits >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(engine.ingest_stats().refits, 1);
+        // Second immediate over-threshold signal: no merge has folded
+        // since the re-fit, so the cooldown must swallow it.
+        force_drift(&engine);
+        engine.core.maybe_spawn_refit();
+        engine.quiesce();
+        assert_eq!(
+            engine.ingest_stats().refits,
+            1,
+            "two back-to-back signals must yield one re-fit"
+        );
+        // One folded merge opens the gate again.
+        engine.insert(&new_rows(1)[0]).unwrap();
+        engine.flush().unwrap();
+        force_drift(&engine);
+        engine.core.maybe_spawn_refit();
+        for _ in 0..200 {
+            engine.quiesce();
+            if engine.ingest_stats().refits >= 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(engine.ingest_stats().refits, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_wal_segments_rotate_and_collapse_on_flush() {
+        let data = dataset();
+        let model = model_for(&data);
+        let dir = tmp_dir("segments");
+        let path = dir.join("idx.mmdr");
+        let opts = IngestOptions {
+            merge_threshold: 0,
+            // A 4-dim insert frame is ~53 bytes, so this forces a rotation
+            // every handful of operations.
+            wal_segment_bytes: 256,
+            ..Default::default()
+        };
+        let engine =
+            IngestEngine::create(&path, Backend::SeqScan, &data, &model, 128, opts.clone())
+                .unwrap();
+        for v in new_rows(40) {
+            engine.insert(&v).unwrap();
+        }
+        let seg1 = {
+            let mut p = wal_path(&path).into_os_string();
+            p.push(".1");
+            PathBuf::from(p)
+        };
+        assert!(seg1.exists(), "appends past the limit must rotate");
+        // A crash-style reopen replays across every segment in order.
+        drop(engine);
+        let engine = IngestEngine::open(&path, opts.clone()).unwrap();
+        let stats = engine.ingest_stats();
+        assert_eq!(stats.delta_rows, 40);
+        assert_eq!(stats.next_id, data.rows() as u64 + 40);
+        // A full fold collapses the log back to one empty base segment.
+        engine.flush().unwrap();
+        assert_eq!(engine.ingest_stats().wal_bytes, 0);
+        assert!(!seg1.exists(), "folded segments must be unlinked");
+        assert_eq!(engine.pin().index.len(), data.rows() + 40);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

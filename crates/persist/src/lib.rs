@@ -39,6 +39,7 @@ mod codec;
 mod error;
 pub mod format;
 mod ingest;
+mod live;
 pub mod manifest;
 mod model_codec;
 pub mod refit;
@@ -51,6 +52,7 @@ pub use ingest::{
     extend_model, fold, wal_path, Epoch, IngestEngine, IngestOptions, DEFAULT_FOLD_PAGES,
     DEFAULT_MERGE_THRESHOLD, TOMBSTONE_MERGE_FLOOR, TOMBSTONE_MERGE_RATIO,
 };
+pub use live::SnapshotLive;
 pub use manifest::{
     plan_shards, read_manifest, write_manifest, Manifest, ShardBall, ShardEntry, ShardPlan,
     MANIFEST_FILE, MANIFEST_VERSION,
@@ -59,6 +61,9 @@ pub use mmdr_storage::{crc32, Crc32};
 pub use refit::{attach, materialize_rows, refit_model};
 pub use snapshot::{
     build_index, open, open_expecting, open_expecting_with, open_or_build, open_resident,
-    open_with, save, save_with_epoch, scrub, BuiltIndex, OpenOptions, Opened,
+    open_with, save, save_with_attrs, save_with_epoch, scrub, BuiltIndex, OpenOptions, Opened,
 };
-pub use wal::{decode_op, decode_wal, encode_op, replay_wal, WalReplay, WalWriter, MAX_WAL_RECORD};
+pub use wal::{
+    decode_op, decode_record, decode_wal, encode_op, encode_record, replay_wal, WalReplay,
+    WalWriter, DEFAULT_WAL_SEGMENT_BYTES, MAX_WAL_RECORD,
+};

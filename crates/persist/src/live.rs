@@ -1,0 +1,154 @@
+//! Read-only filtered serving over a static snapshot.
+//!
+//! [`SnapshotLive`] is the attribute-aware counterpart of
+//! [`mmdr_index::ReadOnlyLive`]: it serves a reopened snapshot's index
+//! read-only (writes are typed rejections) while answering
+//! [`LiveIndex::filtered_knn`] / [`LiveIndex::filtered_range`] through the
+//! same predicate → bitmap → planner pipeline the WAL-backed
+//! [`IngestEngine`](crate::IngestEngine) runs — so `mmdr serve` without
+//! `--wal` supports `--filter` queries whenever the snapshot carries an
+//! ATTRS section.
+
+use crate::ingest::build_sketches;
+use crate::Result;
+use mmdr_core::ReductionResult;
+use mmdr_index::{IngestStats, LiveIndex, PinnedEpoch, VectorIndex};
+use mmdr_query::{
+    run_filtered_knn, run_filtered_range, AttrSketches, AttrStore, PlannedFilter, Planner,
+    Predicate,
+};
+use std::sync::Arc;
+
+/// Parses `predicate`, compiles it against `store` into a row bitmap,
+/// prunes clusters through `sketches`, and plans (`k = None` plans a range
+/// query). Shared by the engine and [`SnapshotLive`]; a store with no
+/// columns is the typed
+/// [`FiltersUnavailable`](mmdr_index::Error::FiltersUnavailable) rejection.
+pub(crate) fn plan_filtered(
+    planner: &Planner,
+    store: &AttrStore,
+    sketches: Option<&AttrSketches>,
+    predicate: &str,
+    n: u64,
+    k: Option<usize>,
+) -> mmdr_index::Result<PlannedFilter> {
+    if store.is_empty() {
+        return Err(mmdr_index::Error::FiltersUnavailable);
+    }
+    let pred = Predicate::parse(predicate).map_err(mmdr_index::Error::from)?;
+    pred.validate(store).map_err(mmdr_index::Error::from)?;
+    let rows = pred.compile(store).map_err(mmdr_index::Error::from)?;
+    match k {
+        Some(k) => planner.plan_knn(pred, rows, sketches, n, k),
+        None => planner.plan_range(pred, rows, sketches),
+    }
+    .map_err(mmdr_index::Error::from)
+}
+
+/// A read-only [`LiveIndex`] over a static snapshot with filtered-search
+/// support: queries (plain and filtered) serve epoch 0 forever, writes are
+/// typed [`ReadOnly`](mmdr_index::Error::ReadOnly) rejections.
+pub struct SnapshotLive {
+    index: Arc<dyn VectorIndex>,
+    attrs: AttrStore,
+    sketches: Option<Arc<AttrSketches>>,
+    planner: Planner,
+}
+
+impl SnapshotLive {
+    /// Wraps a reopened snapshot. `attrs` is the snapshot's ATTRS payload
+    /// ([`Opened::attrs`](crate::Opened)); `None` still serves plain
+    /// queries, with filtered ones rejected as
+    /// [`FiltersUnavailable`](mmdr_index::Error::FiltersUnavailable).
+    /// Sketches are built once from the stored model's cluster membership.
+    pub fn new(
+        index: Arc<dyn VectorIndex>,
+        model: &ReductionResult,
+        attrs: Option<AttrStore>,
+    ) -> Result<Self> {
+        let attrs = attrs.unwrap_or_default();
+        let sketches = build_sketches(&attrs, model)?;
+        Ok(Self {
+            index,
+            attrs,
+            sketches,
+            planner: Planner::new(),
+        })
+    }
+
+    /// The planner's decision counters.
+    pub fn planner_snapshot(&self) -> mmdr_query::PlannerSnapshot {
+        self.planner.counters().snapshot()
+    }
+}
+
+impl LiveIndex for SnapshotLive {
+    fn pin(&self) -> PinnedEpoch {
+        PinnedEpoch {
+            epoch: 0,
+            index: Arc::clone(&self.index),
+        }
+    }
+
+    fn insert(&self, _vector: &[f64]) -> mmdr_index::Result<u64> {
+        Err(mmdr_index::Error::ReadOnly)
+    }
+
+    fn delete(&self, _id: u64) -> mmdr_index::Result<bool> {
+        Err(mmdr_index::Error::ReadOnly)
+    }
+
+    fn flush(&self) -> mmdr_index::Result<u64> {
+        Err(mmdr_index::Error::ReadOnly)
+    }
+
+    fn ingest_stats(&self) -> IngestStats {
+        IngestStats {
+            next_id: self.index.len() as u64,
+            ..IngestStats::default()
+        }
+    }
+
+    fn filtered_knn(
+        &self,
+        query: &[f64],
+        k: usize,
+        predicate: &str,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        let plan = plan_filtered(
+            &self.planner,
+            &self.attrs,
+            self.sketches.as_deref(),
+            predicate,
+            self.index.len() as u64,
+            Some(k),
+        )?;
+        let before = self.index.query_stats().page_reads;
+        let hits = run_filtered_knn(self.index.as_ref(), query, k, &plan)?;
+        let pages = self.index.query_stats().page_reads.saturating_sub(before);
+        self.planner.observe(plan.strategy, pages);
+        Ok(hits)
+    }
+
+    fn filtered_range(
+        &self,
+        query: &[f64],
+        radius: f64,
+        predicate: &str,
+    ) -> mmdr_index::Result<Vec<(f64, u64)>> {
+        let plan = plan_filtered(
+            &self.planner,
+            &self.attrs,
+            self.sketches.as_deref(),
+            predicate,
+            self.index.len() as u64,
+            None,
+        )?;
+        run_filtered_range(self.index.as_ref(), query, radius, &plan)
+    }
+
+    fn planner_counts(&self) -> [u64; 3] {
+        let s = self.planner.counters().snapshot();
+        [s.post_filter, s.pushdown, s.prefilter_rank]
+    }
+}

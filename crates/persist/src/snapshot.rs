@@ -35,6 +35,7 @@ use mmdr_idistance::{
     VectorHeap, VectorIndex,
 };
 use mmdr_linalg::Matrix;
+use mmdr_query::AttrStore;
 use mmdr_storage::{crc32, BufferPool, DiskManager, FileSource, IoStats, Page, PageId, PAGE_SIZE};
 use std::fs::File;
 use std::os::unix::fs::FileExt;
@@ -390,7 +391,12 @@ fn restore_hybrid(
 /// this model — rides as an optional trailing u64 in the MODEL section:
 /// epoch 0 writes nothing, so a never-re-fit snapshot is byte-identical to
 /// the pre-epoch format, and readers treat an absent field as epoch 0.
-fn encode(index: &BuiltIndex, model: &ReductionResult, model_epoch: u64) -> Result<Vec<u8>> {
+fn encode(
+    index: &BuiltIndex,
+    model: &ReductionResult,
+    model_epoch: u64,
+    attrs: Option<&AttrStore>,
+) -> Result<Vec<u8>> {
     let mut model_w = ByteWriter::new();
     model_codec::put_model(&mut model_w, model);
     if model_epoch > 0 {
@@ -451,28 +457,34 @@ fn encode(index: &BuiltIndex, model: &ReductionResult, model_epoch: u64) -> Resu
 
     // PAGES goes last: it dominates the file, and keeping the small
     // sections up front lets a lazy open fetch everything it needs with
-    // three short preads near the head of the file.
-    Ok(format::assemble(
-        backend_tag(index.backend()),
-        &[
-            Section {
-                id: section_id::MODEL,
-                payload: model_w.into_bytes(),
-            },
-            Section {
-                id: section_id::META,
-                payload: meta.into_bytes(),
-            },
-            Section {
-                id: section_id::PAGEDIR,
-                payload: pagedir_w.into_bytes(),
-            },
-            Section {
-                id: section_id::PAGES,
-                payload: pages_w.into_bytes(),
-            },
-        ],
-    ))
+    // a few short preads near the head of the file. ATTRS sits among the
+    // small sections and is omitted entirely for attribute-less indexes,
+    // keeping those images byte-identical to the pre-attribute format.
+    let mut sections = vec![
+        Section {
+            id: section_id::MODEL,
+            payload: model_w.into_bytes(),
+        },
+        Section {
+            id: section_id::META,
+            payload: meta.into_bytes(),
+        },
+        Section {
+            id: section_id::PAGEDIR,
+            payload: pagedir_w.into_bytes(),
+        },
+    ];
+    if let Some(store) = attrs.filter(|s| !s.is_empty()) {
+        sections.push(Section {
+            id: section_id::ATTRS,
+            payload: store.to_bytes(),
+        });
+    }
+    sections.push(Section {
+        id: section_id::PAGES,
+        payload: pages_w.into_bytes(),
+    });
+    Ok(format::assemble(backend_tag(index.backend()), &sections))
 }
 
 /// Writes a snapshot of the index and its model to `path`.
@@ -497,10 +509,23 @@ pub fn save_with_epoch(
     model: &ReductionResult,
     model_epoch: u64,
 ) -> Result<()> {
+    save_with_attrs(path, index, model, model_epoch, None)
+}
+
+/// [`save_with_epoch`] that additionally embeds a per-row attribute store
+/// as an ATTRS section. `None` (or an empty store) writes no section, so
+/// attribute-less snapshots stay byte-identical to the legacy image.
+pub fn save_with_attrs(
+    path: impl AsRef<Path>,
+    index: &BuiltIndex,
+    model: &ReductionResult,
+    model_epoch: u64,
+    attrs: Option<&AttrStore>,
+) -> Result<()> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
     let path = path.as_ref();
-    let image = encode(index, model, model_epoch)?;
+    let image = encode(index, model, model_epoch, attrs)?;
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(
         ".tmp.{}.{}",
@@ -531,6 +556,9 @@ pub struct Opened {
     /// How many background re-fits produced the stored model (0 for a
     /// snapshot saved before any re-fit, including every legacy image).
     pub model_epoch: u64,
+    /// Per-row attribute payloads, when the snapshot carries an ATTRS
+    /// section (`None` for attribute-less and legacy images).
+    pub attrs: Option<AttrStore>,
 }
 
 /// Exact group-count check for a backend's page section.
@@ -554,6 +582,7 @@ fn restore(
     meta_bytes: &[u8],
     mut groups: Vec<GroupData>,
     opts: &OpenOptions,
+    attrs: Option<AttrStore>,
 ) -> Result<Opened> {
     let cap = |recorded: usize| opts.pool_pages.unwrap_or(recorded).max(1);
     let mut meta = ByteReader::new(meta_bytes, "section meta");
@@ -674,7 +703,13 @@ fn restore(
         model,
         index,
         model_epoch,
+        attrs,
     })
+}
+
+/// Decodes an ATTRS payload, mapping codec failures into persist errors.
+fn decode_attrs(payload: &[u8]) -> Result<AttrStore> {
+    AttrStore::from_bytes(payload).map_err(|e| PersistError::malformed(format!("attrs: {e}")))
 }
 
 /// Reads the optional trailing model-epoch field of a MODEL section (0
@@ -700,6 +735,10 @@ fn decode(bytes: &[u8], opts: &OpenOptions) -> Result<Opened> {
 
     let dir = read_pagedir(parsed.section(section_id::PAGEDIR)?)?;
     let groups = eager_page_groups(parsed.section(section_id::PAGES)?, &dir)?;
+    let attrs = parsed
+        .maybe_section(section_id::ATTRS)
+        .map(decode_attrs)
+        .transpose()?;
 
     restore(
         backend,
@@ -708,6 +747,7 @@ fn decode(bytes: &[u8], opts: &OpenOptions) -> Result<Opened> {
         parsed.section(section_id::META)?,
         groups,
         opts,
+        attrs,
     )
 }
 
@@ -756,6 +796,10 @@ fn open_lazy(path: &Path, opts: &OpenOptions) -> Result<Opened> {
     let model_bytes = read_section(&file, &find_entry(&entries, section_id::MODEL)?, path)?;
     let meta_bytes = read_section(&file, &find_entry(&entries, section_id::META)?, path)?;
     let dir_bytes = read_section(&file, &find_entry(&entries, section_id::PAGEDIR)?, path)?;
+    let attrs = match entries.iter().find(|e| e.id == section_id::ATTRS) {
+        Some(entry) => Some(decode_attrs(&read_section(&file, entry, path)?)?),
+        None => None,
+    };
 
     let mut model_r = ByteReader::new(&model_bytes, "section model");
     let model = model_codec::get_model(&mut model_r)?;
@@ -778,7 +822,15 @@ fn open_lazy(path: &Path, opts: &OpenOptions) -> Result<Opened> {
         base += span;
     }
 
-    restore(backend, model, model_epoch, &meta_bytes, groups, opts)
+    restore(
+        backend,
+        model,
+        model_epoch,
+        &meta_bytes,
+        groups,
+        opts,
+        attrs,
+    )
 }
 
 /// Opens a snapshot into a ready index with explicit [`OpenOptions`] — no

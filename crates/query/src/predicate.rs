@@ -1,0 +1,472 @@
+//! Predicate IR, text parser, and bitmap compilation.
+//!
+//! A [`Predicate`] is a conjunction of comparison terms over attribute
+//! columns — the filter language of `query --filter`:
+//!
+//! ```text
+//! tenant = 7 AND price < 100 AND region = eu
+//! ```
+//!
+//! Operators: `=` `!=` `<` `<=` `>` `>=`. Terms combine with `AND` (case
+//! insensitive; `&&` also accepted). Values parse as i64 first, then f64,
+//! else as a bare or quoted string. Numeric columns compare numerically
+//! (i64 literals coerce to f64 columns and vice versa); tag columns accept
+//! `=` and `!=` against strings only. NULL fails every term.
+//!
+//! [`Predicate::compile`] evaluates the conjunction over an [`AttrStore`]
+//! into a [`RowFilter`] bitmap — the form backends consume.
+
+use crate::attrs::{AttrStore, AttrValue, ColumnData};
+use crate::error::{Error, Result};
+use mmdr_index::RowFilter;
+
+/// Comparison operator of one term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Op {
+    /// The operator's surface syntax.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        }
+    }
+}
+
+/// One comparison term: `column op value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Term {
+    /// Attribute column name.
+    pub column: String,
+    /// Comparison operator.
+    pub op: Op,
+    /// Right-hand literal.
+    pub value: AttrValue,
+}
+
+/// A conjunction of terms. At least one term; `AND` is the only connective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// The conjoined terms.
+    pub terms: Vec<Term>,
+}
+
+impl Predicate {
+    /// Parses the `--filter` surface syntax (see the module docs).
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut terms = Vec::new();
+        for part in split_conjuncts(text) {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(Error::Parse("empty term".into()));
+            }
+            terms.push(parse_term(part)?);
+        }
+        if terms.is_empty() {
+            return Err(Error::Parse("predicate has no terms".into()));
+        }
+        Ok(Self { terms })
+    }
+
+    /// The canonical text form (`parse` ∘ `display` is the identity on
+    /// canonical predicates) — the form the wire protocol ships.
+    pub fn display(&self) -> String {
+        self.terms
+            .iter()
+            .map(|t| {
+                let v = match &t.value {
+                    AttrValue::I64(x) => x.to_string(),
+                    AttrValue::F64(x) => format!("{x:?}"),
+                    AttrValue::Tag(s) => format!("\"{s}\""),
+                };
+                format!("{} {} {}", t.column, t.op.symbol(), v)
+            })
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    }
+
+    /// Validates every term against the store's schema without building a
+    /// bitmap (servers reject malformed filters before doing work).
+    pub fn validate(&self, store: &AttrStore) -> Result<()> {
+        for t in &self.terms {
+            let col = store.column(&t.column)?;
+            check_term(t, &col.data)?;
+        }
+        Ok(())
+    }
+
+    /// Whether row `id` passes the conjunction (NULL fails every term).
+    pub fn passes(&self, store: &AttrStore, id: u64) -> Result<bool> {
+        for t in &self.terms {
+            let v = store.get(id, &t.column)?;
+            let col = store.column(&t.column)?;
+            check_term(t, &col.data)?;
+            match v {
+                None => return Ok(false),
+                Some(v) => {
+                    if !eval(t, &v) {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Compiles the conjunction over the whole store into a row bitmap
+    /// covering ids `0..capacity` (ids beyond the store's capacity fail, as
+    /// does every NULL).
+    pub fn compile(&self, store: &AttrStore) -> Result<RowFilter> {
+        let capacity = store.capacity();
+        let mut rows = RowFilter::all(capacity);
+        for t in &self.terms {
+            let col = store.column(&t.column)?;
+            check_term(t, &col.data)?;
+            let mut term_rows = RowFilter::none(capacity);
+            match &col.data {
+                ColumnData::I64(v) => {
+                    for (i, x) in v.iter().enumerate() {
+                        if let Some(x) = x {
+                            if eval(t, &AttrValue::I64(*x)) {
+                                term_rows.set(i as u64);
+                            }
+                        }
+                    }
+                }
+                ColumnData::F64(v) => {
+                    for (i, x) in v.iter().enumerate() {
+                        if let Some(x) = x {
+                            if eval(t, &AttrValue::F64(*x)) {
+                                term_rows.set(i as u64);
+                            }
+                        }
+                    }
+                }
+                ColumnData::Tag { codes, dict } => {
+                    // Resolve the literal against the dictionary once, then
+                    // compare codes.
+                    let want = match &t.value {
+                        AttrValue::Tag(s) => dict.iter().position(|d| d == s).map(|i| i as u32 + 1),
+                        _ => unreachable!("check_term enforces tag literals"),
+                    };
+                    for (i, code) in codes.iter().enumerate() {
+                        if *code == 0 {
+                            continue; // NULL
+                        }
+                        let hit = match t.op {
+                            Op::Eq => Some(*code) == want,
+                            Op::Ne => Some(*code) != want,
+                            _ => unreachable!("check_term enforces tag operators"),
+                        };
+                        if hit {
+                            term_rows.set(i as u64);
+                        }
+                    }
+                }
+            }
+            rows.intersect(&term_rows);
+        }
+        Ok(rows)
+    }
+}
+
+/// Type/operator admissibility of a term against a column.
+fn check_term(t: &Term, data: &ColumnData) -> Result<()> {
+    match (data, &t.value) {
+        (ColumnData::I64(_) | ColumnData::F64(_), AttrValue::I64(_) | AttrValue::F64(_)) => Ok(()),
+        (ColumnData::Tag { .. }, AttrValue::Tag(_)) => match t.op {
+            Op::Eq | Op::Ne => Ok(()),
+            _ => Err(Error::TypeMismatch {
+                column: t.column.clone(),
+                detail: "tag columns support = and != only",
+            }),
+        },
+        _ => Err(Error::TypeMismatch {
+            column: t.column.clone(),
+            detail: "literal type does not match the column type",
+        }),
+    }
+}
+
+/// Evaluates `stored op literal`. Numeric comparisons go through f64 when
+/// the sides disagree (exact for every i64 the datasets here use; the
+/// pushdown-vs-postfilter parity gate covers the conversion).
+fn eval(t: &Term, stored: &AttrValue) -> bool {
+    match (stored, &t.value) {
+        (AttrValue::I64(a), AttrValue::I64(b)) => cmp_ord(t.op, a.cmp(b)),
+        (AttrValue::F64(a), AttrValue::F64(b)) => cmp_f64(t.op, *a, *b),
+        (AttrValue::I64(a), AttrValue::F64(b)) => cmp_f64(t.op, *a as f64, *b),
+        (AttrValue::F64(a), AttrValue::I64(b)) => cmp_f64(t.op, *a, *b as f64),
+        (AttrValue::Tag(a), AttrValue::Tag(b)) => match t.op {
+            Op::Eq => a == b,
+            Op::Ne => a != b,
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn cmp_ord(op: Op, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        Op::Eq => ord == Equal,
+        Op::Ne => ord != Equal,
+        Op::Lt => ord == Less,
+        Op::Le => ord != Greater,
+        Op::Gt => ord == Greater,
+        Op::Ge => ord != Less,
+    }
+}
+
+fn cmp_f64(op: Op, a: f64, b: f64) -> bool {
+    match a.partial_cmp(&b) {
+        Some(ord) => cmp_ord(op, ord),
+        None => false,
+    }
+}
+
+/// Splits on the `AND` connective (case-insensitive word) or `&&`, outside
+/// of quotes.
+fn split_conjuncts(text: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_quote: Option<char> = None;
+    let tokens: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let c = tokens[i];
+        if let Some(q) = in_quote {
+            current.push(c);
+            if c == q {
+                in_quote = None;
+            }
+            i += 1;
+            continue;
+        }
+        if c == '"' || c == '\'' {
+            in_quote = Some(c);
+            current.push(c);
+            i += 1;
+            continue;
+        }
+        // Word-boundary "AND" (any case).
+        let is_and_word = (c == 'a' || c == 'A')
+            && i + 3 <= tokens.len()
+            && tokens[i + 1].eq_ignore_ascii_case(&'n')
+            && tokens[i + 2].eq_ignore_ascii_case(&'d')
+            && (i == 0 || tokens[i - 1].is_whitespace())
+            && (i + 3 == tokens.len() || tokens[i + 3].is_whitespace());
+        if is_and_word {
+            parts.push(std::mem::take(&mut current));
+            i += 3;
+            continue;
+        }
+        if c == '&' && i + 1 < tokens.len() && tokens[i + 1] == '&' {
+            parts.push(std::mem::take(&mut current));
+            i += 2;
+            continue;
+        }
+        current.push(c);
+        i += 1;
+    }
+    parts.push(current);
+    parts
+}
+
+fn parse_term(text: &str) -> Result<Term> {
+    // Longest operators first so "<=" is not read as "<" + "=".
+    for (sym, op) in [
+        ("<=", Op::Le),
+        (">=", Op::Ge),
+        ("!=", Op::Ne),
+        ("<", Op::Lt),
+        (">", Op::Gt),
+        ("=", Op::Eq),
+    ] {
+        if let Some(pos) = text.find(sym) {
+            let column = text[..pos].trim();
+            let value = text[pos + sym.len()..].trim();
+            if column.is_empty() || value.is_empty() {
+                return Err(Error::Parse(format!("malformed term {text:?}")));
+            }
+            if column.contains(|c: char| c.is_whitespace()) {
+                return Err(Error::Parse(format!("malformed column in {text:?}")));
+            }
+            return Ok(Term {
+                column: column.to_string(),
+                op,
+                value: parse_literal(value),
+            });
+        }
+    }
+    Err(Error::Parse(format!("no comparison operator in {text:?}")))
+}
+
+fn parse_literal(text: &str) -> AttrValue {
+    let t = text.trim();
+    if (t.starts_with('"') && t.ends_with('"') && t.len() >= 2)
+        || (t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2)
+    {
+        return AttrValue::Tag(t[1..t.len() - 1].to_string());
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return AttrValue::I64(i);
+    }
+    if let Ok(f) = t.parse::<f64>() {
+        if f.is_finite() {
+            return AttrValue::F64(f);
+        }
+    }
+    AttrValue::Tag(t.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrType;
+
+    fn store() -> AttrStore {
+        let mut s = AttrStore::new(&[
+            ("tenant", AttrType::I64),
+            ("price", AttrType::F64),
+            ("region", AttrType::Tag),
+        ])
+        .unwrap();
+        for id in 0..100u64 {
+            s.set(id, "tenant", &AttrValue::I64(id as i64 % 5)).unwrap();
+            s.set(id, "price", &AttrValue::F64(id as f64)).unwrap();
+            if id % 10 != 9 {
+                s.set(
+                    id,
+                    "region",
+                    &AttrValue::Tag(if id % 2 == 0 { "eu" } else { "us" }.into()),
+                )
+                .unwrap();
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn parses_every_operator() {
+        let p = Predicate::parse("a=1 AND b!=2 and c<3 && d<=4 AND e>5 AND f>=6.5").unwrap();
+        assert_eq!(p.terms.len(), 6);
+        assert_eq!(p.terms[0].op, Op::Eq);
+        assert_eq!(p.terms[1].op, Op::Ne);
+        assert_eq!(p.terms[2].op, Op::Lt);
+        assert_eq!(p.terms[3].op, Op::Le);
+        assert_eq!(p.terms[4].op, Op::Gt);
+        assert_eq!(p.terms[5].op, Op::Ge);
+        assert_eq!(p.terms[5].value, AttrValue::F64(6.5));
+    }
+
+    #[test]
+    fn parses_strings_and_quotes() {
+        let p = Predicate::parse("region = eu AND name = \"with space\"").unwrap();
+        assert_eq!(p.terms[0].value, AttrValue::Tag("eu".into()));
+        assert_eq!(p.terms[1].value, AttrValue::Tag("with space".into()));
+        // Quoted AND does not split.
+        let p = Predicate::parse("name = 'x AND y'").unwrap();
+        assert_eq!(p.terms.len(), 1);
+        assert_eq!(p.terms[0].value, AttrValue::Tag("x AND y".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Predicate::parse("").is_err());
+        assert!(Predicate::parse("a").is_err());
+        assert!(Predicate::parse("= 3").is_err());
+        assert!(Predicate::parse("a = ").is_err());
+        assert!(Predicate::parse("a = 1 AND").is_err());
+        assert!(Predicate::parse("two words = 1").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let p = Predicate::parse("tenant = 7 AND price < 99.5 AND region != \"eu\"").unwrap();
+        let again = Predicate::parse(&p.display()).unwrap();
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn compile_matches_row_evaluation() {
+        let s = store();
+        for text in [
+            "tenant = 3",
+            "price < 20",
+            "price >= 20 AND price < 40",
+            "region = eu",
+            "region != eu",
+            "tenant = 2 AND region = us AND price > 10",
+            "tenant = 99",
+            "price <= 1e9",
+        ] {
+            let p = Predicate::parse(text).unwrap();
+            let rows = p.compile(&s).unwrap();
+            for id in 0..s.capacity() {
+                assert_eq!(rows.passes(id), p.passes(&s, id).unwrap(), "{text} id {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn null_fails_even_not_equal() {
+        let s = store();
+        // Rows id%10==9 have NULL region: != must not match them.
+        let rows = Predicate::parse("region != eu")
+            .unwrap()
+            .compile(&s)
+            .unwrap();
+        assert!(!rows.passes(9));
+        assert!(rows.passes(1), "us passes !=eu");
+        assert!(!rows.passes(2), "eu fails");
+    }
+
+    #[test]
+    fn numeric_coercion_both_ways() {
+        let s = store();
+        // Float literal on i64 column, int literal on f64 column.
+        let a = Predicate::parse("tenant < 2.5")
+            .unwrap()
+            .compile(&s)
+            .unwrap();
+        assert!(a.passes(2) && !a.passes(3));
+        let b = Predicate::parse("price = 42").unwrap().compile(&s).unwrap();
+        assert_eq!(b.count(), 1);
+        assert!(b.passes(42));
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let s = store();
+        assert!(Predicate::parse("region < x").unwrap().compile(&s).is_err());
+        assert!(Predicate::parse("tenant = eu")
+            .unwrap()
+            .compile(&s)
+            .is_err());
+        assert!(Predicate::parse("nope = 1").unwrap().compile(&s).is_err());
+        assert!(Predicate::parse("region < x")
+            .unwrap()
+            .validate(&s)
+            .is_err());
+        assert!(Predicate::parse("tenant = 1").unwrap().validate(&s).is_ok());
+    }
+}

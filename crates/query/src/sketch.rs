@@ -1,0 +1,330 @@
+//! Per-partition attribute sketches for cluster skipping.
+//!
+//! [`AttrSketches`] summarizes each cluster's (and the outlier set's) BASE
+//! rows per column as `(count, min, max)`. [`AttrSketches::prune`] turns a
+//! predicate into the cluster-alive hints a
+//! [`SearchFilter`](mmdr_index::SearchFilter) carries: a cluster is marked
+//! dead only when some conjunct provably fails for **every** base row of
+//! that cluster, so skipping its tree/partition wholesale cannot change the
+//! answer. Delta rows are never covered by sketches — backends gate them
+//! per-row through the bitmap.
+//!
+//! Soundness of the per-op rules relies on the sketch using the **same
+//! comparison semantics** as row evaluation (exact i64 order for i64-vs-i64,
+//! f64 coercion for mixed): for a monotone value map, `min`/`max` bound
+//! every stored value, so range emptiness against the literal is decisive.
+//!
+//! Sketches describe the store at build time. Rebuild them after a merge or
+//! any attribute rewrite; between rebuilds they stay conservative under
+//! deletes (a superset range never falsely kills a cluster) but NOT under
+//! in-place attribute updates.
+
+use crate::attrs::{AttrStore, AttrValue, ColumnData};
+use crate::error::{Error, Result};
+use crate::predicate::{Op, Predicate, Term};
+use std::cmp::Ordering;
+
+/// `(count, min, max)` of one column over one partition's base rows.
+/// `min`/`max` are `None` for tag columns and for all-NULL partitions;
+/// `count` is the number of non-NULL values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSketch {
+    /// Non-NULL values in the partition.
+    pub count: u64,
+    /// Smallest non-NULL value (numeric columns only).
+    pub min: Option<AttrValue>,
+    /// Largest non-NULL value (numeric columns only).
+    pub max: Option<AttrValue>,
+}
+
+/// Column sketches of one partition, in schema declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSketch {
+    /// Base rows in the partition (including all-NULL rows).
+    pub rows: u64,
+    /// Per-column summaries, parallel to [`AttrSketches::columns`].
+    pub columns: Vec<ColumnSketch>,
+}
+
+/// Sketches for every cluster plus the outlier set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrSketches {
+    /// Column names, declaration order (the `columns` index space).
+    pub columns: Vec<String>,
+    /// One sketch per cluster, in cluster build order.
+    pub clusters: Vec<PartitionSketch>,
+    /// Sketch of the outlier partition.
+    pub outliers: PartitionSketch,
+}
+
+impl AttrSketches {
+    /// Builds sketches from the store and the base-row membership of each
+    /// cluster (plus the outlier ids). Membership is passed in rather than
+    /// read from a reduction result so this crate depends on `mmdr-index`
+    /// only.
+    pub fn build(
+        store: &AttrStore,
+        cluster_members: &[Vec<u64>],
+        outlier_ids: &[u64],
+    ) -> Result<Self> {
+        let columns: Vec<String> = store.schema().into_iter().map(|(n, _)| n).collect();
+        let clusters = cluster_members
+            .iter()
+            .map(|ids| sketch_partition(store, ids))
+            .collect::<Result<Vec<_>>>()?;
+        let outliers = sketch_partition(store, outlier_ids)?;
+        Ok(Self {
+            columns,
+            clusters,
+            outliers,
+        })
+    }
+
+    /// Evaluates the predicate against every partition sketch. Returns
+    /// `(cluster_alive, outliers_alive)`: `false` means no base row of that
+    /// partition can pass the conjunction. Unknown columns or inadmissible
+    /// operators surface as errors (same checks as compilation).
+    pub fn prune(&self, pred: &Predicate) -> Result<(Vec<bool>, bool)> {
+        let alive = self
+            .clusters
+            .iter()
+            .map(|p| self.partition_alive(p, pred))
+            .collect::<Result<Vec<bool>>>()?;
+        let outliers_alive = self.partition_alive(&self.outliers, pred)?;
+        Ok((alive, outliers_alive))
+    }
+
+    fn partition_alive(&self, p: &PartitionSketch, pred: &Predicate) -> Result<bool> {
+        for t in &pred.terms {
+            let idx = self
+                .columns
+                .iter()
+                .position(|c| c == &t.column)
+                .ok_or_else(|| Error::UnknownColumn(t.column.clone()))?;
+            if term_dead(t, &p.columns[idx])? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+fn sketch_partition(store: &AttrStore, ids: &[u64]) -> Result<PartitionSketch> {
+    let mut columns = Vec::with_capacity(store.num_columns());
+    for (name, _) in store.schema() {
+        let col = store.column(&name)?;
+        let mut count = 0u64;
+        let mut min: Option<AttrValue> = None;
+        let mut max: Option<AttrValue> = None;
+        for &id in ids {
+            let v = match &col.data {
+                ColumnData::I64(v) => v.get(id as usize).copied().flatten().map(AttrValue::I64),
+                ColumnData::F64(v) => v.get(id as usize).copied().flatten().map(AttrValue::F64),
+                ColumnData::Tag { codes, .. } => match codes.get(id as usize) {
+                    Some(0) | None => None,
+                    // min/max stay None for tags; only the count matters.
+                    Some(_) => Some(AttrValue::I64(0)),
+                },
+            };
+            let Some(v) = v else { continue };
+            count += 1;
+            if matches!(col.data, ColumnData::Tag { .. }) {
+                continue;
+            }
+            if min
+                .as_ref()
+                .is_none_or(|m| cmp_values(&v, m) == Some(Ordering::Less))
+            {
+                min = Some(v.clone());
+            }
+            if max
+                .as_ref()
+                .is_none_or(|m| cmp_values(&v, m) == Some(Ordering::Greater))
+            {
+                max = Some(v);
+            }
+        }
+        columns.push(ColumnSketch { count, min, max });
+    }
+    Ok(PartitionSketch {
+        rows: ids.len() as u64,
+        columns,
+    })
+}
+
+/// True when `t` provably fails for every base row summarized by `s`.
+fn term_dead(t: &Term, s: &ColumnSketch) -> Result<bool> {
+    // All values NULL: NULL fails every operator, including !=.
+    if s.count == 0 {
+        return Ok(true);
+    }
+    let (Some(min), Some(max)) = (&s.min, &s.max) else {
+        // Tag column (or mixed history): no range to reason about.
+        return Ok(false);
+    };
+    if matches!(t.value, AttrValue::Tag(_)) {
+        return Err(Error::TypeMismatch {
+            column: t.column.clone(),
+            detail: "literal type does not match the column type",
+        });
+    }
+    let v = &t.value;
+    // NaN-free by construction (AttrStore rejects non-finite f64), so the
+    // comparisons below always resolve; unresolved compares fall to alive.
+    let dead = match t.op {
+        Op::Eq => {
+            cmp_values(v, min) == Some(Ordering::Less)
+                || cmp_values(v, max) == Some(Ordering::Greater)
+        }
+        Op::Ne => {
+            cmp_values(min, v) == Some(Ordering::Equal)
+                && cmp_values(max, v) == Some(Ordering::Equal)
+        }
+        Op::Lt => cmp_values(min, v) != Some(Ordering::Less),
+        Op::Le => cmp_values(min, v) == Some(Ordering::Greater),
+        Op::Gt => cmp_values(max, v) != Some(Ordering::Greater),
+        Op::Ge => cmp_values(max, v) == Some(Ordering::Less),
+    };
+    Ok(dead)
+}
+
+/// Mirrors predicate evaluation: exact order for i64-vs-i64, f64 coercion
+/// otherwise. `None` only for non-numeric operands.
+fn cmp_values(a: &AttrValue, b: &AttrValue) -> Option<Ordering> {
+    match (a, b) {
+        (AttrValue::I64(x), AttrValue::I64(y)) => Some(x.cmp(y)),
+        (AttrValue::I64(x), AttrValue::F64(y)) => (*x as f64).partial_cmp(y),
+        (AttrValue::F64(x), AttrValue::I64(y)) => x.partial_cmp(&(*y as f64)),
+        (AttrValue::F64(x), AttrValue::F64(y)) => x.partial_cmp(y),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrType;
+
+    /// Three clusters of 10 rows: tenant = cluster index, price in
+    /// [10c, 10c+9]; outliers (ids 30..35) have tenant 99 and no region.
+    fn fixture() -> (AttrStore, Vec<Vec<u64>>, Vec<u64>) {
+        let mut s = AttrStore::new(&[
+            ("tenant", AttrType::I64),
+            ("price", AttrType::F64),
+            ("region", AttrType::Tag),
+        ])
+        .unwrap();
+        let mut members = Vec::new();
+        for c in 0..3u64 {
+            let ids: Vec<u64> = (c * 10..c * 10 + 10).collect();
+            for &id in &ids {
+                s.set(id, "tenant", &AttrValue::I64(c as i64)).unwrap();
+                s.set(id, "price", &AttrValue::F64(id as f64)).unwrap();
+                s.set(id, "region", &AttrValue::Tag(format!("r{c}")))
+                    .unwrap();
+            }
+            members.push(ids);
+        }
+        let outliers: Vec<u64> = (30..35).collect();
+        for &id in &outliers {
+            s.set(id, "tenant", &AttrValue::I64(99)).unwrap();
+            s.set(id, "price", &AttrValue::F64(1000.0)).unwrap();
+        }
+        (s, members, outliers)
+    }
+
+    #[test]
+    fn ranges_are_exact() {
+        let (s, members, outliers) = fixture();
+        let sk = AttrSketches::build(&s, &members, &outliers).unwrap();
+        assert_eq!(sk.clusters.len(), 3);
+        let c1 = &sk.clusters[1];
+        assert_eq!(c1.rows, 10);
+        assert_eq!(c1.columns[0].min, Some(AttrValue::I64(1)));
+        assert_eq!(c1.columns[0].max, Some(AttrValue::I64(1)));
+        assert_eq!(c1.columns[1].min, Some(AttrValue::F64(10.0)));
+        assert_eq!(c1.columns[1].max, Some(AttrValue::F64(19.0)));
+        assert_eq!(c1.columns[2].min, None, "tags carry count only");
+        assert_eq!(c1.columns[2].count, 10);
+        assert_eq!(sk.outliers.columns[2].count, 0, "outliers lack region");
+    }
+
+    #[test]
+    fn equality_prunes_other_clusters() {
+        let (s, members, outliers) = fixture();
+        let sk = AttrSketches::build(&s, &members, &outliers).unwrap();
+        let p = Predicate::parse("tenant = 1").unwrap();
+        let (alive, out) = sk.prune(&p).unwrap();
+        assert_eq!(alive, vec![false, true, false]);
+        assert!(!out);
+    }
+
+    #[test]
+    fn range_ops_prune_each_direction() {
+        let (s, members, outliers) = fixture();
+        let sk = AttrSketches::build(&s, &members, &outliers).unwrap();
+        for (text, want_alive, want_out) in [
+            ("price < 10", vec![true, false, false], false),
+            ("price <= 10", vec![true, true, false], false),
+            ("price > 19", vec![false, false, true], true),
+            ("price >= 19", vec![false, true, true], true),
+            ("price >= 5 AND price < 15", vec![true, true, false], false),
+            ("tenant != 0", vec![false, true, true], true),
+            (
+                "tenant != 0 AND tenant != 99",
+                vec![false, true, true],
+                false,
+            ),
+        ] {
+            let p = Predicate::parse(text).unwrap();
+            let (alive, out) = sk.prune(&p).unwrap();
+            assert_eq!(alive, want_alive, "{text}");
+            assert_eq!(out, want_out, "{text}");
+        }
+    }
+
+    #[test]
+    fn all_null_partition_is_dead_for_any_term() {
+        let (s, members, outliers) = fixture();
+        let sk = AttrSketches::build(&s, &members, &outliers).unwrap();
+        // Outliers have no region: any region term kills them, != included.
+        let p = Predicate::parse("region != r0").unwrap();
+        let (alive, out) = sk.prune(&p).unwrap();
+        assert!(!out);
+        // Tag ranges are unknown for populated clusters: all stay alive.
+        assert_eq!(alive, vec![true, true, true]);
+    }
+
+    #[test]
+    fn pruning_never_kills_a_cluster_with_matches() {
+        let (s, members, outliers) = fixture();
+        let sk = AttrSketches::build(&s, &members, &outliers).unwrap();
+        for text in [
+            "price < 25",
+            "price = 14",
+            "tenant >= 2",
+            "tenant = 99",
+            "price > 0 AND price < 1000",
+        ] {
+            let p = Predicate::parse(text).unwrap();
+            let rows = p.compile(&s).unwrap();
+            let (alive, out) = sk.prune(&p).unwrap();
+            for (c, ids) in members.iter().enumerate() {
+                if ids.iter().any(|&id| rows.passes(id)) {
+                    assert!(alive[c], "{text}: cluster {c} has matches");
+                }
+            }
+            if outliers.iter().any(|&id| rows.passes(id)) {
+                assert!(out, "{text}: outliers have matches");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let (s, members, outliers) = fixture();
+        let sk = AttrSketches::build(&s, &members, &outliers).unwrap();
+        let p = Predicate::parse("nope = 1").unwrap();
+        assert!(sk.prune(&p).is_err());
+    }
+}

@@ -43,7 +43,10 @@
 
 #![warn(missing_docs)]
 
-use mmdr_index::{Error, KnnHeap, Result, SearchCounters, ShardStats, VectorIndex};
+use mmdr_index::{
+    Error, IngestStats, KnnHeap, LiveIndex, PinnedEpoch, Result, SearchCounters, ShardStats,
+    VectorIndex,
+};
 use mmdr_persist::{Manifest, ShardEntry};
 use mmdr_serve::{Client, ServeError};
 use mmdr_storage::IoStats;
@@ -337,6 +340,73 @@ impl Router {
         ))
     }
 
+    /// Attribute-filtered KNN across shards: the predicate travels to each
+    /// contacted shard as its canonical text, each shard compiles it
+    /// against its *own* attribute store (shard-split re-indexes the ATTRS
+    /// section to local ids, so shard-local bitmaps are self-contained),
+    /// and filtered partials merge through the same [`KnnHeap`] as plain
+    /// KNN. Ball pruning stays sound: a filter only shrinks a shard's
+    /// candidate set, so the unfiltered lower bound still under-estimates
+    /// every distance the shard could contribute.
+    pub fn filtered_knn(&self, query: &[f64], k: usize, filter: &str) -> Result<Vec<(f64, u64)>> {
+        self.validate(query)?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut heap = KnnHeap::new(k);
+        for (lb, i) in self.scatter_order(query) {
+            let prunable = heap
+                .worst_dist()
+                .is_some_and(|worst| heap.is_full() && deflate(lb) > worst);
+            if prunable {
+                self.pruned.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let partial = self.shard_op(i, |c| c.filtered_knn(query, k, filter))?;
+            self.contacted.fetch_add(1, Ordering::Relaxed);
+            self.shards[i]
+                .partials
+                .fetch_add(partial.len() as u64, Ordering::Relaxed);
+            for (dist, local) in partial {
+                heap.push(dist, self.global_id(i, local)?);
+            }
+        }
+        Ok(heap.into_sorted_vec())
+    }
+
+    /// Attribute-filtered range search across shards (same predicate
+    /// forwarding and pruning soundness as [`filtered_knn`](Self::filtered_knn)).
+    pub fn filtered_range(
+        &self,
+        query: &[f64],
+        radius: f64,
+        filter: &str,
+    ) -> Result<Vec<(f64, u64)>> {
+        self.validate(query)?;
+        if !radius.is_finite() || radius < 0.0 {
+            return Err(Error::InvalidRadius);
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let mut hits: Vec<(f64, u64)> = Vec::new();
+        for (lb, i) in self.scatter_order(query) {
+            if deflate(lb) > radius {
+                self.pruned.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let partial = self.shard_op(i, |c| c.filtered_range(query, radius, filter))?;
+            self.contacted.fetch_add(1, Ordering::Relaxed);
+            self.shards[i]
+                .partials
+                .fetch_add(partial.len() as u64, Ordering::Relaxed);
+            for (dist, local) in partial {
+                hits.push((dist, self.global_id(i, local)?));
+            }
+        }
+        hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        Ok(hits)
+    }
+
     fn validate(&self, query: &[f64]) -> Result<()> {
         if query.len() != self.manifest.dim {
             return Err(Error::DimensionMismatch {
@@ -445,6 +515,63 @@ impl VectorIndex for Router {
                 .map(|s| s.partials.load(Ordering::Relaxed))
                 .collect(),
         })
+    }
+}
+
+/// The serving adapter for a router front: a read-only [`LiveIndex`] that
+/// forwards filtered queries to [`Router::filtered_knn`] /
+/// [`Router::filtered_range`] instead of rejecting them the way
+/// [`mmdr_index::ReadOnlyLive`] would. `mmdr route` fronts shards with
+/// this, so `remote-query --filter` works through the router unchanged.
+pub struct RouterLive {
+    router: Arc<Router>,
+}
+
+impl RouterLive {
+    /// Wraps a connected router for serving.
+    pub fn new(router: Arc<Router>) -> Self {
+        Self { router }
+    }
+}
+
+impl LiveIndex for RouterLive {
+    fn pin(&self) -> PinnedEpoch {
+        PinnedEpoch {
+            epoch: 0,
+            index: Arc::clone(&self.router) as Arc<dyn VectorIndex>,
+        }
+    }
+
+    fn insert(&self, _vector: &[f64]) -> Result<u64> {
+        Err(Error::ReadOnly)
+    }
+
+    fn delete(&self, _id: u64) -> Result<bool> {
+        Err(Error::ReadOnly)
+    }
+
+    fn flush(&self) -> Result<u64> {
+        Err(Error::ReadOnly)
+    }
+
+    fn ingest_stats(&self) -> IngestStats {
+        IngestStats {
+            next_id: self.router.len() as u64,
+            ..IngestStats::default()
+        }
+    }
+
+    fn filtered_knn(&self, query: &[f64], k: usize, predicate: &str) -> Result<Vec<(f64, u64)>> {
+        self.router.filtered_knn(query, k, predicate)
+    }
+
+    fn filtered_range(
+        &self,
+        query: &[f64],
+        radius: f64,
+        predicate: &str,
+    ) -> Result<Vec<(f64, u64)>> {
+        self.router.filtered_range(query, radius, predicate)
     }
 }
 

@@ -112,6 +112,47 @@ impl Client {
         })
     }
 
+    /// Attribute-filtered KNN: `filter` is a predicate in the `--filter`
+    /// surface syntax (e.g. `label = "news" && score >= 10`), compiled and
+    /// planned server-side. Bit-identical to the in-process
+    /// [`filtered_knn`](mmdr_index::LiveIndex::filtered_knn) on the same
+    /// index.
+    pub fn filtered_knn(
+        &mut self,
+        query: &[f64],
+        k: usize,
+        filter: &str,
+    ) -> Result<Vec<(f64, u64)>> {
+        let req = Request::FilteredKnn {
+            query: query.to_vec(),
+            k: k as u32,
+            filter: filter.to_string(),
+        };
+        Self::expect(self.call(&req)?, |r| match r {
+            Response::Neighbors(hits) => Some(hits),
+            _ => None,
+        })
+    }
+
+    /// Attribute-filtered range search (see
+    /// [`filtered_knn`](Self::filtered_knn) for the filter syntax).
+    pub fn filtered_range(
+        &mut self,
+        query: &[f64],
+        radius: f64,
+        filter: &str,
+    ) -> Result<Vec<(f64, u64)>> {
+        let req = Request::FilteredRange {
+            query: query.to_vec(),
+            radius,
+            filter: filter.to_string(),
+        };
+        Self::expect(self.call(&req)?, |r| match r {
+            Response::Neighbors(hits) => Some(hits),
+            _ => None,
+        })
+    }
+
     /// One round trip answering many KNN queries with a shared `k`.
     pub fn batch_knn(&mut self, queries: &[Vec<f64>], k: usize) -> Result<Vec<Vec<(f64, u64)>>> {
         let req = Request::BatchKnn {

@@ -113,11 +113,34 @@ impl Default for ServerConfig {
 /// same queue as queries: admission control covers them, and a burst of
 /// inserts cannot starve reads any harder than a burst of queries could.
 enum JobOp {
-    Knn { query: Vec<f64>, k: usize },
-    Range { query: Vec<f64>, radius: f64 },
-    Batch { queries: Vec<Vec<f64>>, k: usize },
-    Insert { vector: Vec<f64> },
-    Delete { id: u64 },
+    Knn {
+        query: Vec<f64>,
+        k: usize,
+    },
+    Range {
+        query: Vec<f64>,
+        radius: f64,
+    },
+    Batch {
+        queries: Vec<Vec<f64>>,
+        k: usize,
+    },
+    FilteredKnn {
+        query: Vec<f64>,
+        k: usize,
+        filter: String,
+    },
+    FilteredRange {
+        query: Vec<f64>,
+        radius: f64,
+        filter: String,
+    },
+    Insert {
+        vector: Vec<f64>,
+    },
+    Delete {
+        id: u64,
+    },
     Flush,
 }
 
@@ -127,6 +150,8 @@ impl JobOp {
             JobOp::Knn { .. } => opcode::KNN,
             JobOp::Range { .. } => opcode::RANGE,
             JobOp::Batch { .. } => opcode::BATCH_KNN,
+            JobOp::FilteredKnn { .. } => opcode::FILTERED_KNN,
+            JobOp::FilteredRange { .. } => opcode::FILTERED_RANGE,
             JobOp::Insert { .. } => opcode::INSERT,
             JobOp::Delete { .. } => opcode::DELETE,
             JobOp::Flush => opcode::FLUSH,
@@ -519,6 +544,36 @@ fn handle_frame(shared: &Arc<Shared>, conn: &Arc<Conn>, payload: &[u8]) -> bool 
             shared.stats.record_delete();
             enqueue(shared, conn, id, JobOp::Delete { id: point })
         }
+        Request::FilteredKnn { query, k, filter } => {
+            shared.stats.record_knn();
+            enqueue(
+                shared,
+                conn,
+                id,
+                JobOp::FilteredKnn {
+                    query,
+                    k: k as usize,
+                    filter,
+                },
+            )
+        }
+        Request::FilteredRange {
+            query,
+            radius,
+            filter,
+        } => {
+            shared.stats.record_range();
+            enqueue(
+                shared,
+                conn,
+                id,
+                JobOp::FilteredRange {
+                    query,
+                    radius,
+                    filter,
+                },
+            )
+        }
         Request::Flush => enqueue(shared, conn, id, JobOp::Flush),
     }
 }
@@ -558,11 +613,18 @@ fn build_stats(shared: &Shared) -> RemoteStats {
     let pin = shared.index.pin();
     let mut ingest: crate::wire::IngestWire = shared.index.ingest_stats().into();
     ingest.cluster_drift = shared.index.model_drift();
+    // The planner lives in the serving handle, not the index; graft its
+    // decision counters onto the index's query counters for the wire.
+    let mut query: crate::wire::QueryStatsWire = pin.index.query_stats().into();
+    let [post, push, rank] = shared.index.planner_counts();
+    query.planner_post_filter = post;
+    query.planner_pushdown = push;
+    query.planner_prefilter_rank = rank;
     RemoteStats {
         backend: pin.index.name().to_string(),
         len: pin.index.len() as u64,
         dim: pin.index.dim() as u32,
-        query: pin.index.query_stats().into(),
+        query,
         pools: pin.index.pool_stats(),
         server: shared.stats.snapshot(shared.queue.len()),
         ingest,
@@ -627,6 +689,26 @@ fn worker_loop(shared: &Arc<Shared>) {
                     Err(msg) => Response::Error(msg),
                 };
                 send_and_release(&conn, request_id, opcode::BATCH_KNN, &resp);
+            }
+            JobOp::FilteredKnn { query, k, filter } => {
+                // The engine pins internally (plan and search against one
+                // epoch); no coalescing — filtered answers never batch.
+                let resp = match guarded(|| shared.index.filtered_knn(&query, k, &filter)) {
+                    Ok(hits) => Response::Neighbors(hits),
+                    Err(msg) => Response::Error(msg),
+                };
+                send_and_release(&conn, request_id, opcode::FILTERED_KNN, &resp);
+            }
+            JobOp::FilteredRange {
+                query,
+                radius,
+                filter,
+            } => {
+                let resp = match guarded(|| shared.index.filtered_range(&query, radius, &filter)) {
+                    Ok(hits) => Response::Neighbors(hits),
+                    Err(msg) => Response::Error(msg),
+                };
+                send_and_release(&conn, request_id, opcode::FILTERED_RANGE, &resp);
             }
             JobOp::Insert { vector } => {
                 let resp = match guarded(|| shared.index.insert(&vector)) {

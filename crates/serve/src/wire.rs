@@ -40,7 +40,10 @@ pub const MAGIC: u32 = 0x4D4D_4452;
 /// adaptive-maintenance block to `STATS` (`model_epoch`, `refits`, and
 /// the per-cluster drift vector in [`IngestWire`]), so operators can
 /// watch a drifting stream approach the re-fit threshold remotely.
-pub const PROTOCOL_VERSION: u16 = 4;
+/// Version 5 added attribute-filtered search (`FILTERED_KNN` /
+/// `FILTERED_RANGE`, carrying the predicate as its canonical text) and
+/// the three planner-choice counters in [`QueryStatsWire`].
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Hard cap on one frame's payload (16 MiB). Anything larger is rejected
 /// before allocation — the admission-control seatbelt against garbage or
@@ -71,6 +74,12 @@ pub mod opcode {
     pub const DELETE: u8 = 8;
     /// Force a merge (fold delta, swap epoch, truncate WAL).
     pub const FLUSH: u8 = 9;
+    /// KNN restricted to rows matching an attribute predicate. The
+    /// predicate travels as its canonical text form; the server compiles
+    /// it against its attribute store and plans the execution strategy.
+    pub const FILTERED_KNN: u8 = 10;
+    /// Range search restricted to rows matching an attribute predicate.
+    pub const FILTERED_RANGE: u8 = 11;
 }
 
 /// The status byte.
@@ -171,6 +180,25 @@ pub enum Request {
     /// Force a merge now: fold the delta into a fresh snapshot and swap
     /// the serving epoch.
     Flush,
+    /// `k` nearest neighbours of `query` among rows matching `filter`.
+    FilteredKnn {
+        /// Query point in index dimensionality.
+        query: Vec<f64>,
+        /// Number of neighbours.
+        k: u32,
+        /// Predicate in [`mmdr_query::Predicate`] text form, e.g.
+        /// `"label = \"news\" && score >= 10"`.
+        filter: String,
+    },
+    /// Every matching point within `radius` of `query`.
+    FilteredRange {
+        /// Query point in index dimensionality.
+        query: Vec<f64>,
+        /// Search radius.
+        radius: f64,
+        /// Predicate in text form.
+        filter: String,
+    },
 }
 
 impl Request {
@@ -186,6 +214,8 @@ impl Request {
             Request::Insert { .. } => opcode::INSERT,
             Request::Delete { .. } => opcode::DELETE,
             Request::Flush => opcode::FLUSH,
+            Request::FilteredKnn { .. } => opcode::FILTERED_KNN,
+            Request::FilteredRange { .. } => opcode::FILTERED_RANGE,
         }
     }
 }
@@ -302,6 +332,12 @@ pub struct QueryStatsWire {
     pub readahead_hits: u64,
     /// Physical fetches that failed.
     pub read_errors: u64,
+    /// Filtered queries the planner ran as a post-filtered scan.
+    pub planner_post_filter: u64,
+    /// Filtered queries the planner pushed the bitmap into the index for.
+    pub planner_pushdown: u64,
+    /// Filtered queries answered by ranking the prefiltered matches.
+    pub planner_prefilter_rank: u64,
 }
 
 impl From<QueryStats> for QueryStatsWire {
@@ -314,6 +350,9 @@ impl From<QueryStats> for QueryStatsWire {
             physical_reads: q.physical_reads,
             readahead_hits: q.readahead_hits,
             read_errors: q.read_errors,
+            planner_post_filter: q.planner_post_filter,
+            planner_pushdown: q.planner_pushdown,
+            planner_prefilter_rank: q.planner_prefilter_rank,
         }
     }
 }
@@ -474,6 +513,17 @@ fn get_hits(d: &mut Dec<'_>) -> Result<Vec<(f64, u64)>, WireError> {
     (0..n).map(|_| Ok((d.f64()?, d.u64()?))).collect()
 }
 
+fn put_str(e: &mut Enc, s: &str) {
+    e.u32(s.len() as u32);
+    e.bytes(s.as_bytes());
+}
+
+fn get_str(d: &mut Dec<'_>, what: &str) -> Result<String, WireError> {
+    let n = d.len(1)?;
+    String::from_utf8(d.take(n)?.to_vec())
+        .map_err(|_| WireError::Malformed(format!("{what} is not UTF-8")))
+}
+
 // ---- requests -------------------------------------------------------------
 
 fn put_header(e: &mut Enc, request_id: u64, op: u8, status_byte: u8) {
@@ -526,6 +576,20 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
             e.f64(*radius);
             put_vec(&mut e, query);
         }
+        Request::FilteredKnn { query, k, filter } => {
+            e.u32(*k);
+            put_str(&mut e, filter);
+            put_vec(&mut e, query);
+        }
+        Request::FilteredRange {
+            query,
+            radius,
+            filter,
+        } => {
+            e.f64(*radius);
+            put_str(&mut e, filter);
+            put_vec(&mut e, query);
+        }
         Request::BatchKnn { queries, k } => {
             e.u32(*k);
             e.u32(queries.len() as u32);
@@ -572,6 +636,22 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), (Option<u64>, Wi
             let radius = d.f64().map_err(fail)?;
             let query = get_vec(&mut d).map_err(fail)?;
             Request::Range { query, radius }
+        }
+        opcode::FILTERED_KNN => {
+            let k = d.u32().map_err(fail)?;
+            let filter = get_str(&mut d, "filter predicate").map_err(fail)?;
+            let query = get_vec(&mut d).map_err(fail)?;
+            Request::FilteredKnn { query, k, filter }
+        }
+        opcode::FILTERED_RANGE => {
+            let radius = d.f64().map_err(fail)?;
+            let filter = get_str(&mut d, "filter predicate").map_err(fail)?;
+            let query = get_vec(&mut d).map_err(fail)?;
+            Request::FilteredRange {
+                query,
+                radius,
+                filter,
+            }
         }
         opcode::BATCH_KNN => {
             let k = d.u32().map_err(fail)?;
@@ -638,6 +718,9 @@ fn put_stats(e: &mut Enc, s: &RemoteStats) {
         s.query.physical_reads,
         s.query.readahead_hits,
         s.query.read_errors,
+        s.query.planner_post_filter,
+        s.query.planner_pushdown,
+        s.query.planner_prefilter_rank,
     ] {
         e.u64(v);
     }
@@ -715,6 +798,9 @@ fn get_stats(d: &mut Dec<'_>) -> Result<RemoteStats, WireError> {
         physical_reads: d.u64()?,
         readahead_hits: d.u64()?,
         read_errors: d.u64()?,
+        planner_post_filter: d.u64()?,
+        planner_pushdown: d.u64()?,
+        planner_prefilter_rank: d.u64()?,
     };
     let n_pools = d.len(4)?;
     let pools = (0..n_pools)
@@ -852,7 +938,9 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
                 }
             },
             opcode::FLUSH => Response::Flushed(d.u64()?),
-            opcode::KNN | opcode::RANGE => Response::Neighbors(get_hits(&mut d)?),
+            opcode::KNN | opcode::RANGE | opcode::FILTERED_KNN | opcode::FILTERED_RANGE => {
+                Response::Neighbors(get_hits(&mut d)?)
+            }
             opcode::BATCH_KNN => {
                 let nq = d.len(4)?;
                 let rows = (0..nq)
@@ -941,6 +1029,23 @@ mod tests {
         });
         roundtrip_request(Request::Delete { id: u64::MAX });
         roundtrip_request(Request::Flush);
+        roundtrip_request(Request::FilteredKnn {
+            query: vec![0.25, -0.5],
+            k: 5,
+            filter: "label = \"news\" && score >= 10".into(),
+        });
+        roundtrip_request(Request::FilteredRange {
+            query: vec![1.0],
+            radius: 0.5,
+            filter: "n != 3".into(),
+        });
+        // An empty filter string travels fine; rejecting it is the
+        // server's (typed) job, not the codec's.
+        roundtrip_request(Request::FilteredKnn {
+            query: vec![],
+            k: 0,
+            filter: String::new(),
+        });
     }
 
     #[test]
@@ -975,6 +1080,9 @@ mod tests {
                     physical_reads: 8,
                     readahead_hits: 9,
                     read_errors: 10,
+                    planner_post_filter: 11,
+                    planner_pushdown: 12,
+                    planner_prefilter_rank: 13,
                 },
                 pools: vec![PoolStats {
                     per_shard: vec![ShardCounters {

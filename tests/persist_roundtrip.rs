@@ -8,8 +8,10 @@ use mmdr_core::{Mmdr, MmdrParams, ReductionResult};
 use mmdr_idistance::Backend;
 use mmdr_linalg::Matrix;
 use mmdr_persist::{
-    build_index, open, open_expecting, open_or_build, open_resident, save, scrub, PersistError,
+    build_index, open, open_expecting, open_or_build, open_resident, save, save_with_attrs, scrub,
+    PersistError,
 };
+use mmdr_query::{AttrStore, AttrType, AttrValue};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -370,6 +372,82 @@ fn missing_file_and_backend_mismatch_are_typed() {
             assert_eq!(found, "seqscan");
         }
         other => panic!("expected BackendMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn attribute_less_snapshots_stay_byte_identical() {
+    // The ATTRS section is strictly opt-in: saving with no store — or an
+    // *empty* store — must produce exactly the bytes the plain save path
+    // produces, so pre-attribute snapshots and tooling never notice it.
+    let data = dataset(40, 0.2);
+    let model = fit(&data);
+    let built = build_index(Backend::SeqScan, &data, &model, 32).unwrap();
+    let plain = TempFile::new("attrs-plain");
+    save(&plain.0, &built, &model).unwrap();
+    let none = TempFile::new("attrs-none");
+    save_with_attrs(&none.0, &built, &model, 0, None).unwrap();
+    let empty = TempFile::new("attrs-empty");
+    save_with_attrs(&empty.0, &built, &model, 0, Some(&AttrStore::default())).unwrap();
+    let plain_bytes = std::fs::read(&plain.0).unwrap();
+    assert_eq!(plain_bytes, std::fs::read(&none.0).unwrap());
+    assert_eq!(plain_bytes, std::fs::read(&empty.0).unwrap());
+    // And a legacy (attribute-less) snapshot opens with no store attached.
+    let opened = open(&plain.0).unwrap();
+    assert!(opened.attrs.is_none());
+}
+
+#[test]
+fn attrs_section_roundtrips_through_lazy_and_resident_opens() {
+    let data = dataset(40, 0.6);
+    let model = fit(&data);
+    let mut store = AttrStore::new(&[
+        ("kind", AttrType::Tag),
+        ("score", AttrType::F64),
+        ("n", AttrType::I64),
+    ])
+    .unwrap();
+    for id in 0..data.rows() as u64 {
+        if id % 3 == 0 {
+            store
+                .set(id, "kind", &AttrValue::Tag("triple".into()))
+                .unwrap();
+        }
+        store
+            .set(id, "score", &AttrValue::F64(id as f64 * 0.25 - 3.0))
+            .unwrap();
+        store.set(id, "n", &AttrValue::I64(-(id as i64))).unwrap();
+    }
+    for backend in Backend::all() {
+        let file = TempFile::new("attrs-roundtrip");
+        let built = build_index(backend, &data, &model, 32).unwrap();
+        save_with_attrs(&file.0, &built, &model, 0, Some(&store)).unwrap();
+        // The deep verifier accepts the extra section.
+        scrub(&file.0).unwrap();
+        for resident in [false, true] {
+            let opened = if resident {
+                open_resident(&file.0).unwrap()
+            } else {
+                open(&file.0).unwrap()
+            };
+            let restored = opened.attrs.expect("ATTRS section must restore");
+            assert_eq!(restored.capacity(), store.capacity());
+            assert_eq!(restored.schema(), store.schema());
+            for id in [0u64, 1, 3, data.rows() as u64 - 1] {
+                for col in ["kind", "score", "n"] {
+                    assert_eq!(
+                        restored.get(id, col).unwrap(),
+                        store.get(id, col).unwrap(),
+                        "{}: row {id} column {col} (resident={resident})",
+                        backend.name()
+                    );
+                }
+            }
+            // The vector side is untouched by the extra section.
+            let fresh = built.as_dyn().knn(data.row(5), 4).unwrap();
+            let again = opened.index.as_dyn().knn(data.row(5), 4).unwrap();
+            assert_answers_identical(&fresh, &again, backend.name());
+        }
     }
 }
 

@@ -80,8 +80,10 @@ if awk '/pub trait VectorIndex/,/^}/' crates/index/src/traits.rs \
     echo "verify: FAIL — VectorIndex::knn takes &mut self; the read path must stay shared" >&2
     exit 1
 fi
+# (grep must drain the pipe rather than -q-exit on first match: under
+# pipefail an early exit SIGPIPEs awk and fails the gate spuriously.)
 if ! awk '/pub trait VectorIndex/,/^}/' crates/index/src/traits.rs \
-        | grep -q "fn knn(&self"; then
+        | grep "fn knn(&self" > /dev/null; then
     echo "verify: FAIL — VectorIndex::knn no longer matches the &self gate; update it" >&2
     exit 1
 fi
@@ -113,6 +115,39 @@ echo "== router gate =="
 cargo test "${PROFILE[@]}" --test router_parity
 cargo test "${PROFILE[@]}" -p mmdr-serve --test frame_fragmentation
 
+echo "== filtered-search gate =="
+# Attribute-filtered search: filtered KNN/range answers — whichever
+# strategy the cost-based planner picks — must be bit-identical to
+# post-filtering the unfiltered ranking, for all four backends, serial and
+# under concurrent query threads, pre- and post-merge; a snapshot without
+# attributes must fail filters with a typed error (property-tested
+# alongside the fixed cases).
+cargo test "${PROFILE[@]}" --test filtered_parity
+# Structural invariant: filters must not leak mutability into the query
+# hot path either — VectorIndex::knn_filtered and LiveIndex::filtered_knn
+# stay `&self`, same contract as the unfiltered gate above.
+if grep -A1 "fn knn_filtered(" crates/index/src/traits.rs | grep -n "&mut self"; then
+    echo "verify: FAIL — knn_filtered takes &mut self; the filtered read path must stay shared" >&2
+    exit 1
+fi
+if ! grep -A1 "fn knn_filtered(" crates/index/src/traits.rs | grep "&self" > /dev/null; then
+    echo "verify: FAIL — knn_filtered no longer matches the &self gate; update it" >&2
+    exit 1
+fi
+if awk '/pub trait LiveIndex/,/^}/' crates/index/src/mutable.rs \
+        | grep -n "fn filtered_knn(&mut self\|fn filtered_range(&mut self"; then
+    echo "verify: FAIL — LiveIndex filtered search takes &mut self" >&2
+    exit 1
+fi
+# Structural invariant: one snapshot writer — the attribute-less save path
+# must stay a `None` delegation into save_with_attrs, which is what keeps
+# snapshots without attributes byte-identical to the pre-attribute format.
+if ! grep -q "save_with_attrs(path, index, model, model_epoch, None)" \
+        crates/persist/src/snapshot.rs; then
+    echo "verify: FAIL — attribute-less save no longer delegates to save_with_attrs(.., None)" >&2
+    exit 1
+fi
+
 echo "== serve smoke gate =="
 # End-to-end over a real socket: start `mmdr serve` on an ephemeral port,
 # check remote answers are byte-identical (ids and f64 bit patterns) to
@@ -133,10 +168,30 @@ cleanup_smoke() {
 }
 trap cleanup_smoke EXIT
 
-"$MMDR" generate --out "$SMOKE/data.json" --n 600 --dim 12 --clusters 3 --seed 11
+"$MMDR" generate --out "$SMOKE/data.json" --n 600 --dim 12 --clusters 3 --seed 11 \
+    --attrs-out "$SMOKE/attrs.csv"
 "$MMDR" reduce --data "$SMOKE/data.json" --out "$SMOKE/model.json" --clusters 3
 "$MMDR" build-index --data "$SMOKE/data.json" --model "$SMOKE/model.json" \
     --out "$SMOKE/index.mmdr" --buffer-pages 64
+# No-ATTRS byte identity: building the same attribute-less snapshot twice
+# must produce the same bytes — the attrs machinery must leave the
+# attribute-less image completely alone.
+"$MMDR" build-index --data "$SMOKE/data.json" --model "$SMOKE/model.json" \
+    --out "$SMOKE/index_again.mmdr" --buffer-pages 64
+if ! cmp -s "$SMOKE/index.mmdr" "$SMOKE/index_again.mmdr"; then
+    echo "verify: FAIL — attribute-less snapshot is not byte-deterministic" >&2
+    exit 1
+fi
+# Filtering an attribute-less snapshot must be a typed error, not a crash
+# or a silently unfiltered answer.
+if "$MMDR" query --index-file "$SMOKE/index.mmdr" --data "$SMOKE/data.json" \
+        --row 0 --k 5 --filter "views < 10" > /dev/null 2> "$SMOKE/nofilter.err"; then
+    echo "verify: FAIL — filtering an attribute-less snapshot did not error" >&2
+    exit 1
+fi
+grep -q "no attribute store" "$SMOKE/nofilter.err"
+"$MMDR" build-index --data "$SMOKE/data.json" --model "$SMOKE/model.json" \
+    --attrs "$SMOKE/attrs.csv" --out "$SMOKE/index_attrs.mmdr" --buffer-pages 64
 
 "$MMDR" serve --index-file "$SMOKE/index.mmdr" --port 0 --workers 2 \
     > "$SMOKE/serve.log" &
@@ -179,6 +234,60 @@ if ! grep -q '^shutdown:' "$SMOKE/serve.log"; then
     echo "verify: FAIL — server exited without its shutdown summary" >&2
     exit 1
 fi
+
+echo "== filtered smoke gate =="
+# Filtered search end to end over a real socket: serve the
+# attribute-carrying snapshot, check filtered remote answers (KNN and
+# range) are byte-identical to filtering the snapshot directly, and check
+# the stats op reports the planner's per-strategy counters.
+"$MMDR" serve --index-file "$SMOKE/index_attrs.mmdr" --port 0 --workers 2 \
+    > "$SMOKE/serve_attrs.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$SMOKE/serve_attrs.log")"
+    if [[ -n "$ADDR" ]]; then break; fi
+    sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+    echo "verify: FAIL — attrs server did not announce a listening port" >&2
+    exit 1
+fi
+grep -q 'attribute filters on' "$SMOKE/serve_attrs.log"
+
+FILTER='label != delta AND views < 600'
+"$MMDR" query --index-file "$SMOKE/index_attrs.mmdr" --data "$SMOKE/data.json" \
+    --row 0 --k 5 --filter "$FILTER" --hex true | grep -v '^\[' \
+    > "$SMOKE/fdirect.txt"
+"$MMDR" remote-query --addr "$ADDR" --data "$SMOKE/data.json" \
+    --row 0 --k 5 --filter "$FILTER" --hex true > "$SMOKE/fremote.txt"
+diff -u "$SMOKE/fdirect.txt" "$SMOKE/fremote.txt"
+"$MMDR" query --index-file "$SMOKE/index_attrs.mmdr" --data "$SMOKE/data.json" \
+    --row 7 --radius 3.0 --filter "$FILTER" --hex true | grep -v '^\[' \
+    > "$SMOKE/fdirect_range.txt"
+"$MMDR" remote-query --addr "$ADDR" --data "$SMOKE/data.json" \
+    --row 7 --radius 3.0 --filter "$FILTER" --hex true > "$SMOKE/fremote_range.txt"
+diff -u "$SMOKE/fdirect_range.txt" "$SMOKE/fremote_range.txt"
+
+"$MMDR" remote-query --addr "$ADDR" --op stats > "$SMOKE/fstats.txt"
+if ! grep -q '^planner: ' "$SMOKE/fstats.txt"; then
+    echo "verify: FAIL — stats lack the planner strategy counters:" >&2
+    cat "$SMOKE/fstats.txt" >&2
+    exit 1
+fi
+if grep -q '^planner: 0 post-filter, 0 pushdown, 0 prefilter-rank' "$SMOKE/fstats.txt"; then
+    echo "verify: FAIL — planner counters stayed zero across filtered queries:" >&2
+    cat "$SMOKE/fstats.txt" >&2
+    exit 1
+fi
+"$MMDR" remote-query --addr "$ADDR" --op shutdown > /dev/null
+for _ in $(seq 1 100); do
+    STATE="$(server_state)"
+    if [[ -z "$STATE" || "$STATE" == Z* ]]; then break; fi
+    sleep 0.1
+done
+wait "$SERVE_PID"
+SERVE_PID=""
 
 echo "== ingest smoke gate =="
 # The same snapshot served writable: insert a point over the wire, force a
@@ -255,7 +364,7 @@ wait_for_addr() { # logfile -> prints addr once announced
 }
 
 "$MMDR" shard-split --data "$SMOKE/data.json" --model "$SMOKE/model.json" \
-    --out-dir "$SMOKE/shards" --shards 2 --buffer-pages 64
+    --attrs "$SMOKE/attrs.csv" --out-dir "$SMOKE/shards" --shards 2 --buffer-pages 64
 "$MMDR" serve --index-file "$SMOKE/shards/shard-0.mmdr" --port 0 --workers 1 \
     > "$SMOKE/shard0.log" &
 SHARD0_PID=$!
@@ -277,6 +386,13 @@ RADDR="$(wait_for_addr "$SMOKE/route.log")" || {
 "$MMDR" remote-query --router "$RADDR" --data "$SMOKE/data.json" \
     --row 0,7,42 --k 5 --hex true > "$SMOKE/routed.txt"
 diff -u "$SMOKE/direct.txt" "$SMOKE/routed.txt"
+
+# Filtered scatter-gather: each shard evaluates the predicate against its
+# re-keyed local attributes, and the merged answer must match filtering
+# the single-node attrs snapshot bit for bit.
+"$MMDR" remote-query --router "$RADDR" --data "$SMOKE/data.json" \
+    --row 0 --k 5 --filter "$FILTER" --hex true > "$SMOKE/frouted.txt"
+diff -u "$SMOKE/fdirect.txt" "$SMOKE/frouted.txt"
 
 "$MMDR" remote-query --router "$RADDR" --data "$SMOKE/data.json" \
     --row 0 --k 5 --verbose true > "$SMOKE/routed_verbose.txt"
